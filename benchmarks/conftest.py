@@ -1,0 +1,18 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the text rendering of its table/figure so that
+``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
+evaluation section as text.  Expensive drivers run one round via
+``benchmark.pedantic`` -- the point is regenerating the figures, not
+micro-timing them.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a driver exactly once under the benchmark clock."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

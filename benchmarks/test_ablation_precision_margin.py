@@ -1,0 +1,37 @@
+"""Ablation bench: cell precision vs comparison margin under variation.
+
+The paper suggests 3-4 bit headroom (Sec. IV-A); this bench quantifies
+the cost: each extra bit halves the level spacing, so the same V_TH sigma
+flips exponentially more comparisons.  At the default ladder the 4-bit
+margin (40 mV) falls below the switch turn-on overdrive (~77 mV), i.e.
+4-bit operation needs a wider V_TH window or a hotter ON threshold --
+a real design finding recorded in EXPERIMENTS.md.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    format_ablation_precision_margin,
+    run_ablation_precision_margin,
+)
+
+
+def test_ablation_precision_margin(benchmark):
+    records = run_once(
+        benchmark, run_ablation_precision_margin,
+        bits_list=(1, 2, 3, 4), sigmas_mv=(20.0, 40.0, 60.0), n_cells=2000,
+    )
+    print()
+    print(format_ablation_precision_margin(records))
+
+    by_key = {(r.bits, r.sigma_mv): r for r in records}
+    # 1-bit and 2-bit at moderate sigma: essentially error-free.
+    assert by_key[(1, 60.0)].flip_rate < 1e-3
+    assert by_key[(2, 20.0)].flip_rate < 1e-3
+    # 2-bit at 60 mV: small but visible flip rate.
+    assert 0 < by_key[(2, 60.0)].flip_rate < 0.05
+    # 3-bit collapses the margin; 4-bit is broken at this ladder.
+    assert by_key[(3, 40.0)].flip_rate > by_key[(2, 40.0)].flip_rate
+    assert by_key[(4, 40.0)].flip_rate > 0.2
+    # Margins halve per extra bit.
+    assert by_key[(1, 20.0)].margin_v > by_key[(2, 20.0)].margin_v
+    assert by_key[(2, 20.0)].margin_v > by_key[(3, 20.0)].margin_v

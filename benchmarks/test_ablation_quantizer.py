@@ -1,0 +1,28 @@
+"""Ablation bench: equal-area vs uniform class-hypervector quantization."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    format_ablation_quantizer,
+    run_ablation_quantizer,
+)
+
+
+def test_ablation_quantizer(benchmark):
+    records = run_once(
+        benchmark, run_ablation_quantizer,
+        bits_list=(1, 2, 3, 4), dimension=2048,
+    )
+    print()
+    print(format_ablation_quantizer(records))
+
+    by_bits = {r.bits: r for r in records}
+    reference = records[0].reference_accuracy
+    # Equal-area accuracy is monotone in bits and approaches the 32-bit
+    # reference at 4 bits.
+    accs = [by_bits[b].equal_area_accuracy for b in (1, 2, 3, 4)]
+    assert accs == sorted(accs)
+    assert by_bits[4].equal_area_accuracy > reference - 0.04
+    # Both quantizers are in the same band; the equal-area scheme's edge
+    # shows at coarse precision on skewed distributions.
+    for r in records:
+        assert abs(r.equal_area_accuracy - r.uniform_accuracy) < 0.1

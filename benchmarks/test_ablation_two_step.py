@@ -1,0 +1,23 @@
+"""Ablation bench: 2-step even/odd scheme vs buffer-based chain."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    format_ablation_two_step,
+    run_ablation_two_step,
+)
+
+
+def test_ablation_two_step(benchmark):
+    result = run_once(benchmark, run_ablation_two_step, n_stages=32,
+                      n_mismatch=16)
+    print()
+    print(format_ablation_two_step(result))
+
+    # The 2-step organization saves both energy and transistors at equal
+    # end-to-end latency -- the design-choice rationale of Sec. III-B.
+    assert result.energy_saving > 1.05
+    assert result.area_saving > 1.3
+    assert result.two_step_latency_s == result.buffer_latency_s
+    # Per stage: 4T + 2 FeFET vs 6T + 2 FeFET.
+    assert result.two_step_transistors == 32 * 6
+    assert result.buffer_transistors == 32 * 8

@@ -1,0 +1,28 @@
+"""Ablation bench: variable-capacitance vs variable-resistance chains.
+
+Quantifies the paper's central robustness argument against designs that
+put the FeFET in the signal path ([22]): at equal V_TH sigma, the VC
+chain's delay spread stays an order of magnitude tighter.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    format_ablation_vc_vs_vr,
+    run_ablation_vc_vs_vr,
+)
+
+
+def test_ablation_vc_vs_vr(benchmark):
+    records = run_once(
+        benchmark, run_ablation_vc_vs_vr,
+        sigmas_mv=(10.0, 20.0, 40.0, 60.0), n_stages=64, n_runs=200,
+    )
+    print()
+    print(format_ablation_vc_vs_vr(records))
+
+    for record in records:
+        assert record.vc_delay_cv < 0.2 * record.vr_delay_cv
+    # The VR chain's worst case degrades visibly at 60 mV.
+    assert records[-1].vr_worst_over_nominal > 1.05
+    # The VC chain's spread grows linearly with sigma (no blow-up).
+    assert records[-1].vc_delay_cv < 6.5 * records[0].vc_delay_cv

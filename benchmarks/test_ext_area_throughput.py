@@ -1,0 +1,53 @@
+"""Extension bench: area/density and operation-scheduling throughput.
+
+Generates the cell-composition density table (the quantitative form of
+Table I's cell-size column) and the tile-scheduling throughput of the
+Fig. 8 system point.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.area import cell_area_comparison, density_advantage, tdam_area
+from repro.core.config import TDAMConfig
+from repro.core.scheduler import OperationScheduler
+
+
+def _evaluate():
+    table = cell_area_comparison()
+    config = TDAMConfig(bits=2, n_stages=128, vdd=0.6)
+    scheduler = OperationScheduler(config)
+    tiles = scheduler.tile_schedule(10240)
+    return table, tdam_area(config, n_rows=26), scheduler, tiles
+
+
+def test_ext_area_and_throughput(benchmark):
+    table, report, scheduler, tiles = run_once(benchmark, _evaluate)
+
+    rows = [{"design": name, **fields} for name, fields in table.items()]
+    print()
+    print(format_table(rows, title="Cell-composition density at 40 nm"))
+    print(
+        f"\nTD-AM array (26 rows x 128 stages, 2-bit): "
+        f"{report.total_um2:.0f} um^2, {report.bits_per_um2:.2f} bits/um^2"
+    )
+    schedule = scheduler.schedule()
+    print(
+        f"search schedule: {schedule.latency_s * 1e9:.1f} ns latency, "
+        f"{schedule.pipelined_interval_s * 1e9:.1f} ns pipelined interval"
+    )
+    print(
+        f"10240-D query: {tiles.n_tiles} tiles, "
+        f"{tiles.query_latency_s() * 1e9:.0f} ns, "
+        f"{tiles.queries_per_second():.3g} queries/s"
+    )
+
+    # Density ordering: the multi-bit FeFET cell beats every SRAM-based
+    # time-domain stage and the 16T TCAM.
+    ours = table["This work"]["bits_per_um2"]
+    assert ours > table["16T TCAM"]["bits_per_um2"]
+    assert ours > table["JSSC'21 (TIMAQ)"]["bits_per_um2"]
+    assert density_advantage() > 5.0
+    # Pipelining buys throughput over the naive schedule.
+    assert schedule.pipelined_interval_s < schedule.latency_s
+    # The Fig. 8 tile count.
+    assert tiles.n_tiles == 80

@@ -1,0 +1,30 @@
+"""Extension bench: the batching crossover vs the GPU.
+
+The honest flip side of Fig. 8: under large batches the GPU amortizes
+its dispatch overhead and overtakes a single TD-AM bank; adding banks
+pushes the crossover out of reach.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ext_batch import format_batch_study, run_batch_study
+
+
+def test_ext_batch_crossover(benchmark):
+    study = run_once(benchmark, run_batch_study)
+    print()
+    print(format_batch_study(study))
+
+    by_key = {(r.batch, r.n_banks): r for r in study.records}
+    # Single queries: the Fig. 8 regime -- TD-AM wins by ~two orders.
+    single = by_key[(1, 1)]
+    assert single.gpu_per_query_s > 50 * single.tdam_per_query_s
+    # Large batches amortize the GPU's overhead past one bank...
+    crossover = study.crossover_batch(1)
+    assert crossover is not None
+    assert 100 < crossover <= 10_000
+    # ... but an 8-bank instance stays ahead at every swept batch.
+    assert study.crossover_batch(8) is None
+    # GPU per-query time is monotone non-increasing in batch size.
+    gpu_times = [by_key[(b, 1)].gpu_per_query_s
+                 for b in (1, 10, 100, 1_000, 10_000)]
+    assert all(b <= a for a, b in zip(gpu_times, gpu_times[1:]))

@@ -1,0 +1,54 @@
+"""Extension bench: hard-fault tolerance of the associative search.
+
+Sweeps defect density and measures the induced Hamming-distance error
+and best-match corruption -- the yield/repair data a test engineer needs.
+The headline: single-cell defects perturb distances by at most one LSB
+each (the TD-AM's linear delay law localizes damage), while dead rows
+need sparing.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.array import FastTDAMArray
+from repro.core.config import TDAMConfig
+from repro.core.faults import FaultInjector, FaultyTDAMArray, search_error_statistics
+
+
+def _sweep():
+    config = TDAMConfig(n_stages=64)
+    rng = np.random.default_rng(0)
+    stored = rng.integers(0, 4, size=(16, 64))
+    queries = rng.integers(0, 4, size=(20, 64))
+    rows = []
+    for n_cell_faults in (0, 2, 8, 32):
+        array = FastTDAMArray(config, n_rows=16)
+        array.write_all(stored)
+        injector = FaultInjector(config, 16, seed=n_cell_faults)
+        faults = injector.draw(
+            n_stuck_mismatch=n_cell_faults // 2,
+            n_stuck_match=n_cell_faults - n_cell_faults // 2,
+        )
+        stats = search_error_statistics(
+            FaultyTDAMArray(array, faults), queries
+        )
+        rows.append({"cell_faults": n_cell_faults, **stats})
+    return rows
+
+
+def test_ext_fault_tolerance(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print(format_table(rows, title="Extension: search error vs defect count"))
+
+    by_faults = {r["cell_faults"]: r for r in rows}
+    # A fault-free array is exact.
+    assert by_faults[0]["max_abs_error"] == 0.0
+    assert by_faults[0]["wrong_best_fraction"] == 0.0
+    # Damage is graceful: the error grows with the defect count and each
+    # defective cell moves a distance by at most one.
+    assert by_faults[2]["max_abs_error"] <= 2.0
+    assert (
+        by_faults[32]["mean_abs_error"] >= by_faults[8]["mean_abs_error"]
+    )

@@ -1,0 +1,34 @@
+"""Extension bench: quantitative vs binary similarity feedback.
+
+Quantifies the paper's Sec. II-B capability argument -- exact similarity
+values are "crucial for parameter update in some machine learning
+algorithms" -- by streaming the same task through the three feedback
+modes of the online learner.
+"""
+
+from benchmarks.conftest import run_once
+from repro.datasets.synthetic import make_isolet_like
+from repro.experiments.ext_online import format_online, run_online_study
+
+
+def test_ext_online_learning(benchmark):
+    records = run_once(
+        benchmark, run_online_study,
+        dataset=make_isolet_like(600, 300), dimension=2048,
+    )
+    print()
+    print(format_online(records))
+
+    by_mode = {r.feedback: r for r in records}
+    # The quantitative TD-AM supports learning; the binary CAM collapses.
+    assert by_mode["quantitative"].test_accuracy > 0.3
+    assert by_mode["binary"].test_accuracy < 0.15
+    gap = (
+        by_mode["quantitative"].test_accuracy
+        - by_mode["binary"].test_accuracy
+    )
+    assert gap > 0.2
+    # The software reference bounds the hardware path from above.
+    assert by_mode["exact"].test_accuracy >= (
+        by_mode["quantitative"].test_accuracy - 0.05
+    )

@@ -1,0 +1,44 @@
+"""Extension bench: retention & endurance of the deployed array.
+
+Beyond the paper's write-time Monte Carlo: how search fidelity ages, how
+the aging-aware search-line re-bias extends it, and the endurance budget
+of the 2-bit ladder.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ext_retention import (
+    format_endurance,
+    format_retention,
+    run_endurance_study,
+    run_retention_study,
+)
+
+
+def test_ext_retention(benchmark):
+    result = run_once(benchmark, run_retention_study, n_rows=12, n_queries=16)
+    print()
+    print(format_retention(result))
+
+    fresh, oldest = result.records[0], result.records[-1]
+    assert fresh.distance_rmse == 0.0 and fresh.exact_fraction == 1.0
+    # The fixed ladder degrades badly at 10 years...
+    assert oldest.distance_rmse > 1.0
+    # ... and the compensated ladder avoids the catastrophic loss.
+    assert oldest.distance_rmse_compensated < 0.5 * oldest.distance_rmse
+    # Margins shrink monotonically but stay positive over the study.
+    margins = [r.match_margin_v for r in result.records]
+    assert margins == sorted(margins, reverse=True)
+    assert margins[-1] > 0
+
+
+def test_ext_endurance(benchmark):
+    records = run_once(benchmark, run_endurance_study)
+    print()
+    print(format_endurance(records))
+
+    assert records[0].ladder_fits
+    # The full 1.2 V ladder stops fitting somewhere in the fatigue regime.
+    assert not records[-1].ladder_fits
+    # Write noise grows monotonically past the onset.
+    noises = [r.write_noise_mv for r in records]
+    assert noises == sorted(noises)

@@ -1,0 +1,37 @@
+"""Extension bench: temperature robustness with replica calibration.
+
+Regenerates the -40..125 C decode study: the fixed 300 K calibration
+mis-decodes by tens of counts at the extremes while the replica-chain
+self-calibration stays exact (up to one TDC quantization LSB where d_C
+shrinks toward the counter period).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ext_temperature import (
+    format_temperature,
+    run_temperature_study,
+)
+
+
+def test_ext_temperature(benchmark):
+    records = run_once(benchmark, run_temperature_study)
+    print()
+    print(format_temperature(records))
+
+    by_temp = {round(r.temperature_k): r for r in records}
+    room = by_temp[298]
+    hot = by_temp[398]
+    cold = by_temp[233]
+    # At the calibration point both decodes are exact.
+    assert room.fixed_exact_fraction == 1.0
+    assert room.replica_exact_fraction == 1.0
+    # The fixed calibration breaks badly at the extremes...
+    assert hot.fixed_max_error >= 10
+    assert cold.fixed_max_error >= 10
+    # ... while the replica chain holds the decode together.
+    assert hot.replica_max_error == 0
+    assert cold.replica_max_error <= 1
+    assert cold.replica_exact_fraction > 0.9
+    # The underlying physics: d_C drifts by double-digit percents.
+    assert abs(hot.d_c_drift) > 0.2
+    assert abs(cold.d_c_drift) > 0.2

@@ -1,0 +1,27 @@
+"""Bench: Fig. 1(c)(d) -- FeFET I_D-V_G curves and device-to-device spread.
+
+Regenerates the per-state V_TH statistics behind the measured-device plot
+and checks that the four programmed states stay separated.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.devices.variation import MEASURED_VTH_SIGMA_MV
+from repro.experiments.fig1_device import format_fig1, run_fig1
+
+
+def test_fig1_device_iv(benchmark):
+    result = run_once(benchmark, run_fig1, n_devices=30, n_points=31)
+    print()
+    print(format_fig1(result))
+
+    # Shape checks: four distinct states, correct ordering at mid bias,
+    # ensemble statistics near the measured sigmas.
+    mid = np.argmin(np.abs(result.vg - 0.8))
+    at_bias = result.model_curves[:, mid]
+    assert (np.diff(at_bias) < 0).all()
+    for stat in result.vth_stats:
+        state = int(stat["state"])
+        measured = MEASURED_VTH_SIGMA_MV[state] * 1e-3
+        assert abs(stat["std_v"] - measured) < 0.6 * measured + 0.003

@@ -1,0 +1,23 @@
+"""Bench: Fig. 2(d-f) -- IMC-cell match/mismatch transients.
+
+Regenerates the stored-'1' vs inputs 0/1/2 experiment on the transient
+backend and checks the match-node outcomes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2_cell import format_fig2, run_fig2
+
+
+def test_fig2_cell_transients(benchmark):
+    result = run_once(benchmark, run_fig2, stored=1, queries=(0, 1, 2),
+                      dt=4e-12)
+    print()
+    print(format_fig2(result))
+
+    by_query = {c.query: c for c in result.cases}
+    assert not by_query[0].mn_high and by_query[0].conducting == "FB"
+    assert by_query[1].mn_high
+    assert not by_query[2].mn_high and by_query[2].conducting == "FA"
+    # Discharged match nodes sit near ground, held ones near V_DD.
+    assert by_query[0].mn_final_v < 0.1
+    assert by_query[1].mn_final_v > result.vdd - 0.1

@@ -1,0 +1,58 @@
+"""Bench: Fig. 4 -- delay-chain transients and delay/mismatch linearity.
+
+Regenerates both panels: the transient-measured edge delays of a short
+chain (Fig. 4(a)(b) equivalent) and the full 32-stage analytic linearity
+sweep (Fig. 4(c)).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4_linearity import format_fig4, run_fig4
+
+
+def test_fig4c_linearity_analytic(benchmark):
+    result = run_once(
+        benchmark, run_fig4, n_stages=32, backend="analytic",
+        mismatch_counts=range(0, 33, 4),
+    )
+    print()
+    print(format_fig4(result))
+    assert result.r_squared > 0.999999
+    slope, intercept = result.linear_fit
+    assert slope > 0
+    # The intercept is the intrinsic 2-step offset: 2 * N * d_INV.
+    assert intercept > 0
+
+
+def test_fig4ab_transient_edges(benchmark):
+    result = run_once(
+        benchmark, run_fig4, n_stages=8, backend="transient",
+        mismatch_counts=(0, 2, 4, 6, 8), dt=4e-12,
+    )
+    print()
+    print(format_fig4(result))
+    assert result.r_squared > 0.98
+    # More mismatched even stages -> later rising edge (Fig. 4(a)).
+    assert (result.delays_rising_s[1:] >= result.delays_rising_s[:-1]).all()
+
+
+def test_fig4a_waveform_panel(benchmark):
+    """The actual Fig. 4(a) experiment at paper scale: full 32-stage
+    transients with the output edge marching out by d_C per mismatch."""
+    from repro.experiments.fig4_linearity import run_fig4_waveforms
+
+    result = run_once(
+        benchmark, run_fig4_waveforms,
+        n_stages=32, mismatch_counts=(0, 8, 16), dt=4e-12,
+    )
+    print("\nFig. 4(a): output-edge times vs even-stage mismatches")
+    for count, t_edge in zip(result.mismatch_counts, result.edge_times_s):
+        print(f"  {count:2d} mismatches -> edge at {t_edge * 1e12:7.1f} ps")
+
+    import numpy as np
+
+    increments = np.diff(result.edge_times_s) / np.diff(
+        result.mismatch_counts.astype(float)
+    )
+    # Strictly marching edges with a constant per-mismatch increment.
+    assert (np.diff(result.edge_times_s) > 0).all()
+    assert increments.std() / increments.mean() < 0.05

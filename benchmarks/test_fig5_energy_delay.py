@@ -1,0 +1,46 @@
+"""Bench: Fig. 5 -- energy/delay vs (C_load, N) grid and V_DD scaling."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_energy_delay import (
+    format_fig5_ab,
+    format_fig5_cd,
+    run_fig5_ab,
+    run_fig5_cd,
+)
+
+
+def test_fig5ab_cap_stage_grid(benchmark):
+    result = run_once(benchmark, run_fig5_ab)
+    print()
+    print(format_fig5_ab(result))
+
+    energy = result.energy_grid()
+    delay = result.delay_grid()
+    # Monotone in both axes.
+    assert (np.diff(energy, axis=0) > 0).all()
+    assert (np.diff(energy, axis=1) > 0).all()
+    assert (np.diff(delay, axis=0) > 0).all()
+    # Diagonal contours: E(2C, N) ~ E(C, 2N) in the load-dominated regime.
+    i = result.c_loads_f.index(96e-15)
+    j = result.stage_counts.index(16)
+    assert energy[i + 1, j] == pytest.approx(energy[i, j + 1], rel=0.2)
+
+
+def test_fig5cd_vdd_scaling(benchmark):
+    result = run_once(
+        benchmark, run_fig5_cd,
+        vdds=np.linspace(0.5, 1.1, 13), stage_counts=(32, 64, 128),
+    )
+    print()
+    print(format_fig5_cd(result))
+
+    # Energy drops substantially with V_DD, delay rises.
+    assert result.energy_j[0, 0] < 0.25 * result.energy_j[-1, 0]
+    assert result.latency_s[0, 0] > result.latency_s[-1, 0]
+    # Best efficiency lands near the paper's 0.159 fJ/bit headline.
+    best, vdd, _ = result.best_energy_per_bit()
+    assert best * 1e15 < 0.2
+    assert vdd <= 0.6

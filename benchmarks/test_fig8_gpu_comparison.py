@@ -1,0 +1,34 @@
+"""Bench: Fig. 8 -- TD-AM system vs GPU speedup and energy efficiency."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_gpu_comparison import format_fig8, run_fig8
+
+
+def test_fig8_gpu_comparison(benchmark):
+    result = run_once(
+        benchmark, run_fig8, dimensions=(512, 1024, 2048, 5120, 10240)
+    )
+    print()
+    print(format_fig8(result))
+
+    # Small-D speedups land in the paper's 194x..287x band (loose).
+    lo, hi = result.speedup_range_at(512)
+    assert 150 < lo and hi < 350
+    # Attenuation to the paper's 11.65x average at the highest D.
+    assert result.average_speedup_at(10240) == pytest.approx(11.65, rel=0.5)
+    # Energy efficiency: thousands at small D, ~303x average at high D.
+    assert 4000 < result.average_efficiency_at(512) < 8000
+    assert result.average_efficiency_at(10240) == pytest.approx(303, rel=0.3)
+
+
+def test_fig8_precision_parity_point(benchmark):
+    """The paper's 3-4 bit / 1024-D point: 124.8x speedup, 2837x energy."""
+    result = run_once(benchmark, run_fig8, dimensions=(1024,), bits=4)
+    speedup = result.average_speedup_at(1024)
+    efficiency = result.average_efficiency_at(1024)
+    print(f"\n3-4 bit @ 1024-D: speedup {speedup:.1f}x (paper 124.8x), "
+          f"energy efficiency {efficiency:.0f}x (paper 2837x)")
+    assert speedup == pytest.approx(124.8, rel=0.25)
+    assert efficiency == pytest.approx(2837, rel=0.25)

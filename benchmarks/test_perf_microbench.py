@@ -1,0 +1,64 @@
+"""Performance micro-benchmarks of the hot paths.
+
+Unlike the figure benches (one pedantic round each), these use real
+pytest-benchmark statistics so performance regressions in the core data
+paths are visible: the vectorized array search, the analytic cost model,
+the encoder, and the vectorized transient step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.array import FastTDAMArray
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.netlist_builder import build_chain_circuit
+from repro.hdc.encoder import RandomProjectionEncoder
+from repro.spice.transient import simulate
+
+FIG8 = TDAMConfig.fig8_system()
+
+
+@pytest.fixture(scope="module")
+def loaded_array():
+    array = FastTDAMArray(FIG8, n_rows=26)
+    rng = np.random.default_rng(1)
+    array.write_all(rng.integers(0, 4, size=(26, 128)))
+    return array, rng.integers(0, 4, size=128)
+
+
+def test_perf_fast_array_search(benchmark, loaded_array):
+    """One Fig. 8-shaped tile search (26 rows x 128 stages)."""
+    array, query = loaded_array
+    result = benchmark(array.search, query)
+    assert result.hamming_distances.shape == (26,)
+
+
+def test_perf_analytic_cost_model(benchmark):
+    """Full search-cost evaluation at one design point."""
+    model = TimingEnergyModel(FIG8)
+    cost = benchmark(model.search_cost, 64)
+    assert cost.energy_j > 0
+
+
+def test_perf_encoder(benchmark):
+    """Encoding a 64-sample batch into D=2048."""
+    encoder = RandomProjectionEncoder(617, 2048, seed=0)
+    batch = np.random.default_rng(2).normal(size=(64, 617)).astype(np.float32)
+    encoded = benchmark(encoder.encode, batch)
+    assert encoded.shape == (64, 2048)
+
+
+def test_perf_transient_chain_step(benchmark):
+    """A short vectorized transient (4-stage chain, 100 steps)."""
+    config = TDAMConfig(n_stages=4)
+    net = build_chain_circuit(
+        config, [0] * 4, [1, 0, 1, 0], rng=np.random.default_rng(1)
+    )
+
+    def run():
+        return simulate(net.circuit, t_stop=0.4e-9, dt=4e-12,
+                        v_init=net.v_init)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.newton_iterations > 0

@@ -1,0 +1,55 @@
+"""Robustness bench: the Fig. 7 trends hold across dataset replications.
+
+The datasets are synthetic (DESIGN.md section 2), so the qualitative
+claims must not hinge on one lucky draw: this bench regenerates the
+accuracy sweep with re-seeded datasets and re-asserts the trends on
+every replication.
+"""
+
+from benchmarks.conftest import run_once
+from repro.datasets.synthetic import standard_suite
+from repro.experiments.fig7_hdc_accuracy import run_fig7
+
+
+def _run_replications():
+    results = []
+    for seed_offset in (0, 100):
+        datasets = standard_suite(scale=0.25, seed_offset=seed_offset)
+        results.append(
+            run_fig7(
+                dimensions=(512, 2048, 10240),
+                precisions=(1, 2, 4, 32),
+                datasets=datasets,
+                epochs=4,
+                include_hamming=False,
+            )
+        )
+    return results
+
+
+def test_fig7_trends_replicate(benchmark):
+    replications = run_once(benchmark, _run_replications)
+
+    for rep, result in enumerate(replications):
+        label = f"replication {rep}"
+        for ds in ("isolet", "ucihar", "face"):
+            # Accuracy grows with dimension at every precision.
+            for bits in (1, 2, 4, 32):
+                low = result.accuracy(ds, 512, bits)
+                high = result.accuracy(ds, 10240, bits)
+                assert high > low - 0.02, (label, ds, bits)
+            # More bits never hurt much at the smallest dimension.
+            assert (
+                result.accuracy(ds, 512, 4)
+                >= result.accuracy(ds, 512, 1) - 0.03
+            ), (label, ds)
+            # 4-bit tracks the 32-bit reference at the largest dimension.
+            gap = result.accuracy(ds, 10240, 32) - result.accuracy(ds, 10240, 4)
+            assert gap < 0.05, (label, ds)
+        print(
+            f"\n{label}: isolet@512 "
+            f"1b={result.accuracy('isolet', 512, 1):.2f} "
+            f"4b={result.accuracy('isolet', 512, 4):.2f} "
+            f"32b={result.accuracy('isolet', 512, 32):.2f}; "
+            f"@10240 1b={result.accuracy('isolet', 10240, 1):.2f}"
+        )

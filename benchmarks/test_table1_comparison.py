@@ -1,0 +1,23 @@
+"""Bench: Table I -- comparison with state-of-the-art TD-IMC designs."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1_comparison import format_table1, run_table1
+
+
+def test_table1_comparison(benchmark):
+    rows = run_once(benchmark, run_table1)
+    print()
+    print(format_table1(rows))
+
+    by_name = {r.design.name: r for r in rows}
+    # The proposed design's measured energy/bit vs the paper's 0.159 fJ.
+    ours = by_name["This work"].design
+    assert ours.energy_per_bit_fj == pytest.approx(0.159, rel=0.1)
+    # The paper's headline multipliers.
+    assert by_name["JSSC'21 (TIMAQ)"].energy_ratio == pytest.approx(13.84, rel=0.1)
+    assert by_name["Work [24]"].energy_ratio == pytest.approx(1.47, rel=0.1)
+    assert by_name["16T TCAM"].energy_ratio == pytest.approx(3.71, rel=0.1)
+    assert by_name["Nat. Electron.'19"].energy_ratio == pytest.approx(2.52, rel=0.1)
+    assert by_name["IEDM'21"].energy_ratio == pytest.approx(0.245, rel=0.1)

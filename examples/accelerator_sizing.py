@@ -1,0 +1,50 @@
+"""Sizing a multi-bank TD-AM accelerator for a deployment target.
+
+Walks the full deployment flow: pick the model shape (ISOLET-like, 26
+classes at D = 10240), set a latency target, let the sizer choose the
+bank count, and inspect the resulting latency / throughput / energy /
+area / model-load budget -- including what a stricter target costs.
+
+Run:
+    python examples/accelerator_sizing.py
+"""
+
+from repro.core.config import TDAMConfig
+from repro.hdc.accelerator import AcceleratorModel, AcceleratorSpec, size_accelerator
+
+def show(model: AcceleratorModel) -> None:
+    s = model.summary()
+    print(
+        f"  {model.spec.n_banks:3d} banks | "
+        f"{s['latency_us'] * 1e3:7.1f} ns/query | "
+        f"{s['throughput_qps'] / 1e6:6.2f} Mq/s | "
+        f"{s['energy_nj']:6.1f} nJ | "
+        f"{s['area_mm2'] * 1e3:6.1f} kum^2 | "
+        f"load {s['model_load_ms']:.2f} ms"
+    )
+
+def main() -> None:
+    config = TDAMConfig(bits=2, n_stages=128, vdd=0.6)
+    dimension, n_classes, n_features = 10240, 26, 617
+    print(f"model: {n_classes} classes x D={dimension} "
+          f"({dimension // 128} tiles of 128 stages)\n")
+
+    print("bank-count scaling:")
+    for n_banks in (1, 2, 4, 8, 16, 80):
+        spec = AcceleratorSpec(config, n_banks, n_classes, dimension,
+                               n_features)
+        show(AcceleratorModel(spec))
+
+    for target_ns in (1000, 300, 100):
+        try:
+            model = size_accelerator(
+                target_ns * 1e-9, dimension, n_classes, n_features,
+                config=config,
+            )
+            print(f"\ntarget {target_ns} ns -> {model.spec.n_banks} banks "
+                  f"({model.query_latency_s() * 1e9:.0f} ns achieved)")
+        except ValueError as error:
+            print(f"\ntarget {target_ns} ns -> infeasible: {error}")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Design-space exploration of the TD-AM (energy / latency / area).
+
+Evaluates the (V_DD, C_load, chain length) grid with the analytic models,
+extracts the Pareto front, and picks balanced operating points for two
+application profiles -- how a designer would use this library to size a
+real instance.
+
+Run:
+    python examples/design_space_exploration.py
+"""
+
+from repro.analysis.pareto import (
+    evaluate_design_space,
+    knee_point,
+    pareto_front,
+)
+
+def describe(point) -> str:
+    c = point.config
+    return (
+        f"V_DD={c.vdd:.1f}V C={c.c_load_f * 1e15:4.0f}fF N={c.n_stages:3d} | "
+        f"{point.energy_per_bit_j * 1e15:6.3f} fJ/bit  "
+        f"{point.latency_s * 1e9:7.2f} ns  "
+        f"{point.area_um2:8.0f} um^2"
+    )
+
+def main() -> None:
+    points = evaluate_design_space(
+        vdds=(0.6, 0.7, 0.8, 0.9, 1.1),
+        c_loads_f=(3e-15, 6e-15, 12e-15, 24e-15),
+        stage_counts=(32, 64, 128),
+    )
+    feasible = [p for p in points if p.tdc_feasible]
+    front = pareto_front(points)
+    print(f"evaluated {len(points)} design points "
+          f"({len(feasible)} TDC-feasible); Pareto front has {len(front)}:\n")
+    for point in sorted(front, key=lambda p: p.energy_per_bit_j):
+        print("  " + describe(point))
+
+    balanced = knee_point(front)
+    print("\nbalanced choice (equal log-weights):")
+    print("  " + describe(balanced))
+
+    energy_first = knee_point(front, weights={"energy_per_bit_j": 3.0})
+    print("energy-constrained profile (edge / implantable):")
+    print("  " + describe(energy_first))
+
+    latency_first = knee_point(front, weights={"latency_s": 3.0})
+    print("latency-constrained profile (inference server):")
+    print("  " + describe(latency_first))
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Genomic pattern matching on the TD-AM (HDGIM-style workload).
+
+The paper's references include hyperdimensional genome-sequence matching
+on FeFET arrays [41].  This example builds the full path: DNA reference
+patterns are n-gram-encoded into hypervectors, quantized to 2-bit levels,
+stored in TD-AM rows, and noisy reads (mutated copies) are identified by
+the array's quantitative Hamming search.
+
+Run:
+    python examples/genomic_matching.py
+"""
+
+import numpy as np
+
+from repro.core.config import TDAMConfig
+from repro.hdc.mapping import TDAMInference
+from repro.hdc.quantize import quantize_equal_area
+from repro.hdc.sequence import (
+    SequenceEncoder,
+    SequenceMatcher,
+    mutate_sequence,
+    random_sequence,
+)
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    n_references, length, bits = 12, 200, 2
+
+    encoder = SequenceEncoder(dimension=2048, seed=5)
+    references = [random_sequence(length, rng=rng) for _ in range(n_references)]
+    matcher = SequenceMatcher(encoder, references)
+    print(f"{n_references} reference patterns of {length} bases, "
+          f"{encoder.n}-gram encoding into D={encoder.dimension}")
+
+    # Deploy the reference bank on a TD-AM system.
+    bank = quantize_equal_area(matcher._bank, bits)
+    config = TDAMConfig(bits=bits, n_stages=128, vdd=0.6)
+    inference = TDAMInference(bank, config=config, n_features=length)
+    cost = inference.query_cost()
+    print(f"TD-AM deployment: {inference.tiles} tiles, "
+          f"{cost.latency_s * 1e9:.0f} ns / query, "
+          f"{cost.energy_j * 1e9:.1f} nJ / query\n")
+
+    # Identify mutated reads at increasing error rates.
+    print(f"{'mutations':>10} {'software':>9} {'TD-AM':>6}")
+    for n_mutations in (0, 10, 20, 40, 60):
+        sw_hits = hw_hits = 0
+        trials = 24
+        for _ in range(trials):
+            target = int(rng.integers(n_references))
+            read = mutate_sequence(references[target], n_mutations, rng=rng)
+            sw_hits += matcher.match(read).best_index == target
+            query = bank.quantize_queries(encoder.encode(read)[None, :])
+            hw_hits += int(inference.predict(query)[0]) == target
+        print(f"{n_mutations:>10} {sw_hits / trials:>9.2f} "
+              f"{hw_hits / trials:>6.2f}")
+
+    print("\nBoth paths identify reads well past a 10% mutation rate; the "
+          "TD-AM does it in one associative search per 128-element tile.")
+
+if __name__ == "__main__":
+    main()

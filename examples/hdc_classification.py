@@ -1,0 +1,59 @@
+"""HDC classification on the TD-AM: the paper's Sec. IV-B pipeline.
+
+Trains a full-precision HDC model on an ISOLET-like workload, quantizes
+the class hypervectors into 2-bit equal-area levels, maps inference onto
+a 128-stage/0.6 V TD-AM system, and reports accuracy plus the
+architecture-level latency/energy against the GPU cost model.
+
+Run:
+    python examples/hdc_classification.py
+"""
+
+from repro.baselines.gpu import GPUCostModel, GPUWorkload
+from repro.core.config import TDAMConfig
+from repro.datasets import make_isolet_like
+from repro.hdc import (
+    HDCClassifier,
+    RandomProjectionEncoder,
+    TDAMInference,
+    quantize_equal_area,
+)
+
+def main() -> None:
+    ds = make_isolet_like(n_train=1200, n_test=600)
+    print(ds)
+
+    dimension, bits = 2048, 2
+    encoder = RandomProjectionEncoder(ds.n_features, dimension, seed=7)
+    model = HDCClassifier(encoder, ds.n_classes)
+    model.fit(ds.x_train, ds.y_train, epochs=8)
+    acc32 = model.accuracy(ds.x_test, ds.y_test)
+    print(f"\n32-bit reference accuracy (cosine): {acc32:.3f}")
+
+    quantized = quantize_equal_area(model.prototypes, bits)
+    queries = model.encode(ds.x_test)
+    acc_q = quantized.accuracy_cosine(queries, ds.y_test)
+    print(f"{bits}-bit quantized-model accuracy:    {acc_q:.3f}")
+
+    # Map onto the paper's Fig. 8 system point: 128 stages at 0.6 V.
+    config = TDAMConfig(bits=bits, n_stages=128, vdd=0.6)
+    inference = TDAMInference(quantized, config=config, n_features=ds.n_features)
+    acc_hw = inference.accuracy(quantized.quantize_queries(queries), ds.y_test)
+    cost = inference.query_cost()
+    print(f"TD-AM hardware (Hamming) accuracy:  {acc_hw:.3f}")
+    print(f"\nTD-AM system: {inference.tiles} tiles of 128 stages")
+    print(f"  latency per query: {cost.latency_s * 1e9:.1f} ns")
+    print(f"  energy per query:  {cost.energy_j * 1e9:.2f} nJ "
+          f"(encode {cost.encode_energy_j * 1e9:.2f} nJ, "
+          f"search {cost.search_energy_j * 1e12:.1f} pJ)")
+
+    gpu = GPUCostModel()
+    workload = GPUWorkload(dimension=dimension, n_classes=ds.n_classes,
+                           n_features=ds.n_features)
+    speedup = gpu.per_query_time_s(workload) / cost.latency_s
+    efficiency = gpu.per_query_energy_j(workload) / cost.energy_j
+    print(f"\nvs. {gpu.name}: {speedup:.0f}x speedup, "
+          f"{efficiency:.0f}x energy efficiency")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: write vectors into a TD-AM array and search.
+
+Demonstrates the core public API: configure a design point, program
+stored vectors, run a parallel similarity search, and read the decoded
+Hamming distances, delays, and energy.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TDAMArray, TDAMConfig
+
+def main() -> None:
+    # The paper's design point: 2-bit elements, 32-stage chains.
+    config = TDAMConfig(bits=2, n_stages=32)
+    print(config.describe())
+
+    rng = np.random.default_rng(0)
+    array = TDAMArray(config, n_rows=4, rng=rng)
+
+    # Store four 32-element vectors with 2-bit elements (values 0..3).
+    stored = rng.integers(0, config.levels, size=(4, config.n_stages))
+    array.write_all(stored)
+
+    # Query with a corrupted copy of row 2 (five elements flipped).
+    query = stored[2].copy()
+    flip = rng.choice(config.n_stages, size=5, replace=False)
+    query[flip] = (query[flip] + 1) % config.levels
+
+    result = array.search(query)
+    print("\nPer-row results:")
+    for row in range(array.n_rows):
+        print(
+            f"  row {row}: delay = {result.delays_s[row] * 1e12:7.1f} ps, "
+            f"TDC count = {result.counts[row]:3d}, "
+            f"Hamming distance = {result.hamming_distances[row]:2d}"
+        )
+    print(f"\nbest match: row {result.best_row} (expected 2)")
+    print(f"search latency: {result.latency_s * 1e12:.1f} ps")
+    print(f"search energy:  {result.energy_j * 1e15:.1f} fJ")
+    assert result.best_row == 2
+    assert result.hamming_distances[2] == 5
+
+if __name__ == "__main__":
+    main()

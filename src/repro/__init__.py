@@ -1,0 +1,60 @@
+"""Reproduction of the DATE 2024 paper "A FeFET-based Time-Domain
+Associative Memory for Multi-bit Similarity Computation".
+
+The package is organized in layers, bottom-up:
+
+- :mod:`repro.devices` -- behavioral device models (multi-domain Preisach
+  FeFET, square-law MOSFETs, variation models).
+- :mod:`repro.spice` -- a small nonlinear transient circuit simulator used
+  for waveform-level validation and calibration.
+- :mod:`repro.core` -- the paper's contribution: the 2-FeFET multi-bit IMC
+  cell, the variable-capacitance delay stage and chain, the TD-AM array,
+  sensing, and the analytic energy/latency model.
+- :mod:`repro.baselines` -- energy/capability models of the comparison
+  designs in Table I plus a GPU cost model.
+- :mod:`repro.hdc` -- a hyperdimensional-computing classification stack
+  (encoding, training, class-hypervector quantization) and the mapping of
+  HDC inference onto TD-AM tiles.
+- :mod:`repro.datasets` -- seeded synthetic stand-ins for the ISOLET,
+  UCIHAR and FACE datasets.
+- :mod:`repro.analysis` -- sweep helpers and text rendering of the paper's
+  tables and figure series.
+- :mod:`repro.experiments` -- one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import TDAMArray, TDAMConfig
+    import numpy as np
+
+    config = TDAMConfig(bits=2, n_stages=32)
+    array = TDAMArray(config, n_rows=4)
+    array.write(0, np.array([1, 2, 3, 0] * 8))
+    result = array.search(np.array([1, 2, 3, 0] * 8))
+    print(result.hamming_distances)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["TDAMArray", "TDAMConfig", "SearchResult", "__version__"]
+
+_LAZY_EXPORTS = {
+    "TDAMArray": ("repro.core.array", "TDAMArray"),
+    "SearchResult": ("repro.core.array", "SearchResult"),
+    "TDAMConfig": ("repro.core.config", "TDAMConfig"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve top-level re-exports.
+
+    Keeps ``import repro.devices`` cheap (no circuit-layer import cost) while
+    still offering ``from repro import TDAMArray``.
+    """
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

@@ -1,0 +1,26 @@
+"""Sweep helpers, statistics, and text rendering of tables/figure series."""
+
+from repro.analysis.pareto import (
+    DesignPoint,
+    evaluate_design_space,
+    knee_point,
+    pareto_front,
+)
+from repro.analysis.reporting import (
+    format_engineering,
+    format_series,
+    format_table,
+)
+from repro.analysis.sweeps import SweepResult, grid_sweep
+
+__all__ = [
+    "grid_sweep",
+    "SweepResult",
+    "format_table",
+    "format_series",
+    "format_engineering",
+    "DesignPoint",
+    "evaluate_design_space",
+    "pareto_front",
+    "knee_point",
+]

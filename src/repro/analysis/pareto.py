@@ -1,0 +1,140 @@
+"""Design-space exploration: metric evaluation and Pareto extraction.
+
+The paper's Sec. IV-A discusses the trade between delay, energy, sensing
+complexity and application requirements without formalizing it.  This
+module does the formalization a downstream user needs: evaluate a grid
+of design points on (energy, latency, area) and extract the Pareto-
+efficient subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.area import tdam_area
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.sensing import CounterTDC
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated design point.
+
+    Attributes:
+        config: The configuration evaluated.
+        energy_per_bit_j: Search energy per compared bit.
+        latency_s: Worst-case chain search delay.
+        area_um2: Array area at the given row count.
+        tdc_feasible: Whether the counter TDC resolves one mismatch.
+    """
+
+    config: TDAMConfig
+    energy_per_bit_j: float
+    latency_s: float
+    area_um2: float
+    tdc_feasible: bool
+
+    def metrics(self) -> Dict[str, float]:
+        """The minimized metric vector."""
+        return {
+            "energy_per_bit_j": self.energy_per_bit_j,
+            "latency_s": self.latency_s,
+            "area_um2": self.area_um2,
+        }
+
+
+def evaluate_design_space(
+    vdds: Sequence[float] = (0.6, 0.8, 1.1),
+    c_loads_f: Sequence[float] = (3e-15, 6e-15, 12e-15, 24e-15),
+    stage_counts: Sequence[int] = (32, 64, 128),
+    bits: int = 2,
+    n_rows: int = 64,
+    base: Optional[TDAMConfig] = None,
+) -> List[DesignPoint]:
+    """Evaluate the (V_DD, C_load, N) grid.
+
+    Returns one :class:`DesignPoint` per combination, all row counts
+    equalized so area numbers compare.
+    """
+    base = base or TDAMConfig(bits=bits)
+    points: List[DesignPoint] = []
+    for vdd in vdds:
+        for c_load in c_loads_f:
+            for n_stages in stage_counts:
+                config = base.with_(
+                    vdd=float(vdd), c_load_f=float(c_load),
+                    n_stages=int(n_stages),
+                )
+                model = TimingEnergyModel(config)
+                tdc = CounterTDC(config, model)
+                points.append(
+                    DesignPoint(
+                        config=config,
+                        energy_per_bit_j=model.energy_per_bit(),
+                        latency_s=model.chain_delay(config.n_stages),
+                        area_um2=tdam_area(config, n_rows).total_um2,
+                        tdc_feasible=tdc.resolution_ok,
+                    )
+                )
+    return points
+
+
+def pareto_front(
+    points: Sequence[DesignPoint],
+    require_feasible: bool = True,
+) -> List[DesignPoint]:
+    """Pareto-efficient subset under (energy, latency, area) minimization.
+
+    Args:
+        points: Evaluated design points.
+        require_feasible: Drop points whose TDC cannot resolve one
+            mismatch before extracting the front.
+
+    Returns:
+        The non-dominated points, in the input order.
+    """
+    candidates = [
+        p for p in points if p.tdc_feasible or not require_feasible
+    ]
+    if not candidates:
+        raise ValueError("no feasible design points")
+    metrics = np.array(
+        [[p.energy_per_bit_j, p.latency_s, p.area_um2] for p in candidates]
+    )
+    keep: List[DesignPoint] = []
+    for i, point in enumerate(candidates):
+        dominated = (
+            (metrics <= metrics[i]).all(axis=1)
+            & (metrics < metrics[i]).any(axis=1)
+        ).any()
+        if not dominated:
+            keep.append(point)
+    return keep
+
+
+def knee_point(
+    front: Sequence[DesignPoint],
+    weights: Optional[Mapping[str, float]] = None,
+) -> DesignPoint:
+    """A balanced pick from the front: minimal weighted log-metric sum.
+
+    Log-scaling makes the trade scale-free (halving energy counts the
+    same as halving latency); weights re-balance if an application cares
+    more about one axis.
+    """
+    if not front:
+        raise ValueError("empty Pareto front")
+    weights = dict(weights or {})
+    keys = ("energy_per_bit_j", "latency_s", "area_um2")
+    w = np.array([weights.get(k, 1.0) for k in keys])
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    scores = []
+    for point in front:
+        m = point.metrics()
+        scores.append(sum(wi * np.log(m[k]) for wi, k in zip(w, keys)))
+    return front[int(np.argmin(scores))]

@@ -1,0 +1,89 @@
+"""Plain-text rendering of tables and figure series.
+
+The reproduction's "figures" are printed as aligned numeric series (one
+row per x-value, one column per curve) so the benchmark harness can
+regenerate every table and figure as text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+#: SI prefixes for engineering notation, exponent -> symbol.
+_SI_PREFIXES = {
+    -15: "f", -12: "p", -9: "n", -6: "u", -3: "m", 0: "", 3: "k",
+    6: "M", 9: "G", 12: "T",
+}
+
+
+def format_engineering(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format a value with an SI prefix (e.g. ``1.23e-12 -> 1.23 ps``)."""
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    exponent = -15
+    for e in sorted(_SI_PREFIXES):
+        if magnitude >= 10.0 ** e:
+            exponent = e
+    scaled = value / 10.0**exponent
+    return f"{scaled:.{digits}g} {_SI_PREFIXES[exponent]}{unit}".rstrip()
+
+
+def format_table(
+    records: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    floatfmt: str = ".4g",
+    title: str = "",
+) -> str:
+    """Render records as an aligned text table.
+
+    Args:
+        records: One mapping per row.
+        columns: Column order; defaults to the keys of the first record.
+        floatfmt: Format spec applied to float values.
+        title: Optional heading line.
+    """
+    if not records:
+        raise ValueError("no records to format")
+    columns = list(columns) if columns else list(records[0].keys())
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    rows = [[cell(r.get(c, "")) for c in columns] for r in records]
+    widths = [
+        max(len(columns[i]), *(len(row[i]) for row in rows))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    curves: Mapping[str, Sequence[float]],
+    floatfmt: str = ".4g",
+    title: str = "",
+) -> str:
+    """Render figure curves: one row per x value, one column per curve."""
+    for name, ys in curves.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"curve {name!r} has {len(ys)} points, expected {len(x_values)}"
+            )
+    records: List[Dict[str, Any]] = []
+    for i, x in enumerate(x_values):
+        record: Dict[str, Any] = {x_label: x}
+        for name, ys in curves.items():
+            record[name] = float(ys[i])
+        records.append(record)
+    return format_table(records, floatfmt=floatfmt, title=title)

@@ -1,0 +1,78 @@
+"""Parameter-sweep machinery for the evaluation figures."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass
+class SweepResult:
+    """The records of one grid sweep.
+
+    Attributes:
+        axes: Name -> swept values, in declaration order.
+        records: One dict per grid point, containing the axis values plus
+            whatever the evaluation function returned.
+    """
+
+    axes: Dict[str, List[Any]]
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    def column(self, key: str) -> np.ndarray:
+        """One column across all records as an array."""
+        try:
+            return np.array([r[key] for r in self.records])
+        except KeyError:
+            known = sorted({k for r in self.records for k in r})
+            raise KeyError(f"no column {key!r}; known: {known}") from None
+
+    def grid(self, value_key: str) -> np.ndarray:
+        """Reshape a column onto the sweep grid (axis order = declaration)."""
+        shape = tuple(len(v) for v in self.axes.values())
+        return self.column(value_key).reshape(shape)
+
+    def where(self, **conditions: Any) -> List[Dict[str, Any]]:
+        """Records matching all given axis values."""
+        out = []
+        for record in self.records:
+            if all(record.get(k) == v for k, v in conditions.items()):
+                out.append(record)
+        return out
+
+
+def grid_sweep(
+    axes: Mapping[str, Sequence[Any]],
+    evaluate: Callable[..., Mapping[str, Any]],
+) -> SweepResult:
+    """Evaluate a function over the cartesian product of axis values.
+
+    Args:
+        axes: Ordered mapping of axis name -> values.
+        evaluate: Called with one keyword per axis; must return a mapping
+            of result fields (merged with the axis values into a record).
+
+    Returns:
+        A :class:`SweepResult` with one record per grid point, in
+        row-major order of the declared axes.
+    """
+    axes = {k: list(v) for k, v in axes.items()}
+    if not axes:
+        raise ValueError("at least one sweep axis is required")
+    for name, values in axes.items():
+        if not values:
+            raise ValueError(f"axis {name!r} has no values")
+    result = SweepResult(axes=axes)
+    names = list(axes)
+    for point in itertools.product(*axes.values()):
+        kwargs = dict(zip(names, point))
+        fields = dict(evaluate(**kwargs))
+        overlap = set(fields) & set(kwargs)
+        if overlap:
+            raise ValueError(f"evaluate() returned reserved keys: {sorted(overlap)}")
+        record = {**kwargs, **fields}
+        result.records.append(record)
+    return result

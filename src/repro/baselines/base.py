@@ -1,0 +1,63 @@
+"""Common interface of the Table I comparison designs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SCType(enum.Enum):
+    """The kind of similarity computation a design supports."""
+
+    HAMMING_NON_QUANTITATIVE = "Hamming distance, non-quantitative"
+    HAMMING_QUANTITATIVE = "Hamming distance, quantitative"
+    MAC_COSINE_QUANTITATIVE = "MAC/Cosine distance, quantitative"
+    MAC_HAMMING_QUANTITATIVE = "MAC/Hamming distance, quantitative"
+
+
+@dataclass(frozen=True)
+class BaselineDesign:
+    """Published characteristics of one comparison design.
+
+    Attributes:
+        name: Short identifier used in tables.
+        reference: Citation label of the paper's Table I.
+        signal_domain: "Voltage" or "Time".
+        device: Storage/computation device technology.
+        cell_size: Cell or stage composition (e.g. "16T", "2FeFET").
+        sc_type: Supported similarity-computation kind.
+        energy_per_bit_fj: Published search/compute energy per bit (fJ).
+        technology_nm: Process node (nm).
+        quantitative: Whether the design outputs an exact similarity
+            value (required e.g. for learning-algorithm parameter updates).
+        multibit: Whether vector elements beyond 1 bit are supported.
+        notes: Caveats (e.g. the IEDM'21 14 nm measurement conditions).
+    """
+
+    name: str
+    reference: str
+    signal_domain: str
+    device: str
+    cell_size: str
+    sc_type: SCType
+    energy_per_bit_fj: float
+    technology_nm: float
+    quantitative: bool
+    multibit: bool
+    notes: str = ""
+
+    def search_energy_j(self, n_bits: int) -> float:
+        """Energy of one search/compute touching ``n_bits`` (J)."""
+        if n_bits < 0:
+            raise ValueError(f"n_bits must be >= 0, got {n_bits}")
+        return self.energy_per_bit_fj * 1e-15 * n_bits
+
+    def energy_ratio_vs(self, other_energy_per_bit_fj: float) -> float:
+        """This design's energy per bit relative to a reference value.
+
+        Matches the parenthesized multipliers of Table I (e.g. the JSSC'21
+        CMOS design is 13.84x the proposed TD-AM).
+        """
+        if other_energy_per_bit_fj <= 0:
+            raise ValueError("reference energy must be positive")
+        return self.energy_per_bit_fj / other_energy_per_bit_fj

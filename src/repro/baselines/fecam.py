@@ -1,0 +1,88 @@
+"""2-FeFET TCAM baseline (Ni et al., Nature Electronics 2019 [15]).
+
+The ultra-dense ferroelectric TCAM used for one-shot learning: two FeFETs
+per cell, voltage-domain match-line sensing.  Compared to the 16T CMOS
+TCAM it improves density and energy, and its sense amplifier can be
+configured to tolerate a *small* number of mismatching cells (the paper's
+"identify full match or cases with very few mismatch cells") -- but it
+still cannot output the exact Hamming distance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineDesign, SCType
+
+DESIGN = BaselineDesign(
+    name="Nat. Electron.'19",
+    reference="[15]",
+    signal_domain="Voltage",
+    device="FeFET",
+    cell_size="2FeFET",
+    sc_type=SCType.HAMMING_NON_QUANTITATIVE,
+    energy_per_bit_fj=0.40,
+    technology_nm=45,
+    quantitative=False,
+    multibit=False,
+)
+
+
+class FeFETTCAM:
+    """Functional + energy model of the 2-FeFET TCAM.
+
+    Args:
+        n_rows: Number of stored words.
+        word_bits: Bits per word.
+        mismatch_tolerance: Largest mismatch count still sensed as a
+            "match" by the match-line sense margin (0..~2 in silicon).
+    """
+
+    design = DESIGN
+
+    def __init__(self, n_rows: int, word_bits: int, mismatch_tolerance: int = 1):
+        if n_rows < 1 or word_bits < 1:
+            raise ValueError("n_rows and word_bits must be >= 1")
+        if mismatch_tolerance < 0:
+            raise ValueError("mismatch_tolerance must be >= 0")
+        self.n_rows = n_rows
+        self.word_bits = word_bits
+        self.mismatch_tolerance = mismatch_tolerance
+        self._words = np.zeros((n_rows, word_bits), dtype=np.int8)
+        self._written = np.zeros(n_rows, dtype=bool)
+
+    def write(self, row: int, word: Sequence[int]) -> None:
+        """Store a binary word."""
+        word = np.asarray(word, dtype=np.int8)
+        if word.shape != (self.word_bits,):
+            raise ValueError(
+                f"word must have {self.word_bits} bits, got shape {word.shape}"
+            )
+        if not np.isin(word, (0, 1)).all():
+            raise ValueError("word bits must be 0 or 1")
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range")
+        self._words[row] = word
+        self._written[row] = True
+
+    def search(self, query: Sequence[int]) -> np.ndarray:
+        """Rows sensed as matching (mismatches within tolerance).
+
+        Note the capability limit: rows outside the tolerance are
+        indistinguishable from each other -- no quantitative similarity.
+        """
+        query = np.asarray(query, dtype=np.int8)
+        if query.shape != (self.word_bits,):
+            raise ValueError(
+                f"query must have {self.word_bits} bits, got shape {query.shape}"
+            )
+        if not self._written.all():
+            raise RuntimeError("search before all rows were written")
+        mismatches = (self._words != query[None, :]).sum(axis=1)
+        return mismatches <= self.mismatch_tolerance
+
+    def search_energy_j(self) -> float:
+        """Energy of one full-array search (J)."""
+        return self.design.search_energy_j(self.n_rows * self.word_bits)

@@ -1,0 +1,114 @@
+"""Fe-FinFET time-domain IMC baseline (Luo et al., IEDM 2021 [22]).
+
+This design places the FeFETs *directly in the pull-down path* of each
+delay stage and uses them as tunable resistors.  That yields a very
+compact 2T-1FeFET stage and ultra-low reported energy (0.039 fJ/bit at
+14 nm, under an optimized measurement configuration the paper flags as
+not directly comparable), but it exposes the delay to FeFET variation
+exponentially: near or below threshold, the channel resistance grows
+exponentially with a V_TH shift, and an OFF-state FeFET can interrupt
+propagation entirely.
+
+The delay model here implements exactly that mechanism so the
+VC-vs-variable-resistance ablation (DESIGN.md section 5) can quantify the
+robustness argument of the proposed variable-capacitance chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineDesign, SCType
+
+DESIGN = BaselineDesign(
+    name="IEDM'21",
+    reference="[22]",
+    signal_domain="Time",
+    device="FeFET",
+    cell_size="2T-1FeFET",
+    sc_type=SCType.MAC_COSINE_QUANTITATIVE,
+    energy_per_bit_fj=0.039,
+    technology_nm=14,
+    quantitative=True,
+    multibit=True,
+    notes=(
+        "Ultra-low energy attributed to 14 nm technology and an optimized "
+        "measurement configuration; not directly comparable (paper Sec. IV-A)."
+    ),
+)
+
+
+class FeFinFETTimeDomainIMC:
+    """Variable-*resistance* delay-chain model.
+
+    Each stage's delay is ``R(V_ov) * C`` with the FeFET channel in the
+    signal path; ``R`` is inversely proportional to overdrive above
+    threshold and grows exponentially (subthreshold slope) below it.
+
+    Args:
+        n_stages: Stages per chain.
+        c_stage_f: Stage capacitance (F).
+        r_on_ohm: Channel resistance at nominal ON overdrive (ohm).
+        v_overdrive: Nominal gate overdrive of an ON FeFET (V).
+        subthreshold_slope_v: Exponential slope of the below-threshold
+            resistance increase (V per e-fold).
+    """
+
+    design = DESIGN
+
+    def __init__(
+        self,
+        n_stages: int,
+        c_stage_f: float = 1e-15,
+        r_on_ohm: float = 20e3,
+        v_overdrive: float = 0.3,
+        subthreshold_slope_v: float = 0.037,
+    ) -> None:
+        if n_stages < 1:
+            raise ValueError(f"n_stages must be >= 1, got {n_stages}")
+        self.n_stages = n_stages
+        self.c_stage_f = c_stage_f
+        self.r_on_ohm = r_on_ohm
+        self.v_overdrive = v_overdrive
+        self.subthreshold_slope_v = subthreshold_slope_v
+
+    def stage_resistance(self, vth_shift: float) -> float:
+        """Channel resistance under a V_TH shift (ohm).
+
+        A positive shift eats into the overdrive; once the device crosses
+        into subthreshold the resistance explodes exponentially -- the
+        failure mode the proposed VC design avoids.
+        """
+        overdrive = self.v_overdrive - vth_shift
+        if overdrive > 0.05:
+            return self.r_on_ohm * self.v_overdrive / overdrive
+        # Subthreshold: exponential from the 50 mV boundary resistance.
+        r_boundary = self.r_on_ohm * self.v_overdrive / 0.05
+        deficit = 0.05 - overdrive
+        return r_boundary * float(np.exp(deficit / self.subthreshold_slope_v))
+
+    def chain_delay(self, vth_shifts: Optional[Sequence[float]] = None) -> float:
+        """Total chain delay (s) under per-stage V_TH shifts."""
+        if vth_shifts is None:
+            shifts = np.zeros(self.n_stages)
+        else:
+            shifts = np.asarray(vth_shifts, dtype=float)
+            if shifts.shape != (self.n_stages,):
+                raise ValueError(
+                    f"vth_shifts must have shape ({self.n_stages},), "
+                    f"got {shifts.shape}"
+                )
+        resistances = np.array([self.stage_resistance(s) for s in shifts])
+        return float((resistances * self.c_stage_f).sum())
+
+    def nominal_delay(self) -> float:
+        """Chain delay with no variation (s)."""
+        return self.n_stages * self.r_on_ohm * self.c_stage_f
+
+    def mac_energy_j(self, n_elements: int, bits: int = 1) -> float:
+        """Energy of one n-element MAC (J) at the published per-bit cost."""
+        if n_elements < 0 or bits < 1:
+            raise ValueError("n_elements must be >= 0 and bits >= 1")
+        return self.design.search_energy_j(n_elements * bits)

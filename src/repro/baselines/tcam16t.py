@@ -1,0 +1,89 @@
+"""16T CMOS ternary CAM baseline (Pagiamtzis & Sheikholeslami, JSSC'06).
+
+The classic SRAM-based TCAM: each cell stores 0 / 1 / X (don't-care) in
+two SRAM bit pairs and compares against the search lines; a single
+mismatching cell discharges the row's match line.  The functional model
+captures exactly the capability contrast the paper draws: the output is a
+*binary* match flag per row -- full match or nothing -- so it cannot rank
+partially matching rows (non-quantitative similarity).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineDesign, SCType
+
+#: Ternary don't-care symbol.
+X = -1
+
+DESIGN = BaselineDesign(
+    name="16T TCAM",
+    reference="[29]",
+    signal_domain="Voltage",
+    device="CMOS",
+    cell_size="16T",
+    sc_type=SCType.HAMMING_NON_QUANTITATIVE,
+    energy_per_bit_fj=0.59,
+    technology_nm=45,
+    quantitative=False,
+    multibit=False,
+)
+
+
+class CMOSTCAM16T:
+    """Functional + energy model of a 16T CMOS TCAM array.
+
+    Args:
+        n_rows: Number of stored words.
+        word_bits: Bits per word.
+    """
+
+    design = DESIGN
+
+    def __init__(self, n_rows: int, word_bits: int) -> None:
+        if n_rows < 1 or word_bits < 1:
+            raise ValueError("n_rows and word_bits must be >= 1")
+        self.n_rows = n_rows
+        self.word_bits = word_bits
+        self._words = np.full((n_rows, word_bits), X, dtype=np.int8)
+        self._written = np.zeros(n_rows, dtype=bool)
+
+    def write(self, row: int, word: Sequence[int]) -> None:
+        """Store a ternary word (elements 0, 1, or X = -1)."""
+        word = np.asarray(word, dtype=np.int8)
+        if word.shape != (self.word_bits,):
+            raise ValueError(
+                f"word must have {self.word_bits} bits, got shape {word.shape}"
+            )
+        if not np.isin(word, (0, 1, X)).all():
+            raise ValueError("TCAM word elements must be 0, 1, or X (-1)")
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range")
+        self._words[row] = word
+        self._written[row] = True
+
+    def search(self, query: Sequence[int]) -> np.ndarray:
+        """Parallel search; returns a boolean match flag per row.
+
+        A row matches only when every non-X cell equals the query bit --
+        the design cannot report *how close* a mismatching row is.
+        """
+        query = np.asarray(query, dtype=np.int8)
+        if query.shape != (self.word_bits,):
+            raise ValueError(
+                f"query must have {self.word_bits} bits, got shape {query.shape}"
+            )
+        if not np.isin(query, (0, 1)).all():
+            raise ValueError("query bits must be 0 or 1")
+        if not self._written.all():
+            raise RuntimeError("search before all rows were written")
+        care = self._words != X
+        mismatch = care & (self._words != query[None, :])
+        return ~mismatch.any(axis=1)
+
+    def search_energy_j(self) -> float:
+        """Energy of one full-array search (J)."""
+        return self.design.search_energy_j(self.n_rows * self.word_bits)

@@ -1,0 +1,281 @@
+"""Command-line interface: regenerate the paper's evaluation as text.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run table1           # one experiment, full size
+    python -m repro run fig6 --fast      # reduced size for a quick look
+    python -m repro report               # everything, in paper order
+
+The CLI is a thin layer over :mod:`repro.experiments`; each entry names
+the driver and its reduced-size keyword overrides.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+def _table1() -> str:
+    from repro.experiments.table1_comparison import format_table1, run_table1
+
+    return format_table1(run_table1())
+
+
+def _fig1(fast: bool) -> str:
+    from repro.experiments.fig1_device import format_fig1, run_fig1
+
+    kwargs = {"n_devices": 12, "n_points": 21} if fast else {}
+    return format_fig1(run_fig1(**kwargs))
+
+
+def _fig2(fast: bool) -> str:
+    from repro.experiments.fig2_cell import format_fig2, run_fig2
+
+    return format_fig2(run_fig2(dt=4e-12 if fast else 2e-12))
+
+
+def _fig4(fast: bool) -> str:
+    from repro.experiments.fig4_linearity import format_fig4, run_fig4
+
+    parts = [format_fig4(run_fig4(n_stages=32, backend="analytic"))]
+    if not fast:
+        parts.append(
+            format_fig4(
+                run_fig4(n_stages=8, backend="transient",
+                         mismatch_counts=(0, 2, 4, 6, 8), dt=4e-12)
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def _fig5(fast: bool) -> str:
+    from repro.experiments.fig5_energy_delay import (
+        format_fig5_ab,
+        format_fig5_cd,
+        run_fig5_ab,
+        run_fig5_cd,
+    )
+
+    if fast:
+        ab = run_fig5_ab(c_loads_f=[6e-15, 24e-15, 96e-15],
+                         stage_counts=[8, 32])
+    else:
+        ab = run_fig5_ab()
+    return format_fig5_ab(ab) + "\n\n" + format_fig5_cd(run_fig5_cd())
+
+
+def _fig6(fast: bool) -> str:
+    from repro.experiments.fig6_montecarlo import format_fig6, run_fig6
+
+    kwargs = (
+        {"n_runs": 120, "sigmas_mv": (20.0, 60.0)} if fast else {"n_runs": 500}
+    )
+    return format_fig6(run_fig6(**kwargs))
+
+
+def _fig7(fast: bool) -> str:
+    from repro.experiments.fig7_hdc_accuracy import format_fig7, run_fig7
+
+    if fast:
+        result = run_fig7(dimensions=(512, 2048, 10240),
+                          precisions=(1, 2, 4, 32), dataset_scale=0.3,
+                          epochs=4, include_hamming=False)
+    else:
+        result = run_fig7()
+    return format_fig7(result)
+
+
+def _fig8(fast: bool) -> str:
+    from repro.experiments.fig8_gpu_comparison import format_fig8, run_fig8
+
+    return format_fig8(run_fig8())
+
+
+def _ablations(fast: bool) -> str:
+    from repro.experiments.ablations import (
+        format_ablation_precision_margin,
+        format_ablation_quantizer,
+        format_ablation_two_step,
+        format_ablation_vc_vs_vr,
+        run_ablation_precision_margin,
+        run_ablation_quantizer,
+        run_ablation_two_step,
+        run_ablation_vc_vs_vr,
+    )
+
+    n_runs = 100 if fast else 300
+    parts = [
+        format_ablation_vc_vs_vr(run_ablation_vc_vs_vr(n_runs=n_runs)),
+        format_ablation_two_step(run_ablation_two_step()),
+        format_ablation_precision_margin(
+            run_ablation_precision_margin(n_cells=1000 if fast else 4000)
+        ),
+        format_ablation_quantizer(
+            run_ablation_quantizer(dimension=1024 if fast else 2048)
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def _retention(fast: bool) -> str:
+    from repro.experiments.ext_retention import (
+        format_endurance,
+        format_retention,
+        run_endurance_study,
+        run_retention_study,
+    )
+
+    kwargs = {"n_rows": 8, "n_queries": 8} if fast else {}
+    return (
+        format_retention(run_retention_study(**kwargs))
+        + "\n\n"
+        + format_endurance(run_endurance_study())
+    )
+
+
+def _temperature(fast: bool) -> str:
+    from repro.experiments.ext_temperature import (
+        format_temperature,
+        run_temperature_study,
+    )
+
+    return format_temperature(run_temperature_study())
+
+
+def _online(fast: bool) -> str:
+    from repro.datasets.synthetic import make_isolet_like
+    from repro.experiments.ext_online import format_online, run_online_study
+
+    if fast:
+        dataset = make_isolet_like(400, 200)
+        return format_online(run_online_study(dataset=dataset, dimension=1024))
+    return format_online(run_online_study())
+
+
+def _batch(fast: bool) -> str:
+    from repro.experiments.ext_batch import format_batch_study, run_batch_study
+
+    return format_batch_study(run_batch_study())
+
+
+def _dse(fast: bool) -> str:
+    from repro.analysis.pareto import (
+        evaluate_design_space,
+        knee_point,
+        pareto_front,
+    )
+
+    points = evaluate_design_space()
+    front = pareto_front(points)
+    lines = [
+        f"evaluated {len(points)} design points; Pareto front ({len(front)}):"
+    ]
+    for point in sorted(front, key=lambda p: p.energy_per_bit_j):
+        c = point.config
+        lines.append(
+            f"  V_DD={c.vdd:.1f}V C={c.c_load_f * 1e15:.0f}fF "
+            f"N={c.n_stages} -> {point.energy_per_bit_j * 1e15:.3f} fJ/bit, "
+            f"{point.latency_s * 1e9:.2f} ns, {point.area_um2:.0f} um^2"
+        )
+    best = knee_point(front)
+    lines.append(
+        f"balanced knee point: V_DD={best.config.vdd:.1f} V, "
+        f"C={best.config.c_load_f * 1e15:.0f} fF, N={best.config.n_stages}"
+    )
+    return "\n".join(lines)
+
+
+def _area(fast: bool) -> str:
+    from repro.analysis.reporting import format_table
+    from repro.core.area import cell_area_comparison, density_advantage
+
+    table = cell_area_comparison()
+    rows = [{"design": name, **fields} for name, fields in table.items()]
+    body = format_table(rows, title="Cell-composition area at a common 40 nm node")
+    return (
+        f"{body}\nbit-density advantage vs TIMAQ cell: "
+        f"{density_advantage():.1f}x"
+    )
+
+
+#: Experiment registry: name -> (description, runner(fast) -> text).
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
+    "table1": ("Table I energy/bit comparison", lambda fast: _table1()),
+    "fig1": ("FeFET I_D-V_G curves and device spread", _fig1),
+    "fig2": ("IMC cell match/mismatch transients", _fig2),
+    "fig4": ("Delay-vs-mismatch linearity", _fig4),
+    "fig5": ("Energy/delay scaling (C, N, V_DD)", _fig5),
+    "fig6": ("Monte Carlo variation robustness", _fig6),
+    "fig7": ("HDC accuracy vs precision x dimension", _fig7),
+    "fig8": ("TD-AM vs GPU speedup/energy", _fig8),
+    "ablations": ("Design-choice ablations", _ablations),
+    "retention": ("Extension: retention & endurance", _retention),
+    "temperature": ("Extension: temperature & replica calibration", _temperature),
+    "online": ("Extension: quantitative-similarity learning", _online),
+    "batch": ("Extension: batched-inference crossover vs GPU", _batch),
+    "dse": ("Extension: design-space Pareto exploration", _dse),
+    "area": ("Extension: cell/array area model", _area),
+}
+
+#: Paper-order listing for the full report.
+REPORT_ORDER = [
+    "fig1", "fig2", "fig4", "fig5", "table1", "fig6", "fig7", "fig8",
+    "ablations", "retention", "temperature", "online", "batch", "dse",
+    "area",
+]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures as text.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--fast", action="store_true",
+                     help="reduced problem sizes")
+    report = sub.add_parser("report", help="run every experiment in order")
+    report.add_argument("--fast", action="store_true",
+                        help="reduced problem sizes")
+    report.add_argument("--output", metavar="FILE", default=None,
+                        help="also write the report to a file")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in REPORT_ORDER:
+            description, _ = EXPERIMENTS[name]
+            print(f"{name:<10} {description}")
+        return 0
+    if args.command == "run":
+        _, runner = EXPERIMENTS[args.experiment]
+        print(runner(args.fast))
+        return 0
+    if args.command == "report":
+        sections: List[str] = []
+        for name in REPORT_ORDER:
+            description, runner = EXPERIMENTS[name]
+            header = "=" * 72 + f"\n{name}: {description}\n" + "=" * 72
+            print(header)
+            start = time.time()
+            body = runner(args.fast)
+            print(body)
+            print(f"[{name} done in {time.time() - start:.1f} s]\n")
+            sections.append(f"{header}\n{body}\n")
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write("\n".join(sections))
+            print(f"report written to {args.output}")
+        return 0
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

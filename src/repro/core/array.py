@@ -1,0 +1,361 @@
+"""The TD-AM array: parallel similarity computation (Fig. 3(a)).
+
+``M`` delay chains (rows) share vertical search lines, so one query is
+compared against every stored vector concurrently.  Two implementations
+are provided with the same search semantics:
+
+- :class:`TDAMArray` -- device-accurate: every cell holds two programmed
+  :class:`~repro.devices.fefet.FeFET` models, and write-time variation is
+  drawn per device.  Use for circuit-fidelity experiments.
+- :class:`FastTDAMArray` -- vectorized: stored levels and V_TH offsets are
+  numpy arrays and the conduction decision uses the calibrated switch-on
+  overdrive of the same FeFET channel model.  Use for Monte Carlo and the
+  HDC-scale workloads (Fig. 6-8).
+
+An integration test asserts the two agree on match decisions and delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.chain import ChainResult, DelayChain
+from repro.core.config import TDAMConfig
+from repro.core.encoding import LevelEncoding
+from repro.core.energy import TimingEnergyModel
+from repro.core.sensing import CounterTDC
+from repro.devices.fefet import FeFET
+from repro.devices.variation import VariationModel
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one parallel search over the whole array.
+
+    Attributes:
+        delays_s: Per-row total 2-step delay (the raw TD output).
+        counts: Per-row TDC counter codes.
+        hamming_distances: Per-row decoded mismatch counts.
+        best_row: Row index of the most similar stored vector (smallest
+            decoded distance; delay breaks ties, then row order).
+        latency_s: Array search latency -- the slowest chain, since rows
+            run in parallel.
+        energy_j: Total search energy over all rows.
+        n_stages: Chain length, for similarity normalization.
+    """
+
+    delays_s: np.ndarray
+    counts: np.ndarray
+    hamming_distances: np.ndarray
+    best_row: int
+    latency_s: float
+    energy_j: float
+    n_stages: int
+
+    @property
+    def similarities(self) -> np.ndarray:
+        """Match counts (N - Hamming distance) per row."""
+        return self.n_stages - self.hamming_distances
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Row indices of the k most similar stored vectors.
+
+        Ordered by decoded distance, with delay and then row index as
+        tie-breakers (the same resolution rule as ``best_row``) -- the
+        k-NN primitive for HDC and retrieval workloads.
+        """
+        if not 1 <= k <= len(self.hamming_distances):
+            raise ValueError(
+                f"k must be in [1, {len(self.hamming_distances)}], got {k}"
+            )
+        order = np.lexsort(
+            (np.arange(len(self.hamming_distances)), self.delays_s,
+             self.hamming_distances)
+        )
+        return order[:k]
+
+
+def _resolve_best(distances: np.ndarray, delays: np.ndarray) -> int:
+    """Smallest distance wins; delay, then row index break ties."""
+    order = np.lexsort((np.arange(len(distances)), delays, distances))
+    return int(order[0])
+
+
+class TDAMArray:
+    """Device-accurate M-row TD-AM array.
+
+    Args:
+        config: Design point (per-chain geometry and electricals).
+        n_rows: Number of stored vectors (delay chains).
+        rng: Seeded generator for device ensembles and variation draws.
+        variation: Optional write-time V_TH variation model; when present,
+            each FeFET's offset is re-drawn at write time according to the
+            state it is programmed to.
+    """
+
+    def __init__(
+        self,
+        config: TDAMConfig,
+        n_rows: int,
+        rng: Optional[np.random.Generator] = None,
+        variation: Optional[VariationModel] = None,
+    ) -> None:
+        if n_rows < 1:
+            raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+        self.config = config
+        self.n_rows = n_rows
+        self.encoding = LevelEncoding(config)
+        self.timing = TimingEnergyModel(config)
+        self.tdc = CounterTDC(config, self.timing)
+        self.variation = variation
+        rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng
+        self.chains: List[DelayChain] = [
+            DelayChain(config, timing=self.timing, rng=rng, name=f"row{r}")
+            for r in range(n_rows)
+        ]
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def write(self, row: int, vector: Sequence[int]) -> None:
+        """Program one row; draws write-time variation when configured."""
+        self._check_row(row)
+        chain = self.chains[row]
+        if self.variation is not None:
+            values = self.encoding.validate_vector(vector)
+            levels = self.config.levels
+            for stage, value in zip(chain.stages, values):
+                fa_state = int(value)
+                fb_state = levels - 1 - int(value)
+                sample = self.variation.draw([fa_state, fb_state])
+                stage.set_vth_offsets(*sample.vth_shifts)
+        chain.write(vector)
+
+    def write_all(self, matrix: Sequence[Sequence[int]]) -> None:
+        """Program every row from an (n_rows, n_stages) matrix."""
+        matrix = np.asarray(matrix)
+        if matrix.shape[0] != self.n_rows:
+            raise ValueError(
+                f"matrix has {matrix.shape[0]} rows, array has {self.n_rows}"
+            )
+        for row in range(self.n_rows):
+            self.write(row, matrix[row])
+
+    # ------------------------------------------------------------------
+    # Search path
+    # ------------------------------------------------------------------
+    def search(self, query: Sequence[int]) -> SearchResult:
+        """Parallel 2-step search of the query against every row."""
+        results: List[ChainResult] = [
+            chain.search(query) for chain in self.chains
+        ]
+        delays = np.array([r.delay_total_s for r in results])
+        counts = np.array([self.tdc.count(d) for d in delays])
+        distances = np.array([self.tdc.decode_mismatches(d) for d in delays])
+        energy = float(sum(r.energy_j for r in results))
+        return SearchResult(
+            delays_s=delays,
+            counts=counts,
+            hamming_distances=distances,
+            best_row=_resolve_best(distances, delays),
+            latency_s=float(delays.max()),
+            energy_j=energy,
+            n_stages=self.config.n_stages,
+        )
+
+    def row_result(self, row: int, query: Sequence[int]) -> ChainResult:
+        """Full per-chain result for one row (diagnostics)."""
+        self._check_row(row)
+        return self.chains[row].search(query)
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range [0, {self.n_rows - 1}]")
+
+    def __repr__(self) -> str:
+        return (
+            f"TDAMArray({self.n_rows} rows x {self.config.n_stages} stages, "
+            f"{self.config.bits}-bit)"
+        )
+
+
+class FastTDAMArray:
+    """Vectorized TD-AM array with calibrated conduction thresholds.
+
+    Functionally equivalent to :class:`TDAMArray` but stores levels and
+    V_TH offsets as numpy arrays.  The FeFET switch decision uses the
+    turn-on overdrive calibrated from the same channel model (gate
+    overdrive at which the drain current reaches the 1 uA ON threshold),
+    so variation-induced comparison flips agree with the device-accurate
+    array.
+
+    Args:
+        config: Design point.
+        n_rows: Number of stored vectors.
+        variation: Optional write-time variation model.
+        rng: Unused directly (variation model owns its stream); kept for
+            interface symmetry.
+    """
+
+    def __init__(
+        self,
+        config: TDAMConfig,
+        n_rows: int,
+        variation: Optional[VariationModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if n_rows < 1:
+            raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+        self.config = config
+        self.n_rows = n_rows
+        self.encoding = LevelEncoding(config)
+        self.timing = TimingEnergyModel(config)
+        self.tdc = CounterTDC(config, self.timing)
+        self.variation = variation
+        self._vth = np.array(config.vth_levels)
+        self._vsl = np.array(config.vsl_levels)
+        self._stored = np.full((n_rows, config.n_stages), -1, dtype=np.int64)
+        self._off_a = np.zeros((n_rows, config.n_stages))
+        self._off_b = np.zeros((n_rows, config.n_stages))
+        self._von = self._calibrate_turn_on_overdrive()
+
+    def _calibrate_turn_on_overdrive(self) -> float:
+        """Gate overdrive (V) at which the FeFET reaches the ON current.
+
+        Bisects the channel model at V_DS = V_DD; this ties the fast
+        array's switching decision to the same device physics as the
+        device-accurate array.
+        """
+        from repro.core.cell import ON_CURRENT_A
+
+        probe = FeFET(self.config.fefet, rng=np.random.default_rng(0))
+        probe.program_vth(self.config.fefet.vth_center)
+        vth = probe.vth
+        lo, hi = -0.5, 1.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if abs(probe.ids(vth + mid, self.config.vdd)) >= ON_CURRENT_A:
+                hi = mid
+            else:
+                lo = mid
+        return 0.5 * (lo + hi)
+
+    @property
+    def turn_on_overdrive(self) -> float:
+        """Calibrated switch-on overdrive (V)."""
+        return self._von
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def write(self, row: int, vector: Sequence[int]) -> None:
+        """Program one row (vectorized)."""
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range [0, {self.n_rows - 1}]")
+        values = self.encoding.validate_vector(vector)
+        if len(values) != self.config.n_stages:
+            raise ValueError(
+                f"vector length {len(values)} != n_stages {self.config.n_stages}"
+            )
+        self._stored[row] = values
+        if self.variation is not None:
+            levels = self.config.levels
+            fa_states = values
+            fb_states = levels - 1 - values
+            self._off_a[row] = self.variation.draw(fa_states).vth_shifts
+            self._off_b[row] = self.variation.draw(fb_states).vth_shifts
+
+    def write_all(self, matrix: Sequence[Sequence[int]]) -> None:
+        """Program every row from an (n_rows, n_stages) matrix."""
+        matrix = np.asarray(matrix)
+        if matrix.shape[0] != self.n_rows:
+            raise ValueError(
+                f"matrix has {matrix.shape[0]} rows, array has {self.n_rows}"
+            )
+        for row in range(self.n_rows):
+            self.write(row, matrix[row])
+
+    # ------------------------------------------------------------------
+    # Search path
+    # ------------------------------------------------------------------
+    def mismatch_matrix(self, query: Sequence[int]) -> np.ndarray:
+        """Device-level mismatch decisions, shape (n_rows, n_stages)."""
+        if (self._stored < 0).any():
+            raise RuntimeError("search before all rows were written")
+        q = self.encoding.validate_vector(query)
+        if len(q) != self.config.n_stages:
+            raise ValueError(
+                f"query length {len(q)} != n_stages {self.config.n_stages}"
+            )
+        levels = self.config.levels
+        vsl_a = self._vsl[q][None, :]
+        vsl_b = self._vsl[levels - 1 - q][None, :]
+        vth_a = self._vth[self._stored] + self._off_a
+        vth_b = self._vth[(levels - 1 - self._stored)] + self._off_b
+        fa_on = (vsl_a - vth_a) >= self._von
+        fb_on = (vsl_b - vth_b) >= self._von
+        return fa_on | fb_on
+
+    def search(self, query: Sequence[int]) -> SearchResult:
+        """Parallel 2-step search (vectorized)."""
+        mism = self.mismatch_matrix(query)
+        q = self.encoding.validate_vector(query)
+        levels = self.config.levels
+        # Delay modulation by the conducting device's gate-overdrive
+        # *deviation from its own nominal overdrive*: weaker conduction
+        # discharges MN slower, lengthening the switch turn-on (the
+        # second-order variation path of the VC design).  Expressed
+        # through the overdrive deviation (not the raw V_TH shift) so
+        # search-line re-biasing (aging compensation) restores the
+        # timing too; with nominal search lines it reduces exactly to
+        # the per-device V_TH shift, matching the device-accurate array.
+        vsl_a = self._vsl[q][None, :]
+        vsl_b = self._vsl[levels - 1 - q][None, :]
+        vth_a = self._vth[self._stored] + self._off_a
+        vth_b = self._vth[(levels - 1 - self._stored)] + self._off_b
+        fa_on = (vsl_a - vth_a) >= self._von
+        fb_on = (vsl_b - vth_b) >= self._von
+        vsl_a_nom = np.array(self.config.vsl_levels)[q][None, :]
+        vsl_b_nom = np.array(self.config.vsl_levels)[levels - 1 - q][None, :]
+        vth_a_nom = self._vth[self._stored]
+        vth_b_nom = self._vth[levels - 1 - self._stored]
+        dev_a = (vsl_a_nom - vth_a_nom) - (vsl_a - vth_a)
+        dev_b = (vsl_b_nom - vth_b_nom) - (vsl_b - vth_b)
+        deviation = np.where(fa_on, dev_a, dev_b)
+        sens = self.config.delay_variation_sensitivity / self.config.vdd
+        d_c_eff = self.timing.d_c * np.maximum(1.0 + sens * deviation, 0.0)
+        base = 2 * self.config.n_stages * self.timing.d_inv
+        delays = base + (mism * d_c_eff).sum(axis=1)
+        counts = np.array([self.tdc.count(d) for d in delays])
+        distances = np.array([self.tdc.decode_mismatches(d) for d in delays])
+        n_mis = mism.sum(axis=1)
+        energy = float(
+            sum(
+                self.timing.search_cost(int(m)).energy_j
+                for m in n_mis
+            )
+        )
+        return SearchResult(
+            delays_s=delays,
+            counts=counts,
+            hamming_distances=distances,
+            best_row=_resolve_best(distances, delays),
+            latency_s=float(delays.max()),
+            energy_j=energy,
+            n_stages=self.config.n_stages,
+        )
+
+    def ideal_hamming(self, query: Sequence[int]) -> np.ndarray:
+        """Variation-free per-row Hamming distances."""
+        q = self.encoding.validate_vector(query)
+        return (self._stored != q[None, :]).sum(axis=1)
+
+    def __repr__(self) -> str:
+        return (
+            f"FastTDAMArray({self.n_rows} rows x {self.config.n_stages} "
+            f"stages, {self.config.bits}-bit)"
+        )

@@ -1,0 +1,204 @@
+"""Cross-calibration of the analytic model against the transient backend.
+
+The analytic model (:class:`~repro.core.energy.TimingEnergyModel`) uses
+closed-form RC estimates of ``d_INV`` and ``d_C``.  This module measures
+the same quantities on the transient backend -- the reproduction's stand-in
+for the paper's Spectre runs -- and returns a calibrated model:
+
+1. simulate an all-match chain: total delay / N gives ``d_INV``;
+2. simulate the same chain with ``k`` mismatched active stages: the delay
+   increment / k gives ``d_C``;
+3. (optionally) sweep a V_TH offset on a single mismatched stage to
+   measure the weak delay-variation coupling
+   (:attr:`TDAMConfig.delay_variation_sensitivity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.netlist_builder import build_chain_circuit
+from repro.core.stage import STEP_I
+from repro.spice.transient import simulate
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured stage timing.
+
+    Attributes:
+        d_inv_s: Measured intrinsic stage delay.
+        d_c_s: Measured per-mismatch delay adder.
+        d_inv_analytic_s: The closed-form estimate, for comparison.
+        d_c_analytic_s: The closed-form estimate, for comparison.
+        n_stages: Chain length used in the measurement.
+        n_mismatch: Mismatch count of the second run.
+    """
+
+    d_inv_s: float
+    d_c_s: float
+    d_inv_analytic_s: float
+    d_c_analytic_s: float
+    n_stages: int
+    n_mismatch: int
+
+    @property
+    def d_inv_error(self) -> float:
+        """Relative error of the analytic d_INV estimate."""
+        return abs(self.d_inv_analytic_s - self.d_inv_s) / self.d_inv_s
+
+    @property
+    def d_c_error(self) -> float:
+        """Relative error of the analytic d_C estimate."""
+        return abs(self.d_c_analytic_s - self.d_c_s) / self.d_c_s
+
+
+def measure_chain_delay(
+    config: TDAMConfig,
+    stored: Sequence[int],
+    query: Sequence[int],
+    step: str = STEP_I,
+    rising_input: bool = True,
+    dt: float = 2e-12,
+    rng: Optional[np.random.Generator] = None,
+    vth_offsets: Optional[np.ndarray] = None,
+) -> float:
+    """Transient-measured edge propagation delay of one chain step (s).
+
+    Measured from the input edge's 50% crossing to the output's.
+    """
+    net = build_chain_circuit(
+        config, stored, query, step=step, rising_input=rising_input,
+        rng=rng, vth_offsets=vth_offsets,
+    )
+    result = simulate(net.circuit, t_stop=net.t_stop_hint, dt=dt, v_init=net.v_init)
+    w_in = result.waveform(net.input_node)
+    w_out = result.waveform(net.output_node)
+    level = config.vdd / 2.0
+    return w_in.delay_to(
+        w_out,
+        level,
+        rising_self=rising_input,
+        rising_other=net.output_edge_rising,
+        after=net.t_pulse - 50e-12,
+    )
+
+
+def calibrate_stage_timing(
+    config: TDAMConfig,
+    n_stages: int = 8,
+    n_mismatch: int = 4,
+    dt: float = 2e-12,
+    seed: int = 11,
+) -> CalibrationResult:
+    """Measure ``d_INV`` and ``d_C`` on the transient backend.
+
+    Uses a short chain (delays are per-stage quantities, so a small N is
+    sufficient and fast) with mismatches on even stages only, evaluated in
+    step I.
+
+    Args:
+        config: The design point to calibrate (its ``n_stages`` is
+            overridden by ``n_stages`` for the measurement).
+        n_stages: Measurement chain length (even, >= 2).
+        n_mismatch: Mismatches injected among even stages.
+        dt: Transient timestep.
+        seed: Device-ensemble seed.
+    """
+    if n_stages < 2 or n_stages % 2 != 0:
+        raise ValueError(f"n_stages must be even and >= 2, got {n_stages}")
+    n_even = (n_stages + 1) // 2
+    if not 1 <= n_mismatch <= n_even:
+        raise ValueError(
+            f"n_mismatch must be in [1, {n_even}], got {n_mismatch}"
+        )
+    cfg = config.with_(n_stages=n_stages)
+    stored = [0] * n_stages
+    query_match = [0] * n_stages
+    # Mismatch the first n_mismatch even stages by one level.
+    query_mis = list(query_match)
+    injected = 0
+    for i in range(0, n_stages, 2):
+        if injected == n_mismatch:
+            break
+        query_mis[i] = 1
+        injected += 1
+
+    rng = np.random.default_rng(seed)
+    d_match = measure_chain_delay(cfg, stored, query_match, dt=dt, rng=rng)
+    rng = np.random.default_rng(seed)
+    d_mis = measure_chain_delay(cfg, stored, query_mis, dt=dt, rng=rng)
+
+    d_inv = d_match / n_stages
+    d_c = (d_mis - d_match) / n_mismatch
+    analytic = TimingEnergyModel(cfg)
+    return CalibrationResult(
+        d_inv_s=d_inv,
+        d_c_s=d_c,
+        d_inv_analytic_s=analytic.d_inv,
+        d_c_analytic_s=analytic.d_c,
+        n_stages=n_stages,
+        n_mismatch=n_mismatch,
+    )
+
+
+def calibrated_model(
+    config: TDAMConfig,
+    n_stages: int = 8,
+    n_mismatch: int = 4,
+    dt: float = 2e-12,
+    seed: int = 11,
+) -> TimingEnergyModel:
+    """A :class:`TimingEnergyModel` with transient-measured delays."""
+    cal = calibrate_stage_timing(
+        config, n_stages=n_stages, n_mismatch=n_mismatch, dt=dt, seed=seed
+    )
+    return TimingEnergyModel(
+        config, d_inv_override=cal.d_inv_s, d_c_override=cal.d_c_s
+    )
+
+
+def measure_variation_sensitivity(
+    config: TDAMConfig,
+    shifts_v: Sequence[float] = (-0.06, -0.03, 0.0, 0.03, 0.06),
+    n_stages: int = 4,
+    dt: float = 2e-12,
+    seed: int = 11,
+) -> Tuple[float, np.ndarray]:
+    """Measure the fractional d_C sensitivity to a conducting-FeFET shift.
+
+    Simulates a chain whose single active stage mismatches, sweeping the
+    V_TH offset of the conducting FeFET, and fits the slope of the
+    normalized mismatch delay against ``shift / V_DD``.
+
+    Returns:
+        ``(sensitivity, delays)`` where ``sensitivity`` is the fitted
+        slope (the value :attr:`TDAMConfig.delay_variation_sensitivity`
+        models) and ``delays`` are the measured chain delays per shift.
+    """
+    cfg = config.with_(n_stages=n_stages)
+    stored = [0] * n_stages
+    query = [0] * n_stages
+    query[0] = 1  # stage 0 mismatches with F_A conducting (query > stored)
+    delays = []
+    for shift in shifts_v:
+        offsets = np.zeros((n_stages, 2))
+        offsets[0, 0] = shift
+        rng = np.random.default_rng(seed)
+        delays.append(
+            measure_chain_delay(cfg, stored, query, dt=dt, rng=rng,
+                                vth_offsets=offsets)
+        )
+    delays = np.array(delays)
+    shifts = np.asarray(shifts_v, dtype=float)
+    base = float(delays[shifts == 0.0][0]) if (shifts == 0.0).any() else float(delays.mean())
+    analytic = TimingEnergyModel(cfg)
+    # d = const + d_c * (1 + s * shift / vdd)  ->  slope/d_c * vdd = s.
+    slope = np.polyfit(shifts, delays, 1)[0]
+    sensitivity = slope * cfg.vdd / max(base - n_stages * analytic.d_inv, 1e-15)
+    return float(sensitivity), delays

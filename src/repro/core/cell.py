@@ -1,0 +1,172 @@
+"""The 2-FeFET multi-bit IMC cell (Fig. 2(a)).
+
+The cell holds one multi-bit element of a stored vector in the threshold
+voltages of two FeFETs and compares it against a query applied on the
+search lines.  Operation is two-phase:
+
+1. **precharge** -- the precharge PMOS pulls the match node (MN) to V_DD;
+2. **compute** -- search-line voltages are applied; on a mismatch one of
+   the FeFETs conducts and discharges MN to ground, on a match both stay
+   off and MN floats at V_DD.
+
+This module models the cell with real :class:`~repro.devices.fefet.FeFET`
+instances, so device-to-device V_TH offsets (from the variation models)
+propagate into comparison decisions exactly as in the paper's Monte Carlo:
+a large enough shift can make a matching cell conduct or a mismatching
+cell stay off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import TDAMConfig
+from repro.core.encoding import CellDrive, LevelEncoding
+from repro.devices.fefet import FeFET
+
+#: Drain current above which a FeFET counts as discharging the match node.
+#: A constant-current threshold definition (1 uA) consistent with
+#: :meth:`repro.devices.fefet.FeFET.conducts`.
+ON_CURRENT_A = 1e-6
+
+
+@dataclass(frozen=True)
+class CellState:
+    """Outcome of one compute phase.
+
+    Attributes:
+        fa_conducting: ``F_A`` discharges MN (query above stored).
+        fb_conducting: ``F_B`` discharges MN (query below stored).
+        mn_high: MN remains at V_DD (no FeFET conducts): a match, or a
+            deactivated cell.
+        discharge_current_a: Total MN discharge current at the start of
+            the compute phase (A); zero when MN stays high.
+    """
+
+    fa_conducting: bool
+    fb_conducting: bool
+    mn_high: bool
+    discharge_current_a: float
+
+    @property
+    def match(self) -> bool:
+        """Alias: the cell reports a match exactly when MN stays high."""
+        return self.mn_high
+
+
+class MultiBitIMCCell:
+    """One 2-FeFET multi-bit IMC cell with device-level comparison.
+
+    Args:
+        config: Design point (supplies ladders, V_DD and FeFET params).
+        rng: Seeded generator for the FeFET domain ensembles.
+        vth_offsets: Fixed V_TH shifts (V) of ``(F_A, F_B)`` -- the
+            variation models inject device-to-device spread here.
+        name: Instance name for diagnostics.
+    """
+
+    def __init__(
+        self,
+        config: TDAMConfig,
+        rng: Optional[np.random.Generator] = None,
+        vth_offsets: Tuple[float, float] = (0.0, 0.0),
+        name: str = "cell",
+    ) -> None:
+        self.config = config
+        self.encoding = LevelEncoding(config)
+        self.name = name
+        rng = rng if rng is not None else np.random.default_rng()
+        self.fa = FeFET(
+            config.fefet,
+            rng=np.random.default_rng(rng.integers(2**32)),
+            vth_offset=vth_offsets[0],
+            name=f"{name}.FA",
+        )
+        self.fb = FeFET(
+            config.fefet,
+            rng=np.random.default_rng(rng.integers(2**32)),
+            vth_offset=vth_offsets[1],
+            name=f"{name}.FB",
+        )
+        self._stored: Optional[int] = None
+        self._mn_voltage = config.vdd
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def write(self, value: int) -> None:
+        """Program the cell to store ``value`` (both FeFETs)."""
+        self.fa.program_vth(self.encoding.vth_for_fa(value))
+        self.fb.program_vth(self.encoding.vth_for_fb(value))
+        self._stored = int(value)
+
+    def set_vth_offsets(self, fa_offset: float, fb_offset: float) -> None:
+        """Replace the device V_TH offsets (write-time variation draw).
+
+        The paper's measured sigmas are per programmed state, so arrays
+        re-draw the offsets at write time based on the value being stored.
+        """
+        self.fa.vth_offset = float(fa_offset)
+        self.fb.vth_offset = float(fb_offset)
+
+    @property
+    def stored(self) -> Optional[int]:
+        """The last written value, or None for an unwritten cell."""
+        return self._stored
+
+    # ------------------------------------------------------------------
+    # Search path
+    # ------------------------------------------------------------------
+    def precharge(self) -> None:
+        """Precharge phase: MN pulled to V_DD."""
+        self._mn_voltage = self.config.vdd
+
+    def compute(self, drive: CellDrive) -> CellState:
+        """Compute phase: apply search-line voltages and resolve MN.
+
+        The comparison is made at device level: each FeFET conducts when
+        its drain current at the applied gate bias exceeds
+        :data:`ON_CURRENT_A`, so programmed V_TH errors and variation
+        offsets directly influence the outcome.
+
+        Raises:
+            RuntimeError: if the cell was never written.
+        """
+        if self._stored is None:
+            raise RuntimeError(f"{self.name}: compute before write")
+        i_a = abs(self.fa.ids(drive.vsl_a - 0.0, self._mn_voltage))
+        i_b = abs(self.fb.ids(drive.vsl_b - 0.0, self._mn_voltage))
+        fa_on = i_a >= ON_CURRENT_A
+        fb_on = i_b >= ON_CURRENT_A
+        mn_high = not (fa_on or fb_on)
+        self._mn_voltage = self.config.vdd if mn_high else 0.0
+        return CellState(
+            fa_conducting=fa_on,
+            fb_conducting=fb_on,
+            mn_high=mn_high,
+            discharge_current_a=(i_a + i_b) if not mn_high else 0.0,
+        )
+
+    def compare(self, query: int) -> CellState:
+        """Precharge + compute against a query value."""
+        self.precharge()
+        return self.compute(self.encoding.drive_for_query(query))
+
+    def deactivated_state(self) -> CellState:
+        """Precharge + compute with the parked (both-V_SL0) drive."""
+        self.precharge()
+        return self.compute(self.encoding.drive_deactivated())
+
+    @property
+    def mn_voltage(self) -> float:
+        """Present match-node voltage (V)."""
+        return self._mn_voltage
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiBitIMCCell({self.name!r}, stored={self._stored}, "
+            f"vth_fa={self.fa.vth:.3f}, vth_fb={self.fb.vth:.3f})"
+        )

@@ -1,0 +1,168 @@
+"""Configuration of the TD-AM design.
+
+:class:`TDAMConfig` gathers every knob of the paper's design space:
+
+- **bit precision** of the stored/query elements (the paper demonstrates
+  2-bit and argues 3-4 bit headroom in Sec. IV-A),
+- the **V_TH ladder** of the FeFETs and the matching **V_SL ladder** of
+  the search-line drivers (Fig. 2(b)(c): 0.2/0.6/1.0/1.4 V and
+  0/0.4/0.8/1.2 V for 2 bits),
+- the **load capacitor** of the delay stage (6 fF default, swept to
+  1280 fF in Fig. 5),
+- the **supply voltage** (1.1 V nominal 40 nm, scaled down to 0.5 V in
+  Fig. 5(c)(d) and run at 0.6 V for the Fig. 8 system comparison),
+- the **chain length** (32/64/128 stages in the paper's experiments).
+
+The generalized ladders keep the paper's margins at any precision: V_TH
+levels are evenly spaced over the programmable window and each V_SL level
+sits half a step below its V_TH level, so an equal query leaves the FeFET
+off while a one-level mismatch overdrives it by half a step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.devices.fefet import FeFETParams
+from repro.devices.params import TechnologyParams, UMC40_LIKE
+
+
+@dataclass(frozen=True)
+class TDAMConfig:
+    """Design-point description of one TD-AM instance.
+
+    Attributes:
+        bits: Element precision in bits (1..4); the number of storable
+            levels is ``2**bits``.
+        n_stages: Delay stages per chain (elements per stored vector).
+        c_load_f: Load capacitor per stage (F); paper default 6 fF.
+        vdd: Chain supply voltage (V).
+        vth_window: (low, high) of the FeFET programmable window (V); the
+            paper's ladder spans 0.2..1.4 V.
+        c_mn_f: Match-node capacitance (F) -- precharge PMOS junction +
+            FeFET drains + stage-PMOS gate.
+        c_stage_par_f: Parasitic capacitance at each inverter output (F),
+            excluding the switched load.
+        inverter_nmos_width: Relative width of the stage inverter NMOS.
+            The inverter is deliberately weak (minimum size): the load
+            capacitor couples through the switch as a *current-limited*
+            transfer, so a weak inverter maximizes the mismatch delay
+            signal ``d_C`` relative to the intrinsic delay ``d_INV``.
+        inverter_pmos_width: Relative width of the stage inverter PMOS.
+        switch_pmos_width: Relative width of the load-switch PMOS.  Sized
+            wide so the switch resistance does not decouple the load
+            capacitor from the propagating edge.
+        tdc_clock_ghz: Counter TDC clock (GHz).
+        delay_variation_sensitivity: Fractional change of the mismatch
+            delay ``d_C`` per volt of FeFET V_TH shift.  The cell only
+            *controls* the load switch, so this coupling is weak by design;
+            the default is calibrated against the transient backend (see
+            ``repro.core.calibration``).
+        tech: Technology parameter set.
+        fefet: FeFET device parameters.
+    """
+
+    bits: int = 2
+    n_stages: int = 32
+    c_load_f: float = 6e-15
+    vdd: float = 1.1
+    vth_window: Tuple[float, float] = (0.2, 1.4)
+    c_mn_f: float = 0.6e-15
+    c_stage_par_f: float = 0.2e-15
+    inverter_nmos_width: float = 1.0
+    inverter_pmos_width: float = 2.0
+    switch_pmos_width: float = 8.0
+    tdc_clock_ghz: float = 40.0
+    delay_variation_sensitivity: float = 0.35
+    tech: TechnologyParams = field(default_factory=lambda: UMC40_LIKE)
+    fefet: FeFETParams = field(default_factory=FeFETParams)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 4:
+            raise ValueError(f"bits must be in 1..4, got {self.bits}")
+        if self.n_stages < 1:
+            raise ValueError(f"n_stages must be >= 1, got {self.n_stages}")
+        if self.c_load_f <= 0:
+            raise ValueError(f"c_load_f must be positive, got {self.c_load_f}")
+        if self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+        low, high = self.vth_window
+        if low >= high:
+            raise ValueError(f"vth_window must be (low, high), got {self.vth_window}")
+        if not (self.fefet.vth_low - 1e-9 <= low and high <= self.fefet.vth_high + 1e-9):
+            raise ValueError(
+                f"vth_window {self.vth_window} exceeds the FeFET programmable "
+                f"window [{self.fefet.vth_low}, {self.fefet.vth_high}]"
+            )
+        if self.tdc_clock_ghz <= 0:
+            raise ValueError(f"tdc_clock_ghz must be positive, got {self.tdc_clock_ghz}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of storable levels, ``2**bits``."""
+        return 2**self.bits
+
+    @property
+    def level_step(self) -> float:
+        """V_TH spacing between adjacent levels (V)."""
+        low, high = self.vth_window
+        if self.levels == 1:
+            return high - low
+        return (high - low) / (self.levels - 1)
+
+    @property
+    def vth_levels(self) -> Tuple[float, ...]:
+        """The V_TH ladder, lowest level first (Fig. 2(b))."""
+        low, _ = self.vth_window
+        return tuple(low + k * self.level_step for k in range(self.levels))
+
+    @property
+    def vsl_levels(self) -> Tuple[float, ...]:
+        """The V_SL ladder: each level half a step below its V_TH level.
+
+        For the paper's 2-bit point this evaluates to exactly
+        0 / 0.4 / 0.8 / 1.2 V.
+        """
+        half = self.level_step / 2.0
+        return tuple(v - half for v in self.vth_levels)
+
+    @property
+    def conduction_margin(self) -> float:
+        """Gate overdrive separating match from mismatch (V).
+
+        A matching query under-drives each FeFET by this margin; a
+        one-level mismatch over-drives one of them by the same amount.
+        V_TH variation beyond roughly this margin (minus the switch
+        turn-on overdrive) can flip a comparison.
+        """
+        return self.level_step / 2.0
+
+    def with_(self, **overrides) -> "TDAMConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def paper_default(cls) -> "TDAMConfig":
+        """The paper's circuit-evaluation point: 2-bit, 32 stages,
+        6 fF load, nominal 1.1 V supply (Sec. IV-A)."""
+        return cls()
+
+    @classmethod
+    def fig8_system(cls) -> "TDAMConfig":
+        """The paper's system-benchmark point: 128 stages at 0.6 V
+        (the configuration of the Fig. 8 GPU comparison, and the
+        operating point of the 0.159 fJ/bit headline)."""
+        return cls(bits=2, n_stages=128, vdd=0.6)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"TD-AM {self.bits}-bit, {self.n_stages} stages, "
+            f"C_load={self.c_load_f * 1e15:.0f} fF, VDD={self.vdd:.2f} V, "
+            f"V_TH={['%.2f' % v for v in self.vth_levels]}, "
+            f"V_SL={['%.2f' % v for v in self.vsl_levels]}"
+        )

@@ -1,0 +1,228 @@
+"""Event-level digital controller of the TD-AM array.
+
+The papers' circuits need a small digital wrapper in any real deployment:
+something has to sequence precharge / search-line setup / step I /
+step II / readout, gate the TDC counters, and expose a command interface.
+This module provides that wrapper as an event-driven behavioral model:
+
+- :class:`ArrayController` accepts a stream of :class:`Command` objects
+  (WRITE / SEARCH / READ / IDLE) and executes them against a
+  :class:`~repro.core.array.FastTDAMArray`,
+- every phase transition is logged as a timestamped :class:`Event`, so
+  tests (and curious users) can audit exactly when each signal fired,
+- timing comes from the :class:`~repro.core.scheduler.OperationScheduler`
+  and the TDC behaviour from :class:`~repro.core.sensing.CounterTDC`, so
+  the controller's end-to-end numbers agree with the analytic model by
+  construction -- asserted in ``tests/core/test_controller.py``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.array import FastTDAMArray, SearchResult
+from repro.core.config import TDAMConfig
+from repro.core.scheduler import OperationScheduler
+from repro.core.sensing import CounterTDC
+from repro.devices.variation import VariationModel
+
+#: Time to program one row (erase + program + verify pulses), seconds.
+#: FeFET write pulses are ~100 ns class; a verified multi-level write
+#: takes a few of them per cell, cells written column-parallel.
+T_ROW_WRITE_S = 1.2e-6
+#: Counter read-and-clear time per row (s).
+T_COUNTER_READ_S = 0.8e-9
+
+
+class Phase(enum.Enum):
+    """Controller phases."""
+
+    IDLE = "idle"
+    WRITE = "write"
+    PRECHARGE = "precharge"
+    SL_SETUP = "sl_setup"
+    STEP_I = "step_i"
+    STEP_II = "step_ii"
+    READOUT = "readout"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One controller command.
+
+    Attributes:
+        op: "write", "search", or "read".
+        row: Target row for writes.
+        vector: Stored vector (write) or query (search).
+    """
+
+    op: str
+    row: Optional[int] = None
+    vector: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("write", "search", "read"):
+            raise ValueError(
+                f"op must be 'write', 'search' or 'read', got {self.op!r}"
+            )
+        if self.op == "write" and self.row is None:
+            raise ValueError("write command requires a row")
+        if self.op in ("write", "search") and self.vector is None:
+            raise ValueError(f"{self.op} command requires a vector")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped phase event in the controller trace.
+
+    Attributes:
+        t_start_s: Phase entry time.
+        t_end_s: Phase exit time.
+        phase: The phase.
+        detail: Human-readable annotation (row, counts, ...).
+    """
+
+    t_start_s: float
+    t_end_s: float
+    phase: Phase
+    detail: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end_s - self.t_start_s
+
+
+@dataclass
+class ControllerState:
+    """Mutable controller bookkeeping.
+
+    Attributes:
+        time_s: Current simulation time.
+        events: Phase trace.
+        last_result: Most recent search result.
+        counters: Latched TDC codes of the last search.
+    """
+
+    time_s: float = 0.0
+    events: List[Event] = field(default_factory=list)
+    last_result: Optional[SearchResult] = None
+    counters: Optional[np.ndarray] = None
+
+
+class ArrayController:
+    """Command-driven controller over one TD-AM array.
+
+    Args:
+        config: Design point.
+        n_rows: Array rows.
+        variation: Optional write-time variation model.
+        seed: RNG seed for the underlying array.
+    """
+
+    def __init__(
+        self,
+        config: TDAMConfig,
+        n_rows: int,
+        variation: Optional[VariationModel] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.array = FastTDAMArray(
+            config, n_rows=n_rows, variation=variation,
+            rng=np.random.default_rng(seed),
+        )
+        self.scheduler = OperationScheduler(config)
+        self.tdc = CounterTDC(config)
+        self.state = ControllerState()
+
+    # ------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------
+    def execute(self, command: Command) -> Optional[SearchResult]:
+        """Execute one command, advancing time and logging events."""
+        if command.op == "write":
+            return self._do_write(command)
+        if command.op == "search":
+            return self._do_search(command)
+        return self._do_read()
+
+    def run(self, commands: Sequence[Command]) -> List[Optional[SearchResult]]:
+        """Execute a command stream; returns each command's result."""
+        return [self.execute(c) for c in commands]
+
+    def _log(self, phase: Phase, duration_s: float, detail: str = "") -> None:
+        start = self.state.time_s
+        self.state.time_s += duration_s
+        self.state.events.append(
+            Event(t_start_s=start, t_end_s=self.state.time_s,
+                  phase=phase, detail=detail)
+        )
+
+    def _do_write(self, command: Command) -> None:
+        self.array.write(int(command.row), command.vector)
+        self._log(Phase.WRITE, T_ROW_WRITE_S, detail=f"row {command.row}")
+        return None
+
+    def _do_search(self, command: Command) -> SearchResult:
+        schedule = self.scheduler.schedule()
+        self._log(Phase.PRECHARGE, schedule.t_precharge_s)
+        self._log(Phase.SL_SETUP, schedule.t_sl_setup_s)
+        result = self.array.search(command.vector)
+        # The synchronous controller budgets the worst case per step; the
+        # actual edge arrives earlier, the counters latch what it measured.
+        self._log(Phase.STEP_I, schedule.t_step1_s,
+                  detail=f"worst-case window")
+        self._log(Phase.STEP_II, schedule.t_step2_s)
+        self._log(
+            Phase.READOUT,
+            schedule.t_readout_s,
+            detail=f"counts {result.counts.tolist()}",
+        )
+        self.state.last_result = result
+        self.state.counters = result.counts.copy()
+        return result
+
+    def _do_read(self) -> Optional[SearchResult]:
+        if self.state.counters is None:
+            raise RuntimeError("read before any search latched the counters")
+        self._log(
+            Phase.READOUT,
+            self.array.n_rows * T_COUNTER_READ_S,
+            detail="counter drain",
+        )
+        return self.state.last_result
+
+    # ------------------------------------------------------------------
+    # Trace inspection
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_s(self) -> float:
+        """Total simulated time."""
+        return self.state.time_s
+
+    def phase_durations(self) -> "dict[Phase, float]":
+        """Accumulated time per phase over the whole trace."""
+        out: "dict[Phase, float]" = {}
+        for event in self.state.events:
+            out[event.phase] = out.get(event.phase, 0.0) + event.duration_s
+        return out
+
+    def search_latency_s(self) -> float:
+        """Latency of one search per the logged schedule (for checking
+        against :class:`~repro.core.scheduler.PhaseSchedule`)."""
+        return self.scheduler.schedule().latency_s
+
+    def format_trace(self, last: int = 20) -> str:
+        """The last ``last`` events as aligned text."""
+        lines = []
+        for event in self.state.events[-last:]:
+            lines.append(
+                f"{event.t_start_s * 1e9:10.2f} ns  "
+                f"{event.phase.value:<10} "
+                f"{event.duration_s * 1e9:7.2f} ns  {event.detail}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""Fault injection: hard defects in the TD-AM and their search impact.
+
+Complements the parametric variation of Fig. 6 with the *hard* fault
+classes an array test engineer cares about:
+
+- ``stuck_mismatch`` -- a cell whose MN always discharges (e.g. an F_A
+  stuck in its lowest-V_TH state or a shorted match node): its stage
+  always adds ``d_C``, inflating every distance through that row by one;
+- ``stuck_match`` -- a cell that can never discharge MN (open FeFET
+  drain, stuck precharge): mismatches at that position go uncounted;
+- ``dead_row`` -- a whole chain out of commission (broken delay line).
+
+:class:`FaultInjector` applies a seeded fault map to a
+:class:`~repro.core.array.FastTDAMArray` and
+:func:`search_error_statistics` measures the induced Hamming-distance
+error -- the basis for yield/repair analyses (row sparing).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.array import FastTDAMArray, SearchResult
+from repro.core.config import TDAMConfig
+
+
+class FaultType(enum.Enum):
+    """Supported hard-fault classes."""
+
+    STUCK_MISMATCH = "stuck_mismatch"
+    STUCK_MATCH = "stuck_match"
+    DEAD_ROW = "dead_row"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault.
+
+    Attributes:
+        kind: The fault class.
+        row: Affected row.
+        stage: Affected stage (ignored for DEAD_ROW).
+    """
+
+    kind: FaultType
+    row: int
+    stage: int = 0
+
+
+class FaultyTDAMArray:
+    """A :class:`FastTDAMArray` wrapper applying a hard-fault map.
+
+    Args:
+        array: The fault-free array (already constructed; writes go
+            through this wrapper so the fault map survives re-writes).
+        faults: The injected faults.
+    """
+
+    def __init__(self, array: FastTDAMArray, faults: Sequence[Fault]) -> None:
+        self.array = array
+        self.faults = list(faults)
+        for fault in self.faults:
+            if not 0 <= fault.row < array.n_rows:
+                raise ValueError(f"fault row {fault.row} out of range")
+            if fault.kind != FaultType.DEAD_ROW and not (
+                0 <= fault.stage < array.config.n_stages
+            ):
+                raise ValueError(f"fault stage {fault.stage} out of range")
+
+    def write(self, row: int, vector) -> None:
+        self.array.write(row, vector)
+
+    def write_all(self, matrix) -> None:
+        self.array.write_all(matrix)
+
+    def search(self, query) -> SearchResult:
+        """Search with the fault map applied to the mismatch decisions."""
+        base = self.array.mismatch_matrix(query)
+        mism = base.copy()
+        dead_rows: List[int] = []
+        for fault in self.faults:
+            if fault.kind == FaultType.STUCK_MISMATCH:
+                mism[fault.row, fault.stage] = True
+            elif fault.kind == FaultType.STUCK_MATCH:
+                mism[fault.row, fault.stage] = False
+            else:
+                dead_rows.append(fault.row)
+        timing = self.array.timing
+        base_delay = 2 * self.array.config.n_stages * timing.d_inv
+        delays = base_delay + mism.sum(axis=1) * timing.d_c
+        for row in dead_rows:
+            # A dead chain never produces an edge; the controller times
+            # out and reports the maximum distance.
+            delays[row] = timing.chain_delay(self.array.config.n_stages)
+            mism[row, :] = True
+        counts = np.array([self.array.tdc.count(d) for d in delays])
+        distances = np.array(
+            [self.array.tdc.decode_mismatches(d) for d in delays]
+        )
+        order = np.lexsort((np.arange(len(distances)), delays, distances))
+        energy = float(
+            sum(
+                timing.search_cost(int(m)).energy_j
+                for m in mism.sum(axis=1)
+            )
+        )
+        return SearchResult(
+            delays_s=delays,
+            counts=counts,
+            hamming_distances=distances,
+            best_row=int(order[0]),
+            latency_s=float(delays.max()),
+            energy_j=energy,
+            n_stages=self.array.config.n_stages,
+        )
+
+    def ideal_hamming(self, query) -> np.ndarray:
+        return self.array.ideal_hamming(query)
+
+
+class FaultInjector:
+    """Draws seeded random fault maps.
+
+    Args:
+        config: Design point (stage count).
+        n_rows: Array rows.
+        seed: Fault-placement seed.
+    """
+
+    def __init__(self, config: TDAMConfig, n_rows: int,
+                 seed: Optional[int] = 0) -> None:
+        self.config = config
+        self.n_rows = n_rows
+        self._rng = np.random.default_rng(seed)
+
+    def draw(
+        self,
+        n_stuck_mismatch: int = 0,
+        n_stuck_match: int = 0,
+        n_dead_rows: int = 0,
+    ) -> List[Fault]:
+        """A random non-overlapping fault map of the requested counts."""
+        total_cells = self.n_rows * self.config.n_stages
+        n_cell_faults = n_stuck_mismatch + n_stuck_match
+        if n_cell_faults > total_cells:
+            raise ValueError("more cell faults than cells")
+        if n_dead_rows > self.n_rows:
+            raise ValueError("more dead rows than rows")
+        cells = self._rng.choice(total_cells, size=n_cell_faults, replace=False)
+        faults: List[Fault] = []
+        for i, cell in enumerate(cells):
+            kind = (
+                FaultType.STUCK_MISMATCH
+                if i < n_stuck_mismatch
+                else FaultType.STUCK_MATCH
+            )
+            faults.append(
+                Fault(
+                    kind=kind,
+                    row=int(cell) // self.config.n_stages,
+                    stage=int(cell) % self.config.n_stages,
+                )
+            )
+        rows = self._rng.choice(self.n_rows, size=n_dead_rows, replace=False)
+        faults.extend(Fault(kind=FaultType.DEAD_ROW, row=int(r)) for r in rows)
+        return faults
+
+
+def search_error_statistics(
+    faulty: FaultyTDAMArray,
+    queries: np.ndarray,
+) -> Dict[str, float]:
+    """Distance-error statistics of a faulty array over a query batch.
+
+    Returns:
+        ``max_abs_error``, ``mean_abs_error``, ``wrong_best_fraction`` --
+        the last one measured against the fault-free array's best row.
+    """
+    queries = np.atleast_2d(np.asarray(queries))
+    abs_errors: List[int] = []
+    wrong_best = 0
+    for q in queries:
+        faulty_result = faulty.search(q)
+        ideal = faulty.ideal_hamming(q)
+        abs_errors.extend(
+            np.abs(faulty_result.hamming_distances - ideal).tolist()
+        )
+        clean_best = int(
+            np.lexsort((np.arange(len(ideal)), ideal))[0]
+        )
+        if faulty_result.best_row != clean_best:
+            wrong_best += 1
+    errors = np.array(abs_errors, dtype=float)
+    return {
+        "max_abs_error": float(errors.max()),
+        "mean_abs_error": float(errors.mean()),
+        "wrong_best_fraction": wrong_best / len(queries),
+    }

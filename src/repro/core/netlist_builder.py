@@ -1,0 +1,275 @@
+"""Builds :mod:`repro.spice` netlists of TD-AM circuits.
+
+Three builders mirror the paper's figures:
+
+- :func:`build_cell_circuit` -- one 2-FeFET IMC cell with its precharge
+  PMOS and match-node capacitance (Fig. 2(d-f) transients);
+- :func:`build_chain_circuit` -- an N-stage variable-capacitance delay
+  chain wired for one step of the 2-step scheme (Fig. 4 waveforms);
+- the returned :class:`ChainNetlist` carries the node names, the input
+  waveform timing, and the initial conditions needed to run and measure
+  the transient.
+
+Timeline of a chain transient (one step):
+
+1. ``0 .. T_PRECHARGE`` -- precharge PMOS on, all search lines at 0 V;
+2. ``T_PRECHARGE ..`` -- precharge off, search lines driven with the step's
+   encoding (query on active stages, V_SL0 on parked stages); mismatched
+   match nodes discharge;
+3. ``T_PULSE`` -- the input edge launches into the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import TDAMConfig
+from repro.core.encoding import LevelEncoding
+from repro.core.stage import STEP_I, STEP_II
+from repro.devices.fefet import FeFET
+from repro.devices.mosfet import nmos, pmos
+from repro.spice.elements import (
+    Capacitor,
+    FeFETElement,
+    MOSFETElement,
+    StepWaveform,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit
+
+#: Precharge window (s).
+T_PRECHARGE = 0.2e-9
+#: Search lines applied this long after precharge ends (s).
+T_SL = 0.25e-9
+#: Input edge launch time (s).
+T_PULSE = 0.8e-9
+
+
+def _programmed_fefet(
+    config: TDAMConfig,
+    target_vth: float,
+    rng: np.random.Generator,
+    vth_offset: float,
+    name: str,
+) -> FeFET:
+    """A FeFET programmed to a ladder level, with a variation offset."""
+    device = FeFET(
+        config.fefet,
+        rng=np.random.default_rng(rng.integers(2**32)),
+        vth_offset=vth_offset,
+        name=name,
+    )
+    device.program_vth(target_vth)
+    return device
+
+
+@dataclass
+class CellNetlist:
+    """A cell netlist plus the probe points of the Fig. 2 transients."""
+
+    circuit: Circuit
+    mn_node: str = "mn"
+    v_init: Dict[str, float] = field(default_factory=dict)
+    t_settle: float = T_PRECHARGE + T_SL + 1.0e-9
+
+
+def build_cell_circuit(
+    config: TDAMConfig,
+    stored: int,
+    query: int,
+    rng: Optional[np.random.Generator] = None,
+    vth_offsets: Tuple[float, float] = (0.0, 0.0),
+) -> CellNetlist:
+    """One IMC cell: precharge then compute against ``query``.
+
+    The circuit reproduces the Fig. 2(d-f) experiment: probe the match
+    node and observe whether it stays at V_DD (match) or discharges
+    (mismatch).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    encoding = LevelEncoding(config)
+    drive = encoding.drive_for_query(query)
+    fa = _programmed_fefet(config, encoding.vth_for_fa(stored), rng, vth_offsets[0], "FA")
+    fb = _programmed_fefet(config, encoding.vth_for_fb(stored), rng, vth_offsets[1], "FB")
+
+    ckt = Circuit(f"cell_s{stored}_q{query}")
+    ckt.add(VoltageSource("vdd", config.vdd))
+    # Precharge PMOS: gate low during the precharge window, then off.
+    ckt.add(VoltageSource("preb", StepWaveform(0.0, config.vdd, t_step=T_PRECHARGE)))
+    ckt.add(MOSFETElement("mn", "preb", "vdd", pmos(config.tech, width=2.0), name="Mpre"))
+    # Search lines: 0 V until the compute phase, then the query encoding.
+    t_on = T_PRECHARGE + T_SL
+    ckt.add(VoltageSource("sla", StepWaveform(0.0, drive.vsl_a, t_step=t_on)))
+    ckt.add(VoltageSource("slb", StepWaveform(0.0, drive.vsl_b, t_step=t_on)))
+    ckt.add(FeFETElement("mn", "sla", "0", fa, name="FA"))
+    ckt.add(FeFETElement("mn", "slb", "0", fb, name="FB"))
+    ckt.add(Capacitor("mn", "0", config.c_mn_f, name="Cmn"))
+    return CellNetlist(circuit=ckt, v_init={"mn": 0.0})
+
+
+@dataclass
+class ChainNetlist:
+    """A chain netlist plus everything needed to run and measure it.
+
+    Attributes:
+        circuit: The netlist.
+        input_node: Chain input (driven by the step edge).
+        output_node: Final stage output.
+        stage_out_nodes: Per-stage inverter outputs.
+        mn_nodes: Per-stage match nodes.
+        v_init: Consistent pre-pulse initial conditions.
+        t_pulse: Launch time of the input edge (s).
+        t_stop_hint: Suggested simulation end time (s).
+        output_edge_rising: Whether the measured output edge is rising
+            (depends on the chain's inversion parity).
+        active_mismatches: Number of stages expected to add d_C in this
+            step (ideal encoding semantics; the transient may differ under
+            injected variation, which is the point of comparing).
+    """
+
+    circuit: Circuit
+    input_node: str
+    output_node: str
+    stage_out_nodes: List[str]
+    mn_nodes: List[str]
+    v_init: Dict[str, float]
+    t_pulse: float
+    t_stop_hint: float
+    output_edge_rising: bool
+    active_mismatches: int
+
+
+def build_chain_circuit(
+    config: TDAMConfig,
+    stored: Sequence[int],
+    query: Sequence[int],
+    step: str = STEP_I,
+    rising_input: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    vth_offsets: Optional[np.ndarray] = None,
+    t_stop_margin: float = 4.0,
+) -> ChainNetlist:
+    """An N-stage delay chain wired for one step of the 2-step scheme.
+
+    Args:
+        config: Design point (N = ``config.n_stages``).
+        stored: Stored vector (one level per stage).
+        query: Query vector.
+        step: ``"I"`` (even stages active) or ``"II"`` (odd stages).
+        rising_input: Edge polarity launched at the input; the paper's
+            step I processes the rising edge and step II the falling edge.
+        rng: Seed source for the FeFET ensembles.
+        vth_offsets: Optional (N, 2) per-stage device V_TH shifts.
+        t_stop_margin: End time as a multiple of the worst-case delay.
+
+    Returns:
+        The assembled :class:`ChainNetlist`.
+    """
+    if step not in (STEP_I, STEP_II):
+        raise ValueError(f"step must be 'I' or 'II', got {step!r}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    encoding = LevelEncoding(config)
+    stored = encoding.validate_vector(stored)
+    query = encoding.validate_vector(query)
+    n = config.n_stages
+    if len(stored) != n or len(query) != n:
+        raise ValueError(
+            f"stored/query must have length {n}, got {len(stored)}/{len(query)}"
+        )
+    if vth_offsets is None:
+        vth_offsets = np.zeros((n, 2))
+    vth_offsets = np.asarray(vth_offsets, dtype=float)
+
+    vdd = config.vdd
+    ckt = Circuit(f"chain{n}_step{step}")
+    ckt.add(VoltageSource("vdd", vdd))
+    ckt.add(VoltageSource("preb", StepWaveform(0.0, vdd, t_step=T_PRECHARGE)))
+    if rising_input:
+        input_wf = StepWaveform(0.0, vdd, t_step=T_PULSE, t_rise=20e-12)
+        v_in0 = 0.0
+    else:
+        input_wf = StepWaveform(vdd, 0.0, t_step=T_PULSE, t_rise=20e-12)
+        v_in0 = vdd
+    ckt.add(VoltageSource("in", input_wf))
+
+    t_sl = T_PRECHARGE + T_SL
+    v_init: Dict[str, float] = {}
+    stage_out_nodes: List[str] = []
+    mn_nodes: List[str] = []
+    active_mismatches = 0
+
+    prev_node = "in"
+    prev_level = v_in0
+    inv_n = nmos(config.tech, width=config.inverter_nmos_width)
+    inv_p = pmos(config.tech, width=config.inverter_pmos_width)
+    sw_p = pmos(config.tech, width=config.switch_pmos_width)
+    pre_p = pmos(config.tech, width=2.0)
+
+    for i in range(n):
+        out = f"s{i}_out"
+        mn = f"s{i}_mn"
+        cap = f"s{i}_cap"
+        stage_out_nodes.append(out)
+        mn_nodes.append(mn)
+        # Inverter.
+        ckt.add(MOSFETElement(out, prev_node, "0", inv_n, name=f"s{i}_Mn"))
+        ckt.add(MOSFETElement(out, prev_node, "vdd", inv_p, name=f"s{i}_Mp"))
+        ckt.add(Capacitor(out, "0", config.c_stage_par_f, name=f"s{i}_Cpar"))
+        # IMC cell with the step's search-line drive.
+        active = (step == STEP_I) == (i % 2 == 0)
+        drive = (
+            encoding.drive_for_query(int(query[i]))
+            if active
+            else encoding.drive_deactivated()
+        )
+        fa = _programmed_fefet(
+            config, encoding.vth_for_fa(int(stored[i])), rng,
+            float(vth_offsets[i, 0]), f"s{i}_FA",
+        )
+        fb = _programmed_fefet(
+            config, encoding.vth_for_fb(int(stored[i])), rng,
+            float(vth_offsets[i, 1]), f"s{i}_FB",
+        )
+        if active and int(stored[i]) != int(query[i]):
+            active_mismatches += 1
+        ckt.add(VoltageSource(f"s{i}_sla", StepWaveform(0.0, drive.vsl_a, t_step=t_sl)))
+        ckt.add(VoltageSource(f"s{i}_slb", StepWaveform(0.0, drive.vsl_b, t_step=t_sl)))
+        ckt.add(FeFETElement(mn, f"s{i}_sla", "0", fa, name=f"s{i}_FA"))
+        ckt.add(FeFETElement(mn, f"s{i}_slb", "0", fb, name=f"s{i}_FB"))
+        ckt.add(MOSFETElement(mn, "preb", "vdd", pre_p, name=f"s{i}_Mpre"))
+        ckt.add(Capacitor(mn, "0", config.c_mn_f, name=f"s{i}_Cmn"))
+        # Load branch: PMOS switch gated by MN, load capacitor behind it.
+        ckt.add(MOSFETElement(cap, mn, out, sw_p, name=f"s{i}_Msw"))
+        ckt.add(Capacitor(cap, "0", config.c_load_f, name=f"s{i}_Cload"))
+
+        level = vdd - prev_level  # inverter output at DC
+        v_init[out] = level
+        v_init[cap] = level
+        v_init[mn] = vdd
+        prev_node = out
+        prev_level = level
+
+    # Worst-case delay bound for the stop-time hint.
+    from repro.core.energy import TimingEnergyModel
+
+    timing = TimingEnergyModel(config)
+    worst = n * timing.d_inv + active_mismatches * timing.d_c
+    t_stop = T_PULSE + max(t_stop_margin * max(worst, timing.d_c), 2e-9)
+
+    # Output polarity: N inversions flip odd N.
+    output_edge_rising = rising_input if n % 2 == 0 else not rising_input
+    return ChainNetlist(
+        circuit=ckt,
+        input_node="in",
+        output_node=stage_out_nodes[-1],
+        stage_out_nodes=stage_out_nodes,
+        mn_nodes=mn_nodes,
+        v_init=v_init,
+        t_pulse=T_PULSE,
+        t_stop_hint=t_stop,
+        output_edge_rising=output_edge_rising,
+        active_mismatches=active_mismatches,
+    )

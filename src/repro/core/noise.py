@@ -1,0 +1,141 @@
+"""Sensing noise: TDC clock jitter and supply droop.
+
+Two noise sources the sensing path faces beyond device variation:
+
+- **clock jitter**: the counter's sampling edges wander, adding a random
+  error to every measured delay.  :class:`JitteryTDC` injects seeded
+  Gaussian jitter ahead of the counter so its decode error can be
+  measured with the same machinery as Fig. 6.
+- **supply droop**: simultaneous switching pulls V_DD down by a few
+  percent during a search, scaling every stage delay together.
+  :func:`droop_delay_factor` gives the multiplicative delay error, and
+  :func:`max_tolerable_droop` the droop at which the common-mode delay
+  error eats the half-LSB margin -- a replica chain (sharing the droop)
+  removes the common-mode term, which is why
+  :class:`~repro.core.replica.ReplicaCalibratedTDC` also helps here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.sensing import CounterTDC
+
+
+class JitteryTDC:
+    """A counter TDC with Gaussian sampling jitter.
+
+    Args:
+        config: Design point.
+        jitter_s: RMS jitter of the effective sampling instant (s).
+        seed: Seed of the jitter draws.
+        timing: Timing model for the decode (defaults from config).
+    """
+
+    def __init__(
+        self,
+        config: TDAMConfig,
+        jitter_s: float,
+        seed: Optional[int] = None,
+        timing: Optional[TimingEnergyModel] = None,
+    ) -> None:
+        if jitter_s < 0:
+            raise ValueError(f"jitter_s must be >= 0, got {jitter_s}")
+        self.config = config
+        self.jitter_s = jitter_s
+        self._tdc = CounterTDC(config, timing)
+        self._rng = np.random.default_rng(seed)
+
+    def decode_mismatches(self, delay_s: float) -> int:
+        """Decode a delay with jitter applied to the measurement."""
+        jittered = max(delay_s + self._rng.normal(0.0, self.jitter_s), 0.0)
+        return self._tdc.decode_mismatches(jittered)
+
+    def decode_error_rate(self, n_mismatch: int, n_trials: int = 500) -> float:
+        """Monte Carlo decode-error rate at a fixed true distance."""
+        if not 0 <= n_mismatch <= self.config.n_stages:
+            raise ValueError(
+                f"n_mismatch must be in [0, {self.config.n_stages}]"
+            )
+        if n_trials < 1:
+            raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+        delay = self._tdc.timing.chain_delay(n_mismatch)
+        wrong = sum(
+            self.decode_mismatches(delay) != n_mismatch
+            for _ in range(n_trials)
+        )
+        return wrong / n_trials
+
+
+def jitter_tolerance_s(
+    config: TDAMConfig,
+    target_error_rate: float = 0.01,
+    n_trials: int = 400,
+    seed: int = 5,
+) -> float:
+    """Largest RMS jitter keeping the decode error under a target.
+
+    Bisects over jitter at the mid-range distance (the statistically
+    hardest point lies between code boundaries anyway since errors are
+    boundary crossings).
+    """
+    if not 0.0 < target_error_rate < 1.0:
+        raise ValueError("target_error_rate must be in (0, 1)")
+    timing = TimingEnergyModel(config)
+    lo, hi = 0.0, timing.d_c  # beyond one LSB of jitter everything breaks
+    n_mid = config.n_stages // 2
+    for _ in range(18):
+        mid = (lo + hi) / 2.0
+        tdc = JitteryTDC(config, mid, seed=seed, timing=timing)
+        if tdc.decode_error_rate(n_mid, n_trials) <= target_error_rate:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def droop_delay_factor(config: TDAMConfig, droop_fraction: float) -> float:
+    """Multiplicative chain-delay change under a supply droop.
+
+    Evaluates the timing model at the drooped supply; the common-mode
+    factor applies to d_INV and d_C alike.
+    """
+    if not 0.0 <= droop_fraction < 0.5:
+        raise ValueError(
+            f"droop_fraction must be in [0, 0.5), got {droop_fraction}"
+        )
+    nominal = TimingEnergyModel(config)
+    drooped = TimingEnergyModel(
+        config.with_(vdd=config.vdd * (1.0 - droop_fraction))
+    )
+    return drooped.d_c / nominal.d_c
+
+
+def max_tolerable_droop(
+    config: TDAMConfig, n_mismatch: Optional[int] = None
+) -> float:
+    """Droop fraction at which the delay error reaches the half-LSB
+    margin at a given distance (worst case: the full chain).
+
+    A fixed-calibration decode fails beyond this; a droop-sharing replica
+    chain cancels the common-mode term entirely.
+    """
+    n_mismatch = (
+        n_mismatch if n_mismatch is not None else config.n_stages
+    )
+    timing = TimingEnergyModel(config)
+    nominal = timing.chain_delay(n_mismatch)
+    margin = timing.d_c / 2.0
+    lo, hi = 0.0, 0.49
+    for _ in range(40):
+        mid = (lo + hi) / 2.0
+        factor = droop_delay_factor(config, mid)
+        if abs(nominal * factor - nominal) <= margin:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,169 @@
+"""Array programming: write-verify orchestration, time and energy.
+
+Deploying a model onto the TD-AM means programming every FeFET of every
+cell through the erase-then-partial-program scheme with verify retries
+(:class:`~repro.devices.write.WriteScheme`).  This module budgets that
+operation at array scale:
+
+- per-pulse energy from the gate-stack capacitance and write amplitude,
+- per-cell pulse counts including verify retries (drawn from a retry
+  distribution calibrated on the device model),
+- column-parallel scheduling: all cells of a row program together, the
+  slowest cell (most retries) sets the row time,
+
+and produces a :class:`ProgrammingReport` for a whole model deployment --
+the "how long does loading my HDC model take" answer, plus the endurance
+budget it consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import TDAMConfig
+from repro.devices.nonideal import EnduranceModel
+
+#: FeFET gate-stack capacitance during a write pulse (F); the MFM stack
+#: switching charge dominates ordinary gate capacitance.
+C_WRITE_GATE_F = 1.2e-15
+#: Write pulse width (s).
+T_WRITE_PULSE_S = 100e-9
+#: Verify (read) time per attempt (s).
+T_VERIFY_S = 20e-9
+#: Verify read energy per cell (J).
+E_VERIFY_J = 2e-15
+
+
+@dataclass(frozen=True)
+class ProgrammingReport:
+    """Cost of programming one array image.
+
+    Attributes:
+        n_rows: Rows programmed.
+        n_cells: Cells programmed (rows x stages).
+        total_time_s: Wall-clock programming time (rows serial, cells of
+            a row parallel).
+        total_energy_j: Pulse + verify energy over all cells.
+        mean_pulses_per_cell: Average write pulses (erase+program pairs).
+        worst_pulses_per_cell: Largest per-cell pulse count observed.
+        endurance_cycles_consumed: Program/erase cycles added to every
+            cell of the array image.
+    """
+
+    n_rows: int
+    n_cells: int
+    total_time_s: float
+    total_energy_j: float
+    mean_pulses_per_cell: float
+    worst_pulses_per_cell: int
+    endurance_cycles_consumed: float
+
+
+class ProgrammingModel:
+    """Write-path cost model of one TD-AM instance.
+
+    Args:
+        config: Design point (supplies erase/program voltages and size).
+        retry_p: Probability that a verify fails and another erase/program
+            pair is needed (geometric retry model; ~0.25 matches the
+            verify loop's behaviour on the device model at 20 mV
+            tolerance).
+        max_retries: Retry cap per cell (write scheme default).
+        seed: Seed of the retry draws.
+    """
+
+    def __init__(
+        self,
+        config: TDAMConfig,
+        retry_p: float = 0.25,
+        max_retries: int = 12,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if not 0.0 <= retry_p < 1.0:
+            raise ValueError(f"retry_p must be in [0, 1), got {retry_p}")
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {max_retries}")
+        self.config = config
+        self.retry_p = retry_p
+        self.max_retries = max_retries
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Per-pulse primitives
+    # ------------------------------------------------------------------
+    @property
+    def pulse_energy_j(self) -> float:
+        """Energy of one erase + one program pulse on one FeFET (J)."""
+        erase = C_WRITE_GATE_F * self.config.fefet.erase_voltage**2
+        program = C_WRITE_GATE_F * self.config.fefet.program_voltage**2
+        return erase + program
+
+    @property
+    def attempt_time_s(self) -> float:
+        """Time of one erase+program+verify attempt (s)."""
+        return 2 * T_WRITE_PULSE_S + T_VERIFY_S
+
+    def draw_pulse_counts(self, n_cells: int) -> np.ndarray:
+        """Geometric verify-retry pulse counts per cell (capped)."""
+        if n_cells < 1:
+            raise ValueError(f"n_cells must be >= 1, got {n_cells}")
+        attempts = self._rng.geometric(1.0 - self.retry_p, size=n_cells)
+        return np.minimum(attempts, self.max_retries)
+
+    # ------------------------------------------------------------------
+    # Array-image programming
+    # ------------------------------------------------------------------
+    def program_image(self, n_rows: int) -> ProgrammingReport:
+        """Cost of programming ``n_rows`` of ``config.n_stages`` cells.
+
+        Rows program serially (shared write drivers); within a row every
+        cell's two FeFETs program in parallel, so the slowest cell of
+        each row sets the row time.
+        """
+        if n_rows < 1:
+            raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+        n_stages = self.config.n_stages
+        total_time = 0.0
+        total_energy = 0.0
+        all_attempts = []
+        worst = 0
+        for _ in range(n_rows):
+            attempts = self.draw_pulse_counts(n_stages)
+            all_attempts.append(attempts)
+            worst = max(worst, int(attempts.max()))
+            total_time += float(attempts.max()) * self.attempt_time_s
+            # Two FeFETs per cell, each pulsed `attempts` times.
+            total_energy += float(
+                (attempts * 2 * self.pulse_energy_j).sum()
+                + (attempts * 2 * E_VERIFY_J).sum()
+            )
+        attempts_flat = np.concatenate(all_attempts)
+        return ProgrammingReport(
+            n_rows=n_rows,
+            n_cells=n_rows * n_stages,
+            total_time_s=total_time,
+            total_energy_j=total_energy,
+            mean_pulses_per_cell=float(attempts_flat.mean()),
+            worst_pulses_per_cell=worst,
+            endurance_cycles_consumed=float(attempts_flat.mean()),
+        )
+
+    def deployments_until_fatigue(
+        self,
+        n_rows: int,
+        endurance: Optional[EnduranceModel] = None,
+        window_floor: float = 0.97,
+    ) -> float:
+        """How many model re-deployments the array survives.
+
+        The configured V_TH ladder spans the whole pristine window, so
+        already a few percent of fatigue narrowing breaks the outer
+        levels; ``window_floor`` sets the accepted narrowing.
+        """
+        endurance = endurance or EnduranceModel(params=self.config.fefet)
+        cycles_budget = endurance.cycles_to_window_fraction(window_floor)
+        report = self.program_image(n_rows)
+        return cycles_budget / report.endurance_cycles_consumed

@@ -1,0 +1,125 @@
+"""Replica-chain runtime calibration of the TDC decode.
+
+The TDC decodes a measured delay through the delay law
+``d = 2 N d_INV + N_mis d_C`` using *calibration-time* values of
+``d_INV`` and ``d_C``.  Both drift with temperature and supply, so an
+uncalibrated decode mis-counts mismatches as conditions move away from
+the calibration point.
+
+The standard mitigation -- used by production time-domain designs -- is a
+**replica chain**: one extra row programmed with a known pattern so two
+reference delays can be measured at any moment:
+
+- a zero-mismatch search gives ``d_0 = 2 N d_INV``,
+- a known ``k``-mismatch search gives ``d_k = d_0 + k d_C``,
+
+from which the *current* ``d_INV`` and ``d_C`` follow, and every data
+decode uses them.  :class:`ReplicaCalibratedTDC` implements exactly this
+two-point self-calibration; ``repro.experiments.ext_temperature``
+measures how much decode error it removes across the industrial
+temperature range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.sensing import CounterTDC
+
+
+@dataclass(frozen=True)
+class ReplicaMeasurement:
+    """The two replica reference delays.
+
+    Attributes:
+        d_zero_s: Delay of the zero-mismatch replica search.
+        d_k_s: Delay of the k-mismatch replica search.
+        k: Mismatch count of the second reference.
+    """
+
+    d_zero_s: float
+    d_k_s: float
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"replica mismatch count must be >= 1, got {self.k}")
+        if self.d_k_s <= self.d_zero_s:
+            raise ValueError(
+                "k-mismatch replica delay must exceed the zero-mismatch one"
+            )
+
+
+class ReplicaCalibratedTDC:
+    """Counter TDC whose decode tracks replica-measured stage delays.
+
+    Args:
+        config: Design point (chain length, TDC clock).
+        measurement: The latest replica measurement; refresh with
+            :meth:`recalibrate` whenever conditions may have drifted.
+    """
+
+    def __init__(
+        self, config: TDAMConfig, measurement: ReplicaMeasurement
+    ) -> None:
+        self.config = config
+        self._tdc = CounterTDC(config)
+        self.measurement = measurement
+
+    # ------------------------------------------------------------------
+    # Calibration state
+    # ------------------------------------------------------------------
+    @property
+    def d_inv_s(self) -> float:
+        """Replica-derived intrinsic stage delay."""
+        return self.measurement.d_zero_s / (2 * self.config.n_stages)
+
+    @property
+    def d_c_s(self) -> float:
+        """Replica-derived mismatch delay adder."""
+        return (
+            self.measurement.d_k_s - self.measurement.d_zero_s
+        ) / self.measurement.k
+
+    def recalibrate(self, measurement: ReplicaMeasurement) -> None:
+        """Adopt a fresh replica measurement."""
+        self.measurement = measurement
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def decode_mismatches(self, delay_s: float) -> int:
+        """Decode a measured delay with the replica-tracked parameters."""
+        measured = self._tdc.count(delay_s) * self._tdc.clock_period_s
+        raw = (
+            measured + self._tdc.clock_period_s / 2.0 - self.measurement.d_zero_s
+        ) / self.d_c_s
+        return int(min(max(round(raw), 0), self.config.n_stages))
+
+
+def measure_replica(
+    timing: TimingEnergyModel, k: Optional[int] = None
+) -> ReplicaMeasurement:
+    """Replica delays under the *current* conditions of a timing model.
+
+    In silicon the replica chain physically produces these delays; in the
+    reproduction they come from the timing model evaluated at the true
+    operating condition (e.g. the hot-temperature technology), while the
+    decode under test may hold stale calibration constants.
+
+    Args:
+        timing: The timing model representing current conditions.
+        k: Replica mismatch count; defaults to half the chain.
+    """
+    n = timing.config.n_stages
+    k = k if k is not None else max(1, n // 2)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    return ReplicaMeasurement(
+        d_zero_s=timing.chain_delay(0),
+        d_k_s=timing.chain_delay(k),
+        k=k,
+    )

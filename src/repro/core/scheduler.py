@@ -1,0 +1,199 @@
+"""Array-level operation scheduling: phases, pipelining, and tiling.
+
+A TD-AM search is a fixed sequence of phases (Sec. III):
+
+1. **precharge** -- all match nodes pulled to V_DD,
+2. **SL setup** -- search lines driven with the query encoding,
+3. **step I** -- rising edge propagates (even stages active),
+4. **step II** -- falling edge propagates (odd stages active),
+5. **TDC readout** -- counters latched and decoded.
+
+:class:`OperationScheduler` turns a design point into a phase schedule
+and computes single-query latency and steady-state throughput, including
+the pipelining the structure permits: while a tile's edges propagate,
+the *next* tile's match nodes can precharge and its search lines settle
+(they are independent arrays), so in steady state the tile cadence is
+bounded by ``max(propagation, precharge + SL setup)``.
+
+Vectors longer than one chain are handled by :class:`TileSchedule`:
+``ceil(D / N)`` tiles processed serially with per-tile TDC accumulation
+-- the mapping used by the Fig. 8 system evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+
+#: Match-node precharge phase duration (s); set by the precharge PMOS
+#: drive and MN capacitance, generous at 0.2 ns (cf. netlist builder).
+T_PRECHARGE_S = 0.2e-9
+#: Search-line settle time (s): driver slew + FeFET gate loading.
+T_SL_SETUP_S = 0.25e-9
+#: TDC latch + decode time per tile (s).
+T_TDC_READOUT_S = 3.5e-9
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """Single-search phase timing for one array/tile.
+
+    Attributes:
+        t_precharge_s: Match-node precharge.
+        t_sl_setup_s: Search-line settle.
+        t_step1_s: Worst-case rising-edge propagation.
+        t_step2_s: Worst-case falling-edge propagation.
+        t_readout_s: TDC latch/decode.
+    """
+
+    t_precharge_s: float
+    t_sl_setup_s: float
+    t_step1_s: float
+    t_step2_s: float
+    t_readout_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Unpipelined single-search latency (sum of all phases)."""
+        return (
+            self.t_precharge_s
+            + self.t_sl_setup_s
+            + self.t_step1_s
+            + self.t_step2_s
+            + self.t_readout_s
+        )
+
+    @property
+    def pipelined_interval_s(self) -> float:
+        """Steady-state search-to-search interval with phase overlap.
+
+        Precharge/SL setup of search ``k+1`` overlaps propagation and
+        readout of search ``k`` (double-buffered SL drivers), so the
+        cadence is the slower of the two groups.
+        """
+        propagate = self.t_step1_s + self.t_step2_s + self.t_readout_s
+        prepare = self.t_precharge_s + self.t_sl_setup_s
+        return max(propagate, prepare)
+
+
+class OperationScheduler:
+    """Phase scheduling and throughput for one TD-AM array.
+
+    Args:
+        config: The design point.
+        timing: Shared timing model (constructed from config if omitted).
+    """
+
+    def __init__(self, config: TDAMConfig, timing: Optional[TimingEnergyModel] = None):
+        self.config = config
+        self.timing = timing or TimingEnergyModel(config)
+
+    def schedule(self, worst_case: bool = True,
+                 n_mismatch: Optional[int] = None) -> PhaseSchedule:
+        """Phase schedule for one search.
+
+        Args:
+            worst_case: Budget the steps for all stages mismatching (a
+                synchronous controller must); otherwise use
+                ``n_mismatch``.
+            n_mismatch: Mismatch count when ``worst_case=False``.
+        """
+        n = self.config.n_stages
+        if worst_case:
+            n_even = (n + 1) // 2
+            n_odd = n // 2
+        else:
+            if n_mismatch is None:
+                raise ValueError("n_mismatch required when worst_case=False")
+            if not 0 <= n_mismatch <= n:
+                raise ValueError(
+                    f"n_mismatch must be in [0, {n}], got {n_mismatch}"
+                )
+            n_even = n_mismatch // 2
+            n_odd = n_mismatch - n_even
+        return PhaseSchedule(
+            t_precharge_s=T_PRECHARGE_S,
+            t_sl_setup_s=T_SL_SETUP_S,
+            t_step1_s=self.timing.step_delay(n_even),
+            t_step2_s=self.timing.step_delay(n_odd),
+            t_readout_s=T_TDC_READOUT_S,
+        )
+
+    def searches_per_second(self, pipelined: bool = True) -> float:
+        """Steady-state search throughput of one array."""
+        schedule = self.schedule()
+        interval = (
+            schedule.pipelined_interval_s if pipelined else schedule.latency_s
+        )
+        return 1.0 / interval
+
+    def tile_schedule(self, dimension: int) -> "TileSchedule":
+        """Tiling plan for vectors longer than one chain."""
+        return TileSchedule(self, dimension)
+
+
+@dataclass
+class TileSchedule:
+    """Serial tile processing of a D-dimensional query.
+
+    Args:
+        scheduler: The per-tile scheduler.
+        dimension: Query/stored vector length.
+    """
+
+    scheduler: OperationScheduler
+    dimension: int
+
+    def __post_init__(self) -> None:
+        if self.dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {self.dimension}")
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of N-stage tiles covering the dimension."""
+        return math.ceil(self.dimension / self.scheduler.config.n_stages)
+
+    @property
+    def padding(self) -> int:
+        """Always-match padding elements in the last tile."""
+        return self.n_tiles * self.scheduler.config.n_stages - self.dimension
+
+    def query_latency_s(self, pipelined: bool = True) -> float:
+        """End-to-end latency of one D-dimensional query.
+
+        With pipelining, tiles stream at the pipelined interval and only
+        the first tile pays the full phase latency.
+        """
+        schedule = self.scheduler.schedule()
+        if not pipelined or self.n_tiles == 1:
+            return self.n_tiles * schedule.latency_s
+        return (
+            schedule.latency_s
+            + (self.n_tiles - 1) * schedule.pipelined_interval_s
+        )
+
+    def queries_per_second(self, pipelined: bool = True) -> float:
+        """Steady-state query throughput."""
+        schedule = self.scheduler.schedule()
+        interval = (
+            schedule.pipelined_interval_s if pipelined else schedule.latency_s
+        )
+        return 1.0 / (self.n_tiles * interval)
+
+    def phase_timeline(self) -> List[str]:
+        """Human-readable per-tile phase timeline (for reports/debug)."""
+        schedule = self.scheduler.schedule()
+        lines = []
+        t = 0.0
+        for tile in range(self.n_tiles):
+            lines.append(
+                f"tile {tile}: precharge@{t * 1e9:.2f}ns "
+                f"stepI@{(t + schedule.t_precharge_s + schedule.t_sl_setup_s) * 1e9:.2f}ns "
+                f"readout@{(t + schedule.latency_s - schedule.t_readout_s) * 1e9:.2f}ns"
+            )
+            t += schedule.pipelined_interval_s
+        return lines

@@ -1,0 +1,142 @@
+"""Sensing: the counter time-to-digital converter and margin analysis.
+
+The TD-AM's output is a time interval.  The paper's sensing unit is a
+counter that runs while the delayed edge propagates; the count is the
+digital similarity result.  Because the delay law is strictly linear
+(``d_tot = 2 N d_INV + N_mis d_C``), decoding a count back to a Hamming
+distance is a subtraction and a division -- no ADC.
+
+Resolution/robustness trade (Sec. IV-A): one mismatch moves the delay by
+``d_C``, so the clock period must not exceed ``d_C`` and variation-induced
+delay spread must stay within the half-LSB sensing margin ``d_C / 2``.
+:class:`SensingAnalysis` quantifies exactly that for Monte Carlo samples
+(Fig. 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+
+
+class CounterTDC:
+    """A counter-based time-to-digital converter.
+
+    Args:
+        config: Design point (supplies the TDC clock).
+        timing: The timing model used to decode counts to mismatches.
+    """
+
+    def __init__(self, config: TDAMConfig, timing: Optional[TimingEnergyModel] = None):
+        self.config = config
+        self.timing = timing or TimingEnergyModel(config)
+
+    @property
+    def clock_period_s(self) -> float:
+        """Counter clock period (s)."""
+        return 1e-9 / self.config.tdc_clock_ghz
+
+    @property
+    def resolution_ok(self) -> bool:
+        """Whether one mismatch LSB (d_C) spans at least one clock tick."""
+        return self.timing.d_c >= self.clock_period_s
+
+    def count(self, delay_s: float) -> int:
+        """Clock ticks elapsed during the measured delay."""
+        if delay_s < 0:
+            raise ValueError(f"delay must be >= 0, got {delay_s}")
+        return int(math.floor(delay_s / self.clock_period_s))
+
+    def decode_mismatches(self, delay_s: float) -> int:
+        """Decode a measured delay to a mismatch count (clamped to [0, N]).
+
+        Subtracts the intrinsic 2-step offset and rounds to the nearest
+        whole mismatch -- correct whenever the delay error is within the
+        half-LSB sensing margin.
+        """
+        # Quantize through the counter first: this is what hardware sees.
+        measured = self.count(delay_s) * self.clock_period_s
+        raw = self.timing.delay_to_mismatches(measured + self.clock_period_s / 2.0)
+        return int(min(max(round(raw), 0), self.config.n_stages))
+
+    def sensing_margin_s(self) -> float:
+        """Half of the mismatch LSB: the tolerated absolute delay error."""
+        return self.timing.d_c / 2.0
+
+    def minimum_clock_ghz(self) -> float:
+        """Slowest counter clock (GHz) that still resolves one mismatch.
+
+        The design helper behind the paper's resolution/complexity trade
+        (Sec. IV-A): larger load capacitors relax the counter, smaller
+        ones demand a faster (costlier) one.
+        """
+        return 1e-9 / self.timing.d_c
+
+
+@dataclass(frozen=True)
+class MarginReport:
+    """Outcome of a sensing-margin analysis over delay samples.
+
+    Attributes:
+        nominal_delay_s: Expected delay of the evaluated case.
+        margin_s: Half-LSB sensing margin.
+        yield_fraction: Fraction of samples within the margin.
+        worst_error_s: Largest |delay - nominal| observed.
+        std_s: Sample standard deviation.
+        margin_utilization: ``3 * std / margin`` -- below 1.0 means a
+            3-sigma ellipse fits inside the margin.
+    """
+
+    nominal_delay_s: float
+    margin_s: float
+    yield_fraction: float
+    worst_error_s: float
+    std_s: float
+    margin_utilization: float
+
+
+class SensingAnalysis:
+    """Evaluates delay distributions against the sensing margin (Fig. 6)."""
+
+    def __init__(self, config: TDAMConfig, timing: Optional[TimingEnergyModel] = None):
+        self.config = config
+        self.timing = timing or TimingEnergyModel(config)
+        self.tdc = CounterTDC(config, self.timing)
+
+    def margin_report(
+        self, delays_s: Sequence[float], n_mismatch: int
+    ) -> MarginReport:
+        """Analyze Monte Carlo delay samples of a known mismatch count.
+
+        Args:
+            delays_s: Measured chain delays (s).
+            n_mismatch: The true mismatch count of the evaluated searches.
+        """
+        samples = np.asarray(delays_s, dtype=float)
+        if samples.size == 0:
+            raise ValueError("delays_s must not be empty")
+        nominal = self.timing.chain_delay(n_mismatch)
+        margin = self.tdc.sensing_margin_s()
+        errors = np.abs(samples - nominal)
+        std = float(samples.std(ddof=1)) if samples.size > 1 else 0.0
+        return MarginReport(
+            nominal_delay_s=nominal,
+            margin_s=margin,
+            yield_fraction=float((errors <= margin).mean()),
+            worst_error_s=float(errors.max()),
+            std_s=std,
+            margin_utilization=(3.0 * std / margin) if margin > 0 else float("inf"),
+        )
+
+    def decode_error_rate(
+        self, delays_s: Sequence[float], n_mismatch: int
+    ) -> float:
+        """Fraction of samples the TDC decodes to the wrong distance."""
+        decoded = np.array([self.tdc.decode_mismatches(d) for d in delays_s])
+        return float((decoded != n_mismatch).mean())

@@ -1,0 +1,154 @@
+"""The variable-capacitance delay stage (Fig. 3(b)).
+
+A stage is an inverter, a load capacitor ``C``, a PMOS load switch, and a
+2-FeFET IMC cell whose match node (MN) drives the switch gate:
+
+- **match** (or deactivated stage): MN stays at V_DD, the switch is off,
+  the load capacitor is isolated, and the stage contributes only the
+  inverter's intrinsic delay ``d_INV``;
+- **mismatch**: MN is discharged, the switch turns on, and the inverter
+  must additionally charge ``C`` -- delay ``d_INV + d_C``.
+
+The IMC cell sits *outside* the pulse propagation path (it only controls
+the switch), which is the paper's robustness argument: FeFET V_TH
+variation perturbs the mismatch delay only through the second-order path
+V_TH -> MN residual level -> switch resistance.  That weak coupling is
+modelled by ``config.delay_variation_sensitivity`` (calibrated against the
+transient backend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.cell import CellState, MultiBitIMCCell
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+
+#: Step identifiers of the 2-step operation scheme.
+STEP_I = "I"
+STEP_II = "II"
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """Result of one stage during one step.
+
+    Attributes:
+        active: Whether the stage's parity made it participate in the step.
+        mismatch: Whether the cell discharged MN (always False when the
+            stage is inactive -- a parked cell is electrically a match).
+        delay_s: The stage's contribution to the edge propagation delay.
+        cell_state: The underlying cell outcome (None when inactive and
+            the cell was parked without evaluation).
+    """
+
+    active: bool
+    mismatch: bool
+    delay_s: float
+    cell_state: Optional[CellState] = None
+
+
+class DelayStage:
+    """One delay stage of a chain.
+
+    Args:
+        config: Design point.
+        index: 0-based position in the chain; even indices participate in
+            step I (rising edge), odd indices in step II (falling edge).
+        timing: Shared analytic timing model (one per chain).
+        rng: Seeded generator for the cell's FeFET ensembles.
+        vth_offsets: Device-to-device V_TH shifts of (F_A, F_B) in volts.
+    """
+
+    def __init__(
+        self,
+        config: TDAMConfig,
+        index: int,
+        timing: TimingEnergyModel,
+        rng: Optional[np.random.Generator] = None,
+        vth_offsets: Tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        if index < 0:
+            raise ValueError(f"stage index must be >= 0, got {index}")
+        self.config = config
+        self.index = index
+        self.timing = timing
+        self.cell = MultiBitIMCCell(
+            config, rng=rng, vth_offsets=vth_offsets, name=f"stage{index}.cell"
+        )
+        self.vth_offsets = vth_offsets
+
+    @property
+    def parity_step(self) -> str:
+        """The step in which this stage participates (``"I"`` or ``"II"``)."""
+        return STEP_I if self.index % 2 == 0 else STEP_II
+
+    def write(self, value: int) -> None:
+        """Program the stage's cell."""
+        self.cell.write(value)
+
+    def set_vth_offsets(self, fa_offset: float, fb_offset: float) -> None:
+        """Replace the stage's device V_TH offsets (variation draw)."""
+        self.vth_offsets = (float(fa_offset), float(fb_offset))
+        self.cell.set_vth_offsets(fa_offset, fb_offset)
+
+    def evaluate(self, query: int, step: str) -> StageOutcome:
+        """Evaluate the stage for one step of the 2-step scheme.
+
+        Args:
+            query: The query element for this stage's position.
+            step: ``"I"`` (rising edge, even stages active) or ``"II"``.
+
+        Returns:
+            The stage outcome including its delay contribution.
+        """
+        if step not in (STEP_I, STEP_II):
+            raise ValueError(f"step must be 'I' or 'II', got {step!r}")
+        active = step == self.parity_step
+        if not active:
+            state = self.cell.deactivated_state()
+            if not state.mn_high:
+                raise RuntimeError(
+                    f"stage {self.index}: parked cell discharged MN "
+                    f"(V_TH corruption beyond the deactivation margin)"
+                )
+            return StageOutcome(
+                active=False, mismatch=False, delay_s=self.timing.d_inv,
+                cell_state=state,
+            )
+        state = self.cell.compare(query)
+        if state.mn_high:
+            return StageOutcome(
+                active=True, mismatch=False, delay_s=self.timing.d_inv,
+                cell_state=state,
+            )
+        return StageOutcome(
+            active=True,
+            mismatch=True,
+            delay_s=self.timing.d_inv + self._mismatch_delay(state),
+            cell_state=state,
+        )
+
+    def _mismatch_delay(self, state: CellState) -> float:
+        """The d_C contribution, weakly modulated by the V_TH shift of the
+        conducting FeFET (the paper's second-order variation path)."""
+        if state.fa_conducting and not state.fb_conducting:
+            shift = self.vth_offsets[0]
+        elif state.fb_conducting and not state.fa_conducting:
+            shift = self.vth_offsets[1]
+        else:
+            # Both conducting can only happen under extreme corruption;
+            # the stronger (lower-V_TH) device dominates the discharge.
+            shift = min(self.vth_offsets)
+        factor = 1.0 + self.config.delay_variation_sensitivity * shift / self.config.vdd
+        return self.timing.d_c * max(factor, 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"DelayStage(index={self.index}, step={self.parity_step}, "
+            f"stored={self.cell.stored})"
+        )

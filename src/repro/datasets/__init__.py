@@ -1,0 +1,34 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper evaluates HDC on three UCI-style datasets that are not
+available offline, so this package generates seeded synthetic equivalents
+matching each dataset's *shape* and difficulty profile (see DESIGN.md
+section 2 for the substitution rationale):
+
+- **ISOLET** [43]: spoken-letter recognition, 617 features, 26 classes,
+  medium separability.
+- **UCIHAR** [44]: smartphone activity recognition, 561 features, 6
+  classes, with intentionally confusable class pairs (e.g. walking vs.
+  walking-upstairs) -- the hardest of the three at low precision.
+- **FACE** [42]: face detection, 608 features, binary, well separated.
+"""
+
+from repro.datasets.loaders import load_csv_dataset, load_isolet, load_ucihar
+from repro.datasets.synthetic import (
+    Dataset,
+    make_face_like,
+    make_isolet_like,
+    make_ucihar_like,
+    standard_suite,
+)
+
+__all__ = [
+    "Dataset",
+    "make_isolet_like",
+    "make_ucihar_like",
+    "make_face_like",
+    "standard_suite",
+    "load_csv_dataset",
+    "load_isolet",
+    "load_ucihar",
+]

@@ -1,0 +1,65 @@
+"""Behavioral device models: multi-domain FeFET, MOSFET, variation.
+
+This subpackage replaces the proprietary substrate of the paper (Cadence
+Spectre, the UMC 40 nm PDK, and the experimentally calibrated Preisach
+FeFET compact model of Ni et al., VLSI'18) with behavioral equivalents:
+
+- :class:`~repro.devices.preisach.PreisachModel` -- an ensemble of
+  elementary hysterons with a distributed coercive-voltage spectrum, giving
+  the FeFET its partial-polarization (multi-level) behaviour.
+- :class:`~repro.devices.fefet.FeFET` -- a polarization-dependent threshold
+  voltage on top of a square-law transistor, with write/erase pulses.
+- :class:`~repro.devices.mosfet.MOSFET` -- 40 nm-class behavioral NMOS and
+  PMOS models (square-law saturation/triode + subthreshold exponential).
+- :mod:`~repro.devices.variation` -- device-to-device V_TH variation with
+  the per-state sigmas the paper extracted from measured data
+  (7.1 / 35 / 45 / 40 mV for V_TH0..V_TH3).
+- :mod:`~repro.devices.write` -- write-pulse schemes programming the four
+  V_TH states (erase-then-partial-program, after Reis et al. [36]).
+"""
+
+from repro.devices.fefet import FeFET, FeFETParams
+from repro.devices.mosfet import MOSFET, MOSFETParams, nmos, pmos
+from repro.devices.params import TechnologyParams, UMC40_LIKE
+from repro.devices.nonideal import (
+    DisturbModel,
+    EnduranceModel,
+    RetentionModel,
+    aged_match_margin,
+    compensated_vsl_levels,
+    retention_limited_lifetime_s,
+)
+from repro.devices.preisach import Hysteron, PreisachModel
+from repro.devices.temperature import delay_temperature_sensitivity, technology_at
+from repro.devices.variation import (
+    MEASURED_VTH_SIGMA_MV,
+    DeviceEnsemble,
+    VariationModel,
+)
+from repro.devices.write import WritePulse, WriteScheme
+
+__all__ = [
+    "FeFET",
+    "FeFETParams",
+    "MOSFET",
+    "MOSFETParams",
+    "nmos",
+    "pmos",
+    "TechnologyParams",
+    "UMC40_LIKE",
+    "Hysteron",
+    "PreisachModel",
+    "MEASURED_VTH_SIGMA_MV",
+    "DeviceEnsemble",
+    "VariationModel",
+    "WritePulse",
+    "WriteScheme",
+    "RetentionModel",
+    "EnduranceModel",
+    "DisturbModel",
+    "aged_match_margin",
+    "compensated_vsl_levels",
+    "retention_limited_lifetime_s",
+    "technology_at",
+    "delay_temperature_sensitivity",
+]

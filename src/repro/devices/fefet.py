@@ -1,0 +1,262 @@
+"""Multi-domain FeFET behavioral model.
+
+A FeFET is a MOSFET with a ferroelectric layer in the gate stack; the
+remnant polarization of that layer shifts the transistor threshold voltage.
+This module composes the two pieces:
+
+- the :class:`~repro.devices.preisach.PreisachModel` tracks the (partial)
+  polarization state under write/erase pulses, and
+- an embedded :class:`~repro.devices.mosfet.MOSFET` evaluates the channel
+  current at the polarization-shifted threshold.
+
+The linear map ``V_TH(P) = vth_center - P * vth_range / 2`` reproduces the
+programmable window of the paper: full-up polarization (P = +1) gives the
+lowest threshold ``V_TH0`` and full-down (P = -1) the highest ``V_TH3``.
+With the DATE'24 ladder V_TH0..V_TH3 = 0.2/0.6/1.0/1.4 V this means
+``vth_center = 0.8 V`` and ``vth_range = 1.2 V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.mosfet import MOSFET, MOSFETParams
+from repro.devices.preisach import PreisachModel
+
+
+@dataclass(frozen=True)
+class FeFETParams:
+    """Parameters of the behavioral FeFET.
+
+    Attributes:
+        vth_center: Threshold voltage at zero polarization (V).
+        vth_range: Full programmable V_TH window (V); the threshold spans
+            ``vth_center +- vth_range / 2``.
+        kp: Channel transconductance parameter (A/V^2).
+        lam: Channel-length modulation (1/V).
+        subthreshold_swing_mv: Subthreshold swing (mV/decade).
+        width: Relative channel width.
+        n_domains: Domains in the Preisach ensemble.
+        coercive_mean: Mean domain coercive voltage (V).
+        coercive_sigma: Coercive-voltage spread (V).
+        erase_voltage: Gate voltage of a full erase pulse (V, negative).
+        program_voltage: Gate voltage of a full program pulse (V).
+    """
+
+    vth_center: float = 0.8
+    vth_range: float = 1.2
+    kp: float = 280e-6
+    lam: float = 0.08
+    subthreshold_swing_mv: float = 90.0
+    width: float = 1.0
+    n_domains: int = 200
+    coercive_mean: float = 3.0
+    coercive_sigma: float = 0.45
+    erase_voltage: float = -4.5
+    program_voltage: float = 4.5
+
+    @property
+    def vth_low(self) -> float:
+        """Lowest programmable threshold (fully programmed, P = +1)."""
+        return self.vth_center - self.vth_range / 2.0
+
+    @property
+    def vth_high(self) -> float:
+        """Highest programmable threshold (fully erased, P = -1)."""
+        return self.vth_center + self.vth_range / 2.0
+
+
+class FeFET:
+    """One behavioral multi-domain FeFET.
+
+    Args:
+        params: Device parameters; the defaults realize the paper's
+            0.2..1.4 V programmable window.
+        rng: Seeded generator for the domain ensemble (reproducibility).
+        vth_offset: A fixed device-to-device threshold shift (V) applied on
+            top of the polarization-controlled threshold.  This is how the
+            variation models perturb individual devices, mirroring the
+            paper's treatment of "all FeFET variations as a shift in V_TH".
+        name: Instance name for diagnostics.
+    """
+
+    def __init__(
+        self,
+        params: FeFETParams = FeFETParams(),
+        rng: Optional[np.random.Generator] = None,
+        vth_offset: float = 0.0,
+        name: str = "F",
+    ) -> None:
+        self.params = params
+        self.name = name
+        self.vth_offset = vth_offset
+        self._preisach = PreisachModel(
+            n_domains=params.n_domains,
+            coercive_mean=params.coercive_mean,
+            coercive_sigma=params.coercive_sigma,
+            rng=rng,
+        )
+        self._channel = MOSFET(
+            MOSFETParams(
+                vth=self.vth,  # placeholder; vth re-read on each evaluation
+                kp=params.kp,
+                lam=params.lam,
+                subthreshold_swing_mv=params.subthreshold_swing_mv,
+                width=params.width,
+            ),
+            name=f"{name}.channel",
+        )
+
+    # ------------------------------------------------------------------
+    # Polarization / threshold state
+    # ------------------------------------------------------------------
+    @property
+    def polarization(self) -> float:
+        """Normalized remnant polarization in [-1, +1]."""
+        return self._preisach.polarization
+
+    @property
+    def vth(self) -> float:
+        """Current threshold voltage (V), including the device offset."""
+        shift = -self.polarization * self.params.vth_range / 2.0
+        return self.params.vth_center + shift + self.vth_offset
+
+    def erase(self) -> None:
+        """Apply a full erase pulse: all domains down, V_TH -> vth_high."""
+        self._preisach.apply_voltage(self.params.erase_voltage)
+        self._preisach.apply_voltage(0.0)
+
+    def program_full(self) -> None:
+        """Apply a full program pulse: all domains up, V_TH -> vth_low."""
+        self._preisach.apply_voltage(self.params.program_voltage)
+        self._preisach.apply_voltage(0.0)
+
+    def apply_gate_pulse(self, amplitude: float) -> float:
+        """Apply one quasi-static gate pulse and return the new V_TH."""
+        self._preisach.apply_voltage(amplitude)
+        self._preisach.apply_voltage(0.0)
+        return self.vth
+
+    def program_vth(self, target_vth: float, tolerance: float = 5e-3) -> float:
+        """Program the device to a target threshold voltage.
+
+        Implements an erase-then-partial-program scheme (after Reis et al.
+        [36]): a full erase resets all domains down, then one positive
+        pulse of calibrated amplitude switches exactly the fraction of
+        domains needed for the target polarization.  Because the calibrated
+        amplitude is a quantile of the finite domain ensemble, the achieved
+        V_TH is exact up to the single-domain granularity.
+
+        Args:
+            target_vth: Desired threshold voltage (V), must lie inside the
+                programmable window.
+            tolerance: Accepted |achieved - target| error (V).  With the
+                default 200-domain ensemble a single domain is 6 mV of
+                window, so 5 mV tolerance may require a retry with a
+                one-domain correction; a ``ValueError`` is raised if the
+                window is violated.
+
+        Returns:
+            The achieved threshold voltage (V), excluding ``vth_offset``.
+        """
+        lo, hi = self.params.vth_low, self.params.vth_high
+        if not lo - 1e-9 <= target_vth <= hi + 1e-9:
+            raise ValueError(
+                f"{self.name}: target V_TH {target_vth:.3f} V outside the "
+                f"programmable window [{lo:.3f}, {hi:.3f}] V"
+            )
+        # Required polarization and up-domain fraction.
+        target_pol = -(target_vth - self.params.vth_center) * 2.0 / self.params.vth_range
+        fraction = (target_pol + 1.0) / 2.0
+        self.erase()
+        amplitude = self._preisach.voltage_for_up_fraction(fraction)
+        self._preisach.apply_voltage(amplitude)
+        self._preisach.apply_voltage(0.0)
+        achieved = self.vth - self.vth_offset
+        if abs(achieved - target_vth) > max(
+            tolerance, 1.5 * self.params.vth_range / self.params.n_domains
+        ):
+            raise RuntimeError(
+                f"{self.name}: programming missed target "
+                f"({achieved:.4f} V vs {target_vth:.4f} V)"
+            )
+        return achieved
+
+    # ------------------------------------------------------------------
+    # Electrical behaviour
+    # ------------------------------------------------------------------
+    def channel_model(self) -> MOSFET:
+        """A MOSFET snapshot of the channel at the present V_TH.
+
+        Used by the transient simulator, where the polarization is frozen
+        for the duration of a compute phase.
+        """
+        return MOSFET(
+            MOSFETParams(
+                vth=self.vth,
+                kp=self.params.kp,
+                lam=self.params.lam,
+                subthreshold_swing_mv=self.params.subthreshold_swing_mv,
+                width=self.params.width,
+            ),
+            name=f"{self.name}.channel",
+        )
+
+    def ids(self, vgs: float, vds: float) -> float:
+        """Drain current (A) at the present polarization state."""
+        return self.channel_model().ids(vgs, vds)
+
+    def id_vg(
+        self,
+        vg: Sequence[float],
+        vds: float = 0.1,
+    ) -> np.ndarray:
+        """I_D-V_G transfer curve at fixed V_DS (the Fig. 1(c)(d) sweep)."""
+        return np.array([self.ids(v, vds) for v in vg])
+
+    def conducts(self, vgs: float, threshold_current: float = 1e-6) -> bool:
+        """Whether the device counts as ON at this gate bias.
+
+        The IMC cell logic treats the FeFET as a switch: it is ON when its
+        saturation current exceeds ``threshold_current`` (1 uA default,
+        consistent with a constant-current V_TH definition).
+        """
+        return abs(self.ids(vgs, 1.0)) >= threshold_current
+
+    def __repr__(self) -> str:
+        return (
+            f"FeFET({self.name}, vth={self.vth:.3f} V, "
+            f"polarization={self.polarization:+.3f})"
+        )
+
+
+def id_vg_family(
+    states_vth: Sequence[float],
+    vg: Sequence[float],
+    vds: float = 0.1,
+    params: FeFETParams = FeFETParams(),
+    seed: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """I_D-V_G curves for a family of programmed states (Fig. 1(d)).
+
+    Args:
+        states_vth: Target threshold voltages, one curve per state.
+        vg: Gate-voltage sweep values (V).
+        vds: Drain bias (V).
+        params: Device parameters.
+        seed: Ensemble seed.
+
+    Returns:
+        ``(vg_array, currents)`` where ``currents`` has shape
+        ``(len(states_vth), len(vg))``.
+    """
+    rng = np.random.default_rng(seed)
+    device = FeFET(params, rng=rng)
+    curves = []
+    for target in states_vth:
+        device.program_vth(target)
+        curves.append(device.id_vg(vg, vds))
+    return np.asarray(vg, dtype=float), np.array(curves)

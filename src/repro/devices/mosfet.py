@@ -1,0 +1,190 @@
+"""Behavioral MOSFET models (square-law + subthreshold).
+
+The transient simulator and the analytic delay model both need a smooth,
+monotonic I-V characteristic rather than BSIM-grade accuracy.  We use the
+classic long-channel square-law model with channel-length modulation in
+saturation and an exponential subthreshold region, blended continuously at
+the threshold so Newton iterations in :mod:`repro.spice.transient` converge.
+
+Conventions:
+
+- NMOS: ``ids(vgs, vds) >= 0`` for ``vds >= 0``; current flows drain->source.
+- PMOS: constructed with negative ``vth``; call with the *device* polarities
+  (``vgs`` and ``vds`` negative in normal operation) and the returned
+  current is the source->drain current (negative ``ids``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.devices.params import TechnologyParams, UMC40_LIKE
+
+
+@dataclass(frozen=True)
+class MOSFETParams:
+    """Electrical parameters of one behavioral MOSFET.
+
+    Attributes:
+        vth: Threshold voltage (V); negative for PMOS.
+        kp: Transconductance ``mu * C_ox * W / L`` (A/V^2), positive.
+        lam: Channel-length modulation coefficient (1/V).
+        subthreshold_swing_mv: Subthreshold swing (mV/decade).
+        is_pmos: Polarity flag.
+        width: Relative device width (multiplies ``kp``); 1.0 is a
+            minimum-size device.
+    """
+
+    vth: float
+    kp: float
+    lam: float = 0.08
+    subthreshold_swing_mv: float = 85.0
+    is_pmos: bool = False
+    width: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kp <= 0:
+            raise ValueError(f"kp must be positive, got {self.kp}")
+        if self.width <= 0:
+            raise ValueError(f"width must be positive, got {self.width}")
+
+
+class MOSFET:
+    """A behavioral MOSFET evaluating drain current and small-signal terms.
+
+    Args:
+        params: Electrical parameters.
+        name: Optional instance name (used in netlist diagnostics).
+    """
+
+    #: Current floor used to keep the device matrix non-singular when off.
+    GMIN = 1e-12
+
+    def __init__(self, params: MOSFETParams, name: str = "M") -> None:
+        self.params = params
+        self.name = name
+        # Subthreshold slope factor n = S / (ln(10) * kT/q) at 300 K.
+        thermal = 0.02585
+        swing_v = params.subthreshold_swing_mv * 1e-3
+        self._n_slope = swing_v / (math.log(10.0) * thermal)
+        self._thermal = thermal
+
+    # ------------------------------------------------------------------
+    # Current evaluation
+    # ------------------------------------------------------------------
+    def ids(self, vgs: float, vds: float) -> float:
+        """Drain-source current (A) at the given bias.
+
+        For PMOS the arguments are device-polarity (normally negative) and
+        the returned value is negative in normal conduction, matching the
+        SPICE sign convention for current into the drain terminal.
+        """
+        if self.params.is_pmos:
+            # Evaluate the mirror-image NMOS and flip the sign.
+            return -self._ids_nmos(-vgs, -vds, -self.params.vth)
+        return self._ids_nmos(vgs, vds, self.params.vth)
+
+    def _ids_nmos(self, vgs: float, vds: float, vth: float) -> float:
+        """NMOS-polarity current with source/drain swap for vds < 0."""
+        if vds < 0:
+            # Source and drain exchange roles; vgd becomes the controlling
+            # voltage.  I(vgs, vds) = -I(vgs - vds, -vds).
+            return -self._ids_nmos(vgs - vds, -vds, vth)
+        kp = self.params.kp * self.params.width
+        vov = vgs - vth
+        n = self._n_slope
+        vt = self._thermal
+        if vov <= 0.0:
+            # Subthreshold: exponential in vov, saturating in vds.
+            i0 = kp * (n - 1.0 if n > 1.0 else 0.5) * vt * vt
+            isub = (
+                i0
+                * math.exp(vov / (n * vt))
+                * (1.0 - math.exp(-max(vds, 0.0) / vt))
+            )
+            return isub + self.GMIN * vds
+        if vds < vov:
+            # Triode.
+            i = kp * (vov - 0.5 * vds) * vds
+        else:
+            # Saturation with channel-length modulation.
+            i = 0.5 * kp * vov * vov * (1.0 + self.params.lam * (vds - vov))
+        # Keep continuity with the subthreshold branch at vov -> 0+ by
+        # adding its (tiny) boundary value; dominated by the square law
+        # everywhere except right at threshold.
+        i0 = kp * (n - 1.0 if n > 1.0 else 0.5) * vt * vt
+        i += i0 * (1.0 - math.exp(-max(vds, 0.0) / vt))
+        return i + self.GMIN * vds
+
+    # ------------------------------------------------------------------
+    # Derivatives for Newton iteration (finite differences are accurate
+    # enough for this behavioral model and keep the code obvious).
+    # ------------------------------------------------------------------
+    def gm(self, vgs: float, vds: float, delta: float = 1e-6) -> float:
+        """Transconductance d(ids)/d(vgs) (S)."""
+        return (self.ids(vgs + delta, vds) - self.ids(vgs - delta, vds)) / (2 * delta)
+
+    def gds(self, vgs: float, vds: float, delta: float = 1e-6) -> float:
+        """Output conductance d(ids)/d(vds) (S)."""
+        return (self.ids(vgs, vds + delta) - self.ids(vgs, vds - delta)) / (2 * delta)
+
+    def on_resistance(self, vdd: float) -> float:
+        """Effective switching resistance with full gate drive (ohm).
+
+        Uses the standard effective-resistance approximation
+        ``R_eff ~ (3/4) * V_DD / I_Dsat(V_DD)``, which is what the analytic
+        delay model in :mod:`repro.core.energy` builds on.
+        """
+        if self.params.is_pmos:
+            idsat = abs(self.ids(-vdd, -vdd))
+        else:
+            idsat = abs(self.ids(vdd, vdd))
+        if idsat <= 0:
+            raise ValueError(
+                f"{self.name}: zero saturation current at vdd={vdd}; "
+                "device cannot switch"
+            )
+        return 0.75 * vdd / idsat
+
+    def __repr__(self) -> str:
+        kind = "PMOS" if self.params.is_pmos else "NMOS"
+        return f"MOSFET({self.name}, {kind}, vth={self.params.vth:+.3f} V, w={self.params.width})"
+
+
+def nmos(
+    tech: TechnologyParams = UMC40_LIKE, width: float = 1.0, name: str = "MN"
+) -> MOSFET:
+    """Construct an NMOS from a technology parameter set."""
+    return MOSFET(
+        MOSFETParams(
+            vth=tech.vth_n,
+            kp=tech.kp_n,
+            lam=tech.lambda_n,
+            subthreshold_swing_mv=tech.subthreshold_swing_mv,
+            is_pmos=False,
+            width=width,
+        ),
+        name=name,
+    )
+
+
+def pmos(
+    tech: TechnologyParams = UMC40_LIKE, width: float = 2.0, name: str = "MP"
+) -> MOSFET:
+    """Construct a PMOS from a technology parameter set.
+
+    The default width of 2.0 compensates the hole-mobility deficit so that
+    a default inverter has roughly symmetric rise/fall drive.
+    """
+    return MOSFET(
+        MOSFETParams(
+            vth=tech.vth_p,
+            kp=tech.kp_p,
+            lam=tech.lambda_p,
+            subthreshold_swing_mv=tech.subthreshold_swing_mv,
+            is_pmos=True,
+            width=width,
+        ),
+        name=name,
+    )

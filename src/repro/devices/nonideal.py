@@ -1,0 +1,360 @@
+"""FeFET non-idealities beyond device-to-device variation.
+
+The paper's Monte Carlo covers programming-time V_TH spread.  Deployed
+NVM arrays additionally face two time-dependent effects, both well
+documented for HfO2 FeFETs and both relevant to an associative memory
+that holds its model weights for long periods:
+
+- **retention**: remnant polarization decays (depolarization field,
+  charge detrapping), moving every programmed V_TH toward the neutral
+  point.  The standard empirical form is linear-in-log-time: a fixed
+  percentage of the polarization is lost per decade.
+- **endurance**: program/erase cycling first slightly opens (wake-up)
+  and then narrows (fatigue) the memory window, and adds cycle-to-cycle
+  V_TH noise.
+
+Both models output *effective V_TH shifts* compatible with the variation
+hooks of the arrays (:class:`repro.core.array.FastTDAMArray` offsets), so
+their system-level impact is measured with the same machinery as Fig. 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.devices.fefet import FeFETParams
+
+#: Seconds in ten years -- the canonical NVM retention target.
+TEN_YEARS_S = 10 * 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Log-time polarization decay.
+
+    ``P(t) = P0 * (1 - loss_per_decade * log10(1 + t / t0))``, clamped at
+    zero polarization; V_TH moves proportionally toward the window
+    center.
+
+    Attributes:
+        loss_per_decade: Fraction of remnant polarization lost per decade
+            of time (HfO2 FeFETs: typically 1-5 % per decade).
+        t0_s: Onset time of the decay (s); retention is flat below it.
+        params: Device parameters (window geometry).
+    """
+
+    loss_per_decade: float = 0.03
+    t0_s: float = 1.0
+    params: FeFETParams = FeFETParams()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_per_decade < 1.0:
+            raise ValueError(
+                f"loss_per_decade must be in [0, 1), got {self.loss_per_decade}"
+            )
+        if self.t0_s <= 0:
+            raise ValueError(f"t0_s must be positive, got {self.t0_s}")
+
+    def polarization_fraction(self, t_seconds: float) -> float:
+        """Remaining polarization fraction after ``t_seconds``."""
+        if t_seconds < 0:
+            raise ValueError(f"t_seconds must be >= 0, got {t_seconds}")
+        decades = math.log10(1.0 + t_seconds / self.t0_s)
+        return max(0.0, 1.0 - self.loss_per_decade * decades)
+
+    def vth_after(self, programmed_vth: float, t_seconds: float) -> float:
+        """Threshold voltage after retention decay.
+
+        The V_TH excursion from the window center shrinks by the lost
+        polarization fraction.
+        """
+        center = self.params.vth_center
+        return center + (programmed_vth - center) * self.polarization_fraction(
+            t_seconds
+        )
+
+    def vth_shifts(
+        self, programmed_vths: Sequence[float], t_seconds: float
+    ) -> np.ndarray:
+        """Effective V_TH shifts (aged minus programmed) for an array."""
+        programmed = np.asarray(programmed_vths, dtype=float)
+        center = self.params.vth_center
+        frac = self.polarization_fraction(t_seconds)
+        return (center + (programmed - center) * frac) - programmed
+
+    def retention_time_to_loss(self, fraction: float) -> float:
+        """Time (s) at which the given polarization fraction is lost."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        if fraction >= self.loss_per_decade * 20:
+            # Guard absurd extrapolation beyond ~20 decades.
+            pass
+        decades = fraction / self.loss_per_decade
+        return self.t0_s * (10.0**decades - 1.0)
+
+
+@dataclass(frozen=True)
+class EnduranceModel:
+    """Cycling-induced window narrowing and write noise.
+
+    ``window(n) = window0 * wake_up(n) * fatigue(n)`` with a small
+    wake-up bump at low cycle counts and log-cycles fatigue beyond
+    ``fatigue_onset_cycles``; cycle-to-cycle write noise grows with the
+    square root of accumulated fatigue.
+
+    Attributes:
+        fatigue_per_decade: Window fraction lost per decade of cycles
+            past the onset.
+        fatigue_onset_cycles: Cycle count where fatigue begins.
+        wakeup_gain: Peak fractional window gain from wake-up.
+        wakeup_cycles: Cycle count of maximum wake-up.
+        write_noise_mv_at_onset: Cycle-to-cycle V_TH sigma (mV) at the
+            fatigue onset.
+        params: Device parameters.
+    """
+
+    fatigue_per_decade: float = 0.05
+    fatigue_onset_cycles: float = 1e5
+    wakeup_gain: float = 0.05
+    wakeup_cycles: float = 1e3
+    write_noise_mv_at_onset: float = 10.0
+    params: FeFETParams = FeFETParams()
+
+    def __post_init__(self) -> None:
+        if self.fatigue_per_decade < 0 or self.fatigue_per_decade >= 1:
+            raise ValueError(
+                f"fatigue_per_decade must be in [0, 1), got {self.fatigue_per_decade}"
+            )
+        if self.fatigue_onset_cycles <= 0 or self.wakeup_cycles <= 0:
+            raise ValueError("cycle constants must be positive")
+
+    def window_fraction(self, n_cycles: float) -> float:
+        """Memory-window fraction (of pristine) after ``n_cycles``."""
+        if n_cycles < 0:
+            raise ValueError(f"n_cycles must be >= 0, got {n_cycles}")
+        # Wake-up: rises to (1 + gain) around wakeup_cycles, then fades.
+        x = math.log10(1.0 + n_cycles) / math.log10(1.0 + self.wakeup_cycles)
+        wakeup = 1.0 + self.wakeup_gain * math.exp(-((x - 1.0) ** 2))
+        if n_cycles <= self.fatigue_onset_cycles:
+            fatigue = 1.0
+        else:
+            decades = math.log10(n_cycles / self.fatigue_onset_cycles)
+            fatigue = max(0.0, 1.0 - self.fatigue_per_decade * decades)
+        return wakeup * fatigue
+
+    def window_after(self, n_cycles: float) -> float:
+        """Absolute memory window (V) after cycling."""
+        return self.params.vth_range * self.window_fraction(n_cycles)
+
+    def write_noise_sigma_v(self, n_cycles: float) -> float:
+        """Cycle-to-cycle write-noise sigma (V) after cycling."""
+        if n_cycles < 0:
+            raise ValueError(f"n_cycles must be >= 0, got {n_cycles}")
+        base = self.write_noise_mv_at_onset * 1e-3
+        if n_cycles <= self.fatigue_onset_cycles:
+            return base
+        decades = math.log10(n_cycles / self.fatigue_onset_cycles)
+        return base * math.sqrt(1.0 + decades)
+
+    def cycles_to_window_fraction(self, fraction: float) -> float:
+        """Cycles at which the window shrinks to ``fraction`` (fatigue
+        regime; wake-up ignored for the inverse)."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        decades = (1.0 - fraction) / self.fatigue_per_decade
+        return self.fatigue_onset_cycles * 10.0**decades
+
+
+def aged_match_margin(
+    vth_levels: Sequence[float],
+    vsl_levels: Sequence[float],
+    retention: RetentionModel,
+    t_seconds: float,
+    turn_on_overdrive: float = 0.077,
+) -> float:
+    """Worst-case false-conduction margin (V) of a *matching* cell after
+    retention decay.
+
+    The search-line ladder is fixed at design time while the programmed
+    thresholds drift toward the window center, so a high-level cell's
+    V_TH falls toward its own (fixed) search voltage.  The margin is
+    ``min over levels of (V_TH_aged[k] + v_on - V_SL[k])``: positive
+    means every match still holds its match node, zero/negative means
+    the aged array starts reporting false mismatches.
+    """
+    if len(vth_levels) != len(vsl_levels):
+        raise ValueError("vth_levels and vsl_levels must have equal length")
+    frac = retention.polarization_fraction(t_seconds)
+    center = retention.params.vth_center
+    margins = []
+    for vth, vsl in zip(vth_levels, vsl_levels):
+        vth_aged = center + (vth - center) * frac
+        margins.append(vth_aged + turn_on_overdrive - vsl)
+    return float(min(margins))
+
+
+@dataclass(frozen=True)
+class DisturbModel:
+    """Write-disturb of half-selected cells.
+
+    Writing one row drives the shared search/write lines, so every
+    *unselected* cell on those columns sees a partial gate pulse.  Below
+    the minimum domain coercive voltage nothing switches (the V_W/2
+    biasing scheme's design target); above it, each disturb event nudges
+    the cell's polarization toward the pulse polarity by the fraction of
+    domains whose coercive voltage the partial amplitude clears.
+
+    Attributes:
+        half_select_fraction: Fraction of the full program amplitude seen
+            by half-selected cells (1/2 for the classic V/2 scheme, 1/3
+            for V/3).
+        coercive_mean: Mean domain coercive voltage (V).
+        coercive_sigma: Coercive-voltage spread (V).
+        activation_floor_v: Nucleation threshold for the *short* disturb
+            pulses (V): ferroelectric switching is strongly time-dependent
+            (nucleation-limited), so the brief half-select glitches flip
+            nothing below this amplitude even where the quasi-static
+            coercive tail would.  Write pulses are orders of magnitude
+            longer and are unaffected.
+        params: Device parameters (program amplitude, window geometry).
+    """
+
+    half_select_fraction: float = 0.5
+    coercive_mean: float = 3.0
+    coercive_sigma: float = 0.45
+    activation_floor_v: float = 2.0
+    params: FeFETParams = FeFETParams()
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.half_select_fraction < 1.0:
+            raise ValueError(
+                "half_select_fraction must be in (0, 1), got "
+                f"{self.half_select_fraction}"
+            )
+        if self.activation_floor_v < 0:
+            raise ValueError(
+                f"activation_floor_v must be >= 0, got {self.activation_floor_v}"
+            )
+
+    @property
+    def disturb_amplitude_v(self) -> float:
+        """Gate amplitude a half-selected cell sees during a write (V)."""
+        return self.params.program_voltage * self.half_select_fraction
+
+    def switch_fraction_per_event(self) -> float:
+        """Domain fraction flipped by one disturb event.
+
+        Zero below the short-pulse nucleation floor; above it, the
+        Gaussian tail of the coercive spectrum below the disturb
+        amplitude.  With the default 4.5 V program voltage this makes the
+        classic V/2 scheme (2.25 V disturbs) *unsafe* (~5 % of domains
+        per event) while V/3 (1.5 V) is safe -- a concrete biasing
+        requirement of this device configuration.
+        """
+        from math import erf, sqrt
+
+        if self.disturb_amplitude_v < self.activation_floor_v:
+            return 0.0
+        z = (self.disturb_amplitude_v - self.coercive_mean) / (
+            self.coercive_sigma * sqrt(2.0)
+        )
+        return max(0.0, 0.5 * (1.0 + erf(z)))
+
+    def vth_shift_after(self, n_events: int, toward_low_vth: bool = True) -> float:
+        """Accumulated V_TH shift after ``n_events`` disturb pulses (V).
+
+        Each event flips the same *remaining* down-domain tail fraction,
+        so the polarization approaches saturation geometrically.
+
+        Args:
+            n_events: Disturb pulses experienced (≈ writes to other rows
+                sharing the lines).
+            toward_low_vth: Positive program-polarity disturbs push the
+                polarization up, lowering V_TH (the usual case); pass
+                False for erase-polarity disturbs.
+        """
+        if n_events < 0:
+            raise ValueError(f"n_events must be >= 0, got {n_events}")
+        f = self.switch_fraction_per_event()
+        flipped = 1.0 - (1.0 - f) ** n_events
+        delta = flipped * self.params.vth_range / 2.0
+        return -delta if toward_low_vth else delta
+
+    def events_to_margin(self, margin_v: float) -> float:
+        """Disturb events until the accumulated shift reaches a margin.
+
+        Returns ``inf`` when the disturb amplitude never switches any
+        domain (safe biasing).
+        """
+        import math
+
+        if margin_v <= 0:
+            raise ValueError(f"margin_v must be positive, got {margin_v}")
+        f = self.switch_fraction_per_event()
+        if f <= 0.0:
+            return math.inf
+        target_flip = min(margin_v / (self.params.vth_range / 2.0), 1.0)
+        if target_flip >= 1.0:
+            return math.inf if f < 1.0 else 1.0
+        return math.log(1.0 - target_flip) / math.log(1.0 - f)
+
+
+def compensated_vsl_levels(
+    vth_levels: Sequence[float],
+    retention: RetentionModel,
+    t_seconds: float,
+) -> np.ndarray:
+    """Aging-aware search-line ladder.
+
+    As the programmed thresholds relax toward the window center, the
+    *fixed* V_SL ladder loses its half-step alignment: adjacent-level
+    mismatches stop over-driving their FeFET and go undetected.  The
+    mitigation is to re-bias the search lines so each level's V_SL sits
+    half an *aged* step below its *aged* V_TH:
+
+        V_SL_comp[k] = V_TH_aged[k] - f * step / 2
+
+    which restores symmetric +-f*step/2 margins.  Effective while
+    ``f * step / 2`` exceeds the switch turn-on overdrive; beyond that
+    the array needs a refresh (re-program).
+    """
+    vth = np.asarray(vth_levels, dtype=float)
+    if vth.ndim != 1 or len(vth) < 2:
+        raise ValueError("vth_levels must be a 1-D ladder with >= 2 levels")
+    frac = retention.polarization_fraction(t_seconds)
+    center = retention.params.vth_center
+    vth_aged = center + (vth - center) * frac
+    step = float(vth[1] - vth[0])
+    return vth_aged - frac * step / 2.0
+
+
+def retention_limited_lifetime_s(
+    vth_levels: Sequence[float],
+    vsl_levels: Sequence[float],
+    retention: RetentionModel,
+    turn_on_overdrive: float = 0.077,
+    t_max_s: float = 100 * TEN_YEARS_S,
+) -> float:
+    """Time until the worst-case match margin collapses to zero (s).
+
+    Bisects :func:`aged_match_margin` over log-time; returns ``t_max_s``
+    when the margin survives the whole horizon.
+    """
+    if aged_match_margin(vth_levels, vsl_levels, retention, t_max_s,
+                         turn_on_overdrive) > 0:
+        return t_max_s
+    lo, hi = 0.0, t_max_s
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        margin = aged_match_margin(
+            vth_levels, vsl_levels, retention, mid, turn_on_overdrive
+        )
+        if margin > 0:
+            lo = mid
+        else:
+            hi = mid
+    return hi

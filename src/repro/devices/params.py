@@ -1,0 +1,91 @@
+"""Technology parameter sets for the behavioral device models.
+
+The paper simulates with the UMC 40 nm PDK.  That PDK is proprietary, so we
+define a 40 nm-class parameter set (``UMC40_LIKE``) with representative
+values for a low-power 40 nm process: nominal supply 1.1 V (the paper scales
+V_DD down to ~0.5 V in Fig. 5(c)(d)), |V_TH| around 0.45 V, and drive
+strengths that place an FO1 inverter delay in the tens of picoseconds.
+
+Only *relative* behaviour matters for the reproduction (delay linearity,
+energy scaling, variation tolerance); see DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """A bundle of process parameters used across the circuit models.
+
+    Attributes:
+        name: Human-readable identifier of the parameter set.
+        node_nm: Feature size in nanometres (documentation only).
+        vdd_nominal: Nominal supply voltage in volts.
+        vdd_min: Minimum supply voltage considered functional.
+        vth_n: NMOS threshold voltage (V).
+        vth_p: PMOS threshold voltage (V, negative).
+        kp_n: NMOS transconductance parameter ``mu_n * C_ox`` (A/V^2) for a
+            unit-W/L device.
+        kp_p: PMOS transconductance parameter (A/V^2), positive magnitude.
+        lambda_n: NMOS channel-length modulation (1/V).
+        lambda_p: PMOS channel-length modulation (1/V).
+        subthreshold_swing_mv: Subthreshold swing in mV/decade.
+        c_gate_min_ff: Gate capacitance of a minimum-size device (fF).
+        c_junction_min_ff: Drain/source junction capacitance of a
+            minimum-size device (fF).
+        temperature_k: Simulation temperature (K).
+    """
+
+    name: str = "umc40-like"
+    node_nm: float = 40.0
+    vdd_nominal: float = 1.1
+    vdd_min: float = 0.5
+    vth_n: float = 0.35
+    vth_p: float = -0.35
+    kp_n: float = 320e-6
+    kp_p: float = 160e-6
+    lambda_n: float = 0.08
+    lambda_p: float = 0.10
+    subthreshold_swing_mv: float = 85.0
+    c_gate_min_ff: float = 0.04
+    c_junction_min_ff: float = 0.04
+    temperature_k: float = 300.0
+
+    def scaled(self, **overrides: float) -> "TechnologyParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def thermal_voltage(self) -> float:
+        """kT/q at the simulation temperature, in volts."""
+        boltzmann = 1.380649e-23
+        charge = 1.602176634e-19
+        return boltzmann * self.temperature_k / charge
+
+
+#: The default 40 nm-class technology used throughout the reproduction.
+UMC40_LIKE = TechnologyParams()
+
+#: Named registry so experiments can request parameter sets by name.
+TECHNOLOGIES: Dict[str, TechnologyParams] = {
+    UMC40_LIKE.name: UMC40_LIKE,
+    "umc40-fast": UMC40_LIKE.scaled(name="umc40-fast", kp_n=400e-6, kp_p=200e-6),
+    "umc40-slow": UMC40_LIKE.scaled(name="umc40-slow", kp_n=260e-6, kp_p=130e-6),
+}
+
+
+def get_technology(name: str) -> TechnologyParams:
+    """Look up a technology parameter set by name.
+
+    Raises:
+        KeyError: if ``name`` is not registered; the message lists the
+            available names.
+    """
+    try:
+        return TECHNOLOGIES[name]
+    except KeyError:
+        available = ", ".join(sorted(TECHNOLOGIES))
+        raise KeyError(f"unknown technology {name!r}; available: {available}") from None

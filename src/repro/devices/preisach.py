@@ -1,0 +1,241 @@
+"""Multi-domain Preisach hysteresis model of the ferroelectric layer.
+
+The multi-domain FeFET compact model of Ni et al. (VLSI'18) describes the
+ferroelectric layer as an ensemble of independently switching domains, each
+an elementary rectangular hysteresis operator ("hysteron").  A hysteron
+switches *up* (+P_r) when the applied field exceeds its up-coercive voltage
+``alpha`` and *down* (-P_r) when the field drops below its down-coercive
+voltage ``beta`` (``beta < alpha``).  Distributing ``(alpha, beta)`` over
+the ensemble yields smooth major/minor loops and, crucially for this paper,
+*partial polarization*: a write pulse of intermediate amplitude flips only
+a fraction of the domains, producing the intermediate threshold-voltage
+states that give the 2-FeFET cell its multi-bit storage.
+
+This module is a faithful behavioral implementation of that picture:
+
+- :class:`Hysteron` -- one rectangular switching element.
+- :class:`PreisachModel` -- an ensemble with Gaussian-distributed coercive
+  voltages; applying a voltage history updates the domain states, and the
+  normalized polarization in [-1, +1] is the ensemble mean.
+
+The FeFET model (:mod:`repro.devices.fefet`) maps polarization linearly to
+a threshold-voltage shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Hysteron:
+    """A single rectangular hysteresis operator (one FE domain).
+
+    Attributes:
+        alpha: Up-switching voltage (V); the domain polarizes up when the
+            applied voltage reaches or exceeds it.
+        beta: Down-switching voltage (V); the domain polarizes down when the
+            applied voltage reaches or falls below it.  Must satisfy
+            ``beta < alpha``.
+        state: Current polarization, +1 or -1.
+    """
+
+    alpha: float
+    beta: float
+    state: int = -1
+
+    def __post_init__(self) -> None:
+        if self.beta >= self.alpha:
+            raise ValueError(
+                f"hysteron requires beta < alpha, got beta={self.beta}, alpha={self.alpha}"
+            )
+        if self.state not in (-1, 1):
+            raise ValueError(f"hysteron state must be -1 or +1, got {self.state}")
+
+    def apply(self, voltage: float) -> int:
+        """Apply a quasi-static voltage and return the resulting state."""
+        if voltage >= self.alpha:
+            self.state = 1
+        elif voltage <= self.beta:
+            self.state = -1
+        return self.state
+
+
+class PreisachModel:
+    """An ensemble of hysterons with Gaussian coercive-voltage spread.
+
+    The ensemble is vectorized: domain up/down coercive voltages are numpy
+    arrays and a voltage step updates all domains at once.  The coercive
+    voltages are drawn as ``Vc ~ N(coercive_mean, coercive_sigma)`` with an
+    optional up/down asymmetry ``bias`` so that ``alpha = Vc + bias`` and
+    ``beta = -Vc + bias``.
+
+    Args:
+        n_domains: Number of domains in the ensemble.  The paper's model
+            uses a grain-level ensemble; 200 domains are enough for smooth
+            sub-1% polarization granularity.
+        coercive_mean: Mean coercive voltage (V).  Typical HfO2 FeFET write
+            voltages are +-3..4 V, so the default mean of 3.0 V places full
+            program/erase at roughly +-4 V.
+        coercive_sigma: Standard deviation of the coercive voltage (V).
+        bias: Up/down asymmetry added to both switching voltages (V).
+        rng: Seeded generator for reproducible ensembles; a fresh default
+            generator is used when omitted.
+    """
+
+    def __init__(
+        self,
+        n_domains: int = 200,
+        coercive_mean: float = 3.0,
+        coercive_sigma: float = 0.45,
+        bias: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if n_domains < 1:
+            raise ValueError(f"n_domains must be >= 1, got {n_domains}")
+        if coercive_sigma < 0:
+            raise ValueError(f"coercive_sigma must be >= 0, got {coercive_sigma}")
+        self.n_domains = n_domains
+        self.coercive_mean = coercive_mean
+        self.coercive_sigma = coercive_sigma
+        self.bias = bias
+        rng = rng if rng is not None else np.random.default_rng()
+        coercive = rng.normal(coercive_mean, coercive_sigma, size=n_domains)
+        # Guard against non-physical (negative) coercive voltages from the
+        # Gaussian tail; clip to a small positive floor.
+        coercive = np.clip(coercive, 0.05, None)
+        self._alpha = np.sort(coercive) + bias
+        self._beta = -np.sort(coercive)[::-1] + bias
+        self._states = np.full(n_domains, -1, dtype=np.int8)
+
+    # ------------------------------------------------------------------
+    # State manipulation
+    # ------------------------------------------------------------------
+    def reset(self, polarization: float = -1.0) -> None:
+        """Force the ensemble to a uniform polarization of +-1.
+
+        Args:
+            polarization: Either -1.0 (all domains down, the erased state)
+                or +1.0 (all domains up).
+        """
+        if polarization not in (-1.0, 1.0):
+            raise ValueError(
+                f"reset polarization must be -1.0 or +1.0, got {polarization}"
+            )
+        self._states[:] = int(polarization)
+
+    def apply_voltage(self, voltage: float) -> float:
+        """Apply one quasi-static voltage level and return polarization."""
+        self._states[voltage >= self._alpha] = 1
+        self._states[voltage <= self._beta] = -1
+        return self.polarization
+
+    def apply_history(self, voltages: Iterable[float]) -> float:
+        """Apply a sequence of quasi-static voltage levels in order."""
+        for voltage in voltages:
+            self.apply_voltage(voltage)
+        return self.polarization
+
+    @property
+    def polarization(self) -> float:
+        """Normalized polarization, the ensemble-mean state in [-1, +1]."""
+        return float(self._states.mean())
+
+    @property
+    def states(self) -> np.ndarray:
+        """Copy of the per-domain states (+1/-1)."""
+        return self._states.copy()
+
+    # ------------------------------------------------------------------
+    # Program-voltage calibration
+    # ------------------------------------------------------------------
+    def voltage_for_up_fraction(self, fraction: float) -> float:
+        """Voltage that, applied after a full erase, switches ``fraction``
+        of the domains up.
+
+        This is the quantile of the up-coercive-voltage spectrum and is the
+        key primitive of the multi-level write scheme: program pulses of
+        this amplitude land the ensemble at a target partial polarization.
+
+        Args:
+            fraction: Target fraction of up-domains in [0, 1].
+
+        Returns:
+            The required program voltage (V).  ``fraction=0`` returns a
+            voltage below every ``alpha``; ``fraction=1`` a voltage above
+            every ``alpha``.
+        """
+        if not -1e-9 <= fraction <= 1.0 + 1e-9:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        margin = 1e-3
+        # Round to the nearest whole domain; float noise in the caller's
+        # polarization arithmetic must not flip a domain.
+        k = int(round(fraction * self.n_domains))
+        k = min(max(k, 0), self.n_domains)
+        if k == 0:
+            return float(self._alpha[0]) - margin
+        if k == self.n_domains:
+            return float(self._alpha[-1]) + margin
+        # _alpha is sorted ascending; switching exactly the first k domains
+        # requires a voltage between alpha[k-1] and alpha[k].  The midpoint
+        # is robust to nearly degenerate neighbors.
+        return float(0.5 * (self._alpha[k - 1] + self._alpha[k]))
+
+    def major_loop(
+        self, v_min: float = -5.0, v_max: float = 5.0, n_points: int = 201
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Trace the major hysteresis loop.
+
+        Sweeps the voltage down to ``v_min``, up to ``v_max`` and back,
+        recording the polarization of the up-then-down branch.
+
+        Returns:
+            ``(voltages, polarizations)`` arrays of length ``2 * n_points``
+            covering the up sweep followed by the down sweep.
+        """
+        if n_points < 2:
+            raise ValueError(f"n_points must be >= 2, got {n_points}")
+        saved = self._states.copy()
+        try:
+            up = np.linspace(v_min, v_max, n_points)
+            down = np.linspace(v_max, v_min, n_points)
+            self.reset(-1.0)
+            pol_up = np.array([self.apply_voltage(v) for v in up])
+            pol_down = np.array([self.apply_voltage(v) for v in down])
+            return np.concatenate([up, down]), np.concatenate([pol_up, pol_down])
+        finally:
+            self._states = saved
+
+    def __repr__(self) -> str:
+        return (
+            f"PreisachModel(n_domains={self.n_domains}, "
+            f"coercive_mean={self.coercive_mean}, "
+            f"coercive_sigma={self.coercive_sigma}, "
+            f"polarization={self.polarization:+.3f})"
+        )
+
+
+def make_ensemble(
+    count: int,
+    n_domains: int = 200,
+    coercive_mean: float = 3.0,
+    coercive_sigma: float = 0.45,
+    seed: Optional[int] = None,
+) -> Sequence[PreisachModel]:
+    """Create ``count`` independent Preisach models from one seed.
+
+    Used by the device-to-device ensembles in :mod:`repro.devices.variation`.
+    """
+    rng = np.random.default_rng(seed)
+    return [
+        PreisachModel(
+            n_domains=n_domains,
+            coercive_mean=coercive_mean,
+            coercive_sigma=coercive_sigma,
+            rng=rng,
+        )
+        for _ in range(count)
+    ]

@@ -1,0 +1,78 @@
+"""Temperature dependence of the device models.
+
+Time-domain computing trades amplitude resolution for timing resolution,
+which makes it sensitive to anything that moves delays -- and temperature
+moves them a lot.  The standard first-order silicon dependences:
+
+- **mobility** falls as ``(T / 300K)^-1.5``, scaling every ``kp``,
+- **threshold voltage** drops ~1 mV/K as temperature rises,
+- **subthreshold swing** grows linearly in absolute temperature.
+
+:func:`technology_at` produces a re-scaled
+:class:`~repro.devices.params.TechnologyParams` so every downstream model
+(timing, energy, transient) evaluates at the requested temperature.  The
+system-level consequence -- TDC decode errors when the calibration
+temperature and the operating temperature diverge -- is studied in
+``repro.experiments.ext_temperature`` together with the replica-chain
+mitigation (:mod:`repro.core.replica`).
+"""
+
+from __future__ import annotations
+
+from repro.devices.params import TechnologyParams
+
+#: Reference temperature of the nominal parameter sets (K).
+T_REF_K = 300.0
+#: Mobility exponent: mu ~ (T/Tref)^-MU_EXPONENT.
+MU_EXPONENT = 1.5
+#: Threshold-voltage temperature coefficient (V/K), NMOS sign.
+VTH_TC_V_PER_K = -1.0e-3
+
+
+def technology_at(tech: TechnologyParams, temperature_k: float) -> TechnologyParams:
+    """Re-evaluate a technology parameter set at a temperature.
+
+    Args:
+        tech: The nominal (300 K) parameter set.
+        temperature_k: Operating temperature (K); sane range 200..420.
+
+    Returns:
+        A new parameter set with scaled mobility, shifted thresholds, and
+        the swing tracking kT/q.
+    """
+    if not 150.0 <= temperature_k <= 500.0:
+        raise ValueError(
+            f"temperature_k must be within 150..500 K, got {temperature_k}"
+        )
+    ratio = temperature_k / T_REF_K
+    delta_t = temperature_k - T_REF_K
+    mu_scale = ratio**-MU_EXPONENT
+    return tech.scaled(
+        name=f"{tech.name}@{temperature_k:.0f}K",
+        kp_n=tech.kp_n * mu_scale,
+        kp_p=tech.kp_p * mu_scale,
+        # NMOS V_TH falls with T; PMOS V_TH (negative) rises toward zero.
+        vth_n=tech.vth_n + VTH_TC_V_PER_K * delta_t,
+        vth_p=tech.vth_p - VTH_TC_V_PER_K * delta_t,
+        subthreshold_swing_mv=tech.subthreshold_swing_mv * ratio,
+        temperature_k=temperature_k,
+    )
+
+
+def delay_temperature_sensitivity(
+    tech: TechnologyParams,
+    vdd: float,
+    t_low_k: float = 233.0,
+    t_high_k: float = 398.0,
+) -> float:
+    """Fractional drive-current swing over a temperature range.
+
+    A quick figure of merit: the relative change of the NMOS saturation
+    current between the temperature extremes, which is (to first order)
+    the relative delay drift an uncalibrated TD design suffers.
+    """
+    from repro.devices.mosfet import nmos
+
+    i_low = nmos(technology_at(tech, t_low_k)).ids(vdd, vdd)
+    i_high = nmos(technology_at(tech, t_high_k)).ids(vdd, vdd)
+    return abs(i_high - i_low) / min(i_high, i_low)

@@ -1,0 +1,173 @@
+"""Device variation models.
+
+The paper models "the effect of all FeFET variations as a shift in V_TH"
+and extracts per-state standard deviations from the measured 60-device
+data of [25]:
+
+    sigma(V_TH0) = 7.1 mV, sigma(V_TH1) = 35 mV,
+    sigma(V_TH2) = 45 mV,  sigma(V_TH3) = 40 mV.
+
+Fig. 6 then sweeps a *uniform* sigma (10..60 mV) applied to every FeFET of
+the delay chain and inspects the worst-case delay distribution.  Both uses
+are covered here:
+
+- :class:`VariationModel` -- draws V_TH shifts either with one global sigma
+  (the Fig. 6 sweep) or with the measured per-state sigmas.
+- :class:`DeviceEnsemble` -- a population of programmed FeFETs for
+  device-to-device I_D-V_G plots (Fig. 1(c)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.devices.fefet import FeFET, FeFETParams
+
+#: Per-state V_TH standard deviations fitted from measured data [25], in mV.
+MEASURED_VTH_SIGMA_MV: Dict[int, float] = {0: 7.1, 1: 35.0, 2: 45.0, 3: 40.0}
+
+
+@dataclass(frozen=True)
+class VariationSample:
+    """One drawn variation instance.
+
+    Attributes:
+        vth_shifts: Array of per-device V_TH shifts (V).
+        sigma_applied: The sigma(s) used for the draw (V), per device.
+    """
+
+    vth_shifts: np.ndarray
+    sigma_applied: np.ndarray
+
+
+class VariationModel:
+    """Draws device-to-device V_TH shifts.
+
+    Args:
+        sigma_mv: Global sigma in millivolts applied to every device, or
+            ``None`` to use the measured per-state sigmas
+            (:data:`MEASURED_VTH_SIGMA_MV`).
+        seed: RNG seed for reproducible Monte Carlo runs.
+    """
+
+    def __init__(self, sigma_mv: Optional[float] = None, seed: Optional[int] = None):
+        if sigma_mv is not None and sigma_mv < 0:
+            raise ValueError(f"sigma_mv must be >= 0, got {sigma_mv}")
+        self.sigma_mv = sigma_mv
+        self._rng = np.random.default_rng(seed)
+
+    def sigma_for_state(self, state: int) -> float:
+        """Sigma (V) used for a device programmed to level ``state``."""
+        if self.sigma_mv is not None:
+            return self.sigma_mv * 1e-3
+        try:
+            return MEASURED_VTH_SIGMA_MV[state] * 1e-3
+        except KeyError:
+            raise ValueError(
+                f"no measured sigma for state {state}; "
+                f"known states: {sorted(MEASURED_VTH_SIGMA_MV)}"
+            ) from None
+
+    def draw(self, states: Sequence[int]) -> VariationSample:
+        """Draw one V_TH shift per device.
+
+        Args:
+            states: Programmed level of each device (indexes the per-state
+                sigma when no global sigma was configured).
+        """
+        sigmas = np.array([self.sigma_for_state(int(s)) for s in states])
+        shifts = self._rng.normal(0.0, 1.0, size=len(sigmas)) * sigmas
+        return VariationSample(vth_shifts=shifts, sigma_applied=sigmas)
+
+    def draw_many(self, states: Sequence[int], n_runs: int) -> np.ndarray:
+        """Draw ``n_runs`` independent shift vectors; shape (n_runs, n)."""
+        if n_runs < 1:
+            raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+        sigmas = np.array([self.sigma_for_state(int(s)) for s in states])
+        return self._rng.normal(0.0, 1.0, size=(n_runs, len(sigmas))) * sigmas
+
+
+class DeviceEnsemble:
+    """A device-to-device population of programmed FeFETs (Fig. 1(c)).
+
+    Recreates the flavor of the measured 60-device dataset: every device is
+    programmed to each of the four states in turn and its transfer curve is
+    recorded, with per-state V_TH spread from the measured sigmas.
+
+    Args:
+        n_devices: Population size (the paper measured 60 devices).
+        params: Shared FeFET parameters.
+        variation: V_TH variation model; defaults to the measured sigmas.
+        seed: Ensemble seed.
+    """
+
+    def __init__(
+        self,
+        n_devices: int = 60,
+        params: FeFETParams = FeFETParams(),
+        variation: Optional[VariationModel] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n_devices < 1:
+            raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+        self.n_devices = n_devices
+        self.params = params
+        self.variation = variation or VariationModel(seed=seed)
+        self._rng = np.random.default_rng(seed)
+
+    def programmed_vths(self, state_vths: Sequence[float]) -> np.ndarray:
+        """Programmed V_TH of every device at every state.
+
+        Args:
+            state_vths: Nominal threshold ladder (e.g. 0.2/0.6/1.0/1.4 V).
+
+        Returns:
+            Array of shape ``(n_states, n_devices)``.
+        """
+        result = np.empty((len(state_vths), self.n_devices))
+        for state, nominal in enumerate(state_vths):
+            shifts = self.variation.draw([state] * self.n_devices).vth_shifts
+            result[state] = nominal + shifts
+        return result
+
+    def id_vg_curves(
+        self,
+        state_vths: Sequence[float],
+        vg: Sequence[float],
+        vds: float = 0.1,
+    ) -> np.ndarray:
+        """Transfer curves of the whole population at every state.
+
+        Returns:
+            Array of shape ``(n_states, n_devices, len(vg))`` -- the data
+            behind the Fig. 1(c) device-to-device measurement plot.
+        """
+        vths = self.programmed_vths(state_vths)
+        vg = np.asarray(vg, dtype=float)
+        curves = np.empty((len(state_vths), self.n_devices, len(vg)))
+        for state in range(len(state_vths)):
+            for dev in range(self.n_devices):
+                device = FeFET(
+                    self.params,
+                    rng=np.random.default_rng(self._rng.integers(2**32)),
+                    vth_offset=float(vths[state, dev] - state_vths[state]),
+                )
+                device.program_vth(state_vths[state])
+                curves[state, dev] = device.id_vg(vg, vds)
+        return curves
+
+    def vth_statistics(self, state_vths: Sequence[float]) -> List[Dict[str, float]]:
+        """Mean/std of the programmed V_TH per state (fit-check vs. paper)."""
+        vths = self.programmed_vths(state_vths)
+        return [
+            {
+                "state": float(state),
+                "nominal_v": float(state_vths[state]),
+                "mean_v": float(vths[state].mean()),
+                "std_v": float(vths[state].std(ddof=1)),
+            }
+            for state in range(len(state_vths))
+        ]

@@ -1,0 +1,170 @@
+"""Write-pulse schemes for programming multi-level FeFET states.
+
+The paper adopts the write method of Reis et al. [36] to program the four
+threshold states.  Behaviorally the scheme is:
+
+1. a full negative **erase** pulse resets every domain (V_TH -> highest),
+2. a positive **program** pulse of state-dependent amplitude partially
+   polarizes the ferroelectric, landing V_TH on the target level.
+
+:class:`WriteScheme` calibrates the program amplitudes once against a
+reference device (quantiles of the Preisach coercive spectrum) and then
+programs any device of the same nominal parameters, optionally with a
+write-verify loop that retries with a nudged amplitude -- the standard
+mitigation for device-to-device coercive spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.devices.fefet import FeFET, FeFETParams
+
+
+@dataclass(frozen=True)
+class WritePulse:
+    """One gate pulse of the write waveform.
+
+    Attributes:
+        amplitude: Gate voltage (V); negative for erase.
+        width_ns: Pulse width in nanoseconds (documentation of the
+            waveform; the quasi-static Preisach model switches on amplitude
+            alone, as in the paper's compact model at DC-write conditions).
+    """
+
+    amplitude: float
+    width_ns: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.width_ns <= 0:
+            raise ValueError(f"pulse width must be positive, got {self.width_ns}")
+
+
+class WriteScheme:
+    """Erase-then-program multi-level write scheme with verify.
+
+    Args:
+        state_vths: Target threshold ladder, lowest first (e.g. the paper's
+            0.2/0.6/1.0/1.4 V).
+        params: Nominal FeFET parameters shared by the array.
+        seed: Seed of the reference device used for calibration.
+        verify_tolerance: Accepted |V_TH error| (V) in the verify loop.
+        max_verify_iterations: Retries before giving up.
+    """
+
+    def __init__(
+        self,
+        state_vths: Sequence[float],
+        params: FeFETParams = FeFETParams(),
+        seed: Optional[int] = 7,
+        verify_tolerance: float = 0.02,
+        max_verify_iterations: int = 12,
+    ) -> None:
+        ladder = [float(v) for v in state_vths]
+        if sorted(ladder) != ladder:
+            raise ValueError(f"state_vths must be ascending, got {state_vths}")
+        if not ladder:
+            raise ValueError("state_vths must not be empty")
+        lo, hi = params.vth_low, params.vth_high
+        for v in ladder:
+            if not lo - 1e-9 <= v <= hi + 1e-9:
+                raise ValueError(
+                    f"state V_TH {v} V outside programmable window [{lo}, {hi}] V"
+                )
+        self.state_vths = ladder
+        self.params = params
+        self.verify_tolerance = verify_tolerance
+        self.max_verify_iterations = max_verify_iterations
+        self._reference = FeFET(params, rng=np.random.default_rng(seed))
+        self._amplitudes = self._calibrate()
+
+    def _calibrate(self) -> List[float]:
+        """Find the program amplitude for each state on the reference."""
+        amplitudes = []
+        for target in self.state_vths:
+            pol = -(target - self.params.vth_center) * 2.0 / self.params.vth_range
+            fraction = (pol + 1.0) / 2.0
+            amplitudes.append(
+                self._reference._preisach.voltage_for_up_fraction(fraction)
+            )
+        return amplitudes
+
+    def pulses_for_state(self, state: int) -> List[WritePulse]:
+        """The erase+program pulse train that writes ``state``."""
+        self._check_state(state)
+        return [
+            WritePulse(amplitude=self.params.erase_voltage),
+            WritePulse(amplitude=self._amplitudes[state]),
+        ]
+
+    def write(self, device: FeFET, state: int, verify: bool = True) -> float:
+        """Program ``device`` to ``state``; returns the achieved V_TH.
+
+        With ``verify=True`` the achieved threshold is measured after each
+        attempt and the program amplitude is nudged proportionally to the
+        residual error, up to ``max_verify_iterations`` attempts.
+
+        Raises:
+            RuntimeError: if verify cannot reach the target tolerance.
+        """
+        self._check_state(state)
+        target = self.state_vths[state]
+        amplitude = self._amplitudes[state]
+        device.erase()
+        device.apply_gate_pulse(amplitude)
+        if not verify:
+            return device.vth
+        # The achieved V_TH includes the device's fixed offset, which no
+        # amount of re-writing removes; verify against the polarization-only
+        # part so the loop converges for offset devices too.  The device's
+        # domain spectrum is discrete and lumpy, so a fixed proportional
+        # gain can limit-cycle between two domain counts; the gain halves
+        # whenever the error changes sign (secant-style damping) and the
+        # best amplitude seen is kept.
+        gain = 1.5
+        previous_error = None
+        best_error = float("inf")
+        best_amplitude = amplitude
+        for _ in range(self.max_verify_iterations):
+            achieved = device.vth - device.vth_offset
+            error = achieved - target
+            if abs(error) < best_error:
+                best_error = abs(error)
+                best_amplitude = amplitude
+            if abs(error) <= self.verify_tolerance:
+                return device.vth
+            if previous_error is not None and error * previous_error < 0:
+                gain *= 0.5
+            previous_error = error
+            # Higher amplitude -> more up-domains -> lower V_TH, so nudge
+            # the amplitude in the direction of the error.
+            amplitude += error * gain
+            device.erase()
+            device.apply_gate_pulse(amplitude)
+        achieved = device.vth - device.vth_offset
+        if abs(achieved - target) <= self.verify_tolerance:
+            return device.vth
+        # Fall back to the best amplitude observed during the search.
+        device.erase()
+        device.apply_gate_pulse(best_amplitude)
+        achieved = device.vth - device.vth_offset
+        if abs(achieved - target) <= self.verify_tolerance:
+            return device.vth
+        raise RuntimeError(
+            f"write-verify failed for state {state}: achieved "
+            f"{achieved:.4f} V vs target {target:.4f} V after "
+            f"{self.max_verify_iterations} attempts"
+        )
+
+    def program_amplitudes(self) -> Dict[int, float]:
+        """Calibrated program amplitude per state (V)."""
+        return dict(enumerate(self._amplitudes))
+
+    def _check_state(self, state: int) -> None:
+        if not 0 <= state < len(self.state_vths):
+            raise ValueError(
+                f"state {state} out of range [0, {len(self.state_vths) - 1}]"
+            )

@@ -1,0 +1,28 @@
+"""One driver per paper table/figure (see DESIGN.md section 4).
+
+Every driver returns a structured result object and has a ``format_*``
+companion producing the text rendering the benchmark harness prints.
+Drivers accept size parameters so benches can run reduced versions while
+``python -m repro.experiments.<driver>`` reproduces the full figure.
+"""
+
+from repro.experiments.fig1_device import run_fig1
+from repro.experiments.fig2_cell import run_fig2
+from repro.experiments.fig4_linearity import run_fig4
+from repro.experiments.fig5_energy_delay import run_fig5_ab, run_fig5_cd
+from repro.experiments.fig6_montecarlo import run_fig6
+from repro.experiments.fig7_hdc_accuracy import run_fig7
+from repro.experiments.fig8_gpu_comparison import run_fig8
+from repro.experiments.table1_comparison import run_table1
+
+__all__ = [
+    "run_fig1",
+    "run_fig2",
+    "run_fig4",
+    "run_fig5_ab",
+    "run_fig5_cd",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_table1",
+]

@@ -1,0 +1,134 @@
+"""Extension experiment: where the GPU catches up -- batched inference.
+
+Fig. 8 compares *single-query* (latency-critical edge) inference, where
+the GPU pays its full dispatch overhead per query and the TD-AM wins by
+orders of magnitude.  Under batching the GPU amortizes that overhead and
+becomes compute/bandwidth-bound, while the TD-AM's throughput is set by
+its tile cadence regardless of batch size.  This study locates the
+**crossover batch size** where the GPU's amortized per-query time drops
+below the TD-AM's -- and shows how adding banks moves it.
+
+This is deliberately an *unfavourable-direction* extension: a credible
+reproduction should report where the proposed design stops winning, not
+only where it wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+from repro.analysis.reporting import format_table
+from repro.baselines.gpu import GPUCostModel, GPUWorkload
+from repro.core.config import TDAMConfig
+from repro.hdc.accelerator import AcceleratorModel, AcceleratorSpec
+
+
+@dataclass
+class BatchRecord:
+    """One (batch size, bank count) comparison point.
+
+    Attributes:
+        batch: GPU batch size.
+        n_banks: TD-AM banks.
+        gpu_per_query_s: Amortized GPU time per query.
+        tdam_per_query_s: TD-AM steady-state time per query.
+        tdam_wins: Whether the TD-AM is still faster.
+    """
+
+    batch: int
+    n_banks: int
+    gpu_per_query_s: float
+    tdam_per_query_s: float
+
+    @property
+    def tdam_wins(self) -> bool:
+        return self.tdam_per_query_s < self.gpu_per_query_s
+
+
+@dataclass
+class BatchStudy:
+    """The full sweep plus derived crossovers."""
+
+    records: List[BatchRecord]
+    dimension: int
+
+    def crossover_batch(self, n_banks: int) -> Optional[int]:
+        """Smallest swept batch where the GPU beats ``n_banks`` banks."""
+        for record in self.records:
+            if record.n_banks == n_banks and not record.tdam_wins:
+                return record.batch
+        return None
+
+
+def run_batch_study(
+    batches: Sequence[int] = (1, 10, 100, 1_000, 10_000, 100_000),
+    bank_counts: Sequence[int] = (1, 8),
+    dimension: int = 2048,
+    n_classes: int = 26,
+    n_features: int = 617,
+    gpu: Optional[GPUCostModel] = None,
+    config: Optional[TDAMConfig] = None,
+) -> BatchStudy:
+    """Sweep GPU batch size against TD-AM bank counts."""
+    gpu = gpu or GPUCostModel()
+    config = config or TDAMConfig(bits=2, n_stages=128, vdd=0.6)
+    records: List[BatchRecord] = []
+    for n_banks in bank_counts:
+        spec = AcceleratorSpec(
+            config=config, n_banks=int(n_banks), n_classes=n_classes,
+            dimension=dimension, n_features=n_features,
+        )
+        tdam_per_query = 1.0 / AcceleratorModel(spec).throughput_qps()
+        for batch in batches:
+            workload = GPUWorkload(
+                dimension=dimension, n_classes=n_classes,
+                n_features=n_features, batch=int(batch),
+            )
+            records.append(
+                BatchRecord(
+                    batch=int(batch),
+                    n_banks=int(n_banks),
+                    gpu_per_query_s=gpu.per_query_time_s(workload),
+                    tdam_per_query_s=tdam_per_query,
+                )
+            )
+    return BatchStudy(records=records, dimension=dimension)
+
+
+def format_batch_study(study: BatchStudy) -> str:
+    """Text rendering plus the crossover summary."""
+    rows = [
+        {
+            "batch": r.batch,
+            "n_banks": r.n_banks,
+            "gpu_ns_per_q": r.gpu_per_query_s * 1e9,
+            "tdam_ns_per_q": r.tdam_per_query_s * 1e9,
+            "winner": "TD-AM" if r.tdam_wins else "GPU",
+        }
+        for r in study.records
+    ]
+    body = format_table(
+        rows,
+        title=(
+            f"Extension: batched inference at D={study.dimension} -- "
+            "amortized per-query time"
+        ),
+    )
+    notes = []
+    for n_banks in sorted({r.n_banks for r in study.records}):
+        crossover = study.crossover_batch(n_banks)
+        if crossover is None:
+            notes.append(
+                f"{n_banks} bank(s): TD-AM faster at every swept batch size"
+            )
+        else:
+            notes.append(
+                f"{n_banks} bank(s): GPU overtakes at batch >= {crossover}"
+            )
+    return body + "\n" + "\n".join(notes)
+
+
+if __name__ == "__main__":
+    print(format_batch_study(run_batch_study()))

@@ -1,0 +1,227 @@
+"""Fig. 4: delay-chain transients and delay-vs-mismatch linearity.
+
+Fig. 4(a)(b) show the rising/falling output edges shifting out as the
+number of mismatched even/odd stages grows; Fig. 4(c) shows the total
+delay growing strictly linearly with the mismatch count.  This driver
+measures the same on either backend:
+
+- ``backend="analytic"`` evaluates the closed-form model (fast; used to
+  sweep all mismatch counts 0..N);
+- ``backend="transient"`` builds the chain netlist per mismatch count and
+  measures the 50% edge crossings (the Spectre-equivalent run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.core.calibration import measure_chain_delay
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.stage import STEP_I, STEP_II
+
+
+@dataclass
+class Fig4Result:
+    """Delay vs. mismatch data.
+
+    Attributes:
+        mismatch_counts: Swept total mismatch counts.
+        delays_total_s: Total 2-step delay per count.
+        delays_rising_s: Step I delay per count.
+        delays_falling_s: Step II delay per count.
+        linear_fit: (slope, intercept) of delay vs. mismatches.
+        r_squared: Coefficient of determination of the linear fit.
+        backend: Which backend produced the data.
+    """
+
+    mismatch_counts: np.ndarray
+    delays_total_s: np.ndarray
+    delays_rising_s: np.ndarray
+    delays_falling_s: np.ndarray
+    linear_fit: "tuple[float, float]"
+    r_squared: float
+    backend: str
+
+
+def _spread_mismatches(n_stages: int, n_mismatch: int) -> "tuple[list, list]":
+    """Stored/query vectors with ``n_mismatch`` mismatches spread over
+    even and odd stages as evenly as possible."""
+    stored = [0] * n_stages
+    query = [0] * n_stages
+    even = list(range(0, n_stages, 2))
+    odd = list(range(1, n_stages, 2))
+    order = [idx for pair in zip(even, odd) for idx in pair]
+    order += even[len(odd):] + odd[len(even):]
+    for idx in order[:n_mismatch]:
+        query[idx] = 1
+    return stored, query
+
+
+def run_fig4(
+    n_stages: int = 32,
+    mismatch_counts: Optional[Sequence[int]] = None,
+    backend: str = "analytic",
+    config: Optional[TDAMConfig] = None,
+    dt: float = 2e-12,
+    seed: int = 11,
+) -> Fig4Result:
+    """Measure delay vs. mismatch count on the requested backend."""
+    config = (config or TDAMConfig()).with_(n_stages=n_stages)
+    if mismatch_counts is None:
+        mismatch_counts = list(range(0, n_stages + 1, max(1, n_stages // 8)))
+    counts = np.array(sorted(set(int(c) for c in mismatch_counts)))
+    if counts.min() < 0 or counts.max() > n_stages:
+        raise ValueError(f"mismatch counts must be in [0, {n_stages}]")
+
+    rising, falling = [], []
+    for count in counts:
+        stored, query = _spread_mismatches(n_stages, int(count))
+        n_even = sum(
+            1 for i in range(0, n_stages, 2) if stored[i] != query[i]
+        )
+        n_odd = int(count) - n_even
+        if backend == "analytic":
+            model = TimingEnergyModel(config)
+            rising.append(model.step_delay(n_even))
+            falling.append(model.step_delay(n_odd))
+        elif backend == "transient":
+            rng = np.random.default_rng(seed)
+            rising.append(
+                measure_chain_delay(config, stored, query, step=STEP_I,
+                                    rising_input=True, dt=dt, rng=rng)
+            )
+            rng = np.random.default_rng(seed)
+            falling.append(
+                measure_chain_delay(config, stored, query, step=STEP_II,
+                                    rising_input=False, dt=dt, rng=rng)
+            )
+        else:
+            raise ValueError(
+                f"backend must be 'analytic' or 'transient', got {backend!r}"
+            )
+    rising = np.array(rising)
+    falling = np.array(falling)
+    total = rising + falling
+    slope, intercept = np.polyfit(counts, total, 1)
+    predicted = slope * counts + intercept
+    ss_res = float(((total - predicted) ** 2).sum())
+    ss_tot = float(((total - total.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return Fig4Result(
+        mismatch_counts=counts,
+        delays_total_s=total,
+        delays_rising_s=rising,
+        delays_falling_s=falling,
+        linear_fit=(float(slope), float(intercept)),
+        r_squared=r_squared,
+        backend=backend,
+    )
+
+
+def format_fig4(result: Fig4Result) -> str:
+    """Text rendering of the Fig. 4(c) linearity data."""
+    body = format_series(
+        "n_mismatch",
+        list(result.mismatch_counts),
+        {
+            "rising_ps": result.delays_rising_s * 1e12,
+            "falling_ps": result.delays_falling_s * 1e12,
+            "total_ps": result.delays_total_s * 1e12,
+        },
+        title=f"Fig. 4: delay vs. mismatches ({result.backend} backend)",
+    )
+    slope, intercept = result.linear_fit
+    return (
+        f"{body}\n"
+        f"linear fit: d_tot = {slope * 1e12:.3f} ps/mismatch * N_mis "
+        f"+ {intercept * 1e12:.3f} ps (R^2 = {result.r_squared:.6f})"
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig4(run_fig4(backend="analytic")))
+    print()
+    print(format_fig4(run_fig4(n_stages=8, backend="transient",
+                               mismatch_counts=(0, 2, 4, 6, 8))))
+
+
+@dataclass
+class Fig4Waveforms:
+    """Output-edge waveform data behind Fig. 4(a)(b).
+
+    Attributes:
+        mismatch_counts: Active (even-stage) mismatch counts, one
+            transient each.
+        edge_times_s: Output 50% rising-edge crossing time per count,
+            relative to the input edge.
+        waveforms: The output-node waveforms (for plotting/inspection).
+        input_waveform: The launched input edge.
+    """
+
+    mismatch_counts: np.ndarray
+    edge_times_s: np.ndarray
+    waveforms: list
+    input_waveform: object
+
+
+def run_fig4_waveforms(
+    n_stages: int = 32,
+    mismatch_counts: Sequence[int] = (0, 4, 8, 12, 16),
+    dt: float = 4e-12,
+    config: Optional[TDAMConfig] = None,
+    seed: int = 11,
+) -> Fig4Waveforms:
+    """The actual Fig. 4(a) experiment: output waveforms marching out.
+
+    Runs one step-I transient per even-stage mismatch count on the full
+    chain and records the output edge; the rising edges shift out by
+    ``d_C`` per additional mismatch, which is what the paper's waveform
+    panel shows.
+    """
+    from repro.core.netlist_builder import build_chain_circuit
+    from repro.spice.transient import simulate
+
+    config = (config or TDAMConfig()).with_(n_stages=n_stages)
+    n_even = (n_stages + 1) // 2
+    counts = sorted(set(int(c) for c in mismatch_counts))
+    if counts[0] < 0 or counts[-1] > n_even:
+        raise ValueError(f"even-stage mismatch counts must be in [0, {n_even}]")
+    waveforms = []
+    edge_times = []
+    input_waveform = None
+    for count in counts:
+        stored = [0] * n_stages
+        query = [0] * n_stages
+        placed = 0
+        for i in range(0, n_stages, 2):
+            if placed == count:
+                break
+            query[i] = 1
+            placed += 1
+        net = build_chain_circuit(
+            config, stored, query, step="I", rising_input=True,
+            rng=np.random.default_rng(seed),
+        )
+        result = simulate(net.circuit, t_stop=net.t_stop_hint, dt=dt,
+                          v_init=net.v_init)
+        w_in = result.waveform(net.input_node)
+        w_out = result.waveform(net.output_node)
+        level = config.vdd / 2.0
+        t_in = w_in.first_crossing(level, rising=True,
+                                   after=net.t_pulse - 50e-12)
+        t_out = w_out.first_crossing(level, rising=net.output_edge_rising,
+                                     after=t_in)
+        waveforms.append(w_out)
+        edge_times.append(t_out - t_in)
+        input_waveform = w_in
+    return Fig4Waveforms(
+        mismatch_counts=np.array(counts),
+        edge_times_s=np.array(edge_times),
+        waveforms=waveforms,
+        input_waveform=input_waveform,
+    )

@@ -1,0 +1,169 @@
+"""Fig. 5: energy/delay scaling with load capacitor, chain length, V_DD.
+
+- Fig. 5(a)(b): energy and delay of the worst-case (all-mismatch) search
+  over a 2-D grid of load capacitance (6 fF..1280 fF) and chain length
+  (1..64).  The paper's observation: iso-energy and iso-delay contours
+  run diagonally, i.e. both are proportional to ``C_load * N_mis``.
+- Fig. 5(c)(d): average energy and latency of 32/64/128-stage chains
+  under supply-voltage scaling; energy drops ~V^2 while delay grows as
+  the drive current collapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.sweeps import SweepResult, grid_sweep
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+
+
+@dataclass
+class Fig5ABResult:
+    """The (C_load, N) grid of worst-case search energy and delay."""
+
+    sweep: SweepResult
+    c_loads_f: Sequence[float]
+    stage_counts: Sequence[int]
+
+    def energy_grid(self) -> np.ndarray:
+        """Energy (J), shape (len(c_loads), len(stage_counts))."""
+        return self.sweep.grid("energy_j")
+
+    def delay_grid(self) -> np.ndarray:
+        """Delay (s), same shape."""
+        return self.sweep.grid("delay_s")
+
+
+def run_fig5_ab(
+    c_loads_f: Optional[Sequence[float]] = None,
+    stage_counts: Optional[Sequence[int]] = None,
+    config: Optional[TDAMConfig] = None,
+) -> Fig5ABResult:
+    """Sweep the (load capacitor, chain length) grid at worst case."""
+    base = config or TDAMConfig()
+    if c_loads_f is None:
+        c_loads_f = [6e-15 * (2**k) for k in range(8)]  # 6 fF .. 768 fF
+        c_loads_f.append(1280e-15)
+    if stage_counts is None:
+        stage_counts = [1, 2, 4, 8, 16, 32, 64]
+
+    def evaluate(c_load_f: float, n_stages: int):
+        cfg = base.with_(c_load_f=c_load_f, n_stages=n_stages)
+        model = TimingEnergyModel(cfg)
+        cost = model.search_cost(n_stages)  # worst case: all mismatch
+        return {"energy_j": cost.energy_j, "delay_s": cost.delay_s}
+
+    sweep = grid_sweep(
+        {"c_load_f": list(c_loads_f), "n_stages": list(stage_counts)},
+        evaluate,
+    )
+    return Fig5ABResult(
+        sweep=sweep, c_loads_f=list(c_loads_f), stage_counts=list(stage_counts)
+    )
+
+
+@dataclass
+class Fig5CDResult:
+    """Energy/latency vs. V_DD for several chain lengths."""
+
+    vdds: np.ndarray
+    stage_counts: Sequence[int]
+    energy_j: np.ndarray  # (n_vdd, n_chains)
+    latency_s: np.ndarray  # (n_vdd, n_chains)
+    energy_per_bit_j: np.ndarray  # (n_vdd, n_chains)
+
+    def best_energy_per_bit(self) -> "tuple[float, float, int]":
+        """(J/bit, V_DD, n_stages) of the most efficient point."""
+        idx = np.unravel_index(
+            np.argmin(self.energy_per_bit_j), self.energy_per_bit_j.shape
+        )
+        return (
+            float(self.energy_per_bit_j[idx]),
+            float(self.vdds[idx[0]]),
+            int(self.stage_counts[idx[1]]),
+        )
+
+
+def run_fig5_cd(
+    vdds: Optional[Sequence[float]] = None,
+    stage_counts: Sequence[int] = (32, 64, 128),
+    mismatch_fraction: float = 0.5,
+    config: Optional[TDAMConfig] = None,
+) -> Fig5CDResult:
+    """Sweep supply voltage for 32/64/128-stage chains.
+
+    Energy/latency are evaluated at an average-case activity
+    (``mismatch_fraction`` of the stages mismatching), as the paper's
+    "average energy and computational latency" wording implies.
+    """
+    base = config or TDAMConfig()
+    if vdds is None:
+        vdds = np.linspace(0.5, 1.1, 13)
+    vdds = np.asarray(list(vdds), dtype=float)
+    energy = np.zeros((len(vdds), len(stage_counts)))
+    latency = np.zeros_like(energy)
+    per_bit = np.zeros_like(energy)
+    for i, vdd in enumerate(vdds):
+        for j, n in enumerate(stage_counts):
+            cfg = base.with_(vdd=float(vdd), n_stages=int(n))
+            model = TimingEnergyModel(cfg)
+            n_mis = int(round(mismatch_fraction * n))
+            cost = model.search_cost(n_mis)
+            energy[i, j] = cost.energy_j
+            latency[i, j] = cost.delay_s
+            per_bit[i, j] = model.energy_per_bit()
+    return Fig5CDResult(
+        vdds=vdds,
+        stage_counts=list(stage_counts),
+        energy_j=energy,
+        latency_s=latency,
+        energy_per_bit_j=per_bit,
+    )
+
+
+def format_fig5_ab(result: Fig5ABResult) -> str:
+    """Text rendering: energy and delay tables over the grid."""
+    records = []
+    for record in result.sweep.records:
+        records.append(
+            {
+                "c_load_fF": record["c_load_f"] * 1e15,
+                "n_stages": record["n_stages"],
+                "energy_fJ": record["energy_j"] * 1e15,
+                "delay_ps": record["delay_s"] * 1e12,
+                "c_times_n": record["c_load_f"] * 1e15 * record["n_stages"],
+            }
+        )
+    return format_table(
+        records,
+        title="Fig. 5(a)(b): worst-case search energy/delay vs (C_load, N)",
+    )
+
+
+def format_fig5_cd(result: Fig5CDResult) -> str:
+    """Text rendering: the V_DD scaling curves."""
+    curves = {}
+    for j, n in enumerate(result.stage_counts):
+        curves[f"E_{n}st_fJ"] = result.energy_j[:, j] * 1e15
+        curves[f"t_{n}st_ns"] = result.latency_s[:, j] * 1e9
+    body = format_series(
+        "vdd_V", [f"{v:.2f}" for v in result.vdds], curves,
+        title="Fig. 5(c)(d): energy and latency under V_DD scaling",
+    )
+    best, vdd, n = result.best_energy_per_bit()
+    return (
+        f"{body}\n"
+        f"best energy efficiency: {best * 1e15:.3f} fJ/bit at "
+        f"V_DD={vdd:.2f} V, {n} stages (paper: 0.159 fJ/bit)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig5_ab(run_fig5_ab()))
+    print()
+    print(format_fig5_cd(run_fig5_cd()))

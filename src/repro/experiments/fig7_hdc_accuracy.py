@@ -1,0 +1,160 @@
+"""Fig. 7: HDC accuracy vs. bit precision and dimensionality.
+
+The paper's quantization study: train a full-precision HDC model per
+(dataset, dimension), quantize the class hypervectors into equal-area
+``2**n`` blocks for n in {1, 2, 3, 4}, and measure test accuracy against
+the 32-bit reference across D in {512, 1024, 2048, 5120, 10240}.
+
+Two inference semantics are recorded per quantized model (see the
+discussion in EXPERIMENTS.md):
+
+- ``accuracy``: cosine against the reconstructed quantized prototypes --
+  the model-precision semantics of the paper's Fig. 7 study;
+- ``accuracy_hamming``: the TD-AM's native exact-match Hamming inference
+  (query quantized to the same levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+from repro.analysis.reporting import format_table
+from repro.datasets.synthetic import Dataset, standard_suite
+from repro.hdc.encoder import RandomProjectionEncoder
+from repro.hdc.mapping import TDAMInference
+from repro.hdc.model import HDCClassifier
+from repro.hdc.quantize import quantize_equal_area
+
+#: The paper's swept dimensionalities.
+PAPER_DIMENSIONS = (512, 1024, 2048, 5120, 10240)
+#: The paper's swept precisions (32 = float reference).
+PAPER_PRECISIONS = (1, 2, 3, 4, 32)
+
+
+@dataclass
+class Fig7Record:
+    """One (dataset, dimension, precision) accuracy measurement."""
+
+    dataset: str
+    dimension: int
+    bits: int
+    accuracy: float
+    accuracy_hamming: Optional[float] = None
+
+
+@dataclass
+class Fig7Result:
+    """All accuracy measurements of the Fig. 7 sweep."""
+
+    records: List[Fig7Record]
+    dimensions: Sequence[int]
+    precisions: Sequence[int]
+
+    def accuracy(self, dataset: str, dimension: int, bits: int) -> float:
+        for r in self.records:
+            if (r.dataset, r.dimension, r.bits) == (dataset, dimension, bits):
+                return r.accuracy
+        raise KeyError(f"no record for {(dataset, dimension, bits)}")
+
+    def dimension_to_reach(
+        self, dataset: str, bits: int, fraction_of_peak: float = 0.98
+    ) -> Optional[int]:
+        """Smallest swept D where this precision reaches the given
+        fraction of the 32-bit peak accuracy; None if never."""
+        peak = max(
+            self.accuracy(dataset, d, 32) for d in self.dimensions
+        )
+        target = fraction_of_peak * peak
+        for d in self.dimensions:
+            if self.accuracy(dataset, d, bits) >= target:
+                return d
+        return None
+
+
+def run_fig7(
+    dimensions: Sequence[int] = PAPER_DIMENSIONS,
+    precisions: Sequence[int] = PAPER_PRECISIONS,
+    datasets: Optional[Sequence[Dataset]] = None,
+    dataset_scale: float = 1.0,
+    epochs: int = 8,
+    include_hamming: bool = True,
+    seed: int = 7,
+) -> Fig7Result:
+    """Run the full accuracy sweep.
+
+    Args:
+        dimensions: Hypervector dimensions to sweep.
+        precisions: Bit precisions (32 denotes the float reference).
+        datasets: Datasets to evaluate; defaults to the standard suite.
+        dataset_scale: Sample-count scale of the default suite.
+        epochs: Refinement epochs per model.
+        include_hamming: Also record the TD-AM Hamming-inference accuracy.
+        seed: Encoder seed.
+    """
+    if datasets is None:
+        datasets = standard_suite(scale=dataset_scale)
+    records: List[Fig7Record] = []
+    for ds in datasets:
+        for dim in dimensions:
+            encoder = RandomProjectionEncoder(ds.n_features, int(dim), seed=seed)
+            clf = HDCClassifier(encoder, ds.n_classes).fit(
+                ds.x_train, ds.y_train, epochs=epochs
+            )
+            queries = clf.encode(ds.x_test)
+            for bits in precisions:
+                if bits == 32:
+                    records.append(
+                        Fig7Record(
+                            dataset=ds.name,
+                            dimension=int(dim),
+                            bits=32,
+                            accuracy=clf.accuracy(ds.x_test, ds.y_test),
+                        )
+                    )
+                    continue
+                qm = quantize_equal_area(clf.prototypes, int(bits))
+                acc = qm.accuracy_cosine(queries, ds.y_test)
+                acc_ham = None
+                if include_hamming:
+                    inference = TDAMInference(qm, n_features=ds.n_features)
+                    acc_ham = inference.accuracy(
+                        qm.quantize_queries(queries), ds.y_test
+                    )
+                records.append(
+                    Fig7Record(
+                        dataset=ds.name,
+                        dimension=int(dim),
+                        bits=int(bits),
+                        accuracy=acc,
+                        accuracy_hamming=acc_ham,
+                    )
+                )
+    return Fig7Result(
+        records=records,
+        dimensions=list(dimensions),
+        precisions=list(precisions),
+    )
+
+
+def format_fig7(result: Fig7Result) -> str:
+    """Text rendering: accuracy grid per dataset."""
+    blocks = []
+    datasets = sorted({r.dataset for r in result.records})
+    for ds in datasets:
+        rows = []
+        for dim in result.dimensions:
+            row: Dict[str, object] = {"D": dim}
+            for bits in result.precisions:
+                label = "32b" if bits == 32 else f"{bits}b"
+                row[label] = result.accuracy(ds, dim, bits)
+            rows.append(row)
+        blocks.append(
+            format_table(rows, floatfmt=".3f", title=f"Fig. 7 [{ds}]: accuracy")
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(format_fig7(run_fig7()))

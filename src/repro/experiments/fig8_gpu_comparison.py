@@ -1,0 +1,169 @@
+"""Fig. 8: TD-AM system vs. GPU -- speedup and energy efficiency.
+
+The paper's system comparison at the 128-stage, 0.6 V operating point:
+per-query inference latency and energy of the TD-AM architecture (FeFET
+encoder + tile-serial associative search) against the RTX 4070 cost
+model, across the Fig. 7 dimensionalities and all three datasets.
+
+Headline numbers to compare shapes against (paper Sec. IV-B):
+
+- speedup 194x (ISOLET) .. 287x (FACE) at the smallest dimensionality,
+  attenuating to an 11.65x average at D = 10240;
+- 124.8x average speedup at the 3-4 bit / 1024-D accuracy-parity point;
+- energy efficiency 5061x .. 5790x at small D, 303x average at the
+  highest D, 2837x at the 3-4 bit / 1024-D point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.baselines.gpu import GPUCostModel, GPUWorkload
+from repro.core.config import TDAMConfig
+from repro.hdc.mapping import TDAMInference
+from repro.hdc.quantize import QuantizedModel
+
+#: Dataset shapes of the comparison (features, classes).
+DATASET_SHAPES: Dict[str, "tuple[int, int]"] = {
+    "isolet": (617, 26),
+    "ucihar": (561, 6),
+    "face": (608, 2),
+}
+
+#: The paper's Fig. 8 operating point.
+FIG8_CONFIG = dict(bits=2, n_stages=128, vdd=0.6)
+
+
+@dataclass
+class Fig8Record:
+    """One (dataset, dimension) comparison point."""
+
+    dataset: str
+    dimension: int
+    tdam_latency_s: float
+    tdam_energy_j: float
+    gpu_latency_s: float
+    gpu_energy_j: float
+
+    @property
+    def speedup(self) -> float:
+        return self.gpu_latency_s / self.tdam_latency_s
+
+    @property
+    def energy_efficiency(self) -> float:
+        return self.gpu_energy_j / self.tdam_energy_j
+
+
+@dataclass
+class Fig8Result:
+    """The full Fig. 8 comparison."""
+
+    records: List[Fig8Record]
+    dimensions: Sequence[int]
+
+    def by(self, dataset: str, dimension: int) -> Fig8Record:
+        for r in self.records:
+            if (r.dataset, r.dimension) == (dataset, dimension):
+                return r
+        raise KeyError(f"no record for {(dataset, dimension)}")
+
+    def speedup_range_at(self, dimension: int) -> "tuple[float, float]":
+        values = [r.speedup for r in self.records if r.dimension == dimension]
+        return min(values), max(values)
+
+    def average_speedup_at(self, dimension: int) -> float:
+        values = [r.speedup for r in self.records if r.dimension == dimension]
+        return float(np.mean(values))
+
+    def average_efficiency_at(self, dimension: int) -> float:
+        values = [
+            r.energy_efficiency for r in self.records if r.dimension == dimension
+        ]
+        return float(np.mean(values))
+
+
+def _placeholder_model(bits: int, dimension: int, n_classes: int) -> QuantizedModel:
+    """A structurally correct quantized model for cost evaluation.
+
+    Fig. 8 measures latency/energy, which depend only on the model's
+    shape (D, classes, bits), not its contents.
+    """
+    rng = np.random.default_rng(0)
+    levels = rng.integers(0, 2**bits, size=(n_classes, dimension))
+    edges = np.linspace(-1, 1, 2**bits + 1)[1:-1]
+    centers = np.linspace(-1, 1, 2**bits)
+    return QuantizedModel(
+        levels=levels, edges=edges, centers=centers, bits=bits,
+        method="equal-area",
+    )
+
+
+def run_fig8(
+    dimensions: Sequence[int] = (512, 1024, 2048, 5120, 10240),
+    bits: int = 2,
+    gpu: Optional[GPUCostModel] = None,
+    config: Optional[TDAMConfig] = None,
+    mismatch_fraction: float = 0.5,
+) -> Fig8Result:
+    """Run the system comparison across dimensions and datasets."""
+    gpu = gpu or GPUCostModel()
+    base = config or TDAMConfig(**{**FIG8_CONFIG, "bits": bits})
+    records: List[Fig8Record] = []
+    for name, (n_features, n_classes) in DATASET_SHAPES.items():
+        for dim in dimensions:
+            model = _placeholder_model(bits, int(dim), n_classes)
+            inference = TDAMInference(model, config=base, n_features=n_features)
+            cost = inference.query_cost(mismatch_fraction=mismatch_fraction)
+            workload = GPUWorkload(
+                dimension=int(dim), n_classes=n_classes, n_features=n_features
+            )
+            records.append(
+                Fig8Record(
+                    dataset=name,
+                    dimension=int(dim),
+                    tdam_latency_s=cost.latency_s,
+                    tdam_energy_j=cost.energy_j,
+                    gpu_latency_s=gpu.per_query_time_s(workload),
+                    gpu_energy_j=gpu.per_query_energy_j(workload),
+                )
+            )
+    return Fig8Result(records=records, dimensions=list(dimensions))
+
+
+def format_fig8(result: Fig8Result) -> str:
+    """Text rendering of the speedup/efficiency series."""
+    rows = []
+    for r in result.records:
+        rows.append(
+            {
+                "dataset": r.dataset,
+                "D": r.dimension,
+                "tdam_us": r.tdam_latency_s * 1e6,
+                "gpu_us": r.gpu_latency_s * 1e6,
+                "speedup": r.speedup,
+                "tdam_nJ": r.tdam_energy_j * 1e9,
+                "gpu_uJ": r.gpu_energy_j * 1e6,
+                "energy_eff": r.energy_efficiency,
+            }
+        )
+    body = format_table(
+        rows, title="Fig. 8: TD-AM (128 stages, 0.6 V) vs. GPU model"
+    )
+    d_min, d_max = min(result.dimensions), max(result.dimensions)
+    lo, hi = result.speedup_range_at(d_min)
+    return (
+        f"{body}\n"
+        f"speedup at D={d_min}: {lo:.0f}x..{hi:.0f}x "
+        f"(paper: 194x..287x); average at D={d_max}: "
+        f"{result.average_speedup_at(d_max):.1f}x (paper: 11.65x)\n"
+        f"energy efficiency average at D={d_max}: "
+        f"{result.average_efficiency_at(d_max):.0f}x (paper: 303x)"
+    )
+
+
+if __name__ == "__main__":
+    print(format_fig8(run_fig8()))

@@ -1,0 +1,70 @@
+"""Hyperdimensional computing stack for the paper's case study (Sec. IV-B).
+
+The pipeline mirrors the paper's experiment:
+
+1. encode feature vectors into D-dimensional hypervectors
+   (:mod:`~repro.hdc.encoder`),
+2. train a classifier with single-pass bundling plus OnlineHD-style
+   refinement (:mod:`~repro.hdc.model`),
+3. quantize the class hypervectors into ``2**n`` equal-probability-area
+   levels (:mod:`~repro.hdc.quantize`) -- the paper's "blocks of equal
+   areas" mapping,
+4. run inference on the TD-AM: per-element exact-match (Hamming)
+   similarity between the quantized query and each quantized class
+   hypervector, with architecture-level latency/energy accounting
+   (:mod:`~repro.hdc.mapping`).
+
+The 32-bit reference model predicts with cosine similarity on the float
+prototypes (the GPU path); the quantized models predict with the TD-AM's
+match-count similarity.
+"""
+
+from repro.hdc.encoder import RandomProjectionEncoder, RecordEncoder
+from repro.hdc.hypervector import (
+    bind,
+    bundle,
+    permute,
+    random_bipolar,
+    random_gaussian,
+)
+from repro.hdc.mapping import InferenceCost, TDAMInference
+from repro.hdc.metrics import cosine_similarity, hamming_distance, match_count
+from repro.hdc.model import HDCClassifier
+from repro.hdc.accelerator import (
+    AcceleratorModel,
+    AcceleratorSpec,
+    size_accelerator,
+)
+from repro.hdc.cluster import ClusterResult, HDCluster, clustering_accuracy
+from repro.hdc.online import OnlineLearner
+from repro.hdc.quantize import QuantizedModel, quantize_equal_area, quantize_uniform
+from repro.hdc.sequence import ScanHit, SequenceEncoder, SequenceMatcher
+
+__all__ = [
+    "RandomProjectionEncoder",
+    "RecordEncoder",
+    "random_bipolar",
+    "random_gaussian",
+    "bind",
+    "bundle",
+    "permute",
+    "HDCClassifier",
+    "QuantizedModel",
+    "quantize_equal_area",
+    "quantize_uniform",
+    "TDAMInference",
+    "InferenceCost",
+    "cosine_similarity",
+    "hamming_distance",
+    "match_count",
+    "SequenceEncoder",
+    "SequenceMatcher",
+    "ScanHit",
+    "HDCluster",
+    "ClusterResult",
+    "clustering_accuracy",
+    "OnlineLearner",
+    "AcceleratorModel",
+    "AcceleratorSpec",
+    "size_accelerator",
+]

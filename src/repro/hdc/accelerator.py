@@ -1,0 +1,181 @@
+"""Multi-bank TD-AM accelerator: the full-system deployment model.
+
+One TD-AM array holds at most ``n_stages`` elements per row; real HDC
+deployments (Fig. 8: D up to 10240) need many tiles, and a throughput-
+oriented accelerator instantiates several physical *banks* so tiles
+process in parallel rather than serially.  This module assembles the
+existing pieces -- mapping, scheduler, energy, area, programming -- into
+one :class:`AcceleratorModel` that answers the deployment questions:
+
+- end-to-end latency/throughput of batched inference with B banks,
+- total energy per query (encoder + banks + readout),
+- silicon area of the bank array,
+- model-load (programming) time,
+
+plus a :func:`size_accelerator` helper that picks the smallest bank
+count meeting a latency target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.area import tdam_area
+from repro.core.config import TDAMConfig
+from repro.core.programming import ProgrammingModel
+from repro.core.scheduler import OperationScheduler
+from repro.hdc.mapping import (
+    E_ENCODE_PER_DIMFEAT,
+    T_READOUT_PER_CLASS,
+    InferenceCost,
+)
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Static description of one accelerator instance.
+
+    Attributes:
+        config: Per-bank TD-AM design point.
+        n_banks: Physical banks (tiles processed concurrently).
+        n_classes: Stored vectors per bank (rows).
+        dimension: Hypervector dimension of the deployed model.
+        n_features: Input feature count (encoder sizing).
+    """
+
+    config: TDAMConfig
+    n_banks: int
+    n_classes: int
+    dimension: int
+    n_features: int
+
+    def __post_init__(self) -> None:
+        if self.n_banks < 1:
+            raise ValueError(f"n_banks must be >= 1, got {self.n_banks}")
+        if self.n_classes < 1 or self.dimension < 1 or self.n_features < 1:
+            raise ValueError("n_classes, dimension, n_features must be >= 1")
+
+    @property
+    def n_tiles(self) -> int:
+        """Tiles covering the dimension."""
+        return math.ceil(self.dimension / self.config.n_stages)
+
+    @property
+    def tile_rounds(self) -> int:
+        """Serial rounds with ``n_banks`` tiles in flight per round."""
+        return math.ceil(self.n_tiles / self.n_banks)
+
+
+class AcceleratorModel:
+    """Performance/energy/area evaluation of an accelerator instance."""
+
+    def __init__(self, spec: AcceleratorSpec) -> None:
+        self.spec = spec
+        self.scheduler = OperationScheduler(spec.config)
+
+    # ------------------------------------------------------------------
+    # Performance
+    # ------------------------------------------------------------------
+    def query_latency_s(self) -> float:
+        """One query: tile rounds stream through the banks."""
+        schedule = self.scheduler.schedule()
+        rounds = self.spec.tile_rounds
+        if rounds == 1:
+            stream = schedule.latency_s
+        else:
+            stream = (
+                schedule.latency_s
+                + (rounds - 1) * schedule.pipelined_interval_s
+            )
+        return stream + self.spec.n_classes * T_READOUT_PER_CLASS
+
+    def throughput_qps(self) -> float:
+        """Steady-state queries per second with full pipelining."""
+        schedule = self.scheduler.schedule()
+        per_query = self.spec.tile_rounds * schedule.pipelined_interval_s
+        return 1.0 / per_query
+
+    def query_cost(self, mismatch_fraction: float = 0.5) -> InferenceCost:
+        """Latency/energy of one query (same fields as TDAMInference)."""
+        if not 0.0 <= mismatch_fraction <= 1.0:
+            raise ValueError(
+                f"mismatch_fraction must be in [0, 1], got {mismatch_fraction}"
+            )
+        config = self.spec.config
+        timing = self.scheduler.timing
+        n_mis = int(round(mismatch_fraction * config.n_stages))
+        per_chain = timing.search_cost(n_mis).energy_j
+        search = self.spec.n_tiles * self.spec.n_classes * per_chain
+        encode = (
+            self.spec.dimension * self.spec.n_features * E_ENCODE_PER_DIMFEAT
+        )
+        return InferenceCost(
+            latency_s=self.query_latency_s(),
+            energy_j=search + encode,
+            tiles=self.spec.n_tiles,
+            search_energy_j=search,
+            encode_energy_j=encode,
+        )
+
+    # ------------------------------------------------------------------
+    # Cost
+    # ------------------------------------------------------------------
+    def area_um2(self) -> float:
+        """Total silicon area of the banks (um^2)."""
+        per_bank = tdam_area(self.spec.config, self.spec.n_classes).total_um2
+        return self.spec.n_banks * per_bank
+
+    def model_load_time_s(self) -> float:
+        """Programming the whole model image across the banks.
+
+        Banks program in parallel (independent write drivers); each bank
+        holds ``ceil(n_tiles / n_banks) * n_classes`` row images.
+        """
+        model = ProgrammingModel(self.spec.config)
+        rows_per_bank = self.spec.tile_rounds * self.spec.n_classes
+        return model.program_image(rows_per_bank).total_time_s
+
+    def summary(self) -> "dict[str, float]":
+        """The headline numbers as a dict (reports, tests)."""
+        cost = self.query_cost()
+        return {
+            "n_banks": float(self.spec.n_banks),
+            "tiles": float(self.spec.n_tiles),
+            "latency_us": self.query_latency_s() * 1e6,
+            "throughput_qps": self.throughput_qps(),
+            "energy_nj": cost.energy_j * 1e9,
+            "area_mm2": self.area_um2() * 1e-6,
+            "model_load_ms": self.model_load_time_s() * 1e3,
+        }
+
+
+def size_accelerator(
+    latency_target_s: float,
+    dimension: int,
+    n_classes: int,
+    n_features: int,
+    config: Optional[TDAMConfig] = None,
+    max_banks: int = 128,
+) -> AcceleratorModel:
+    """Smallest bank count meeting a query-latency target.
+
+    Raises:
+        ValueError: if even ``max_banks`` banks cannot meet the target.
+    """
+    if latency_target_s <= 0:
+        raise ValueError("latency_target_s must be positive")
+    config = config or TDAMConfig(bits=2, n_stages=128, vdd=0.6)
+    for n_banks in range(1, max_banks + 1):
+        spec = AcceleratorSpec(
+            config=config, n_banks=n_banks, n_classes=n_classes,
+            dimension=dimension, n_features=n_features,
+        )
+        model = AcceleratorModel(spec)
+        if model.query_latency_s() <= latency_target_s:
+            return model
+    raise ValueError(
+        f"cannot reach {latency_target_s * 1e9:.1f} ns even with "
+        f"{max_banks} banks (floor is the per-tile schedule plus readout)"
+    )

@@ -1,0 +1,130 @@
+"""Feature-to-hypervector encoders.
+
+Two standard constructions:
+
+- :class:`RandomProjectionEncoder` -- the OnlineHD-style nonlinear random
+  projection used by the paper's reference framework [35]: a fixed seeded
+  Gaussian matrix projects the feature vector into D dimensions, followed
+  by an optional cosine nonlinearity.
+- :class:`RecordEncoder` -- the classical record-based (ID x level)
+  scheme: each feature gets a random ID hypervector, its value picks a
+  correlated level hypervector, and the feature bindings are bundled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hdc.hypervector import level_hypervectors, random_bipolar
+
+
+class RandomProjectionEncoder:
+    """Nonlinear random-projection encoder (OnlineHD style).
+
+    ``H = cos(X @ P.T + b) * sin(X @ P.T)`` with a seeded Gaussian ``P``
+    and uniform phase ``b`` when ``nonlinear=True``; plain ``X @ P.T``
+    otherwise.
+
+    Args:
+        n_features: Input feature count.
+        dimension: Hypervector dimension D.
+        nonlinear: Apply the trigonometric nonlinearity.
+        seed: Projection seed (fixes the encoder).
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        dimension: int,
+        nonlinear: bool = True,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if n_features < 1 or dimension < 1:
+            raise ValueError("n_features and dimension must be >= 1")
+        self.n_features = n_features
+        self.dimension = dimension
+        self.nonlinear = nonlinear
+        rng = np.random.default_rng(seed)
+        self._projection = rng.standard_normal(
+            (dimension, n_features)
+        ).astype(np.float32) / np.sqrt(n_features)
+        self._phase = rng.uniform(0, 2 * np.pi, size=dimension).astype(np.float32)
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Encode feature rows into hypervectors.
+
+        Args:
+            features: Shape (n_samples, n_features) or (n_features,).
+
+        Returns:
+            Float hypervectors, shape (n_samples, dimension) (2-D even
+            for a single sample).
+        """
+        x = np.atleast_2d(np.asarray(features, dtype=np.float32))
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {x.shape[1]}"
+            )
+        projected = x @ self._projection.T
+        if not self.nonlinear:
+            return projected
+        return np.cos(projected + self._phase) * np.sin(projected)
+
+
+class RecordEncoder:
+    """Record-based (ID x level) encoder.
+
+    Args:
+        n_features: Input feature count.
+        dimension: Hypervector dimension D.
+        n_levels: Quantization levels of the feature values.
+        feature_range: (low, high) range the features are clipped to
+            before level lookup.
+        seed: Item-memory seed.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        dimension: int,
+        n_levels: int = 16,
+        feature_range: "tuple[float, float]" = (-1.0, 1.0),
+        seed: Optional[int] = 0,
+    ) -> None:
+        if n_features < 1 or dimension < 1:
+            raise ValueError("n_features and dimension must be >= 1")
+        if n_levels < 2:
+            raise ValueError(f"n_levels must be >= 2, got {n_levels}")
+        low, high = feature_range
+        if low >= high:
+            raise ValueError(f"feature_range must be (low, high), got {feature_range}")
+        self.n_features = n_features
+        self.dimension = dimension
+        self.n_levels = n_levels
+        self.feature_range = (float(low), float(high))
+        rng = np.random.default_rng(seed)
+        self._ids = random_bipolar(n_features, dimension, rng)
+        self._levels = level_hypervectors(n_levels, dimension, rng)
+
+    def _level_index(self, values: np.ndarray) -> np.ndarray:
+        low, high = self.feature_range
+        clipped = np.clip(values, low, high)
+        scaled = (clipped - low) / (high - low)
+        return np.minimum(
+            (scaled * self.n_levels).astype(np.int64), self.n_levels - 1
+        )
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Encode feature rows: bundle of ID (x) level bindings per row."""
+        x = np.atleast_2d(np.asarray(features, dtype=np.float32))
+        if x.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {x.shape[1]}"
+            )
+        level_idx = self._level_index(x)  # (n_samples, n_features)
+        out = np.zeros((x.shape[0], self.dimension), dtype=np.float32)
+        for f in range(self.n_features):
+            out += self._ids[f] * self._levels[level_idx[:, f]]
+        return out

@@ -1,0 +1,77 @@
+"""Similarity metrics used across the HDC stack.
+
+Two regimes:
+
+- float prototypes (the 32-bit reference model, i.e. the GPU path) use
+  **cosine similarity**;
+- quantized level vectors on the TD-AM use **match count**
+  (``D - Hamming distance`` over multi-bit elements), which is what the
+  delay-chain hardware senses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine_similarity(queries: np.ndarray, prototypes: np.ndarray) -> np.ndarray:
+    """Cosine similarity between query rows and prototype rows.
+
+    Args:
+        queries: Shape (n_queries, D) or (D,).
+        prototypes: Shape (n_classes, D).
+
+    Returns:
+        Shape (n_queries, n_classes) similarity matrix (2-D even for a
+        single query).
+    """
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    p = np.atleast_2d(np.asarray(prototypes, dtype=np.float64))
+    if q.shape[1] != p.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries D={q.shape[1]}, prototypes D={p.shape[1]}"
+        )
+    qn = np.linalg.norm(q, axis=1, keepdims=True)
+    pn = np.linalg.norm(p, axis=1, keepdims=True)
+    if (qn == 0).any() or (pn == 0).any():
+        raise ValueError("cosine similarity undefined for zero vectors")
+    return (q / qn) @ (p / pn).T
+
+
+def hamming_distance(queries: np.ndarray, prototypes: np.ndarray) -> np.ndarray:
+    """Element-wise Hamming distance between level vectors.
+
+    Counts *mismatching multi-bit elements* (the TD-AM's native metric),
+    not differing binary digits.
+
+    Args:
+        queries: Integer level vectors, shape (n_queries, D) or (D,).
+        prototypes: Integer level vectors, shape (n_classes, D).
+
+    Returns:
+        Shape (n_queries, n_classes) integer distance matrix.
+    """
+    q = np.atleast_2d(np.asarray(queries))
+    p = np.atleast_2d(np.asarray(prototypes))
+    if q.shape[1] != p.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries D={q.shape[1]}, prototypes D={p.shape[1]}"
+        )
+    return (q[:, None, :] != p[None, :, :]).sum(axis=2)
+
+
+def match_count(queries: np.ndarray, prototypes: np.ndarray) -> np.ndarray:
+    """Matching-element count: ``D - hamming_distance`` (higher = closer)."""
+    q = np.atleast_2d(np.asarray(queries))
+    return q.shape[1] - hamming_distance(queries, prototypes)
+
+
+def dot_similarity(queries: np.ndarray, prototypes: np.ndarray) -> np.ndarray:
+    """Plain dot-product similarity (crossbar-MAC style accelerators)."""
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    p = np.atleast_2d(np.asarray(prototypes, dtype=np.float64))
+    if q.shape[1] != p.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries D={q.shape[1]}, prototypes D={p.shape[1]}"
+        )
+    return q @ p.T

@@ -1,0 +1,53 @@
+"""A small nonlinear transient circuit simulator.
+
+This subpackage stands in for the Cadence Spectre runs of the paper.  It
+implements nodal analysis over grounded voltage sources with backward-Euler
+integration and damped Newton iteration, which is sufficient for the
+TD-AM circuits: inverter chains, precharge/discharge dynamics of the match
+node, and the variable-capacitance delay stages.
+
+- :mod:`~repro.spice.netlist` -- circuit container and node bookkeeping.
+- :mod:`~repro.spice.elements` -- R, C, grounded sources (PWL / pulse),
+  MOSFET and FeFET elements with local Jacobian contributions.
+- :mod:`~repro.spice.transient` -- the solver.
+- :mod:`~repro.spice.waveform` -- waveform containers and delay/crossing
+  measurements.
+- :mod:`~repro.spice.montecarlo` -- seeded Monte Carlo harness.
+"""
+
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    FeFETElement,
+    MOSFETElement,
+    PulseWaveform,
+    PWLWaveform,
+    Resistor,
+    StepWaveform,
+    VoltageSource,
+)
+from repro.spice.dc import solve_dc, sweep_dc
+from repro.spice.montecarlo import MonteCarloResult, run_monte_carlo
+from repro.spice.netlist import Circuit
+from repro.spice.transient import TransientResult, simulate
+from repro.spice.waveform import Waveform
+
+__all__ = [
+    "Circuit",
+    "Resistor",
+    "Capacitor",
+    "CurrentSource",
+    "VoltageSource",
+    "MOSFETElement",
+    "FeFETElement",
+    "PWLWaveform",
+    "PulseWaveform",
+    "StepWaveform",
+    "TransientResult",
+    "simulate",
+    "Waveform",
+    "MonteCarloResult",
+    "run_monte_carlo",
+    "solve_dc",
+    "sweep_dc",
+]

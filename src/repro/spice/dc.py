@@ -1,0 +1,150 @@
+"""DC operating-point analysis.
+
+Solves the static network: capacitors carry no current (enforced by
+evaluating every element with the previous-state vector aliased to the
+solution vector, which zeroes the backward-Euler companion current), and
+the free-node voltages satisfy KCL under damped Newton with source
+stepping as a fallback for stiff circuits.
+
+Used for inverter VTCs, the IMC cell's static match/mismatch levels, and
+as a sanity layer under the transient solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.spice.netlist import Circuit
+from repro.spice.transient import ConvergenceError, _solve_step
+
+
+def solve_dc(
+    circuit: Circuit,
+    v_init: Optional[Dict[str, float]] = None,
+    max_newton: int = 200,
+    abstol: float = 1e-10,
+    source_steps: int = 8,
+) -> Dict[str, float]:
+    """Solve the DC operating point.
+
+    Args:
+        circuit: The netlist (validated).
+        v_init: Starting guess for free nodes.
+        max_newton: Newton cap per solve.
+        abstol: Residual tolerance (A).
+        source_steps: On a direct-solve failure, ramp all sources from 0
+            to their full value in this many steps (classic source
+            stepping).
+
+    Returns:
+        Node name -> DC voltage for every non-ground node.
+
+    Raises:
+        ConvergenceError: if even source stepping fails.
+    """
+    circuit.validate()
+    forced = circuit.source_nodes()
+    all_nodes = circuit.nodes
+    index = {name: k for k, name in enumerate(all_nodes)}
+    free = circuit.free_nodes()
+    free_idx = np.array([index[n] for n in free], dtype=int)
+    free_pos = {gi: k for k, gi in enumerate(free_idx)}
+    bound = []
+    for element in circuit.elements:
+        idx = [
+            index.get(n, -1) if not circuit.is_ground(n) else -1
+            for n in element.nodes
+        ]
+        bound.append((element, idx))
+
+    volts = np.zeros(len(all_nodes))
+    for node, wf in forced.items():
+        volts[index[node]] = wf.value_at(0.0)
+    if v_init:
+        for node, value in v_init.items():
+            if node in index:
+                volts[index[node]] = value
+
+    def attempt(scale: float, start: np.ndarray) -> np.ndarray:
+        v = start.copy()
+        for node, wf in forced.items():
+            v[index[node]] = scale * wf.value_at(0.0)
+        # Alias v_prev to v: capacitor companion currents vanish, making
+        # this a true static solve.
+        _solve_step(
+            bound, v, v, t=0.0, dt=1.0, free_idx=free_idx,
+            free_pos=free_pos, n_free=len(free), max_newton=max_newton,
+            abstol=abstol, vtol=1e-9,
+        )
+        return v
+
+    try:
+        volts = attempt(1.0, volts)
+    except ConvergenceError:
+        # Source stepping: ramp the sources up gradually.
+        current = np.zeros(len(all_nodes))
+        for step in range(1, source_steps + 1):
+            current = attempt(step / source_steps, current)
+        volts = current
+    return {name: float(volts[index[name]]) for name in all_nodes}
+
+
+def sweep_dc(
+    circuit: Circuit,
+    swept_node: str,
+    values: Sequence[float],
+    observe: Sequence[str],
+    v_init: Optional[Dict[str, float]] = None,
+) -> Dict[str, np.ndarray]:
+    """DC sweep of one source, observing a set of nodes.
+
+    The source forcing ``swept_node`` is overridden point by point; each
+    solve warm-starts from the previous solution (continuation), which is
+    what makes sharp transfer curves (inverter VTC) tractable.
+
+    Args:
+        circuit: The netlist; ``swept_node`` must be forced by a source.
+        swept_node: Name of the swept source node.
+        values: Sweep values (V).
+        observe: Node names to record.
+
+    Returns:
+        ``{"sweep": values} | {node: trace}`` arrays.
+    """
+    from repro.spice.elements import ConstantWaveform, VoltageSource
+
+    forced = circuit.source_nodes()
+    if swept_node not in forced:
+        raise ValueError(
+            f"{swept_node!r} is not forced by a voltage source; "
+            f"forced nodes: {sorted(forced)}"
+        )
+    values = list(values)
+    results: Dict[str, List[float]] = {node: [] for node in observe}
+    guess = dict(v_init) if v_init else {}
+    for value in values:
+        # Rebuild the circuit with the swept source replaced.
+        swept = Circuit(f"{circuit.name}@{value:.3f}")
+        for element in circuit.elements:
+            if (
+                isinstance(element, VoltageSource)
+                and element.nodes[0] == swept_node
+            ):
+                swept.add(VoltageSource(swept_node, ConstantWaveform(value)))
+            else:
+                swept.add(element)
+        solution = solve_dc(swept, v_init=guess)
+        guess = solution  # continuation
+        for node in observe:
+            if node not in solution:
+                raise KeyError(
+                    f"observed node {node!r} not in circuit; "
+                    f"known: {sorted(solution)}"
+                )
+            results[node].append(solution[node])
+    out: Dict[str, np.ndarray] = {"sweep": np.array(values)}
+    for node in observe:
+        out[node] = np.array(results[node])
+    return out

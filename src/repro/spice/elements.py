@@ -1,0 +1,269 @@
+"""Circuit elements with element-local residual/Jacobian contributions.
+
+Sign convention: an element reports the current flowing *out of* each of
+its nodes; Kirchhoff's current law at a free node then reads
+``sum(currents out) = 0``.  Capacitors are discretized with backward Euler
+inside the element, so the solver itself stays integration-scheme agnostic.
+
+Each element exposes:
+
+- ``nodes`` -- tuple of node names,
+- ``local_currents(v, v_prev, t, dt)`` -- currents out of each node given
+  the local node voltages (same order as ``nodes``).
+
+The solver differentiates ``local_currents`` numerically per element, which
+keeps the Jacobian exact enough for damped Newton while letting device
+models stay simple Python.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+from repro.devices.mosfet import MOSFET
+
+
+class Element:
+    """Base class: a named element over a tuple of node names."""
+
+    def __init__(self, nodes: Sequence[str], name: str = "") -> None:
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        self.name = name or type(self).__name__
+
+    def local_currents(
+        self,
+        v: Sequence[float],
+        v_prev: Sequence[float],
+        t: float,
+        dt: float,
+    ) -> List[float]:
+        """Currents out of each node (A), in ``self.nodes`` order."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, nodes={self.nodes})"
+
+
+class Resistor(Element):
+    """A linear resistor between two nodes."""
+
+    def __init__(self, a: str, b: str, resistance: float, name: str = "") -> None:
+        if resistance <= 0:
+            raise ValueError(f"resistance must be positive, got {resistance}")
+        super().__init__((a, b), name or f"R({a},{b})")
+        self.resistance = resistance
+
+    def local_currents(self, v, v_prev, t, dt):
+        i = (v[0] - v[1]) / self.resistance
+        return [i, -i]
+
+
+class Capacitor(Element):
+    """A linear capacitor, discretized with backward Euler."""
+
+    def __init__(self, a: str, b: str, capacitance: float, name: str = "") -> None:
+        if capacitance <= 0:
+            raise ValueError(f"capacitance must be positive, got {capacitance}")
+        super().__init__((a, b), name or f"C({a},{b})")
+        self.capacitance = capacitance
+
+    def local_currents(self, v, v_prev, t, dt):
+        dv = (v[0] - v[1]) - (v_prev[0] - v_prev[1])
+        i = self.capacitance * dv / dt
+        return [i, -i]
+
+
+# ----------------------------------------------------------------------
+# Source waveforms
+# ----------------------------------------------------------------------
+class SourceWaveform:
+    """Base class for time-varying source values."""
+
+    def value_at(self, t: float) -> float:
+        raise NotImplementedError
+
+    def __call__(self, t: float) -> float:
+        return self.value_at(t)
+
+
+@dataclass(frozen=True)
+class StepWaveform(SourceWaveform):
+    """A single linear-ramp step from ``v0`` to ``v1`` at ``t_step``.
+
+    Attributes:
+        v0: Value before the step.
+        v1: Value after the step.
+        t_step: Start time of the ramp (s).
+        t_rise: Ramp duration (s); 10 ps default keeps edges realistic.
+    """
+
+    v0: float
+    v1: float
+    t_step: float = 0.0
+    t_rise: float = 10e-12
+
+    def value_at(self, t: float) -> float:
+        if t <= self.t_step:
+            return self.v0
+        if t >= self.t_step + self.t_rise:
+            return self.v1
+        frac = (t - self.t_step) / self.t_rise
+        return self.v0 + frac * (self.v1 - self.v0)
+
+
+@dataclass(frozen=True)
+class PulseWaveform(SourceWaveform):
+    """A single pulse: ``v0`` -> ``v1`` -> ``v0`` (the TD-AM input pulse).
+
+    Attributes:
+        v0: Baseline value.
+        v1: Pulse value.
+        t_delay: Time of the leading edge (s).
+        t_width: Time at ``v1`` between the edges (s).
+        t_rise: Leading-edge ramp (s).
+        t_fall: Trailing-edge ramp (s).
+    """
+
+    v0: float
+    v1: float
+    t_delay: float = 0.0
+    t_width: float = 1e-9
+    t_rise: float = 10e-12
+    t_fall: float = 10e-12
+
+    def value_at(self, t: float) -> float:
+        t_lead = self.t_delay
+        t_high = t_lead + self.t_rise
+        t_trail = t_high + self.t_width
+        t_low = t_trail + self.t_fall
+        if t <= t_lead or t >= t_low:
+            return self.v0
+        if t < t_high:
+            return self.v0 + (t - t_lead) / self.t_rise * (self.v1 - self.v0)
+        if t <= t_trail:
+            return self.v1
+        return self.v1 + (t - t_trail) / self.t_fall * (self.v0 - self.v1)
+
+
+class PWLWaveform(SourceWaveform):
+    """Piece-wise-linear waveform through ``(time, value)`` points."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if len(points) < 1:
+            raise ValueError("PWL waveform needs at least one point")
+        times = [p[0] for p in points]
+        if sorted(times) != times:
+            raise ValueError("PWL times must be non-decreasing")
+        self._times = [float(t) for t in times]
+        self._values = [float(p[1]) for p in points]
+
+    def value_at(self, t: float) -> float:
+        times, values = self._times, self._values
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        hi = bisect.bisect_right(times, t)
+        lo = hi - 1
+        span = times[hi] - times[lo]
+        if span <= 0:
+            return values[hi]
+        frac = (t - times[lo]) / span
+        return values[lo] + frac * (values[hi] - values[lo])
+
+
+@dataclass(frozen=True)
+class ConstantWaveform(SourceWaveform):
+    """A DC value (supplies, search-line biases)."""
+
+    value: float
+
+    def value_at(self, t: float) -> float:
+        return self.value
+
+
+class VoltageSource(Element):
+    """A grounded ideal voltage source forcing one node.
+
+    The solver treats the forced node as a known boundary; the source
+    itself contributes no residual (the current it supplies is implicit).
+    Its supplied charge is recovered in post-processing for energy
+    accounting (:func:`repro.spice.transient.source_energy`).
+    """
+
+    def __init__(self, node: str, waveform, name: str = "") -> None:
+        super().__init__((node,), name or f"V({node})")
+        if isinstance(waveform, (int, float)):
+            waveform = ConstantWaveform(float(waveform))
+        self.waveform = waveform
+
+    @property
+    def forces_node(self) -> Tuple[str, SourceWaveform]:
+        return self.nodes[0], self.waveform
+
+    def local_currents(self, v, v_prev, t, dt):
+        return [0.0]
+
+
+class CurrentSource(Element):
+    """An independent current source from ``a`` to ``b``.
+
+    Positive ``current`` (or waveform value) flows out of ``a`` into
+    ``b`` through the source, i.e. it *injects* current into node ``b``.
+    Useful for stimulus of current-domain circuits (match-line models)
+    and for Norton-style test fixtures.
+    """
+
+    def __init__(self, a: str, b: str, current, name: str = "") -> None:
+        super().__init__((a, b), name or f"I({a},{b})")
+        if isinstance(current, (int, float)):
+            current = ConstantWaveform(float(current))
+        self.waveform = current
+
+    def local_currents(self, v, v_prev, t, dt):
+        i = self.waveform.value_at(t)
+        return [i, -i]
+
+
+# ----------------------------------------------------------------------
+# Transistors
+# ----------------------------------------------------------------------
+class MOSFETElement(Element):
+    """A three-terminal MOSFET element (drain, gate, source).
+
+    Gate current is zero (ideal MOS gate); gate loading is modelled by
+    explicit capacitors in the netlist builders.
+    """
+
+    def __init__(
+        self, drain: str, gate: str, source: str, model: MOSFET, name: str = ""
+    ) -> None:
+        super().__init__((drain, gate, source), name or model.name)
+        self.model = model
+
+    def local_currents(self, v, v_prev, t, dt):
+        vd, vg, vs = v
+        ids = self.model.ids(vg - vs, vd - vs)
+        return [ids, 0.0, -ids]
+
+
+class FeFETElement(Element):
+    """A FeFET channel element evaluated at its programmed state.
+
+    The polarization (hence V_TH) is frozen during a transient -- write
+    operations happen between transients, as in the paper's operating
+    scheme -- so the element snapshots the channel model at construction.
+    """
+
+    def __init__(self, drain: str, gate: str, source: str, fefet, name: str = "") -> None:
+        super().__init__((drain, gate, source), name or fefet.name)
+        self.fefet = fefet
+        self._channel = fefet.channel_model()
+
+    def local_currents(self, v, v_prev, t, dt):
+        vd, vg, vs = v
+        ids = self._channel.ids(vg - vs, vd - vs)
+        return [ids, 0.0, -ids]

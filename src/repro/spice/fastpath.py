@@ -1,0 +1,320 @@
+"""Vectorized evaluation path for the transient solver.
+
+The generic solver loops Python objects per element per Newton iteration,
+which caps practical circuit sizes around a few dozen stages.  This
+module groups the netlist by element type into numpy arrays:
+
+- linear two-terminal groups (resistors, capacitors) become constant
+  stamps assembled once,
+- all transistors (MOSFET elements and FeFET channel snapshots share the
+  same square-law model) are evaluated in one vectorized call, with
+  vectorized finite-difference partials for the Jacobian,
+
+giving order-of-magnitude speedups that make paper-scale transients
+(32-stage chains, transient Monte Carlo) practical.  The result is
+numerically identical to the scalar path up to float noise --
+``tests/spice/test_fastpath.py`` asserts the equivalence on full chains.
+
+Circuits containing element types unknown to this module fall back to
+the scalar path automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    FeFETElement,
+    MOSFETElement,
+    Resistor,
+    VoltageSource,
+)
+
+#: Same GMIN as the scalar MOSFET model.
+_GMIN = 1e-12
+#: Finite-difference step for transistor partials (V).
+_DELTA = 1e-6
+
+
+def mosfet_ids_vectorized(
+    vgs: np.ndarray,
+    vds: np.ndarray,
+    vth: np.ndarray,
+    kp_w: np.ndarray,
+    lam: np.ndarray,
+    n_slope: np.ndarray,
+    i0: np.ndarray,
+    thermal: float,
+) -> np.ndarray:
+    """Vectorized drain current of NMOS-polarity devices.
+
+    Mirrors :meth:`repro.devices.mosfet.MOSFET._ids_nmos` exactly,
+    including the source/drain swap for negative V_DS and the
+    subthreshold blend (PMOS mirroring happens in the caller).
+    """
+    vgs = np.asarray(vgs, dtype=float)
+    vds = np.asarray(vds, dtype=float)
+    # Source/drain swap for vds < 0: I(vgs, vds) = -I(vgs - vds, -vds).
+    swap = vds < 0
+    vgs_eff = np.where(swap, vgs - vds, vgs)
+    vds_eff = np.abs(vds)
+    vov = vgs_eff - vth
+
+    # Subthreshold branch.
+    vds_sat_term = 1.0 - np.exp(-vds_eff / thermal)
+    isub = (
+        i0 * np.exp(np.minimum(vov, 0.0) / (n_slope * thermal)) * vds_sat_term
+    )
+    # Square-law branches.
+    triode = kp_w * (vov - 0.5 * vds_eff) * vds_eff
+    saturation = 0.5 * kp_w * vov**2 * (1.0 + lam * (vds_eff - vov))
+    strong = np.where(vds_eff < vov, triode, saturation) + i0 * vds_sat_term
+
+    current = np.where(vov <= 0.0, isub, strong) + _GMIN * vds_eff
+    return np.where(swap, -current, current)
+
+
+class VectorizedSystem:
+    """Grouped, array-based residual/Jacobian assembly for one circuit.
+
+    Args:
+        bound: ``(element, node_indices)`` pairs from the solver's
+            binding pass (-1 denotes ground).
+        free_pos: Map of global node index -> Newton-vector position.
+        n_free: Number of free nodes.
+
+    Raises:
+        TypeError: if the netlist contains an element type this fast
+            path does not understand (caller falls back to scalar).
+    """
+
+    def __init__(
+        self,
+        bound: Sequence[Tuple[object, List[int]]],
+        free_pos: Dict[int, int],
+        n_free: int,
+    ) -> None:
+        self.n_free = n_free
+        self._free_pos = free_pos
+
+        res_a, res_b, res_g = [], [], []
+        cap_a, cap_b, cap_c = [], [], []
+        fet_d, fet_g, fet_s = [], [], []
+        fet_vth, fet_kpw, fet_lam = [], [], []
+        fet_nslope, fet_i0, fet_pmos = [], [], []
+        thermal = 0.02585
+        self._isrc: List[Tuple[int, int, object]] = []
+        for element, idx in bound:
+            if isinstance(element, VoltageSource):
+                continue
+            if isinstance(element, CurrentSource):
+                self._isrc.append((idx[0], idx[1], element.waveform))
+                continue
+            if isinstance(element, Resistor):
+                res_a.append(idx[0])
+                res_b.append(idx[1])
+                res_g.append(1.0 / element.resistance)
+            elif isinstance(element, Capacitor):
+                cap_a.append(idx[0])
+                cap_b.append(idx[1])
+                cap_c.append(element.capacitance)
+            elif isinstance(element, (MOSFETElement, FeFETElement)):
+                model = (
+                    element.model
+                    if isinstance(element, MOSFETElement)
+                    else element._channel
+                )
+                params = model.params
+                fet_d.append(idx[0])
+                fet_g.append(idx[1])
+                fet_s.append(idx[2])
+                fet_pmos.append(params.is_pmos)
+                vth = -params.vth if params.is_pmos else params.vth
+                fet_vth.append(vth)
+                fet_kpw.append(params.kp * params.width)
+                fet_lam.append(params.lam)
+                n = model._n_slope
+                fet_nslope.append(n)
+                i0_coeff = n - 1.0 if n > 1.0 else 0.5
+                fet_i0.append(
+                    params.kp * params.width * i0_coeff * thermal * thermal
+                )
+                thermal = model._thermal
+            else:
+                raise TypeError(
+                    f"fast path does not support {type(element).__name__}"
+                )
+
+        self._thermal = thermal
+        self._res = (
+            np.array(res_a, dtype=int),
+            np.array(res_b, dtype=int),
+            np.array(res_g, dtype=float),
+        )
+        self._cap = (
+            np.array(cap_a, dtype=int),
+            np.array(cap_b, dtype=int),
+            np.array(cap_c, dtype=float),
+        )
+        self._fet = (
+            np.array(fet_d, dtype=int),
+            np.array(fet_g, dtype=int),
+            np.array(fet_s, dtype=int),
+        )
+        self._fet_params = (
+            np.array(fet_vth, dtype=float),
+            np.array(fet_kpw, dtype=float),
+            np.array(fet_lam, dtype=float),
+            np.array(fet_nslope, dtype=float),
+            np.array(fet_i0, dtype=float),
+            np.array(fet_pmos, dtype=bool),
+        )
+        # Precompute scatter positions (-1 rows are dropped at scatter).
+        self._pos_lookup = np.full(
+            1 + max((gi for gi in free_pos), default=0) + 1, -1, dtype=int
+        )
+        for gi, pos in free_pos.items():
+            self._pos_lookup[gi] = pos
+        # Constant linear stamp of resistors into the Jacobian.
+        self._linear_jacobian = self._build_linear_jacobian()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _pos(self, indices: np.ndarray) -> np.ndarray:
+        """Newton positions of global node indices (-1 if not free)."""
+        out = np.full(indices.shape, -1, dtype=int)
+        mask = indices >= 0
+        valid = indices[mask]
+        in_range = valid < len(self._pos_lookup)
+        res = np.full(valid.shape, -1, dtype=int)
+        res[in_range] = self._pos_lookup[valid[in_range]]
+        out[mask] = res
+        return out
+
+    def _scatter_add(self, vec: np.ndarray, pos: np.ndarray,
+                     values: np.ndarray) -> None:
+        mask = pos >= 0
+        np.add.at(vec, pos[mask], values[mask])
+
+    def _build_linear_jacobian(self) -> np.ndarray:
+        jac = np.zeros((self.n_free, self.n_free))
+        a, b, g = self._res
+        if len(g):
+            pa, pb = self._pos(a), self._pos(b)
+            for pi, pj, sign in (
+                (pa, pa, 1.0), (pb, pb, 1.0), (pa, pb, -1.0), (pb, pa, -1.0),
+            ):
+                mask = (pi >= 0) & (pj >= 0)
+                np.add.at(jac, (pi[mask], pj[mask]), sign * g[mask])
+        return jac
+
+    def _node_voltages(self, volts: np.ndarray,
+                       indices: np.ndarray) -> np.ndarray:
+        out = np.zeros(indices.shape, dtype=float)
+        mask = indices >= 0
+        out[mask] = volts[indices[mask]]
+        return out
+
+    def _fet_currents(self, volts: np.ndarray,
+                      vg_shift: float = 0.0,
+                      vd_shift: float = 0.0,
+                      vs_shift: float = 0.0) -> np.ndarray:
+        d, g, s = self._fet
+        vth, kpw, lam, nslope, i0, pmos = self._fet_params
+        vd = self._node_voltages(volts, d) + vd_shift
+        vg = self._node_voltages(volts, g) + vg_shift
+        vs = self._node_voltages(volts, s) + vs_shift
+        vgs = vg - vs
+        vds = vd - vs
+        # PMOS as mirrored NMOS: ids = -ids_n(-vgs, -vds, |vth|).
+        sign = np.where(pmos, -1.0, 1.0)
+        ids_n = mosfet_ids_vectorized(
+            sign * vgs, sign * vds, vth, kpw, lam, nslope, i0, self._thermal
+        )
+        return sign * ids_n
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def residual(self, volts: np.ndarray, v_prev: np.ndarray,
+                 dt: float, t: float = 0.0) -> np.ndarray:
+        res = np.zeros(self.n_free)
+        # Independent current sources.
+        for a, b, waveform in self._isrc:
+            i = waveform.value_at(t)
+            for gi, sign in ((a, 1.0), (b, -1.0)):
+                if gi >= 0:
+                    pos = self._pos(np.array([gi]))[0]
+                    if pos >= 0:
+                        res[pos] += sign * i
+        # Resistors.
+        a, b, g = self._res
+        if len(g):
+            i = (self._node_voltages(volts, a)
+                 - self._node_voltages(volts, b)) * g
+            self._scatter_add(res, self._pos(a), i)
+            self._scatter_add(res, self._pos(b), -i)
+        # Capacitors (backward Euler).
+        a, b, c = self._cap
+        if len(c):
+            dv_now = self._node_voltages(volts, a) - self._node_voltages(volts, b)
+            dv_prev = (
+                self._node_voltages(v_prev, a)
+                - self._node_voltages(v_prev, b)
+            )
+            i = c * (dv_now - dv_prev) / dt
+            self._scatter_add(res, self._pos(a), i)
+            self._scatter_add(res, self._pos(b), -i)
+        # Transistors.
+        d, g_node, s = self._fet
+        if len(d):
+            ids = self._fet_currents(volts)
+            self._scatter_add(res, self._pos(d), ids)
+            self._scatter_add(res, self._pos(s), -ids)
+        return res
+
+    def jacobian(self, volts: np.ndarray, dt: float) -> np.ndarray:
+        jac = self._linear_jacobian.copy()
+        # Capacitor companion conductance C/dt.
+        a, b, c = self._cap
+        if len(c):
+            g = c / dt
+            pa, pb = self._pos(a), self._pos(b)
+            for pi, pj, sign in (
+                (pa, pa, 1.0), (pb, pb, 1.0), (pa, pb, -1.0), (pb, pa, -1.0),
+            ):
+                mask = (pi >= 0) & (pj >= 0)
+                np.add.at(jac, (pi[mask], pj[mask]), sign * g[mask])
+        # Transistors: finite-difference partials wrt vd, vg, vs.
+        d, g_node, s = self._fet
+        if len(d):
+            base = self._fet_currents(volts)
+            di_dvd = (self._fet_currents(volts, vd_shift=_DELTA) - base) / _DELTA
+            di_dvg = (self._fet_currents(volts, vg_shift=_DELTA) - base) / _DELTA
+            di_dvs = (self._fet_currents(volts, vs_shift=_DELTA) - base) / _DELTA
+            pd, pg, ps = self._pos(d), self._pos(g_node), self._pos(s)
+            contributions = (
+                (pd, pd, di_dvd), (pd, pg, di_dvg), (pd, ps, di_dvs),
+                (ps, pd, -di_dvd), (ps, pg, -di_dvg), (ps, ps, -di_dvs),
+            )
+            for pi, pj, values in contributions:
+                mask = (pi >= 0) & (pj >= 0)
+                np.add.at(jac, (pi[mask], pj[mask]), values[mask])
+        return jac
+
+
+def try_build(
+    bound: Sequence[Tuple[object, List[int]]],
+    free_pos: Dict[int, int],
+    n_free: int,
+) -> Optional[VectorizedSystem]:
+    """A :class:`VectorizedSystem`, or None if an element is unsupported."""
+    try:
+        return VectorizedSystem(bound, free_pos, n_free)
+    except TypeError:
+        return None

@@ -1,0 +1,123 @@
+"""Circuit container: nodes, elements, and validation.
+
+A :class:`Circuit` is a flat netlist.  Nodes are referenced by string name;
+``"0"`` and ``"gnd"`` are the ground node.  Voltage sources may only be
+grounded (they force the voltage of one node), which keeps the solver a
+pure nodal formulation -- every circuit in this reproduction (inverters,
+delay stages, IMC cells) satisfies that restriction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+class Circuit:
+    """A netlist of elements over named nodes.
+
+    Example::
+
+        from repro.spice import Circuit, Resistor, Capacitor, VoltageSource
+        from repro.spice import StepWaveform, simulate
+
+        ckt = Circuit("rc")
+        ckt.add(VoltageSource("in", StepWaveform(0.0, 1.0, t_step=0.0)))
+        ckt.add(Resistor("in", "out", 1e3))
+        ckt.add(Capacitor("out", "0", 1e-12))
+        result = simulate(ckt, t_stop=10e-9, dt=10e-12)
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self.elements: List[object] = []
+        self._node_order: List[str] = []
+        self._seen_nodes: set = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, element: object) -> object:
+        """Add an element and register its nodes; returns the element."""
+        nodes = getattr(element, "nodes", None)
+        if nodes is None:
+            raise TypeError(
+                f"{element!r} is not a circuit element (missing .nodes)"
+            )
+        for node in nodes:
+            self._register_node(node)
+        self.elements.append(element)
+        return element
+
+    def extend(self, elements: Iterable[object]) -> None:
+        """Add several elements in order."""
+        for element in elements:
+            self.add(element)
+
+    def _register_node(self, node: str) -> None:
+        if node in self._seen_nodes:
+            return
+        self._seen_nodes.add(node)
+        if not self.is_ground(node):
+            self._node_order.append(node)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_ground(node: str) -> bool:
+        """Whether a node name denotes ground."""
+        return node in GROUND_NAMES
+
+    @property
+    def nodes(self) -> List[str]:
+        """Non-ground nodes in registration order."""
+        return list(self._node_order)
+
+    def source_nodes(self) -> Dict[str, object]:
+        """Map of node name -> waveform for every voltage-source node."""
+        forced: Dict[str, object] = {}
+        for element in self.elements:
+            waveform = getattr(element, "forces_node", None)
+            if waveform is None:
+                continue
+            node, wf = waveform
+            if node in forced:
+                raise ValueError(
+                    f"node {node!r} is forced by more than one voltage source"
+                )
+            if self.is_ground(node):
+                raise ValueError("a voltage source may not force the ground node")
+            forced[node] = wf
+        return forced
+
+    def free_nodes(self) -> List[str]:
+        """Nodes whose voltage is solved for (not ground, not forced)."""
+        forced = set(self.source_nodes())
+        return [n for n in self._node_order if n not in forced]
+
+    def validate(self) -> None:
+        """Sanity-check the netlist before simulation.
+
+        Raises:
+            ValueError: on an empty netlist, a doubly-forced node, or a
+                free node with no capacitive or conductive path at all
+                (which would make the nodal matrix singular).
+        """
+        if not self.elements:
+            raise ValueError(f"circuit {self.name!r} has no elements")
+        self.source_nodes()  # raises on double-forcing
+        touched: Dict[str, int] = {}
+        for element in self.elements:
+            for node in element.nodes:
+                touched[node] = touched.get(node, 0) + 1
+        for node in self.free_nodes():
+            if touched.get(node, 0) < 1:
+                raise ValueError(f"free node {node!r} is not connected")
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, {len(self.elements)} elements, "
+            f"{len(self._node_order)} nodes)"
+        )

@@ -1,0 +1,143 @@
+"""Waveform container and timing measurements.
+
+Provides the measurement primitives the paper's figures rely on: threshold
+crossings (with linear interpolation between samples), rise/fall edge
+selection, propagation delay between two waveforms, and slew estimation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class Waveform:
+    """A sampled voltage (or current) waveform.
+
+    Args:
+        time: Sample times (s), strictly increasing.
+        values: Sample values, same length as ``time``.
+        name: Label used in error messages.
+    """
+
+    def __init__(self, time, values, name: str = "waveform") -> None:
+        time = np.asarray(time, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if time.ndim != 1 or values.ndim != 1:
+            raise ValueError("time and values must be one-dimensional")
+        if len(time) != len(values):
+            raise ValueError(
+                f"time and values length mismatch: {len(time)} vs {len(values)}"
+            )
+        if len(time) < 2:
+            raise ValueError("a waveform needs at least two samples")
+        if np.any(np.diff(time) <= 0):
+            raise ValueError("time samples must be strictly increasing")
+        self.time = time
+        self.values = values
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t`` (clamped at the ends)."""
+        return float(np.interp(t, self.time, self.values))
+
+    @property
+    def v_min(self) -> float:
+        return float(self.values.min())
+
+    @property
+    def v_max(self) -> float:
+        return float(self.values.max())
+
+    # ------------------------------------------------------------------
+    # Crossings and edges
+    # ------------------------------------------------------------------
+    def crossing_times(self, level: float, rising: Optional[bool] = None) -> List[float]:
+        """All times where the waveform crosses ``level``.
+
+        Args:
+            level: Threshold value.
+            rising: Restrict to rising (True), falling (False) or all
+                (None) crossings.
+
+        Returns:
+            Crossing times with linear interpolation between samples.
+        """
+        v = self.values - level
+        t = self.time
+        crossings: List[float] = []
+        sign = np.sign(v)
+        for k in range(len(v) - 1):
+            if sign[k] == 0:
+                is_rising = k + 1 < len(v) and v[k + 1] > 0
+                if rising is None or rising == is_rising:
+                    crossings.append(float(t[k]))
+                continue
+            if sign[k] * sign[k + 1] < 0:
+                is_rising = v[k + 1] > v[k]
+                if rising is not None and rising != is_rising:
+                    continue
+                frac = -v[k] / (v[k + 1] - v[k])
+                crossings.append(float(t[k] + frac * (t[k + 1] - t[k])))
+        return crossings
+
+    def first_crossing(
+        self, level: float, rising: Optional[bool] = None, after: float = 0.0
+    ) -> float:
+        """First crossing of ``level`` at or after time ``after``.
+
+        Raises:
+            ValueError: if the waveform never crosses the level.
+        """
+        for ct in self.crossing_times(level, rising):
+            if ct >= after:
+                return ct
+        direction = {True: "rising", False: "falling", None: "any"}[rising]
+        raise ValueError(
+            f"{self.name}: no {direction} crossing of {level} V after {after:.3e} s"
+        )
+
+    def delay_to(
+        self,
+        other: "Waveform",
+        level: float,
+        rising_self: Optional[bool] = None,
+        rising_other: Optional[bool] = None,
+        after: float = 0.0,
+    ) -> float:
+        """Propagation delay from this waveform's crossing to ``other``'s.
+
+        Both crossings are measured at ``level``; ``other``'s crossing is
+        searched at or after this waveform's crossing time.
+        """
+        t0 = self.first_crossing(level, rising_self, after=after)
+        t1 = other.first_crossing(level, rising_other, after=t0)
+        return t1 - t0
+
+    def slew(self, low_frac: float = 0.1, high_frac: float = 0.9,
+             rising: bool = True, after: float = 0.0) -> float:
+        """Edge transition time between the fractional levels (s)."""
+        lo = self.v_min + low_frac * (self.v_max - self.v_min)
+        hi = self.v_min + high_frac * (self.v_max - self.v_min)
+        if rising:
+            t_lo = self.first_crossing(lo, rising=True, after=after)
+            t_hi = self.first_crossing(hi, rising=True, after=t_lo)
+            return t_hi - t_lo
+        t_hi = self.first_crossing(hi, rising=False, after=after)
+        t_lo = self.first_crossing(lo, rising=False, after=t_hi)
+        return t_lo - t_hi
+
+    def settled_value(self, window_frac: float = 0.05) -> float:
+        """Mean value over the trailing ``window_frac`` of the record."""
+        n = max(2, int(len(self.values) * window_frac))
+        return float(self.values[-n:].mean())
+
+    def __repr__(self) -> str:
+        return (
+            f"Waveform({self.name!r}, {len(self.time)} samples, "
+            f"[{self.v_min:.3f}, {self.v_max:.3f}])"
+        )

@@ -1,0 +1,96 @@
+"""Tests of the design-space exploration utilities."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    DesignPoint,
+    evaluate_design_space,
+    knee_point,
+    pareto_front,
+)
+from repro.core.config import TDAMConfig
+
+
+def make_point(energy, latency, area, feasible=True):
+    return DesignPoint(
+        config=TDAMConfig(),
+        energy_per_bit_j=energy,
+        latency_s=latency,
+        area_um2=area,
+        tdc_feasible=feasible,
+    )
+
+
+class TestParetoFront:
+    def test_dominated_point_removed(self):
+        good = make_point(1.0, 1.0, 1.0)
+        bad = make_point(2.0, 2.0, 2.0)
+        front = pareto_front([good, bad])
+        assert front == [good]
+
+    def test_trade_off_points_kept(self):
+        a = make_point(1.0, 2.0, 1.0)
+        b = make_point(2.0, 1.0, 1.0)
+        front = pareto_front([a, b])
+        assert set(id(p) for p in front) == {id(a), id(b)}
+
+    def test_equal_points_both_kept(self):
+        a = make_point(1.0, 1.0, 1.0)
+        b = make_point(1.0, 1.0, 1.0)
+        assert len(pareto_front([a, b])) == 2
+
+    def test_infeasible_filtered(self):
+        good = make_point(2.0, 2.0, 2.0)
+        cheat = make_point(1.0, 1.0, 1.0, feasible=False)
+        assert pareto_front([good, cheat]) == [good]
+        assert cheat in pareto_front([good, cheat], require_feasible=False)
+
+    def test_all_infeasible_raises(self):
+        with pytest.raises(ValueError, match="feasible"):
+            pareto_front([make_point(1, 1, 1, feasible=False)])
+
+
+class TestKneePoint:
+    def test_balanced_pick(self):
+        a = make_point(1.0, 100.0, 1.0)
+        b = make_point(9.0, 9.0, 1.0)   # best geometric mean wins
+        c = make_point(100.0, 1.0, 1.0)
+        assert knee_point([a, b, c]) is b
+
+    def test_weighting_shifts_choice(self):
+        a = make_point(1.0, 100.0, 1.0)
+        c = make_point(100.0, 1.0, 1.0)
+        assert knee_point([a, c], weights={"energy_per_bit_j": 5.0}) is a
+        assert knee_point([a, c], weights={"latency_s": 5.0}) is c
+
+    def test_empty_front_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            knee_point([])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            knee_point([make_point(1, 1, 1)], weights={"latency_s": -1.0})
+
+
+class TestEvaluateDesignSpace:
+    def test_grid_size(self):
+        points = evaluate_design_space(
+            vdds=(0.8, 1.1), c_loads_f=(6e-15,), stage_counts=(16, 32)
+        )
+        assert len(points) == 4
+
+    def test_low_vdd_saves_energy_costs_latency(self):
+        points = evaluate_design_space(
+            vdds=(0.6, 1.1), c_loads_f=(6e-15,), stage_counts=(32,)
+        )
+        low, high = points[0], points[1]
+        assert low.config.vdd == 0.6
+        assert low.energy_per_bit_j < high.energy_per_bit_j
+        assert low.latency_s > high.latency_s
+
+    def test_front_nonempty_on_real_grid(self):
+        points = evaluate_design_space()
+        front = pareto_front(points)
+        assert 1 <= len(front) <= len(points)
+        # Every non-front feasible point is dominated by someone.
+        assert all(p.tdc_feasible for p in front)

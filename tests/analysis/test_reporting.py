@@ -1,0 +1,59 @@
+"""Tests of the text rendering helpers."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    format_engineering,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatEngineering:
+    def test_picoseconds(self):
+        assert format_engineering(1.23e-12, "s") == "1.23 ps"
+
+    def test_femtojoules(self):
+        assert format_engineering(45.6e-15, "J") == "45.6 fJ"
+
+    def test_zero(self):
+        assert format_engineering(0.0, "V") == "0 V"
+
+    def test_unity_range(self):
+        assert format_engineering(2.5, "V") == "2.5 V"
+
+    def test_negative_value(self):
+        assert format_engineering(-3.3e-9, "s") == "-3.3 ns"
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            [{"name": "a", "value": 1.0}, {"name": "bb", "value": 2.5}]
+        )
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert len({len(l) for l in lines}) == 1  # aligned widths
+
+    def test_title(self):
+        text = format_table([{"x": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no records"):
+            format_table([])
+
+
+class TestFormatSeries:
+    def test_curves_as_columns(self):
+        text = format_series("x", [1, 2], {"y": [10.0, 20.0], "z": [3.0, 4.0]})
+        header = text.splitlines()[0]
+        assert "x" in header and "y" in header and "z" in header
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series("x", [1, 2], {"y": [1.0]})

@@ -1,0 +1,56 @@
+"""Tests of the sweep machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import grid_sweep
+
+
+class TestGridSweep:
+    def test_cartesian_product_order(self):
+        result = grid_sweep(
+            {"a": [1, 2], "b": [10, 20, 30]},
+            lambda a, b: {"product": a * b},
+        )
+        assert len(result.records) == 6
+        assert result.records[0] == {"a": 1, "b": 10, "product": 10}
+        assert result.records[-1] == {"a": 2, "b": 30, "product": 60}
+
+    def test_column_extraction(self):
+        result = grid_sweep({"x": [1, 2, 3]}, lambda x: {"y": x**2})
+        assert result.column("y").tolist() == [1, 4, 9]
+
+    def test_column_unknown_key(self):
+        result = grid_sweep({"x": [1]}, lambda x: {"y": x})
+        with pytest.raises(KeyError, match="known"):
+            result.column("z")
+
+    def test_grid_reshaping(self):
+        result = grid_sweep(
+            {"a": [1, 2], "b": [10, 20, 30]},
+            lambda a, b: {"product": a * b},
+        )
+        grid = result.grid("product")
+        assert grid.shape == (2, 3)
+        assert grid[1, 2] == 60
+
+    def test_where_filter(self):
+        result = grid_sweep(
+            {"a": [1, 2], "b": [10, 20]},
+            lambda a, b: {"s": a + b},
+        )
+        rows = result.where(a=2)
+        assert len(rows) == 2
+        assert all(r["a"] == 2 for r in rows)
+
+    def test_reserved_keys_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            grid_sweep({"x": [1]}, lambda x: {"x": 2})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            grid_sweep({"x": []}, lambda x: {"y": x})
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            grid_sweep({}, lambda: {})

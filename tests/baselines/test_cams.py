@@ -1,0 +1,85 @@
+"""Tests of the CAM baselines (16T TCAM and 2-FeFET TCAM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fecam import FeFETTCAM
+from repro.baselines.tcam16t import CMOSTCAM16T, X
+
+
+class TestCMOSTCAM16T:
+    def setup_method(self):
+        self.cam = CMOSTCAM16T(n_rows=3, word_bits=4)
+        self.cam.write(0, [0, 1, 0, 1])
+        self.cam.write(1, [1, 1, 1, 1])
+        self.cam.write(2, [0, X, 0, X])
+
+    def test_exact_match(self):
+        matches = self.cam.search([0, 1, 0, 1])
+        assert matches.tolist() == [True, False, True]
+
+    def test_dont_care_matches_both(self):
+        assert self.cam.search([0, 0, 0, 0]).tolist() == [False, False, True]
+        assert self.cam.search([0, 1, 0, 0]).tolist() == [False, False, True]
+
+    def test_single_bit_mismatch_kills_match(self):
+        """The capability gap vs. the TD-AM: one mismatch = no match,
+        and 1 mismatch is indistinguishable from 4."""
+        near = self.cam.search([0, 1, 0, 0])  # distance 1 from row 0
+        far = self.cam.search([1, 0, 1, 0])   # distance 4 from row 0
+        assert not near[0] and not far[0]
+
+    def test_search_before_full_write_raises(self):
+        cam = CMOSTCAM16T(n_rows=2, word_bits=2)
+        cam.write(0, [0, 1])
+        with pytest.raises(RuntimeError, match="before all rows"):
+            cam.search([0, 1])
+
+    def test_rejects_bad_symbols(self):
+        with pytest.raises(ValueError, match="0, 1, or X"):
+            self.cam.write(0, [0, 1, 2, 1])
+
+    def test_rejects_x_in_query(self):
+        with pytest.raises(ValueError, match="query bits"):
+            self.cam.search([0, 1, X, 1])
+
+    def test_energy_uses_published_per_bit(self):
+        assert self.cam.search_energy_j() == pytest.approx(
+            0.59e-15 * 3 * 4
+        )
+
+    def test_design_metadata(self):
+        assert not self.cam.design.quantitative
+        assert self.cam.design.cell_size == "16T"
+
+
+class TestFeFETTCAM:
+    def setup_method(self):
+        self.cam = FeFETTCAM(n_rows=2, word_bits=8, mismatch_tolerance=1)
+        self.cam.write(0, [0] * 8)
+        self.cam.write(1, [1] * 8)
+
+    def test_exact_match(self):
+        assert self.cam.search([0] * 8).tolist() == [True, False]
+
+    def test_tolerates_one_mismatch(self):
+        query = [1] + [0] * 7
+        assert self.cam.search(query).tolist() == [True, False]
+
+    def test_two_mismatches_lost(self):
+        query = [1, 1] + [0] * 6
+        assert self.cam.search(query).tolist() == [False, False]
+
+    def test_non_quantitative(self):
+        """Distance 2 and distance 5 from row 0 are indistinguishable."""
+        near = self.cam.search([1, 1] + [0] * 6)       # d = 2 / 6
+        far = self.cam.search([1] * 5 + [0] * 3)       # d = 5 / 3
+        assert near.tolist() == far.tolist() == [False, False]
+
+    def test_energy_cheaper_than_cmos_tcam(self):
+        cmos = CMOSTCAM16T(n_rows=2, word_bits=8)
+        assert self.cam.search_energy_j() < cmos.search_energy_j()
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            FeFETTCAM(n_rows=1, word_bits=4, mismatch_tolerance=-1)

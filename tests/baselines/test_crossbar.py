@@ -1,0 +1,81 @@
+"""Tests of the crossbar baselines (1-FeFET CAM and COSIME-like AM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.crossbar import CosineCrossbarAM, MultiBitFeCAMCrossbar
+
+
+class TestMultiBitFeCAMCrossbar:
+    def setup_method(self):
+        self.cam = MultiBitFeCAMCrossbar(n_rows=3, n_cols=8, bits=2)
+        self.cam.write(0, [0, 1, 2, 3, 0, 1, 2, 3])
+        self.cam.write(1, [0, 1, 2, 3, 0, 1, 2, 0])
+        self.cam.write(2, [3, 3, 3, 3, 3, 3, 3, 3])
+
+    def test_quantitative_hamming(self):
+        distances = self.cam.hamming_search([0, 1, 2, 3, 0, 1, 2, 3])
+        assert distances.tolist() == [0, 1, 6]
+
+    def test_match_line_current_proportional(self):
+        currents = self.cam.match_line_currents_ua([0, 1, 2, 3, 0, 1, 2, 3])
+        assert currents.tolist() == [0.0, 1.0, 6.0]
+
+    def test_adc_resolution_scales_with_columns(self):
+        small = MultiBitFeCAMCrossbar(n_rows=1, n_cols=7)
+        large = MultiBitFeCAMCrossbar(n_rows=1, n_cols=128)
+        assert small.adc_resolution_bits == 3
+        assert large.adc_resolution_bits == 8
+
+    def test_energy_includes_static_and_adc(self):
+        """The paper's criticism: sensing costs on top of cell energy."""
+        cell_only = self.cam.design.search_energy_j(3 * 8 * 2)
+        assert self.cam.search_energy_j() > cell_only
+
+    def test_static_energy_grows_with_eval_window(self):
+        slow = MultiBitFeCAMCrossbar(n_rows=3, n_cols=8, t_eval_ns=10.0)
+        fast = MultiBitFeCAMCrossbar(n_rows=3, n_cols=8, t_eval_ns=1.0)
+        assert slow.search_energy_j() > fast.search_energy_j()
+
+    def test_write_validation(self):
+        with pytest.raises(ValueError, match="elements"):
+            self.cam.write(0, [0, 1, 2, 3, 0, 1, 2, 9])
+        with pytest.raises(IndexError, match="row"):
+            self.cam.write(5, [0] * 8)
+
+    def test_search_before_write(self):
+        cam = MultiBitFeCAMCrossbar(n_rows=2, n_cols=4)
+        cam.write(0, [0, 1, 2, 3])
+        with pytest.raises(RuntimeError, match="before"):
+            cam.hamming_search([0, 1, 2, 3])
+
+
+class TestCosineCrossbarAM:
+    def setup_method(self):
+        self.am = CosineCrossbarAM(n_rows=3, n_cols=16)
+        rng = np.random.default_rng(4)
+        self.vectors = rng.normal(size=(3, 16))
+        for row in range(3):
+            self.am.write(row, self.vectors[row])
+
+    def test_winner_is_cosine_argmax(self):
+        query = self.vectors[1] + 0.05 * np.random.default_rng(5).normal(size=16)
+        assert self.am.winner(query) == 1
+
+    def test_scale_invariant(self):
+        assert self.am.winner(10.0 * self.vectors[2]) == 2
+
+    def test_no_similarity_value_exposed(self):
+        """The capability gap: only the argmax is available."""
+        result = self.am.winner(self.vectors[0])
+        assert isinstance(result, int)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            self.am.write(0, np.zeros(16))
+        with pytest.raises(ValueError, match="zero"):
+            self.am.winner(np.zeros(16))
+
+    def test_energy_includes_wta(self):
+        mac_only = self.am.design.search_energy_j(3 * 16)
+        assert self.am.search_energy_j() > mac_only

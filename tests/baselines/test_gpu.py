@@ -1,0 +1,61 @@
+"""Tests of the GPU cost model."""
+
+import pytest
+
+from repro.baselines.gpu import GPUCostModel, GPUWorkload
+
+
+class TestGPUWorkload:
+    def test_flops_counting(self):
+        w = GPUWorkload(dimension=100, n_classes=10, n_features=50)
+        assert w.flops == 2 * 50 * 100 + 2 * 100 * 10
+
+    def test_batch_scales_work(self):
+        single = GPUWorkload(dimension=100, n_classes=10, n_features=50)
+        batched = GPUWorkload(dimension=100, n_classes=10, n_features=50,
+                              batch=8)
+        assert batched.flops == 8 * single.flops
+        assert batched.bytes_moved == 8 * single.bytes_moved
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUWorkload(dimension=0, n_classes=1, n_features=1)
+        with pytest.raises(ValueError):
+            GPUWorkload(dimension=1, n_classes=1, n_features=1, batch=0)
+
+
+class TestGPUCostModel:
+    def setup_method(self):
+        self.gpu = GPUCostModel()
+
+    def test_small_workload_is_dispatch_bound(self):
+        """The Fig. 8 mechanism: at HDC sizes, overhead dominates."""
+        w = GPUWorkload(dimension=512, n_classes=26, n_features=617)
+        t = self.gpu.inference_time_s(w)
+        assert t == pytest.approx(self.gpu.dispatch_overhead_s, rel=0.05)
+
+    def test_time_grows_slowly_with_dimension(self):
+        small = GPUWorkload(dimension=512, n_classes=26, n_features=617)
+        large = GPUWorkload(dimension=10240, n_classes=26, n_features=617)
+        ratio = self.gpu.inference_time_s(large) / self.gpu.inference_time_s(small)
+        assert 1.0 <= ratio < 1.5
+
+    def test_energy_proportional_to_time(self):
+        w = GPUWorkload(dimension=2048, n_classes=26, n_features=617)
+        assert self.gpu.inference_energy_j(w) == pytest.approx(
+            self.gpu.inference_time_s(w) * self.gpu.p_effective_w
+        )
+
+    def test_batching_amortizes_overhead(self):
+        single = GPUWorkload(dimension=2048, n_classes=26, n_features=617)
+        batched = GPUWorkload(dimension=2048, n_classes=26, n_features=617,
+                              batch=1000)
+        assert self.gpu.per_query_time_s(batched) < 0.01 * (
+            self.gpu.per_query_time_s(single)
+        )
+
+    def test_huge_workload_becomes_compute_bound(self):
+        w = GPUWorkload(dimension=10240, n_classes=26, n_features=617,
+                        batch=100000)
+        t = self.gpu.inference_time_s(w)
+        assert t > 2 * self.gpu.dispatch_overhead_s

@@ -1,0 +1,110 @@
+"""Tests of the Table I registry -- the paper's headline comparison."""
+
+import pytest
+
+from repro.baselines.base import SCType
+from repro.baselines.registry import (
+    PUBLISHED_BASELINES,
+    build_table_i,
+    format_table_i,
+    proposed_design,
+)
+from repro.core.config import TDAMConfig
+
+
+class TestProposedDesign:
+    def test_energy_measured_not_hardcoded(self):
+        """Different operating points give different table entries."""
+        nominal = proposed_design(TDAMConfig(vdd=1.1))
+        scaled = proposed_design(TDAMConfig(vdd=0.6))
+        assert nominal.energy_per_bit_fj != scaled.energy_per_bit_fj
+
+    def test_headline_energy_near_paper(self):
+        ours = proposed_design()
+        assert ours.energy_per_bit_fj == pytest.approx(0.159, rel=0.1)
+
+    def test_capabilities(self):
+        ours = proposed_design()
+        assert ours.quantitative
+        assert ours.multibit
+        assert ours.sc_type is SCType.HAMMING_QUANTITATIVE
+        assert ours.cell_size == "4T-2FeFET"
+
+
+class TestTableI:
+    def setup_method(self):
+        self.rows = build_table_i()
+        self.by_name = {r.design.name: r for r in self.rows}
+
+    def test_row_count(self):
+        assert len(self.rows) == 6
+
+    def test_paper_ratios_reproduced(self):
+        """Table I multipliers: 3.71x / 2.52x / 13.84x / 0.245x / 1.47x."""
+        expected = {
+            "16T TCAM": 3.71,
+            "Nat. Electron.'19": 2.52,
+            "JSSC'21 (TIMAQ)": 13.84,
+            "IEDM'21": 0.245,
+            "Work [24]": 1.47,
+        }
+        for name, ratio in expected.items():
+            assert self.by_name[name].energy_ratio == pytest.approx(
+                ratio, rel=0.1
+            ), name
+
+    def test_proposed_ratio_is_one(self):
+        assert self.by_name["This work"].energy_ratio == 1.0
+
+    def test_headline_cmos_nvm_savings(self):
+        """The abstract's 13.8x / 1.47x savings vs CMOS/NVM TD-IMC."""
+        cmos = self.by_name["JSSC'21 (TIMAQ)"].energy_ratio
+        nvm = self.by_name["Work [24]"].energy_ratio
+        assert cmos == pytest.approx(13.8, rel=0.1)
+        assert nvm == pytest.approx(1.47, rel=0.1)
+
+    def test_only_proposed_offers_multibit_quantitative_hamming(self):
+        capable = [
+            r.design.name
+            for r in self.rows
+            if r.design.quantitative
+            and r.design.multibit
+            and "Hamming" in r.design.sc_type.value
+        ]
+        assert capable == ["This work"]
+
+    def test_published_energies_match_paper_table(self):
+        published = {d.name: d.energy_per_bit_fj for d in PUBLISHED_BASELINES}
+        assert published == {
+            "16T TCAM": 0.59,
+            "Nat. Electron.'19": 0.40,
+            "JSSC'21 (TIMAQ)": 2.20,
+            "IEDM'21": 0.039,
+            "Work [24]": 0.234,
+        }
+
+    def test_format_renders_all_rows(self):
+        text = format_table_i(self.rows)
+        for row in self.rows:
+            assert row.design.name in text
+
+
+class TestExtendedTable:
+    def test_extended_table_superset(self):
+        from repro.baselines.registry import build_table_extended
+
+        rows = build_table_extended()
+        names = {r.design.name for r in rows}
+        # Everything from Table I plus the three extra baselines.
+        assert {"16T TCAM", "This work", "Sci. Rep.'21 RRAM",
+                "AIS'23 1FeFET CAM", "COSIME"} <= names
+        assert len(rows) == 9
+
+    def test_extended_ratios_relative_to_ours(self):
+        from repro.baselines.registry import build_table_extended, format_table_i
+
+        rows = build_table_extended()
+        ours = next(r for r in rows if r.design.name == "This work")
+        assert ours.energy_ratio == 1.0
+        text = format_table_i(rows)
+        assert "COSIME" in text

@@ -1,0 +1,79 @@
+"""Tests of the RRAM time-domain CAM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rram_tdcam import RRAMTimeDomainCAM
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+
+
+@pytest.fixture
+def cam():
+    cam = RRAMTimeDomainCAM(n_rows=3, n_bits=8)
+    cam.write(0, [0, 1, 0, 1, 0, 1, 0, 1])
+    cam.write(1, [1, 1, 1, 1, 0, 0, 0, 0])
+    cam.write(2, [0, 0, 0, 0, 0, 0, 0, 0])
+    return cam
+
+
+class TestFunctional:
+    def test_mismatch_counts(self, cam):
+        counts = cam.mismatch_counts([0, 1, 0, 1, 0, 1, 0, 1])
+        assert counts.tolist() == [0, 4, 4]
+
+    def test_full_match_never_trips(self, cam):
+        times = cam.discharge_times_s([0, 1, 0, 1, 0, 1, 0, 1])
+        assert np.isinf(times[0])
+
+    def test_more_mismatches_discharge_faster(self, cam):
+        """The inverse (hyperbolic) time law."""
+        times = cam.discharge_times_s([1, 0, 1, 0, 1, 0, 1, 0])  # d=8/2/4
+        counts = cam.mismatch_counts([1, 0, 1, 0, 1, 0, 1, 0])
+        order = np.argsort(times)
+        assert np.array_equal(counts[order], sorted(counts, reverse=True))
+
+    def test_time_is_tau_over_k(self, cam):
+        times = cam.discharge_times_s([1, 1, 1, 1, 0, 0, 0, 0])
+        counts = cam.mismatch_counts([1, 1, 1, 1, 0, 0, 0, 0])
+        finite = counts > 0
+        products = times[finite] * counts[finite]
+        assert np.allclose(products, products[0])
+
+    def test_write_validation(self, cam):
+        with pytest.raises(ValueError, match="bits"):
+            cam.write(0, [0, 1, 2, 1, 0, 1, 0, 1])
+        with pytest.raises(IndexError, match="row"):
+            cam.write(9, [0] * 8)
+
+    def test_search_before_write(self):
+        cam = RRAMTimeDomainCAM(n_rows=2, n_bits=4)
+        cam.write(0, [0, 1, 0, 1])
+        with pytest.raises(RuntimeError, match="before"):
+            cam.mismatch_counts([0, 1, 0, 1])
+
+
+class TestSensingContrast:
+    def test_separation_shrinks_hyperbolically(self, cam):
+        """Separation between adjacent distances falls ~1/k^2 -- the
+        contrast to the proposed design's constant d_C per mismatch."""
+        s1 = cam.delay_separation_s(1)
+        s4 = cam.delay_separation_s(4)
+        assert s1 / s4 == pytest.approx((4 * 5) / (1 * 2), rel=1e-9)
+
+    def test_proposed_design_separation_constant(self, cam):
+        timing = TimingEnergyModel(TDAMConfig())
+        d1 = timing.chain_delay(2) - timing.chain_delay(1)
+        d10 = timing.chain_delay(11) - timing.chain_delay(10)
+        assert d1 == pytest.approx(d10)
+
+    def test_large_distance_separation_below_proposed(self, cam):
+        """At large distances the RRAM CAM's sensing window collapses
+        below the TD-AM's constant LSB."""
+        timing = TimingEnergyModel(TDAMConfig())
+        assert cam.delay_separation_s(7) < timing.d_c
+
+    def test_design_metadata(self, cam):
+        assert cam.design.quantitative
+        assert not cam.design.multibit
+        assert cam.search_energy_j() == pytest.approx(0.35e-15 * 24)

@@ -1,0 +1,125 @@
+"""Tests of the time-domain IMC baselines (TIMAQ, Fe-FinFET, TD-CIM)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fefinfet import FeFinFETTimeDomainIMC
+from repro.baselines.td_cim import TDCIMFabric
+from repro.baselines.timaq import TIMAQ
+
+
+class TestTIMAQ:
+    def test_bit_serial_mac_equals_direct_dot(self):
+        timaq = TIMAQ(weight_bits=4, activation_bits=4)
+        w = [3, 7, 15, 0, 9]
+        a = [1, 2, 4, 8, 15]
+        assert timaq.mac(w, a) == int(np.dot(w, a))
+
+    @given(
+        data=st.data(),
+        wb=st.integers(1, 4),
+        ab=st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mac_correct_for_any_precision(self, data, wb, ab):
+        timaq = TIMAQ(weight_bits=wb, activation_bits=ab)
+        n = data.draw(st.integers(1, 16))
+        w = data.draw(st.lists(st.integers(0, 2**wb - 1), min_size=n, max_size=n))
+        a = data.draw(st.lists(st.integers(0, 2**ab - 1), min_size=n, max_size=n))
+        assert timaq.mac(w, a) == int(np.dot(w, a))
+
+    def test_cosine_similarity(self):
+        timaq = TIMAQ()
+        sim = timaq.cosine_similarity([1, 2, 3], [1, 2, 3])
+        assert sim == pytest.approx(1.0)
+
+    def test_cosine_zero_vector_rejected(self):
+        with pytest.raises(ValueError, match="zero vector"):
+            TIMAQ().cosine_similarity([0, 0], [1, 1])
+
+    def test_energy_scales_with_precision(self):
+        """Bit-serial decomposition: energy ~ wb * ab per element."""
+        low = TIMAQ(weight_bits=1, activation_bits=1).mac_energy_j(100)
+        high = TIMAQ(weight_bits=4, activation_bits=4).mac_energy_j(100)
+        assert high == pytest.approx(16 * low)
+
+    def test_operand_range_checked(self):
+        with pytest.raises(ValueError, match="weights"):
+            TIMAQ(weight_bits=2).mac([4], [1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            TIMAQ().mac([1, 2], [1])
+
+
+class TestFeFinFET:
+    def test_nominal_delay(self):
+        chain = FeFinFETTimeDomainIMC(n_stages=10, c_stage_f=1e-15,
+                                      r_on_ohm=20e3)
+        assert chain.nominal_delay() == pytest.approx(10 * 20e3 * 1e-15)
+
+    def test_resistance_exponential_below_threshold(self):
+        chain = FeFinFETTimeDomainIMC(n_stages=1)
+        shallow = chain.stage_resistance(0.20)
+        deep = chain.stage_resistance(0.35)
+        # Deeper into subthreshold: much larger resistance ratio.
+        assert deep / shallow > 20
+
+    def test_small_shift_proportional(self):
+        chain = FeFinFETTimeDomainIMC(n_stages=1)
+        nominal = chain.stage_resistance(0.0)
+        shifted = chain.stage_resistance(0.03)
+        assert 1.0 < shifted / nominal < 1.3
+
+    def test_chain_delay_with_shifts(self):
+        chain = FeFinFETTimeDomainIMC(n_stages=4)
+        assert chain.chain_delay() == pytest.approx(chain.nominal_delay())
+        assert chain.chain_delay([0.1, 0, 0, 0]) > chain.nominal_delay()
+
+    def test_shift_shape_validated(self):
+        chain = FeFinFETTimeDomainIMC(n_stages=4)
+        with pytest.raises(ValueError, match="shape"):
+            chain.chain_delay([0.1, 0.2])
+
+    def test_off_state_interrupts_propagation(self):
+        """The paper's criticism: an OFF FeFET effectively blocks the
+        signal (resistance orders of magnitude above ON)."""
+        chain = FeFinFETTimeDomainIMC(n_stages=1)
+        assert chain.stage_resistance(0.5) / chain.stage_resistance(0.0) > 1e3
+
+
+class TestTDCIMFabric:
+    def setup_method(self):
+        self.fabric = TDCIMFabric(n_rows=2, n_bits=6)
+        self.fabric.write(0, [0, 1, 0, 1, 0, 1])
+        self.fabric.write(1, [1, 1, 1, 1, 1, 1])
+
+    def test_quantitative_hamming(self):
+        distances = self.fabric.hamming_search([0, 1, 0, 1, 0, 1])
+        assert distances.tolist() == [0, 3]
+
+    def test_binary_mac(self):
+        macs = self.fabric.mac([1, 1, 0, 0, 1, 1])
+        assert macs.tolist() == [2, 4]
+
+    def test_bit_slicing_expands_multibit(self):
+        sliced = TDCIMFabric.bit_slice([3, 0, 2], bits=2)
+        assert sliced.tolist() == [1, 1, 0, 0, 0, 1]
+
+    def test_bit_slice_range_check(self):
+        with pytest.raises(ValueError, match="elements"):
+            TDCIMFabric.bit_slice([4], bits=2)
+
+    def test_multibit_workload_costs_more_stages(self):
+        """The 1.47x Table I gap in mechanism: 2-bit elements need twice
+        the chain length on the binary fabric."""
+        n_elements, bits = 32, 2
+        fabric = TDCIMFabric(n_rows=1, n_bits=n_elements * bits)
+        assert fabric.n_bits == 64
+
+    def test_energy_per_search(self):
+        assert self.fabric.search_energy_j() == pytest.approx(
+            0.234e-15 * 2 * 6
+        )

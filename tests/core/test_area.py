@@ -1,0 +1,87 @@
+"""Tests of the area model."""
+
+import pytest
+
+from repro.core.area import (
+    BASELINE_CELLS,
+    cell_area_comparison,
+    density_advantage,
+    f2_to_um2,
+    tdam_area,
+)
+from repro.core.config import TDAMConfig
+
+
+class TestUnits:
+    def test_f2_conversion_at_40nm(self):
+        # 1 F^2 at 40 nm = (0.04 um)^2 = 0.0016 um^2.
+        assert f2_to_um2(1.0, 40.0) == pytest.approx(0.0016)
+
+    def test_f2_rejects_bad_node(self):
+        with pytest.raises(ValueError, match="node_nm"):
+            f2_to_um2(100.0, 0.0)
+
+
+class TestTDAMArea:
+    def test_stage_composition(self):
+        report = tdam_area(TDAMConfig(), n_rows=8)
+        assert report.stage_transistors == 4  # inverter + precharge + switch
+        assert report.cell_fefets == 2
+
+    def test_area_scales_with_rows(self):
+        small = tdam_area(TDAMConfig(), n_rows=8)
+        large = tdam_area(TDAMConfig(), n_rows=16)
+        assert large.array_core_um2 == pytest.approx(2 * small.array_core_um2)
+
+    def test_load_cap_dominates_at_large_c(self):
+        small_c = tdam_area(TDAMConfig(c_load_f=6e-15), n_rows=4)
+        big_c = tdam_area(TDAMConfig(c_load_f=1280e-15), n_rows=4)
+        assert big_c.stage_area_um2 > 10 * small_c.stage_area_um2
+
+    def test_density_includes_multibit_gain(self):
+        one_bit = tdam_area(TDAMConfig(bits=1), n_rows=8)
+        two_bit = tdam_area(TDAMConfig(bits=2), n_rows=8)
+        assert two_bit.bits_per_um2 == pytest.approx(
+            2 * one_bit.bits_per_um2
+        )
+
+    def test_total_is_core_plus_periphery(self):
+        report = tdam_area(TDAMConfig(), n_rows=8)
+        assert report.total_um2 == pytest.approx(
+            report.array_core_um2 + report.periphery_um2
+        )
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError, match="n_rows"):
+            tdam_area(TDAMConfig(), n_rows=0)
+
+
+class TestComparison:
+    def test_all_baselines_present(self):
+        table = cell_area_comparison()
+        assert set(table) == set(BASELINE_CELLS)
+
+    def test_nvm_cells_denser_than_sram(self):
+        """The paper's density argument: FeFET cells beat SRAM cells."""
+        table = cell_area_comparison()
+        assert (
+            table["Nat. Electron.'19"]["bits_per_um2"]
+            > table["16T TCAM"]["bits_per_um2"]
+        )
+        assert (
+            table["This work"]["bits_per_um2"]
+            > table["JSSC'21 (TIMAQ)"]["bits_per_um2"]
+        )
+
+    def test_multibit_doubles_bit_density(self):
+        """This work stores 2 bits in a 4T-2FeFET cell."""
+        table = cell_area_comparison()
+        ours = table["This work"]
+        assert ours["bits_per_cell"] == 2.0
+
+    def test_density_advantage_vs_timaq_large(self):
+        assert density_advantage() > 5.0
+
+    def test_density_advantage_unknown_reference(self):
+        with pytest.raises(KeyError, match="known"):
+            density_advantage("nonexistent")

@@ -1,0 +1,70 @@
+"""Cross-calibration: the analytic model must track the transient backend.
+
+These are the slowest tests in the suite (each runs full nonlinear
+transients); they pin the contract stated in DESIGN.md section 6.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    calibrate_stage_timing,
+    calibrated_model,
+    measure_variation_sensitivity,
+)
+from repro.core.config import TDAMConfig
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("vdd", [1.1, 0.8])
+    def test_analytic_tracks_transient(self, vdd):
+        cal = calibrate_stage_timing(
+            TDAMConfig(vdd=vdd), n_stages=4, n_mismatch=2, dt=4e-12
+        )
+        assert cal.d_inv_error < 0.35
+        assert cal.d_c_error < 0.35
+
+    def test_calibrated_model_uses_measured_values(self):
+        config = TDAMConfig()
+        cal = calibrate_stage_timing(config, n_stages=4, n_mismatch=2, dt=4e-12)
+        model = calibrated_model(config, n_stages=4, n_mismatch=2, dt=4e-12)
+        assert model.d_inv == pytest.approx(cal.d_inv_s)
+        assert model.d_c == pytest.approx(cal.d_c_s)
+
+    def test_transient_delay_linear_in_mismatches(self):
+        """Linearity (Fig. 4(c)) holds on the transient backend too."""
+        from repro.core.calibration import measure_chain_delay
+
+        config = TDAMConfig(n_stages=6)
+        delays = []
+        for n_mis in (0, 1, 2, 3):
+            stored = [0] * 6
+            query = [0] * 6
+            for k in range(n_mis):
+                query[2 * k] = 1
+            delays.append(
+                measure_chain_delay(config, stored, query, dt=4e-12,
+                                    rng=np.random.default_rng(2))
+            )
+        increments = np.diff(delays)
+        assert increments.std() / increments.mean() < 0.15
+
+    def test_variation_sensitivity_is_weak(self):
+        """The paper's robustness claim, measured: a V_TH shift of the
+        conducting FeFET barely moves d_C (the transient backend measures
+        essentially zero, because MN fully discharges within the compute
+        window either way; the analytic model's 0.35 default is a
+        pessimistic bound)."""
+        sensitivity, delays = measure_variation_sensitivity(
+            TDAMConfig(), shifts_v=(-0.06, 0.0, 0.06), n_stages=2, dt=4e-12
+        )
+        assert abs(sensitivity) < 2.0
+        assert delays.max() / delays.min() < 1.3
+
+    def test_rejects_odd_measurement_chain(self):
+        with pytest.raises(ValueError, match="even"):
+            calibrate_stage_timing(TDAMConfig(), n_stages=3)
+
+    def test_rejects_excess_mismatches(self):
+        with pytest.raises(ValueError, match="n_mismatch"):
+            calibrate_stage_timing(TDAMConfig(), n_stages=4, n_mismatch=5)

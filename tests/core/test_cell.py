@@ -1,0 +1,113 @@
+"""Tests of the 2-FeFET multi-bit IMC cell (device-level)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cell import MultiBitIMCCell
+from repro.core.config import TDAMConfig
+
+
+@pytest.fixture
+def cell(rng):
+    cell = MultiBitIMCCell(TDAMConfig(bits=2), rng=rng)
+    cell.write(1)
+    return cell
+
+
+class TestPaperExample:
+    """Fig. 2(d-f): stored '1' against inputs 0, 1, 2."""
+
+    def test_input_below_stored_fb_discharges(self, cell):
+        state = cell.compare(0)
+        assert state.fb_conducting and not state.fa_conducting
+        assert not state.mn_high
+
+    def test_input_equal_mn_stays_high(self, cell):
+        state = cell.compare(1)
+        assert state.mn_high
+        assert state.match
+        assert state.discharge_current_a == 0.0
+
+    def test_input_above_stored_fa_discharges(self, cell):
+        state = cell.compare(2)
+        assert state.fa_conducting and not state.fb_conducting
+        assert not state.mn_high
+        assert state.discharge_current_a > 0
+
+
+class TestFullTruthTable:
+    @pytest.mark.parametrize("bits", [1, 2])
+    def test_device_level_truth_table(self, bits, rng):
+        """Every (stored, query) pair resolves correctly at device level."""
+        config = TDAMConfig(bits=bits)
+        levels = config.levels
+        for stored in range(levels):
+            cell = MultiBitIMCCell(config, rng=rng)
+            cell.write(stored)
+            for query in range(levels):
+                state = cell.compare(query)
+                assert state.match == (stored == query), (
+                    f"bits={bits} stored={stored} query={query}"
+                )
+
+
+class TestLifecycle:
+    def test_compute_before_write_raises(self, rng):
+        cell = MultiBitIMCCell(TDAMConfig(), rng=rng)
+        with pytest.raises(RuntimeError, match="before write"):
+            cell.compare(0)
+
+    def test_stored_property(self, cell):
+        assert cell.stored == 1
+
+    def test_rewrite_changes_behaviour(self, cell):
+        assert cell.compare(1).match
+        cell.write(3)
+        assert not cell.compare(1).match
+        assert cell.compare(3).match
+
+    def test_precharge_restores_mn(self, cell):
+        cell.compare(0)  # mismatch discharges MN
+        assert cell.mn_voltage == 0.0
+        cell.precharge()
+        assert cell.mn_voltage == cell.config.vdd
+
+    def test_deactivated_state_always_high(self, rng):
+        config = TDAMConfig(bits=2)
+        for stored in range(4):
+            cell = MultiBitIMCCell(config, rng=rng)
+            cell.write(stored)
+            assert cell.deactivated_state().mn_high
+
+
+class TestVariationEffects:
+    def test_large_negative_shift_flips_match_to_mismatch(self, rng):
+        """F_A with V_TH pulled far down conducts on an equal query."""
+        config = TDAMConfig(bits=2)
+        cell = MultiBitIMCCell(config, rng=rng, vth_offsets=(-0.3, 0.0))
+        cell.write(1)
+        state = cell.compare(1)
+        assert state.fa_conducting
+        assert not state.match
+
+    def test_large_positive_shift_masks_mismatch(self, rng):
+        """F_A with V_TH pushed far up misses a query-above-stored."""
+        config = TDAMConfig(bits=2)
+        cell = MultiBitIMCCell(config, rng=rng, vth_offsets=(0.3, 0.0))
+        cell.write(1)
+        state = cell.compare(2)
+        assert not state.fa_conducting
+        assert state.match  # the mismatch goes undetected
+
+    def test_small_shift_within_margin_harmless(self, rng):
+        config = TDAMConfig(bits=2)
+        cell = MultiBitIMCCell(config, rng=rng, vth_offsets=(0.05, -0.05))
+        cell.write(1)
+        assert cell.compare(1).match
+        assert not cell.compare(2).match
+        assert not cell.compare(0).match
+
+    def test_set_vth_offsets_updates_devices(self, cell):
+        cell.set_vth_offsets(0.02, -0.02)
+        assert cell.fa.vth_offset == 0.02
+        assert cell.fb.vth_offset == -0.02

@@ -1,0 +1,102 @@
+"""Tests of the delay chain and 2-step operation scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain import DelayChain
+from repro.core.config import TDAMConfig
+
+
+@pytest.fixture
+def chain(small_config, rng):
+    chain = DelayChain(small_config, rng=rng)
+    chain.write([0, 1, 2, 3, 3, 2, 1, 0])
+    return chain
+
+
+class TestWrite:
+    def test_stored_roundtrip(self, chain):
+        assert np.array_equal(chain.stored, [0, 1, 2, 3, 3, 2, 1, 0])
+
+    def test_wrong_length_rejected(self, chain):
+        with pytest.raises(ValueError, match="length"):
+            chain.write([0, 1])
+
+    def test_search_before_write_raises(self, small_config, rng):
+        chain = DelayChain(small_config, rng=rng)
+        with pytest.raises(RuntimeError, match="before write"):
+            chain.search([0] * 8)
+
+    def test_bad_offsets_shape_rejected(self, small_config, rng):
+        with pytest.raises(ValueError, match="vth_offsets"):
+            DelayChain(small_config, rng=rng, vth_offsets=np.zeros((3, 2)))
+
+
+class TestTwoStepScheme:
+    def test_exact_match_counts(self, chain):
+        result = chain.search([0, 1, 2, 3, 3, 2, 1, 0])
+        assert result.n_mismatch == 0
+        assert result.delay_total_s == pytest.approx(
+            2 * 8 * chain.timing.d_inv
+        )
+
+    def test_mismatches_split_by_parity(self, chain):
+        # Mismatch stages 0 (even) and 1, 3 (odd).
+        query = np.array([1, 2, 2, 0, 3, 2, 1, 0])
+        result = chain.search(query)
+        assert result.n_mismatch_even == 1
+        assert result.n_mismatch_odd == 2
+        assert result.n_mismatch == 3
+
+    def test_delay_law_holds(self, chain):
+        query = [1, 2, 2, 0, 3, 2, 1, 0]
+        result = chain.search(query)
+        t = chain.timing
+        assert result.delay_rising_s == pytest.approx(
+            8 * t.d_inv + result.n_mismatch_even * t.d_c
+        )
+        assert result.delay_falling_s == pytest.approx(
+            8 * t.d_inv + result.n_mismatch_odd * t.d_c
+        )
+        assert result.delay_total_s == pytest.approx(
+            2 * 8 * t.d_inv + result.n_mismatch * t.d_c
+        )
+
+    def test_mismatch_mask_matches_ideal(self, chain):
+        query = [0, 0, 2, 0, 3, 2, 0, 0]
+        result = chain.search(query)
+        expected = np.array(chain.stored) != np.array(query)
+        assert np.array_equal(result.mismatch_mask, expected)
+
+    def test_ideal_hamming(self, chain):
+        assert chain.ideal_hamming([0, 1, 2, 3, 3, 2, 1, 0]) == 0
+        assert chain.ideal_hamming([1, 0, 2, 3, 3, 2, 1, 0]) == 2
+
+    def test_energy_grows_with_mismatches(self, chain):
+        e0 = chain.search([0, 1, 2, 3, 3, 2, 1, 0]).energy_j
+        e4 = chain.search([1, 2, 3, 0, 3, 2, 1, 0]).energy_j
+        assert e4 > e0
+
+    def test_query_length_validated(self, chain):
+        with pytest.raises(ValueError, match="length"):
+            chain.search([0, 1, 2])
+
+
+class TestChainProperties:
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_search_counts_equal_ideal_hamming_without_variation(self, data):
+        config = TDAMConfig(n_stages=6)
+        rng = np.random.default_rng(99)
+        chain = DelayChain(config, rng=rng)
+        stored = data.draw(
+            st.lists(st.integers(0, 3), min_size=6, max_size=6)
+        )
+        query = data.draw(
+            st.lists(st.integers(0, 3), min_size=6, max_size=6)
+        )
+        chain.write(stored)
+        result = chain.search(query)
+        assert result.n_mismatch == chain.ideal_hamming(query)

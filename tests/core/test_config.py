@@ -1,0 +1,111 @@
+"""Tests of the TD-AM configuration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TDAMConfig
+
+
+class TestDefaults:
+    def test_paper_vth_ladder(self):
+        config = TDAMConfig(bits=2)
+        assert config.vth_levels == pytest.approx((0.2, 0.6, 1.0, 1.4))
+
+    def test_paper_vsl_ladder(self):
+        config = TDAMConfig(bits=2)
+        assert config.vsl_levels == pytest.approx((0.0, 0.4, 0.8, 1.2))
+
+    def test_paper_load_cap(self):
+        assert TDAMConfig().c_load_f == 6e-15
+
+    def test_levels(self):
+        assert TDAMConfig(bits=1).levels == 2
+        assert TDAMConfig(bits=3).levels == 8
+
+    def test_conduction_margin_is_half_step(self):
+        config = TDAMConfig(bits=2)
+        assert config.conduction_margin == pytest.approx(0.2)
+
+
+class TestValidation:
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError, match="bits"):
+            TDAMConfig(bits=0)
+
+    def test_rejects_too_many_bits(self):
+        with pytest.raises(ValueError, match="bits"):
+            TDAMConfig(bits=5)
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError, match="n_stages"):
+            TDAMConfig(n_stages=0)
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValueError, match="c_load_f"):
+            TDAMConfig(c_load_f=-1e-15)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError, match="vth_window"):
+            TDAMConfig(vth_window=(1.4, 0.2))
+
+    def test_rejects_window_outside_device(self):
+        with pytest.raises(ValueError, match="programmable"):
+            TDAMConfig(vth_window=(0.0, 2.0))
+
+    def test_rejects_zero_vdd(self):
+        with pytest.raises(ValueError, match="vdd"):
+            TDAMConfig(vdd=0.0)
+
+    def test_rejects_zero_tdc_clock(self):
+        with pytest.raises(ValueError, match="tdc_clock"):
+            TDAMConfig(tdc_clock_ghz=0.0)
+
+
+class TestWith:
+    def test_with_replaces_field(self):
+        base = TDAMConfig()
+        scaled = base.with_(vdd=0.6)
+        assert scaled.vdd == 0.6
+        assert base.vdd == 1.1
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            TDAMConfig().with_(bits=9)
+
+    def test_describe_mentions_key_parameters(self):
+        text = TDAMConfig().describe()
+        assert "2-bit" in text
+        assert "32 stages" in text
+
+
+class TestLadderProperties:
+    @given(bits=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_ladders_have_level_count(self, bits):
+        config = TDAMConfig(bits=bits)
+        assert len(config.vth_levels) == config.levels
+        assert len(config.vsl_levels) == config.levels
+
+    @given(bits=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_vsl_sits_half_step_below_vth(self, bits):
+        config = TDAMConfig(bits=bits)
+        half = config.level_step / 2
+        for vth, vsl in zip(config.vth_levels, config.vsl_levels):
+            assert vsl == pytest.approx(vth - half)
+
+    @given(bits=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_ladders_strictly_increasing(self, bits):
+        config = TDAMConfig(bits=bits)
+        vth = config.vth_levels
+        assert all(b > a for a, b in zip(vth, vth[1:]))
+
+    @given(bits=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_window_endpoints_respected(self, bits):
+        config = TDAMConfig(bits=bits)
+        low, high = config.vth_window
+        assert config.vth_levels[0] == pytest.approx(low)
+        assert config.vth_levels[-1] == pytest.approx(high)

@@ -1,0 +1,100 @@
+"""Tests of the event-level array controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.core.controller import (
+    T_ROW_WRITE_S,
+    ArrayController,
+    Command,
+    Phase,
+)
+
+
+@pytest.fixture
+def controller():
+    config = TDAMConfig(n_stages=16)
+    ctrl = ArrayController(config, n_rows=4, seed=1)
+    rng = np.random.default_rng(0)
+    stored = rng.integers(0, 4, size=(4, 16))
+    ctrl.run([Command("write", row=r, vector=stored[r]) for r in range(4)])
+    return ctrl, stored
+
+
+class TestCommands:
+    def test_command_validation(self):
+        with pytest.raises(ValueError, match="op"):
+            Command("erase")
+        with pytest.raises(ValueError, match="row"):
+            Command("write", vector=np.zeros(4))
+        with pytest.raises(ValueError, match="vector"):
+            Command("search")
+
+    def test_write_then_search(self, controller):
+        ctrl, stored = controller
+        result = ctrl.execute(Command("search", vector=stored[2]))
+        assert result.best_row == 2
+        assert result.hamming_distances[2] == 0
+
+    def test_read_returns_latched_result(self, controller):
+        ctrl, stored = controller
+        search = ctrl.execute(Command("search", vector=stored[1]))
+        read = ctrl.execute(Command("read"))
+        assert read is search
+        assert np.array_equal(ctrl.state.counters, search.counts)
+
+    def test_read_before_search_raises(self, controller):
+        ctrl, _ = controller
+        with pytest.raises(RuntimeError, match="before any search"):
+            ctrl.execute(Command("read"))
+
+
+class TestTrace:
+    def test_write_phase_logged(self, controller):
+        ctrl, _ = controller
+        writes = [e for e in ctrl.state.events if e.phase is Phase.WRITE]
+        assert len(writes) == 4
+        assert all(
+            e.duration_s == pytest.approx(T_ROW_WRITE_S) for e in writes
+        )
+
+    def test_search_phases_in_order(self, controller):
+        ctrl, stored = controller
+        ctrl.execute(Command("search", vector=stored[0]))
+        phases = [e.phase for e in ctrl.state.events[-5:]]
+        assert phases == [
+            Phase.PRECHARGE, Phase.SL_SETUP, Phase.STEP_I, Phase.STEP_II,
+            Phase.READOUT,
+        ]
+
+    def test_time_monotone(self, controller):
+        ctrl, stored = controller
+        ctrl.execute(Command("search", vector=stored[0]))
+        events = ctrl.state.events
+        for a, b in zip(events, events[1:]):
+            assert b.t_start_s == pytest.approx(a.t_end_s)
+
+    def test_search_time_matches_scheduler(self, controller):
+        """The controller's logged search time equals the analytic
+        phase schedule -- the cross-model consistency contract."""
+        ctrl, stored = controller
+        before = ctrl.elapsed_s
+        ctrl.execute(Command("search", vector=stored[0]))
+        logged = ctrl.elapsed_s - before
+        assert logged == pytest.approx(ctrl.search_latency_s())
+
+    def test_phase_durations_accumulate(self, controller):
+        ctrl, stored = controller
+        ctrl.execute(Command("search", vector=stored[0]))
+        ctrl.execute(Command("search", vector=stored[1]))
+        durations = ctrl.phase_durations()
+        assert durations[Phase.WRITE] == pytest.approx(4 * T_ROW_WRITE_S)
+        assert durations[Phase.PRECHARGE] > 0
+
+    def test_format_trace(self, controller):
+        ctrl, stored = controller
+        ctrl.execute(Command("search", vector=stored[0]))
+        text = ctrl.format_trace()
+        assert "readout" in text
+        assert "ns" in text

@@ -1,0 +1,125 @@
+"""Tests of hard-fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.array import FastTDAMArray
+from repro.core.config import TDAMConfig
+from repro.core.faults import (
+    Fault,
+    FaultInjector,
+    FaultType,
+    FaultyTDAMArray,
+    search_error_statistics,
+)
+
+
+@pytest.fixture
+def clean_array():
+    config = TDAMConfig(n_stages=16)
+    array = FastTDAMArray(config, n_rows=4)
+    stored = np.random.default_rng(0).integers(0, 4, size=(4, 16))
+    array.write_all(stored)
+    return array, stored
+
+
+class TestFaultEffects:
+    def test_no_faults_is_transparent(self, clean_array):
+        array, stored = clean_array
+        faulty = FaultyTDAMArray(array, [])
+        clean = array.search(stored[1])
+        wrapped = faulty.search(stored[1])
+        assert np.array_equal(
+            clean.hamming_distances, wrapped.hamming_distances
+        )
+
+    def test_stuck_mismatch_inflates_distance(self, clean_array):
+        array, stored = clean_array
+        faulty = FaultyTDAMArray(
+            array, [Fault(FaultType.STUCK_MISMATCH, row=1, stage=3)]
+        )
+        result = faulty.search(stored[1])
+        # The self-query of row 1 now reports distance 1, not 0.
+        assert result.hamming_distances[1] == 1
+
+    def test_stuck_match_hides_mismatch(self, clean_array):
+        array, stored = clean_array
+        query = stored[1].copy()
+        query[3] = (query[3] + 1) % 4  # mismatch exactly at stage 3
+        faulty = FaultyTDAMArray(
+            array, [Fault(FaultType.STUCK_MATCH, row=1, stage=3)]
+        )
+        result = faulty.search(query)
+        assert result.hamming_distances[1] == 0  # the mismatch vanished
+
+    def test_dead_row_reports_max_distance(self, clean_array):
+        array, stored = clean_array
+        faulty = FaultyTDAMArray(array, [Fault(FaultType.DEAD_ROW, row=2)])
+        result = faulty.search(stored[2])
+        assert result.hamming_distances[2] == array.config.n_stages
+        assert result.best_row != 2
+
+    def test_fault_on_other_row_is_isolated(self, clean_array):
+        array, stored = clean_array
+        faulty = FaultyTDAMArray(
+            array, [Fault(FaultType.STUCK_MISMATCH, row=0, stage=0)]
+        )
+        result = faulty.search(stored[3])
+        assert result.hamming_distances[3] == 0
+
+    def test_fault_validation(self, clean_array):
+        array, _ = clean_array
+        with pytest.raises(ValueError, match="row"):
+            FaultyTDAMArray(array, [Fault(FaultType.DEAD_ROW, row=9)])
+        with pytest.raises(ValueError, match="stage"):
+            FaultyTDAMArray(
+                array, [Fault(FaultType.STUCK_MATCH, row=0, stage=99)]
+            )
+
+
+class TestFaultInjector:
+    def test_draw_counts(self):
+        injector = FaultInjector(TDAMConfig(n_stages=16), n_rows=4, seed=1)
+        faults = injector.draw(n_stuck_mismatch=3, n_stuck_match=2,
+                               n_dead_rows=1)
+        kinds = [f.kind for f in faults]
+        assert kinds.count(FaultType.STUCK_MISMATCH) == 3
+        assert kinds.count(FaultType.STUCK_MATCH) == 2
+        assert kinds.count(FaultType.DEAD_ROW) == 1
+
+    def test_cell_faults_do_not_overlap(self):
+        injector = FaultInjector(TDAMConfig(n_stages=8), n_rows=2, seed=1)
+        faults = injector.draw(n_stuck_mismatch=8, n_stuck_match=8)
+        positions = {(f.row, f.stage) for f in faults}
+        assert len(positions) == 16
+
+    def test_draw_validation(self):
+        injector = FaultInjector(TDAMConfig(n_stages=4), n_rows=2, seed=1)
+        with pytest.raises(ValueError, match="cell faults"):
+            injector.draw(n_stuck_mismatch=99)
+        with pytest.raises(ValueError, match="dead rows"):
+            injector.draw(n_dead_rows=3)
+
+    def test_seeded_reproducibility(self):
+        a = FaultInjector(TDAMConfig(), n_rows=8, seed=7).draw(2, 2, 1)
+        b = FaultInjector(TDAMConfig(), n_rows=8, seed=7).draw(2, 2, 1)
+        assert a == b
+
+
+class TestErrorStatistics:
+    def test_single_cell_fault_bounds_error(self, clean_array):
+        """One stuck cell moves any distance by at most one."""
+        array, _ = clean_array
+        faulty = FaultyTDAMArray(
+            array, [Fault(FaultType.STUCK_MISMATCH, row=2, stage=5)]
+        )
+        queries = np.random.default_rng(1).integers(0, 4, size=(12, 16))
+        stats = search_error_statistics(faulty, queries)
+        assert stats["max_abs_error"] <= 1.0
+
+    def test_dead_row_errors_dominate(self, clean_array):
+        array, _ = clean_array
+        faulty = FaultyTDAMArray(array, [Fault(FaultType.DEAD_ROW, row=0)])
+        queries = np.random.default_rng(1).integers(0, 4, size=(12, 16))
+        stats = search_error_statistics(faulty, queries)
+        assert stats["max_abs_error"] >= 4.0

@@ -1,0 +1,82 @@
+"""Tests of the TD-AM netlist builders (structure-level)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.core.netlist_builder import build_cell_circuit, build_chain_circuit
+from repro.core.stage import STEP_I, STEP_II
+
+
+class TestCellBuilder:
+    def test_cell_circuit_validates(self, rng):
+        net = build_cell_circuit(TDAMConfig(), stored=1, query=2, rng=rng)
+        net.circuit.validate()
+
+    def test_cell_has_match_node(self, rng):
+        net = build_cell_circuit(TDAMConfig(), stored=1, query=2, rng=rng)
+        assert net.mn_node in net.circuit.nodes
+
+
+class TestChainBuilder:
+    def build(self, n_stages=4, step=STEP_I, stored=None, query=None, **kw):
+        config = TDAMConfig(n_stages=n_stages)
+        stored = stored if stored is not None else [0] * n_stages
+        query = query if query is not None else [0] * n_stages
+        return build_chain_circuit(
+            config, stored, query, step=step,
+            rng=np.random.default_rng(1), **kw
+        )
+
+    def test_chain_circuit_validates(self):
+        self.build().circuit.validate()
+
+    def test_node_lists_sized(self):
+        net = self.build(n_stages=6)
+        assert len(net.stage_out_nodes) == 6
+        assert len(net.mn_nodes) == 6
+        assert net.output_node == net.stage_out_nodes[-1]
+
+    def test_active_mismatch_counting_step_i(self):
+        # stages 0 and 2 (even) mismatch; stage 1 (odd) parked in step I.
+        net = self.build(query=[1, 1, 1, 0])
+        assert net.active_mismatches == 2
+
+    def test_active_mismatch_counting_step_ii(self):
+        net = self.build(query=[1, 1, 1, 0], step=STEP_II,
+                         rising_input=False)
+        assert net.active_mismatches == 1
+
+    def test_output_parity_even_chain(self):
+        net = self.build(n_stages=4)
+        assert net.output_edge_rising  # even inversions preserve polarity
+
+    def test_output_parity_odd_chain(self):
+        net = self.build(n_stages=3)
+        assert not net.output_edge_rising
+
+    def test_v_init_alternates_dc_levels(self):
+        net = self.build(n_stages=4)
+        config_vdd = TDAMConfig().vdd
+        assert net.v_init["s0_out"] == pytest.approx(config_vdd)
+        assert net.v_init["s1_out"] == pytest.approx(0.0)
+        assert net.v_init["s2_out"] == pytest.approx(config_vdd)
+
+    def test_mn_precharged_in_v_init(self):
+        net = self.build()
+        for mn in net.mn_nodes:
+            assert net.v_init[mn] == pytest.approx(TDAMConfig().vdd)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError, match="step"):
+            self.build(step="X")
+
+    def test_rejects_wrong_vector_length(self):
+        config = TDAMConfig(n_stages=4)
+        with pytest.raises(ValueError, match="length"):
+            build_chain_circuit(config, [0, 1], [0, 1],
+                                rng=np.random.default_rng(1))
+
+    def test_stop_hint_covers_worst_case(self):
+        net = self.build(query=[1, 1, 1, 1])
+        assert net.t_stop_hint > net.t_pulse

@@ -1,0 +1,87 @@
+"""Tests of the sensing-noise models (jitter, droop)."""
+
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.noise import (
+    JitteryTDC,
+    droop_delay_factor,
+    jitter_tolerance_s,
+    max_tolerable_droop,
+)
+from repro.core.replica import ReplicaCalibratedTDC, measure_replica
+
+
+class TestJitteryTDC:
+    def test_zero_jitter_decodes_exactly(self, config):
+        tdc = JitteryTDC(config, jitter_s=0.0, seed=1)
+        assert tdc.decode_error_rate(10, n_trials=50) == 0.0
+
+    def test_small_jitter_mostly_harmless(self, config):
+        timing = TimingEnergyModel(config)
+        tdc = JitteryTDC(config, jitter_s=timing.d_c / 20, seed=1)
+        assert tdc.decode_error_rate(10, n_trials=300) < 0.05
+
+    def test_large_jitter_breaks_decode(self, config):
+        timing = TimingEnergyModel(config)
+        tdc = JitteryTDC(config, jitter_s=2 * timing.d_c, seed=1)
+        assert tdc.decode_error_rate(10, n_trials=300) > 0.3
+
+    def test_error_rate_monotone_in_jitter(self, config):
+        timing = TimingEnergyModel(config)
+        rates = [
+            JitteryTDC(config, jitter_s=j, seed=1).decode_error_rate(
+                16, n_trials=400
+            )
+            for j in (0.0, timing.d_c / 8, timing.d_c)
+        ]
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError, match="jitter_s"):
+            JitteryTDC(config, jitter_s=-1e-12)
+        tdc = JitteryTDC(config, jitter_s=0.0)
+        with pytest.raises(ValueError, match="n_mismatch"):
+            tdc.decode_error_rate(999)
+
+
+class TestJitterTolerance:
+    def test_tolerance_is_a_fraction_of_lsb(self, config):
+        timing = TimingEnergyModel(config)
+        tolerance = jitter_tolerance_s(config, n_trials=150)
+        # Some jitter is tolerable, but well below one LSB.
+        assert 0.0 < tolerance < timing.d_c
+
+    def test_target_validated(self, config):
+        with pytest.raises(ValueError, match="target_error_rate"):
+            jitter_tolerance_s(config, target_error_rate=0.0)
+
+
+class TestDroop:
+    def test_no_droop_unity_factor(self, config):
+        assert droop_delay_factor(config, 0.0) == pytest.approx(1.0)
+
+    def test_droop_slows_the_chain(self, config):
+        assert droop_delay_factor(config, 0.05) > 1.0
+
+    def test_max_tolerable_droop_small(self, config):
+        """Percent-level droop already eats the margin at full distance --
+        the case for a droop-sharing replica chain."""
+        droop = max_tolerable_droop(config)
+        assert 0.0 < droop < 0.05
+
+    def test_replica_cancels_common_mode(self, config):
+        """A replica chain measured under the same droop decodes the
+        drooped data delays exactly."""
+        droop = 0.05
+        drooped_config = config.with_(vdd=config.vdd * (1 - droop))
+        drooped_timing = TimingEnergyModel(drooped_config)
+        replica = ReplicaCalibratedTDC(config, measure_replica(drooped_timing))
+        for n_mis in (0, 7, 20, config.n_stages):
+            delay = drooped_timing.chain_delay(n_mis)
+            assert replica.decode_mismatches(delay) == n_mis
+
+    def test_droop_validation(self, config):
+        with pytest.raises(ValueError, match="droop_fraction"):
+            droop_delay_factor(config, 0.9)

@@ -1,0 +1,80 @@
+"""Tests of the array programming cost model."""
+
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.core.programming import ProgrammingModel
+from repro.devices.nonideal import EnduranceModel
+
+
+@pytest.fixture
+def model():
+    return ProgrammingModel(TDAMConfig(n_stages=32), seed=5)
+
+
+class TestPrimitives:
+    def test_pulse_energy_positive(self, model):
+        assert model.pulse_energy_j > 0
+
+    def test_attempt_time_covers_pulses_and_verify(self, model):
+        assert model.attempt_time_s > 2 * 100e-9
+
+    def test_pulse_counts_bounded(self, model):
+        counts = model.draw_pulse_counts(10_000)
+        assert counts.min() >= 1
+        assert counts.max() <= model.max_retries
+
+    def test_retry_rate_matches_parameter(self, model):
+        counts = model.draw_pulse_counts(50_000)
+        # Geometric mean attempts = 1 / (1 - p).
+        expected = 1.0 / (1.0 - model.retry_p)
+        assert counts.mean() == pytest.approx(expected, rel=0.05)
+
+    def test_zero_retry_probability_single_pulse(self):
+        model = ProgrammingModel(TDAMConfig(), retry_p=0.0, seed=1)
+        assert model.draw_pulse_counts(100).max() == 1
+
+
+class TestImageProgramming:
+    def test_report_counts(self, model):
+        report = model.program_image(16)
+        assert report.n_rows == 16
+        assert report.n_cells == 16 * 32
+
+    def test_time_scales_with_rows(self, model):
+        small = ProgrammingModel(TDAMConfig(n_stages=32), seed=5).program_image(8)
+        large = ProgrammingModel(TDAMConfig(n_stages=32), seed=5).program_image(32)
+        assert large.total_time_s > 3 * small.total_time_s
+
+    def test_row_time_set_by_slowest_cell(self, model):
+        report = model.program_image(1)
+        assert report.total_time_s == pytest.approx(
+            report.worst_pulses_per_cell * model.attempt_time_s
+        )
+
+    def test_energy_positive_and_scaling(self, model):
+        report = model.program_image(16)
+        # At least one pulse pair on both FeFETs of every cell.
+        floor = report.n_cells * 2 * model.pulse_energy_j
+        assert report.total_energy_j >= floor
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError, match="n_rows"):
+            model.program_image(0)
+        with pytest.raises(ValueError, match="retry_p"):
+            ProgrammingModel(TDAMConfig(), retry_p=1.0)
+
+
+class TestEnduranceBudget:
+    def test_many_deployments_supported(self, model):
+        deployments = model.deployments_until_fatigue(64)
+        # A 1e5-cycle fatigue onset at ~1.3 pulses/deployment leaves
+        # tens of thousands of model reloads.
+        assert deployments > 1e4
+
+    def test_budget_shrinks_with_retry_rate(self):
+        easy = ProgrammingModel(TDAMConfig(), retry_p=0.0, seed=1)
+        hard = ProgrammingModel(TDAMConfig(), retry_p=0.6, seed=1)
+        assert hard.deployments_until_fatigue(16) < (
+            easy.deployments_until_fatigue(16)
+        )

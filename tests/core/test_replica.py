@@ -1,0 +1,88 @@
+"""Tests of the replica-chain calibrated TDC."""
+
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.replica import (
+    ReplicaCalibratedTDC,
+    ReplicaMeasurement,
+    measure_replica,
+)
+from repro.core.sensing import CounterTDC
+from repro.devices.temperature import technology_at
+
+
+@pytest.fixture
+def config():
+    return TDAMConfig(n_stages=64)
+
+
+class TestReplicaMeasurement:
+    def test_measure_replica_matches_timing(self, config):
+        timing = TimingEnergyModel(config)
+        m = measure_replica(timing, k=16)
+        assert m.d_zero_s == pytest.approx(timing.chain_delay(0))
+        assert m.d_k_s == pytest.approx(timing.chain_delay(16))
+
+    def test_derived_parameters(self, config):
+        timing = TimingEnergyModel(config)
+        tdc = ReplicaCalibratedTDC(config, measure_replica(timing))
+        assert tdc.d_inv_s == pytest.approx(timing.d_inv)
+        assert tdc.d_c_s == pytest.approx(timing.d_c)
+
+    def test_measurement_validation(self):
+        with pytest.raises(ValueError, match="mismatch count"):
+            ReplicaMeasurement(d_zero_s=1e-9, d_k_s=2e-9, k=0)
+        with pytest.raises(ValueError, match="exceed"):
+            ReplicaMeasurement(d_zero_s=2e-9, d_k_s=1e-9, k=4)
+
+    def test_measure_replica_k_checked(self, config):
+        timing = TimingEnergyModel(config)
+        with pytest.raises(ValueError, match="k must be"):
+            measure_replica(timing, k=999)
+
+
+class TestDecode:
+    def test_nominal_conditions_roundtrip(self, config):
+        timing = TimingEnergyModel(config)
+        tdc = ReplicaCalibratedTDC(config, measure_replica(timing))
+        for n_mis in (0, 1, 13, 64):
+            delay = timing.chain_delay(n_mis)
+            assert tdc.decode_mismatches(delay) == n_mis
+
+    def test_drifted_conditions_still_decode(self, config):
+        """The headline: replica calibration survives temperature drift
+        that breaks the fixed decode."""
+        hot_config = config.with_(tech=technology_at(config.tech, 398.0))
+        hot_timing = TimingEnergyModel(hot_config)
+        fixed = CounterTDC(config)  # stale 300 K calibration
+        replica = ReplicaCalibratedTDC(config, measure_replica(hot_timing))
+        wrong = exact = 0
+        for n_mis in range(0, 65, 8):
+            delay = hot_timing.chain_delay(n_mis)
+            if fixed.decode_mismatches(delay) != n_mis:
+                wrong += 1
+            if replica.decode_mismatches(delay) == n_mis:
+                exact += 1
+        assert wrong > 0          # the fixed decode breaks
+        assert exact == 9         # the replica decode does not
+
+    def test_recalibrate_adopts_new_conditions(self, config):
+        timing_cold = TimingEnergyModel(
+            config.with_(tech=technology_at(config.tech, 273.0))
+        )
+        timing_hot = TimingEnergyModel(
+            config.with_(tech=technology_at(config.tech, 398.0))
+        )
+        tdc = ReplicaCalibratedTDC(config, measure_replica(timing_cold))
+        tdc.recalibrate(measure_replica(timing_hot))
+        delay = timing_hot.chain_delay(20)
+        assert tdc.decode_mismatches(delay) == 20
+
+    def test_decode_clamps(self, config):
+        timing = TimingEnergyModel(config)
+        tdc = ReplicaCalibratedTDC(config, measure_replica(timing))
+        assert tdc.decode_mismatches(0.0) == 0
+        huge = timing.chain_delay(config.n_stages) * 5
+        assert tdc.decode_mismatches(huge) == config.n_stages

@@ -1,0 +1,95 @@
+"""Tests of the operation scheduler and tiling."""
+
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.scheduler import (
+    T_PRECHARGE_S,
+    T_SL_SETUP_S,
+    T_TDC_READOUT_S,
+    OperationScheduler,
+    TileSchedule,
+)
+
+
+@pytest.fixture
+def scheduler():
+    return OperationScheduler(TDAMConfig(n_stages=128, vdd=0.6))
+
+
+class TestPhaseSchedule:
+    def test_worst_case_budgets_all_stages(self, scheduler):
+        schedule = scheduler.schedule(worst_case=True)
+        timing = scheduler.timing
+        assert schedule.t_step1_s == pytest.approx(timing.step_delay(64))
+        assert schedule.t_step2_s == pytest.approx(timing.step_delay(64))
+
+    def test_latency_sums_phases(self, scheduler):
+        schedule = scheduler.schedule()
+        assert schedule.latency_s == pytest.approx(
+            T_PRECHARGE_S + T_SL_SETUP_S + schedule.t_step1_s
+            + schedule.t_step2_s + T_TDC_READOUT_S
+        )
+
+    def test_pipelined_interval_shorter_than_latency(self, scheduler):
+        schedule = scheduler.schedule()
+        assert schedule.pipelined_interval_s < schedule.latency_s
+
+    def test_average_case_schedule(self, scheduler):
+        avg = scheduler.schedule(worst_case=False, n_mismatch=10)
+        worst = scheduler.schedule(worst_case=True)
+        assert avg.latency_s < worst.latency_s
+
+    def test_average_case_requires_count(self, scheduler):
+        with pytest.raises(ValueError, match="n_mismatch required"):
+            scheduler.schedule(worst_case=False)
+
+    def test_mismatch_range_checked(self, scheduler):
+        with pytest.raises(ValueError, match="n_mismatch"):
+            scheduler.schedule(worst_case=False, n_mismatch=999)
+
+    def test_throughput_pipelining_gain(self, scheduler):
+        assert scheduler.searches_per_second(pipelined=True) > (
+            scheduler.searches_per_second(pipelined=False)
+        )
+
+
+class TestTileSchedule:
+    def test_tile_count_and_padding(self, scheduler):
+        tiles = scheduler.tile_schedule(300)
+        assert tiles.n_tiles == 3
+        assert tiles.padding == 3 * 128 - 300
+
+    def test_exact_fit_has_no_padding(self, scheduler):
+        tiles = scheduler.tile_schedule(256)
+        assert tiles.n_tiles == 2
+        assert tiles.padding == 0
+
+    def test_single_tile_latency_is_full_schedule(self, scheduler):
+        tiles = scheduler.tile_schedule(100)
+        assert tiles.query_latency_s() == pytest.approx(
+            scheduler.schedule().latency_s
+        )
+
+    def test_pipelined_beats_serial(self, scheduler):
+        tiles = scheduler.tile_schedule(2048)
+        assert tiles.query_latency_s(pipelined=True) < (
+            tiles.query_latency_s(pipelined=False)
+        )
+
+    def test_throughput_scales_inverse_with_tiles(self, scheduler):
+        short = scheduler.tile_schedule(128)
+        long = scheduler.tile_schedule(1280)
+        ratio = short.queries_per_second() / long.queries_per_second()
+        assert ratio == pytest.approx(10.0, rel=0.01)
+
+    def test_timeline_lines(self, scheduler):
+        tiles = scheduler.tile_schedule(300)
+        lines = tiles.phase_timeline()
+        assert len(lines) == 3
+        assert all("precharge@" in line for line in lines)
+
+    def test_rejects_zero_dimension(self, scheduler):
+        with pytest.raises(ValueError, match="dimension"):
+            TileSchedule(scheduler, 0)

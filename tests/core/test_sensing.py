@@ -1,0 +1,103 @@
+"""Tests of the counter TDC and sensing-margin analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.sensing import CounterTDC, SensingAnalysis
+
+
+@pytest.fixture
+def tdc(config):
+    return CounterTDC(config)
+
+
+class TestCounterTDC:
+    def test_clock_period(self, config, tdc):
+        assert tdc.clock_period_s == pytest.approx(1e-9 / config.tdc_clock_ghz)
+
+    def test_resolution_ok_at_default(self, tdc):
+        assert tdc.resolution_ok
+
+    def test_resolution_fails_with_slow_clock(self, config):
+        slow = CounterTDC(config.with_(tdc_clock_ghz=1.0))
+        assert not slow.resolution_ok
+
+    def test_count_floors(self, tdc):
+        period = tdc.clock_period_s
+        assert tdc.count(2.5 * period) == 2
+        assert tdc.count(0.0) == 0
+
+    def test_count_rejects_negative(self, tdc):
+        with pytest.raises(ValueError, match="delay"):
+            tdc.count(-1e-12)
+
+    @pytest.mark.parametrize("n_mis", [0, 1, 5, 16, 32])
+    def test_decode_roundtrip(self, config, tdc, n_mis):
+        delay = tdc.timing.chain_delay(n_mis)
+        assert tdc.decode_mismatches(delay) == n_mis
+
+    def test_decode_clamps_to_range(self, config, tdc):
+        assert tdc.decode_mismatches(0.0) == 0
+        huge = tdc.timing.chain_delay(config.n_stages) * 10
+        assert tdc.decode_mismatches(huge) == config.n_stages
+
+    def test_sensing_margin_is_half_lsb(self, tdc):
+        assert tdc.sensing_margin_s() == pytest.approx(tdc.timing.d_c / 2)
+
+
+class TestSensingAnalysis:
+    def setup_helper(self, config):
+        analysis = SensingAnalysis(config)
+        nominal = analysis.timing.chain_delay(10)
+        return analysis, nominal
+
+    def test_perfect_samples_full_yield(self, config):
+        analysis, nominal = self.setup_helper(config)
+        report = analysis.margin_report([nominal] * 20, 10)
+        assert report.yield_fraction == 1.0
+        assert report.worst_error_s == 0.0
+
+    def test_outliers_reduce_yield(self, config):
+        analysis, nominal = self.setup_helper(config)
+        margin = analysis.tdc.sensing_margin_s()
+        samples = [nominal] * 8 + [nominal + 2 * margin] * 2
+        report = analysis.margin_report(samples, 10)
+        assert report.yield_fraction == pytest.approx(0.8)
+
+    def test_margin_utilization(self, config):
+        analysis, nominal = self.setup_helper(config)
+        rng = np.random.default_rng(5)
+        margin = analysis.tdc.sensing_margin_s()
+        samples = nominal + rng.normal(0, margin / 6, size=2000)
+        report = analysis.margin_report(samples, 10)
+        assert report.margin_utilization == pytest.approx(0.5, rel=0.1)
+
+    def test_decode_error_rate(self, config):
+        analysis, nominal = self.setup_helper(config)
+        d_c = analysis.timing.d_c
+        samples = [nominal, nominal + 2 * d_c, nominal - 2 * d_c, nominal]
+        assert analysis.decode_error_rate(samples, 10) == pytest.approx(0.5)
+
+    def test_empty_samples_rejected(self, config):
+        analysis, _ = self.setup_helper(config)
+        with pytest.raises(ValueError, match="empty"):
+            analysis.margin_report([], 10)
+
+
+class TestMinimumClock:
+    def test_minimum_clock_resolves_one_lsb(self, config):
+        tdc = CounterTDC(config)
+        min_ghz = tdc.minimum_clock_ghz()
+        just_fast_enough = CounterTDC(
+            config.with_(tdc_clock_ghz=min_ghz * 1.01)
+        )
+        too_slow = CounterTDC(config.with_(tdc_clock_ghz=min_ghz * 0.5))
+        assert just_fast_enough.resolution_ok
+        assert not too_slow.resolution_ok
+
+    def test_bigger_load_cap_relaxes_the_counter(self, config):
+        small = CounterTDC(config.with_(c_load_f=6e-15)).minimum_clock_ghz()
+        large = CounterTDC(config.with_(c_load_f=96e-15)).minimum_clock_ghz()
+        assert large < small

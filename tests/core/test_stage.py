@@ -1,0 +1,83 @@
+"""Tests of the variable-capacitance delay stage."""
+
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.stage import STEP_I, STEP_II, DelayStage
+
+
+@pytest.fixture
+def timing(config):
+    return TimingEnergyModel(config)
+
+
+def make_stage(config, timing, rng, index=0, offsets=(0.0, 0.0)):
+    stage = DelayStage(config, index=index, timing=timing, rng=rng,
+                       vth_offsets=offsets)
+    stage.write(1)
+    return stage
+
+
+class TestParity:
+    def test_even_stage_active_in_step_i(self, config, timing, rng):
+        stage = make_stage(config, timing, rng, index=0)
+        assert stage.parity_step == STEP_I
+        assert stage.evaluate(2, STEP_I).active
+        assert not stage.evaluate(2, STEP_II).active
+
+    def test_odd_stage_active_in_step_ii(self, config, timing, rng):
+        stage = make_stage(config, timing, rng, index=1)
+        assert stage.parity_step == STEP_II
+        assert stage.evaluate(2, STEP_II).active
+        assert not stage.evaluate(2, STEP_I).active
+
+    def test_negative_index_rejected(self, config, timing, rng):
+        with pytest.raises(ValueError, match="index"):
+            DelayStage(config, index=-1, timing=timing, rng=rng)
+
+    def test_bad_step_rejected(self, config, timing, rng):
+        stage = make_stage(config, timing, rng)
+        with pytest.raises(ValueError, match="step"):
+            stage.evaluate(0, "III")
+
+
+class TestDelays:
+    def test_match_gives_intrinsic_delay(self, config, timing, rng):
+        stage = make_stage(config, timing, rng)
+        outcome = stage.evaluate(1, STEP_I)
+        assert not outcome.mismatch
+        assert outcome.delay_s == pytest.approx(timing.d_inv)
+
+    def test_mismatch_adds_d_c(self, config, timing, rng):
+        stage = make_stage(config, timing, rng)
+        outcome = stage.evaluate(2, STEP_I)
+        assert outcome.mismatch
+        assert outcome.delay_s == pytest.approx(timing.d_inv + timing.d_c)
+
+    def test_inactive_stage_gives_intrinsic_delay(self, config, timing, rng):
+        stage = make_stage(config, timing, rng)
+        outcome = stage.evaluate(2, STEP_II)  # even stage parked in step II
+        assert not outcome.mismatch
+        assert outcome.delay_s == pytest.approx(timing.d_inv)
+
+    def test_vth_shift_modulates_mismatch_delay(self, config, timing, rng):
+        slow = make_stage(config, timing, rng, offsets=(0.05, 0.0))
+        fast = make_stage(config, timing, rng, offsets=(-0.05, 0.0))
+        d_slow = slow.evaluate(2, STEP_I).delay_s  # F_A conducts
+        d_fast = fast.evaluate(2, STEP_I).delay_s
+        assert d_slow > d_fast
+
+    def test_shift_modulation_is_weak(self, config, timing, rng):
+        """The VC design's selling point: 60 mV shifts move d_C by only
+        a few percent."""
+        stage = make_stage(config, timing, rng, offsets=(0.06, 0.0))
+        delay = stage.evaluate(2, STEP_I).delay_s
+        nominal = timing.d_inv + timing.d_c
+        assert abs(delay - nominal) / timing.d_c < 0.05
+
+    def test_set_vth_offsets(self, config, timing, rng):
+        stage = make_stage(config, timing, rng)
+        stage.set_vth_offsets(0.01, -0.01)
+        assert stage.vth_offsets == (0.01, -0.01)
+        assert stage.cell.fa.vth_offset == 0.01

@@ -1,0 +1,87 @@
+"""Tests of the real-dataset file loaders (with synthetic fixture files)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_csv_dataset, load_isolet, load_ucihar
+
+
+def write_csv(path, n_rows, n_features, n_classes, label_base, rng):
+    features = rng.normal(size=(n_rows, n_features))
+    labels = rng.integers(label_base, label_base + n_classes, size=n_rows)
+    data = np.column_stack([features, labels])
+    np.savetxt(path, data, delimiter=",")
+    return features, labels
+
+
+class TestLoadCSV:
+    def test_roundtrip_shapes_and_labels(self, tmp_path, rng):
+        train = tmp_path / "train.csv"
+        test = tmp_path / "test.csv"
+        write_csv(train, 30, 10, 4, label_base=1, rng=rng)
+        _, y_test = write_csv(test, 12, 10, 4, label_base=1, rng=rng)
+        ds = load_csv_dataset("demo", train, test)
+        assert ds.x_train.shape == (30, 10)
+        assert ds.x_test.shape == (12, 10)
+        assert np.array_equal(ds.y_test, y_test - 1)  # rebased to 0
+
+    def test_standardized_with_train_stats(self, tmp_path, rng):
+        train = tmp_path / "train.csv"
+        test = tmp_path / "test.csv"
+        write_csv(train, 200, 6, 3, label_base=0, rng=rng)
+        write_csv(test, 50, 6, 3, label_base=0, rng=rng)
+        ds = load_csv_dataset("demo", train, test)
+        assert abs(ds.x_train.mean()) < 0.02
+        assert ds.x_train.std() == pytest.approx(1.0, rel=0.05)
+
+    def test_label_column_selectable(self, tmp_path, rng):
+        path = tmp_path / "front.csv"
+        features = rng.normal(size=(10, 5))
+        labels = rng.integers(0, 2, size=10)
+        np.savetxt(path, np.column_stack([labels, features]), delimiter=",")
+        ds = load_csv_dataset("demo", path, path, label_column=0)
+        assert ds.n_features == 5
+        assert np.array_equal(ds.y_train, labels)
+
+    def test_feature_count_mismatch_rejected(self, tmp_path, rng):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        write_csv(a, 5, 4, 2, 0, rng)
+        write_csv(b, 5, 6, 2, 0, rng)
+        with pytest.raises(ValueError, match="features"):
+            load_csv_dataset("demo", a, b)
+
+
+class TestLoadIsolet:
+    def test_accepts_617_features(self, tmp_path, rng):
+        train = tmp_path / "isolet_train.data"
+        test = tmp_path / "isolet_test.data"
+        write_csv(train, 52, 617, 26, label_base=1, rng=rng)
+        write_csv(test, 26, 617, 26, label_base=1, rng=rng)
+        ds = load_isolet(train, test)
+        assert ds.name == "isolet"
+        assert ds.n_features == 617
+        assert ds.y_train.min() >= 0
+
+    def test_rejects_wrong_width(self, tmp_path, rng):
+        train = tmp_path / "bad.data"
+        write_csv(train, 5, 100, 2, 1, rng)
+        with pytest.raises(ValueError, match="617"):
+            load_isolet(train, train)
+
+
+class TestLoadUcihar:
+    def test_directory_layout(self, tmp_path, rng):
+        for split, n in (("train", 20), ("test", 8)):
+            d = tmp_path / split
+            d.mkdir()
+            np.savetxt(d / f"X_{split}.txt", rng.normal(size=(n, 12)))
+            np.savetxt(d / f"y_{split}.txt",
+                       rng.integers(1, 7, size=n))
+        ds = load_ucihar(tmp_path)
+        assert ds.name == "ucihar"
+        assert ds.x_train.shape == (20, 12)
+        assert set(np.unique(ds.y_train)) <= set(range(6))
+
+    def test_missing_files_reported(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="X_train"):
+            load_ucihar(tmp_path)

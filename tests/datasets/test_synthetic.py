@@ -1,0 +1,110 @@
+"""Tests of the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    Dataset,
+    _gaussian_mixture,
+    make_face_like,
+    make_isolet_like,
+    make_ucihar_like,
+    standard_suite,
+)
+
+
+class TestShapes:
+    def test_isolet_shape(self):
+        ds = make_isolet_like(260, 130)
+        assert ds.n_features == 617
+        assert ds.n_classes == 26
+        assert ds.x_train.shape == (260, 617)
+        assert ds.x_test.shape == (130, 617)
+
+    def test_ucihar_shape(self):
+        ds = make_ucihar_like(120, 60)
+        assert ds.n_features == 561
+        assert ds.n_classes == 6
+
+    def test_face_shape(self):
+        ds = make_face_like(100, 60)
+        assert ds.n_features == 608
+        assert ds.n_classes == 2
+
+    def test_standard_suite_names(self):
+        suite = standard_suite(scale=0.05)
+        assert [ds.name for ds in suite] == ["isolet", "ucihar", "face"]
+
+    def test_suite_scale_validated(self):
+        with pytest.raises(ValueError, match="scale"):
+            standard_suite(scale=0.0)
+
+
+class TestStatistics:
+    def test_standardized_features(self):
+        ds = make_face_like(600, 100)
+        assert abs(ds.x_train.mean()) < 0.02
+        assert ds.x_train.std() == pytest.approx(1.0, rel=0.05)
+
+    def test_all_classes_present(self):
+        ds = make_isolet_like(520, 260)
+        assert set(np.unique(ds.y_train)) == set(range(26))
+
+    def test_seeded_reproducibility(self):
+        a = make_face_like(100, 50, seed=9)
+        b = make_face_like(100, 50, seed=9)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_test, b.y_test)
+
+    def test_different_seeds_differ(self):
+        a = make_face_like(100, 50, seed=9)
+        b = make_face_like(100, 50, seed=10)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_train_test_disjoint_draws(self):
+        ds = make_face_like(100, 100, seed=9)
+        assert not np.array_equal(ds.x_train, ds.x_test)
+
+
+class TestDifficultyOrdering:
+    def test_linear_separability_ordering(self):
+        """FACE must be the easiest task, UCIHAR limited by its
+        confusable pairs -- checked with a simple centroid classifier."""
+
+        def centroid_accuracy(ds):
+            centroids = np.stack(
+                [ds.x_train[ds.y_train == c].mean(axis=0)
+                 for c in range(ds.n_classes)]
+            )
+            d = ((ds.x_test[:, None, :] - centroids[None, :, :]) ** 2).sum(2)
+            return float((d.argmin(axis=1) == ds.y_test).mean())
+
+        face = centroid_accuracy(make_face_like(800, 400))
+        ucihar = centroid_accuracy(make_ucihar_like(800, 400))
+        assert face > 0.95
+        assert ucihar < face
+
+    def test_confusable_pairs_confused(self):
+        """Errors on UCIHAR concentrate within the pulled-together pairs."""
+        ds = make_ucihar_like(1200, 600)
+        centroids = np.stack(
+            [ds.x_train[ds.y_train == c].mean(axis=0) for c in range(6)]
+        )
+        d = ((ds.x_test[:, None, :] - centroids[None, :, :]) ** 2).sum(2)
+        pred = d.argmin(axis=1)
+        wrong = pred != ds.y_test
+        pair = {0: 1, 1: 0, 3: 4, 4: 3}
+        in_pair = sum(
+            1 for p, t in zip(pred[wrong], ds.y_test[wrong])
+            if pair.get(int(t)) == int(p)
+        )
+        assert in_pair / max(wrong.sum(), 1) > 0.8
+
+    def test_confusable_pair_bounds_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            _gaussian_mixture("x", 3, 10, 30, 30, 5.0,
+                              confusable_pairs=((0, 9),))
+
+    def test_minimum_samples_enforced(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            _gaussian_mixture("x", 10, 20, 5, 30, 5.0)

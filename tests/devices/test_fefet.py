@@ -1,0 +1,110 @@
+"""Tests of the multi-domain FeFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.fefet import FeFET, FeFETParams, id_vg_family
+
+#: The paper's threshold ladder.
+LADDER = (0.2, 0.6, 1.0, 1.4)
+
+
+class TestProgramming:
+    def setup_method(self):
+        self.dev = FeFET(rng=np.random.default_rng(1))
+
+    def test_erased_state_is_vth_high(self):
+        self.dev.erase()
+        assert self.dev.vth == pytest.approx(self.dev.params.vth_high)
+
+    def test_programmed_state_is_vth_low(self):
+        self.dev.program_full()
+        assert self.dev.vth == pytest.approx(self.dev.params.vth_low)
+
+    @pytest.mark.parametrize("target", LADDER)
+    def test_program_all_paper_states(self, target):
+        achieved = self.dev.program_vth(target)
+        assert achieved == pytest.approx(target, abs=0.01)
+
+    def test_program_rejects_out_of_window(self):
+        with pytest.raises(ValueError, match="programmable window"):
+            self.dev.program_vth(2.0)
+
+    def test_reprogramming_is_idempotent(self):
+        first = self.dev.program_vth(0.6)
+        second = self.dev.program_vth(0.6)
+        assert first == pytest.approx(second)
+
+    def test_program_after_any_state(self):
+        self.dev.program_vth(1.4)
+        achieved = self.dev.program_vth(0.2)
+        assert achieved == pytest.approx(0.2, abs=0.01)
+
+    def test_vth_offset_shifts_threshold(self):
+        shifted = FeFET(rng=np.random.default_rng(1), vth_offset=0.05)
+        shifted.program_vth(0.6)
+        assert shifted.vth == pytest.approx(0.65, abs=0.015)
+
+
+class TestElectrical:
+    def setup_method(self):
+        self.dev = FeFET(rng=np.random.default_rng(2))
+
+    def test_low_vth_state_conducts_at_mid_gate(self):
+        self.dev.program_vth(0.2)
+        assert self.dev.conducts(0.8)
+
+    def test_high_vth_state_blocks_at_mid_gate(self):
+        self.dev.program_vth(1.4)
+        assert not self.dev.conducts(0.8)
+
+    def test_id_vg_monotone(self):
+        self.dev.program_vth(0.6)
+        vg = np.linspace(0.0, 2.0, 21)
+        currents = self.dev.id_vg(vg, vds=0.1)
+        assert (np.diff(currents) >= -1e-12).all()
+
+    def test_channel_model_snapshot_matches_ids(self):
+        self.dev.program_vth(1.0)
+        channel = self.dev.channel_model()
+        assert channel.ids(1.2, 0.5) == pytest.approx(self.dev.ids(1.2, 0.5))
+
+    def test_on_off_ratio_large(self):
+        """FeFET ON/OFF ratio across the programming window is >= 1e4."""
+        self.dev.program_vth(0.2)
+        i_on = self.dev.ids(0.8, 1.0)
+        self.dev.program_vth(1.4)
+        i_off = self.dev.ids(0.8, 1.0)
+        assert i_on / max(i_off, 1e-30) > 1e4
+
+
+class TestIdVgFamily:
+    def test_family_shapes(self):
+        vg = np.linspace(-0.4, 2.0, 13)
+        vg_out, curves = id_vg_family(LADDER, vg, seed=3)
+        assert curves.shape == (4, 13)
+        assert np.array_equal(vg_out, vg)
+
+    def test_family_curves_ordered_by_vth(self):
+        """At a mid gate bias, lower V_TH states conduct more."""
+        vg = np.array([0.8])
+        _, curves = id_vg_family(LADDER, vg, seed=3)
+        at_bias = curves[:, 0]
+        assert (np.diff(at_bias) < 0).all()
+
+
+class TestParams:
+    def test_window_endpoints(self):
+        params = FeFETParams(vth_center=0.8, vth_range=1.2)
+        assert params.vth_low == pytest.approx(0.2)
+        assert params.vth_high == pytest.approx(1.4)
+
+    @given(target=st.floats(min_value=0.2, max_value=1.4))
+    @settings(max_examples=25, deadline=None)
+    def test_program_arbitrary_targets(self, target):
+        dev = FeFET(rng=np.random.default_rng(4))
+        achieved = dev.program_vth(target)
+        # Single-domain granularity of the 200-domain ensemble is 6 mV.
+        assert abs(achieved - target) <= 0.01

@@ -1,0 +1,124 @@
+"""Tests of the behavioral MOSFET model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.mosfet import MOSFET, MOSFETParams, nmos, pmos
+from repro.devices.params import UMC40_LIKE
+
+
+class TestNMOS:
+    def setup_method(self):
+        self.dev = nmos()
+
+    def test_off_below_threshold(self):
+        # Deep subthreshold current is orders below the ON current.
+        assert self.dev.ids(0.0, 1.1) < 1e-8
+
+    def test_on_above_threshold(self):
+        assert self.dev.ids(1.1, 1.1) > 1e-5
+
+    def test_current_increases_with_vgs(self):
+        i1 = self.dev.ids(0.6, 1.1)
+        i2 = self.dev.ids(0.9, 1.1)
+        i3 = self.dev.ids(1.1, 1.1)
+        assert i1 < i2 < i3
+
+    def test_current_increases_with_vds(self):
+        i1 = self.dev.ids(1.1, 0.2)
+        i2 = self.dev.ids(1.1, 0.6)
+        i3 = self.dev.ids(1.1, 1.1)
+        assert i1 < i2 < i3
+
+    def test_zero_vds_zero_current(self):
+        assert self.dev.ids(1.1, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_negative_vds_antisymmetry(self):
+        """Source/drain swap: I(vgs, -vds) = -I(vgs + vds, vds)."""
+        forward = self.dev.ids(1.1 + 0.3, 0.3)
+        backward = self.dev.ids(1.1, -0.3)
+        assert backward == pytest.approx(-forward, rel=1e-9)
+
+    def test_width_scales_current(self):
+        wide = nmos(width=4.0)
+        narrow = nmos(width=1.0)
+        ratio = wide.ids(1.1, 1.1) / narrow.ids(1.1, 1.1)
+        assert ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_subthreshold_slope_is_exponential(self):
+        """~1 decade of current per subthreshold swing."""
+        swing = UMC40_LIKE.subthreshold_swing_mv * 1e-3
+        vth = UMC40_LIKE.vth_n
+        i_low = self.dev.ids(vth - 2 * swing, 1.0)
+        i_high = self.dev.ids(vth - swing, 1.0)
+        assert i_high / i_low == pytest.approx(10.0, rel=0.2)
+
+
+class TestPMOS:
+    def setup_method(self):
+        self.dev = pmos()
+
+    def test_off_at_zero_bias(self):
+        assert abs(self.dev.ids(0.0, -1.1)) < 1e-8
+
+    def test_conducts_with_negative_vgs(self):
+        assert self.dev.ids(-1.1, -1.1) < -1e-5
+
+    def test_sign_convention(self):
+        """PMOS conduction current is negative (into the source)."""
+        assert self.dev.ids(-1.1, -0.5) < 0
+
+
+class TestSmallSignal:
+    def test_gm_positive_in_saturation(self):
+        dev = nmos()
+        assert dev.gm(0.9, 1.1) > 0
+
+    def test_gds_positive(self):
+        dev = nmos()
+        assert dev.gds(1.1, 1.1) > 0
+
+    def test_on_resistance_reasonable_at_nominal(self):
+        dev = nmos(width=1.0)
+        r = dev.on_resistance(1.1)
+        assert 1e3 < r < 100e3
+
+    def test_on_resistance_grows_at_low_vdd(self):
+        dev = nmos()
+        assert dev.on_resistance(0.5) > 3 * dev.on_resistance(1.1)
+
+    def test_on_resistance_pmos(self):
+        dev = pmos(width=2.0)
+        assert dev.on_resistance(1.1) > 0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_kp(self):
+        with pytest.raises(ValueError, match="kp"):
+            MOSFETParams(vth=0.35, kp=0.0)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="width"):
+            MOSFETParams(vth=0.35, kp=1e-4, width=-1.0)
+
+
+class TestContinuity:
+    @given(vgs=st.floats(min_value=-0.5, max_value=1.5))
+    @settings(max_examples=60, deadline=None)
+    def test_current_continuous_in_vgs(self, vgs):
+        """No jumps across the threshold blend (Newton needs smoothness)."""
+        dev = nmos()
+        delta = 1e-5
+        i1 = dev.ids(vgs, 1.0)
+        i2 = dev.ids(vgs + delta, 1.0)
+        # Relative change bounded for a tiny vgs step.
+        assert abs(i2 - i1) <= max(abs(i1), 1e-12) * 0.05 + 1e-9
+
+    @given(
+        vgs=st.floats(min_value=0.0, max_value=1.2),
+        vds=st.floats(min_value=0.0, max_value=1.2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nmos_current_nonnegative_first_quadrant(self, vgs, vds):
+        assert nmos().ids(vgs, vds) >= 0

@@ -1,0 +1,218 @@
+"""Tests of the retention/endurance non-ideality models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import TDAMConfig
+from repro.devices.nonideal import (
+    TEN_YEARS_S,
+    EnduranceModel,
+    RetentionModel,
+    aged_match_margin,
+    compensated_vsl_levels,
+    retention_limited_lifetime_s,
+)
+
+
+class TestRetention:
+    def setup_method(self):
+        self.model = RetentionModel()
+
+    def test_fresh_device_fully_polarized(self):
+        assert self.model.polarization_fraction(0.0) == 1.0
+
+    def test_decay_monotone_in_time(self):
+        times = [1.0, 1e3, 1e6, 1e9]
+        fracs = [self.model.polarization_fraction(t) for t in times]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_loss_per_decade(self):
+        f1 = self.model.polarization_fraction(1e3)
+        f2 = self.model.polarization_fraction(1e4)
+        assert f1 - f2 == pytest.approx(self.model.loss_per_decade, rel=0.05)
+
+    def test_vth_drifts_toward_center(self):
+        center = self.model.params.vth_center
+        high = self.model.vth_after(1.4, TEN_YEARS_S)
+        low = self.model.vth_after(0.2, TEN_YEARS_S)
+        assert center < high < 1.4
+        assert 0.2 < low < center
+
+    def test_center_state_immune(self):
+        center = self.model.params.vth_center
+        assert self.model.vth_after(center, TEN_YEARS_S) == pytest.approx(center)
+
+    def test_vth_shifts_signs(self):
+        shifts = self.model.vth_shifts([0.2, 0.8, 1.4], 1e6)
+        assert shifts[0] > 0    # low V_TH rises toward center
+        assert shifts[1] == pytest.approx(0.0, abs=1e-12)
+        assert shifts[2] < 0    # high V_TH falls toward center
+
+    def test_retention_time_to_loss_roundtrip(self):
+        t = self.model.retention_time_to_loss(0.1)
+        assert self.model.polarization_fraction(t) == pytest.approx(0.9, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="loss_per_decade"):
+            RetentionModel(loss_per_decade=1.5)
+        with pytest.raises(ValueError, match="t_seconds"):
+            RetentionModel().polarization_fraction(-1.0)
+
+    @given(t=st.floats(min_value=0.0, max_value=1e12))
+    @settings(max_examples=30, deadline=None)
+    def test_fraction_bounded(self, t):
+        frac = RetentionModel().polarization_fraction(t)
+        assert 0.0 <= frac <= 1.0
+
+
+class TestEndurance:
+    def setup_method(self):
+        self.model = EnduranceModel()
+
+    def test_pristine_window(self):
+        assert self.model.window_fraction(0) == pytest.approx(1.0, abs=0.05)
+
+    def test_wakeup_bump(self):
+        assert self.model.window_fraction(1e3) > 1.0
+
+    def test_fatigue_narrows_window(self):
+        assert self.model.window_fraction(1e9) < self.model.window_fraction(1e5)
+
+    def test_write_noise_grows_after_onset(self):
+        assert self.model.write_noise_sigma_v(1e9) > (
+            self.model.write_noise_sigma_v(1e4)
+        )
+
+    def test_cycles_to_window_fraction_inverse(self):
+        cycles = self.model.cycles_to_window_fraction(0.9)
+        # Fatigue-only inverse; wake-up adds a small bonus on top.
+        assert self.model.window_fraction(cycles) == pytest.approx(0.9, abs=0.06)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fatigue_per_decade"):
+            EnduranceModel(fatigue_per_decade=1.0)
+        with pytest.raises(ValueError, match="n_cycles"):
+            EnduranceModel().window_fraction(-1)
+
+
+class TestAgedMargins:
+    def setup_method(self):
+        self.config = TDAMConfig()
+        self.retention = RetentionModel()
+
+    def test_fresh_margin_positive(self):
+        margin = aged_match_margin(
+            self.config.vth_levels, self.config.vsl_levels,
+            self.retention, 0.0,
+        )
+        assert margin > 0.2
+
+    def test_margin_shrinks_with_age(self):
+        fresh = aged_match_margin(
+            self.config.vth_levels, self.config.vsl_levels,
+            self.retention, 0.0,
+        )
+        aged = aged_match_margin(
+            self.config.vth_levels, self.config.vsl_levels,
+            self.retention, TEN_YEARS_S,
+        )
+        assert 0 < aged < fresh
+
+    def test_lifetime_bisection(self):
+        fast_decay = RetentionModel(loss_per_decade=0.2)
+        lifetime = retention_limited_lifetime_s(
+            self.config.vth_levels, self.config.vsl_levels, fast_decay
+        )
+        # The margin at the found lifetime is ~zero.
+        margin = aged_match_margin(
+            self.config.vth_levels, self.config.vsl_levels,
+            fast_decay, lifetime,
+        )
+        assert abs(margin) < 1e-3
+
+    def test_slow_decay_survives_horizon(self):
+        slow = RetentionModel(loss_per_decade=0.001)
+        lifetime = retention_limited_lifetime_s(
+            self.config.vth_levels, self.config.vsl_levels, slow,
+            t_max_s=TEN_YEARS_S,
+        )
+        assert lifetime == TEN_YEARS_S
+
+
+class TestCompensatedLadder:
+    def test_fresh_compensation_is_nominal(self):
+        config = TDAMConfig()
+        comp = compensated_vsl_levels(
+            config.vth_levels, RetentionModel(), 0.0
+        )
+        assert np.allclose(comp, config.vsl_levels, atol=2e-3)
+
+    def test_compensation_restores_margins(self):
+        """Aged adjacent-mismatch overdrive equals f * step / 2 exactly."""
+        config = TDAMConfig()
+        retention = RetentionModel()
+        t = TEN_YEARS_S
+        frac = retention.polarization_fraction(t)
+        comp = compensated_vsl_levels(config.vth_levels, retention, t)
+        center = retention.params.vth_center
+        vth_aged = center + (np.array(config.vth_levels) - center) * frac
+        # F_A of a stored level s under query s+1.
+        step = config.level_step
+        for s in range(config.levels - 1):
+            overdrive = comp[s + 1] - vth_aged[s]
+            assert overdrive == pytest.approx(frac * step / 2, abs=1e-9)
+
+    def test_rejects_degenerate_ladder(self):
+        with pytest.raises(ValueError, match="ladder"):
+            compensated_vsl_levels([0.5], RetentionModel(), 0.0)
+
+
+class TestDisturbModel:
+    def test_v3_biasing_is_safe(self):
+        """V/3 disturbs (1.5 V) sit below the short-pulse nucleation
+        floor: zero domains flip -- the biasing requirement this device
+        configuration imposes."""
+        from repro.devices.nonideal import DisturbModel
+
+        model = DisturbModel(half_select_fraction=1.0 / 3.0)
+        assert model.switch_fraction_per_event() == pytest.approx(0.0, abs=1e-6)
+        assert model.vth_shift_after(10_000) == pytest.approx(0.0, abs=1e-3)
+        assert model.events_to_margin(0.05) == float("inf")
+
+    def test_v2_biasing_accumulates(self):
+        """The classic V/2 scheme (2.25 V disturbs) clears the nucleation
+        floor and leaks ~5 % of domains per event -- unsafe here."""
+        from repro.devices.nonideal import DisturbModel
+
+        model = DisturbModel(half_select_fraction=0.5)
+        f = model.switch_fraction_per_event()
+        assert f > 0
+        one = abs(model.vth_shift_after(1))
+        many = abs(model.vth_shift_after(1000))
+        assert one < many <= model.params.vth_range / 2 + 1e-12
+
+    def test_shift_direction(self):
+        from repro.devices.nonideal import DisturbModel
+
+        model = DisturbModel(half_select_fraction=0.6)
+        assert model.vth_shift_after(5, toward_low_vth=True) < 0
+        assert model.vth_shift_after(5, toward_low_vth=False) > 0
+
+    def test_events_to_margin_consistent(self):
+        from repro.devices.nonideal import DisturbModel
+
+        model = DisturbModel(half_select_fraction=0.6)
+        events = model.events_to_margin(0.1)
+        assert abs(model.vth_shift_after(int(events) + 1)) >= 0.1 * 0.9
+
+    def test_validation(self):
+        from repro.devices.nonideal import DisturbModel
+
+        with pytest.raises(ValueError, match="half_select_fraction"):
+            DisturbModel(half_select_fraction=1.5)
+        with pytest.raises(ValueError, match="n_events"):
+            DisturbModel().vth_shift_after(-1)
+        with pytest.raises(ValueError, match="margin_v"):
+            DisturbModel().events_to_margin(0.0)

@@ -1,0 +1,36 @@
+"""Tests of the technology parameter registry."""
+
+import pytest
+
+from repro.devices.params import (
+    TECHNOLOGIES,
+    UMC40_LIKE,
+    TechnologyParams,
+    get_technology,
+)
+
+
+class TestTechnologyParams:
+    def test_default_is_registered(self):
+        assert get_technology("umc40-like") is UMC40_LIKE
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            get_technology("tsmc5")
+
+    def test_scaled_returns_new_instance(self):
+        fast = UMC40_LIKE.scaled(kp_n=500e-6)
+        assert fast.kp_n == 500e-6
+        assert UMC40_LIKE.kp_n != 500e-6
+
+    def test_thermal_voltage_at_room_temperature(self):
+        assert UMC40_LIKE.thermal_voltage == pytest.approx(0.02585, rel=0.01)
+
+    def test_registry_consistent_names(self):
+        for name, tech in TECHNOLOGIES.items():
+            assert tech.name == name
+
+    def test_corners_bracket_nominal(self):
+        fast = get_technology("umc40-fast")
+        slow = get_technology("umc40-slow")
+        assert slow.kp_n < UMC40_LIKE.kp_n < fast.kp_n

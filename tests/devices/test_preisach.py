@@ -1,0 +1,153 @@
+"""Tests of the Preisach hysteresis model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.preisach import Hysteron, PreisachModel, make_ensemble
+
+
+class TestHysteron:
+    def test_switches_up_at_alpha(self):
+        h = Hysteron(alpha=1.0, beta=-1.0)
+        assert h.apply(1.0) == 1
+
+    def test_switches_down_at_beta(self):
+        h = Hysteron(alpha=1.0, beta=-1.0, state=1)
+        assert h.apply(-1.0) == -1
+
+    def test_holds_state_between_thresholds(self):
+        h = Hysteron(alpha=1.0, beta=-1.0, state=1)
+        assert h.apply(0.0) == 1
+        h.state = -1
+        assert h.apply(0.0) == -1
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError, match="beta < alpha"):
+            Hysteron(alpha=-1.0, beta=1.0)
+
+    def test_rejects_bad_state(self):
+        with pytest.raises(ValueError, match="state"):
+            Hysteron(alpha=1.0, beta=-1.0, state=0)
+
+
+class TestPreisachModel:
+    def test_initial_state_all_down(self):
+        model = PreisachModel(rng=np.random.default_rng(0))
+        assert model.polarization == -1.0
+
+    def test_full_program_saturates_up(self):
+        model = PreisachModel(rng=np.random.default_rng(0))
+        assert model.apply_voltage(6.0) == 1.0
+
+    def test_full_erase_saturates_down(self):
+        model = PreisachModel(rng=np.random.default_rng(0))
+        model.apply_voltage(6.0)
+        assert model.apply_voltage(-6.0) == -1.0
+
+    def test_partial_polarization_monotone_in_voltage(self):
+        model = PreisachModel(rng=np.random.default_rng(1))
+        pols = []
+        for v in (2.0, 2.5, 3.0, 3.5, 4.0):
+            model.reset(-1.0)
+            pols.append(model.apply_voltage(v))
+        assert pols == sorted(pols)
+        assert pols[0] < pols[-1]
+
+    def test_zero_voltage_retains_state(self):
+        model = PreisachModel(rng=np.random.default_rng(2))
+        model.reset(-1.0)
+        p1 = model.apply_voltage(3.0)
+        p2 = model.apply_voltage(0.0)
+        assert p1 == p2
+
+    def test_history_order_matters(self):
+        """A major excursion erases minor-loop history (wiping-out)."""
+        model = PreisachModel(rng=np.random.default_rng(3))
+        model.apply_history([3.0, -6.0])
+        after_erase = model.polarization
+        assert after_erase == -1.0
+
+    def test_voltage_for_up_fraction_endpoints(self):
+        model = PreisachModel(rng=np.random.default_rng(4))
+        model.reset(-1.0)
+        v0 = model.voltage_for_up_fraction(0.0)
+        model.apply_voltage(v0)
+        assert model.polarization == -1.0
+        v1 = model.voltage_for_up_fraction(1.0)
+        model.apply_voltage(v1)
+        assert model.polarization == 1.0
+
+    def test_voltage_for_up_fraction_hits_target(self):
+        model = PreisachModel(n_domains=200, rng=np.random.default_rng(5))
+        for fraction in (0.25, 0.5, 0.75):
+            model.reset(-1.0)
+            model.apply_voltage(model.voltage_for_up_fraction(fraction))
+            achieved = (model.polarization + 1.0) / 2.0
+            assert achieved == pytest.approx(fraction, abs=1.5 / 200)
+
+    def test_voltage_for_up_fraction_rejects_out_of_range(self):
+        model = PreisachModel(rng=np.random.default_rng(6))
+        with pytest.raises(ValueError, match="fraction"):
+            model.voltage_for_up_fraction(1.5)
+
+    def test_major_loop_shows_hysteresis(self):
+        model = PreisachModel(rng=np.random.default_rng(7))
+        voltages, pols = model.major_loop(-5.0, 5.0, n_points=101)
+        # At 0 V, the up-branch and down-branch polarizations differ.
+        up_at_zero = pols[:101][np.argmin(np.abs(voltages[:101]))]
+        down_at_zero = pols[101:][np.argmin(np.abs(voltages[101:]))]
+        assert down_at_zero > up_at_zero
+
+    def test_major_loop_preserves_state(self):
+        model = PreisachModel(rng=np.random.default_rng(8))
+        model.reset(-1.0)
+        model.apply_voltage(3.0)
+        before = model.polarization
+        model.major_loop()
+        assert model.polarization == before
+
+    def test_reset_validates_argument(self):
+        model = PreisachModel(rng=np.random.default_rng(9))
+        with pytest.raises(ValueError, match="reset polarization"):
+            model.reset(0.5)
+
+    def test_rejects_zero_domains(self):
+        with pytest.raises(ValueError, match="n_domains"):
+            PreisachModel(n_domains=0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError, match="coercive_sigma"):
+            PreisachModel(coercive_sigma=-0.1)
+
+    @given(
+        v1=st.floats(min_value=-6.0, max_value=6.0),
+        v2=st.floats(min_value=-6.0, max_value=6.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_polarization_always_bounded(self, v1, v2):
+        model = PreisachModel(n_domains=50, rng=np.random.default_rng(10))
+        model.apply_history([v1, v2])
+        assert -1.0 <= model.polarization <= 1.0
+
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_program_fraction_error_bounded_by_granularity(self, fraction):
+        model = PreisachModel(n_domains=100, rng=np.random.default_rng(11))
+        model.reset(-1.0)
+        model.apply_voltage(model.voltage_for_up_fraction(fraction))
+        achieved = (model.polarization + 1.0) / 2.0
+        assert abs(achieved - fraction) <= 1.0 / 100 + 1e-9
+
+
+class TestEnsemble:
+    def test_make_ensemble_is_reproducible(self):
+        a = make_ensemble(3, seed=42)
+        b = make_ensemble(3, seed=42)
+        for ma, mb in zip(a, b):
+            assert np.array_equal(ma._alpha, mb._alpha)
+
+    def test_make_ensemble_devices_differ(self):
+        devices = make_ensemble(2, seed=42)
+        assert not np.array_equal(devices[0]._alpha, devices[1]._alpha)

@@ -1,0 +1,67 @@
+"""Tests of the temperature scaling of device parameters."""
+
+import pytest
+
+from repro.devices.mosfet import nmos
+from repro.devices.params import UMC40_LIKE
+from repro.devices.temperature import (
+    T_REF_K,
+    delay_temperature_sensitivity,
+    technology_at,
+)
+
+
+class TestTechnologyAt:
+    def test_reference_temperature_is_identity(self):
+        tech = technology_at(UMC40_LIKE, T_REF_K)
+        assert tech.kp_n == pytest.approx(UMC40_LIKE.kp_n)
+        assert tech.vth_n == pytest.approx(UMC40_LIKE.vth_n)
+
+    def test_mobility_falls_with_temperature(self):
+        hot = technology_at(UMC40_LIKE, 398.0)
+        cold = technology_at(UMC40_LIKE, 233.0)
+        assert hot.kp_n < UMC40_LIKE.kp_n < cold.kp_n
+
+    def test_mobility_exponent(self):
+        hot = technology_at(UMC40_LIKE, 360.0)
+        assert hot.kp_n / UMC40_LIKE.kp_n == pytest.approx(
+            (360.0 / 300.0) ** -1.5
+        )
+
+    def test_vth_drops_with_temperature(self):
+        hot = technology_at(UMC40_LIKE, 400.0)
+        assert hot.vth_n == pytest.approx(UMC40_LIKE.vth_n - 0.1)
+        # PMOS threshold (negative) moves toward zero symmetrically.
+        assert hot.vth_p == pytest.approx(UMC40_LIKE.vth_p + 0.1)
+
+    def test_swing_tracks_absolute_temperature(self):
+        hot = technology_at(UMC40_LIKE, 330.0)
+        assert hot.subthreshold_swing_mv == pytest.approx(
+            UMC40_LIKE.subthreshold_swing_mv * 1.1
+        )
+
+    def test_temperature_range_checked(self):
+        with pytest.raises(ValueError, match="150..500"):
+            technology_at(UMC40_LIKE, 100.0)
+
+    def test_name_carries_temperature(self):
+        assert "398K" in technology_at(UMC40_LIKE, 398.0).name
+
+
+class TestDelaySensitivity:
+    def test_hot_devices_slower_at_strong_inversion(self):
+        """At nominal V_DD the mobility loss dominates the V_TH gain."""
+        hot = nmos(technology_at(UMC40_LIKE, 398.0))
+        cold = nmos(technology_at(UMC40_LIKE, 233.0))
+        assert hot.ids(1.1, 1.1) < cold.ids(1.1, 1.1)
+
+    def test_sensitivity_over_industrial_range(self):
+        swing = delay_temperature_sensitivity(UMC40_LIKE, vdd=1.1)
+        assert 0.2 < swing < 1.5
+
+    def test_low_vdd_reverses_toward_vth_dominance(self):
+        """Near threshold, the V_TH drop can outweigh mobility loss
+        (the well-known temperature-inversion point)."""
+        hot = nmos(technology_at(UMC40_LIKE, 398.0))
+        cold = nmos(technology_at(UMC40_LIKE, 233.0))
+        assert hot.ids(0.45, 0.45) > cold.ids(0.45, 0.45)

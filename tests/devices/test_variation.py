@@ -1,0 +1,88 @@
+"""Tests of the variation models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.variation import (
+    MEASURED_VTH_SIGMA_MV,
+    DeviceEnsemble,
+    VariationModel,
+)
+
+
+class TestVariationModel:
+    def test_global_sigma_applies_to_every_state(self):
+        model = VariationModel(sigma_mv=30.0, seed=1)
+        sample = model.draw([0, 1, 2, 3])
+        assert np.allclose(sample.sigma_applied, 0.030)
+
+    def test_measured_sigmas_by_state(self):
+        model = VariationModel(seed=1)
+        sample = model.draw([0, 1, 2, 3])
+        expected = [MEASURED_VTH_SIGMA_MV[s] * 1e-3 for s in range(4)]
+        assert np.allclose(sample.sigma_applied, expected)
+
+    def test_measured_sigma_unknown_state_raises(self):
+        model = VariationModel(seed=1)
+        with pytest.raises(ValueError, match="no measured sigma"):
+            model.draw([7])
+
+    def test_zero_sigma_gives_zero_shifts(self):
+        model = VariationModel(sigma_mv=0.0, seed=1)
+        assert np.allclose(model.draw([0, 0]).vth_shifts, 0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError, match="sigma_mv"):
+            VariationModel(sigma_mv=-1.0)
+
+    def test_seeded_draws_reproducible(self):
+        a = VariationModel(sigma_mv=20.0, seed=7).draw([0, 1, 2])
+        b = VariationModel(sigma_mv=20.0, seed=7).draw([0, 1, 2])
+        assert np.array_equal(a.vth_shifts, b.vth_shifts)
+
+    def test_draw_many_shape_and_statistics(self):
+        model = VariationModel(sigma_mv=50.0, seed=3)
+        shifts = model.draw_many([1] * 10, n_runs=2000)
+        assert shifts.shape == (2000, 10)
+        assert shifts.std() == pytest.approx(0.050, rel=0.05)
+        assert abs(shifts.mean()) < 0.005
+
+    def test_draw_many_rejects_zero_runs(self):
+        with pytest.raises(ValueError, match="n_runs"):
+            VariationModel(sigma_mv=10.0).draw_many([0], n_runs=0)
+
+
+class TestDeviceEnsemble:
+    def test_programmed_vths_shape(self):
+        ensemble = DeviceEnsemble(n_devices=10, seed=5)
+        vths = ensemble.programmed_vths((0.2, 0.6, 1.0, 1.4))
+        assert vths.shape == (4, 10)
+
+    def test_vth_statistics_track_measured_sigmas(self):
+        ensemble = DeviceEnsemble(n_devices=400, seed=5)
+        stats = ensemble.vth_statistics((0.2, 0.6, 1.0, 1.4))
+        for stat in stats:
+            state = int(stat["state"])
+            expected = MEASURED_VTH_SIGMA_MV[state] * 1e-3
+            assert stat["std_v"] == pytest.approx(expected, rel=0.25)
+            assert stat["mean_v"] == pytest.approx(stat["nominal_v"], abs=0.01)
+
+    def test_id_vg_curves_shape(self):
+        ensemble = DeviceEnsemble(n_devices=4, seed=5)
+        vg = np.linspace(0, 2, 7)
+        curves = ensemble.id_vg_curves((0.2, 1.4), vg)
+        assert curves.shape == (2, 4, 7)
+
+    def test_id_vg_curves_spread_across_devices(self):
+        """Device-to-device variation separates the transfer curves."""
+        ensemble = DeviceEnsemble(
+            n_devices=8, variation=VariationModel(sigma_mv=40.0, seed=5), seed=5
+        )
+        vg = np.array([0.8])
+        curves = ensemble.id_vg_curves((0.6,), vg)
+        at_bias = curves[0, :, 0]
+        assert at_bias.std() / at_bias.mean() > 0.05
+
+    def test_rejects_zero_devices(self):
+        with pytest.raises(ValueError, match="n_devices"):
+            DeviceEnsemble(n_devices=0)

@@ -1,0 +1,83 @@
+"""Tests of the multi-level write scheme."""
+
+import numpy as np
+import pytest
+
+from repro.devices.fefet import FeFET, FeFETParams
+from repro.devices.write import WritePulse, WriteScheme
+
+LADDER = [0.2, 0.6, 1.0, 1.4]
+
+
+class TestWritePulse:
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="width"):
+            WritePulse(amplitude=3.0, width_ns=0.0)
+
+
+class TestWriteScheme:
+    def setup_method(self):
+        self.scheme = WriteScheme(LADDER, seed=7)
+
+    def test_pulses_start_with_erase(self):
+        pulses = self.scheme.pulses_for_state(2)
+        assert pulses[0].amplitude == self.scheme.params.erase_voltage
+        assert pulses[1].amplitude > 0
+
+    def test_program_amplitudes_monotone(self):
+        """Lower target V_TH needs more up-domains, hence more voltage."""
+        amps = self.scheme.program_amplitudes()
+        # state 0 stores V_TH0 (lowest) -> largest amplitude.
+        assert amps[0] > amps[1] > amps[2] > amps[3]
+
+    @pytest.mark.parametrize("state", range(4))
+    def test_write_reaches_every_state(self, state):
+        device = FeFET(rng=np.random.default_rng(3))
+        achieved = self.scheme.write(device, state)
+        assert achieved == pytest.approx(LADDER[state], abs=0.02)
+
+    def test_write_without_verify(self):
+        """Open-loop writes carry the device-to-device coercive spread --
+        the error that motivates the verify loop."""
+        device = FeFET(rng=np.random.default_rng(3))
+        achieved = self.scheme.write(device, 1, verify=False)
+        assert achieved == pytest.approx(LADDER[1], abs=0.25)
+
+    def test_verify_beats_open_loop(self):
+        device_a = FeFET(rng=np.random.default_rng(3))
+        device_b = FeFET(rng=np.random.default_rng(3))
+        open_loop = abs(self.scheme.write(device_a, 1, verify=False) - LADDER[1])
+        verified = abs(self.scheme.write(device_b, 1, verify=True) - LADDER[1])
+        assert verified <= open_loop
+
+    def test_verify_corrects_device_mismatch(self):
+        """A device with different coercive spread still verifies in."""
+        params = FeFETParams(coercive_sigma=0.6)
+        device = FeFET(params, rng=np.random.default_rng(9))
+        scheme = WriteScheme(LADDER, params=FeFETParams(), seed=7)
+        achieved = scheme.write(device, 2)
+        assert achieved == pytest.approx(LADDER[2], abs=scheme.verify_tolerance)
+
+    def test_verify_ignores_fixed_offset(self):
+        """Write-verify targets polarization; a fixed offset remains."""
+        device = FeFET(rng=np.random.default_rng(3), vth_offset=0.08)
+        achieved = self.scheme.write(device, 1)
+        assert achieved - device.vth_offset == pytest.approx(
+            LADDER[1], abs=self.scheme.verify_tolerance
+        )
+
+    def test_state_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            self.scheme.pulses_for_state(4)
+
+    def test_rejects_unsorted_ladder(self):
+        with pytest.raises(ValueError, match="ascending"):
+            WriteScheme([0.6, 0.2])
+
+    def test_rejects_empty_ladder(self):
+        with pytest.raises(ValueError, match="empty"):
+            WriteScheme([])
+
+    def test_rejects_ladder_outside_window(self):
+        with pytest.raises(ValueError, match="programmable window"):
+            WriteScheme([0.2, 1.8])

@@ -1,0 +1,109 @@
+"""Tests of the multi-bank accelerator model."""
+
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.hdc.accelerator import (
+    AcceleratorModel,
+    AcceleratorSpec,
+    size_accelerator,
+)
+
+FIG8 = TDAMConfig(bits=2, n_stages=128, vdd=0.6)
+
+
+def make_model(n_banks=4, dimension=2048, n_classes=26):
+    spec = AcceleratorSpec(
+        config=FIG8, n_banks=n_banks, n_classes=n_classes,
+        dimension=dimension, n_features=617,
+    )
+    return AcceleratorModel(spec)
+
+
+class TestSpec:
+    def test_tile_geometry(self):
+        model = make_model(n_banks=4, dimension=2048)
+        assert model.spec.n_tiles == 16
+        assert model.spec.tile_rounds == 4
+
+    def test_single_bank_rounds_equal_tiles(self):
+        model = make_model(n_banks=1, dimension=2048)
+        assert model.spec.tile_rounds == model.spec.n_tiles
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_banks"):
+            AcceleratorSpec(FIG8, 0, 26, 2048, 617)
+
+
+class TestPerformance:
+    def test_more_banks_cut_latency(self):
+        one = make_model(n_banks=1).query_latency_s()
+        four = make_model(n_banks=4).query_latency_s()
+        assert four < 0.5 * one
+
+    def test_latency_floor_at_full_parallelism(self):
+        """With a bank per tile, latency is one schedule plus readout."""
+        model = make_model(n_banks=16, dimension=2048)
+        schedule = model.scheduler.schedule()
+        assert model.query_latency_s() == pytest.approx(
+            schedule.latency_s + 26 * 1.5e-9
+        )
+
+    def test_throughput_scales_with_banks(self):
+        one = make_model(n_banks=1).throughput_qps()
+        four = make_model(n_banks=4).throughput_qps()
+        assert four == pytest.approx(4 * one, rel=0.01)
+
+    def test_energy_independent_of_banks(self):
+        """Banks change latency, not work: energy per query is fixed."""
+        one = make_model(n_banks=1).query_cost().energy_j
+        eight = make_model(n_banks=8).query_cost().energy_j
+        assert one == pytest.approx(eight)
+
+    def test_mismatch_fraction_validated(self):
+        with pytest.raises(ValueError, match="mismatch_fraction"):
+            make_model().query_cost(mismatch_fraction=2.0)
+
+
+class TestCost:
+    def test_area_scales_with_banks(self):
+        one = make_model(n_banks=1).area_um2()
+        four = make_model(n_banks=4).area_um2()
+        assert four == pytest.approx(4 * one)
+
+    def test_model_load_parallel_across_banks(self):
+        one = make_model(n_banks=1).model_load_time_s()
+        four = make_model(n_banks=4).model_load_time_s()
+        assert four < one
+
+    def test_summary_keys(self):
+        summary = make_model().summary()
+        for key in ("latency_us", "throughput_qps", "energy_nj",
+                    "area_mm2", "model_load_ms"):
+            assert key in summary
+
+
+class TestSizing:
+    def test_sizer_meets_target(self):
+        model = size_accelerator(300e-9, dimension=10240, n_classes=26,
+                                 n_features=617)
+        assert model.query_latency_s() <= 300e-9
+        # And the next-smaller configuration would miss it.
+        if model.spec.n_banks > 1:
+            smaller = AcceleratorModel(
+                AcceleratorSpec(
+                    config=model.spec.config,
+                    n_banks=model.spec.n_banks - 1,
+                    n_classes=26, dimension=10240, n_features=617,
+                )
+            )
+            assert smaller.query_latency_s() > 300e-9
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(ValueError, match="cannot reach"):
+            size_accelerator(1e-12, dimension=10240, n_classes=26,
+                             n_features=617)
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            size_accelerator(0.0, 1024, 2, 10)

@@ -1,0 +1,93 @@
+"""Tests of the feature encoders."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.encoder import RandomProjectionEncoder, RecordEncoder
+
+
+class TestRandomProjectionEncoder:
+    def test_output_shape(self):
+        enc = RandomProjectionEncoder(10, 64, seed=0)
+        out = enc.encode(np.random.default_rng(0).normal(size=(5, 10)))
+        assert out.shape == (5, 64)
+
+    def test_single_sample_promoted(self):
+        enc = RandomProjectionEncoder(10, 64, seed=0)
+        assert enc.encode(np.zeros(10)).shape == (1, 64)
+
+    def test_deterministic_given_seed(self):
+        x = np.random.default_rng(1).normal(size=(3, 10))
+        a = RandomProjectionEncoder(10, 64, seed=5).encode(x)
+        b = RandomProjectionEncoder(10, 64, seed=5).encode(x)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        x = np.random.default_rng(1).normal(size=(3, 10))
+        a = RandomProjectionEncoder(10, 64, seed=5).encode(x)
+        b = RandomProjectionEncoder(10, 64, seed=6).encode(x)
+        assert not np.allclose(a, b)
+
+    def test_nonlinear_output_bounded(self):
+        enc = RandomProjectionEncoder(10, 256, nonlinear=True, seed=0)
+        out = enc.encode(np.random.default_rng(2).normal(size=(20, 10)))
+        assert np.abs(out).max() <= 1.0
+
+    def test_linear_mode_is_projection(self):
+        enc = RandomProjectionEncoder(10, 64, nonlinear=False, seed=0)
+        x = np.random.default_rng(3).normal(size=(2, 10)).astype(np.float32)
+        expected = x @ enc._projection.T
+        assert np.allclose(enc.encode(x), expected, atol=1e-5)
+
+    def test_similar_inputs_similar_encodings(self):
+        enc = RandomProjectionEncoder(20, 2048, seed=0)
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=20)
+        close = x + 0.01 * rng.normal(size=20)
+        far = rng.normal(size=20)
+        h = enc.encode(np.stack([x, close, far]))
+        d_close = np.linalg.norm(h[0] - h[1])
+        d_far = np.linalg.norm(h[0] - h[2])
+        assert d_close < 0.3 * d_far
+
+    def test_feature_count_validated(self):
+        enc = RandomProjectionEncoder(10, 64, seed=0)
+        with pytest.raises(ValueError, match="features"):
+            enc.encode(np.zeros((1, 11)))
+
+
+class TestRecordEncoder:
+    def test_output_shape(self):
+        enc = RecordEncoder(8, 512, seed=0)
+        out = enc.encode(np.zeros((3, 8)))
+        assert out.shape == (3, 512)
+
+    def test_identical_inputs_identical_encodings(self):
+        enc = RecordEncoder(8, 512, seed=0)
+        x = np.random.default_rng(0).uniform(-1, 1, size=(1, 8))
+        assert np.array_equal(enc.encode(x), enc.encode(x))
+
+    def test_level_quantization_clips_range(self):
+        enc = RecordEncoder(4, 256, feature_range=(-1, 1), seed=0)
+        inside = enc.encode(np.full((1, 4), 0.8))
+        outside = enc.encode(np.full((1, 4), 50.0))
+        # Values beyond the range clip to the top level.
+        top = enc.encode(np.full((1, 4), 1.0))
+        assert np.array_equal(outside, top)
+        assert not np.array_equal(inside, top)
+
+    def test_similar_values_more_similar_encodings(self):
+        enc = RecordEncoder(16, 4096, n_levels=32, seed=0)
+        base = np.zeros((1, 16))
+        near = np.full((1, 16), 0.05)
+        far = np.full((1, 16), 0.9)
+        h0 = enc.encode(base)[0]
+        d_near = np.dot(h0, enc.encode(near)[0])
+        d_far = np.dot(h0, enc.encode(far)[0])
+        assert d_near > d_far
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            RecordEncoder(4, 64, n_levels=1)
+        with pytest.raises(ValueError, match="feature_range"):
+            RecordEncoder(4, 64, feature_range=(1.0, -1.0))

@@ -1,0 +1,101 @@
+"""Tests of hypervector primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc.hypervector import (
+    bind,
+    bundle,
+    level_hypervectors,
+    permute,
+    random_bipolar,
+    random_gaussian,
+)
+
+
+class TestGenerators:
+    def test_bipolar_values(self):
+        hvs = random_bipolar(5, 256, np.random.default_rng(0))
+        assert set(np.unique(hvs)) == {-1.0, 1.0}
+        assert hvs.shape == (5, 256)
+
+    def test_bipolar_quasi_orthogonal(self):
+        """Random HVs are nearly orthogonal in high dimension."""
+        hvs = random_bipolar(2, 10000, np.random.default_rng(1))
+        cos = np.dot(hvs[0], hvs[1]) / 10000
+        assert abs(cos) < 0.05
+
+    def test_gaussian_statistics(self):
+        hvs = random_gaussian(4, 5000, np.random.default_rng(2))
+        assert abs(hvs.mean()) < 0.05
+        assert hvs.std() == pytest.approx(1.0, rel=0.05)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            random_bipolar(0, 10)
+        with pytest.raises(ValueError):
+            random_gaussian(1, 0)
+
+
+class TestLevelHypervectors:
+    def test_similarity_decreases_with_level_distance(self):
+        levels = level_hypervectors(8, 4096, np.random.default_rng(3))
+        sims = [
+            float(np.dot(levels[0], levels[k]) / 4096) for k in range(8)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(sims, sims[1:]))
+        assert sims[0] == pytest.approx(1.0)
+
+    def test_extreme_levels_dissimilar(self):
+        levels = level_hypervectors(8, 4096, np.random.default_rng(3))
+        assert np.dot(levels[0], levels[-1]) / 4096 < 0.4
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError, match="n_levels"):
+            level_hypervectors(1, 128)
+
+
+class TestAlgebra:
+    def test_bind_is_elementwise_product(self):
+        a = np.array([1.0, -1.0, 1.0])
+        b = np.array([-1.0, -1.0, 1.0])
+        assert np.array_equal(bind(a, b), [-1.0, 1.0, 1.0])
+
+    def test_bind_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            bind(np.ones(3), np.ones(4))
+
+    def test_bundle_sums(self):
+        out = bundle([np.ones(4), 2 * np.ones(4)])
+        assert np.array_equal(out, 3 * np.ones(4))
+
+    def test_bundle_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bundle([])
+
+    def test_permute_rolls(self):
+        hv = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(permute(hv, 1), [3.0, 1.0, 2.0])
+
+    def test_permute_inverse(self):
+        hv = np.arange(10, dtype=float)
+        assert np.array_equal(permute(permute(hv, 3), -3), hv)
+
+    def test_permute_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            permute(np.ones((2, 2)))
+
+    @given(shift=st.integers(-20, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_permute_preserves_contents(self, shift):
+        hv = np.arange(32, dtype=float)
+        assert sorted(permute(hv, shift)) == sorted(hv)
+
+    @given(n=st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_bind_self_inverse_for_bipolar(self, n):
+        """x (x) x = identity for bipolar hypervectors."""
+        hv = random_bipolar(1, 64, np.random.default_rng(n))[0]
+        assert np.array_equal(bind(hv, hv), np.ones(64))

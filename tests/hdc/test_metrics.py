@@ -1,0 +1,89 @@
+"""Tests of the similarity metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc.metrics import (
+    cosine_similarity,
+    dot_similarity,
+    hamming_distance,
+    match_count,
+)
+
+
+class TestCosine:
+    def test_self_similarity_is_one(self):
+        v = np.array([[1.0, 2.0, 3.0]])
+        assert cosine_similarity(v, v)[0, 0] == pytest.approx(1.0)
+
+    def test_orthogonal_is_zero(self):
+        q = np.array([[1.0, 0.0]])
+        p = np.array([[0.0, 1.0]])
+        assert cosine_similarity(q, p)[0, 0] == pytest.approx(0.0)
+
+    def test_scale_invariance(self):
+        q = np.array([[1.0, 2.0, 3.0]])
+        p = np.array([[2.0, 1.0, 0.5]])
+        assert cosine_similarity(q, p)[0, 0] == pytest.approx(
+            cosine_similarity(10 * q, 0.1 * p)[0, 0]
+        )
+
+    def test_matrix_shape(self):
+        q = np.random.default_rng(0).normal(size=(5, 16))
+        p = np.random.default_rng(1).normal(size=(3, 16))
+        assert cosine_similarity(q, p).shape == (5, 3)
+
+    def test_1d_input_promoted(self):
+        q = np.ones(4)
+        p = np.ones((2, 4))
+        assert cosine_similarity(q, p).shape == (1, 2)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            cosine_similarity(np.zeros((1, 4)), np.ones((1, 4)))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            cosine_similarity(np.ones((1, 4)), np.ones((1, 5)))
+
+
+class TestHamming:
+    def test_counts_mismatching_elements(self):
+        q = np.array([[0, 1, 2, 3]])
+        p = np.array([[0, 1, 2, 3], [3, 1, 2, 0], [1, 2, 3, 0]])
+        assert hamming_distance(q, p)[0].tolist() == [0, 2, 4]
+
+    def test_multibit_element_semantics(self):
+        """A 3-level difference counts as ONE mismatch (element-wise, not
+        binary-digit-wise) -- the TD-AM's native metric."""
+        q = np.array([[0]])
+        p = np.array([[3]])
+        assert hamming_distance(q, p)[0, 0] == 1
+
+    def test_match_count_complements(self):
+        q = np.array([[0, 1, 2, 3]])
+        p = np.array([[3, 1, 2, 0]])
+        assert match_count(q, p)[0, 0] == 2
+
+    def test_dot_similarity(self):
+        q = np.array([[1.0, 2.0]])
+        p = np.array([[3.0, 4.0]])
+        assert dot_similarity(q, p)[0, 0] == pytest.approx(11.0)
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_hamming_is_a_metric(self, data):
+        n = data.draw(st.integers(1, 12))
+        draw_vec = lambda: np.array(
+            data.draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+        )
+        a, b, c = draw_vec(), draw_vec(), draw_vec()
+        d_ab = hamming_distance(a[None], b[None])[0, 0]
+        d_ba = hamming_distance(b[None], a[None])[0, 0]
+        d_ac = hamming_distance(a[None], c[None])[0, 0]
+        d_cb = hamming_distance(c[None], b[None])[0, 0]
+        assert d_ab == d_ba                      # symmetry
+        assert d_ab <= d_ac + d_cb               # triangle inequality
+        assert (d_ab == 0) == np.array_equal(a, b)  # identity

@@ -1,0 +1,87 @@
+"""Tests of the HDC classifier."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_face_like
+from repro.hdc.encoder import RandomProjectionEncoder
+from repro.hdc.model import HDCClassifier
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_face_like(n_train=400, n_test=200)
+
+
+@pytest.fixture(scope="module")
+def trained(dataset):
+    encoder = RandomProjectionEncoder(dataset.n_features, 1024, seed=7)
+    clf = HDCClassifier(encoder, dataset.n_classes)
+    clf.fit(dataset.x_train, dataset.y_train, epochs=5)
+    return clf
+
+
+class TestTraining:
+    def test_learns_separable_task(self, trained, dataset):
+        assert trained.accuracy(dataset.x_test, dataset.y_test) > 0.8
+
+    def test_refinement_does_not_hurt(self, dataset):
+        encoder = RandomProjectionEncoder(dataset.n_features, 1024, seed=7)
+        single_pass = HDCClassifier(encoder, dataset.n_classes)
+        single_pass.fit(dataset.x_train, dataset.y_train, epochs=0)
+        refined = HDCClassifier(encoder, dataset.n_classes)
+        refined.fit(dataset.x_train, dataset.y_train, epochs=5)
+        assert refined.accuracy(dataset.x_test, dataset.y_test) >= (
+            single_pass.accuracy(dataset.x_test, dataset.y_test) - 0.02
+        )
+
+    def test_fit_is_deterministic(self, dataset):
+        def train():
+            encoder = RandomProjectionEncoder(dataset.n_features, 512, seed=7)
+            clf = HDCClassifier(encoder, dataset.n_classes)
+            clf.fit(dataset.x_train, dataset.y_train, epochs=3, shuffle_seed=1)
+            return clf.prototypes.copy()
+
+        assert np.array_equal(train(), train())
+
+    def test_prototype_shape(self, trained):
+        assert trained.prototypes.shape == (2, 1024)
+
+    def test_encoding_center_removed(self, trained, dataset):
+        """Classifier-space encodings are centered and unit-norm."""
+        encoded = trained.encode(dataset.x_test)
+        norms = np.linalg.norm(encoded, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-5)
+        assert abs(encoded.mean()) < 0.01
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self, dataset):
+        encoder = RandomProjectionEncoder(dataset.n_features, 128, seed=0)
+        clf = HDCClassifier(encoder, 2)
+        with pytest.raises(RuntimeError, match="fit"):
+            clf.predict(dataset.x_test)
+
+    def test_rejects_bad_labels(self, dataset):
+        encoder = RandomProjectionEncoder(dataset.n_features, 128, seed=0)
+        clf = HDCClassifier(encoder, 2)
+        bad = np.full(len(dataset.y_train), 5)
+        with pytest.raises(ValueError, match="labels"):
+            clf.fit(dataset.x_train, bad)
+
+    def test_rejects_label_shape(self, dataset):
+        encoder = RandomProjectionEncoder(dataset.n_features, 128, seed=0)
+        clf = HDCClassifier(encoder, 2)
+        with pytest.raises(ValueError, match="1-D"):
+            clf.fit(dataset.x_train, dataset.y_train[None, :])
+
+    def test_rejects_single_class(self, dataset):
+        encoder = RandomProjectionEncoder(dataset.n_features, 128, seed=0)
+        with pytest.raises(ValueError, match="n_classes"):
+            HDCClassifier(encoder, 1)
+
+    def test_rejects_sample_count_mismatch(self, dataset):
+        encoder = RandomProjectionEncoder(dataset.n_features, 128, seed=0)
+        clf = HDCClassifier(encoder, 2)
+        with pytest.raises(ValueError, match="samples"):
+            clf.fit(dataset.x_train, dataset.y_train[:-5])

@@ -1,0 +1,91 @@
+"""Tests of the online learner and its feedback modes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_face_like
+from repro.hdc.encoder import RandomProjectionEncoder
+from repro.hdc.online import FEEDBACK_MODES, OnlineLearner
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_face_like(400, 200)
+
+
+def make_learner(dataset, feedback, dimension=1024):
+    encoder = RandomProjectionEncoder(dataset.n_features, dimension, seed=7)
+    return OnlineLearner(encoder, dataset.n_classes, feedback=feedback)
+
+
+class TestStreaming:
+    def test_single_pass_learns(self, dataset):
+        learner = make_learner(dataset, "exact")
+        stats = learner.fit_stream(dataset.x_train, dataset.y_train)
+        assert stats.n_seen == len(dataset.y_train)
+        assert learner.accuracy(dataset.x_test, dataset.y_test) > 0.8
+
+    def test_quantitative_close_to_exact(self, dataset):
+        exact = make_learner(dataset, "exact")
+        exact.fit_stream(dataset.x_train, dataset.y_train)
+        quant = make_learner(dataset, "quantitative")
+        quant.fit_stream(dataset.x_train, dataset.y_train)
+        gap = exact.accuracy(dataset.x_test, dataset.y_test) - quant.accuracy(
+            dataset.x_test, dataset.y_test
+        )
+        assert gap < 0.15
+
+    def test_binary_cam_collapses(self, dataset):
+        """The paper's capability argument: a match-flag CAM cannot run
+        this workload -- its flags essentially never fire."""
+        binary = make_learner(dataset, "binary")
+        binary.fit_stream(dataset.x_train, dataset.y_train)
+        quant = make_learner(dataset, "quantitative")
+        quant.fit_stream(dataset.x_train, dataset.y_train)
+        # On this 2-class task the fallback guess floors binary at ~0.5;
+        # the quantitative system must clear it by a wide margin (the
+        # 26-class gap measured in ext_online is 0.4+).
+        assert quant.accuracy(dataset.x_test, dataset.y_test) > 0.15 + (
+            binary.accuracy(dataset.x_test, dataset.y_test)
+        )
+
+    def test_online_accuracy_improves_over_stream(self, dataset):
+        learner = make_learner(dataset, "exact")
+        half = len(dataset.y_train) // 2
+        learner.fit_stream(dataset.x_train[:half], dataset.y_train[:half])
+        first_half = learner.stats.online_accuracy
+        learner.fit_stream(dataset.x_train[half:], dataset.y_train[half:])
+        # Overall prequential accuracy should rise as the model matures.
+        assert learner.stats.online_accuracy >= first_half - 0.02
+
+    def test_prequential_prediction_before_update(self, dataset):
+        learner = make_learner(dataset, "exact")
+        # First sample: the model is empty, prediction is arbitrary but
+        # the update must install the true class prototype.
+        label = int(dataset.y_train[0])
+        learner.partial_fit(dataset.x_train[0], label)
+        assert learner.prototypes[label].any()
+
+    def test_update_count_bounded_by_stream(self, dataset):
+        learner = make_learner(dataset, "exact")
+        stats = learner.fit_stream(dataset.x_train, dataset.y_train)
+        assert stats.n_updates <= stats.n_seen
+
+
+class TestValidation:
+    def test_feedback_mode_checked(self, dataset):
+        with pytest.raises(ValueError, match="feedback"):
+            make_learner(dataset, "analog")
+
+    def test_label_range_checked(self, dataset):
+        learner = make_learner(dataset, "exact")
+        with pytest.raises(ValueError, match="label"):
+            learner.partial_fit(dataset.x_train[0], 99)
+
+    def test_stream_length_mismatch(self, dataset):
+        learner = make_learner(dataset, "exact")
+        with pytest.raises(ValueError, match="labels"):
+            learner.fit_stream(dataset.x_train, dataset.y_train[:-3])
+
+    def test_all_modes_exposed(self):
+        assert set(FEEDBACK_MODES) == {"exact", "quantitative", "binary"}

@@ -1,0 +1,153 @@
+"""Tests of the n-gram sequence encoder and matcher."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.sequence import (
+    DNA_ALPHABET,
+    SequenceEncoder,
+    SequenceMatcher,
+    mutate_sequence,
+    random_sequence,
+)
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return SequenceEncoder(dimension=4096, seed=0)  # default n=5
+
+
+class TestSequenceEncoder:
+    def test_item_memory_is_bipolar(self, encoder):
+        for symbol in DNA_ALPHABET:
+            hv = encoder.item(symbol)
+            assert set(np.unique(hv)) == {-1.0, 1.0}
+
+    def test_unknown_symbol(self, encoder):
+        with pytest.raises(KeyError, match="alphabet"):
+            encoder.item("X")
+
+    def test_ngram_is_bipolar(self, encoder):
+        hv = encoder.encode_ngram("ACGTA")
+        assert set(np.unique(hv)) == {-1.0, 1.0}
+
+    def test_ngram_order_sensitive(self, encoder):
+        """Position permutation makes ACG != GCA."""
+        a = encoder.encode_ngram("ACGTT")
+        b = encoder.encode_ngram("TTGCA")
+        assert abs(np.dot(a, b)) / encoder.dimension < 0.1
+
+    def test_ngram_length_checked(self, encoder):
+        with pytest.raises(ValueError, match="5-gram"):
+            encoder.encode_ngram("AC")
+
+    def test_sequence_too_short(self, encoder):
+        with pytest.raises(ValueError, match="shorter"):
+            encoder.encode("ACG")
+
+    def test_similar_sequences_similar_encodings(self, encoder):
+        rng = np.random.default_rng(1)
+        base = random_sequence(120, rng=rng)
+        near = mutate_sequence(base, 4, rng=rng)
+        far = random_sequence(120, rng=rng)
+        h_base = encoder.encode(base)
+        sim_near = np.dot(h_base, encoder.encode(near))
+        sim_far = np.dot(h_base, encoder.encode(far))
+        assert sim_near > 3 * abs(sim_far)
+
+    def test_encode_many_shape(self, encoder):
+        out = encoder.encode_many(["ACGTACGT", "TTTTAAAA"])
+        assert out.shape == (2, 4096)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unique"):
+            SequenceEncoder(alphabet=("A", "A"))
+        with pytest.raises(ValueError, match="two symbols"):
+            SequenceEncoder(alphabet=("A",))
+
+
+class TestSequenceMatcher:
+    def test_recovers_mutated_reference(self, encoder):
+        rng = np.random.default_rng(2)
+        references = [random_sequence(150, rng=rng) for _ in range(8)]
+        matcher = SequenceMatcher(encoder, references)
+        for target in (0, 3, 7):
+            query = mutate_sequence(references[target], 8, rng=rng)
+            result = matcher.match(query)
+            assert result.best_index == target
+            assert result.similarities[target] == result.similarities.max()
+
+    def test_bank_levels_for_tdam(self, encoder):
+        rng = np.random.default_rng(3)
+        references = [random_sequence(100, rng=rng) for _ in range(4)]
+        matcher = SequenceMatcher(encoder, references)
+        levels, edges = matcher.bank_levels(bits=2)
+        assert levels.shape == (4, 4096)
+        assert levels.min() >= 0 and levels.max() <= 3
+        assert len(edges) == 3
+
+    def test_empty_references_rejected(self, encoder):
+        with pytest.raises(ValueError, match="at least one"):
+            SequenceMatcher(encoder, [])
+
+
+class TestSequenceUtilities:
+    def test_mutation_count(self):
+        rng = np.random.default_rng(4)
+        base = random_sequence(60, rng=rng)
+        mutated = mutate_sequence(base, 5, rng=rng)
+        differences = sum(a != b for a, b in zip(base, mutated))
+        assert differences == 5
+
+    def test_mutation_bounds(self):
+        with pytest.raises(ValueError, match="n_mutations"):
+            mutate_sequence("ACGT", 5)
+
+    def test_random_sequence_alphabet(self):
+        seq = random_sequence(200, rng=np.random.default_rng(5))
+        assert set(seq) <= set(DNA_ALPHABET)
+        assert len(seq) == 200
+
+
+class TestScan:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        rng = np.random.default_rng(8)
+        encoder = SequenceEncoder(dimension=2048, seed=3)
+        references = [random_sequence(80, rng=rng) for _ in range(4)]
+        matcher = SequenceMatcher(encoder, references)
+        # Plant reference 2 inside a long random background.
+        background = random_sequence(400, rng=rng)
+        planted_at = 150
+        long_seq = (
+            background[:planted_at]
+            + references[2]
+            + background[planted_at:]
+        )
+        return matcher, long_seq, planted_at
+
+    def test_scan_finds_planted_reference(self, planted):
+        matcher, long_seq, planted_at = planted
+        hits = matcher.scan(long_seq, stride=5)
+        best = max(hits, key=lambda h: h.similarity)
+        assert best.best_index == 2
+        assert abs(best.position - planted_at) <= 5
+
+    def test_locate_pinpoints_position(self, planted):
+        matcher, long_seq, planted_at = planted
+        hit = matcher.locate(long_seq, reference_index=2)
+        assert hit.position == planted_at
+
+    def test_scan_validation(self, planted):
+        matcher, long_seq, _ = planted
+        with pytest.raises(ValueError, match="stride"):
+            matcher.scan(long_seq, stride=0)
+        with pytest.raises(ValueError, match="window"):
+            matcher.scan(long_seq, window=2)
+        with pytest.raises(ValueError, match="shorter"):
+            matcher.scan("ACGTACGT", window=100)
+
+    def test_locate_bounds(self, planted):
+        matcher, long_seq, _ = planted
+        with pytest.raises(IndexError, match="reference_index"):
+            matcher.locate(long_seq, reference_index=99)

@@ -1,0 +1,170 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These tests sweep *configurations*, not just inputs: the delay law, TDC
+roundtrip, array semantics and quantization must hold at every design
+point the config space admits.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.array import FastTDAMArray
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.replica import ReplicaCalibratedTDC, measure_replica
+from repro.core.sensing import CounterTDC
+from repro.hdc.metrics import hamming_distance, match_count
+from repro.hdc.quantize import quantize_equal_area
+
+configs = st.builds(
+    TDAMConfig,
+    bits=st.integers(1, 4),
+    n_stages=st.sampled_from([8, 16, 32, 64]),
+    c_load_f=st.sampled_from([3e-15, 6e-15, 24e-15]),
+    vdd=st.sampled_from([0.6, 0.8, 1.1]),
+)
+
+
+class TestDelayLawInvariants:
+    @given(config=configs, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_delay_law_exact_at_any_design_point(self, config, data):
+        model = TimingEnergyModel(config)
+        n_mis = data.draw(st.integers(0, config.n_stages))
+        expected = 2 * config.n_stages * model.d_inv + n_mis * model.d_c
+        assert model.chain_delay(n_mis) == pytest.approx(expected)
+
+    @given(config=configs)
+    @settings(max_examples=40, deadline=None)
+    def test_delay_strictly_monotone_everywhere(self, config):
+        model = TimingEnergyModel(config)
+        delays = [model.chain_delay(k) for k in range(config.n_stages + 1)]
+        assert all(b > a for a, b in zip(delays, delays[1:]))
+
+    @given(config=configs, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_tdc_roundtrip_when_resolution_ok(self, config, data):
+        model = TimingEnergyModel(config)
+        tdc = CounterTDC(config, model)
+        assume(tdc.resolution_ok)
+        n_mis = data.draw(st.integers(0, config.n_stages))
+        assert tdc.decode_mismatches(model.chain_delay(n_mis)) == n_mis
+
+    @given(config=configs, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_replica_decode_matches_plain_decode_nominally(self, config, data):
+        model = TimingEnergyModel(config)
+        tdc = CounterTDC(config, model)
+        assume(tdc.resolution_ok)
+        replica = ReplicaCalibratedTDC(config, measure_replica(model))
+        n_mis = data.draw(st.integers(0, config.n_stages))
+        delay = model.chain_delay(n_mis)
+        assert replica.decode_mismatches(delay) == tdc.decode_mismatches(delay)
+
+
+class TestArrayInvariants:
+    @given(config=configs, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_search_equals_ideal_hamming_without_variation(self, config, data):
+        model = TimingEnergyModel(config)
+        assume(CounterTDC(config, model).resolution_ok)
+        n_rows = data.draw(st.integers(1, 4))
+        array = FastTDAMArray(config, n_rows=n_rows)
+        # The invariant only holds where the comparison margin clears the
+        # FeFET turn-on overdrive; at 4 bits with the default 1.2 V
+        # window it does not, and adjacent mismatches escape detection
+        # even without variation (the precision-margin ablation's
+        # finding -- asserted there, excluded here).
+        assume(config.conduction_margin > array.turn_on_overdrive + 0.005)
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        stored = rng.integers(0, config.levels,
+                              size=(n_rows, config.n_stages))
+        query = rng.integers(0, config.levels, size=config.n_stages)
+        array.write_all(stored)
+        result = array.search(query)
+        assert np.array_equal(
+            result.hamming_distances, array.ideal_hamming(query)
+        )
+
+    @given(config=configs, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_best_row_minimizes_distance(self, config, data):
+        n_rows = data.draw(st.integers(2, 5))
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        stored = rng.integers(0, config.levels,
+                              size=(n_rows, config.n_stages))
+        query = rng.integers(0, config.levels, size=config.n_stages)
+        array = FastTDAMArray(config, n_rows=n_rows)
+        array.write_all(stored)
+        result = array.search(query)
+        assert (
+            result.hamming_distances[result.best_row]
+            == result.hamming_distances.min()
+        )
+
+    @given(config=configs, data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_self_query_is_perfect_match(self, config, data):
+        assume(CounterTDC(config).resolution_ok)
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        stored = rng.integers(0, config.levels, size=(1, config.n_stages))
+        array = FastTDAMArray(config, n_rows=1)
+        array.write_all(stored)
+        result = array.search(stored[0])
+        assert result.hamming_distances[0] == 0
+        assert result.delays_s[0] == pytest.approx(
+            2 * config.n_stages * array.timing.d_inv
+        )
+
+
+class TestMetricInvariants:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_match_count_plus_distance_is_dimension(self, data):
+        d = data.draw(st.integers(1, 40))
+        levels = data.draw(st.integers(2, 16))
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        q = rng.integers(0, levels, size=(3, d))
+        p = rng.integers(0, levels, size=(5, d))
+        assert np.array_equal(
+            match_count(q, p) + hamming_distance(q, p), np.full((3, 5), d)
+        )
+
+    @given(bits=st.integers(1, 4), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_quantized_self_query_is_nearest(self, bits, data):
+        """A class's own quantized prototype is always its own nearest
+        neighbour under exact-match Hamming."""
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        n_classes = data.draw(st.integers(2, 6))
+        protos = rng.normal(size=(n_classes, 256))
+        model = quantize_equal_area(protos, bits)
+        distances = hamming_distance(model.levels, model.levels)
+        assert np.array_equal(np.diag(distances), np.zeros(n_classes))
+        predictions = distances.argmin(axis=1)
+        assert np.array_equal(predictions, np.arange(n_classes))
+
+
+class TestEnergyInvariants:
+    @given(config=configs, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_energy_breakdown_always_sums(self, config, data):
+        model = TimingEnergyModel(config)
+        n_mis = data.draw(st.integers(0, config.n_stages))
+        cost = model.search_cost(n_mis)
+        assert cost.energy_j == pytest.approx(
+            sum(cost.energy_breakdown_j.values())
+        )
+        assert all(v >= 0 for v in cost.energy_breakdown_j.values())
+
+    @given(config=configs)
+    @settings(max_examples=30, deadline=None)
+    def test_worst_case_bounds_all_cases(self, config):
+        model = TimingEnergyModel(config)
+        worst = model.search_cost(config.n_stages)
+        for n_mis in range(0, config.n_stages, max(1, config.n_stages // 4)):
+            cost = model.search_cost(n_mis)
+            assert cost.energy_j <= worst.energy_j + 1e-30
+            assert cost.delay_s <= worst.delay_s + 1e-30

@@ -1,0 +1,112 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.array import FastTDAMArray, TDAMArray
+from repro.core.config import TDAMConfig
+from repro.datasets.synthetic import make_face_like
+from repro.devices.variation import VariationModel
+from repro.hdc.encoder import RandomProjectionEncoder
+from repro.hdc.mapping import TDAMInference
+from repro.hdc.model import HDCClassifier
+from repro.hdc.quantize import quantize_equal_area
+
+
+class TestHDCtoTDAMPipeline:
+    """Features -> encode -> train -> quantize -> TD-AM inference."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        ds = make_face_like(n_train=500, n_test=250)
+        encoder = RandomProjectionEncoder(ds.n_features, 2048, seed=7)
+        clf = HDCClassifier(encoder, ds.n_classes).fit(
+            ds.x_train, ds.y_train, epochs=5
+        )
+        quantized = quantize_equal_area(clf.prototypes, bits=2)
+        inference = TDAMInference(
+            quantized,
+            config=TDAMConfig(bits=2, n_stages=128, vdd=0.6),
+            n_features=ds.n_features,
+        )
+        return ds, clf, quantized, inference
+
+    def test_reference_accuracy(self, pipeline):
+        ds, clf, _, _ = pipeline
+        assert clf.accuracy(ds.x_test, ds.y_test) > 0.9
+
+    def test_quantized_model_accuracy(self, pipeline):
+        ds, clf, quantized, _ = pipeline
+        queries = clf.encode(ds.x_test)
+        assert quantized.accuracy_cosine(queries, ds.y_test) > 0.85
+
+    def test_hardware_hamming_accuracy(self, pipeline):
+        ds, clf, quantized, inference = pipeline
+        levels = quantized.quantize_queries(clf.encode(ds.x_test))
+        assert inference.accuracy(levels, ds.y_test) > 0.75
+
+    def test_cost_model_sane(self, pipeline):
+        _, _, _, inference = pipeline
+        cost = inference.query_cost()
+        assert cost.tiles == 16
+        assert 10e-9 < cost.latency_s < 10e-6
+        assert 1e-12 < cost.energy_j < 1e-6
+
+    def test_variation_degrades_gracefully(self, pipeline):
+        """Measured per-state sigmas barely move hardware accuracy."""
+        ds, clf, quantized, inference = pipeline
+        noisy = TDAMInference(
+            quantized,
+            config=TDAMConfig(bits=2, n_stages=128, vdd=0.6),
+            n_features=ds.n_features,
+            variation=VariationModel(seed=11),  # measured sigmas
+        )
+        levels = quantized.quantize_queries(clf.encode(ds.x_test))
+        clean_acc = inference.accuracy(levels, ds.y_test)
+        noisy_acc = noisy.accuracy(levels, ds.y_test)
+        assert noisy_acc > clean_acc - 0.05
+
+
+class TestSmallVectorRecallOnHardware:
+    """A classic associative-memory task run through the full device-
+    accurate array: store patterns, recall from corrupted queries."""
+
+    def test_nearest_pattern_recall(self):
+        config = TDAMConfig(bits=2, n_stages=16)
+        rng = np.random.default_rng(21)
+        array = TDAMArray(config, n_rows=6, rng=rng)
+        patterns = rng.integers(0, 4, size=(6, 16))
+        array.write_all(patterns)
+        for target in range(6):
+            query = patterns[target].copy()
+            corrupt = rng.choice(16, size=3, replace=False)
+            query[corrupt] = (query[corrupt] + rng.integers(1, 4)) % 4
+            result = array.search(query)
+            assert result.best_row == target
+
+    def test_fast_array_at_hdc_scale(self):
+        """The vectorized array handles HDC-sized rows quickly."""
+        config = TDAMConfig(bits=2, n_stages=128)
+        array = FastTDAMArray(config, n_rows=26)
+        rng = np.random.default_rng(3)
+        stored = rng.integers(0, 4, size=(26, 128))
+        array.write_all(stored)
+        query = stored[13]
+        result = array.search(query)
+        assert result.best_row == 13
+        assert result.hamming_distances[13] == 0
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        def run():
+            ds = make_face_like(200, 100, seed=4)
+            encoder = RandomProjectionEncoder(ds.n_features, 512, seed=7)
+            clf = HDCClassifier(encoder, 2).fit(ds.x_train, ds.y_train,
+                                                epochs=3)
+            qm = quantize_equal_area(clf.prototypes, 2)
+            inference = TDAMInference(qm, n_features=ds.n_features)
+            levels = qm.quantize_queries(clf.encode(ds.x_test))
+            return inference.accuracy(levels, ds.y_test)
+
+        assert run() == run()

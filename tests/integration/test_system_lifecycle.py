@@ -1,0 +1,134 @@
+"""Whole-lifecycle system test: deploy, operate, age, repair.
+
+Walks one TD-AM instance through a deployment story that touches nearly
+every subsystem in sequence:
+
+1. **program** a model image through the command controller (write path,
+   phase trace, programming cost),
+2. **operate**: searches decode exact Hamming distances,
+3. **environment drift**: the die heats to 85 C -- the fixed decode
+   breaks, the replica chain restores it,
+4. **defect**: a row dies -- fault-aware search degrades gracefully and
+   the spare-row repair restores exactness,
+5. **aging**: ten years of retention -- the compensated search-line
+   ladder keeps mismatch detection alive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.array import FastTDAMArray
+from repro.core.config import TDAMConfig
+from repro.core.controller import ArrayController, Command
+from repro.core.energy import TimingEnergyModel
+from repro.core.faults import Fault, FaultType, FaultyTDAMArray
+from repro.core.programming import ProgrammingModel
+from repro.core.replica import ReplicaCalibratedTDC, measure_replica
+from repro.core.sensing import CounterTDC
+from repro.devices.nonideal import (
+    TEN_YEARS_S,
+    RetentionModel,
+    compensated_vsl_levels,
+)
+from repro.devices.temperature import technology_at
+
+CONFIG = TDAMConfig(n_stages=32)
+N_ROWS = 8
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    rng = np.random.default_rng(77)
+    stored = rng.integers(0, CONFIG.levels, size=(N_ROWS, CONFIG.n_stages))
+    queries = rng.integers(0, CONFIG.levels, size=(10, CONFIG.n_stages))
+    return stored, queries
+
+
+class TestLifecycle:
+    def test_1_program_through_controller(self, deployment):
+        stored, _ = deployment
+        controller = ArrayController(CONFIG, n_rows=N_ROWS, seed=1)
+        commands = [
+            Command("write", row=r, vector=stored[r]) for r in range(N_ROWS)
+        ]
+        controller.run(commands)
+        # Programming-cost budget for the same image.
+        report = ProgrammingModel(CONFIG, seed=1).program_image(N_ROWS)
+        assert report.n_cells == N_ROWS * CONFIG.n_stages
+        assert report.total_time_s < 1e-3  # sub-millisecond model load
+        # Operate: a search decodes the exact distance.
+        result = controller.execute(Command("search", vector=stored[3]))
+        assert result.best_row == 3
+        assert result.hamming_distances[3] == 0
+
+    def test_2_temperature_drift_and_replica_repair(self, deployment):
+        stored, queries = deployment
+        hot_config = CONFIG.with_(tech=technology_at(CONFIG.tech, 358.0))
+        hot_timing = TimingEnergyModel(hot_config)
+        array = FastTDAMArray(hot_config, n_rows=N_ROWS)
+        array.write_all(stored)
+        fixed_tdc = CounterTDC(CONFIG)  # stale room-temperature constants
+        replica_tdc = ReplicaCalibratedTDC(CONFIG, measure_replica(hot_timing))
+        fixed_wrong = replica_wrong = 0
+        for q in queries:
+            result = array.search(q)
+            ideal = array.ideal_hamming(q)
+            for delay, truth in zip(result.delays_s, ideal):
+                if fixed_tdc.decode_mismatches(delay) != truth:
+                    fixed_wrong += 1
+                if replica_tdc.decode_mismatches(delay) != truth:
+                    replica_wrong += 1
+        assert fixed_wrong > 0
+        assert replica_wrong == 0
+
+    def test_3_dead_row_repair_by_sparing(self, deployment):
+        stored, queries = deployment
+        array = FastTDAMArray(CONFIG, n_rows=N_ROWS)
+        array.write_all(stored)
+        dead = 5
+        faulty = FaultyTDAMArray(array, [Fault(FaultType.DEAD_ROW, row=dead)])
+        # The dead row reports maximum distance; queries matching it are
+        # misrouted.
+        result = faulty.search(stored[dead])
+        assert result.best_row != dead
+        # Repair: re-map the dead row's content onto a spare physical row
+        # (row-sparing); here the spare replaces the victim's image.
+        spare_array = FastTDAMArray(CONFIG, n_rows=N_ROWS + 1)
+        remapped = np.vstack([stored, stored[dead]])
+        spare_array.write_all(remapped)
+        spared = FaultyTDAMArray(
+            spare_array, [Fault(FaultType.DEAD_ROW, row=dead)]
+        )
+        repaired = spared.search(stored[dead])
+        assert repaired.best_row == N_ROWS  # the spare row wins
+        assert repaired.hamming_distances[N_ROWS] == 0
+
+    def test_4_aging_with_compensated_search_lines(self, deployment):
+        stored, queries = deployment
+        retention = RetentionModel(params=CONFIG.fefet)
+        vth = np.array(CONFIG.vth_levels)
+        array = FastTDAMArray(CONFIG, n_rows=N_ROWS)
+        array.write_all(stored)
+        # Ten years of polarization decay on every device.
+        fa_states = stored
+        fb_states = CONFIG.levels - 1 - stored
+        array._off_a = retention.vth_shifts(
+            vth[fa_states].reshape(-1), TEN_YEARS_S
+        ).reshape(stored.shape)
+        array._off_b = retention.vth_shifts(
+            vth[fb_states].reshape(-1), TEN_YEARS_S
+        ).reshape(stored.shape)
+
+        def total_error(a):
+            return sum(
+                int(np.abs(a.search(q).hamming_distances
+                           - a.ideal_hamming(q)).sum())
+                for q in queries
+            )
+
+        aged_error = total_error(array)
+        array._vsl = compensated_vsl_levels(
+            CONFIG.vth_levels, retention, TEN_YEARS_S
+        )
+        compensated_error = total_error(array)
+        assert compensated_error < 0.5 * aged_error

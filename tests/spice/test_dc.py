@@ -1,0 +1,90 @@
+"""Tests of the DC operating-point solver."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import nmos, pmos
+from repro.spice.dc import solve_dc, sweep_dc
+from repro.spice.elements import (
+    Capacitor,
+    MOSFETElement,
+    Resistor,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit
+
+
+def divider(r1=1e3, r2=1e3, v=1.0):
+    ckt = Circuit("div")
+    ckt.add(VoltageSource("in", v))
+    ckt.add(Resistor("in", "mid", r1))
+    ckt.add(Resistor("mid", "0", r2))
+    return ckt
+
+
+def inverter(vdd=1.1, vin=0.0):
+    ckt = Circuit("inv")
+    ckt.add(VoltageSource("vdd", vdd))
+    ckt.add(VoltageSource("in", vin))
+    ckt.add(MOSFETElement("out", "in", "0", nmos(width=2.0)))
+    ckt.add(MOSFETElement("out", "in", "vdd", pmos(width=4.0)))
+    ckt.add(Capacitor("out", "0", 1e-15))
+    return ckt
+
+
+class TestSolveDC:
+    def test_resistive_divider(self):
+        assert solve_dc(divider())["mid"] == pytest.approx(0.5, abs=1e-6)
+
+    def test_unequal_divider(self):
+        assert solve_dc(divider(r1=1e3, r2=3e3))["mid"] == pytest.approx(0.75)
+
+    def test_capacitors_carry_no_dc_current(self):
+        ckt = divider()
+        ckt.add(Capacitor("mid", "0", 1e-12))
+        assert solve_dc(ckt)["mid"] == pytest.approx(0.5, abs=1e-6)
+
+    def test_inverter_low_input(self):
+        solution = solve_dc(inverter(vin=0.0), v_init={"out": 1.1})
+        assert solution["out"] == pytest.approx(1.1, abs=0.01)
+
+    def test_inverter_high_input(self):
+        solution = solve_dc(inverter(vin=1.1), v_init={"out": 0.0})
+        assert solution["out"] == pytest.approx(0.0, abs=0.01)
+
+    def test_forced_nodes_reported(self):
+        solution = solve_dc(divider(v=2.0))
+        assert solution["in"] == 2.0
+
+
+class TestSweepDC:
+    def test_inverter_vtc(self):
+        vtc = sweep_dc(
+            inverter(), "in", np.linspace(0, 1.1, 23), ["out"],
+            v_init={"out": 1.1},
+        )
+        assert vtc["out"][0] == pytest.approx(1.1, abs=0.01)
+        assert vtc["out"][-1] == pytest.approx(0.0, abs=0.01)
+        # Monotone falling transfer curve.
+        assert (np.diff(vtc["out"]) <= 1e-6).all()
+
+    def test_vtc_switching_threshold_near_midpoint(self):
+        vtc = sweep_dc(
+            inverter(), "in", np.linspace(0, 1.1, 45), ["out"],
+            v_init={"out": 1.1},
+        )
+        cross = np.interp(0.55, vtc["out"][::-1], vtc["sweep"][::-1])
+        assert cross == pytest.approx(0.55, abs=0.1)
+
+    def test_swept_node_must_be_forced(self):
+        with pytest.raises(ValueError, match="not forced"):
+            sweep_dc(divider(), "mid", [0.0, 1.0], ["in"])
+
+    def test_unknown_observed_node(self):
+        with pytest.raises(KeyError, match="known"):
+            sweep_dc(divider(), "in", [1.0], ["nope"])
+
+    def test_sweep_values_recorded(self):
+        vtc = sweep_dc(divider(), "in", [0.0, 0.5, 1.0], ["mid"])
+        assert vtc["sweep"].tolist() == [0.0, 0.5, 1.0]
+        assert np.allclose(vtc["mid"], [0.0, 0.25, 0.5], atol=1e-6)

@@ -1,0 +1,184 @@
+"""Tests of circuit elements and source waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.devices.fefet import FeFET
+from repro.devices.mosfet import nmos
+from repro.spice.elements import (
+    Capacitor,
+    ConstantWaveform,
+    FeFETElement,
+    MOSFETElement,
+    PulseWaveform,
+    PWLWaveform,
+    Resistor,
+    StepWaveform,
+    VoltageSource,
+)
+
+
+class TestResistor:
+    def test_ohms_law(self):
+        r = Resistor("a", "b", 1e3)
+        currents = r.local_currents([2.0, 1.0], [0, 0], 0, 1e-12)
+        assert currents[0] == pytest.approx(1e-3)
+        assert currents[1] == pytest.approx(-1e-3)
+
+    def test_current_conservation(self):
+        r = Resistor("a", "b", 470.0)
+        currents = r.local_currents([0.7, -0.2], [0, 0], 0, 1e-12)
+        assert sum(currents) == pytest.approx(0.0)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError, match="resistance"):
+            Resistor("a", "b", 0.0)
+
+
+class TestCapacitor:
+    def test_backward_euler_current(self):
+        c = Capacitor("a", "0", 1e-12)
+        # dV = 0.1 V over dt = 1 ns -> i = C dV/dt = 0.1 mA.
+        currents = c.local_currents([1.1, 0.0], [1.0, 0.0], 0, 1e-9)
+        assert currents[0] == pytest.approx(1e-4)
+
+    def test_no_current_at_steady_state(self):
+        c = Capacitor("a", "0", 1e-12)
+        currents = c.local_currents([1.0, 0.0], [1.0, 0.0], 0, 1e-9)
+        assert currents[0] == pytest.approx(0.0)
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ValueError, match="capacitance"):
+            Capacitor("a", "0", -1e-15)
+
+
+class TestWaveforms:
+    def test_step_before_during_after(self):
+        wf = StepWaveform(0.0, 1.0, t_step=1e-9, t_rise=2e-10)
+        assert wf.value_at(0.5e-9) == 0.0
+        assert wf.value_at(1.1e-9) == pytest.approx(0.5)
+        assert wf.value_at(2e-9) == 1.0
+
+    def test_pulse_shape(self):
+        wf = PulseWaveform(0.0, 1.0, t_delay=1e-9, t_width=2e-9,
+                           t_rise=1e-10, t_fall=1e-10)
+        assert wf.value_at(0.0) == 0.0
+        assert wf.value_at(2e-9) == 1.0
+        assert wf.value_at(3.05e-9) == 1.0
+        assert wf.value_at(5e-9) == 0.0
+
+    def test_pulse_edges_interpolate(self):
+        wf = PulseWaveform(0.0, 1.0, t_delay=0.0, t_width=1e-9,
+                           t_rise=2e-10, t_fall=2e-10)
+        assert wf.value_at(1e-10) == pytest.approx(0.5)
+
+    def test_pwl_interpolation(self):
+        wf = PWLWaveform([(0, 0.0), (1e-9, 1.0), (2e-9, 0.5)])
+        assert wf.value_at(0.5e-9) == pytest.approx(0.5)
+        assert wf.value_at(1.5e-9) == pytest.approx(0.75)
+        assert wf.value_at(5e-9) == 0.5
+
+    def test_pwl_clamps_before_first_point(self):
+        wf = PWLWaveform([(1e-9, 2.0), (2e-9, 3.0)])
+        assert wf.value_at(0.0) == 2.0
+
+    def test_pwl_rejects_unsorted_times(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            PWLWaveform([(1e-9, 0.0), (0.5e-9, 1.0)])
+
+    def test_pwl_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PWLWaveform([])
+
+    def test_constant(self):
+        wf = ConstantWaveform(0.8)
+        assert wf.value_at(0) == 0.8
+        assert wf.value_at(1) == 0.8
+
+
+class TestVoltageSource:
+    def test_scalar_becomes_constant_waveform(self):
+        src = VoltageSource("vdd", 1.1)
+        node, wf = src.forces_node
+        assert node == "vdd"
+        assert wf.value_at(5e-9) == 1.1
+
+    def test_contributes_no_residual(self):
+        src = VoltageSource("vdd", 1.1)
+        assert src.local_currents([1.1], [1.1], 0, 1e-12) == [0.0]
+
+
+class TestMOSFETElement:
+    def test_drain_source_currents_balance(self):
+        element = MOSFETElement("d", "g", "s", nmos())
+        currents = element.local_currents([1.1, 1.1, 0.0], [0] * 3, 0, 1e-12)
+        assert currents[0] == pytest.approx(-currents[2])
+
+    def test_gate_current_zero(self):
+        element = MOSFETElement("d", "g", "s", nmos())
+        currents = element.local_currents([1.1, 1.1, 0.0], [0] * 3, 0, 1e-12)
+        assert currents[1] == 0.0
+
+    def test_off_device_leaks_only_gmin(self):
+        element = MOSFETElement("d", "g", "s", nmos())
+        currents = element.local_currents([1.1, 0.0, 0.0], [0] * 3, 0, 1e-12)
+        assert abs(currents[0]) < 1e-8
+
+
+class TestFeFETElement:
+    def test_uses_programmed_state(self):
+        low = FeFET(rng=np.random.default_rng(1))
+        low.program_vth(0.2)
+        high = FeFET(rng=np.random.default_rng(1))
+        high.program_vth(1.4)
+        e_low = FeFETElement("d", "g", "s", low)
+        e_high = FeFETElement("d", "g", "s", high)
+        i_low = e_low.local_currents([1.0, 0.8, 0.0], [0] * 3, 0, 1e-12)[0]
+        i_high = e_high.local_currents([1.0, 0.8, 0.0], [0] * 3, 0, 1e-12)[0]
+        assert i_low > 100 * max(i_high, 1e-30)
+
+    def test_snapshot_frozen_after_construction(self):
+        """Re-programming the FeFET does not alter an existing element."""
+        dev = FeFET(rng=np.random.default_rng(2))
+        dev.program_vth(0.2)
+        element = FeFETElement("d", "g", "s", dev)
+        before = element.local_currents([1.0, 0.8, 0.0], [0] * 3, 0, 1e-12)[0]
+        dev.program_vth(1.4)
+        after = element.local_currents([1.0, 0.8, 0.0], [0] * 3, 0, 1e-12)[0]
+        assert before == pytest.approx(after)
+
+
+class TestCurrentSource:
+    def test_dc_injection_into_resistor(self):
+        from repro.spice.elements import CurrentSource
+        from repro.spice.netlist import Circuit
+        from repro.spice.transient import simulate
+
+        ckt = Circuit("norton")
+        ckt.add(CurrentSource("0", "out", 1e-3))
+        ckt.add(Resistor("out", "0", 1e3))
+        result = simulate(ckt, t_stop=1e-9, dt=100e-12)
+        assert result.waveform("out").settled_value() == pytest.approx(1.0)
+
+    def test_scalar_and_fast_paths_agree(self):
+        from repro.spice.elements import CurrentSource, StepWaveform
+        from repro.spice.netlist import Circuit
+        from repro.spice.transient import simulate
+
+        ckt = Circuit("ramp")
+        ckt.add(CurrentSource("0", "out",
+                              StepWaveform(0.0, 2e-3, t_step=0.5e-9)))
+        ckt.add(Resistor("out", "0", 500.0))
+        ckt.add(Capacitor("out", "0", 1e-13))
+        fast = simulate(ckt, t_stop=2e-9, dt=20e-12)
+        slow = simulate(ckt, t_stop=2e-9, dt=20e-12, fastpath=False)
+        assert np.allclose(fast.voltages["out"], slow.voltages["out"],
+                           atol=1e-9)
+
+    def test_current_conservation(self):
+        from repro.spice.elements import CurrentSource
+
+        src = CurrentSource("a", "b", 5e-6)
+        currents = src.local_currents([0.0, 0.0], [0.0, 0.0], 0.0, 1e-12)
+        assert currents[0] == pytest.approx(5e-6)
+        assert sum(currents) == pytest.approx(0.0)

@@ -1,0 +1,145 @@
+"""Equivalence tests: vectorized fast path vs the generic solver."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.core.netlist_builder import build_chain_circuit
+from repro.devices.mosfet import MOSFET, MOSFETParams, nmos, pmos
+from repro.spice.elements import (
+    Capacitor,
+    Element,
+    MOSFETElement,
+    Resistor,
+    StepWaveform,
+    VoltageSource,
+)
+from repro.spice.fastpath import mosfet_ids_vectorized, try_build
+from repro.spice.netlist import Circuit
+from repro.spice.transient import simulate
+
+
+def inverter_chain(n=4, vdd=1.1):
+    ckt = Circuit("invchain")
+    ckt.add(VoltageSource("vdd", vdd))
+    ckt.add(VoltageSource("in", StepWaveform(0.0, vdd, t_step=0.2e-9,
+                                             t_rise=20e-12)))
+    prev, level = "in", 0.0
+    v_init = {}
+    for i in range(n):
+        out = f"n{i}"
+        ckt.add(MOSFETElement(out, prev, "0", nmos(width=2.0)))
+        ckt.add(MOSFETElement(out, prev, "vdd", pmos(width=4.0)))
+        ckt.add(Capacitor(out, "0", 1e-15))
+        level = vdd - level
+        v_init[out] = level
+        prev = out
+    return ckt, v_init
+
+
+class TestVectorizedModel:
+    @pytest.mark.parametrize("is_pmos", [False, True])
+    def test_matches_scalar_model(self, is_pmos):
+        """The vectorized I-V is bit-for-bit the scalar model."""
+        params = MOSFETParams(vth=-0.35 if is_pmos else 0.35, kp=320e-6,
+                              lam=0.08, is_pmos=is_pmos, width=2.0)
+        model = MOSFET(params)
+        rng = np.random.default_rng(3)
+        vgs = rng.uniform(-1.2, 1.2, size=200)
+        vds = rng.uniform(-1.2, 1.2, size=200)
+        scalar = np.array([model.ids(a, b) for a, b in zip(vgs, vds)])
+        sign = -1.0 if is_pmos else 1.0
+        n = model._n_slope
+        i0 = params.kp * params.width * (n - 1.0 if n > 1.0 else 0.5) * (
+            model._thermal**2
+        )
+        fast = sign * mosfet_ids_vectorized(
+            sign * vgs, sign * vds,
+            np.full(200, abs(params.vth)),
+            np.full(200, params.kp * params.width),
+            np.full(200, params.lam),
+            np.full(200, n),
+            np.full(200, i0),
+            model._thermal,
+        )
+        assert np.allclose(fast, scalar, rtol=1e-10, atol=1e-18)
+
+
+class TestSolverEquivalence:
+    def test_inverter_chain_waveforms_identical(self):
+        ckt, v_init = inverter_chain(n=4)
+        fast = simulate(ckt, t_stop=1e-9, dt=4e-12, v_init=v_init)
+        slow = simulate(ckt, t_stop=1e-9, dt=4e-12, v_init=v_init,
+                        fastpath=False)
+        for node in ("n0", "n1", "n2", "n3"):
+            assert np.allclose(
+                fast.voltages[node], slow.voltages[node], atol=1e-6
+            )
+
+    def test_tdam_chain_waveforms_identical(self):
+        config = TDAMConfig(n_stages=2)
+        net = build_chain_circuit(
+            config, [0, 0], [1, 0], rng=np.random.default_rng(1)
+        )
+        fast = simulate(net.circuit, t_stop=net.t_stop_hint, dt=4e-12,
+                        v_init=net.v_init)
+        slow = simulate(net.circuit, t_stop=net.t_stop_hint, dt=4e-12,
+                        v_init=net.v_init, fastpath=False)
+        for node in net.stage_out_nodes + net.mn_nodes:
+            assert np.allclose(
+                fast.voltages[node], slow.voltages[node], atol=1e-5
+            )
+
+    def test_source_energy_identical(self):
+        ckt, v_init = inverter_chain(n=2)
+        fast = simulate(ckt, t_stop=1e-9, dt=4e-12, v_init=v_init)
+        slow = simulate(ckt, t_stop=1e-9, dt=4e-12, v_init=v_init,
+                        fastpath=False)
+        assert fast.source_energy("vdd") == pytest.approx(
+            slow.source_energy("vdd"), rel=1e-6
+        )
+
+    def test_fastpath_is_faster_on_big_chain(self):
+        config = TDAMConfig(n_stages=8)
+        net = build_chain_circuit(
+            config, [0] * 8, [1, 0] * 4, rng=np.random.default_rng(1)
+        )
+        start = time.perf_counter()
+        simulate(net.circuit, t_stop=1.2e-9, dt=4e-12, v_init=net.v_init)
+        t_fast = time.perf_counter() - start
+        start = time.perf_counter()
+        simulate(net.circuit, t_stop=1.2e-9, dt=4e-12, v_init=net.v_init,
+                 fastpath=False)
+        t_slow = time.perf_counter() - start
+        assert t_fast < t_slow
+
+
+class TestFallback:
+    def test_unknown_element_falls_back(self):
+        class Weird(Element):
+            def __init__(self):
+                super().__init__(("a", "0"), "weird")
+
+            def local_currents(self, v, v_prev, t, dt):
+                # A 1 kohm resistor in disguise.
+                i = (v[0] - v[1]) / 1e3
+                return [i, -i]
+
+        ckt = Circuit("fallback")
+        ckt.add(VoltageSource("in", 1.0))
+        ckt.add(Resistor("in", "a", 1e3))
+        ckt.add(Weird())
+        result = simulate(ckt, t_stop=1e-9, dt=100e-12)
+        assert result.waveform("a").settled_value() == pytest.approx(0.5)
+
+    def test_try_build_returns_none_for_unknown(self):
+        class Weird(Element):
+            def __init__(self):
+                super().__init__(("a", "0"), "weird")
+
+            def local_currents(self, v, v_prev, t, dt):
+                return [0.0, 0.0]
+
+        assert try_build([(Weird(), [0, -1])], {0: 0}, 1) is None

@@ -1,0 +1,81 @@
+"""Property-based equivalence: fast path vs scalar solver on random
+circuits (hypothesis-generated topologies)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.mosfet import nmos, pmos
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    MOSFETElement,
+    Resistor,
+    StepWaveform,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit
+from repro.spice.transient import simulate
+
+
+def random_ladder(data):
+    """A random RC ladder with optional transistor pull-downs.
+
+    Every internal node carries a capacitor to ground (keeps the system
+    well-posed) and a resistor from the previous node; some nodes gain an
+    NMOS pull-down gated by the input, or a current-source load.
+    """
+    n_nodes = data.draw(st.integers(2, 5))
+    vdd = 1.1
+    ckt = Circuit("random")
+    ckt.add(VoltageSource("vdd", vdd))
+    ckt.add(VoltageSource("in", StepWaveform(0.0, vdd, t_step=0.1e-9,
+                                             t_rise=20e-12)))
+    prev = "in"
+    v_init = {}
+    observed = []
+    for k in range(n_nodes):
+        node = f"n{k}"
+        observed.append(node)
+        r = data.draw(st.sampled_from([500.0, 2e3, 10e3]))
+        c = data.draw(st.sampled_from([0.5e-15, 2e-15, 10e-15]))
+        ckt.add(Resistor(prev, node, r))
+        ckt.add(Capacitor(node, "0", c))
+        flavor = data.draw(st.integers(0, 3))
+        if flavor == 1:
+            ckt.add(MOSFETElement(node, "in", "0", nmos(width=1.0)))
+        elif flavor == 2:
+            ckt.add(MOSFETElement(node, "in", "vdd", pmos(width=2.0)))
+        elif flavor == 3:
+            ckt.add(CurrentSource("0", node, 5e-6))
+        v_init[node] = data.draw(st.sampled_from([0.0, vdd]))
+        prev = node
+    return ckt, v_init, observed
+
+
+class TestRandomCircuitEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_fast_and_scalar_paths_agree(self, data):
+        ckt, v_init, observed = random_ladder(data)
+        fast = simulate(ckt, t_stop=0.8e-9, dt=8e-12, v_init=v_init)
+        slow = simulate(ckt, t_stop=0.8e-9, dt=8e-12, v_init=v_init,
+                        fastpath=False)
+        for node in observed:
+            assert np.allclose(
+                fast.voltages[node], slow.voltages[node], atol=2e-5
+            ), node
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_source_currents_agree(self, data):
+        ckt, v_init, _ = random_ladder(data)
+        fast = simulate(ckt, t_stop=0.6e-9, dt=8e-12, v_init=v_init)
+        slow = simulate(ckt, t_stop=0.6e-9, dt=8e-12, v_init=v_init,
+                        fastpath=False)
+        for node in ("vdd", "in"):
+            assert np.allclose(
+                fast.source_currents[node], slow.source_currents[node],
+                atol=1e-7,
+            ), node

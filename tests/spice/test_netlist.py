@@ -1,0 +1,78 @@
+"""Tests of the circuit container."""
+
+import pytest
+
+from repro.spice.elements import Capacitor, Resistor, VoltageSource
+from repro.spice.netlist import Circuit
+
+
+class TestCircuit:
+    def test_registers_nodes_in_order(self):
+        ckt = Circuit()
+        ckt.add(Resistor("a", "b", 1e3))
+        ckt.add(Resistor("b", "c", 1e3))
+        assert ckt.nodes == ["a", "b", "c"]
+
+    def test_ground_aliases_excluded_from_nodes(self):
+        ckt = Circuit()
+        ckt.add(Resistor("a", "0", 1e3))
+        ckt.add(Resistor("a", "gnd", 1e3))
+        assert ckt.nodes == ["a"]
+
+    def test_is_ground(self):
+        assert Circuit.is_ground("0")
+        assert Circuit.is_ground("gnd")
+        assert Circuit.is_ground("GND")
+        assert not Circuit.is_ground("out")
+
+    def test_source_nodes_mapping(self):
+        ckt = Circuit()
+        src = ckt.add(VoltageSource("vin", 1.0))
+        ckt.add(Resistor("vin", "out", 1e3))
+        assert ckt.source_nodes() == {"vin": src.waveform}
+
+    def test_free_nodes_excludes_forced(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("vin", 1.0))
+        ckt.add(Resistor("vin", "out", 1e3))
+        ckt.add(Capacitor("out", "0", 1e-15))
+        assert ckt.free_nodes() == ["out"]
+
+    def test_double_forcing_rejected(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("vin", 1.0))
+        ckt.add(VoltageSource("vin", 2.0))
+        with pytest.raises(ValueError, match="more than one"):
+            ckt.source_nodes()
+
+    def test_forcing_ground_rejected(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("0", 1.0))
+        with pytest.raises(ValueError, match="ground"):
+            ckt.source_nodes()
+
+    def test_validate_empty_circuit(self):
+        with pytest.raises(ValueError, match="no elements"):
+            Circuit("empty").validate()
+
+    def test_validate_passes_good_circuit(self):
+        ckt = Circuit()
+        ckt.add(VoltageSource("vin", 1.0))
+        ckt.add(Resistor("vin", "out", 1e3))
+        ckt.add(Capacitor("out", "0", 1e-15))
+        ckt.validate()
+
+    def test_add_rejects_non_elements(self):
+        with pytest.raises(TypeError, match="not a circuit element"):
+            Circuit().add(object())
+
+    def test_extend(self):
+        ckt = Circuit()
+        ckt.extend([Resistor("a", "b", 1e3), Capacitor("b", "0", 1e-15)])
+        assert len(ckt.elements) == 2
+
+    def test_repr_mentions_counts(self):
+        ckt = Circuit("demo")
+        ckt.add(Resistor("a", "b", 1e3))
+        assert "demo" in repr(ckt)
+        assert "1 elements" in repr(ckt)

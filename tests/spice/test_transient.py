@@ -1,0 +1,181 @@
+"""Tests of the transient solver against closed-form circuit behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import nmos, pmos
+from repro.spice.elements import (
+    Capacitor,
+    MOSFETElement,
+    PulseWaveform,
+    Resistor,
+    StepWaveform,
+    VoltageSource,
+)
+from repro.spice.netlist import Circuit
+from repro.spice.transient import ConvergenceError, simulate
+
+
+def rc_circuit(r=1e3, c=1e-12, v=1.0, t_step=0.1e-9):
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("in", StepWaveform(0.0, v, t_step=t_step, t_rise=1e-12)))
+    ckt.add(Resistor("in", "out", r))
+    ckt.add(Capacitor("out", "0", c))
+    return ckt
+
+
+class TestRCStepResponse:
+    def test_time_constant(self):
+        ckt = rc_circuit()
+        result = simulate(ckt, t_stop=6e-9, dt=5e-12)
+        t63 = result.waveform("out").first_crossing(1 - math.exp(-1), rising=True)
+        assert t63 - 0.1e-9 == pytest.approx(1e-9, rel=0.02)
+
+    def test_final_value(self):
+        result = simulate(rc_circuit(), t_stop=10e-9, dt=10e-12)
+        assert result.waveform("out").settled_value() == pytest.approx(1.0, abs=1e-3)
+
+    def test_exponential_shape(self):
+        result = simulate(rc_circuit(), t_stop=5e-9, dt=5e-12)
+        wf = result.waveform("out")
+        for n_tau in (1.0, 2.0, 3.0):
+            expected = 1 - math.exp(-n_tau)
+            assert wf.value_at(0.1e-9 + n_tau * 1e-9) == pytest.approx(
+                expected, abs=0.01
+            )
+
+    def test_divider_dc(self):
+        ckt = Circuit("divider")
+        ckt.add(VoltageSource("in", 1.0))
+        ckt.add(Resistor("in", "mid", 1e3))
+        ckt.add(Resistor("mid", "0", 1e3))
+        result = simulate(ckt, t_stop=1e-9, dt=10e-12)
+        assert result.waveform("mid").settled_value() == pytest.approx(0.5, abs=1e-6)
+
+    def test_source_energy_matches_cv2_with_resistor_loss(self):
+        """Source delivers C*V^2: half stored, half burned in R."""
+        ckt = rc_circuit(v=1.0)
+        result = simulate(ckt, t_stop=10e-9, dt=5e-12)
+        energy = result.source_energy("in")
+        assert energy == pytest.approx(1e-12 * 1.0**2, rel=0.03)
+
+
+class TestInverter:
+    def build(self, vdd=1.1, c_load=2e-15, falling_input=False):
+        ckt = Circuit("inv")
+        ckt.add(VoltageSource("vdd", vdd))
+        v0, v1 = (vdd, 0.0) if falling_input else (0.0, vdd)
+        ckt.add(VoltageSource("in", StepWaveform(v0, v1, t_step=0.2e-9,
+                                                 t_rise=20e-12)))
+        ckt.add(MOSFETElement("out", "in", "0", nmos(width=2.0)))
+        ckt.add(MOSFETElement("out", "in", "vdd", pmos(width=4.0)))
+        ckt.add(Capacitor("out", "0", c_load))
+        return ckt, vdd
+
+    def test_output_inverts(self):
+        ckt, vdd = self.build()
+        result = simulate(ckt, t_stop=1e-9, dt=2e-12, v_init={"out": vdd})
+        assert result.waveform("out").settled_value() < 0.05
+
+    def test_rising_input_output_falls(self):
+        ckt, vdd = self.build()
+        result = simulate(ckt, t_stop=1e-9, dt=2e-12, v_init={"out": vdd})
+        delay = result.waveform("in").delay_to(
+            result.waveform("out"), vdd / 2,
+            rising_self=True, rising_other=False,
+        )
+        assert 0 < delay < 100e-12
+
+    def test_delay_scales_with_load(self):
+        delays = []
+        for c_load in (2e-15, 8e-15):
+            ckt, vdd = self.build(c_load=c_load)
+            result = simulate(ckt, t_stop=2e-9, dt=2e-12, v_init={"out": vdd})
+            delays.append(
+                result.waveform("in").delay_to(
+                    result.waveform("out"), vdd / 2,
+                    rising_self=True, rising_other=False,
+                )
+            )
+        assert delays[1] > 2.0 * delays[0]
+
+    def test_supply_energy_positive_on_rising_output(self):
+        ckt, vdd = self.build(falling_input=True, c_load=6e-15)
+        result = simulate(ckt, t_stop=2e-9, dt=2e-12, v_init={"out": 0.0})
+        energy = result.source_energy("vdd", v_level=vdd)
+        assert energy == pytest.approx(6e-15 * vdd**2, rel=0.1)
+
+
+class TestSolverBehaviour:
+    def test_rejects_bad_timestep(self):
+        with pytest.raises(ValueError, match="dt"):
+            simulate(rc_circuit(), t_stop=1e-9, dt=0.0)
+
+    def test_rejects_bad_stop_time(self):
+        with pytest.raises(ValueError, match="t_stop"):
+            simulate(rc_circuit(), t_stop=-1.0, dt=1e-12)
+
+    def test_v_init_applied(self):
+        ckt = rc_circuit(t_step=50e-9)  # source stays 0 during the run
+        result = simulate(ckt, t_stop=3e-9, dt=10e-12, v_init={"out": 1.0})
+        wf = result.waveform("out")
+        assert wf.values[0] == 1.0
+        # Discharges toward the 0 V source through R (tau = 1 ns from t=0).
+        assert wf.value_at(1.0e-9) == pytest.approx(math.exp(-1), abs=0.02)
+
+    def test_unknown_node_lookup(self):
+        result = simulate(rc_circuit(), t_stop=1e-9, dt=10e-12)
+        with pytest.raises(KeyError, match="known nodes"):
+            result.waveform("nope")
+
+    def test_newton_iterations_counted(self):
+        result = simulate(rc_circuit(), t_stop=1e-9, dt=10e-12)
+        assert result.newton_iterations >= 100  # at least one per step
+
+    def test_time_axis(self):
+        result = simulate(rc_circuit(), t_stop=1e-9, dt=100e-12)
+        assert len(result.time) == 11
+        assert result.time[0] == 0.0
+        assert result.time[-1] == pytest.approx(1e-9)
+
+    def test_pulse_through_rc_returns_to_zero(self):
+        ckt = Circuit("rc_pulse")
+        ckt.add(VoltageSource("in", PulseWaveform(0.0, 1.0, t_delay=0.2e-9,
+                                                  t_width=2e-9)))
+        ckt.add(Resistor("in", "out", 1e3))
+        ckt.add(Capacitor("out", "0", 0.2e-12))
+        result = simulate(ckt, t_stop=8e-9, dt=10e-12)
+        wf = result.waveform("out")
+        assert wf.v_max > 0.95
+        assert wf.settled_value() < 0.02
+
+
+class TestConvergenceRecovery:
+    def test_substep_retry_on_stiff_step(self):
+        """A violently fast edge at a coarse timestep forces the solver
+        into its 4x-substep retry path; the result must still be correct."""
+        ckt = Circuit("stiff")
+        ckt.add(VoltageSource("vdd", 1.1))
+        # A near-instant 3-decade input slew into a high-gain stage.
+        ckt.add(VoltageSource("in", StepWaveform(0.0, 1.1, t_step=0.5e-9,
+                                                 t_rise=1e-15)))
+        ckt.add(MOSFETElement("out", "in", "0", nmos(width=50.0)))
+        ckt.add(MOSFETElement("out", "in", "vdd", pmos(width=100.0)))
+        ckt.add(Capacitor("out", "0", 0.05e-15))
+        result = simulate(ckt, t_stop=1.5e-9, dt=50e-12,
+                          v_init={"out": 1.1}, max_newton=8)
+        assert result.waveform("out").settled_value() < 0.05
+
+    def test_scalar_path_retry_too(self):
+        ckt = Circuit("stiff2")
+        ckt.add(VoltageSource("vdd", 1.1))
+        ckt.add(VoltageSource("in", StepWaveform(0.0, 1.1, t_step=0.5e-9,
+                                                 t_rise=1e-15)))
+        ckt.add(MOSFETElement("out", "in", "0", nmos(width=50.0)))
+        ckt.add(MOSFETElement("out", "in", "vdd", pmos(width=100.0)))
+        ckt.add(Capacitor("out", "0", 0.05e-15))
+        result = simulate(ckt, t_stop=1.5e-9, dt=50e-12,
+                          v_init={"out": 1.1}, max_newton=8, fastpath=False)
+        assert result.waveform("out").settled_value() < 0.05

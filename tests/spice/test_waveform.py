@@ -1,0 +1,121 @@
+"""Tests of waveform measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice.waveform import Waveform
+
+
+def ramp(t0=0.0, t1=1.0, v0=0.0, v1=1.0, n=101):
+    t = np.linspace(t0, t1, n)
+    return Waveform(t, v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+
+
+class TestConstruction:
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Waveform([0, 1, 2], [0, 1])
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError, match="two samples"):
+            Waveform([0], [1])
+
+    def test_rejects_nonmonotonic_time(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Waveform([0, 1, 1], [0, 1, 2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Waveform(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestQueries:
+    def test_value_at_interpolates(self):
+        wf = ramp()
+        assert wf.value_at(0.25) == pytest.approx(0.25)
+
+    def test_value_at_clamps(self):
+        wf = ramp()
+        assert wf.value_at(-1.0) == 0.0
+        assert wf.value_at(2.0) == 1.0
+
+    def test_min_max(self):
+        wf = Waveform([0, 1, 2], [0.5, -1.0, 2.0])
+        assert wf.v_min == -1.0
+        assert wf.v_max == 2.0
+
+
+class TestCrossings:
+    def test_rising_crossing_interpolated(self):
+        wf = ramp()
+        assert wf.first_crossing(0.5, rising=True) == pytest.approx(0.5)
+
+    def test_falling_crossing(self):
+        wf = ramp(v0=1.0, v1=0.0)
+        assert wf.first_crossing(0.5, rising=False) == pytest.approx(0.5)
+
+    def test_direction_filter(self):
+        t = np.linspace(0, 2, 201)
+        v = np.where(t < 1, t, 2 - t)  # triangle up then down
+        wf = Waveform(t, v)
+        ups = wf.crossing_times(0.5, rising=True)
+        downs = wf.crossing_times(0.5, rising=False)
+        assert len(ups) == 1 and ups[0] == pytest.approx(0.5, abs=0.02)
+        assert len(downs) == 1 and downs[0] == pytest.approx(1.5, abs=0.02)
+
+    def test_no_crossing_raises_with_context(self):
+        wf = ramp()
+        with pytest.raises(ValueError, match="no falling crossing"):
+            wf.first_crossing(0.5, rising=False)
+
+    def test_after_parameter(self):
+        t = np.linspace(0, 2, 201)
+        v = np.where(t < 1, t, 2 - t)
+        wf = Waveform(t, v)
+        with pytest.raises(ValueError):
+            wf.first_crossing(0.5, rising=True, after=1.0)
+
+    def test_delay_to(self):
+        early = ramp(t0=0.0, t1=1.0)
+        late = ramp(t0=0.5, t1=1.5)
+        assert early.delay_to(late, 0.5, rising_self=True,
+                              rising_other=True) == pytest.approx(0.5)
+
+
+class TestSlewAndSettle:
+    def test_rising_slew(self):
+        wf = ramp()
+        # 10%..90% of a unit ramp over 1 s is 0.8 s.
+        assert wf.slew() == pytest.approx(0.8, rel=0.02)
+
+    def test_falling_slew(self):
+        wf = ramp(v0=1.0, v1=0.0)
+        assert wf.slew(rising=False) == pytest.approx(0.8, rel=0.02)
+
+    def test_settled_value_uses_tail(self):
+        t = np.linspace(0, 1, 101)
+        v = np.where(t < 0.5, 5.0, 1.0)
+        wf = Waveform(t, v)
+        assert wf.settled_value() == pytest.approx(1.0)
+
+
+class TestProperties:
+    @given(
+        level=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_ramp_crossing_matches_inverse(self, level):
+        wf = ramp()
+        assert wf.first_crossing(level, rising=True) == pytest.approx(
+            level, abs=0.02
+        )
+
+    @given(shift=st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_delay_equals_shift(self, shift):
+        a = ramp()
+        b = ramp(t0=shift, t1=shift + 1.0)
+        assert a.delay_to(b, 0.5, rising_self=True,
+                          rising_other=True) == pytest.approx(shift, abs=0.02)
