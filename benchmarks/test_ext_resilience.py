@@ -1,0 +1,45 @@
+"""Extension bench: closed-loop resilience yield vs spare provisioning.
+
+Runs the Monte Carlo BIST -> repair study and prints the yield table
+plus the refresh schedule.  The headline: repair yield is monotone in
+the spare count and tracks the exact binomial model, post-repair
+searches are exact, and failed repairs are never silent (every search
+carries the degraded flag).
+"""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments.ext_resilience import (
+    format_resilience,
+    run_resilience_study,
+)
+
+
+def _study():
+    return run_resilience_study(
+        spare_counts=(0, 1, 2, 4), n_rows=12, n_trials=10, n_queries=6
+    )
+
+
+def test_ext_resilience_yield(benchmark):
+    result = run_once(benchmark, _study)
+    print()
+    print(format_resilience(result))
+
+    by_spares = {r.n_spares: r for r in result.records}
+    # Yield is monotone in the spare count -- measured and analytic.
+    for lo, hi in ((0, 1), (1, 2), (2, 4)):
+        assert by_spares[hi].measured_yield >= by_spares[lo].measured_yield
+        assert by_spares[hi].analytic_yield > by_spares[lo].analytic_yield
+    # A fully repaired array searches exactly.
+    for record in result.records:
+        if not math.isnan(record.wrong_best_repaired):
+            assert record.wrong_best_repaired == 0.0
+        # Unrepaired arrays always flag degraded -- never a silent miss.
+        assert record.degraded_flagged == 1.0
+    # The refresh schedule is actionable: finite interval, real budget.
+    plan = result.refresh_plan
+    assert plan.interval_s > 0
+    assert plan.cycle_budget > 0
+    assert plan.lifetime_s == plan.cycle_budget * plan.interval_s

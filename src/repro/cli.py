@@ -189,6 +189,16 @@ def _dse(fast: bool) -> str:
     return "\n".join(lines)
 
 
+def _resilience(fast: bool) -> str:
+    from repro.experiments.ext_resilience import (
+        format_resilience,
+        run_resilience_study,
+    )
+
+    kwargs = {"n_rows": 8, "n_trials": 6, "n_queries": 4} if fast else {}
+    return format_resilience(run_resilience_study(**kwargs))
+
+
 def _area(fast: bool) -> str:
     from repro.analysis.reporting import format_table
     from repro.core.area import cell_area_comparison, density_advantage
@@ -219,13 +229,14 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
     "batch": ("Extension: batched-inference crossover vs GPU", _batch),
     "dse": ("Extension: design-space Pareto exploration", _dse),
     "area": ("Extension: cell/array area model", _area),
+    "resilience": ("Extension: BIST/repair yield & refresh schedule", _resilience),
 }
 
 #: Paper-order listing for the full report.
 REPORT_ORDER = [
     "fig1", "fig2", "fig4", "fig5", "table1", "fig6", "fig7", "fig8",
     "ablations", "retention", "temperature", "online", "batch", "dse",
-    "area",
+    "area", "resilience",
 ]
 
 
@@ -246,6 +257,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="reduced problem sizes")
     report.add_argument("--output", metavar="FILE", default=None,
                         help="also write the report to a file")
+    resilience = sub.add_parser(
+        "resilience",
+        help="BIST/repair yield-vs-spares study with tunable fault rates",
+    )
+    resilience.add_argument(
+        "--spares", type=int, nargs="+", default=[0, 1, 2, 4],
+        metavar="N", help="spare-row counts to sweep",
+    )
+    resilience.add_argument(
+        "--cell-fault-rate", type=float, default=0.002,
+        help="per-cell hard-fault probability",
+    )
+    resilience.add_argument(
+        "--dead-row-rate", type=float, default=0.05,
+        help="per-row chain-failure probability",
+    )
+    resilience.add_argument(
+        "--rows", type=int, default=16, help="logical (data) rows",
+    )
+    resilience.add_argument(
+        "--trials", type=int, default=12, help="Monte Carlo trials per point",
+    )
+    resilience.add_argument(
+        "--seed", type=int, default=11, help="fault-map seed",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -256,6 +292,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         _, runner = EXPERIMENTS[args.experiment]
         print(runner(args.fast))
+        return 0
+    if args.command == "resilience":
+        from repro.experiments.ext_resilience import (
+            format_resilience,
+            run_resilience_study,
+        )
+
+        print(
+            format_resilience(
+                run_resilience_study(
+                    spare_counts=args.spares,
+                    cell_fault_rate=args.cell_fault_rate,
+                    dead_row_rate=args.dead_row_rate,
+                    n_rows=args.rows,
+                    n_trials=args.trials,
+                    seed=args.seed,
+                )
+            )
+        )
         return 0
     if args.command == "report":
         sections: List[str] = []

@@ -300,6 +300,59 @@ class FastTDAMArray:
         fb_on = (vsl_b - vth_b) >= self._von
         return fa_on | fb_on
 
+    def result_from_mismatch_matrix(
+        self,
+        mism: np.ndarray,
+        d_c_eff: Optional[np.ndarray] = None,
+    ) -> SearchResult:
+        """Assemble a :class:`SearchResult` from per-cell mismatch decisions.
+
+        The single place where the delay law ``d_tot = 2 N d_INV +
+        N_mis d_C`` is turned into delays, TDC counts, decoded distances,
+        the distance -> delay -> row winner resolution, and the energy
+        total.  Both the clean search path and the fault-injected one
+        (:class:`~repro.core.faults.FaultyTDAMArray`) go through here, so
+        their decode and ordering semantics cannot drift apart.
+
+        Args:
+            mism: Boolean mismatch decisions, shape (n_rows, n_stages).
+                A row whose chain never produces an edge (dead row) is
+                represented as all-True: its delay evaluates to the
+                controller timeout ``chain_delay(n_stages)`` and it
+                decodes to the maximum distance.
+            d_c_eff: Optional per-cell effective mismatch delay adder (s),
+                shape (n_rows, n_stages); defaults to the nominal ``d_C``
+                for every cell.
+        """
+        mism = np.asarray(mism, dtype=bool)
+        if mism.shape != (self.n_rows, self.config.n_stages):
+            raise ValueError(
+                f"mismatch matrix shape {mism.shape} != "
+                f"({self.n_rows}, {self.config.n_stages})"
+            )
+        base = 2 * self.config.n_stages * self.timing.d_inv
+        if d_c_eff is None:
+            delays = base + mism.sum(axis=1) * self.timing.d_c
+        else:
+            delays = base + (mism * d_c_eff).sum(axis=1)
+        counts = np.array([self.tdc.count(d) for d in delays])
+        distances = np.array([self.tdc.decode_mismatches(d) for d in delays])
+        energy = float(
+            sum(
+                self.timing.search_cost(int(m)).energy_j
+                for m in mism.sum(axis=1)
+            )
+        )
+        return SearchResult(
+            delays_s=delays,
+            counts=counts,
+            hamming_distances=distances,
+            best_row=_resolve_best(distances, delays),
+            latency_s=float(delays.max()),
+            energy_j=energy,
+            n_stages=self.config.n_stages,
+        )
+
     def search(self, query: Sequence[int]) -> SearchResult:
         """Parallel 2-step search (vectorized)."""
         mism = self.mismatch_matrix(query)
@@ -328,26 +381,7 @@ class FastTDAMArray:
         deviation = np.where(fa_on, dev_a, dev_b)
         sens = self.config.delay_variation_sensitivity / self.config.vdd
         d_c_eff = self.timing.d_c * np.maximum(1.0 + sens * deviation, 0.0)
-        base = 2 * self.config.n_stages * self.timing.d_inv
-        delays = base + (mism * d_c_eff).sum(axis=1)
-        counts = np.array([self.tdc.count(d) for d in delays])
-        distances = np.array([self.tdc.decode_mismatches(d) for d in delays])
-        n_mis = mism.sum(axis=1)
-        energy = float(
-            sum(
-                self.timing.search_cost(int(m)).energy_j
-                for m in n_mis
-            )
-        )
-        return SearchResult(
-            delays_s=delays,
-            counts=counts,
-            hamming_distances=distances,
-            best_row=_resolve_best(distances, delays),
-            latency_s=float(delays.max()),
-            energy_j=energy,
-            n_stages=self.config.n_stages,
-        )
+        return self.result_from_mismatch_matrix(mism, d_c_eff=d_c_eff)
 
     def ideal_hamming(self, query: Sequence[int]) -> np.ndarray:
         """Variation-free per-row Hamming distances."""

@@ -77,10 +77,25 @@ class FaultyTDAMArray:
     def write_all(self, matrix) -> None:
         self.array.write_all(matrix)
 
-    def search(self, query) -> SearchResult:
-        """Search with the fault map applied to the mismatch decisions."""
-        base = self.array.mismatch_matrix(query)
-        mism = base.copy()
+    @property
+    def n_rows(self) -> int:
+        """Rows of the wrapped array (interface symmetry)."""
+        return self.array.n_rows
+
+    @property
+    def config(self) -> TDAMConfig:
+        """Design point of the wrapped array (interface symmetry)."""
+        return self.array.config
+
+    def faulted_mismatch_matrix(self, query) -> np.ndarray:
+        """Mismatch decisions with the fault map applied.
+
+        Stuck cells override the device-level decision; a dead row is
+        all-True (its chain never produces an edge, so the controller
+        times out at the maximum distance).  Dead rows are applied last
+        and dominate any cell fault on the same row.
+        """
+        mism = self.array.mismatch_matrix(query).copy()
         dead_rows: List[int] = []
         for fault in self.faults:
             if fault.kind == FaultType.STUCK_MISMATCH:
@@ -89,33 +104,30 @@ class FaultyTDAMArray:
                 mism[fault.row, fault.stage] = False
             else:
                 dead_rows.append(fault.row)
-        timing = self.array.timing
-        base_delay = 2 * self.array.config.n_stages * timing.d_inv
-        delays = base_delay + mism.sum(axis=1) * timing.d_c
         for row in dead_rows:
-            # A dead chain never produces an edge; the controller times
-            # out and reports the maximum distance.
-            delays[row] = timing.chain_delay(self.array.config.n_stages)
             mism[row, :] = True
-        counts = np.array([self.array.tdc.count(d) for d in delays])
-        distances = np.array(
-            [self.array.tdc.decode_mismatches(d) for d in delays]
+        return mism
+
+    def search(self, query) -> SearchResult:
+        """Search with the fault map applied to the mismatch decisions.
+
+        Delegates delay/decode/ordering/energy to
+        :meth:`FastTDAMArray.result_from_mismatch_matrix` (nominal
+        ``d_C``), so the faulty path shares the clean path's semantics.
+        """
+        return self.array.result_from_mismatch_matrix(
+            self.faulted_mismatch_matrix(query)
         )
-        order = np.lexsort((np.arange(len(distances)), delays, distances))
-        energy = float(
-            sum(
-                timing.search_cost(int(m)).energy_j
-                for m in mism.sum(axis=1)
-            )
-        )
-        return SearchResult(
-            delays_s=delays,
-            counts=counts,
-            hamming_distances=distances,
-            best_row=int(order[0]),
-            latency_s=float(delays.max()),
-            energy_j=energy,
-            n_stages=self.array.config.n_stages,
+
+    def fault_free_search(self, query) -> SearchResult:
+        """The same decode path with the fault map removed.
+
+        The reference for :func:`search_error_statistics`: identical
+        delay model, TDC decode, and distance -> delay -> row tie-break
+        resolution as :meth:`search`, differing only in the faults.
+        """
+        return self.array.result_from_mismatch_matrix(
+            self.array.mismatch_matrix(query)
         )
 
     def ideal_hamming(self, query) -> np.ndarray:
@@ -178,7 +190,11 @@ def search_error_statistics(
 
     Returns:
         ``max_abs_error``, ``mean_abs_error``, ``wrong_best_fraction`` --
-        the last one measured against the fault-free array's best row.
+        the last one measured against the fault-free array's best row,
+        computed through :meth:`FaultyTDAMArray.fault_free_search` so the
+        reference uses the *same* distance -> delay -> row tie-break
+        resolution as ``search()`` (a row-order-only reference would
+        count tie resolutions as wrong bests and inflate the fraction).
     """
     queries = np.atleast_2d(np.asarray(queries))
     abs_errors: List[int] = []
@@ -189,9 +205,7 @@ def search_error_statistics(
         abs_errors.extend(
             np.abs(faulty_result.hamming_distances - ideal).tolist()
         )
-        clean_best = int(
-            np.lexsort((np.arange(len(ideal)), ideal))[0]
-        )
+        clean_best = faulty.fault_free_search(q).best_row
         if faulty_result.best_row != clean_best:
             wrong_best += 1
     errors = np.array(abs_errors, dtype=float)

@@ -6,6 +6,7 @@ Drivers accept size parameters so benches can run reduced versions while
 ``python -m repro.experiments.<driver>`` reproduces the full figure.
 """
 
+from repro.experiments.ext_resilience import run_resilience_study
 from repro.experiments.fig1_device import run_fig1
 from repro.experiments.fig2_cell import run_fig2
 from repro.experiments.fig4_linearity import run_fig4
@@ -17,6 +18,7 @@ from repro.experiments.table1_comparison import run_table1
 
 __all__ = [
     "run_fig1",
+    "run_resilience_study",
     "run_fig2",
     "run_fig4",
     "run_fig5_ab",

@@ -1,0 +1,60 @@
+"""Closed-loop resilience: the TD-AM that detects, repairs, and refreshes.
+
+The fault, variation, and drift models elsewhere in the package are
+*passive* -- they measure how much damage an effect does.  This
+subsystem closes the loop so the array survives the damage in service:
+
+- :mod:`~repro.resilience.bist` -- a march-style built-in self-test that
+  diagnoses per-cell faults purely from decoded distances.
+- :mod:`~repro.resilience.repair` -- turns a diagnosis into spare-row
+  remapping, array-wide stage masking, and (last resort) row
+  retirement, plus the binomial yield model for spare provisioning.
+- :mod:`~repro.resilience.refresh` -- schedules rewrites before
+  retention drift eats the half-LSB sensing margin, budgeted against
+  endurance fatigue.
+- :mod:`~repro.resilience.resilient` --
+  :class:`~repro.resilience.resilient.ResilientTDAMArray`, the
+  self-healing wrapper that runs the whole loop and serves searches
+  with explicit health/confidence metadata and a degraded-mode flag.
+"""
+
+from repro.resilience.bist import (
+    CellDiagnosis,
+    CellFaultKind,
+    DiagnosisReport,
+    MarchBIST,
+    RowDiagnosis,
+    default_backgrounds,
+)
+from repro.resilience.refresh import RefreshPlan, RefreshScheduler
+from repro.resilience.repair import (
+    RepairEngine,
+    RepairPlan,
+    repair_yield,
+    row_failure_probability,
+    spares_for_yield,
+)
+from repro.resilience.resilient import (
+    HealthReport,
+    ResilientSearchResult,
+    ResilientTDAMArray,
+)
+
+__all__ = [
+    "MarchBIST",
+    "DiagnosisReport",
+    "RowDiagnosis",
+    "CellDiagnosis",
+    "CellFaultKind",
+    "default_backgrounds",
+    "RepairEngine",
+    "RepairPlan",
+    "row_failure_probability",
+    "repair_yield",
+    "spares_for_yield",
+    "RefreshScheduler",
+    "RefreshPlan",
+    "ResilientTDAMArray",
+    "ResilientSearchResult",
+    "HealthReport",
+]

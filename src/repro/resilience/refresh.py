@@ -1,0 +1,278 @@
+"""Retention-aware refresh scheduling, budgeted against endurance.
+
+An NVM associative memory drifts: remnant polarization decays and every
+programmed V_TH relaxes toward the window center
+(:class:`~repro.devices.nonideal.RetentionModel`).  Two failure
+mechanisms race as the drift grows:
+
+- **delay margin**: V_TH drift modulates the mismatch delay ``d_C``
+  through the stage's (deliberately weak) variation coupling; once the
+  worst-case accumulated delay error exceeds the half-LSB sensing margin
+  (:meth:`repro.core.sensing.CounterTDC.sensing_margin_s`), the TDC
+  decodes wrong distances;
+- **match margin**: drift beyond the conduction margin (minus the switch
+  turn-on overdrive) flips comparisons outright -- matching cells
+  falsely conduct, one-level mismatches go undetected.
+
+Rewriting a row re-programs its polarization and resets the drift clock,
+but every rewrite is a program/erase cycle that fatigues the window
+(:class:`~repro.devices.nonideal.EnduranceModel`).
+:class:`RefreshScheduler` resolves the trade: it computes the largest
+safe refresh interval from the tightest drift limit, and the endurance
+cycle budget that interval can draw on -- giving the array's
+refresh-limited service lifetime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import TDAMConfig
+from repro.core.energy import TimingEnergyModel
+from repro.core.sensing import CounterTDC
+from repro.devices.nonideal import (
+    EnduranceModel,
+    RetentionModel,
+    retention_limited_lifetime_s,
+)
+
+#: Horizon beyond which drift times are treated as unbounded (s).
+DRIFT_HORIZON_S = 1e12
+
+
+@dataclass(frozen=True)
+class RefreshPlan:
+    """The resolved refresh schedule of one design point.
+
+    Attributes:
+        interval_s: Safe refresh period (tightest drift time divided by
+            the safety factor).
+        limiting_mechanism: Which margin sets the interval --
+            ``"delay-margin"`` or ``"match-margin"`` (``"none"`` when no
+            refresh is ever needed within the horizon).
+        drift_limit_v: The tightest tolerable worst-case V_TH drift.
+        t_delay_margin_s: Time for drift to eat the half-LSB sensing
+            margin.
+        t_match_margin_s: Time for drift to flip a comparison.
+        cycle_budget: Program/erase cycles the endurance model allows
+            before the ladder no longer fits the fatigued window.
+        lifetime_s: Refresh-limited service life:
+            ``cycle_budget * interval_s``.
+        safety_factor: Margin between the drift time and the interval.
+    """
+
+    interval_s: float
+    limiting_mechanism: str
+    drift_limit_v: float
+    t_delay_margin_s: float
+    t_match_margin_s: float
+    cycle_budget: float
+    lifetime_s: float
+    safety_factor: float
+
+    def summary(self) -> str:
+        """One-line human-readable schedule."""
+        if self.limiting_mechanism == "none":
+            return "refresh: never needed within the horizon"
+        return (
+            f"refresh every {self.interval_s:.3g} s "
+            f"({self.limiting_mechanism}-limited, "
+            f"drift limit {self.drift_limit_v * 1e3:.1f} mV); "
+            f"endurance budget {self.cycle_budget:.3g} cycles -> "
+            f"lifetime {self.lifetime_s:.3g} s"
+        )
+
+
+class RefreshScheduler:
+    """Decides when stored rows must be rewritten.
+
+    Args:
+        config: Design point (ladder geometry, timing, TDC clock).
+        retention: Drift model; defaults to the standard HfO2 numbers
+            with the config's device parameters.
+        endurance: Cycling model for the refresh budget; same default.
+        turn_on_overdrive: Switch-on overdrive of the FeFET channel (V),
+            as calibrated by
+            :meth:`repro.core.array.FastTDAMArray.turn_on_overdrive`.
+        safety_factor: Interval = drift time / safety factor (>= 1).
+        worst_case_mismatches: Mismatch count assumed when bounding the
+            accumulated delay error; defaults to the full chain (every
+            stage mismatching -- the true worst case).
+    """
+
+    def __init__(
+        self,
+        config: TDAMConfig,
+        retention: Optional[RetentionModel] = None,
+        endurance: Optional[EnduranceModel] = None,
+        turn_on_overdrive: float = 0.077,
+        safety_factor: float = 2.0,
+        worst_case_mismatches: Optional[int] = None,
+    ) -> None:
+        if safety_factor < 1.0:
+            raise ValueError(
+                f"safety_factor must be >= 1, got {safety_factor}"
+            )
+        self.config = config
+        self.retention = retention or RetentionModel(params=config.fefet)
+        self.endurance = endurance or EnduranceModel(params=config.fefet)
+        self.turn_on_overdrive = turn_on_overdrive
+        self.safety_factor = safety_factor
+        n = config.n_stages
+        if worst_case_mismatches is None:
+            worst_case_mismatches = n
+        if not 1 <= worst_case_mismatches <= n:
+            raise ValueError(
+                f"worst_case_mismatches must be in [1, {n}], "
+                f"got {worst_case_mismatches}"
+            )
+        self.worst_case_mismatches = worst_case_mismatches
+        self.timing = TimingEnergyModel(config)
+        self.tdc = CounterTDC(config, self.timing)
+        self._plan: Optional[RefreshPlan] = None
+
+    # ------------------------------------------------------------------
+    # Drift geometry
+    # ------------------------------------------------------------------
+    @property
+    def max_excursion_v(self) -> float:
+        """Largest |V_TH - center| in the ladder -- the fastest-drifting
+        programmed state."""
+        center = self.retention.params.vth_center
+        return max(abs(v - center) for v in self.config.vth_levels)
+
+    def drift_at(self, t_seconds: float) -> float:
+        """Worst-case |V_TH shift| across the ladder after ``t`` (V)."""
+        frac = self.retention.polarization_fraction(t_seconds)
+        return self.max_excursion_v * (1.0 - frac)
+
+    def time_to_drift(self, drift_v: float) -> float:
+        """Time (s) at which the worst-case drift reaches ``drift_v``.
+
+        Closed-form inverse of the log-time decay; returns
+        :data:`DRIFT_HORIZON_S` when the drift is never reached.
+        """
+        if drift_v <= 0:
+            raise ValueError(f"drift_v must be positive, got {drift_v}")
+        excursion = self.max_excursion_v
+        if excursion <= 0 or drift_v >= excursion:
+            return DRIFT_HORIZON_S
+        loss = drift_v / excursion
+        decades = loss / self.retention.loss_per_decade
+        if decades > 15:  # beyond any physical horizon
+            return DRIFT_HORIZON_S
+        return min(
+            self.retention.t0_s * (10.0**decades - 1.0), DRIFT_HORIZON_S
+        )
+
+    # ------------------------------------------------------------------
+    # Margin limits
+    # ------------------------------------------------------------------
+    def delay_margin_drift_limit_v(self) -> float:
+        """Largest drift the half-LSB sensing margin tolerates (V).
+
+        Each mismatching stage's delay error is
+        ``d_C * sensitivity / V_DD * drift``; with ``worst_case_mismatches``
+        stages accumulating coherently, the total must stay below
+        :meth:`~repro.core.sensing.CounterTDC.sensing_margin_s`.
+        """
+        sens = self.config.delay_variation_sensitivity
+        if sens <= 0:
+            return float("inf")
+        per_volt = (
+            self.worst_case_mismatches
+            * self.timing.d_c
+            * sens
+            / self.config.vdd
+        )
+        return self.tdc.sensing_margin_s() / per_volt
+
+    def match_margin_drift_limit_v(self) -> float:
+        """Largest drift before a comparison can flip outright (V).
+
+        A one-level mismatch over-drives its FeFET by the conduction
+        margin; once drift exceeds that margin minus the switch turn-on
+        overdrive, the mismatch can go undetected (and symmetrically a
+        matching cell can falsely conduct).
+        """
+        return max(
+            self.config.conduction_margin - self.turn_on_overdrive, 0.0
+        )
+
+    # ------------------------------------------------------------------
+    # The schedule
+    # ------------------------------------------------------------------
+    def cycle_budget(self) -> float:
+        """Program/erase cycles before the ladder stops fitting the
+        fatigued memory window (log-cycles grid + bisection refine)."""
+        low, high = self.config.vth_window
+        needed = (high - low) / self.endurance.params.vth_range
+        grid = np.logspace(0, 12, 241)
+        fits = np.array(
+            [self.endurance.window_fraction(n) >= needed for n in grid]
+        )
+        if fits.all():
+            return float(grid[-1])
+        if not fits[0]:
+            return 0.0
+        last_fit = int(np.flatnonzero(fits)[-1])
+        lo, hi = float(grid[last_fit]), float(grid[min(last_fit + 1, len(grid) - 1)])
+        for _ in range(60):
+            mid = math.sqrt(lo * hi)
+            if self.endurance.window_fraction(mid) >= needed:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def plan(self) -> RefreshPlan:
+        """Resolve (and cache) the refresh schedule."""
+        if self._plan is not None:
+            return self._plan
+        t_delay = self.time_to_drift(self.delay_margin_drift_limit_v())
+        match_limit = self.match_margin_drift_limit_v()
+        if match_limit > 0:
+            t_match_drift = self.time_to_drift(match_limit)
+        else:
+            t_match_drift = 0.0
+        # The exact false-conduction time of an aged matching cell.
+        t_match_exact = retention_limited_lifetime_s(
+            self.config.vth_levels,
+            self.config.vsl_levels,
+            self.retention,
+            turn_on_overdrive=self.turn_on_overdrive,
+            t_max_s=DRIFT_HORIZON_S,
+        )
+        t_match = min(t_match_drift, t_match_exact)
+        if t_delay >= DRIFT_HORIZON_S and t_match >= DRIFT_HORIZON_S:
+            mechanism, t_limit = "none", DRIFT_HORIZON_S
+            drift_limit = self.max_excursion_v
+        elif t_delay <= t_match:
+            mechanism, t_limit = "delay-margin", t_delay
+            drift_limit = self.delay_margin_drift_limit_v()
+        else:
+            mechanism, t_limit = "match-margin", t_match
+            drift_limit = match_limit
+        interval = t_limit / self.safety_factor
+        budget = self.cycle_budget()
+        self._plan = RefreshPlan(
+            interval_s=interval,
+            limiting_mechanism=mechanism,
+            drift_limit_v=drift_limit,
+            t_delay_margin_s=t_delay,
+            t_match_margin_s=t_match,
+            cycle_budget=budget,
+            lifetime_s=budget * interval,
+            safety_factor=self.safety_factor,
+        )
+        return self._plan
+
+    def due(self, age_s: float) -> bool:
+        """Whether data of the given age must be rewritten now."""
+        if age_s < 0:
+            raise ValueError(f"age_s must be >= 0, got {age_s}")
+        return age_s >= self.plan().interval_s

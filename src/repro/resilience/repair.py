@@ -1,0 +1,270 @@
+"""Repair planning: spare rows, stage masking, and the yield model.
+
+Consumes a :class:`~repro.resilience.bist.DiagnosisReport` and produces
+a :class:`RepairPlan` -- the classic CAM/SRAM redundancy toolbox applied
+to the TD-AM's structure:
+
+- **stage masking**: a faulty stage *column* is excluded from the
+  distance array-wide (its search lines are driven so no cell conducts,
+  so the stage never adds ``d_C``).  Masking the whole column keeps
+  distances comparable across rows; the similarity is then rescaled to
+  the surviving stage count.  Each masked column costs one element of
+  similarity resolution, so the budget is bounded.
+- **spare-row remapping**: rows whose faults masking cannot absorb are
+  remapped onto healthy spare rows appended to the array.
+- **retirement**: when spares run out, the remaining bad rows are
+  retired -- the array keeps serving the surviving rows but every result
+  is flagged *degraded* so a wrong nearest neighbor is never silent.
+
+The yield model answers the provisioning question -- how many spares
+does a target fault rate need -- with exact binomial accounting,
+including the possibility that spares themselves are defective.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.resilience.bist import DiagnosisReport
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """Outcome of planning repairs for one diagnosis.
+
+    Attributes:
+        row_remap: Faulty data row -> healthy spare row (physical
+            indices).
+        masked_stages: Stage columns excluded from the distance
+            array-wide.
+        retired_rows: Data rows that could be neither masked around nor
+            remapped (spares exhausted); searches over them must be
+            flagged degraded.
+        spares_used: Spare rows consumed by this plan.
+        spares_left: Healthy spare rows remaining after this plan.
+        n_effective_stages: Surviving stage count after masking --
+            the denominator for rescaled similarity.
+    """
+
+    row_remap: Dict[int, int]
+    masked_stages: Tuple[int, ...]
+    retired_rows: Tuple[int, ...]
+    spares_used: int
+    spares_left: int
+    n_effective_stages: int
+
+    @property
+    def degraded(self) -> bool:
+        """True when the plan could not fully repair the array."""
+        return bool(self.retired_rows)
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the diagnosis needed no repair at all."""
+        return (
+            not self.row_remap
+            and not self.masked_stages
+            and not self.retired_rows
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable plan description."""
+        if self.is_noop:
+            return "repair: nothing to do"
+        parts = []
+        if self.masked_stages:
+            parts.append(f"mask stages {list(self.masked_stages)}")
+        if self.row_remap:
+            parts.append(
+                f"remap rows {sorted(self.row_remap)} -> "
+                f"{[self.row_remap[r] for r in sorted(self.row_remap)]}"
+            )
+        if self.retired_rows:
+            parts.append(
+                f"RETIRE rows {list(self.retired_rows)} (degraded mode)"
+            )
+        return "repair: " + ", ".join(parts)
+
+
+class RepairEngine:
+    """Plans repairs from a BIST diagnosis.
+
+    Policy, in order:
+
+    1. masked columns are chosen greedily by how many live-row faulty
+       cells they absorb, up to ``max_masked_stages``;
+    2. dead rows and rows with unmasked faults take healthy spares in
+       row order;
+    3. leftover bad rows are retired (degraded mode).
+
+    Args:
+        max_masked_stages: Stage-masking budget.  Each masked column
+            costs one element of similarity resolution array-wide, so
+            the default is small.
+    """
+
+    def __init__(self, max_masked_stages: int = 2) -> None:
+        if max_masked_stages < 0:
+            raise ValueError(
+                f"max_masked_stages must be >= 0, got {max_masked_stages}"
+            )
+        self.max_masked_stages = max_masked_stages
+
+    def plan(
+        self,
+        diagnosis: DiagnosisReport,
+        data_rows: Sequence[int],
+        spare_rows: Sequence[int],
+    ) -> RepairPlan:
+        """Produce a :class:`RepairPlan` for the diagnosed array.
+
+        Args:
+            diagnosis: BIST outcome over the *physical* array (data and
+                spare rows alike).
+            data_rows: Physical rows currently holding data.
+            spare_rows: Physical rows available as replacements; only
+                the ones the diagnosis finds fully healthy are usable.
+        """
+        by_row = {r.row: r for r in diagnosis.rows}
+        for row in list(data_rows) + list(spare_rows):
+            if row not in by_row:
+                raise ValueError(f"row {row} missing from the diagnosis")
+        healthy_spares = [r for r in spare_rows if by_row[r].healthy]
+
+        # 1. Greedy column masking over live (non-dead) data rows.
+        column_load = Counter()
+        for row in data_rows:
+            verdict = by_row[row]
+            if verdict.dead:
+                continue
+            for stage in verdict.faulty_stages:
+                column_load[stage] += 1
+        masked: list = []
+        for stage, _count in sorted(
+            column_load.items(), key=lambda item: (-item[1], item[0])
+        ):
+            if len(masked) >= self.max_masked_stages:
+                break
+            masked.append(stage)
+        masked_set = set(masked)
+
+        # 2./3. Spare assignment, then retirement.
+        remap: Dict[int, int] = {}
+        retired: list = []
+        pool = list(healthy_spares)
+        for row in data_rows:
+            verdict = by_row[row]
+            unmasked_faults = [
+                s for s in verdict.faulty_stages if s not in masked_set
+            ]
+            if not verdict.dead and not unmasked_faults:
+                continue
+            if pool:
+                remap[row] = pool.pop(0)
+            else:
+                retired.append(row)
+        return RepairPlan(
+            row_remap=remap,
+            masked_stages=tuple(sorted(masked_set)),
+            retired_rows=tuple(retired),
+            spares_used=len(remap),
+            spares_left=len(pool),
+            n_effective_stages=diagnosis.n_stages - len(masked_set),
+        )
+
+
+# ----------------------------------------------------------------------
+# Yield model
+# ----------------------------------------------------------------------
+def row_failure_probability(
+    p_cell: float,
+    n_stages: int,
+    p_dead: float = 0.0,
+    cell_fault_tolerance: int = 0,
+) -> float:
+    """Probability that one row needs a spare.
+
+    A row fails when its chain is dead or when it carries more faulty
+    cells than the masking budget absorbs.  ``cell_fault_tolerance``
+    approximates the (globally shared) column-masking budget as a
+    per-row allowance -- exact for isolated faults, slightly optimistic
+    when faults cluster on distinct columns.
+
+    Args:
+        p_cell: Per-cell hard-fault probability.
+        n_stages: Cells per row.
+        p_dead: Whole-row (chain) failure probability.
+        cell_fault_tolerance: Faulty cells a row survives via masking.
+    """
+    if not 0.0 <= p_cell <= 1.0 or not 0.0 <= p_dead <= 1.0:
+        raise ValueError("probabilities must be in [0, 1]")
+    if cell_fault_tolerance < 0:
+        raise ValueError(
+            f"cell_fault_tolerance must be >= 0, got {cell_fault_tolerance}"
+        )
+    p_few_faults = sum(
+        math.comb(n_stages, k) * p_cell**k * (1.0 - p_cell) ** (n_stages - k)
+        for k in range(min(cell_fault_tolerance, n_stages) + 1)
+    )
+    return 1.0 - (1.0 - p_dead) * p_few_faults
+
+
+def repair_yield(n_rows: int, n_spares: int, p_row_fail: float) -> float:
+    """Probability that every data row finds a home (full repair).
+
+    Exact double-binomial accounting: the array repairs fully when the
+    number of failed data rows does not exceed the number of *healthy*
+    spares (spares fail at the same rate as data rows).
+    """
+    if n_rows < 1:
+        raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+    if n_spares < 0:
+        raise ValueError(f"n_spares must be >= 0, got {n_spares}")
+    if not 0.0 <= p_row_fail <= 1.0:
+        raise ValueError(f"p_row_fail must be in [0, 1], got {p_row_fail}")
+    q = 1.0 - p_row_fail
+    total = 0.0
+    for bad in range(n_rows + 1):
+        p_bad = math.comb(n_rows, bad) * p_row_fail**bad * q ** (n_rows - bad)
+        if bad == 0:
+            total += p_bad
+            continue
+        p_enough_spares = sum(
+            math.comb(n_spares, good) * q**good * p_row_fail ** (n_spares - good)
+            for good in range(bad, n_spares + 1)
+        )
+        total += p_bad * p_enough_spares
+    return total
+
+
+def spares_for_yield(
+    target_yield: float,
+    n_rows: int,
+    p_row_fail: float,
+    max_spares: Optional[int] = None,
+) -> int:
+    """Smallest spare count reaching a target full-repair yield.
+
+    Args:
+        target_yield: Required probability of full repair, in (0, 1).
+        n_rows: Data rows.
+        p_row_fail: Per-row failure probability (see
+            :func:`row_failure_probability`).
+        max_spares: Search ceiling; defaults to ``n_rows``.  Raises if
+            the target is unreachable within it.
+    """
+    if not 0.0 < target_yield < 1.0:
+        raise ValueError(
+            f"target_yield must be in (0, 1), got {target_yield}"
+        )
+    ceiling = max_spares if max_spares is not None else n_rows
+    for spares in range(ceiling + 1):
+        if repair_yield(n_rows, spares, p_row_fail) >= target_yield:
+            return spares
+    raise ValueError(
+        f"target yield {target_yield} unreachable with {ceiling} spares "
+        f"at p_row_fail={p_row_fail}"
+    )

@@ -1,0 +1,487 @@
+"""The self-healing TD-AM: closed-loop BIST, repair, refresh, serve.
+
+:class:`ResilientTDAMArray` wraps a
+:class:`~repro.core.array.FastTDAMArray` (optionally carrying a hard
+fault map through :class:`~repro.core.faults.FaultyTDAMArray`) and keeps
+it serving correct nearest neighbors through its whole service life:
+
+- **spare rows** are provisioned beyond the logical capacity and taken
+  into use when BIST finds dead or unmaskable rows;
+- **periodic BIST** (:class:`~repro.resilience.bist.MarchBIST`) runs
+  every ``bist_interval`` searches (or on demand), with the stored data
+  held in a shadow image and restored afterwards;
+- **repairs** (:class:`~repro.resilience.repair.RepairEngine`) are
+  applied automatically: stage columns masked, rows remapped to spares,
+  and -- only when spares are exhausted -- rows retired;
+- **retention drift** is tracked per physical row and cleared by
+  rewrites; the :class:`~repro.resilience.refresh.RefreshScheduler`
+  decides when a refresh is due, and every refresh spends endurance;
+- **replica recalibration** re-derives the TDC decode constants whenever
+  the measured replica delays drift past the sensing margin.
+
+Search results are :class:`ResilientSearchResult` objects carrying
+health metadata: similarity is rescaled to the surviving stage count and
+``degraded`` is ``True`` whenever retired rows exist -- the array never
+silently drops stored vectors from the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.array import FastTDAMArray
+from repro.core.config import TDAMConfig
+from repro.core.faults import Fault, FaultyTDAMArray
+from repro.core.replica import ReplicaCalibratedTDC, measure_replica
+from repro.devices.nonideal import EnduranceModel, RetentionModel
+from repro.devices.variation import VariationModel
+from repro.resilience.bist import DiagnosisReport, MarchBIST
+from repro.resilience.refresh import RefreshScheduler
+from repro.resilience.repair import RepairEngine, RepairPlan
+
+
+@dataclass(frozen=True)
+class ResilientSearchResult:
+    """A search outcome over *logical* rows, with health metadata.
+
+    Attributes:
+        hamming_distances: Per-logical-row decoded distances over the
+            surviving stages; retired rows read the maximum
+            (``n_effective_stages``) so they can never silently win.
+        delays_s: Per-logical-row delays (retired rows: the controller
+            timeout).
+        best_row: Most similar *live* logical row (distance -> delay ->
+            row resolution); ``-1`` when every row is retired.
+        latency_s: Slowest physical chain (rows run in parallel).
+        energy_j: Total physical search energy (spares included).
+        n_stages: Physical chain length.
+        n_effective_stages: Surviving stages after column masking -- the
+            denominator for rescaled similarity.
+        degraded: ``True`` when retired rows exist: the answer may omit
+            stored vectors and must not be trusted silently.
+        confidence: Fraction of the design's resolution still in
+            service: ``(live rows / rows) * (surviving / total stages)``.
+        retired_rows: Logical rows currently without a physical home.
+        masked_stages: Stage columns excluded from the distance.
+    """
+
+    hamming_distances: np.ndarray
+    delays_s: np.ndarray
+    best_row: int
+    latency_s: float
+    energy_j: float
+    n_stages: int
+    n_effective_stages: int
+    degraded: bool
+    confidence: float
+    retired_rows: Tuple[int, ...]
+    masked_stages: Tuple[int, ...]
+
+    @property
+    def similarities(self) -> np.ndarray:
+        """Match counts rescaled to the surviving stage count."""
+        return self.n_effective_stages - self.hamming_distances
+
+    @property
+    def similarity_fractions(self) -> np.ndarray:
+        """Similarities normalized to [0, 1] over surviving stages."""
+        if self.n_effective_stages == 0:
+            return np.zeros_like(self.hamming_distances, dtype=float)
+        return self.similarities / float(self.n_effective_stages)
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Snapshot of the array's serviceability.
+
+    Attributes:
+        n_rows: Logical capacity.
+        n_spares: Provisioned spare rows.
+        spares_free: Healthy spares not yet consumed.
+        masked_stages: Currently masked stage columns.
+        retired_rows: Logical rows without a physical home.
+        degraded: Whether searches currently carry the degraded flag.
+        age_s: Oldest row data age since its last rewrite.
+        refresh_due: Whether the scheduler demands a refresh now.
+        refresh_interval_s: The scheduled refresh period.
+        cycles_used: Worst-case program/erase cycles spent on any row.
+        cycle_budget: Endurance budget for rewrites.
+        searches_since_bist: Searches since the last self-test.
+        last_bist: One-line summary of the last diagnosis (or ``None``).
+    """
+
+    n_rows: int
+    n_spares: int
+    spares_free: int
+    masked_stages: Tuple[int, ...]
+    retired_rows: Tuple[int, ...]
+    degraded: bool
+    age_s: float
+    refresh_due: bool
+    refresh_interval_s: float
+    cycles_used: float
+    cycle_budget: float
+    searches_since_bist: int
+    last_bist: Optional[str]
+
+
+class ResilientTDAMArray:
+    """A self-healing TD-AM array with spare rows and health tracking.
+
+    Args:
+        config: Design point.
+        n_rows: Logical capacity (stored vectors served to the user).
+        n_spares: Extra physical rows provisioned for repair.
+        faults: Hard-fault map injected into the physical array
+            (physical row indices -- spares can be faulty too).
+        variation: Optional write-time V_TH variation model.
+        retention: Drift model; defaults to the standard HfO2 numbers.
+        endurance: Cycling model for the refresh budget.
+        bist_interval: Run BIST-and-repair automatically every this many
+            searches (``None`` disables the automatic loop).
+        max_masked_stages: Stage-masking budget of the repair engine.
+    """
+
+    def __init__(
+        self,
+        config: TDAMConfig,
+        n_rows: int,
+        n_spares: int = 2,
+        faults: Sequence[Fault] = (),
+        variation: Optional[VariationModel] = None,
+        retention: Optional[RetentionModel] = None,
+        endurance: Optional[EnduranceModel] = None,
+        bist_interval: Optional[int] = None,
+        max_masked_stages: int = 2,
+    ) -> None:
+        if n_rows < 1:
+            raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+        if n_spares < 0:
+            raise ValueError(f"n_spares must be >= 0, got {n_spares}")
+        if bist_interval is not None and bist_interval < 1:
+            raise ValueError(
+                f"bist_interval must be >= 1, got {bist_interval}"
+            )
+        self.config = config
+        self.n_rows = n_rows
+        self.n_spares = n_spares
+        total = n_rows + n_spares
+        self._physical = FastTDAMArray(config, total, variation=variation)
+        self._backing = FaultyTDAMArray(self._physical, faults)
+        self.retention = retention or RetentionModel(params=config.fefet)
+        self.scheduler = RefreshScheduler(
+            config,
+            retention=self.retention,
+            endurance=endurance,
+            turn_on_overdrive=self._physical.turn_on_overdrive,
+        )
+        self.bist = MarchBIST()
+        self.engine = RepairEngine(max_masked_stages=max_masked_stages)
+        self.bist_interval = bist_interval
+        self._shadow = np.zeros((n_rows, config.n_stages), dtype=np.int64)
+        self._map: List[int] = list(range(n_rows))
+        self._free_spares: List[int] = list(range(n_rows, total))
+        self._masked: Tuple[int, ...] = ()
+        self._retired: set = set()
+        self._row_age_s = np.zeros(total)
+        self._cycles = np.zeros(total)
+        # Write-time (variation) offsets, the baseline drift adds onto.
+        self._base_off_a = np.zeros((total, config.n_stages))
+        self._base_off_b = np.zeros((total, config.n_stages))
+        self._searches_since_bist = 0
+        self._last_diagnosis: Optional[DiagnosisReport] = None
+        self._replica = ReplicaCalibratedTDC(
+            config, measure_replica(self._physical.timing)
+        )
+        zeros = np.zeros(config.n_stages, dtype=np.int64)
+        for phys in range(total):
+            self._write_physical(phys, zeros)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _write_physical(self, phys: int, vector: np.ndarray) -> None:
+        """Program one physical row: resets its drift clock and records
+        the write-time offsets as the new drift baseline."""
+        self._physical.write(phys, vector)
+        if self._physical.variation is None:
+            self._physical._off_a[phys] = 0.0
+            self._physical._off_b[phys] = 0.0
+        self._base_off_a[phys] = self._physical._off_a[phys]
+        self._base_off_b[phys] = self._physical._off_b[phys]
+        self._row_age_s[phys] = 0.0
+
+    def write(self, row: int, vector: Sequence[int]) -> None:
+        """Store one logical vector (kept in the shadow image too).
+
+        A retired row's data lives only in the shadow until a repair
+        finds it a physical home again.
+        """
+        if not 0 <= row < self.n_rows:
+            raise IndexError(
+                f"row {row} out of range [0, {self.n_rows - 1}]"
+            )
+        values = self._physical.encoding.validate_vector(vector)
+        self._shadow[row] = values
+        if row not in self._retired:
+            self._write_physical(self._map[row], values)
+            self._cycles[self._map[row]] += 1
+
+    def write_all(self, matrix: Sequence[Sequence[int]]) -> None:
+        """Store every logical row from an (n_rows, n_stages) matrix."""
+        matrix = np.asarray(matrix)
+        if matrix.shape[0] != self.n_rows:
+            raise ValueError(
+                f"matrix has {matrix.shape[0]} rows, array has {self.n_rows}"
+            )
+        for row in range(self.n_rows):
+            self.write(row, matrix[row])
+
+    # ------------------------------------------------------------------
+    # Aging
+    # ------------------------------------------------------------------
+    def advance_time(self, dt_s: float) -> None:
+        """Age every physical row by ``dt_s`` and apply retention drift.
+
+        Drift is evaluated per row from its own time-since-rewrite, so a
+        freshly refreshed row is pristine while its neighbors keep
+        drifting.
+        """
+        if dt_s < 0:
+            raise ValueError(f"dt_s must be >= 0, got {dt_s}")
+        self._row_age_s += dt_s
+        self._apply_drift()
+
+    def _apply_drift(self) -> None:
+        vth = np.array(self.config.vth_levels)
+        levels = self.config.levels
+        stored = self._physical._stored
+        for phys in range(len(self._row_age_s)):
+            age = float(self._row_age_s[phys])
+            drift_a = self.retention.vth_shifts(vth[stored[phys]], age)
+            drift_b = self.retention.vth_shifts(
+                vth[levels - 1 - stored[phys]], age
+            )
+            self._physical._off_a[phys] = self._base_off_a[phys] + drift_a
+            self._physical._off_b[phys] = self._base_off_b[phys] + drift_b
+
+    @property
+    def age_s(self) -> float:
+        """Oldest row data age since its last rewrite (s)."""
+        return float(self._row_age_s.max())
+
+    # ------------------------------------------------------------------
+    # Search path
+    # ------------------------------------------------------------------
+    def search(self, query: Sequence[int]) -> ResilientSearchResult:
+        """Search over the logical rows, self-testing when due."""
+        if (
+            self.bist_interval is not None
+            and self._searches_since_bist >= self.bist_interval
+        ):
+            self.self_test_and_repair()
+        self._searches_since_bist += 1
+        mism = self._backing.faulted_mismatch_matrix(query)
+        if self._masked:
+            mism[:, list(self._masked)] = False
+        raw = self._physical.result_from_mismatch_matrix(mism)
+        return self._logical_view(raw)
+
+    def _logical_view(self, raw) -> ResilientSearchResult:
+        n_eff = self.config.n_stages - len(self._masked)
+        timeout = self._physical.timing.chain_delay(self.config.n_stages)
+        distances = np.full(self.n_rows, n_eff, dtype=np.int64)
+        delays = np.full(self.n_rows, timeout)
+        live = [r for r in range(self.n_rows) if r not in self._retired]
+        for r in live:
+            phys = self._map[r]
+            distances[r] = min(int(raw.hamming_distances[phys]), n_eff)
+            delays[r] = raw.delays_s[phys]
+        if live:
+            order = np.lexsort(
+                (live, delays[live], distances[live])
+            )
+            best = int(live[int(order[0])])
+        else:
+            best = -1
+        live_fraction = len(live) / self.n_rows
+        stage_fraction = n_eff / self.config.n_stages
+        return ResilientSearchResult(
+            hamming_distances=distances,
+            delays_s=delays,
+            best_row=best,
+            latency_s=raw.latency_s,
+            energy_j=raw.energy_j,
+            n_stages=self.config.n_stages,
+            n_effective_stages=n_eff,
+            degraded=bool(self._retired),
+            confidence=live_fraction * stage_fraction,
+            retired_rows=tuple(sorted(self._retired)),
+            masked_stages=self._masked,
+        )
+
+    # ------------------------------------------------------------------
+    # BIST and repair
+    # ------------------------------------------------------------------
+    def run_bist(self) -> DiagnosisReport:
+        """Run the destructive march test and restore the stored data.
+
+        The march rewrites every physical row (clearing drift, like any
+        rewrite), diagnoses, and the shadow image is written back.
+        """
+        if self._physical.variation is None:
+            self._physical._off_a[:] = 0.0
+            self._physical._off_b[:] = 0.0
+        self._row_age_s[:] = 0.0
+        diagnosis = self.bist.run(self._backing)
+        # Endurance accounting: the march backgrounds plus the restore.
+        self._cycles += diagnosis.n_writes // diagnosis.n_rows + 1
+        self._restore_data()
+        self._searches_since_bist = 0
+        self._last_diagnosis = diagnosis
+        return diagnosis
+
+    def _restore_data(self) -> None:
+        mapped = set()
+        for r in range(self.n_rows):
+            if r in self._retired:
+                continue
+            self._write_physical(self._map[r], self._shadow[r])
+            mapped.add(self._map[r])
+        zeros = np.zeros(self.config.n_stages, dtype=np.int64)
+        for phys in range(len(self._row_age_s)):
+            if phys not in mapped:
+                self._write_physical(phys, zeros)
+
+    def apply_repairs(
+        self, diagnosis: Optional[DiagnosisReport] = None
+    ) -> RepairPlan:
+        """Translate a diagnosis into masking / remapping / retirement.
+
+        Remapped rows are rewritten onto their spare from the shadow
+        image immediately; retirement only happens when the healthy
+        spare pool is empty.
+        """
+        if diagnosis is None:
+            diagnosis = self._last_diagnosis or self.run_bist()
+        live = [r for r in range(self.n_rows) if r not in self._retired]
+        data_rows = [self._map[r] for r in live]
+        plan = self.engine.plan(
+            diagnosis, data_rows=data_rows, spare_rows=self._free_spares
+        )
+        self._masked = plan.masked_stages
+        phys_to_logical: Dict[int, int] = {self._map[r]: r for r in live}
+        for old_phys, spare in plan.row_remap.items():
+            r = phys_to_logical[old_phys]
+            self._map[r] = spare
+            self._free_spares.remove(spare)
+            self._write_physical(spare, self._shadow[r])
+            self._cycles[spare] += 1
+        for old_phys in plan.retired_rows:
+            self._retired.add(phys_to_logical[old_phys])
+        return plan
+
+    def self_test_and_repair(self) -> RepairPlan:
+        """The closed loop: BIST, repair, recalibrate; returns the plan."""
+        diagnosis = self.run_bist()
+        plan = self.apply_repairs(diagnosis)
+        self.check_calibration()
+        return plan
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    @property
+    def refresh_due(self) -> bool:
+        """Whether the oldest row's drift demands a rewrite now."""
+        return self.scheduler.due(self.age_s)
+
+    def refresh(self) -> int:
+        """Rewrite every physical row from the shadow image.
+
+        Clears accumulated drift, spends one endurance cycle per row,
+        and re-derives the replica calibration.  Returns the number of
+        rows rewritten.
+        """
+        self._restore_data()
+        self._cycles += 1
+        self.check_calibration()
+        return len(self._row_age_s)
+
+    def maybe_refresh(self) -> bool:
+        """Refresh if (and only if) the scheduler says it is due."""
+        if self.refresh_due:
+            self.refresh()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Replica recalibration
+    # ------------------------------------------------------------------
+    def check_calibration(self, timing=None) -> bool:
+        """Recalibrate the replica TDC if conditions have drifted.
+
+        Measures the replica chain under ``timing`` (the *current*
+        operating conditions; defaults to the array's own model) and
+        recalibrates when the worst-case full-chain decode error of the
+        stale constants exceeds the half-LSB sensing margin.  Returns
+        whether a recalibration happened.
+        """
+        timing = timing or self._physical.timing
+        fresh = measure_replica(timing)
+        stale = self._replica.measurement
+        n = self.config.n_stages
+        d_c_fresh = (fresh.d_k_s - fresh.d_zero_s) / fresh.k
+        error = abs(fresh.d_zero_s - stale.d_zero_s) + n * abs(
+            d_c_fresh - self._replica.d_c_s
+        )
+        if error > self._physical.tdc.sensing_margin_s():
+            self._replica.recalibrate(fresh)
+            return True
+        return False
+
+    @property
+    def replica_tdc(self) -> ReplicaCalibratedTDC:
+        """The replica-tracked decoder (for drift-aware decoding)."""
+        return self._replica
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the array currently serves in degraded mode."""
+        return bool(self._retired)
+
+    def health_report(self) -> HealthReport:
+        """Snapshot of spares, masking, drift age, and budgets."""
+        return HealthReport(
+            n_rows=self.n_rows,
+            n_spares=self.n_spares,
+            spares_free=len(self._free_spares),
+            masked_stages=self._masked,
+            retired_rows=tuple(sorted(self._retired)),
+            degraded=self.degraded,
+            age_s=self.age_s,
+            refresh_due=self.refresh_due,
+            refresh_interval_s=self.scheduler.plan().interval_s,
+            cycles_used=float(self._cycles.max()),
+            cycle_budget=self.scheduler.cycle_budget(),
+            searches_since_bist=self._searches_since_bist,
+            last_bist=(
+                self._last_diagnosis.summary()
+                if self._last_diagnosis is not None
+                else None
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilientTDAMArray({self.n_rows}+{self.n_spares} rows x "
+            f"{self.config.n_stages} stages, "
+            f"{len(self._retired)} retired, "
+            f"{len(self._masked)} masked stages)"
+        )

@@ -106,6 +106,107 @@ class TestFaultInjector:
         assert a == b
 
 
+class TestFaultComposition:
+    def test_duplicate_faults_on_same_cell(self, clean_array):
+        """The same stuck fault applied twice behaves like one."""
+        array, stored = clean_array
+        fault = Fault(FaultType.STUCK_MISMATCH, row=1, stage=3)
+        once = FaultyTDAMArray(array, [fault]).search(stored[1])
+        twice = FaultyTDAMArray(array, [fault, fault]).search(stored[1])
+        assert np.array_equal(once.hamming_distances, twice.hamming_distances)
+        assert once.hamming_distances[1] == 1
+
+    def test_conflicting_faults_last_wins(self, clean_array):
+        """Opposite stuck kinds on one cell: the later override applies."""
+        array, stored = clean_array
+        mismatch = Fault(FaultType.STUCK_MISMATCH, row=1, stage=3)
+        match = Fault(FaultType.STUCK_MATCH, row=1, stage=3)
+        first = FaultyTDAMArray(array, [mismatch, match]).search(stored[1])
+        second = FaultyTDAMArray(array, [match, mismatch]).search(stored[1])
+        assert first.hamming_distances[1] == 0
+        assert second.hamming_distances[1] == 1
+
+    def test_dead_row_dominates_cell_faults(self, clean_array):
+        """Cell faults on a dead row are unobservable: dead wins."""
+        array, stored = clean_array
+        faults = [
+            Fault(FaultType.STUCK_MATCH, row=2, stage=0),
+            Fault(FaultType.STUCK_MATCH, row=2, stage=1),
+            Fault(FaultType.DEAD_ROW, row=2),
+            Fault(FaultType.STUCK_MATCH, row=2, stage=2),
+        ]
+        result = FaultyTDAMArray(array, faults).search(stored[2])
+        n = array.config.n_stages
+        assert result.hamming_distances[2] == n
+        assert result.delays_s[2] == pytest.approx(
+            array.timing.chain_delay(n)
+        )
+
+    def test_all_rows_dead(self, clean_array):
+        """A fully dead array still resolves (by row order) and every
+        row reads the controller timeout."""
+        array, stored = clean_array
+        faults = [
+            Fault(FaultType.DEAD_ROW, row=r) for r in range(array.n_rows)
+        ]
+        result = FaultyTDAMArray(array, faults).search(stored[0])
+        n = array.config.n_stages
+        assert (result.hamming_distances == n).all()
+        assert result.best_row == 0  # pure row-order tie resolution
+        assert np.allclose(result.delays_s, array.timing.chain_delay(n))
+
+    def test_delay_law_exact_under_any_fault_map(self):
+        """Seeded randomized check of the paper's delay law under faults:
+        ``d_tot = 2 N d_INV + N_mis d_C`` where ``N_mis`` counts the
+        *faulted* mismatch matrix, and dead rows read the timeout."""
+        rng = np.random.default_rng(42)
+        config = TDAMConfig(n_stages=24)
+        for trial in range(10):
+            n_rows = int(rng.integers(2, 9))
+            array = FastTDAMArray(config, n_rows=n_rows)
+            array.write_all(rng.integers(0, 4, size=(n_rows, 24)))
+            injector = FaultInjector(config, n_rows, seed=int(trial))
+            faults = injector.draw(
+                n_stuck_mismatch=int(rng.integers(0, 9)),
+                n_stuck_match=int(rng.integers(0, 9)),
+                n_dead_rows=int(rng.integers(0, n_rows + 1)),
+            )
+            faulty = FaultyTDAMArray(array, faults)
+            query = rng.integers(0, 4, size=24)
+            result = faulty.search(query)
+            mism = faulty.faulted_mismatch_matrix(query)
+            timing = array.timing
+            expected = (
+                2 * config.n_stages * timing.d_inv
+                + mism.sum(axis=1) * timing.d_c
+            )
+            assert np.allclose(result.delays_s, expected, rtol=0, atol=0)
+            dead = {
+                f.row for f in faults if f.kind == FaultType.DEAD_ROW
+            }
+            for row in dead:
+                assert result.delays_s[row] == pytest.approx(
+                    timing.chain_delay(config.n_stages)
+                )
+
+    def test_fault_free_search_matches_clean(self, clean_array):
+        """fault_free_search ignores the fault map entirely."""
+        array, stored = clean_array
+        faulty = FaultyTDAMArray(
+            array,
+            [
+                Fault(FaultType.DEAD_ROW, row=0),
+                Fault(FaultType.STUCK_MISMATCH, row=1, stage=3),
+            ],
+        )
+        clean = array.search(stored[1])
+        reference = faulty.fault_free_search(stored[1])
+        assert np.array_equal(
+            clean.hamming_distances, reference.hamming_distances
+        )
+        assert clean.best_row == reference.best_row
+
+
 class TestErrorStatistics:
     def test_single_cell_fault_bounds_error(self, clean_array):
         """One stuck cell moves any distance by at most one."""

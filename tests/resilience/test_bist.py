@@ -1,0 +1,132 @@
+"""Tests of the march-style BIST diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.core.array import FastTDAMArray
+from repro.core.config import TDAMConfig
+from repro.core.faults import Fault, FaultType, FaultyTDAMArray
+from repro.resilience.bist import (
+    CellFaultKind,
+    DiagnosisReport,
+    MarchBIST,
+    default_backgrounds,
+)
+
+
+def make_dut(faults, n_rows=5, n_stages=16):
+    config = TDAMConfig(n_stages=n_stages)
+    array = FastTDAMArray(config, n_rows=n_rows)
+    return FaultyTDAMArray(array, faults)
+
+
+class TestBackgrounds:
+    def test_default_backgrounds_multilevel(self):
+        patterns = default_backgrounds(8, 4)
+        assert len(patterns) == 3
+        assert (patterns[0] == 0).all()
+        assert (patterns[1] == 3).all()
+        assert set(np.unique(patterns[2])) == {0, 3}
+
+    def test_binary_has_no_distinct_checkerboard_ends(self):
+        patterns = default_backgrounds(8, 2)
+        assert len(patterns) == 3
+        assert (patterns[1] == 1).all()
+
+    def test_single_level_degenerates(self):
+        assert len(default_backgrounds(8, 1)) == 2
+
+
+class TestDiagnosis:
+    def test_healthy_array(self):
+        report = MarchBIST().run(make_dut([]))
+        assert report.is_healthy
+        assert report.dead_rows == ()
+        assert report.faulty_cells == ()
+        assert report.healthy_rows == (0, 1, 2, 3, 4)
+
+    def test_stuck_mismatch_located_and_classified(self):
+        report = MarchBIST().run(
+            make_dut([Fault(FaultType.STUCK_MISMATCH, row=1, stage=3)])
+        )
+        verdict = report.rows[1]
+        assert not verdict.dead
+        assert verdict.faulty_stages == (3,)
+        assert verdict.stuck_mismatch_count == 1
+        (cell,) = report.faulty_cells
+        assert (cell.row, cell.stage) == (1, 3)
+        assert cell.kind == CellFaultKind.STUCK_MISMATCH
+
+    def test_stuck_match_located_and_classified(self):
+        report = MarchBIST().run(
+            make_dut([Fault(FaultType.STUCK_MATCH, row=4, stage=7)])
+        )
+        verdict = report.rows[4]
+        assert verdict.faulty_stages == (7,)
+        assert verdict.stuck_mismatch_count == 0
+        (cell,) = report.faulty_cells
+        assert cell.kind == CellFaultKind.STUCK_MATCH
+
+    def test_mixed_faults_report_unknown_kind(self):
+        """The documented diagnosability limit: mixed kinds on one row
+        pin the positions but not which is which."""
+        report = MarchBIST().run(
+            make_dut(
+                [
+                    Fault(FaultType.STUCK_MISMATCH, row=2, stage=1),
+                    Fault(FaultType.STUCK_MATCH, row=2, stage=9),
+                ]
+            )
+        )
+        verdict = report.rows[2]
+        assert verdict.faulty_stages == (1, 9)
+        assert verdict.stuck_mismatch_count == 1
+        assert {c.kind for c in report.faulty_cells} == {
+            CellFaultKind.UNKNOWN
+        }
+
+    def test_dead_row_detected(self):
+        report = MarchBIST().run(
+            make_dut([Fault(FaultType.DEAD_ROW, row=2)])
+        )
+        assert report.dead_rows == (2,)
+        assert report.rows[2].faulty_stages == ()
+        assert not report.rows[2].healthy
+
+    def test_multi_row_fault_map(self):
+        report = MarchBIST().run(
+            make_dut(
+                [
+                    Fault(FaultType.STUCK_MISMATCH, row=0, stage=5),
+                    Fault(FaultType.DEAD_ROW, row=3),
+                    Fault(FaultType.STUCK_MATCH, row=4, stage=0),
+                ]
+            )
+        )
+        assert report.rows[0].faulty_stages == (5,)
+        assert report.dead_rows == (3,)
+        assert report.rows[4].faulty_stages == (0,)
+        assert report.healthy_rows == (1, 2)
+
+    def test_cost_accounting(self):
+        report = MarchBIST().run(make_dut([], n_rows=4, n_stages=8))
+        patterns = 3  # levels=4 -> low, high, checkerboard
+        assert report.n_writes == patterns * 4
+        assert report.n_searches == patterns * (8 + 1)
+
+    def test_runs_on_bare_array(self):
+        config = TDAMConfig(n_stages=8)
+        report = MarchBIST().run(FastTDAMArray(config, n_rows=3))
+        assert report.is_healthy
+
+    def test_custom_background_validation(self):
+        bist = MarchBIST(backgrounds=[np.zeros(3, dtype=np.int64)])
+        with pytest.raises(ValueError, match="background shape"):
+            bist.run(make_dut([]))
+
+    def test_summary_mentions_damage(self):
+        report = MarchBIST().run(
+            make_dut([Fault(FaultType.DEAD_ROW, row=2)])
+        )
+        assert "1 dead rows" in report.summary()
+        assert isinstance(report, DiagnosisReport)

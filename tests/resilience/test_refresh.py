@@ -1,0 +1,115 @@
+"""Tests of the retention-aware refresh scheduler."""
+
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.resilience.refresh import DRIFT_HORIZON_S, RefreshScheduler
+
+
+@pytest.fixture
+def scheduler():
+    return RefreshScheduler(TDAMConfig(n_stages=32))
+
+
+class TestDriftGeometry:
+    def test_drift_grows_with_time(self, scheduler):
+        times = [1e-3, 1.0, 1e3, 1e6]
+        drifts = [scheduler.drift_at(t) for t in times]
+        assert all(b > a for a, b in zip(drifts, drifts[1:]))
+        assert all(d >= 0 for d in drifts)
+
+    def test_time_to_drift_inverts_drift_at(self, scheduler):
+        # A drift reached two decades past t0: safely inside the horizon.
+        drift = (
+            2 * scheduler.retention.loss_per_decade
+            * scheduler.max_excursion_v
+        )
+        t = scheduler.time_to_drift(drift)
+        assert t < DRIFT_HORIZON_S
+        assert scheduler.drift_at(t) == pytest.approx(drift, rel=1e-6)
+
+    def test_unreachable_drift_hits_horizon(self, scheduler):
+        assert (
+            scheduler.time_to_drift(2 * scheduler.max_excursion_v)
+            == DRIFT_HORIZON_S
+        )
+
+    def test_nonpositive_drift_rejected(self, scheduler):
+        with pytest.raises(ValueError, match="drift_v"):
+            scheduler.time_to_drift(0.0)
+
+
+class TestMarginLimits:
+    def test_delay_margin_limit_positive(self, scheduler):
+        assert scheduler.delay_margin_drift_limit_v() > 0
+
+    def test_fewer_worst_case_mismatches_relax_the_limit(self):
+        config = TDAMConfig(n_stages=32)
+        full = RefreshScheduler(config)
+        light = RefreshScheduler(config, worst_case_mismatches=4)
+        assert (
+            light.delay_margin_drift_limit_v()
+            > full.delay_margin_drift_limit_v()
+        )
+
+    def test_match_margin_limit(self, scheduler):
+        limit = scheduler.match_margin_drift_limit_v()
+        assert limit == pytest.approx(
+            scheduler.config.conduction_margin - scheduler.turn_on_overdrive
+        )
+
+    def test_worst_case_mismatches_validation(self):
+        config = TDAMConfig(n_stages=8)
+        with pytest.raises(ValueError, match="worst_case_mismatches"):
+            RefreshScheduler(config, worst_case_mismatches=9)
+
+    def test_safety_factor_validation(self):
+        with pytest.raises(ValueError, match="safety_factor"):
+            RefreshScheduler(TDAMConfig(), safety_factor=0.5)
+
+
+class TestPlan:
+    def test_plan_is_consistent(self, scheduler):
+        plan = scheduler.plan()
+        assert plan.interval_s > 0
+        assert plan.limiting_mechanism in (
+            "delay-margin",
+            "match-margin",
+            "none",
+        )
+        t_limit = min(plan.t_delay_margin_s, plan.t_match_margin_s)
+        assert plan.interval_s == pytest.approx(
+            t_limit / plan.safety_factor
+        )
+        assert plan.lifetime_s == pytest.approx(
+            plan.cycle_budget * plan.interval_s
+        )
+        assert plan.summary()  # renders without error
+
+    def test_plan_is_cached(self, scheduler):
+        assert scheduler.plan() is scheduler.plan()
+
+    def test_safety_factor_shrinks_interval(self):
+        config = TDAMConfig(n_stages=32)
+        tight = RefreshScheduler(config, safety_factor=4.0).plan()
+        loose = RefreshScheduler(config, safety_factor=1.0).plan()
+        assert tight.interval_s == pytest.approx(loose.interval_s / 4.0)
+
+    def test_cycle_budget_positive_and_finite(self, scheduler):
+        budget = scheduler.cycle_budget()
+        assert 0 < budget <= 1e12
+
+    def test_cycle_budget_fits_the_window(self, scheduler):
+        low, high = scheduler.config.vth_window
+        needed = (high - low) / scheduler.endurance.params.vth_range
+        assert scheduler.endurance.window_fraction(
+            scheduler.cycle_budget()
+        ) >= needed - 1e-9
+
+    def test_due(self, scheduler):
+        interval = scheduler.plan().interval_s
+        assert not scheduler.due(0.0)
+        assert not scheduler.due(0.5 * interval)
+        assert scheduler.due(interval)
+        with pytest.raises(ValueError, match="age_s"):
+            scheduler.due(-1.0)

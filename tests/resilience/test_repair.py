@@ -1,0 +1,163 @@
+"""Tests of repair planning and the spare-provisioning yield model."""
+
+import math
+
+import pytest
+
+from repro.core.array import FastTDAMArray
+from repro.core.config import TDAMConfig
+from repro.core.faults import Fault, FaultType, FaultyTDAMArray
+from repro.resilience.bist import MarchBIST
+from repro.resilience.repair import (
+    RepairEngine,
+    repair_yield,
+    row_failure_probability,
+    spares_for_yield,
+)
+
+
+def diagnose(faults, n_rows=6, n_stages=16):
+    config = TDAMConfig(n_stages=n_stages)
+    dut = FaultyTDAMArray(FastTDAMArray(config, n_rows=n_rows), faults)
+    return MarchBIST().run(dut)
+
+
+class TestRepairEngine:
+    def test_healthy_array_is_noop(self):
+        plan = RepairEngine().plan(
+            diagnose([]), data_rows=[0, 1, 2, 3], spare_rows=[4, 5]
+        )
+        assert plan.is_noop
+        assert not plan.degraded
+        assert plan.spares_left == 2
+        assert plan.summary() == "repair: nothing to do"
+
+    def test_cell_fault_is_masked_not_remapped(self):
+        diagnosis = diagnose(
+            [Fault(FaultType.STUCK_MISMATCH, row=1, stage=3)]
+        )
+        plan = RepairEngine(max_masked_stages=2).plan(
+            diagnosis, data_rows=[0, 1, 2, 3], spare_rows=[4, 5]
+        )
+        assert plan.masked_stages == (3,)
+        assert plan.row_remap == {}
+        assert plan.n_effective_stages == 15
+
+    def test_masking_budget_forces_remap(self):
+        diagnosis = diagnose(
+            [
+                Fault(FaultType.STUCK_MISMATCH, row=0, stage=1),
+                Fault(FaultType.STUCK_MATCH, row=1, stage=2),
+                Fault(FaultType.STUCK_MATCH, row=2, stage=3),
+            ]
+        )
+        plan = RepairEngine(max_masked_stages=1).plan(
+            diagnosis, data_rows=[0, 1, 2, 3], spare_rows=[4, 5]
+        )
+        assert len(plan.masked_stages) == 1
+        assert len(plan.row_remap) == 2
+        assert plan.spares_left == 0
+
+    def test_dead_row_takes_a_spare(self):
+        diagnosis = diagnose([Fault(FaultType.DEAD_ROW, row=2)])
+        plan = RepairEngine().plan(
+            diagnosis, data_rows=[0, 1, 2, 3], spare_rows=[4, 5]
+        )
+        assert plan.row_remap == {2: 4}
+        assert plan.spares_used == 1
+        assert not plan.degraded
+
+    def test_faulty_spare_is_skipped(self):
+        diagnosis = diagnose(
+            [
+                Fault(FaultType.DEAD_ROW, row=2),
+                Fault(FaultType.DEAD_ROW, row=4),  # first spare is dead
+            ]
+        )
+        plan = RepairEngine().plan(
+            diagnosis, data_rows=[0, 1, 2, 3], spare_rows=[4, 5]
+        )
+        assert plan.row_remap == {2: 5}
+
+    def test_retirement_when_spares_exhausted(self):
+        diagnosis = diagnose(
+            [
+                Fault(FaultType.DEAD_ROW, row=0),
+                Fault(FaultType.DEAD_ROW, row=1),
+                Fault(FaultType.DEAD_ROW, row=2),
+            ]
+        )
+        plan = RepairEngine().plan(
+            diagnosis, data_rows=[0, 1, 2, 3], spare_rows=[4]
+        )
+        assert plan.row_remap == {0: 4}
+        assert plan.retired_rows == (1, 2)
+        assert plan.degraded
+        assert "RETIRE" in plan.summary()
+
+    def test_missing_row_in_diagnosis_raises(self):
+        diagnosis = diagnose([], n_rows=4)
+        with pytest.raises(ValueError, match="missing from the diagnosis"):
+            RepairEngine().plan(diagnosis, data_rows=[0, 9], spare_rows=[])
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_masked_stages"):
+            RepairEngine(max_masked_stages=-1)
+
+
+class TestYieldModel:
+    def test_row_failure_probability_limits(self):
+        assert row_failure_probability(0.0, 64) == 0.0
+        assert row_failure_probability(1.0, 64) == 1.0
+        assert row_failure_probability(0.0, 64, p_dead=0.3) == pytest.approx(0.3)
+
+    def test_row_failure_matches_binomial(self):
+        p = row_failure_probability(0.01, 10)
+        assert p == pytest.approx(1.0 - 0.99**10)
+
+    def test_tolerance_lowers_failure(self):
+        strict = row_failure_probability(0.02, 32)
+        tolerant = row_failure_probability(0.02, 32, cell_fault_tolerance=1)
+        assert tolerant < strict
+
+    def test_repair_yield_limits(self):
+        assert repair_yield(8, 0, 0.0) == 1.0
+        assert repair_yield(8, 0, 1.0) == 0.0
+        # With zero fail probability spares are irrelevant.
+        assert repair_yield(8, 4, 0.0) == 1.0
+
+    def test_repair_yield_monotone_in_spares(self):
+        ys = [repair_yield(16, s, 0.1) for s in range(6)]
+        assert all(b > a for a, b in zip(ys, ys[1:]))
+        assert ys[0] == pytest.approx(0.9**16)
+
+    def test_repair_yield_counts_faulty_spares(self):
+        """A spare that can itself fail is worth less than a perfect one."""
+        p = 0.2
+        one_spare = repair_yield(4, 1, p)
+        # Perfect-spare reference: P(<=1 failed data row).
+        perfect = sum(
+            math.comb(4, k) * p**k * (1 - p) ** (4 - k) for k in (0, 1)
+        )
+        assert one_spare < perfect
+
+    def test_spares_for_yield(self):
+        p = row_failure_probability(0.002, 32, p_dead=0.05)
+        n = spares_for_yield(0.99, 16, p)
+        assert repair_yield(16, n, p) >= 0.99
+        if n > 0:
+            assert repair_yield(16, n - 1, p) < 0.99
+
+    def test_spares_for_yield_unreachable(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            spares_for_yield(0.999, 16, 0.9, max_spares=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            row_failure_probability(-0.1, 8)
+        with pytest.raises(ValueError):
+            repair_yield(0, 1, 0.1)
+        with pytest.raises(ValueError):
+            repair_yield(4, -1, 0.1)
+        with pytest.raises(ValueError):
+            spares_for_yield(1.5, 4, 0.1)
