@@ -13,10 +13,16 @@ from repro.core.array import FastTDAMArray
 from repro.core.config import TDAMConfig
 from repro.core.energy import TimingEnergyModel
 from repro.core.netlist_builder import build_chain_circuit
+from repro.experiments.fig6_montecarlo import Fig6Trial
 from repro.hdc.encoder import RandomProjectionEncoder
+from repro.spice.montecarlo import run_monte_carlo
 from repro.spice.transient import simulate
 
 FIG8 = TDAMConfig.fig8_system()
+
+#: The batched-search reference workload of the bench report: a Fig. 8
+#: tile against a 256-query batch.
+N_QUERIES = 256
 
 
 @pytest.fixture(scope="module")
@@ -27,11 +33,53 @@ def loaded_array():
     return array, rng.integers(0, 4, size=128)
 
 
+@pytest.fixture(scope="module")
+def query_batch():
+    return np.random.default_rng(3).integers(0, 4, size=(N_QUERIES, 128))
+
+
 def test_perf_fast_array_search(benchmark, loaded_array):
     """One Fig. 8-shaped tile search (26 rows x 128 stages)."""
     array, query = loaded_array
     result = benchmark(array.search, query)
     assert result.hamming_distances.shape == (26,)
+
+
+def test_perf_search_batch(benchmark, loaded_array, query_batch):
+    """256 queries through the batched kernel (26 rows x 128 stages)."""
+    array, _ = loaded_array
+    array.search_batch(query_batch)  # build the level tables up front
+    result = benchmark(array.search_batch, query_batch)
+    assert result.hamming_distances.shape == (N_QUERIES, 26)
+
+
+def test_perf_search_loop_baseline(benchmark, loaded_array, query_batch):
+    """The same 256 queries through a per-query Python loop of search().
+
+    The baseline the batched kernel is measured against in
+    ``tools/bench_report.py``; kept as a bench so the ratio stays
+    visible in pytest-benchmark output too.
+    """
+    array, _ = loaded_array
+
+    def loop():
+        return [array.search(q) for q in query_batch]
+
+    results = benchmark.pedantic(loop, rounds=3, iterations=1,
+                                 warmup_rounds=1)
+    assert len(results) == N_QUERIES
+
+
+def test_perf_monte_carlo_serial(benchmark):
+    """A 32-trial Fig. 6 Monte Carlo cell, serial driver."""
+    trial = Fig6Trial(config=TDAMConfig(), sigma_mv=30.0)
+
+    def run():
+        return run_monte_carlo(trial, n_runs=32, seed=7)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    assert len(result.samples) == 32
 
 
 def test_perf_analytic_cost_model(benchmark):

@@ -25,20 +25,20 @@ def _table1() -> str:
     return format_table1(run_table1())
 
 
-def _fig1(fast: bool) -> str:
+def _fig1(fast: bool, workers: int = 1) -> str:
     from repro.experiments.fig1_device import format_fig1, run_fig1
 
     kwargs = {"n_devices": 12, "n_points": 21} if fast else {}
     return format_fig1(run_fig1(**kwargs))
 
 
-def _fig2(fast: bool) -> str:
+def _fig2(fast: bool, workers: int = 1) -> str:
     from repro.experiments.fig2_cell import format_fig2, run_fig2
 
     return format_fig2(run_fig2(dt=4e-12 if fast else 2e-12))
 
 
-def _fig4(fast: bool) -> str:
+def _fig4(fast: bool, workers: int = 1) -> str:
     from repro.experiments.fig4_linearity import format_fig4, run_fig4
 
     parts = [format_fig4(run_fig4(n_stages=32, backend="analytic"))]
@@ -52,7 +52,7 @@ def _fig4(fast: bool) -> str:
     return "\n\n".join(parts)
 
 
-def _fig5(fast: bool) -> str:
+def _fig5(fast: bool, workers: int = 1) -> str:
     from repro.experiments.fig5_energy_delay import (
         format_fig5_ab,
         format_fig5_cd,
@@ -68,16 +68,16 @@ def _fig5(fast: bool) -> str:
     return format_fig5_ab(ab) + "\n\n" + format_fig5_cd(run_fig5_cd())
 
 
-def _fig6(fast: bool) -> str:
+def _fig6(fast: bool, workers: int = 1) -> str:
     from repro.experiments.fig6_montecarlo import format_fig6, run_fig6
 
     kwargs = (
         {"n_runs": 120, "sigmas_mv": (20.0, 60.0)} if fast else {"n_runs": 500}
     )
-    return format_fig6(run_fig6(**kwargs))
+    return format_fig6(run_fig6(n_workers=workers, **kwargs))
 
 
-def _fig7(fast: bool) -> str:
+def _fig7(fast: bool, workers: int = 1) -> str:
     from repro.experiments.fig7_hdc_accuracy import format_fig7, run_fig7
 
     if fast:
@@ -89,13 +89,13 @@ def _fig7(fast: bool) -> str:
     return format_fig7(result)
 
 
-def _fig8(fast: bool) -> str:
+def _fig8(fast: bool, workers: int = 1) -> str:
     from repro.experiments.fig8_gpu_comparison import format_fig8, run_fig8
 
     return format_fig8(run_fig8())
 
 
-def _ablations(fast: bool) -> str:
+def _ablations(fast: bool, workers: int = 1) -> str:
     from repro.experiments.ablations import (
         format_ablation_precision_margin,
         format_ablation_quantizer,
@@ -121,7 +121,7 @@ def _ablations(fast: bool) -> str:
     return "\n\n".join(parts)
 
 
-def _retention(fast: bool) -> str:
+def _retention(fast: bool, workers: int = 1) -> str:
     from repro.experiments.ext_retention import (
         format_endurance,
         format_retention,
@@ -137,7 +137,7 @@ def _retention(fast: bool) -> str:
     )
 
 
-def _temperature(fast: bool) -> str:
+def _temperature(fast: bool, workers: int = 1) -> str:
     from repro.experiments.ext_temperature import (
         format_temperature,
         run_temperature_study,
@@ -146,7 +146,7 @@ def _temperature(fast: bool) -> str:
     return format_temperature(run_temperature_study())
 
 
-def _online(fast: bool) -> str:
+def _online(fast: bool, workers: int = 1) -> str:
     from repro.datasets.synthetic import make_isolet_like
     from repro.experiments.ext_online import format_online, run_online_study
 
@@ -156,13 +156,13 @@ def _online(fast: bool) -> str:
     return format_online(run_online_study())
 
 
-def _batch(fast: bool) -> str:
+def _batch(fast: bool, workers: int = 1) -> str:
     from repro.experiments.ext_batch import format_batch_study, run_batch_study
 
     return format_batch_study(run_batch_study())
 
 
-def _dse(fast: bool) -> str:
+def _dse(fast: bool, workers: int = 1) -> str:
     from repro.analysis.pareto import (
         evaluate_design_space,
         knee_point,
@@ -189,17 +189,17 @@ def _dse(fast: bool) -> str:
     return "\n".join(lines)
 
 
-def _resilience(fast: bool) -> str:
+def _resilience(fast: bool, workers: int = 1) -> str:
     from repro.experiments.ext_resilience import (
         format_resilience,
         run_resilience_study,
     )
 
     kwargs = {"n_rows": 8, "n_trials": 6, "n_queries": 4} if fast else {}
-    return format_resilience(run_resilience_study(**kwargs))
+    return format_resilience(run_resilience_study(n_workers=workers, **kwargs))
 
 
-def _area(fast: bool) -> str:
+def _area(fast: bool, workers: int = 1) -> str:
     from repro.analysis.reporting import format_table
     from repro.core.area import cell_area_comparison, density_advantage
 
@@ -212,9 +212,14 @@ def _area(fast: bool) -> str:
     )
 
 
-#: Experiment registry: name -> (description, runner(fast) -> text).
-EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
-    "table1": ("Table I energy/bit comparison", lambda fast: _table1()),
+#: Experiment registry: name -> (description, runner(fast, workers) -> text).
+#: ``workers`` threads/processes the Monte Carlo-style experiments (fig6,
+#: resilience); the others ignore it.
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool, int], str]]] = {
+    "table1": (
+        "Table I energy/bit comparison",
+        lambda fast, workers=1: _table1(),
+    ),
     "fig1": ("FeFET I_D-V_G curves and device spread", _fig1),
     "fig2": ("IMC cell match/mismatch transients", _fig2),
     "fig4": ("Delay-vs-mismatch linearity", _fig4),
@@ -252,11 +257,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--fast", action="store_true",
                      help="reduced problem sizes")
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="parallel Monte Carlo workers (bit-identical "
+                          "results for any count)")
     report = sub.add_parser("report", help="run every experiment in order")
     report.add_argument("--fast", action="store_true",
                         help="reduced problem sizes")
     report.add_argument("--output", metavar="FILE", default=None,
                         help="also write the report to a file")
+    report.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="parallel Monte Carlo workers")
     resilience = sub.add_parser(
         "resilience",
         help="BIST/repair yield-vs-spares study with tunable fault rates",
@@ -282,6 +292,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     resilience.add_argument(
         "--seed", type=int, default=11, help="fault-map seed",
     )
+    resilience.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="parallel trial-evaluation workers (bit-identical results)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -291,7 +305,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "run":
         _, runner = EXPERIMENTS[args.experiment]
-        print(runner(args.fast))
+        print(runner(args.fast, args.workers))
         return 0
     if args.command == "resilience":
         from repro.experiments.ext_resilience import (
@@ -308,6 +322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     n_rows=args.rows,
                     n_trials=args.trials,
                     seed=args.seed,
+                    n_workers=args.workers,
                 )
             )
         )
@@ -319,7 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             header = "=" * 72 + f"\n{name}: {description}\n" + "=" * 72
             print(header)
             start = time.time()
-            body = runner(args.fast)
+            body = runner(args.fast, args.workers)
             print(body)
             print(f"[{name} done in {time.time() - start:.1f} s]\n")
             sections.append(f"{header}\n{body}\n")

@@ -24,7 +24,15 @@ Layered exactly as the paper presents the design:
 """
 
 from repro.core.area import AreaReport, cell_area_comparison, tdam_area
-from repro.core.array import FastTDAMArray, SearchResult, TDAMArray
+from repro.core.array import (
+    BatchSearchResult,
+    FastTDAMArray,
+    SearchResult,
+    TDAMArray,
+    batched_mismatch_counts,
+    calibrate_turn_on_overdrive,
+    resolve_best_batch,
+)
 from repro.core.cell import CellState, MultiBitIMCCell
 from repro.core.chain import ChainResult, DelayChain
 from repro.core.controller import ArrayController, Command, Event, Phase
@@ -59,6 +67,10 @@ __all__ = [
     "TDAMArray",
     "FastTDAMArray",
     "SearchResult",
+    "BatchSearchResult",
+    "batched_mismatch_counts",
+    "calibrate_turn_on_overdrive",
+    "resolve_best_batch",
     "CounterTDC",
     "SensingAnalysis",
     "TimingEnergyModel",

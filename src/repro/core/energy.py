@@ -33,6 +33,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.core.config import TDAMConfig
 from repro.devices.mosfet import nmos, pmos
 
@@ -99,6 +101,7 @@ class TimingEnergyModel:
         self._switch = pmos(config.tech, width=config.switch_pmos_width)
         self._d_inv = d_inv_override
         self._d_c = d_c_override
+        self._energy_tables: Dict[bool, "np.ndarray"] = {}
 
     # ------------------------------------------------------------------
     # Characteristic delays
@@ -243,6 +246,29 @@ class TimingEnergyModel:
             energy_j=sum(breakdown.values()),
             energy_breakdown_j=breakdown,
         )
+
+    def search_energy_table(self, include_tdc: bool = True) -> np.ndarray:
+        """Per-chain search energy for every mismatch count 0..N (J).
+
+        ``search_cost`` is affine in the mismatch count, so the whole
+        table is evaluated once and cached; batched searches then turn
+        energy accounting into an array lookup instead of one
+        :meth:`search_cost` object per row.  Entry ``m`` equals
+        ``search_cost(m, include_tdc=...).energy_j`` exactly (the table
+        is built from those very calls, so scalar and batched paths
+        cannot drift apart).  The returned array is cached -- treat it
+        as read-only.
+        """
+        table = self._energy_tables.get(include_tdc)
+        if table is None:
+            table = np.array(
+                [
+                    self.search_cost(m, include_tdc=include_tdc).energy_j
+                    for m in range(self.config.n_stages + 1)
+                ]
+            )
+            self._energy_tables[include_tdc] = table
+        return table
 
     def energy_per_bit(self, n_mismatch: Optional[int] = None) -> float:
         """Search energy normalized per compared bit (J/bit).

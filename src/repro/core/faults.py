@@ -24,7 +24,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.array import FastTDAMArray, SearchResult
+from repro.core.array import (
+    DEFAULT_QUERY_CHUNK,
+    BatchSearchResult,
+    FastTDAMArray,
+    SearchResult,
+)
 from repro.core.config import TDAMConfig
 
 
@@ -108,6 +113,56 @@ class FaultyTDAMArray:
             mism[row, :] = True
         return mism
 
+    def faulted_mismatch_tensor(
+        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+    ) -> np.ndarray:
+        """Batched :meth:`faulted_mismatch_matrix`, shape (Q, M, N).
+
+        The fault map is query-independent, so it is replayed on the
+        clean (Q, M, N) tensor with the same sequential override
+        semantics (fault-list order; dead rows last and dominant).
+        """
+        tensor = self.array.mismatch_tensor(queries, chunk=chunk)
+        dead_rows: List[int] = []
+        for fault in self.faults:
+            if fault.kind == FaultType.STUCK_MISMATCH:
+                tensor[:, fault.row, fault.stage] = True
+            elif fault.kind == FaultType.STUCK_MATCH:
+                tensor[:, fault.row, fault.stage] = False
+            else:
+                dead_rows.append(fault.row)
+        for row in dead_rows:
+            tensor[:, row, :] = True
+        return tensor
+
+    def mismatch_count_batch(
+        self,
+        queries: np.ndarray,
+        chunk: int = DEFAULT_QUERY_CHUNK,
+        masked_stages: Sequence[int] = (),
+    ) -> np.ndarray:
+        """Faulted per-row mismatch counts of a query batch, shape (Q, M).
+
+        Args:
+            queries: Query levels, shape (Q, n_stages).
+            chunk: Queries per materialized tensor chunk.
+            masked_stages: Stage columns forced to *match* after the
+                fault overrides (the resilient array's column masking;
+                applied last, so it silences stuck-mismatch cells and
+                trims dead-row timeouts exactly like the scalar path).
+        """
+        q = self.array._validate_queries(queries)
+        masked = list(masked_stages)
+        counts = np.empty((q.shape[0], self.n_rows), dtype=np.int64)
+        for start in range(0, q.shape[0], chunk):
+            tensor = self.faulted_mismatch_tensor(
+                q[start:start + chunk], chunk=chunk
+            )
+            if masked:
+                tensor[:, :, masked] = False
+            counts[start:start + chunk] = tensor.sum(axis=2)
+        return counts
+
     def search(self, query) -> SearchResult:
         """Search with the fault map applied to the mismatch decisions.
 
@@ -117,6 +172,27 @@ class FaultyTDAMArray:
         """
         return self.array.result_from_mismatch_matrix(
             self.faulted_mismatch_matrix(query)
+        )
+
+    def search_batch(
+        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+    ) -> BatchSearchResult:
+        """Batched faulty search, bit-exact vs looping :meth:`search`.
+
+        Shares :meth:`FastTDAMArray.batch_result_from_mismatch_counts`
+        with the clean batched path (nominal ``d_C`` delays, as in the
+        scalar faulty search).
+        """
+        return self.array.batch_result_from_mismatch_counts(
+            self.mismatch_count_batch(queries, chunk=chunk)
+        )
+
+    def fault_free_search_batch(
+        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+    ) -> BatchSearchResult:
+        """Batched :meth:`fault_free_search` (nominal-``d_C`` reference)."""
+        return self.array.batch_result_from_mismatch_counts(
+            self.array.mismatch_count_batch(queries, chunk=chunk)
         )
 
     def fault_free_search(self, query) -> SearchResult:
@@ -196,19 +272,14 @@ def search_error_statistics(
         resolution as ``search()`` (a row-order-only reference would
         count tie resolutions as wrong bests and inflate the fraction).
     """
-    queries = np.atleast_2d(np.asarray(queries))
-    abs_errors: List[int] = []
-    wrong_best = 0
-    for q in queries:
-        faulty_result = faulty.search(q)
-        ideal = faulty.ideal_hamming(q)
-        abs_errors.extend(
-            np.abs(faulty_result.hamming_distances - ideal).tolist()
-        )
-        clean_best = faulty.fault_free_search(q).best_row
-        if faulty_result.best_row != clean_best:
-            wrong_best += 1
-    errors = np.array(abs_errors, dtype=float)
+    queries = faulty.array._validate_queries(queries)
+    faulted = faulty.search_batch(queries)
+    clean = faulty.fault_free_search_batch(queries)
+    ideal = (
+        faulty.array._stored[None, :, :] != queries[:, None, :]
+    ).sum(axis=2)
+    errors = np.abs(faulted.hamming_distances - ideal).astype(float)
+    wrong_best = int((faulted.best_rows != clean.best_rows).sum())
     return {
         "max_abs_error": float(errors.max()),
         "mean_abs_error": float(errors.mean()),

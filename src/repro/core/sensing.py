@@ -53,6 +53,17 @@ class CounterTDC:
             raise ValueError(f"delay must be >= 0, got {delay_s}")
         return int(math.floor(delay_s / self.clock_period_s))
 
+    def count_array(self, delays_s: np.ndarray) -> np.ndarray:
+        """Clock ticks elapsed during each measured delay (vectorized).
+
+        Bit-exact against :meth:`count` applied elementwise (same IEEE
+        division and floor); any shape is accepted and preserved.
+        """
+        delays = np.asarray(delays_s, dtype=float)
+        if delays.size and delays.min() < 0:
+            raise ValueError(f"delay must be >= 0, got {delays.min()}")
+        return np.floor(delays / self.clock_period_s).astype(np.int64)
+
     def decode_mismatches(self, delay_s: float) -> int:
         """Decode a measured delay to a mismatch count (clamped to [0, N]).
 
@@ -64,6 +75,20 @@ class CounterTDC:
         measured = self.count(delay_s) * self.clock_period_s
         raw = self.timing.delay_to_mismatches(measured + self.clock_period_s / 2.0)
         return int(min(max(round(raw), 0), self.config.n_stages))
+
+    def decode_array(self, delays_s: np.ndarray) -> np.ndarray:
+        """Decode measured delays to mismatch counts (vectorized).
+
+        Bit-exact against :meth:`decode_mismatches` applied elementwise:
+        the same counter quantization, half-tick centering, and
+        round-half-even rounding (``np.rint`` matches Python ``round``),
+        clamped to [0, N].
+        """
+        measured = self.count_array(delays_s) * self.clock_period_s
+        raw = self.timing.delay_to_mismatches(
+            measured + self.clock_period_s / 2.0
+        )
+        return np.clip(np.rint(raw), 0, self.config.n_stages).astype(np.int64)
 
     def sensing_margin_s(self) -> float:
         """Half of the mismatch LSB: the tolerated absolute delay error."""
@@ -138,5 +163,5 @@ class SensingAnalysis:
         self, delays_s: Sequence[float], n_mismatch: int
     ) -> float:
         """Fraction of samples the TDC decodes to the wrong distance."""
-        decoded = np.array([self.tdc.decode_mismatches(d) for d in delays_s])
+        decoded = self.tdc.decode_array(np.asarray(delays_s, dtype=float))
         return float((decoded != n_mismatch).mean())

@@ -71,6 +71,36 @@ class VariationModel:
                 f"known states: {sorted(MEASURED_VTH_SIGMA_MV)}"
             ) from None
 
+    def sigmas_for_states(self, states: Sequence[int]) -> np.ndarray:
+        """Per-device sigmas (V) for a whole state vector at once.
+
+        Vectorized :meth:`sigma_for_state`: a table lookup instead of a
+        per-element Python call, producing the identical floats (the same
+        ``mV * 1e-3`` arithmetic).  Bulk writes hand millions of states
+        to :meth:`draw`, so this lookup is on the write hot path.
+        """
+        states = np.asarray(states, dtype=np.int64)
+        if self.sigma_mv is not None:
+            return np.full(states.shape, self.sigma_mv * 1e-3)
+        table = np.full(max(MEASURED_VTH_SIGMA_MV) + 1, np.nan)
+        for state, sigma_mv in MEASURED_VTH_SIGMA_MV.items():
+            table[state] = sigma_mv * 1e-3
+        valid = (states >= 0) & (states < len(table))
+        if not bool(valid.all()):
+            bad = int(states[~valid].ravel()[0])
+            raise ValueError(
+                f"no measured sigma for state {bad}; "
+                f"known states: {sorted(MEASURED_VTH_SIGMA_MV)}"
+            )
+        sigmas = table[states]
+        if np.isnan(sigmas).any():
+            bad = int(states[np.isnan(sigmas)].ravel()[0])
+            raise ValueError(
+                f"no measured sigma for state {bad}; "
+                f"known states: {sorted(MEASURED_VTH_SIGMA_MV)}"
+            )
+        return sigmas
+
     def draw(self, states: Sequence[int]) -> VariationSample:
         """Draw one V_TH shift per device.
 
@@ -78,7 +108,7 @@ class VariationModel:
             states: Programmed level of each device (indexes the per-state
                 sigma when no global sigma was configured).
         """
-        sigmas = np.array([self.sigma_for_state(int(s)) for s in states])
+        sigmas = self.sigmas_for_states(states)
         shifts = self._rng.normal(0.0, 1.0, size=len(sigmas)) * sigmas
         return VariationSample(vth_shifts=shifts, sigma_applied=sigmas)
 
@@ -86,7 +116,7 @@ class VariationModel:
         """Draw ``n_runs`` independent shift vectors; shape (n_runs, n)."""
         if n_runs < 1:
             raise ValueError(f"n_runs must be >= 1, got {n_runs}")
-        sigmas = np.array([self.sigma_for_state(int(s)) for s in states])
+        sigmas = self.sigmas_for_states(states)
         return self._rng.normal(0.0, 1.0, size=(n_runs, len(sigmas))) * sigmas
 
 

@@ -21,14 +21,15 @@ Two studies:
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.core.config import TDAMConfig
-from repro.core.faults import FaultInjector
+from repro.core.faults import Fault, FaultInjector
 from repro.resilience.refresh import RefreshPlan, RefreshScheduler
 from repro.resilience.repair import repair_yield, row_failure_probability
 from repro.resilience.resilient import ResilientTDAMArray
@@ -80,16 +81,64 @@ def _wrong_best_fraction(
 
     The reference best is the ideal-Hamming winner over *live* rows with
     the same distance -> row resolution the array applies (nominal
-    delays are monotone in distance, so delay breaks no extra ties).
+    delays are monotone in distance, so delay breaks no extra ties;
+    ``argmin``'s first-minimum rule matches the ascending live order).
     """
-    wrong = 0
-    live = [r for r in range(array.n_rows) if r not in array._retired]
-    for q in queries:
-        ideal = (array._shadow[live] != q[None, :]).sum(axis=1)
-        expect = live[int(np.lexsort((live, ideal))[0])]
-        if array.search(q).best_row != expect:
-            wrong += 1
-    return wrong / len(queries)
+    live = np.array(
+        [r for r in range(array.n_rows) if r not in array._retired]
+    )
+    ideal = (
+        array._shadow[live][None, :, :] != queries[:, None, :]
+    ).sum(axis=2)
+    expect = live[ideal.argmin(axis=1)]
+    best = array.search_batch(queries).best_rows
+    return float((best != expect).sum()) / len(queries)
+
+
+@dataclass(frozen=True)
+class _ResilienceTrial:
+    """One (spares, fault-map) closed-loop evaluation, picklable for the
+    shard-parallel executor.  Evaluation is deterministic -- all
+    randomness lives in the pre-drawn inputs -- so any worker count
+    produces identical records.
+
+    Attributes:
+        config: Design point.
+        n_rows: Logical capacity.
+        n_spares: Provisioned spare rows.
+        faults: The trial's fault map (already truncated to the
+            physical extent of this spare count).
+        stored: The stored data matrix.
+        queries: The exactness-check queries.
+    """
+
+    config: TDAMConfig
+    n_rows: int
+    n_spares: int
+    faults: Tuple[Fault, ...]
+    stored: np.ndarray
+    queries: np.ndarray
+
+    def __call__(self) -> Tuple[bool, float, bool]:
+        """(fully repaired, wrong-best fraction, degraded flagged)."""
+        array = ResilientTDAMArray(
+            self.config,
+            n_rows=self.n_rows,
+            n_spares=self.n_spares,
+            faults=list(self.faults),
+            max_masked_stages=0,
+        )
+        array.write_all(self.stored)
+        array.self_test_and_repair()
+        if not array.degraded:
+            return True, _wrong_best_fraction(array, self.queries), True
+        result = array.search_batch(self.queries)
+        return False, 0.0, bool(result.degraded)
+
+
+def _evaluate_trial(trial: _ResilienceTrial) -> Tuple[bool, float, bool]:
+    """Module-level shim so ProcessPoolExecutor can pickle the call."""
+    return trial()
 
 
 def run_resilience_study(
@@ -101,6 +150,7 @@ def run_resilience_study(
     n_trials: int = 12,
     n_queries: int = 8,
     seed: int = 11,
+    n_workers: int = 1,
 ) -> ResilienceResult:
     """Monte Carlo the BIST -> repair loop across spare provisioning.
 
@@ -112,7 +162,14 @@ def run_resilience_study(
     data-row damage is identical and extra spares can only add healthy
     replacements.  Each cell then runs the closed loop and scores repair
     yield, post-repair exactness, and degraded-mode honesty.
+
+    Args:
+        n_workers: Parallel workers for the (deterministic) closed-loop
+            evaluations; the inputs are pre-drawn serially, so any
+            worker count produces identical records.
     """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     if not spare_counts:
         raise ValueError("spare_counts must not be empty")
     if n_trials < 1:
@@ -150,26 +207,35 @@ def run_resilience_study(
         trials.append((faults, stored, queries))
     for n_spares in spare_counts:
         total = n_rows + n_spares
+        evals = [
+            _ResilienceTrial(
+                config=config,
+                n_rows=n_rows,
+                n_spares=n_spares,
+                faults=tuple(f for f in faults if f.row < total),
+                stored=stored,
+                queries=queries,
+            )
+            for faults, stored, queries in trials
+        ]
+        if n_workers == 1:
+            outcomes = [trial() for trial in evals]
+        else:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(n_workers, len(evals))
+            ) as pool:
+                outcomes = list(pool.map(_evaluate_trial, evals))
         repaired = 0
         wrong_sum, wrong_trials = 0.0, 0
         flagged, not_repaired = 0, 0
-        for faults, stored, queries in trials:
-            array = ResilientTDAMArray(
-                config,
-                n_rows=n_rows,
-                n_spares=n_spares,
-                faults=[f for f in faults if f.row < total],
-                max_masked_stages=0,
-            )
-            array.write_all(stored)
-            array.self_test_and_repair()
-            if not array.degraded:
+        for ok, wrong_fraction, was_flagged in outcomes:
+            if ok:
                 repaired += 1
-                wrong_sum += _wrong_best_fraction(array, queries)
+                wrong_sum += wrong_fraction
                 wrong_trials += 1
             else:
                 not_repaired += 1
-                if all(array.search(q).degraded for q in queries):
+                if was_flagged:
                     flagged += 1
         records.append(
             ResilienceRecord(

@@ -29,6 +29,32 @@ from repro.devices.variation import VariationModel
 from repro.spice.montecarlo import MonteCarloResult, run_monte_carlo
 
 
+@dataclass(frozen=True)
+class Fig6Trial:
+    """One Fig. 6 Monte Carlo trial, as a picklable callable.
+
+    A module-level frozen dataclass (not a closure) so the shard-parallel
+    Monte Carlo driver can ship it to worker processes; the trial math is
+    identical to the historical closure, so seeded results are unchanged.
+
+    Attributes:
+        config: Design point (already at the evaluated stage count).
+        sigma_mv: Uniform V_TH sigma injected into every FeFET.
+    """
+
+    config: TDAMConfig
+    sigma_mv: float
+
+    def __call__(self, rng: np.random.Generator) -> float:
+        variation = VariationModel(
+            sigma_mv=float(self.sigma_mv), seed=int(rng.integers(2**31))
+        )
+        array = FastTDAMArray(self.config, n_rows=1, variation=variation)
+        array.write(0, [0] * self.config.n_stages)
+        query = [self.config.levels - 1] * self.config.n_stages
+        return float(array.search(query).delays_s[0])
+
+
 @dataclass
 class Fig6Cell:
     """One (chain length, sigma) Monte Carlo condition."""
@@ -53,27 +79,25 @@ def run_fig6(
     n_runs: int = 500,
     config: Optional[TDAMConfig] = None,
     seed: int = 42,
+    n_workers: int = 1,
 ) -> Fig6Result:
-    """Run the Monte Carlo delay-distribution study."""
+    """Run the Monte Carlo delay-distribution study.
+
+    Args:
+        n_workers: Shard-parallel Monte Carlo workers; results are
+            bit-identical for any count (per-trial seed streams).
+    """
     base = config or TDAMConfig()
     cells: List[Fig6Cell] = []
     for n_stages in stage_counts:
         cfg = base.with_(n_stages=int(n_stages))
         timing = TimingEnergyModel(cfg)
         analysis = SensingAnalysis(cfg, timing)
-        stored = [0] * int(n_stages)
-        query = [cfg.levels - 1] * int(n_stages)
         for sigma in sigmas_mv:
-
-            def trial(rng: np.random.Generator) -> float:
-                variation = VariationModel(
-                    sigma_mv=float(sigma), seed=int(rng.integers(2**31))
-                )
-                array = FastTDAMArray(cfg, n_rows=1, variation=variation)
-                array.write(0, stored)
-                return float(array.search(query).delays_s[0])
-
-            mc = run_monte_carlo(trial, n_runs=n_runs, seed=seed)
+            trial = Fig6Trial(config=cfg, sigma_mv=float(sigma))
+            mc = run_monte_carlo(
+                trial, n_runs=n_runs, seed=seed, n_workers=n_workers
+            )
             margin = analysis.margin_report(mc.samples, int(n_stages))
             cells.append(
                 Fig6Cell(

@@ -118,10 +118,9 @@ class TDAMInference:
 
     def _turn_on_overdrive(self) -> float:
         """Conduction margin consistent with the circuit-level arrays."""
-        from repro.core.array import FastTDAMArray
+        from repro.core.array import calibrate_turn_on_overdrive
 
-        probe = FastTDAMArray(self.config.with_(n_stages=1), n_rows=1)
-        return probe.turn_on_overdrive
+        return calibrate_turn_on_overdrive(self.config)
 
     # ------------------------------------------------------------------
     # Functional inference
@@ -152,18 +151,16 @@ class TDAMInference:
             )
         if self._off_a is None:
             return (q[:, None, :] != self._stored[None, :, :]).sum(axis=2)
-        levels = self.config.levels
+        from repro.core.array import batched_mismatch_counts
+
         vth_a = self._vth[self._stored] + self._off_a  # (n_cls, D)
-        vth_b = self._vth[levels - 1 - self._stored] + self._off_b
-        out = np.empty((q.shape[0], self._stored.shape[0]), dtype=np.int64)
-        for start in range(0, q.shape[0], chunk):
-            block = q[start : start + chunk]
-            vsl_a = self._vsl[block][:, None, :]  # (chunk, 1, D)
-            vsl_b = self._vsl[levels - 1 - block][:, None, :]
-            fa_on = (vsl_a - vth_a[None, :, :]) >= self._von
-            fb_on = (vsl_b - vth_b[None, :, :]) >= self._von
-            out[start : start + chunk] = (fa_on | fb_on).sum(axis=2)
-        return out
+        vth_b = (
+            self._vth[self.config.levels - 1 - self._stored] + self._off_b
+        )
+        return batched_mismatch_counts(
+            q, vth_a, vth_b, self._vsl, self.config.levels, self._von,
+            chunk=chunk,
+        )
 
     def predict(self, query_levels: np.ndarray) -> np.ndarray:
         """Predicted class per query: the row with the fewest mismatches."""

@@ -36,6 +36,7 @@ from repro.resilience.repair import (
 )
 from repro.resilience.resilient import (
     HealthReport,
+    ResilientBatchSearchResult,
     ResilientSearchResult,
     ResilientTDAMArray,
 )
@@ -56,5 +57,6 @@ __all__ = [
     "RefreshPlan",
     "ResilientTDAMArray",
     "ResilientSearchResult",
+    "ResilientBatchSearchResult",
     "HealthReport",
 ]

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.array import FastTDAMArray
+from repro.core.array import FastTDAMArray, resolve_best_batch
 from repro.core.config import TDAMConfig
 from repro.core.faults import Fault, FaultyTDAMArray
 from repro.core.replica import ReplicaCalibratedTDC, measure_replica
@@ -91,6 +91,73 @@ class ResilientSearchResult:
         if self.n_effective_stages == 0:
             return np.zeros_like(self.hamming_distances, dtype=float)
         return self.similarities / float(self.n_effective_stages)
+
+
+@dataclass(frozen=True)
+class ResilientBatchSearchResult:
+    """Batched search outcome over logical rows: Q queries at once.
+
+    Per-query slices are bit-exact against the corresponding
+    :class:`ResilientSearchResult` (:meth:`result` reconstructs it).
+    The health metadata (masking, retirement, confidence) is
+    query-independent -- it describes the array at the instant the batch
+    was served -- so it is stored once, not per query.
+
+    Attributes:
+        hamming_distances: Per-logical-row decoded distances, (Q, n_rows).
+        delays_s: Per-logical-row delays, (Q, n_rows).
+        best_rows: Most similar live logical row per query (``-1`` when
+            every row is retired), shape (Q,).
+        latencies_s: Slowest physical chain per query, shape (Q,).
+        energies_j: Total physical search energy per query, shape (Q,).
+        n_stages: Physical chain length.
+        n_effective_stages: Surviving stages after column masking.
+        degraded: Whether retired rows existed while serving the batch.
+        confidence: Surviving-resolution fraction (see
+            :class:`ResilientSearchResult`).
+        retired_rows: Logical rows without a physical home.
+        masked_stages: Stage columns excluded from the distance.
+    """
+
+    hamming_distances: np.ndarray
+    delays_s: np.ndarray
+    best_rows: np.ndarray
+    latencies_s: np.ndarray
+    energies_j: np.ndarray
+    n_stages: int
+    n_effective_stages: int
+    degraded: bool
+    confidence: float
+    retired_rows: Tuple[int, ...]
+    masked_stages: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return self.hamming_distances.shape[0]
+
+    @property
+    def similarities(self) -> np.ndarray:
+        """Match counts rescaled to the surviving stage count, (Q, n_rows)."""
+        return self.n_effective_stages - self.hamming_distances
+
+    def result(self, i: int) -> ResilientSearchResult:
+        """The single-query :class:`ResilientSearchResult` of query ``i``."""
+        if not -len(self) <= i < len(self):
+            raise IndexError(
+                f"query {i} out of range for batch of {len(self)}"
+            )
+        return ResilientSearchResult(
+            hamming_distances=self.hamming_distances[i],
+            delays_s=self.delays_s[i],
+            best_row=int(self.best_rows[i]),
+            latency_s=float(self.latencies_s[i]),
+            energy_j=float(self.energies_j[i]),
+            n_stages=self.n_stages,
+            n_effective_stages=self.n_effective_stages,
+            degraded=self.degraded,
+            confidence=self.confidence,
+            retired_rows=self.retired_rows,
+            masked_stages=self.masked_stages,
+        )
 
 
 @dataclass(frozen=True)
@@ -210,6 +277,7 @@ class ResilientTDAMArray:
         if self._physical.variation is None:
             self._physical._off_a[phys] = 0.0
             self._physical._off_b[phys] = 0.0
+            self._physical.invalidate_threshold_cache()
         self._base_off_a[phys] = self._physical._off_a[phys]
         self._base_off_b[phys] = self._physical._off_b[phys]
         self._row_age_s[phys] = 0.0
@@ -267,6 +335,7 @@ class ResilientTDAMArray:
             )
             self._physical._off_a[phys] = self._base_off_a[phys] + drift_a
             self._physical._off_b[phys] = self._base_off_b[phys] + drift_b
+        self._physical.invalidate_threshold_cache()
 
     @property
     def age_s(self) -> float:
@@ -289,6 +358,64 @@ class ResilientTDAMArray:
             mism[:, list(self._masked)] = False
         raw = self._physical.result_from_mismatch_matrix(mism)
         return self._logical_view(raw)
+
+    def search_batch(
+        self, queries: np.ndarray, chunk: int = 64
+    ) -> ResilientBatchSearchResult:
+        """Batched logical search, bit-exact vs looping :meth:`search`.
+
+        The automatic BIST due-check runs (at most) once, before the
+        batch; the whole batch then counts toward
+        ``searches_since_bist``.  A scalar :meth:`search` loop would
+        instead re-check between queries -- with ``bist_interval`` set,
+        prefer batches no longer than the interval.
+        """
+        if (
+            self.bist_interval is not None
+            and self._searches_since_bist >= self.bist_interval
+        ):
+            self.self_test_and_repair()
+        counts = self._backing.mismatch_count_batch(
+            queries, chunk=chunk, masked_stages=self._masked
+        )
+        self._searches_since_bist += counts.shape[0]
+        raw = self._physical.batch_result_from_mismatch_counts(counts)
+        return self._logical_view_batch(raw)
+
+    def _logical_view_batch(self, raw) -> ResilientBatchSearchResult:
+        n_eff = self.config.n_stages - len(self._masked)
+        timeout = self._physical.timing.chain_delay(self.config.n_stages)
+        n_q = raw.hamming_distances.shape[0]
+        distances = np.full((n_q, self.n_rows), n_eff, dtype=np.int64)
+        delays = np.full((n_q, self.n_rows), timeout)
+        live = [r for r in range(self.n_rows) if r not in self._retired]
+        if live:
+            phys = [self._map[r] for r in live]
+            distances[:, live] = np.minimum(
+                raw.hamming_distances[:, phys], n_eff
+            )
+            delays[:, live] = raw.delays_s[:, phys]
+            live_arr = np.asarray(live)
+            best = live_arr[
+                resolve_best_batch(distances[:, live], delays[:, live])
+            ]
+        else:
+            best = np.full(n_q, -1, dtype=np.int64)
+        live_fraction = len(live) / self.n_rows
+        stage_fraction = n_eff / self.config.n_stages
+        return ResilientBatchSearchResult(
+            hamming_distances=distances,
+            delays_s=delays,
+            best_rows=best,
+            latencies_s=raw.latencies_s,
+            energies_j=raw.energies_j,
+            n_stages=self.config.n_stages,
+            n_effective_stages=n_eff,
+            degraded=bool(self._retired),
+            confidence=live_fraction * stage_fraction,
+            retired_rows=tuple(sorted(self._retired)),
+            masked_stages=self._masked,
+        )
 
     def _logical_view(self, raw) -> ResilientSearchResult:
         n_eff = self.config.n_stages - len(self._masked)
@@ -335,6 +462,7 @@ class ResilientTDAMArray:
         if self._physical.variation is None:
             self._physical._off_a[:] = 0.0
             self._physical._off_b[:] = 0.0
+            self._physical.invalidate_threshold_cache()
         self._row_age_s[:] = 0.0
         diagnosis = self.bist.run(self._backing)
         # Endurance accounting: the march backgrounds plus the restore.

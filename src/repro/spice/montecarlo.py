@@ -10,8 +10,9 @@ analytic backend.
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -73,40 +74,93 @@ class MonteCarloResult:
         }
 
 
+def _run_shard(
+    trial: Callable[[np.random.Generator], float],
+    children: Sequence[np.random.SeedSequence],
+    allow_failures: bool,
+) -> List[Optional[float]]:
+    """Run one contiguous shard of trials; ``None`` marks a failure.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can
+    pickle it; the failure markers keep the per-trial positions so the
+    reassembled sample order is independent of the sharding.
+    """
+    out: List[Optional[float]] = []
+    for child in children:
+        rng = np.random.default_rng(child)
+        try:
+            out.append(float(trial(rng)))
+        except Exception:
+            if not allow_failures:
+                raise
+            out.append(None)
+    return out
+
+
 def run_monte_carlo(
     trial: Callable[[np.random.Generator], float],
     n_runs: int,
     seed: Optional[int] = None,
     allow_failures: bool = False,
+    n_workers: int = 1,
+    executor: str = "process",
 ) -> MonteCarloResult:
     """Run ``trial`` over ``n_runs`` independent RNG streams.
 
+    Every trial gets its own :class:`~numpy.random.SeedSequence`-spawned
+    child stream keyed by its trial index, so the result is
+    **bit-identical for any worker count**: parallelism only changes
+    which process evaluates a trial, never the stream it consumes.
+
     Args:
         trial: Function taking a seeded generator and returning a scalar
-            outcome (e.g. a chain delay in seconds).
+            outcome (e.g. a chain delay in seconds).  Must be picklable
+            (a module-level function or dataclass instance) when
+            ``n_workers > 1`` with the process executor.
         n_runs: Number of trials.
         seed: Master seed; child streams are spawned deterministically so
             results are reproducible and order-independent.
         allow_failures: When True, trials that raise are counted and
             skipped; when False the exception propagates.
+        n_workers: Worker count; 1 runs serially in-process (no pickling
+            requirement).
+        executor: ``"process"`` (CPU-bound trials, the default) or
+            ``"thread"`` (cheap trials or unpicklable state).
 
     Returns:
         The collected :class:`MonteCarloResult`.
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if executor not in ("process", "thread"):
+        raise ValueError(
+            f"executor must be 'process' or 'thread', got {executor!r}"
+        )
     seed_seq = np.random.SeedSequence(seed)
     children = seed_seq.spawn(n_runs)
-    samples: List[float] = []
-    failures = 0
-    for child in children:
-        rng = np.random.default_rng(child)
-        try:
-            samples.append(float(trial(rng)))
-        except Exception:
-            if not allow_failures:
-                raise
-            failures += 1
+    n_workers = min(n_workers, n_runs)
+    if n_workers == 1:
+        raw = _run_shard(trial, children, allow_failures)
+    else:
+        bounds = np.linspace(0, n_runs, n_workers + 1).astype(int)
+        shards = [
+            children[bounds[i]:bounds[i + 1]] for i in range(n_workers)
+        ]
+        pool_cls = (
+            concurrent.futures.ProcessPoolExecutor
+            if executor == "process"
+            else concurrent.futures.ThreadPoolExecutor
+        )
+        with pool_cls(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(_run_shard, trial, shard, allow_failures)
+                for shard in shards
+            ]
+            raw = [x for future in futures for x in future.result()]
+    samples = [x for x in raw if x is not None]
+    failures = len(raw) - len(samples)
     if not samples:
         raise RuntimeError("all Monte Carlo trials failed")
     return MonteCarloResult(

@@ -1,0 +1,410 @@
+"""Exact-equivalence tests of the batched search engine.
+
+The contract of :meth:`FastTDAMArray.search_batch` (and the faulty /
+resilient wrappers on top of it) is that batching changes *throughput
+only*: every per-query slice must match the scalar ``search()`` result
+bit-for-bit -- delays, TDC counts, decoded distances, energy, and the
+distance -> delay -> row winner resolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.array import (
+    BatchSearchResult,
+    FastTDAMArray,
+    batched_mismatch_counts,
+    calibrate_turn_on_overdrive,
+    resolve_best_batch,
+)
+from repro.core.config import TDAMConfig
+from repro.core.faults import FaultInjector, FaultyTDAMArray
+from repro.devices.variation import VariationModel
+from repro.resilience.resilient import ResilientTDAMArray
+
+
+def assert_batch_matches_scalar(array_like, batch, queries):
+    """Bit-for-bit comparison of a batch result against looped search."""
+    for i, query in enumerate(queries):
+        scalar = array_like.search(query)
+        assert np.array_equal(batch.delays_s[i], scalar.delays_s)
+        assert np.array_equal(batch.counts[i], scalar.counts)
+        assert np.array_equal(
+            batch.hamming_distances[i], scalar.hamming_distances
+        )
+        assert int(batch.best_rows[i]) == scalar.best_row
+        assert float(batch.latencies_s[i]) == scalar.latency_s
+        assert float(batch.energies_j[i]) == scalar.energy_j
+
+
+@pytest.fixture
+def queries(config, rng):
+    return rng.integers(0, config.levels, (48, config.n_stages))
+
+
+class TestCleanEquivalence:
+    @pytest.fixture
+    def array(self, config, rng):
+        array = FastTDAMArray(config, n_rows=12)
+        array.write_all(rng.integers(0, config.levels, (12, config.n_stages)))
+        return array
+
+    def test_bit_exact_without_variation(self, array, queries):
+        assert_batch_matches_scalar(array, array.search_batch(queries), queries)
+
+    def test_bit_exact_with_variation(self, config, rng, queries):
+        array = FastTDAMArray(
+            config, n_rows=12, variation=VariationModel(seed=7)
+        )
+        array.write_all(rng.integers(0, config.levels, (12, config.n_stages)))
+        assert_batch_matches_scalar(array, array.search_batch(queries), queries)
+
+    def test_bit_exact_with_measured_sigmas(self, config, rng, queries):
+        array = FastTDAMArray(
+            config, n_rows=6, variation=VariationModel(sigma_mv=None, seed=3)
+        )
+        array.write_all(rng.integers(0, config.levels, (6, config.n_stages)))
+        assert_batch_matches_scalar(array, array.search_batch(queries), queries)
+
+    @pytest.mark.parametrize("chunk", [1, 7, 48, 1000])
+    def test_chunk_size_does_not_change_results(self, array, queries, chunk):
+        reference = array.search_batch(queries)
+        chunked = array.search_batch(queries, chunk=chunk)
+        assert np.array_equal(reference.delays_s, chunked.delays_s)
+        assert np.array_equal(reference.best_rows, chunked.best_rows)
+
+    def test_tie_breaks_match_scalar(self, config):
+        # Duplicate rows force distance *and* delay ties; the winner must
+        # resolve to the lowest row index in both paths.
+        array = FastTDAMArray(config, n_rows=6)
+        row = [1] * config.n_stages
+        array.write_all([row] * 6)
+        queries = np.array([row, [0] * config.n_stages])
+        batch = array.search_batch(queries)
+        assert_batch_matches_scalar(array, batch, queries)
+        assert batch.best_rows.tolist() == [0, 0]
+
+    def test_single_query_batch(self, array, queries):
+        batch = array.search_batch(queries[:1])
+        assert len(batch) == 1
+        assert_batch_matches_scalar(array, batch, queries[:1])
+
+    def test_result_reconstructs_search_result(self, array, queries):
+        batch = array.search_batch(queries)
+        single = batch.result(3)
+        scalar = array.search(queries[3])
+        assert np.array_equal(single.delays_s, scalar.delays_s)
+        assert single.best_row == scalar.best_row
+        assert single.energy_j == scalar.energy_j
+
+    def test_result_index_out_of_range(self, array, queries):
+        batch = array.search_batch(queries)
+        with pytest.raises(IndexError, match="out of range"):
+            batch.result(len(queries))
+
+    def test_top_k_matches_scalar(self, array, queries):
+        batch = array.search_batch(queries)
+        top = batch.top_k(4)
+        assert top.shape == (len(queries), 4)
+        for i, query in enumerate(queries):
+            assert np.array_equal(top[i], array.search(query).top_k(4))
+
+    def test_top_k_rejects_bad_k(self, array, queries):
+        batch = array.search_batch(queries)
+        with pytest.raises(ValueError, match="k must be"):
+            batch.top_k(0)
+        with pytest.raises(ValueError, match="k must be"):
+            batch.top_k(array.n_rows + 1)
+
+    def test_similarities(self, array, queries):
+        batch = array.search_batch(queries)
+        assert np.array_equal(
+            batch.similarities,
+            array.config.n_stages - batch.hamming_distances,
+        )
+
+    def test_rejects_search_before_write(self, config, queries):
+        blank = FastTDAMArray(config, n_rows=4)
+        with pytest.raises(RuntimeError, match="before all rows"):
+            blank.search_batch(queries)
+
+    def test_rejects_wrong_query_length(self, array, config):
+        with pytest.raises(ValueError, match="query length"):
+            array.search_batch(np.zeros((3, config.n_stages + 1), dtype=int))
+
+    def test_rejects_out_of_range_levels(self, array, config):
+        bad = np.full((2, config.n_stages), config.levels)
+        with pytest.raises(ValueError, match="elements must be"):
+            array.search_batch(bad)
+
+    def test_mismatch_tensor_slices_equal_matrix(self, array, queries):
+        tensor = array.mismatch_tensor(queries[:5])
+        for i in range(5):
+            assert np.array_equal(
+                tensor[i], array.mismatch_matrix(queries[i])
+            )
+
+    def test_mismatch_count_batch_matches_tensor(self, array, queries):
+        counts = array.mismatch_count_batch(queries)
+        assert np.array_equal(
+            counts, array.mismatch_tensor(queries).sum(axis=2)
+        )
+
+
+class TestResolveBestBatch:
+    def test_matches_lexsort_rule(self, rng):
+        distances = rng.integers(0, 4, (64, 9))
+        delays = rng.random((64, 9))
+        delays[distances == 2] = 0.5  # manufacture delay ties too
+        best = resolve_best_batch(distances, delays)
+        for i in range(64):
+            order = np.lexsort(
+                (np.arange(9), delays[i], distances[i])
+            )
+            assert best[i] == order[0]
+
+
+class TestWriteAllVectorization:
+    def test_bit_identical_to_row_loop(self, config, rng):
+        matrix = rng.integers(0, config.levels, (9, config.n_stages))
+        vectorized = FastTDAMArray(
+            config, n_rows=9, variation=VariationModel(seed=21)
+        )
+        looped = FastTDAMArray(
+            config, n_rows=9, variation=VariationModel(seed=21)
+        )
+        vectorized.write_all(matrix)
+        for row in range(9):
+            looped.write(row, matrix[row])
+        assert np.array_equal(vectorized._off_a, looped._off_a)
+        assert np.array_equal(vectorized._off_b, looped._off_b)
+        query = rng.integers(0, config.levels, config.n_stages)
+        assert np.array_equal(
+            vectorized.search(query).delays_s, looped.search(query).delays_s
+        )
+
+    def test_write_all_rejects_wrong_width(self, config):
+        array = FastTDAMArray(config, n_rows=2)
+        with pytest.raises(ValueError, match="n_stages"):
+            array.write_all(np.zeros((2, config.n_stages + 1), dtype=int))
+
+    def test_write_all_rejects_wrong_rows(self, config):
+        array = FastTDAMArray(config, n_rows=2)
+        with pytest.raises(ValueError, match="rows"):
+            array.write_all(np.zeros((3, config.n_stages), dtype=int))
+
+
+class TestThresholdCache:
+    """The write-time threshold cache must never serve stale tensors."""
+
+    def _fresh(self, config, matrix, off_a, off_b):
+        array = FastTDAMArray(config, n_rows=len(matrix))
+        array.write_all(matrix)
+        array._off_a = off_a
+        array._off_b = off_b
+        return array
+
+    def test_wholesale_assignment_invalidates(self, config, rng):
+        matrix = rng.integers(0, config.levels, (5, config.n_stages))
+        query = rng.integers(0, config.levels, config.n_stages)
+        array = FastTDAMArray(config, n_rows=5)
+        array.write_all(matrix)
+        array.search(query)  # populate the cache
+        off = rng.normal(0.0, 0.05, (5, config.n_stages))
+        array._off_a = off
+        array._off_b = -off
+        reference = self._fresh(config, matrix, off, -off)
+        assert np.array_equal(
+            array.search(query).delays_s, reference.search(query).delays_s
+        )
+
+    def test_explicit_invalidate_after_inplace_mutation(self, config, rng):
+        matrix = rng.integers(0, config.levels, (5, config.n_stages))
+        query = rng.integers(0, config.levels, config.n_stages)
+        array = FastTDAMArray(config, n_rows=5)
+        array.write_all(matrix)
+        array.search(query)  # populate the cache
+        off = rng.normal(0.0, 0.05, (5, config.n_stages))
+        array._off_a[:] = off
+        array.invalidate_threshold_cache()
+        reference = self._fresh(
+            config, matrix, off, np.zeros_like(off)
+        )
+        assert np.array_equal(
+            array.search(query).delays_s, reference.search(query).delays_s
+        )
+
+    def test_write_all_after_search_invalidates_tables(self, config, rng):
+        array = FastTDAMArray(config, n_rows=4)
+        first = rng.integers(0, config.levels, (4, config.n_stages))
+        second = rng.integers(0, config.levels, (4, config.n_stages))
+        queries = rng.integers(0, config.levels, (6, config.n_stages))
+        array.write_all(first)
+        array.search_batch(queries)  # populate the level tables
+        array.write_all(second)
+        fresh = FastTDAMArray(config, n_rows=4)
+        fresh.write_all(second)
+        assert np.array_equal(
+            array.search_batch(queries).delays_s,
+            fresh.search_batch(queries).delays_s,
+        )
+
+    def test_rewrite_refreshes_cached_row(self, config, rng):
+        matrix = rng.integers(0, config.levels, (5, config.n_stages))
+        array = FastTDAMArray(config, n_rows=5)
+        array.write_all(matrix)
+        query = rng.integers(0, config.levels, config.n_stages)
+        array.search(query)  # populate the cache
+        new_row = rng.integers(0, config.levels, config.n_stages)
+        array.write(2, new_row)
+        fresh = FastTDAMArray(config, n_rows=5)
+        updated = matrix.copy()
+        updated[2] = new_row
+        fresh.write_all(updated)
+        assert np.array_equal(
+            array.search(query).delays_s, fresh.search(query).delays_s
+        )
+
+
+class TestTurnOnCalibrationMemo:
+    def test_memo_hit_is_bit_identical(self, config):
+        first = calibrate_turn_on_overdrive(config)
+        second = calibrate_turn_on_overdrive(config)
+        assert first == second
+
+    def test_matches_array_calibration(self, config):
+        array = FastTDAMArray(config, n_rows=1)
+        assert array.turn_on_overdrive == calibrate_turn_on_overdrive(config)
+
+    def test_distinct_design_points_get_distinct_entries(self, config):
+        low_vdd = config.with_(vdd=config.vdd * 0.75)
+        assert calibrate_turn_on_overdrive(config) != calibrate_turn_on_overdrive(
+            low_vdd
+        )
+
+
+class TestBatchedMismatchCountsKernel:
+    def test_matches_fast_array(self, config, rng, queries):
+        array = FastTDAMArray(
+            config, n_rows=7, variation=VariationModel(seed=4)
+        )
+        array.write_all(rng.integers(0, config.levels, (7, config.n_stages)))
+        vth = np.array(config.vth_levels)
+        vth_a = vth[array._stored] + array._off_a
+        vth_b = vth[config.levels - 1 - array._stored] + array._off_b
+        counts = batched_mismatch_counts(
+            queries,
+            vth_a,
+            vth_b,
+            np.array(config.vsl_levels),
+            config.levels,
+            array.turn_on_overdrive,
+        )
+        assert np.array_equal(counts, array.mismatch_count_batch(queries))
+
+    def test_rejects_bad_chunk(self, config, rng, queries):
+        array = FastTDAMArray(config, n_rows=3)
+        array.write_all(rng.integers(0, config.levels, (3, config.n_stages)))
+        with pytest.raises(ValueError, match="chunk"):
+            array.search_batch(queries, chunk=0)
+
+
+class TestFaultyEquivalence:
+    @pytest.fixture
+    def faulty(self, config, rng):
+        array = FastTDAMArray(
+            config, n_rows=10, variation=VariationModel(seed=5)
+        )
+        array.write_all(rng.integers(0, config.levels, (10, config.n_stages)))
+        faults = FaultInjector(config, 10, seed=13).draw(
+            n_stuck_mismatch=4, n_stuck_match=4, n_dead_rows=2
+        )
+        return FaultyTDAMArray(array, faults)
+
+    def test_bit_exact_vs_scalar(self, faulty, queries):
+        assert_batch_matches_scalar(
+            faulty, faulty.search_batch(queries), queries
+        )
+
+    def test_fault_free_batch_matches_scalar(self, faulty, queries):
+        batch = faulty.fault_free_search_batch(queries)
+        for i, query in enumerate(queries):
+            scalar = faulty.fault_free_search(query)
+            assert np.array_equal(batch.delays_s[i], scalar.delays_s)
+            assert int(batch.best_rows[i]) == scalar.best_row
+
+    def test_faulted_tensor_slices_equal_matrix(self, faulty, queries):
+        tensor = faulty.faulted_mismatch_tensor(queries[:4])
+        for i in range(4):
+            assert np.array_equal(
+                tensor[i], faulty.faulted_mismatch_matrix(queries[i])
+            )
+
+    def test_masked_stages_zero_the_columns(self, faulty, queries):
+        masked = (0, 5)
+        counts = faulty.mismatch_count_batch(queries, masked_stages=masked)
+        for i in range(len(queries)):
+            mism = faulty.faulted_mismatch_matrix(queries[i])
+            mism[:, list(masked)] = False
+            assert np.array_equal(counts[i], mism.sum(axis=1))
+
+
+class TestResilientEquivalence:
+    @pytest.fixture
+    def resilient(self, config, rng):
+        faults = FaultInjector(config, 10, seed=6).draw(
+            n_stuck_mismatch=2, n_stuck_match=1, n_dead_rows=1
+        )
+        array = ResilientTDAMArray(
+            config,
+            n_rows=8,
+            n_spares=2,
+            faults=faults,
+            variation=VariationModel(seed=8),
+            max_masked_stages=0,
+        )
+        array.write_all(
+            rng.integers(0, config.levels, (8, config.n_stages))
+        )
+        array.self_test_and_repair()
+        return array
+
+    def test_bit_exact_vs_scalar(self, resilient, queries):
+        batch = resilient.search_batch(queries)
+        for i, query in enumerate(queries):
+            scalar = resilient.search(query)
+            assert np.array_equal(
+                batch.hamming_distances[i], scalar.hamming_distances
+            )
+            assert np.array_equal(batch.delays_s[i], scalar.delays_s)
+            assert int(batch.best_rows[i]) == scalar.best_row
+            assert float(batch.latencies_s[i]) == scalar.latency_s
+            assert float(batch.energies_j[i]) == scalar.energy_j
+            assert batch.degraded == scalar.degraded
+
+    def test_bit_exact_after_drift(self, resilient, queries):
+        resilient.advance_time(3.0e5)
+        batch = resilient.search_batch(queries)
+        for i, query in enumerate(queries):
+            scalar = resilient.search(query)
+            assert np.array_equal(batch.delays_s[i], scalar.delays_s)
+            assert int(batch.best_rows[i]) == scalar.best_row
+
+    def test_result_reconstruction(self, resilient, queries):
+        batch = resilient.search_batch(queries)
+        single = batch.result(0)
+        scalar = resilient.search(queries[0])
+        assert np.array_equal(
+            single.hamming_distances, scalar.hamming_distances
+        )
+        assert single.best_row == scalar.best_row
+        assert single.confidence == scalar.confidence
+        assert single.retired_rows == scalar.retired_rows
+
+    def test_returns_batch_type(self, resilient, queries):
+        assert isinstance(
+            resilient._physical.search_batch(
+                np.clip(queries, 0, resilient.config.levels - 1)
+            ),
+            BatchSearchResult,
+        )

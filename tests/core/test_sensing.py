@@ -101,3 +101,57 @@ class TestMinimumClock:
         small = CounterTDC(config.with_(c_load_f=6e-15)).minimum_clock_ghz()
         large = CounterTDC(config.with_(c_load_f=96e-15)).minimum_clock_ghz()
         assert large < small
+
+
+class TestVectorizedTDC:
+    """count_array / decode_array must match the scalar paths bit-for-bit,
+    including at clock-period boundaries where floor/round are touchy."""
+
+    def boundary_delays(self, tdc):
+        """Delays at and around integer clock-tick multiples."""
+        period = tdc.clock_period_s
+        ticks = np.arange(0, 12, dtype=float)
+        exact = ticks * period
+        eps = np.spacing(exact[1:])
+        return np.concatenate(
+            [exact, exact[1:] - eps, exact[1:] + eps]
+        )
+
+    def test_count_array_matches_scalar_at_boundaries(self, tdc):
+        delays = self.boundary_delays(tdc)
+        counts = tdc.count_array(delays)
+        assert counts.dtype == np.int64
+        for delay, count in zip(delays, counts):
+            assert int(count) == tdc.count(float(delay))
+
+    def test_decode_array_matches_scalar_at_boundaries(self, config, tdc):
+        timing = TimingEnergyModel(config)
+        mismatch_delays = np.array(
+            [timing.chain_delay(m) for m in range(config.n_stages + 1)]
+        )
+        delays = np.concatenate(
+            [self.boundary_delays(tdc), mismatch_delays]
+        )
+        decoded = tdc.decode_array(delays)
+        assert decoded.dtype == np.int64
+        for delay, value in zip(delays, decoded):
+            assert int(value) == tdc.decode_mismatches(float(delay))
+
+    def test_decode_array_clamps_like_scalar(self, config, tdc):
+        timing = TimingEnergyModel(config)
+        huge = timing.chain_delay(config.n_stages) * 10.0
+        assert tdc.decode_array(np.array([huge]))[0] == config.n_stages
+        assert tdc.decode_array(np.array([0.0]))[0] == 0
+
+    def test_count_array_preserves_shape(self, tdc):
+        delays = np.full((3, 4), 5 * tdc.clock_period_s)
+        assert tdc.count_array(delays).shape == (3, 4)
+        assert tdc.decode_array(delays).shape == (3, 4)
+
+    def test_count_array_rejects_negative(self, tdc):
+        with pytest.raises(ValueError, match=">= 0"):
+            tdc.count_array(np.array([1e-9, -1e-12]))
+
+    def test_empty_input(self, tdc):
+        assert tdc.count_array(np.array([])).shape == (0,)
+        assert tdc.decode_array(np.array([])).shape == (0,)

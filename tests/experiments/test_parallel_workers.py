@@ -1,0 +1,49 @@
+"""Worker-count invariance of the shard-parallel experiment drivers.
+
+The contract: ``n_workers`` changes wall clock only.  Every record of
+``run_fig6`` and ``run_resilience_study`` must be identical between a
+serial run and a parallel run, because the randomness is pre-drawn (or
+per-trial seed-streamed) before any work is sharded.
+"""
+
+import math
+
+import numpy as np
+
+from repro.experiments.ext_resilience import run_resilience_study
+from repro.experiments.fig6_montecarlo import run_fig6
+
+
+class TestFig6Workers:
+    def test_parallel_matches_serial(self):
+        kwargs = dict(
+            stage_counts=(16,), sigmas_mv=(30.0, 60.0), n_runs=24, seed=3
+        )
+        serial = run_fig6(n_workers=1, **kwargs)
+        parallel = run_fig6(n_workers=3, **kwargs)
+        assert len(serial.cells) == len(parallel.cells)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert np.array_equal(a.mc.samples, b.mc.samples)
+            assert a.margin.yield_fraction == b.margin.yield_fraction
+
+
+class TestResilienceWorkers:
+    def test_parallel_matches_serial(self):
+        kwargs = dict(
+            spare_counts=(0, 2),
+            n_rows=6,
+            n_trials=4,
+            n_queries=4,
+            seed=17,
+        )
+        serial = run_resilience_study(n_workers=1, **kwargs)
+        parallel = run_resilience_study(n_workers=2, **kwargs)
+        for a, b in zip(serial.records, parallel.records):
+            assert a.n_spares == b.n_spares
+            assert a.measured_yield == b.measured_yield
+            assert a.analytic_yield == b.analytic_yield
+            assert a.degraded_flagged == b.degraded_flagged
+            if math.isnan(a.wrong_best_repaired):
+                assert math.isnan(b.wrong_best_repaired)
+            else:
+                assert a.wrong_best_repaired == b.wrong_best_repaired

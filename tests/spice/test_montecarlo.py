@@ -80,3 +80,82 @@ class TestMonteCarloResult:
         result = MonteCarloResult(samples=np.array([-1.0, 1.0]), seed=0)
         with pytest.raises(ValueError, match="zero mean"):
             result.coefficient_of_variation
+
+
+def _gaussian_trial(rng):
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    return float(rng.normal())
+
+
+def _sometimes_failing_trial(rng):
+    """Module-level failing trial for parallel failure handling."""
+    value = float(rng.normal())
+    if value > 1.0:
+        raise RuntimeError("boom")
+    return value
+
+
+class TestParallelMonteCarlo:
+    """Shard parallelism must never change the sample stream."""
+
+    @pytest.mark.parametrize("n_workers", [2, 3, 7])
+    def test_thread_parallel_bit_identical_to_serial(self, n_workers):
+        serial = run_monte_carlo(_gaussian_trial, n_runs=40, seed=5)
+        parallel = run_monte_carlo(
+            _gaussian_trial,
+            n_runs=40,
+            seed=5,
+            n_workers=n_workers,
+            executor="thread",
+        )
+        assert np.array_equal(serial.samples, parallel.samples)
+
+    def test_process_parallel_bit_identical_to_serial(self):
+        serial = run_monte_carlo(_gaussian_trial, n_runs=24, seed=5)
+        parallel = run_monte_carlo(
+            _gaussian_trial, n_runs=24, seed=5, n_workers=3
+        )
+        assert np.array_equal(serial.samples, parallel.samples)
+
+    def test_workers_capped_at_n_runs(self):
+        serial = run_monte_carlo(_gaussian_trial, n_runs=3, seed=2)
+        parallel = run_monte_carlo(
+            _gaussian_trial, n_runs=3, seed=2, n_workers=16, executor="thread"
+        )
+        assert np.array_equal(serial.samples, parallel.samples)
+
+    def test_parallel_failures_match_serial(self):
+        serial = run_monte_carlo(
+            _sometimes_failing_trial, n_runs=60, seed=8, allow_failures=True
+        )
+        parallel = run_monte_carlo(
+            _sometimes_failing_trial,
+            n_runs=60,
+            seed=8,
+            allow_failures=True,
+            n_workers=4,
+            executor="thread",
+        )
+        assert serial.failures > 0
+        assert parallel.failures == serial.failures
+        assert np.array_equal(serial.samples, parallel.samples)
+
+    def test_parallel_failure_propagates_without_allow(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_monte_carlo(
+                _sometimes_failing_trial,
+                n_runs=60,
+                seed=8,
+                n_workers=4,
+                executor="thread",
+            )
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            run_monte_carlo(_gaussian_trial, n_runs=4, n_workers=0)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_monte_carlo(
+                _gaussian_trial, n_runs=4, n_workers=2, executor="fork"
+            )

@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Benchmark report: batched-search and Monte Carlo throughput numbers.
+
+Runs the performance microbench suite (``benchmarks/test_perf_microbench.py``)
+plus two direct wall-clock studies, and writes ``BENCH_search.json``:
+
+1. **Batched search vs per-query loop** on the Fig. 8-shaped reference
+   workload (26 rows x 128 stages, 256 queries): queries/s of
+   ``FastTDAMArray.search_batch`` against a Python loop of ``search()``,
+   and their ratio (the committed baseline asserts >= 10x).
+2. **Shard-parallel Monte Carlo**: wall clock of a Fig. 6 Monte Carlo
+   cell with 1 worker vs N workers (same seed; the driver is
+   bit-reproducible for any worker count, so only the wall clock moves).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py [--output BENCH_search.json]
+        [--skip-microbench] [--workers N] [--mc-runs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.array import FastTDAMArray  # noqa: E402
+from repro.core.config import TDAMConfig  # noqa: E402
+from repro.experiments.fig6_montecarlo import Fig6Trial  # noqa: E402
+from repro.spice.montecarlo import run_monte_carlo  # noqa: E402
+
+N_ROWS = 26
+N_STAGES = 128
+N_QUERIES = 256
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds of ``repeats`` timed calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_search_batch(repeats: int = 5) -> dict:
+    """Batched vs looped search on the Fig. 8 reference workload."""
+    config = TDAMConfig.fig8_system()
+    array = FastTDAMArray(config, n_rows=N_ROWS)
+    rng = np.random.default_rng(1)
+    array.write_all(rng.integers(0, 4, size=(N_ROWS, N_STAGES)))
+    queries = rng.integers(0, 4, size=(N_QUERIES, N_STAGES))
+    array.search_batch(queries)  # warm up and build the level tables
+
+    t_batch = _best_of(lambda: array.search_batch(queries), repeats)
+    t_loop = _best_of(
+        lambda: [array.search(q) for q in queries], max(2, repeats // 2)
+    )
+    batch = array.search_batch(queries)
+    exact = all(
+        np.array_equal(batch.delays_s[i], array.search(q).delays_s)
+        and int(batch.best_rows[i]) == array.search(q).best_row
+        for i, q in enumerate(queries)
+    )
+    return {
+        "workload": f"{N_ROWS} rows x {N_STAGES} stages x {N_QUERIES} queries",
+        "loop_s": t_loop,
+        "batch_s": t_batch,
+        "loop_queries_per_s": N_QUERIES / t_loop,
+        "batch_queries_per_s": N_QUERIES / t_batch,
+        "speedup": t_loop / t_batch,
+        "bit_exact": exact,
+    }
+
+
+def bench_monte_carlo(n_runs: int, n_workers: int, repeats: int = 3) -> dict:
+    """Serial vs shard-parallel Monte Carlo wall clock (same results)."""
+    trial = Fig6Trial(config=TDAMConfig(), sigma_mv=30.0)
+    serial = run_monte_carlo(trial, n_runs=n_runs, seed=7)
+    parallel = run_monte_carlo(trial, n_runs=n_runs, seed=7,
+                               n_workers=n_workers)
+    t_serial = _best_of(
+        lambda: run_monte_carlo(trial, n_runs=n_runs, seed=7), repeats
+    )
+    t_parallel = _best_of(
+        lambda: run_monte_carlo(trial, n_runs=n_runs, seed=7,
+                                n_workers=n_workers),
+        repeats,
+    )
+    return {
+        "workload": f"Fig. 6 trial, {n_runs} runs, sigma 30 mV",
+        "n_workers": n_workers,
+        "serial_s": t_serial,
+        "parallel_s": t_parallel,
+        "speedup": t_serial / t_parallel,
+        "bit_identical": bool(
+            np.array_equal(serial.samples, parallel.samples)
+        ),
+    }
+
+
+def run_microbench() -> dict:
+    """Run the pytest-benchmark suite; return its stats (name -> mean s)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest",
+                str(REPO_ROOT / "benchmarks" / "test_perf_microbench.py"),
+                "-q", f"--benchmark-json={out}",
+            ],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0 or not out.exists():
+            return {"error": proc.stdout[-2000:] + proc.stderr[-2000:]}
+        data = json.loads(out.read_text())
+    return {
+        bench["name"]: {
+            "mean_s": bench["stats"]["mean"],
+            "min_s": bench["stats"]["min"],
+            "rounds": bench["stats"]["rounds"],
+        }
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_search.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--skip-microbench", action="store_true",
+        help="skip the pytest-benchmark suite (direct timings only)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=max(2, os.cpu_count() or 2),
+        help="Monte Carlo worker count for the parallel timing",
+    )
+    parser.add_argument(
+        "--mc-runs", type=int, default=200,
+        help="Monte Carlo trials per timing",
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "search_batch": bench_search_batch(),
+        "monte_carlo": bench_monte_carlo(args.mc_runs, args.workers),
+    }
+    if not args.skip_microbench:
+        report["microbench"] = run_microbench()
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    search = report["search_batch"]
+    mc = report["monte_carlo"]
+    print(f"search_batch: {search['batch_queries_per_s']:,.0f} queries/s "
+          f"({search['speedup']:.1f}x vs loop, "
+          f"bit_exact={search['bit_exact']})")
+    print(f"monte_carlo:  {mc['speedup']:.2f}x with {mc['n_workers']} "
+          f"workers (bit_identical={mc['bit_identical']})")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
