@@ -6,9 +6,12 @@ paths are visible: the vectorized array search, the analytic cost model,
 the encoder, and the vectorized transient step.
 """
 
+import time
+
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.core.array import FastTDAMArray
 from repro.core.config import TDAMConfig
 from repro.core.energy import TimingEnergyModel
@@ -80,6 +83,65 @@ def test_perf_monte_carlo_serial(benchmark):
     result = benchmark.pedantic(run, rounds=3, iterations=1,
                                 warmup_rounds=1)
     assert len(result.samples) == 32
+
+
+def test_perf_search_batch_telemetry_enabled(benchmark, loaded_array,
+                                             query_batch):
+    """The batched kernel with telemetry ON (spans + metrics + probes).
+
+    Not gated -- recorded so the enabled-mode cost stays visible next to
+    the disabled numbers in the bench report.
+    """
+    array, _ = loaded_array
+    array.search_batch(query_batch)
+    telemetry.enable()
+    try:
+        result = benchmark(array.search_batch, query_batch)
+    finally:
+        telemetry.reset()
+    assert result.hamming_distances.shape == (N_QUERIES, 26)
+
+
+def test_disabled_telemetry_overhead_under_3_percent(loaded_array,
+                                                     query_batch):
+    """ISSUE acceptance gate: the dormant instrumentation on the hot
+    ``search_batch`` path costs < 3% vs the bare kernel.
+
+    The wrapper (one ``STATE.enabled`` check) is timed against the
+    un-instrumented ``_search_batch_impl`` it delegates to, min-of-N on
+    interleaved rounds so machine noise hits both sides equally.  A
+    small absolute floor keeps the ratio meaningful if the kernel ever
+    gets fast enough for per-call timing jitter to dominate.
+    """
+    array, _ = loaded_array
+    telemetry.disable()
+    array.search_batch(query_batch)  # build the level tables up front
+
+    rounds, reps = 7, 3
+
+    def best(fn):
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for _ in range(reps):
+                fn(query_batch)
+            times.append((time.perf_counter() - start) / reps)
+        return min(times)
+
+    # Warm both paths, then interleave the measurements.
+    array._search_batch_impl(query_batch)
+    t_bare = best(array._search_batch_impl)
+    t_wrapped = best(array.search_batch)
+    t_bare = min(t_bare, best(array._search_batch_impl))
+    t_wrapped = min(t_wrapped, best(array.search_batch))
+
+    overhead = t_wrapped / t_bare - 1.0
+    slack_s = 20e-6  # absolute guard: one boolean check costs ~ns
+    assert t_wrapped <= t_bare * 1.03 + slack_s, (
+        f"disabled-telemetry overhead {overhead * 100:.2f}% "
+        f"(wrapped {t_wrapped * 1e6:.1f} us vs bare {t_bare * 1e6:.1f} us) "
+        "exceeds the 3% budget"
+    )
 
 
 def test_perf_analytic_cost_model(benchmark):

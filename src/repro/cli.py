@@ -18,6 +18,21 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.telemetry.log import configure_logging, get_logger
+
+_log = get_logger(__name__)
+
+
+def emit(text: str = "") -> None:
+    """The CLI's one user-facing output channel.
+
+    Experiment results are the deliverable, not diagnostics: they go to
+    stdout unconditionally, independent of the logging configuration
+    (which owns stderr).  This helper is the single place in the package
+    allowed to ``print``.
+    """
+    print(text)
+
 
 def _table1() -> str:
     from repro.experiments.table1_comparison import format_table1, run_table1
@@ -214,8 +229,8 @@ def _area(fast: bool, workers: int = 1) -> str:
 
 #: Experiment registry: name -> (description, runner(fast, workers) -> text).
 #: ``workers`` threads/processes the Monte Carlo-style experiments (fig6,
-#: resilience); the others ignore it.
-EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool, int], str]]] = {
+#: resilience); ``None`` means auto; the others ignore it.
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool, Optional[int]], str]]] = {
     "table1": (
         "Table I energy/bit comparison",
         lambda fast, workers=1: _table1(),
@@ -245,31 +260,84 @@ REPORT_ORDER = [
 ]
 
 
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Shared ``--log-*`` / ``--trace-out`` / ``--metrics-out`` options."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("telemetry")
+    group.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="diagnostic log level (debug/info/warning/error; default: "
+             "$REPRO_LOG_LEVEL or warning); logs go to stderr",
+    )
+    group.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as JSON lines instead of console text",
+    )
+    group.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="enable telemetry and write a Chrome-trace JSON "
+             "(chrome://tracing or Perfetto) on exit",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="enable telemetry and write the metrics registry as JSON "
+             "on exit",
+    )
+    return parent
+
+
+def _telemetry_begin(args: argparse.Namespace) -> None:
+    """Configure logging and arm telemetry per the parsed options."""
+    from repro import telemetry
+
+    configure_logging(level=args.log_level, json_lines=args.log_json)
+    if args.trace_out or args.metrics_out:
+        telemetry.enable()
+
+
+def _telemetry_end(args: argparse.Namespace) -> None:
+    """Write the requested trace/metrics artifacts."""
+    from repro import telemetry
+
+    if args.trace_out:
+        telemetry.dump_chrome_trace(args.trace_out)
+        _log.info("trace written", extra={"path": args.trace_out})
+    if args.metrics_out:
+        telemetry.get_registry().dump_json(args.metrics_out)
+        _log.info("metrics written", extra={"path": args.metrics_out})
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures as text.",
     )
+    telemetry_options = _telemetry_parent()
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
-    run = sub.add_parser("run", help="run one experiment")
+    run = sub.add_parser("run", help="run one experiment",
+                         parents=[telemetry_options])
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--fast", action="store_true",
                      help="reduced problem sizes")
-    run.add_argument("--workers", type=int, default=1, metavar="N",
+    run.add_argument("--workers", type=int, default=None, metavar="N",
                      help="parallel Monte Carlo workers (bit-identical "
-                          "results for any count)")
-    report = sub.add_parser("report", help="run every experiment in order")
+                          "results for any count; default: auto -- shard "
+                          "only when the machine and trial count let "
+                          "parallelism win)")
+    report = sub.add_parser("report", help="run every experiment in order",
+                            parents=[telemetry_options])
     report.add_argument("--fast", action="store_true",
                         help="reduced problem sizes")
     report.add_argument("--output", metavar="FILE", default=None,
                         help="also write the report to a file")
-    report.add_argument("--workers", type=int, default=1, metavar="N",
-                        help="parallel Monte Carlo workers")
+    report.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="parallel Monte Carlo workers (default: auto)")
     resilience = sub.add_parser(
         "resilience",
         help="BIST/repair yield-vs-spares study with tunable fault rates",
+        parents=[telemetry_options],
     )
     resilience.add_argument(
         "--spares", type=int, nargs="+", default=[0, 1, 2, 4],
@@ -293,19 +361,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--seed", type=int, default=11, help="fault-map seed",
     )
     resilience.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="parallel trial-evaluation workers (bit-identical results)",
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel trial-evaluation workers (bit-identical results; "
+             "default: auto)",
     )
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for name in REPORT_ORDER:
             description, _ = EXPERIMENTS[name]
-            print(f"{name:<10} {description}")
+            emit(f"{name:<10} {description}")
         return 0
+    if args.command not in ("run", "resilience", "report"):
+        parser.print_help()
+        return 2
+    _telemetry_begin(args)
+    try:
+        return _dispatch(args)
+    finally:
+        _telemetry_end(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run one telemetry-carrying subcommand; returns an exit code."""
     if args.command == "run":
         _, runner = EXPERIMENTS[args.experiment]
-        print(runner(args.fast, args.workers))
+        _log.info(
+            "running experiment",
+            extra={"experiment": args.experiment, "fast": args.fast},
+        )
+        emit(runner(args.fast, args.workers))
         return 0
     if args.command == "resilience":
         from repro.experiments.ext_resilience import (
@@ -313,7 +398,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_resilience_study,
         )
 
-        print(
+        emit(
             format_resilience(
                 run_resilience_study(
                     spare_counts=args.spares,
@@ -327,24 +412,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
         return 0
-    if args.command == "report":
-        sections: List[str] = []
-        for name in REPORT_ORDER:
-            description, runner = EXPERIMENTS[name]
-            header = "=" * 72 + f"\n{name}: {description}\n" + "=" * 72
-            print(header)
-            start = time.time()
-            body = runner(args.fast, args.workers)
-            print(body)
-            print(f"[{name} done in {time.time() - start:.1f} s]\n")
-            sections.append(f"{header}\n{body}\n")
-        if args.output:
-            with open(args.output, "w") as handle:
-                handle.write("\n".join(sections))
-            print(f"report written to {args.output}")
-        return 0
-    parser.print_help()
-    return 2
+    sections: List[str] = []
+    for name in REPORT_ORDER:
+        description, runner = EXPERIMENTS[name]
+        header = "=" * 72 + f"\n{name}: {description}\n" + "=" * 72
+        emit(header)
+        start = time.time()
+        body = runner(args.fast, args.workers)
+        emit(body)
+        emit(f"[{name} done in {time.time() - start:.1f} s]\n")
+        sections.append(f"{header}\n{body}\n")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("\n".join(sections))
+        emit(f"report written to {args.output}")
+    return 0
 
 
 if __name__ == "__main__":

@@ -38,6 +38,36 @@ from repro.core.energy import TimingEnergyModel
 from repro.core.sensing import CounterTDC
 from repro.devices.fefet import FeFET, FeFETParams
 from repro.devices.variation import VariationModel
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.state import STATE as _TM
+
+# Telemetry instruments (dormant unless repro.telemetry is enabled; the
+# disabled fast path in the search kernels is a single boolean check).
+_REG = _metrics.get_registry()
+_SEARCHES = _REG.counter(
+    "tdam_searches_total",
+    "Completed array search operations",
+    labels=("mode",),
+)
+_QUERIES = _REG.counter(
+    "tdam_queries_total",
+    "Queries served across all searches",
+    labels=("mode",),
+)
+_WRITES = _REG.counter(
+    "tdam_write_all_total", "Full-array write_all programming operations"
+)
+_SEARCH_LATENCY = _REG.histogram(
+    "tdam_search_latency_seconds",
+    "Modeled array search latency (slowest chain) per search",
+)
+_CACHE_EVENTS = _REG.counter(
+    "tdam_threshold_cache_events_total",
+    "Threshold/level-table cache lifecycle events",
+    labels=("op",),
+)
 
 #: Default query-chunk size of the batched kernels: bounds the transient
 #: (chunk, rows, stages) tensor while keeping the numpy calls large.
@@ -239,6 +269,48 @@ class BatchSearchResult:
             latency_s=float(self.latencies_s[i]),
             energy_j=float(self.energies_j[i]),
             n_stages=self.n_stages,
+        )
+
+
+def _record_search_telemetry(
+    array: "FastTDAMArray", result, mode: str, n_queries: int
+) -> None:
+    """Metrics + probe emission for one (batched) search; enabled-only.
+
+    ``result`` is a :class:`SearchResult` or :class:`BatchSearchResult`;
+    the payload carries the aggregate mismatch spread so a probe hook
+    sees the per-stage similarity statistics without re-deriving them.
+    """
+    _SEARCHES.inc(mode=mode)
+    _QUERIES.inc(n_queries, mode=mode)
+    distances = result.hamming_distances
+    if mode == "single":
+        latency = float(result.latency_s)
+        energy = float(result.energy_j)
+        _SEARCH_LATENCY.observe(latency)
+        _emit_probe(
+            "array.search",
+            rows=array.n_rows,
+            stages=array.config.n_stages,
+            best_row=int(result.best_row),
+            min_mismatches=int(distances.min()),
+            max_mismatches=int(distances.max()),
+            latency_s=latency,
+            energy_j=energy,
+        )
+    else:
+        latency = float(result.latencies_s.max())
+        energy = float(result.energies_j.sum())
+        _SEARCH_LATENCY.observe(latency)
+        _emit_probe(
+            "array.search_batch",
+            rows=array.n_rows,
+            stages=array.config.n_stages,
+            queries=n_queries,
+            min_mismatches=int(distances.min()),
+            max_mismatches=int(distances.max()),
+            latency_s=latency,
+            energy_j=energy,
         )
 
 
@@ -472,6 +544,9 @@ class FastTDAMArray:
         """
         self._thresholds_valid = False
         self._tables_valid = False
+        if _TM.enabled:
+            _CACHE_EVENTS.inc(op="invalidate")
+            _emit_probe("cache.threshold", op="invalidate")
 
     def _thresholds(
         self,
@@ -552,28 +627,44 @@ class FastTDAMArray:
         scalar path's per-row reductions.
         """
         if not self._tables_valid:
-            vth_a, vth_b, vth_a_nom, vth_b_nom = self._thresholds()
-            mism, contrib = self._build_level_tables(
-                vth_a, vth_b, vth_a_nom, vth_b_nom
-            )
-            # (L, M, N) -> (M, L * N) so a per-chunk gather runs over
-            # the contiguous trailing axis.
-            shape = (self.n_rows, -1)
-            self._mism_table = np.ascontiguousarray(
-                mism.transpose(1, 0, 2)
-            ).reshape(shape)
-            self._contrib_table = np.ascontiguousarray(
-                contrib.transpose(1, 0, 2)
-            ).reshape(shape)
-            # (L, N, M) float copy for the one-hot matmul count path:
-            # every product and partial sum is a small integer, exactly
-            # representable in float64, so any BLAS accumulation order
-            # reproduces the boolean-gather counts bit-for-bit.
-            self._mism_gemm = np.ascontiguousarray(
-                mism.transpose(0, 2, 1).astype(float)
-            )
-            self._tables_valid = True
+            if _TM.enabled:
+                _CACHE_EVENTS.inc(op="rebuild")
+                _emit_probe("cache.threshold", op="rebuild")
+                with _trace.span(
+                    "array.rebuild_tables",
+                    rows=self.n_rows,
+                    stages=self.config.n_stages,
+                ):
+                    self._rebuild_level_tables()
+            else:
+                self._rebuild_level_tables()
+        elif _TM.enabled:
+            _CACHE_EVENTS.inc(op="hit")
         return self._mism_table, self._contrib_table
+
+    def _rebuild_level_tables(self) -> None:
+        """Materialize the gather/GEMM tables from the threshold cache."""
+        vth_a, vth_b, vth_a_nom, vth_b_nom = self._thresholds()
+        mism, contrib = self._build_level_tables(
+            vth_a, vth_b, vth_a_nom, vth_b_nom
+        )
+        # (L, M, N) -> (M, L * N) so a per-chunk gather runs over
+        # the contiguous trailing axis.
+        shape = (self.n_rows, -1)
+        self._mism_table = np.ascontiguousarray(
+            mism.transpose(1, 0, 2)
+        ).reshape(shape)
+        self._contrib_table = np.ascontiguousarray(
+            contrib.transpose(1, 0, 2)
+        ).reshape(shape)
+        # (L, N, M) float copy for the one-hot matmul count path:
+        # every product and partial sum is a small integer, exactly
+        # representable in float64, so any BLAS accumulation order
+        # reproduces the boolean-gather counts bit-for-bit.
+        self._mism_gemm = np.ascontiguousarray(
+            mism.transpose(0, 2, 1).astype(float)
+        )
+        self._tables_valid = True
 
     # ------------------------------------------------------------------
     # Write path
@@ -608,6 +699,20 @@ class FastTDAMArray:
         calls (row 0 F_A, row 0 F_B, row 1 F_A, ...) in one flat draw,
         so seeded runs are bit-identical to the historical row loop.
         """
+        if not _TM.enabled:
+            return self._write_all_impl(matrix)
+        with _trace.span(
+            "array.write_all",
+            rows=self.n_rows,
+            stages=self.config.n_stages,
+        ):
+            self._write_all_impl(matrix)
+        _WRITES.inc()
+        _emit_probe(
+            "array.write_all", rows=self.n_rows, stages=self.config.n_stages
+        )
+
+    def _write_all_impl(self, matrix: Sequence[Sequence[int]]) -> None:
         matrix = np.asarray(matrix)
         if matrix.shape[0] != self.n_rows:
             raise ValueError(
@@ -770,8 +875,9 @@ class FastTDAMArray:
             delays = self._base_delay + mismatch_counts * self._d_c
         else:
             delays = self._base_delay + (mism * d_c_eff).sum(axis=1)
-        counts = self.tdc.count_array(delays)
-        distances = self.tdc.decode_array(delays)
+        with _trace.span("array.sense", rows=self.n_rows):
+            counts = self.tdc.count_array(delays)
+            distances = self.tdc.decode_array(delays)
         energy = float(
             self.timing.search_energy_table()[mismatch_counts].sum()
         )
@@ -817,8 +923,13 @@ class FastTDAMArray:
             delays = self._base_delay + mismatch_counts * self._d_c
         else:
             delays = self._base_delay + delay_adders_s
-        counts = self.tdc.count_array(delays)
-        distances = self.tdc.decode_array(delays)
+        with _trace.span(
+            "array.sense",
+            rows=self.n_rows,
+            queries=int(mismatch_counts.shape[0]),
+        ):
+            counts = self.tdc.count_array(delays)
+            distances = self.tdc.decode_array(delays)
         energies = self.timing.search_energy_table()[mismatch_counts].sum(
             axis=1
         )
@@ -870,6 +981,16 @@ class FastTDAMArray:
 
     def search(self, query: Sequence[int]) -> SearchResult:
         """Parallel 2-step search (vectorized)."""
+        if not _TM.enabled:
+            return self._search_impl(query)
+        with _trace.span(
+            "array.search", rows=self.n_rows, stages=self.config.n_stages
+        ):
+            result = self._search_impl(query)
+        _record_search_telemetry(self, result, mode="single", n_queries=1)
+        return result
+
+    def _search_impl(self, query: Sequence[int]) -> SearchResult:
         self._check_written()
         q = self.encoding.validate_vector(query)
         if len(q) != self.config.n_stages:
@@ -916,6 +1037,23 @@ class FastTDAMArray:
             queries: Query levels, shape (Q, n_stages).
             chunk: Queries per materialized tensor chunk (memory bound).
         """
+        if not _TM.enabled:
+            return self._search_batch_impl(queries, chunk)
+        with _trace.span(
+            "array.search_batch",
+            rows=self.n_rows,
+            stages=self.config.n_stages,
+            queries=int(np.atleast_2d(np.asarray(queries)).shape[0]),
+        ):
+            result = self._search_batch_impl(queries, chunk)
+        _record_search_telemetry(
+            self, result, mode="batch", n_queries=len(result)
+        )
+        return result
+
+    def _search_batch_impl(
+        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+    ) -> BatchSearchResult:
         q = self._validate_queries(queries)
         counts, adders = self._batch_kernel(q, chunk)
         return self.batch_result_from_mismatch_counts(

@@ -23,6 +23,18 @@ import numpy as np
 
 from repro.core.config import TDAMConfig
 from repro.core.energy import TimingEnergyModel
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.state import STATE as _TM
+
+#: Sense-margin histogram: the decode slack in LSBs (0.5 = delay dead
+#: center between decision boundaries, 0 = right on one).  Dormant
+#: unless telemetry is enabled.
+_SENSE_MARGIN = _metrics.get_registry().histogram(
+    "tdam_sense_margin_lsb",
+    "Worst-case TDC decode margin per decode call, in mismatch LSBs",
+    buckets=(0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5),
+)
 
 
 class CounterTDC:
@@ -88,7 +100,22 @@ class CounterTDC:
         raw = self.timing.delay_to_mismatches(
             measured + self.clock_period_s / 2.0
         )
-        return np.clip(np.rint(raw), 0, self.config.n_stages).astype(np.int64)
+        decoded = np.clip(np.rint(raw), 0, self.config.n_stages)
+        if _TM.enabled and raw.size:
+            # Decode slack in LSBs: distance of the (quantized) delay
+            # from the nearest rounding boundary.  0.5 means the delay
+            # sits dead center on its mismatch code; 0 means one more
+            # LSB of drift flips the decoded distance.
+            margins = 0.5 - np.abs(raw - np.rint(raw))
+            worst = float(margins.min())
+            _SENSE_MARGIN.observe(worst)
+            _emit_probe(
+                "tdc.decode",
+                n=int(raw.size),
+                min_margin_lsb=worst,
+                mean_margin_lsb=float(margins.mean()),
+            )
+        return decoded.astype(np.int64)
 
     def sensing_margin_s(self) -> float:
         """Half of the mismatch LSB: the tolerated absolute delay error."""

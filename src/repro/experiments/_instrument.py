@@ -1,0 +1,54 @@
+"""Experiment-runner instrumentation.
+
+One decorator, applied to every ``run_*`` driver in this subpackage: it
+wraps the runner in an ``experiment.<name>`` trace span and fires the
+``experiment.run`` probe (name, elapsed wall clock) when it returns.
+Dormant-telemetry cost is a single boolean check per call -- runners are
+called once per experiment, never in a hot loop.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, TypeVar
+
+from repro.telemetry.log import get_logger
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.state import STATE as _TM
+from repro.telemetry.trace import span as _span
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_log = get_logger(__name__)
+
+
+def instrumented(name: str) -> Callable[[F], F]:
+    """Wrap an experiment runner in a span plus the ``experiment.run``
+    probe.
+
+    Args:
+        name: The experiment's registry name (``"fig6"``,
+            ``"resilience"``, ...) -- becomes the span name suffix and
+            the probe payload.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _TM.enabled:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            with _span(f"experiment.{name}"):
+                result = fn(*args, **kwargs)
+            elapsed = time.perf_counter() - start
+            _emit_probe("experiment.run", name=name, elapsed_s=elapsed)
+            _log.info(
+                "experiment finished",
+                extra={"experiment": name, "elapsed_s": elapsed},
+            )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

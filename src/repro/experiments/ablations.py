@@ -31,6 +31,7 @@ from repro.hdc.encoder import RandomProjectionEncoder
 from repro.hdc.model import HDCClassifier
 from repro.hdc.quantize import quantize_equal_area, quantize_uniform
 from repro.spice.montecarlo import run_monte_carlo
+from repro.experiments._instrument import instrumented
 
 
 # ----------------------------------------------------------------------
@@ -46,6 +47,7 @@ class VCvsVRRecord:
     vr_worst_over_nominal: float
 
 
+@instrumented("ablation_vc_vs_vr")
 def run_ablation_vc_vs_vr(
     sigmas_mv: Sequence[float] = (10.0, 20.0, 40.0, 60.0),
     n_stages: int = 64,
@@ -125,6 +127,7 @@ class TwoStepComparison:
         return self.buffer_transistors / self.two_step_transistors
 
 
+@instrumented("ablation_two_step")
 def run_ablation_two_step(
     n_stages: int = 32,
     n_mismatch: int = 16,
@@ -194,6 +197,7 @@ class PrecisionMarginRecord:
     flip_rate: float
 
 
+@instrumented("ablation_precision_margin")
 def run_ablation_precision_margin(
     bits_list: Sequence[int] = (1, 2, 3, 4),
     sigmas_mv: Sequence[float] = (20.0, 40.0, 60.0),
@@ -282,6 +286,7 @@ class QuantizerRecord:
     reference_accuracy: float
 
 
+@instrumented("ablation_quantizer")
 def run_ablation_quantizer(
     bits_list: Sequence[int] = (1, 2, 3, 4),
     dimension: int = 2048,
@@ -331,10 +336,12 @@ def format_ablation_quantizer(records: List[QuantizerRecord]) -> str:
 
 
 if __name__ == "__main__":
-    print(format_ablation_vc_vs_vr(run_ablation_vc_vs_vr()))
-    print()
-    print(format_ablation_two_step(run_ablation_two_step()))
-    print()
-    print(format_ablation_precision_margin(run_ablation_precision_margin()))
-    print()
-    print(format_ablation_quantizer(run_ablation_quantizer()))
+    from repro.cli import emit
+
+    emit(format_ablation_vc_vs_vr(run_ablation_vc_vs_vr()))
+    emit()
+    emit(format_ablation_two_step(run_ablation_two_step()))
+    emit()
+    emit(format_ablation_precision_margin(run_ablation_precision_margin()))
+    emit()
+    emit(format_ablation_quantizer(run_ablation_quantizer()))

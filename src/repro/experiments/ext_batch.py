@@ -23,6 +23,7 @@ from repro.analysis.reporting import format_table
 from repro.baselines.gpu import GPUCostModel, GPUWorkload
 from repro.core.config import TDAMConfig
 from repro.hdc.accelerator import AcceleratorModel, AcceleratorSpec
+from repro.experiments._instrument import instrumented
 
 
 @dataclass
@@ -62,6 +63,7 @@ class BatchStudy:
         return None
 
 
+@instrumented("batch")
 def run_batch_study(
     batches: Sequence[int] = (1, 10, 100, 1_000, 10_000, 100_000),
     bank_counts: Sequence[int] = (1, 8),
@@ -131,4 +133,6 @@ def format_batch_study(study: BatchStudy) -> str:
 
 
 if __name__ == "__main__":
-    print(format_batch_study(run_batch_study()))
+    from repro.cli import emit
+
+    emit(format_batch_study(run_batch_study()))

@@ -24,6 +24,7 @@ from repro.analysis.reporting import format_table
 from repro.datasets.synthetic import Dataset, make_isolet_like
 from repro.hdc.encoder import RandomProjectionEncoder
 from repro.hdc.online import FEEDBACK_MODES, OnlineLearner
+from repro.experiments._instrument import instrumented
 
 
 @dataclass
@@ -43,6 +44,7 @@ class OnlineRecord:
     n_updates: int
 
 
+@instrumented("online")
 def run_online_study(
     dataset: Optional[Dataset] = None,
     dimension: int = 2048,
@@ -97,4 +99,6 @@ def format_online(records: List[OnlineRecord]) -> str:
 
 
 if __name__ == "__main__":
-    print(format_online(run_online_study()))
+    from repro.cli import emit
+
+    emit(format_online(run_online_study()))

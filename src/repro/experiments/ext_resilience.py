@@ -33,6 +33,10 @@ from repro.core.faults import Fault, FaultInjector
 from repro.resilience.refresh import RefreshPlan, RefreshScheduler
 from repro.resilience.repair import repair_yield, row_failure_probability
 from repro.resilience.resilient import ResilientTDAMArray
+from repro.experiments._instrument import instrumented
+from repro.spice.montecarlo import resolve_worker_count
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.state import STATE as _TM
 
 
 @dataclass
@@ -141,6 +145,7 @@ def _evaluate_trial(trial: _ResilienceTrial) -> Tuple[bool, float, bool]:
     return trial()
 
 
+@instrumented("resilience")
 def run_resilience_study(
     spare_counts: Sequence[int] = (0, 1, 2, 4),
     cell_fault_rate: float = 0.002,
@@ -150,7 +155,7 @@ def run_resilience_study(
     n_trials: int = 12,
     n_queries: int = 8,
     seed: int = 11,
-    n_workers: int = 1,
+    n_workers: Optional[int] = 1,
 ) -> ResilienceResult:
     """Monte Carlo the BIST -> repair loop across spare provisioning.
 
@@ -166,10 +171,19 @@ def run_resilience_study(
     Args:
         n_workers: Parallel workers for the (deterministic) closed-loop
             evaluations; the inputs are pre-drawn serially, so any
-            worker count produces identical records.
+            worker count produces identical records.  ``None`` picks
+            automatically (see
+            :func:`repro.spice.montecarlo.resolve_worker_count`).
     """
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    # Each trial is a full BIST/repair closed loop -- expensive enough
+    # that two trials per worker already amortize the pool spin-up.
+    n_workers, fallback_reason = resolve_worker_count(
+        n_trials, n_workers, executor="process", min_trials_per_worker=2
+    )
+    if fallback_reason is not None and _TM.enabled:
+        _emit_probe(
+            "mc.fallback_serial", requested="auto", reason=fallback_reason
+        )
     if not spare_counts:
         raise ValueError("spare_counts must not be empty")
     if n_trials < 1:
@@ -288,4 +302,6 @@ def format_resilience(result: ResilienceResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_resilience(run_resilience_study()))
+    from repro.cli import emit
+
+    emit(format_resilience(run_resilience_study()))

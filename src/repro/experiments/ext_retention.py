@@ -33,6 +33,7 @@ from repro.devices.nonideal import (
     aged_match_margin,
     retention_limited_lifetime_s,
 )
+from repro.experiments._instrument import instrumented
 
 #: Log-spaced retention checkpoints: 1 s .. 10 years.
 DEFAULT_TIMES_S = (1.0, 3.6e3, 8.64e4, 2.6e6, 3.2e7, TEN_YEARS_S)
@@ -74,6 +75,7 @@ class RetentionResult:
     config: TDAMConfig
 
 
+@instrumented("retention")
 def run_retention_study(
     times_s: Sequence[float] = DEFAULT_TIMES_S,
     retention: Optional[RetentionModel] = None,
@@ -182,6 +184,7 @@ class EnduranceRecord:
     ladder_fits: bool
 
 
+@instrumented("endurance")
 def run_endurance_study(
     cycles: Sequence[float] = (1e2, 1e4, 1e6, 1e8, 1e10),
     endurance: Optional[EnduranceModel] = None,
@@ -233,6 +236,8 @@ def _format_age(t_seconds: float) -> str:
 
 
 if __name__ == "__main__":
-    print(format_retention(run_retention_study()))
-    print()
-    print(format_endurance(run_endurance_study()))
+    from repro.cli import emit
+
+    emit(format_retention(run_retention_study()))
+    emit()
+    emit(format_endurance(run_endurance_study()))

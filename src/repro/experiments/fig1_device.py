@@ -19,6 +19,7 @@ from repro.analysis.reporting import format_table
 from repro.core.config import TDAMConfig
 from repro.devices.fefet import id_vg_family
 from repro.devices.variation import MEASURED_VTH_SIGMA_MV, DeviceEnsemble
+from repro.experiments._instrument import instrumented
 
 
 @dataclass
@@ -41,6 +42,7 @@ class Fig1Result:
     state_vths: Sequence[float]
 
 
+@instrumented("fig1")
 def run_fig1(
     n_devices: int = 60,
     n_points: int = 61,
@@ -97,4 +99,6 @@ def format_fig1(result: Fig1Result) -> str:
 
 
 if __name__ == "__main__":
-    print(format_fig1(run_fig1()))
+    from repro.cli import emit
+
+    emit(format_fig1(run_fig1()))

@@ -21,6 +21,7 @@ from repro.core.encoding import LevelEncoding
 from repro.core.netlist_builder import build_cell_circuit
 from repro.spice.transient import simulate
 from repro.spice.waveform import Waveform
+from repro.experiments._instrument import instrumented
 
 
 @dataclass
@@ -54,6 +55,7 @@ class Fig2Result:
     vdd: float
 
 
+@instrumented("fig2")
 def run_fig2(
     stored: int = 1,
     queries: Sequence[int] = (0, 1, 2),
@@ -112,4 +114,6 @@ def format_fig2(result: Fig2Result) -> str:
 
 
 if __name__ == "__main__":
-    print(format_fig2(run_fig2()))
+    from repro.cli import emit
+
+    emit(format_fig2(run_fig2()))

@@ -23,6 +23,7 @@ from repro.core.calibration import measure_chain_delay
 from repro.core.config import TDAMConfig
 from repro.core.energy import TimingEnergyModel
 from repro.core.stage import STEP_I, STEP_II
+from repro.experiments._instrument import instrumented
 
 
 @dataclass
@@ -62,6 +63,7 @@ def _spread_mismatches(n_stages: int, n_mismatch: int) -> "tuple[list, list]":
     return stored, query
 
 
+@instrumented("fig4")
 def run_fig4(
     n_stages: int = 32,
     mismatch_counts: Optional[Sequence[int]] = None,
@@ -144,9 +146,11 @@ def format_fig4(result: Fig4Result) -> str:
 
 
 if __name__ == "__main__":
-    print(format_fig4(run_fig4(backend="analytic")))
-    print()
-    print(format_fig4(run_fig4(n_stages=8, backend="transient",
+    from repro.cli import emit
+
+    emit(format_fig4(run_fig4(backend="analytic")))
+    emit()
+    emit(format_fig4(run_fig4(n_stages=8, backend="transient",
                                mismatch_counts=(0, 2, 4, 6, 8))))
 
 
@@ -169,6 +173,7 @@ class Fig4Waveforms:
     input_waveform: object
 
 
+@instrumented("fig4_waveforms")
 def run_fig4_waveforms(
     n_stages: int = 32,
     mismatch_counts: Sequence[int] = (0, 4, 8, 12, 16),

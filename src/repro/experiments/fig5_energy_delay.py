@@ -20,6 +20,7 @@ from repro.analysis.reporting import format_series, format_table
 from repro.analysis.sweeps import SweepResult, grid_sweep
 from repro.core.config import TDAMConfig
 from repro.core.energy import TimingEnergyModel
+from repro.experiments._instrument import instrumented
 
 
 @dataclass
@@ -39,6 +40,7 @@ class Fig5ABResult:
         return self.sweep.grid("delay_s")
 
 
+@instrumented("fig5_ab")
 def run_fig5_ab(
     c_loads_f: Optional[Sequence[float]] = None,
     stage_counts: Optional[Sequence[int]] = None,
@@ -89,6 +91,7 @@ class Fig5CDResult:
         )
 
 
+@instrumented("fig5_cd")
 def run_fig5_cd(
     vdds: Optional[Sequence[float]] = None,
     stage_counts: Sequence[int] = (32, 64, 128),
@@ -164,6 +167,8 @@ def format_fig5_cd(result: Fig5CDResult) -> str:
 
 
 if __name__ == "__main__":
-    print(format_fig5_ab(run_fig5_ab()))
-    print()
-    print(format_fig5_cd(run_fig5_cd()))
+    from repro.cli import emit
+
+    emit(format_fig5_ab(run_fig5_ab()))
+    emit()
+    emit(format_fig5_cd(run_fig5_cd()))

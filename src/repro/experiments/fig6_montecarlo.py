@@ -27,6 +27,7 @@ from repro.core.energy import TimingEnergyModel
 from repro.core.sensing import MarginReport, SensingAnalysis
 from repro.devices.variation import VariationModel
 from repro.spice.montecarlo import MonteCarloResult, run_monte_carlo
+from repro.experiments._instrument import instrumented
 
 
 @dataclass(frozen=True)
@@ -73,19 +74,22 @@ class Fig6Result:
     n_runs: int
 
 
+@instrumented("fig6")
 def run_fig6(
     stage_counts: Sequence[int] = (64, 128),
     sigmas_mv: Sequence[float] = (10.0, 20.0, 30.0, 40.0, 50.0, 60.0),
     n_runs: int = 500,
     config: Optional[TDAMConfig] = None,
     seed: int = 42,
-    n_workers: int = 1,
+    n_workers: Optional[int] = 1,
 ) -> Fig6Result:
     """Run the Monte Carlo delay-distribution study.
 
     Args:
         n_workers: Shard-parallel Monte Carlo workers; results are
             bit-identical for any count (per-trial seed streams).
+            ``None`` picks automatically (see
+            :func:`repro.spice.montecarlo.resolve_worker_count`).
     """
     base = config or TDAMConfig()
     cells: List[Fig6Cell] = []
@@ -135,4 +139,6 @@ def format_fig6(result: Fig6Result) -> str:
 
 
 if __name__ == "__main__":
-    print(format_fig6(run_fig6()))
+    from repro.cli import emit
+
+    emit(format_fig6(run_fig6()))

@@ -26,6 +26,7 @@ from repro.hdc.encoder import RandomProjectionEncoder
 from repro.hdc.mapping import TDAMInference
 from repro.hdc.model import HDCClassifier
 from repro.hdc.quantize import quantize_equal_area
+from repro.experiments._instrument import instrumented
 
 #: The paper's swept dimensionalities.
 PAPER_DIMENSIONS = (512, 1024, 2048, 5120, 10240)
@@ -73,6 +74,7 @@ class Fig7Result:
         return None
 
 
+@instrumented("fig7")
 def run_fig7(
     dimensions: Sequence[int] = PAPER_DIMENSIONS,
     precisions: Sequence[int] = PAPER_PRECISIONS,
@@ -157,4 +159,6 @@ def format_fig7(result: Fig7Result) -> str:
 
 
 if __name__ == "__main__":
-    print(format_fig7(run_fig7()))
+    from repro.cli import emit
+
+    emit(format_fig7(run_fig7()))

@@ -26,6 +26,7 @@ from repro.baselines.gpu import GPUCostModel, GPUWorkload
 from repro.core.config import TDAMConfig
 from repro.hdc.mapping import TDAMInference
 from repro.hdc.quantize import QuantizedModel
+from repro.experiments._instrument import instrumented
 
 #: Dataset shapes of the comparison (features, classes).
 DATASET_SHAPES: Dict[str, "tuple[int, int]"] = {
@@ -102,6 +103,7 @@ def _placeholder_model(bits: int, dimension: int, n_classes: int) -> QuantizedMo
     )
 
 
+@instrumented("fig8")
 def run_fig8(
     dimensions: Sequence[int] = (512, 1024, 2048, 5120, 10240),
     bits: int = 2,
@@ -166,4 +168,6 @@ def format_fig8(result: Fig8Result) -> str:
 
 
 if __name__ == "__main__":
-    print(format_fig8(run_fig8()))
+    from repro.cli import emit
+
+    emit(format_fig8(run_fig8()))

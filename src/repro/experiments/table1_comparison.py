@@ -17,8 +17,10 @@ from repro.baselines.registry import (
     format_table_i,
 )
 from repro.core.config import TDAMConfig
+from repro.experiments._instrument import instrumented
 
 
+@instrumented("table1")
 def run_table1(config: Optional[TDAMConfig] = None) -> List[TableIRow]:
     """Generate the Table I rows."""
     return build_table_i(config)
@@ -30,4 +32,6 @@ def format_table1(rows: Optional[List[TableIRow]] = None) -> str:
 
 
 if __name__ == "__main__":
-    print(format_table1())
+    from repro.cli import emit
+
+    emit(format_table1())

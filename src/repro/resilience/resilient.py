@@ -41,6 +41,40 @@ from repro.devices.variation import VariationModel
 from repro.resilience.bist import DiagnosisReport, MarchBIST
 from repro.resilience.refresh import RefreshScheduler
 from repro.resilience.repair import RepairEngine, RepairPlan
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+from repro.telemetry.log import get_logger
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.state import STATE as _TM
+
+_log = get_logger(__name__)
+
+# Closed-loop health instruments (dormant unless telemetry is enabled).
+_REG = _metrics.get_registry()
+_BIST_RUNS = _REG.counter(
+    "tdam_bist_runs_total", "Completed march BIST diagnoses"
+)
+_REPAIR_ACTIONS = _REG.counter(
+    "tdam_repair_actions_total",
+    "Repair actions applied, by kind",
+    labels=("action",),
+)
+_REFRESHES = _REG.counter(
+    "tdam_refreshes_total", "Full-array refresh rewrites"
+)
+_RECALIBRATIONS = _REG.counter(
+    "tdam_recalibrations_total", "Replica TDC recalibrations"
+)
+_REFRESH_DEBT = _REG.gauge(
+    "tdam_refresh_debt_ratio",
+    "Oldest-row age over the scheduled refresh interval (>= 1 => overdue)",
+)
+_RETIRED_ROWS = _REG.gauge(
+    "tdam_retired_rows", "Logical rows currently without a physical home"
+)
+_MASKED_STAGES = _REG.gauge(
+    "tdam_masked_stages", "Stage columns currently masked out of the distance"
+)
 
 
 @dataclass(frozen=True)
@@ -347,6 +381,17 @@ class ResilientTDAMArray:
     # ------------------------------------------------------------------
     def search(self, query: Sequence[int]) -> ResilientSearchResult:
         """Search over the logical rows, self-testing when due."""
+        if not _TM.enabled:
+            return self._search_impl(query)
+        with _trace.span(
+            "resilience.search",
+            rows=self.n_rows,
+            retired=len(self._retired),
+            masked=len(self._masked),
+        ):
+            return self._search_impl(query)
+
+    def _search_impl(self, query: Sequence[int]) -> ResilientSearchResult:
         if (
             self.bist_interval is not None
             and self._searches_since_bist >= self.bist_interval
@@ -370,6 +415,19 @@ class ResilientTDAMArray:
         instead re-check between queries -- with ``bist_interval`` set,
         prefer batches no longer than the interval.
         """
+        if not _TM.enabled:
+            return self._search_batch_impl(queries, chunk)
+        with _trace.span(
+            "resilience.search_batch",
+            rows=self.n_rows,
+            retired=len(self._retired),
+            masked=len(self._masked),
+        ):
+            return self._search_batch_impl(queries, chunk)
+
+    def _search_batch_impl(
+        self, queries: np.ndarray, chunk: int = 64
+    ) -> ResilientBatchSearchResult:
         if (
             self.bist_interval is not None
             and self._searches_since_bist >= self.bist_interval
@@ -459,17 +517,34 @@ class ResilientTDAMArray:
         The march rewrites every physical row (clearing drift, like any
         rewrite), diagnoses, and the shadow image is written back.
         """
-        if self._physical.variation is None:
-            self._physical._off_a[:] = 0.0
-            self._physical._off_b[:] = 0.0
-            self._physical.invalidate_threshold_cache()
-        self._row_age_s[:] = 0.0
-        diagnosis = self.bist.run(self._backing)
-        # Endurance accounting: the march backgrounds plus the restore.
-        self._cycles += diagnosis.n_writes // diagnosis.n_rows + 1
-        self._restore_data()
+        with _trace.span("resilience.bist", rows=self.n_rows):
+            if self._physical.variation is None:
+                self._physical._off_a[:] = 0.0
+                self._physical._off_b[:] = 0.0
+                self._physical.invalidate_threshold_cache()
+            self._row_age_s[:] = 0.0
+            diagnosis = self.bist.run(self._backing)
+            # Endurance accounting: march backgrounds plus the restore.
+            self._cycles += diagnosis.n_writes // diagnosis.n_rows + 1
+            self._restore_data()
         self._searches_since_bist = 0
         self._last_diagnosis = diagnosis
+        if _TM.enabled:
+            _BIST_RUNS.inc()
+            _emit_probe(
+                "resilience.bist",
+                n_rows=diagnosis.n_rows,
+                dead_rows=len(diagnosis.dead_rows),
+                faulty_cells=len(diagnosis.faulty_cells),
+                n_writes=diagnosis.n_writes,
+            )
+            _log.info(
+                "BIST complete",
+                extra={
+                    "dead_rows": len(diagnosis.dead_rows),
+                    "faulty_cells": len(diagnosis.faulty_cells),
+                },
+            )
         return diagnosis
 
     def _restore_data(self) -> None:
@@ -495,21 +570,54 @@ class ResilientTDAMArray:
         """
         if diagnosis is None:
             diagnosis = self._last_diagnosis or self.run_bist()
-        live = [r for r in range(self.n_rows) if r not in self._retired]
-        data_rows = [self._map[r] for r in live]
-        plan = self.engine.plan(
-            diagnosis, data_rows=data_rows, spare_rows=self._free_spares
-        )
-        self._masked = plan.masked_stages
-        phys_to_logical: Dict[int, int] = {self._map[r]: r for r in live}
-        for old_phys, spare in plan.row_remap.items():
-            r = phys_to_logical[old_phys]
-            self._map[r] = spare
-            self._free_spares.remove(spare)
-            self._write_physical(spare, self._shadow[r])
-            self._cycles[spare] += 1
-        for old_phys in plan.retired_rows:
-            self._retired.add(phys_to_logical[old_phys])
+        with _trace.span("resilience.repair", rows=self.n_rows):
+            live = [
+                r for r in range(self.n_rows) if r not in self._retired
+            ]
+            data_rows = [self._map[r] for r in live]
+            plan = self.engine.plan(
+                diagnosis, data_rows=data_rows, spare_rows=self._free_spares
+            )
+            self._masked = plan.masked_stages
+            phys_to_logical: Dict[int, int] = {
+                self._map[r]: r for r in live
+            }
+            for old_phys, spare in plan.row_remap.items():
+                r = phys_to_logical[old_phys]
+                self._map[r] = spare
+                self._free_spares.remove(spare)
+                self._write_physical(spare, self._shadow[r])
+                self._cycles[spare] += 1
+            for old_phys in plan.retired_rows:
+                self._retired.add(phys_to_logical[old_phys])
+        if _TM.enabled:
+            if plan.masked_stages:
+                _REPAIR_ACTIONS.inc(
+                    len(plan.masked_stages), action="masked"
+                )
+            if plan.row_remap:
+                _REPAIR_ACTIONS.inc(len(plan.row_remap), action="remapped")
+            if plan.retired_rows:
+                _REPAIR_ACTIONS.inc(
+                    len(plan.retired_rows), action="retired"
+                )
+            _MASKED_STAGES.set(float(len(self._masked)))
+            _RETIRED_ROWS.set(float(len(self._retired)))
+            _emit_probe(
+                "resilience.repair",
+                masked_stages=len(plan.masked_stages),
+                remapped_rows=len(plan.row_remap),
+                retired_rows=len(plan.retired_rows),
+            )
+            if plan.masked_stages or plan.row_remap or plan.retired_rows:
+                _log.info(
+                    "repair plan applied",
+                    extra={
+                        "masked_stages": len(plan.masked_stages),
+                        "remapped_rows": len(plan.row_remap),
+                        "retired_rows": len(plan.retired_rows),
+                    },
+                )
         return plan
 
     def self_test_and_repair(self) -> RepairPlan:
@@ -534,9 +642,29 @@ class ResilientTDAMArray:
         and re-derives the replica calibration.  Returns the number of
         rows rewritten.
         """
-        self._restore_data()
-        self._cycles += 1
-        self.check_calibration()
+        if not _TM.enabled:
+            self._restore_data()
+            self._cycles += 1
+            self.check_calibration()
+            return len(self._row_age_s)
+        # Capture the debt before _restore_data() clears the drift clocks.
+        interval = self.scheduler.plan().interval_s
+        debt = self.age_s / interval if interval > 0 else 0.0
+        with _trace.span("resilience.refresh", rows=len(self._row_age_s)):
+            self._restore_data()
+            self._cycles += 1
+            self.check_calibration()
+        _REFRESHES.inc()
+        _REFRESH_DEBT.set(debt)
+        _emit_probe(
+            "resilience.refresh",
+            rows_rewritten=len(self._row_age_s),
+            refresh_debt=debt,
+        )
+        _log.debug(
+            "refresh complete",
+            extra={"rows": len(self._row_age_s), "refresh_debt": debt},
+        )
         return len(self._row_age_s)
 
     def maybe_refresh(self) -> bool:
@@ -568,6 +696,13 @@ class ResilientTDAMArray:
         )
         if error > self._physical.tdc.sensing_margin_s():
             self._replica.recalibrate(fresh)
+            if _TM.enabled:
+                _RECALIBRATIONS.inc()
+                _emit_probe("resilience.recalibrated")
+                _log.debug(
+                    "replica TDC recalibrated",
+                    extra={"decode_error_s": error},
+                )
             return True
         return False
 

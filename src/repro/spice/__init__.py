@@ -27,7 +27,11 @@ from repro.spice.elements import (
     VoltageSource,
 )
 from repro.spice.dc import solve_dc, sweep_dc
-from repro.spice.montecarlo import MonteCarloResult, run_monte_carlo
+from repro.spice.montecarlo import (
+    MonteCarloResult,
+    resolve_worker_count,
+    run_monte_carlo,
+)
 from repro.spice.netlist import Circuit
 from repro.spice.transient import TransientResult, simulate
 from repro.spice.waveform import Waveform
@@ -48,6 +52,7 @@ __all__ = [
     "Waveform",
     "MonteCarloResult",
     "run_monte_carlo",
+    "resolve_worker_count",
     "solve_dc",
     "sweep_dc",
 ]

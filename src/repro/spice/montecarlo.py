@@ -11,10 +11,26 @@ analytic backend.
 from __future__ import annotations
 
 import concurrent.futures
+import os
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.telemetry.log import get_logger
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.state import STATE as _TM
+from repro.telemetry.trace import span as _span
+
+_log = get_logger(__name__)
+
+#: Minimum trials per *process* worker for sharding to amortize the pool
+#: spin-up (interpreter fork/spawn + pickling) on typical trial costs.
+MIN_PROCESS_TRIALS_PER_WORKER = 64
+#: Minimum trials per *thread* worker; threads are cheap to start but
+#: still pay submission/result overhead per shard.
+MIN_THREAD_TRIALS_PER_WORKER = 16
 
 
 @dataclass
@@ -78,13 +94,17 @@ def _run_shard(
     trial: Callable[[np.random.Generator], float],
     children: Sequence[np.random.SeedSequence],
     allow_failures: bool,
-) -> List[Optional[float]]:
+) -> Tuple[List[Optional[float]], float]:
     """Run one contiguous shard of trials; ``None`` marks a failure.
 
     Module-level (not a closure) so :class:`ProcessPoolExecutor` can
     pickle it; the failure markers keep the per-trial positions so the
-    reassembled sample order is independent of the sharding.
+    reassembled sample order is independent of the sharding.  Returns
+    ``(outcomes, elapsed_s)``; the wall clock is measured inside the
+    worker so the parent can report per-shard timings (the ``mc.shard``
+    probe) without polluting the samples.
     """
+    start = time.perf_counter()
     out: List[Optional[float]] = []
     for child in children:
         rng = np.random.default_rng(child)
@@ -94,7 +114,65 @@ def _run_shard(
             if not allow_failures:
                 raise
             out.append(None)
-    return out
+    return out, time.perf_counter() - start
+
+
+def resolve_worker_count(
+    n_runs: int,
+    n_workers: Optional[int],
+    executor: str = "process",
+    cpu_count: Optional[int] = None,
+    min_trials_per_worker: Optional[int] = None,
+) -> Tuple[int, Optional[str]]:
+    """Resolve a requested worker count to one that can actually win.
+
+    An **explicit** ``n_workers`` is honored verbatim (clamped to
+    ``n_runs``): benchmarks and bit-identity tests get exactly the
+    sharding they asked for.  ``n_workers=None`` selects **auto** mode,
+    which shards only when the heuristic says parallelism pays:
+
+    - never more workers than CPUs (``cpu_count``, default the machine);
+    - a *process* pool needs at least two CPUs -- on one CPU the
+      interpreter spin-up and pickling are pure loss;
+    - each worker must own at least ``min_trials_per_worker`` trials
+      (defaults: :data:`MIN_PROCESS_TRIALS_PER_WORKER` for processes,
+      :data:`MIN_THREAD_TRIALS_PER_WORKER` for threads; pass ``0`` to
+      disable the amortization bound).
+
+    Returns:
+        ``(workers, reason)`` -- ``reason`` is ``None`` when sharding
+        proceeds (or was explicitly requested), else a human-readable
+        explanation of why auto mode fell back to serial.
+    """
+    if n_workers is not None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        return min(n_workers, n_runs), None
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    if min_trials_per_worker is None:
+        min_trials_per_worker = (
+            MIN_PROCESS_TRIALS_PER_WORKER
+            if executor == "process"
+            else MIN_THREAD_TRIALS_PER_WORKER
+        )
+    if executor == "process" and cpu_count < 2:
+        return 1, (
+            f"single CPU (cpu_count={cpu_count}): process-pool sharding "
+            "cannot beat serial"
+        )
+    by_trials = (
+        n_runs // min_trials_per_worker
+        if min_trials_per_worker > 0
+        else n_runs
+    )
+    workers = max(1, min(cpu_count, by_trials, n_runs))
+    if workers == 1:
+        return 1, (
+            f"{n_runs} trials cannot amortize a second worker "
+            f"(need >= {2 * min_trials_per_worker})"
+        )
+    return workers, None
 
 
 def run_monte_carlo(
@@ -102,7 +180,7 @@ def run_monte_carlo(
     n_runs: int,
     seed: Optional[int] = None,
     allow_failures: bool = False,
-    n_workers: int = 1,
+    n_workers: Optional[int] = 1,
     executor: str = "process",
 ) -> MonteCarloResult:
     """Run ``trial`` over ``n_runs`` independent RNG streams.
@@ -116,14 +194,18 @@ def run_monte_carlo(
         trial: Function taking a seeded generator and returning a scalar
             outcome (e.g. a chain delay in seconds).  Must be picklable
             (a module-level function or dataclass instance) when
-            ``n_workers > 1`` with the process executor.
+            sharding with the process executor.
         n_runs: Number of trials.
         seed: Master seed; child streams are spawned deterministically so
             results are reproducible and order-independent.
         allow_failures: When True, trials that raise are counted and
             skipped; when False the exception propagates.
-        n_workers: Worker count; 1 runs serially in-process (no pickling
-            requirement).
+        n_workers: Worker count; 1 (the default) runs serially in-process
+            (no pickling requirement), ``None`` picks automatically via
+            :func:`resolve_worker_count` -- sharding only when the
+            machine and trial count let parallelism win, and emitting
+            the ``mc.fallback_serial`` telemetry probe when it falls
+            back.
         executor: ``"process"`` (CPU-bound trials, the default) or
             ``"thread"`` (cheap trials or unpicklable state).
 
@@ -132,33 +214,64 @@ def run_monte_carlo(
     """
     if n_runs < 1:
         raise ValueError(f"n_runs must be >= 1, got {n_runs}")
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     if executor not in ("process", "thread"):
         raise ValueError(
             f"executor must be 'process' or 'thread', got {executor!r}"
         )
-    seed_seq = np.random.SeedSequence(seed)
-    children = seed_seq.spawn(n_runs)
-    n_workers = min(n_workers, n_runs)
-    if n_workers == 1:
-        raw = _run_shard(trial, children, allow_failures)
-    else:
-        bounds = np.linspace(0, n_runs, n_workers + 1).astype(int)
-        shards = [
-            children[bounds[i]:bounds[i + 1]] for i in range(n_workers)
-        ]
-        pool_cls = (
-            concurrent.futures.ProcessPoolExecutor
-            if executor == "process"
-            else concurrent.futures.ThreadPoolExecutor
+    requested = n_workers
+    n_workers, fallback_reason = resolve_worker_count(
+        n_runs, n_workers, executor
+    )
+    if fallback_reason is not None and _TM.enabled:
+        _emit_probe(
+            "mc.fallback_serial",
+            requested="auto" if requested is None else requested,
+            reason=fallback_reason,
         )
-        with pool_cls(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(_run_shard, trial, shard, allow_failures)
-                for shard in shards
+        _log.debug(
+            "Monte Carlo sharding fell back to serial",
+            extra={"reason": fallback_reason, "n_runs": n_runs},
+        )
+    start = time.perf_counter()
+    with _span(
+        "mc.run", n_runs=n_runs, workers=n_workers, executor=executor
+    ):
+        seed_seq = np.random.SeedSequence(seed)
+        children = seed_seq.spawn(n_runs)
+        if n_workers == 1:
+            shard_outcomes = [_run_shard(trial, children, allow_failures)]
+        else:
+            bounds = np.linspace(0, n_runs, n_workers + 1).astype(int)
+            shards = [
+                children[bounds[i]:bounds[i + 1]] for i in range(n_workers)
             ]
-            raw = [x for future in futures for x in future.result()]
+            pool_cls = (
+                concurrent.futures.ProcessPoolExecutor
+                if executor == "process"
+                else concurrent.futures.ThreadPoolExecutor
+            )
+            with pool_cls(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(_run_shard, trial, shard, allow_failures)
+                    for shard in shards
+                ]
+                shard_outcomes = [future.result() for future in futures]
+    raw = [x for outcomes, _ in shard_outcomes for x in outcomes]
+    if _TM.enabled:
+        for i, (outcomes, elapsed) in enumerate(shard_outcomes):
+            _emit_probe(
+                "mc.shard",
+                shard=i,
+                trials=len(outcomes),
+                elapsed_s=elapsed,
+                worker=executor if n_workers > 1 else "serial",
+            )
+        _emit_probe(
+            "mc.run",
+            n_runs=n_runs,
+            workers=n_workers,
+            elapsed_s=time.perf_counter() - start,
+        )
     samples = [x for x in raw if x is not None]
     failures = len(raw) - len(samples)
     if not samples:

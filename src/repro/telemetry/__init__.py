@@ -1,0 +1,125 @@
+"""Telemetry: structured logging, metrics, span tracing, profiling hooks.
+
+The observability layer of the TD-AM stack -- the software analog of the
+waveform probes a hardware evaluation attaches to a test chip.  Four
+zero-dependency pillars share one process-wide switch:
+
+- :mod:`~repro.telemetry.log` -- ``get_logger(__name__)`` over stdlib
+  ``logging`` with JSON-lines and human console formatters
+  (``--log-level`` / ``REPRO_LOG_LEVEL``).
+- :mod:`~repro.telemetry.metrics` -- thread-safe labeled
+  ``Counter``/``Gauge``/``Histogram`` in a registry exportable as JSON
+  or Prometheus text exposition format.
+- :mod:`~repro.telemetry.trace` -- nested ``span(...)`` scopes forming
+  a parent/child tree, dumpable to Chrome-trace JSON
+  (``chrome://tracing`` / Perfetto).
+- :mod:`~repro.telemetry.profile` -- an opt-in probe-hook registry at
+  fixed instrumentation points (mismatch stats, TDC sense margins,
+  cache events, repair actions, Monte Carlo shard timings).
+
+Telemetry is **off by default** and the disabled fast path is a single
+boolean check (a microbench holds ``search_batch`` overhead under 3%).
+Turn it on with :func:`enable` (or ``REPRO_TELEMETRY=1``), or let the
+CLI do it via ``--trace-out`` / ``--metrics-out``::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    ...  # run searches
+    telemetry.get_tracer().dump_chrome_trace("trace.json")
+    telemetry.get_registry().dump_json("metrics.json")
+
+See ``docs/OBSERVABILITY.md`` for the probe-point catalog and how to
+read a trace.
+"""
+
+from repro.telemetry.log import (
+    ConsoleFormatter,
+    JsonLinesFormatter,
+    configure_logging,
+    get_logger,
+    parse_level,
+    reset_logging,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.telemetry.profile import (
+    PROBE_EVENTS,
+    ProbeRecorder,
+    clear_probes,
+    declare_probe_event,
+    emit_probe,
+    register_probe,
+    unregister_probe,
+)
+from repro.telemetry.state import (
+    STATE,
+    disable,
+    enable,
+    enabled_scope,
+    is_enabled,
+)
+from repro.telemetry.trace import (
+    Span,
+    Tracer,
+    dump_chrome_trace,
+    get_tracer,
+    span,
+    traced,
+)
+
+__all__ = [
+    # switch
+    "enable",
+    "disable",
+    "is_enabled",
+    "enabled_scope",
+    "reset",
+    # logging
+    "get_logger",
+    "configure_logging",
+    "reset_logging",
+    "parse_level",
+    "JsonLinesFormatter",
+    "ConsoleFormatter",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    # tracing
+    "Tracer",
+    "Span",
+    "span",
+    "traced",
+    "get_tracer",
+    "dump_chrome_trace",
+    # profiling hooks
+    "PROBE_EVENTS",
+    "register_probe",
+    "unregister_probe",
+    "emit_probe",
+    "declare_probe_event",
+    "clear_probes",
+    "ProbeRecorder",
+]
+
+
+def reset() -> None:
+    """Return telemetry to its pristine state (tests, notebooks).
+
+    Disables the switch, zeroes every metric series, drops recorded
+    spans, detaches every probe hook, and removes the managed log
+    handler.  Module-level metric handles stay valid.
+    """
+    disable()
+    get_registry().reset()
+    get_tracer().reset()
+    clear_probes()
+    reset_logging()

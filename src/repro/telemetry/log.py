@@ -1,0 +1,179 @@
+"""Structured logging: one ``get_logger`` wrapper over stdlib ``logging``.
+
+Two formatters are provided for the same records:
+
+- :class:`ConsoleFormatter` -- human-readable one-liners; structured
+  extras are appended as ``key=value`` pairs.
+- :class:`JsonLinesFormatter` -- one JSON object per line, machine
+  readable (``jq``-able); structured extras become top-level fields.
+
+Structured fields ride on the stdlib ``extra=`` mechanism::
+
+    log = get_logger(__name__)
+    log.info("batch served", extra={"queries": 256, "rows": 26})
+
+Level resolution (first hit wins): explicit ``configure_logging(level=)``
+argument, the ``REPRO_LOG_LEVEL`` environment variable, ``WARNING``.
+The CLI forwards ``--log-level`` / ``--log-json`` here.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import Any, Optional, TextIO, Union
+
+#: Root of the package's logger hierarchy; ``configure_logging`` attaches
+#: exactly one handler here and disables propagation so embedding
+#: applications never see duplicate lines.
+ROOT_LOGGER_NAME = "repro"
+
+#: Environment variable consulted when no explicit level is given.
+LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+#: Attributes every ``LogRecord`` carries; anything else was supplied via
+#: ``extra=`` and is treated as a structured field.
+_RECORD_DEFAULTS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+_handler: Optional[logging.Handler] = None
+
+
+def parse_level(level: Union[str, int, None]) -> int:
+    """Resolve a level name/number to the stdlib numeric level.
+
+    Accepts ``"debug"``/``"INFO"``/..., numeric strings, ints, and
+    ``None`` (falls back to ``REPRO_LOG_LEVEL``, then ``WARNING``).
+    """
+    if level is None:
+        level = os.environ.get(LEVEL_ENV_VAR) or "warning"
+    if isinstance(level, int):
+        return level
+    text = str(level).strip()
+    if text.lstrip("+-").isdigit():
+        return int(text)
+    resolved = logging.getLevelName(text.upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a structured field to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        try:
+            return value.item()  # numpy scalars
+        except Exception:
+            pass
+    if hasattr(value, "tolist"):
+        try:
+            return value.tolist()  # numpy arrays
+        except Exception:
+            pass
+    return repr(value)
+
+
+def record_fields(record: logging.LogRecord) -> dict:
+    """The structured (``extra=``) fields attached to a record."""
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RECORD_DEFAULTS and not key.startswith("_")
+    }
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, msg, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record_fields(record).items():
+            payload[key] = _jsonable(value)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=repr)
+
+
+class ConsoleFormatter(logging.Formatter):
+    """Human one-liners; structured extras appended as ``key=value``."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        fields = record_fields(record)
+        if fields:
+            rendered = " ".join(
+                f"{key}={_jsonable(value)}" for key, value in fields.items()
+            )
+            line = f"{line} [{rendered}]"
+        return line
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger inside the ``repro`` hierarchy.
+
+    Pass ``__name__``; names already under ``repro`` are used as-is,
+    anything else is nested under the root so one ``configure_logging``
+    call governs every emitter.
+    """
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: Union[str, int, None] = None,
+    json_lines: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Install (or replace) the package log handler; returns the root.
+
+    Idempotent: repeated calls swap the single managed handler instead
+    of stacking new ones.  Diagnostics go to ``stream`` (default
+    ``sys.stderr``) so they never interleave with the CLI's stdout
+    results.
+    """
+    global _handler
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    _handler.setFormatter(
+        JsonLinesFormatter() if json_lines else ConsoleFormatter()
+    )
+    root.addHandler(_handler)
+    root.setLevel(parse_level(level))
+    root.propagate = False
+    return root
+
+
+def reset_logging() -> None:
+    """Remove the managed handler and restore default propagation."""
+    global _handler
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+        _handler = None
+    root.setLevel(logging.NOTSET)
+    root.propagate = True

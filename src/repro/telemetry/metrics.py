@@ -1,0 +1,380 @@
+"""Process-local metrics: thread-safe counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` owns named metrics; each metric owns labeled
+series (one scalar -- or histogram state -- per distinct label-value
+tuple).  Everything is plain Python + a lock: no external client
+library, no background threads, no sockets.
+
+Exports:
+
+- :meth:`MetricsRegistry.to_json` -- nested dict for machine diffing
+  (the CLI's ``--metrics-out`` writes exactly this).
+- :meth:`MetricsRegistry.to_prometheus` -- Prometheus text exposition
+  format 0.0.4, scrape-ready if the caller serves it over HTTP.
+
+Registration is idempotent by (name, kind, labels): instrumented modules
+create their metrics at import time and re-imports (or a second call
+with the same signature) return the same object.  ``reset()`` zeroes
+every series but keeps the metric objects alive, so module-level handles
+never dangle.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets: wide log-spaced coverage from sub-ns model
+#: delays (the TD-AM's latencies are a few ns) to multi-second wall
+#: clocks.  ``+Inf`` is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5,
+    1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _format_label_value(value: str) -> str:
+    escaped = (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+    return f'"{escaped}"'
+
+
+def _format_number(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Metric:
+    """Base: a named family of labeled series sharing one lock."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+        for label in self.label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self._lock = lock or threading.Lock()
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    # -- label plumbing -------------------------------------------------
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def series(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """Snapshot of (label values, state) pairs, insertion-ordered."""
+        with self._lock:
+            return list(self._series.items())
+
+    def reset(self) -> None:
+        """Drop every recorded series (the metric object stays valid)."""
+        with self._lock:
+            self._series.clear()
+
+    def _label_dict(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+
+class Counter(Metric):
+    """A monotonically increasing count (events, queries, repairs)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labeled series (0 if never touched)."""
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+
+class Gauge(Metric):
+    """A value that can go up and down (cache size, refresh debt)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """An observation distribution over fixed upper-bound buckets."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
+        super().__init__(name, help, labels, lock)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if bounds[-1] != math.inf:
+            bounds.append(math.inf)
+        self.bucket_bounds: Tuple[float, ...] = tuple(bounds)
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the labeled series."""
+        value = float(value)
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = _HistogramState(len(self.bucket_bounds))
+                self._series[key] = state
+            for i, bound in enumerate(self.bucket_bounds):
+                if value <= bound:
+                    state.bucket_counts[i] += 1
+                    break
+            state.total += value
+            state.count += 1
+
+    def snapshot(self, **labels: object) -> Dict[str, object]:
+        """``{"count", "sum", "buckets": {bound: cumulative}}`` or zeros."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                counts: List[int] = [0] * len(self.bucket_bounds)
+                total, count = 0.0, 0
+            else:
+                counts = list(state.bucket_counts)
+                total, count = state.total, state.count
+        cumulative: Dict[float, int] = {}
+        running = 0
+        for bound, bucket in zip(self.bucket_bounds, counts):
+            running += bucket
+            cumulative[bound] = running
+        return {"count": count, "sum": total, "buckets": cumulative}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with JSON/Prometheus export.
+
+    Thread-safe throughout: registration takes the registry lock, and
+    every metric serializes its own updates.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, Metric]" = {}
+
+    # -- registration ---------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: Sequence[str], **kwargs) -> Metric:
+        labels = tuple(labels)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or (
+                    existing.label_names != labels
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        """Register (or fetch) a counter."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        """Register (or fetch) a gauge."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Register (or fetch) a histogram."""
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The registered metric, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> List[Metric]:
+        """Snapshot of the registered metrics, registration-ordered."""
+        with self._lock:
+            return list(self._metrics.values())
+
+    def reset(self) -> None:
+        """Zero every series; metric objects (and handles) stay valid."""
+        for metric in self.metrics():
+            metric.reset()
+
+    # -- export ---------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        """Nested dict: name -> kind/help/labels/series."""
+        out: Dict[str, object] = {}
+        for metric in self.metrics():
+            series_out = []
+            for key, state in metric.series():
+                entry: Dict[str, object] = {
+                    "labels": metric._label_dict(key)
+                }
+                if isinstance(metric, Histogram):
+                    assert isinstance(state, _HistogramState)
+                    running = 0
+                    buckets = {}
+                    for bound, bucket in zip(
+                        metric.bucket_bounds, state.bucket_counts
+                    ):
+                        running += bucket
+                        buckets[_format_number(bound)] = running
+                    entry.update(
+                        count=state.count, sum=state.total, buckets=buckets
+                    )
+                else:
+                    entry["value"] = state
+                series_out.append(entry)
+            out[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "label_names": list(metric.label_names),
+                "series": series_out,
+            }
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for key, state in metric.series():
+                label_dict = metric._label_dict(key)
+                if isinstance(metric, Histogram):
+                    assert isinstance(state, _HistogramState)
+                    running = 0
+                    for bound, bucket in zip(
+                        metric.bucket_bounds, state.bucket_counts
+                    ):
+                        running += bucket
+                        le = dict(label_dict, le=_format_number(bound))
+                        lines.append(
+                            f"{metric.name}_bucket{_render_labels(le)} "
+                            f"{running}"
+                        )
+                    lines.append(
+                        f"{metric.name}_sum{_render_labels(label_dict)} "
+                        f"{_format_number(state.total)}"
+                    )
+                    lines.append(
+                        f"{metric.name}_count{_render_labels(label_dict)} "
+                        f"{state.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{metric.name}{_render_labels(label_dict)} "
+                        f"{_format_number(float(state))}"  # type: ignore[arg-type]
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def dump_json(self, path: str) -> None:
+        """Write :meth:`to_json` to ``path`` (pretty-printed)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f"{name}={_format_label_value(value)}"
+        for name, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
+#: The process default registry -- instrumented modules register here.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return REGISTRY

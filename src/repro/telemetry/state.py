@@ -1,0 +1,66 @@
+"""The process-wide telemetry switch shared by every pillar.
+
+Hot paths guard their instrumentation with a single attribute read::
+
+    from repro.telemetry.state import STATE as _TM
+    ...
+    if _TM.enabled:
+        <record spans / metrics / probes>
+
+so the *disabled* cost (the default) is one boolean check -- the
+microbench in ``benchmarks/test_perf_microbench.py`` asserts the wrapped
+``search_batch`` stays within 3% of the bare kernel.
+
+The switch lives on a mutable holder object (not a module-level bool) so
+``from ... import STATE`` always observes the current value.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class TelemetryState:
+    """Mutable on/off holder; one instance (:data:`STATE`) per process."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+
+
+#: The process-wide switch.  ``REPRO_TELEMETRY=1`` enables it at import
+#: time (useful for instrumenting code paths with no CLI in front).
+STATE = TelemetryState(
+    os.environ.get("REPRO_TELEMETRY", "").strip().lower() in _TRUTHY
+)
+
+
+def enable() -> None:
+    """Turn telemetry on: spans, metrics, and probes start recording."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry off (the default): hot paths skip instrumentation."""
+    STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether telemetry is currently recording."""
+    return STATE.enabled
+
+
+@contextmanager
+def enabled_scope(on: bool = True) -> Iterator[None]:
+    """Temporarily force telemetry on (or off); restores on exit."""
+    previous = STATE.enabled
+    STATE.enabled = on
+    try:
+        yield
+    finally:
+        STATE.enabled = previous

@@ -1,0 +1,268 @@
+"""Span tracing: nested timing scopes dumpable to Chrome-trace JSON.
+
+A :class:`Tracer` keeps a per-thread stack of open spans and assembles a
+parent/child tree as ``with span(...)`` scopes nest::
+
+    with span("array.search_batch", rows=M, queries=Q):
+        with span("array.sense"):
+            ...
+
+Each span records its wall-clock start (``time.time``) and a
+monotonic-clock duration (``time.perf_counter``), so durations are
+immune to clock steps while timestamps stay human-anchorable.
+
+:meth:`Tracer.to_chrome_trace` renders the tree as Chrome-trace
+"complete" (``ph: "X"``) events -- load the file in ``chrome://tracing``
+or https://ui.perfetto.dev to see the nesting on a timeline.  The CLI's
+``--trace-out trace.json`` writes exactly this.
+
+The module-level :func:`span` checks the global telemetry switch first
+and returns a shared no-op context manager when disabled, so dormant
+instrumentation costs one attribute read.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from contextlib import contextmanager
+
+from repro.telemetry.state import STATE
+
+
+class Span:
+    """One timed scope in the trace tree.
+
+    Attributes:
+        name: Scope name, dot-separated by convention
+            (``"array.search_batch"``).
+        attrs: Structured attributes recorded at entry (plus any added
+            via :meth:`set_attr` while open).
+        start_wall_s: Wall-clock entry time (``time.time``).
+        start_perf_s: Monotonic entry time (``time.perf_counter``).
+        duration_s: Monotonic duration; ``None`` while still open.
+        thread_id: ``threading.get_ident()`` of the opening thread.
+        thread_name: Name of the opening thread.
+        children: Child spans, in entry order.
+        error: Exception repr when the scope exited by raising.
+    """
+
+    __slots__ = (
+        "name", "attrs", "start_wall_s", "start_perf_s", "duration_s",
+        "thread_id", "thread_name", "children", "error",
+    )
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_wall_s = time.time()
+        self.start_perf_s = time.perf_counter()
+        self.duration_s: Optional[float] = None
+        self.thread_id = threading.get_ident()
+        self.thread_name = threading.current_thread().name
+        self.children: List[Span] = []
+        self.error: Optional[str] = None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one structured attribute."""
+        self.attrs[key] = value
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant (depth-first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        dur = (
+            f"{self.duration_s * 1e3:.3f} ms"
+            if self.duration_s is not None
+            else "open"
+        )
+        return f"Span({self.name!r}, {dur}, {len(self.children)} children)"
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        try:
+            return value.item()
+        except Exception:
+            pass
+    return repr(value)
+
+
+class Tracer:
+    """Collects span trees per thread; exports Chrome-trace JSON."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+        self._epoch_perf_s = time.perf_counter()
+        self._epoch_wall_s = time.time()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; closes (and times) on scope exit."""
+        stack = self._stack()
+        node = Span(name, attrs)
+        if stack:
+            stack[-1].children.append(node)
+        else:
+            with self._lock:
+                self._roots.append(node)
+        stack.append(node)
+        try:
+            yield node
+        except BaseException as exc:
+            node.error = repr(exc)
+            raise
+        finally:
+            node.duration_s = time.perf_counter() - node.start_perf_s
+            stack.pop()
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def roots(self) -> Tuple[Span, ...]:
+        """Snapshot of the completed-or-open root spans."""
+        with self._lock:
+            return tuple(self._roots)
+
+    def reset(self) -> None:
+        """Drop every recorded span (open scopes keep working)."""
+        with self._lock:
+            self._roots = []
+
+    # -- export ---------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The span forest as a Chrome-trace (Trace Event Format) dict.
+
+        Every span becomes one complete event (``ph: "X"``) with
+        microsecond ``ts``/``dur`` relative to the tracer epoch; nesting
+        is implied by timestamp containment per ``tid``, which is how
+        the Chrome/Perfetto viewers reconstruct the tree.
+        """
+        pid = os.getpid()
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        ]
+        for root in self.roots():
+            for node in root.walk():
+                args = {k: _jsonable(v) for k, v in node.attrs.items()}
+                if node.error is not None:
+                    args["error"] = node.error
+                events.append(
+                    {
+                        "name": node.name,
+                        "cat": "repro",
+                        "ph": "X",
+                        "ts": (node.start_perf_s - self._epoch_perf_s) * 1e6,
+                        "dur": (node.duration_s or 0.0) * 1e6,
+                        "pid": pid,
+                        "tid": node.thread_id,
+                        "args": args,
+                    }
+                )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "epoch_wall_s": self._epoch_wall_s,
+                "generator": "repro.telemetry.trace",
+            },
+        }
+
+    def dump_chrome_trace(self, path: str) -> None:
+        """Write :meth:`to_chrome_trace` JSON to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)
+            handle.write("\n")
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+#: The process-wide tracer every instrumented module records into.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default :class:`Tracer`."""
+    return TRACER
+
+
+def span(name: str, **attrs: Any):
+    """A nested timing scope on the default tracer.
+
+    When telemetry is disabled (the default) this returns a shared
+    no-op context manager without touching the tracer.
+    """
+    if not STATE.enabled:
+        return _NOOP
+    return TRACER.span(name, **attrs)
+
+
+def traced(name: str) -> Callable:
+    """Decorator: run the wrapped callable inside ``span(name)``.
+
+    The disabled fast path adds a single boolean check; used on the
+    experiment runners so every ``run_*`` shows up as a top-level span.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not STATE.enabled:
+                return fn(*args, **kwargs)
+            with TRACER.span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def dump_chrome_trace(path: str) -> None:
+    """Write the default tracer's Chrome trace to ``path``."""
+    TRACER.dump_chrome_trace(path)

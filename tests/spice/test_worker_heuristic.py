@@ -1,0 +1,128 @@
+"""The Monte Carlo worker heuristic: explicit counts honored, auto mode
+sharding only when parallelism can win, telemetry on fallback."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.spice.montecarlo import (
+    MIN_PROCESS_TRIALS_PER_WORKER,
+    MIN_THREAD_TRIALS_PER_WORKER,
+    resolve_worker_count,
+    run_monte_carlo,
+)
+
+
+def _trial(rng):
+    return float(rng.normal(1.0, 0.1))
+
+
+class TestResolveWorkerCount:
+    def test_explicit_count_honored_even_on_one_cpu(self):
+        workers, reason = resolve_worker_count(
+            100, 4, executor="process", cpu_count=1
+        )
+        assert (workers, reason) == (4, None)
+
+    def test_explicit_count_clamped_to_trials(self):
+        workers, _ = resolve_worker_count(3, 16, executor="thread")
+        assert workers == 3
+
+    def test_explicit_zero_raises(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            resolve_worker_count(10, 0)
+
+    def test_auto_falls_back_on_single_cpu_process_pool(self):
+        workers, reason = resolve_worker_count(
+            10_000, None, executor="process", cpu_count=1
+        )
+        assert workers == 1
+        assert "single CPU" in reason
+
+    def test_auto_falls_back_when_trials_cannot_amortize(self):
+        n = MIN_PROCESS_TRIALS_PER_WORKER  # one worker's worth only
+        workers, reason = resolve_worker_count(
+            n, None, executor="process", cpu_count=8
+        )
+        assert workers == 1
+        assert "amortize" in reason
+
+    def test_auto_shards_when_it_can_win(self):
+        workers, reason = resolve_worker_count(
+            4 * MIN_PROCESS_TRIALS_PER_WORKER, None,
+            executor="process", cpu_count=4,
+        )
+        assert (workers, reason) == (4, None)
+
+    def test_auto_never_exceeds_cpu_count(self):
+        workers, _ = resolve_worker_count(
+            100 * MIN_PROCESS_TRIALS_PER_WORKER, None,
+            executor="process", cpu_count=3,
+        )
+        assert workers == 3
+
+    def test_thread_threshold_is_lower(self):
+        workers, reason = resolve_worker_count(
+            4 * MIN_THREAD_TRIALS_PER_WORKER, None,
+            executor="thread", cpu_count=4,
+        )
+        assert (workers, reason) == (4, None)
+
+    def test_zero_min_trials_disables_amortization_bound(self):
+        workers, reason = resolve_worker_count(
+            8, None, executor="thread", cpu_count=4,
+            min_trials_per_worker=0,
+        )
+        assert (workers, reason) == (4, None)
+
+
+class TestRunMonteCarloAuto:
+    def test_auto_mode_bit_identical_to_serial(self):
+        serial = run_monte_carlo(_trial, n_runs=40, seed=5, n_workers=1)
+        auto = run_monte_carlo(_trial, n_runs=40, seed=5, n_workers=None)
+        assert np.array_equal(serial.samples, auto.samples)
+
+    def test_fallback_emits_probe_when_enabled(self, monkeypatch):
+        import repro.spice.montecarlo as mc
+
+        monkeypatch.setattr(mc.os, "cpu_count", lambda: 1)
+        telemetry.reset()
+        telemetry.enable()
+        rec = telemetry.ProbeRecorder()
+        telemetry.register_probe("mc.fallback_serial", rec)
+        try:
+            run_monte_carlo(_trial, n_runs=8, seed=1, n_workers=None)
+            payloads = rec.payloads("mc.fallback_serial")
+            assert payloads and payloads[0]["requested"] == "auto"
+            assert "single CPU" in payloads[0]["reason"]
+        finally:
+            telemetry.reset()
+
+    def test_no_probe_for_explicit_serial(self):
+        telemetry.reset()
+        telemetry.enable()
+        rec = telemetry.ProbeRecorder()
+        telemetry.register_probe("mc.fallback_serial", rec)
+        try:
+            run_monte_carlo(_trial, n_runs=8, seed=1, n_workers=1)
+            assert rec.records == []
+        finally:
+            telemetry.reset()
+
+    def test_shard_and_run_probes_fire(self):
+        telemetry.reset()
+        telemetry.enable()
+        rec = telemetry.ProbeRecorder()
+        telemetry.register_probe("mc.shard", rec)
+        telemetry.register_probe("mc.run", rec)
+        try:
+            run_monte_carlo(
+                _trial, n_runs=12, seed=1, n_workers=3, executor="thread"
+            )
+            shards = rec.payloads("mc.shard")
+            assert len(shards) == 3
+            assert sum(s["trials"] for s in shards) == 12
+            runs = rec.payloads("mc.run")
+            assert runs[-1]["n_runs"] == 12 and runs[-1]["workers"] == 3
+        finally:
+            telemetry.reset()

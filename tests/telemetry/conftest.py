@@ -1,0 +1,13 @@
+"""Telemetry tests run against pristine global state, every time."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def pristine_telemetry():
+    """Reset the process-global telemetry state around every test."""
+    telemetry.reset()
+    yield
+    telemetry.reset()

@@ -1,0 +1,126 @@
+"""Structured logging: JSON-lines round-trip, console extras, levels."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.telemetry.log import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    parse_level,
+    reset_logging,
+)
+
+
+class TestParseLevel:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("debug", logging.DEBUG),
+            ("INFO", logging.INFO),
+            ("Warning", logging.WARNING),
+            ("15", 15),
+            (logging.ERROR, logging.ERROR),
+        ],
+    )
+    def test_accepted_forms(self, raw, expected):
+        assert parse_level(raw) == expected
+
+    def test_none_falls_back_to_env_then_warning(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        assert parse_level(None) == logging.WARNING
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "debug")
+        assert parse_level(None) == logging.DEBUG
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            parse_level("loud")
+
+
+class TestGetLogger:
+    def test_names_nest_under_repro(self):
+        assert get_logger().name == ROOT_LOGGER_NAME
+        assert get_logger("repro.core.array").name == "repro.core.array"
+        assert get_logger("myext.module").name == "repro.myext.module"
+
+
+class TestJsonLines:
+    def test_round_trip_with_extras(self):
+        stream = io.StringIO()
+        configure_logging(level="info", json_lines=True, stream=stream)
+        log = get_logger("repro.test.jsonl")
+        log.info("batch served", extra={"queries": 256, "rows": 26})
+        log.warning("drift high", extra={"debt": 1.25})
+        lines = stream.getvalue().strip().splitlines()
+        first, second = (json.loads(line) for line in lines)
+        assert first["msg"] == "batch served"
+        assert first["level"] == "info"
+        assert first["logger"] == "repro.test.jsonl"
+        assert first["queries"] == 256 and first["rows"] == 26
+        assert isinstance(first["ts"], float)
+        assert second["debt"] == 1.25
+
+    def test_exception_serialized(self):
+        stream = io.StringIO()
+        configure_logging(level="error", json_lines=True, stream=stream)
+        log = get_logger("repro.test.exc")
+        try:
+            raise RuntimeError("kaput")
+        except RuntimeError:
+            log.error("failed", exc_info=True)
+        payload = json.loads(stream.getvalue())
+        assert "kaput" in payload["exc"]
+
+    def test_numpy_extras_are_jsonable(self):
+        np = pytest.importorskip("numpy")
+        stream = io.StringIO()
+        configure_logging(level="info", json_lines=True, stream=stream)
+        get_logger("repro.test.np").info(
+            "stats", extra={"n": np.int64(3), "xs": np.array([1.0, 2.0])}
+        )
+        payload = json.loads(stream.getvalue())
+        assert payload["n"] == 3
+        assert payload["xs"] == [1.0, 2.0]
+
+
+class TestConsole:
+    def test_extras_rendered_as_key_value(self):
+        stream = io.StringIO()
+        configure_logging(level="info", json_lines=False, stream=stream)
+        get_logger("repro.test.console").info(
+            "served", extra={"queries": 4}
+        )
+        line = stream.getvalue()
+        assert "served" in line
+        assert "[queries=4]" in line
+
+
+class TestConfiguration:
+    def test_configure_is_idempotent_single_handler(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        configure_logging(level="info", stream=io.StringIO())
+        configure_logging(level="debug", stream=io.StringIO())
+        configure_logging(level="debug", stream=io.StringIO())
+        assert len(root.handlers) == 1
+        assert root.level == logging.DEBUG
+        assert root.propagate is False
+
+    def test_level_filters_records(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream)
+        log = get_logger("repro.test.lvl")
+        log.debug("hidden")
+        log.info("hidden too")
+        log.warning("visible")
+        assert "hidden" not in stream.getvalue()
+        assert "visible" in stream.getvalue()
+
+    def test_reset_removes_managed_handler(self):
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        configure_logging(stream=io.StringIO())
+        reset_logging()
+        assert root.handlers == []
+        assert root.propagate is True

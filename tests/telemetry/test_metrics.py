@@ -1,0 +1,199 @@
+"""Metrics registry: counters/gauges/histograms, labels, threads, export."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("searches_total", "searches")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("events_total")
+        with pytest.raises(ValueError, match=">= 0"):
+            c.inc(-1.0)
+
+    def test_labeled_series_are_independent(self, registry):
+        c = registry.counter("queries_total", labels=("mode",))
+        c.inc(mode="single")
+        c.inc(5, mode="batch")
+        assert c.value(mode="single") == 1.0
+        assert c.value(mode="batch") == 5.0
+
+    def test_missing_or_extra_labels_rejected(self, registry):
+        c = registry.counter("queries_total", labels=("mode",))
+        with pytest.raises(ValueError, match="expects labels"):
+            c.inc()
+        with pytest.raises(ValueError, match="expects labels"):
+            c.inc(mode="x", extra="y")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("debt")
+        g.set(2.0)
+        g.inc(0.5)
+        g.dec(1.0)
+        assert g.value() == pytest.approx(1.5)
+
+
+class TestHistogram:
+    def test_bucketing_and_snapshot(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(6.05)
+        # Cumulative counts per upper bound; +Inf bucket is implicit.
+        assert snap["buckets"][0.1] == 1
+        assert snap["buckets"][1.0] == 3
+        assert snap["buckets"][math.inf] == 4
+
+    def test_bounds_sorted_with_implicit_inf(self, registry):
+        h = registry.histogram("x", buckets=(1.0, 0.1))
+        assert h.bucket_bounds == (0.1, 1.0, math.inf)
+
+    def test_empty_snapshot_is_zeros(self, registry):
+        h = registry.histogram("y", buckets=(1.0,))
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["sum"] == 0.0
+
+
+class TestRegistry:
+    def test_registration_idempotent(self, registry):
+        a = registry.counter("n", "first", labels=("k",))
+        b = registry.counter("n", "other help ignored", labels=("k",))
+        assert a is b
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("n")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("n")
+
+    def test_label_conflict_raises(self, registry):
+        registry.counter("n", labels=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("n", labels=("b",))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok", labels=("bad-label",))
+
+    def test_reset_keeps_handles_valid(self, registry):
+        c = registry.counter("n")
+        c.inc(3)
+        registry.reset()
+        assert c.value() == 0.0
+        c.inc()  # the module-level handle still works
+        assert c.value() == 1.0
+        assert registry.get("n") is c
+
+    def test_default_registry_is_process_wide(self):
+        assert get_registry() is get_registry()
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments_all_land(self, registry):
+        c = registry.counter("hits", labels=("worker",))
+        n_threads, n_incs = 8, 2000
+
+        def work(i):
+            for _ in range(n_incs):
+                c.inc(worker=str(i % 2))
+
+        threads = [
+            threading.Thread(target=work, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = c.value(worker="0") + c.value(worker="1")
+        assert total == n_threads * n_incs
+
+    def test_concurrent_histogram_observations_all_land(self, registry):
+        h = registry.histogram("obs", buckets=(0.5,))
+        n_threads, n_obs = 8, 1000
+
+        def work():
+            for _ in range(n_obs):
+                h.observe(0.25)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.snapshot()["count"] == n_threads * n_obs
+
+
+class TestExport:
+    def test_prometheus_exposition(self, registry):
+        c = registry.counter("tdam_searches_total", "Searches", ("mode",))
+        c.inc(2, mode="batch")
+        g = registry.gauge("tdam_debt", "Debt")
+        g.set(0.5)
+        h = registry.histogram("tdam_lat", "Latency", buckets=(1.0,))
+        h.observe(0.5)
+        text = registry.to_prometheus()
+        assert "# HELP tdam_searches_total Searches" in text
+        assert "# TYPE tdam_searches_total counter" in text
+        assert 'tdam_searches_total{mode="batch"} 2' in text
+        assert "tdam_debt 0.5" in text
+        assert 'tdam_lat_bucket{le="1"} 1' in text
+        assert 'tdam_lat_bucket{le="+Inf"} 1' in text
+        assert "tdam_lat_sum 0.5" in text
+        assert "tdam_lat_count 1" in text
+
+    def test_prometheus_label_escaping(self, registry):
+        c = registry.counter("n", labels=("path",))
+        c.inc(path='a"b\\c\nd')
+        text = registry.to_prometheus()
+        assert r'path="a\"b\\c\nd"' in text
+
+    def test_json_roundtrip_through_dump(self, registry, tmp_path):
+        c = registry.counter("n", "help", labels=("k",))
+        c.inc(3, k="v")
+        h = registry.histogram("h", buckets=(1.0,))
+        h.observe(2.0)
+        out = tmp_path / "metrics.json"
+        registry.dump_json(str(out))
+        data = json.loads(out.read_text())
+        assert data["n"]["kind"] == "counter"
+        assert data["n"]["series"] == [{"labels": {"k": "v"}, "value": 3.0}]
+        assert data["h"]["series"][0]["count"] == 1
+        assert data["h"]["series"][0]["buckets"]["+Inf"] == 1
+
+    def test_default_buckets_cover_ns_to_seconds(self):
+        assert DEFAULT_BUCKETS[0] <= 1e-9
+        assert DEFAULT_BUCKETS[-1] >= 1.0
+
+    def test_metric_classes_exported(self):
+        assert Counter.kind == "counter"
+        assert Gauge.kind == "gauge"
+        assert Histogram.kind == "histogram"

@@ -1,0 +1,168 @@
+"""Span tracing: nesting, thread isolation, Chrome-trace schema."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.trace import Tracer, _NOOP, span, traced
+
+
+class TestSpanTree:
+    def test_nesting_builds_parent_child_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer", rows=4) as outer:
+            with tracer.span("mid") as mid:
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("mid2"):
+                pass
+        roots = tracer.roots()
+        assert [s.name for s in roots] == ["outer"]
+        assert [c.name for c in outer.children] == ["mid", "mid2"]
+        assert [c.name for c in mid.children] == ["inner"]
+        assert outer.attrs == {"rows": 4}
+
+    def test_durations_close_and_contain_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots()[0]
+        inner = outer.children[0]
+        assert outer.duration_s is not None
+        assert inner.duration_s is not None
+        assert outer.duration_s >= inner.duration_s
+
+    def test_sequential_roots_are_siblings(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots()] == ["a", "b"]
+
+    def test_error_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        node = tracer.roots()[0]
+        assert "boom" in node.error
+        assert node.duration_s is not None  # closed despite the raise
+        assert tracer.current() is None  # stack unwound
+
+    def test_walk_is_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("r"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        names = [s.name for s in tracer.roots()[0].walk()]
+        assert names == ["r", "a", "a1", "b"]
+
+    def test_set_attr_while_open(self):
+        tracer = Tracer()
+        with tracer.span("s") as node:
+            node.set_attr("best_row", 3)
+        assert tracer.roots()[0].attrs["best_row"] == 3
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def work(tag):
+            with tracer.span(f"root-{tag}"):
+                seen[tag] = tracer.current().name
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(s.name for s in tracer.roots()) == [
+            f"root-{i}" for i in range(4)
+        ]
+        assert seen == {i: f"root-{i}" for i in range(4)}
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_noop_when_disabled(self):
+        assert span("anything") is _NOOP
+        assert telemetry.get_tracer().roots() == ()
+
+    def test_span_records_when_enabled(self):
+        telemetry.enable()
+        with span("live", q=1):
+            pass
+        roots = telemetry.get_tracer().roots()
+        assert [s.name for s in roots] == ["live"]
+
+    def test_traced_decorator_respects_switch(self):
+        calls = []
+
+        @traced("unit")
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        assert fn(2) == 4
+        assert telemetry.get_tracer().roots() == ()
+        telemetry.enable()
+        assert fn(3) == 6
+        assert [s.name for s in telemetry.get_tracer().roots()] == ["unit"]
+        assert calls == [2, 3]
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        tracer = Tracer()
+        with tracer.span("outer", rows=2):
+            with tracer.span("inner"):
+                pass
+        doc = tracer.to_chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = events[0]
+        assert meta["ph"] == "M" and meta["name"] == "process_name"
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert set(spans) == {"outer", "inner"}
+        outer, inner = spans["outer"], spans["inner"]
+        for e in (outer, inner):
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(e)
+            assert e["dur"] >= 0
+        # Nesting by timestamp containment on the same track.
+        assert outer["tid"] == inner["tid"]
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+        assert outer["args"] == {"rows": 2}
+
+    def test_error_lands_in_args(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("nope")
+        events = tracer.to_chrome_trace()["traceEvents"]
+        bad = [e for e in events if e.get("name") == "bad"][0]
+        assert "nope" in bad["args"]["error"]
+
+    def test_dump_writes_valid_json(self, tmp_path):
+        telemetry.enable()
+        with span("s"):
+            pass
+        out = tmp_path / "trace.json"
+        telemetry.dump_chrome_trace(str(out))
+        doc = json.loads(out.read_text())
+        assert any(e["name"] == "s" for e in doc["traceEvents"])
+
+    def test_reset_drops_roots(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == ()

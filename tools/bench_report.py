@@ -9,13 +9,22 @@ plus two direct wall-clock studies, and writes ``BENCH_search.json``:
    ``FastTDAMArray.search_batch`` against a Python loop of ``search()``,
    and their ratio (the committed baseline asserts >= 10x).
 2. **Shard-parallel Monte Carlo**: wall clock of a Fig. 6 Monte Carlo
-   cell with 1 worker vs N workers (same seed; the driver is
-   bit-reproducible for any worker count, so only the wall clock moves).
+   cell with 1 worker vs the auto-resolved worker count (same seed; the
+   driver is bit-reproducible for any worker count, so only the wall
+   clock moves).  By default the worker count is chosen by
+   ``resolve_worker_count`` -- on machines where sharding cannot win
+   (single CPU, too few trials) the "parallel" leg falls back to serial
+   and the report records why.
+3. **Telemetry overhead**: ``search_batch`` wall clock with the
+   telemetry switch off (dormant wrappers) and on (spans + metrics +
+   probes), against the bare un-instrumented kernel.  Optionally writes
+   the metrics registry and a Chrome trace as CI artifacts.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_report.py [--output BENCH_search.json]
         [--skip-microbench] [--workers N] [--mc-runs N]
+        [--metrics-out metrics.json] [--trace-out trace.json]
 """
 
 from __future__ import annotations
@@ -35,10 +44,14 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import telemetry  # noqa: E402
 from repro.core.array import FastTDAMArray  # noqa: E402
 from repro.core.config import TDAMConfig  # noqa: E402
 from repro.experiments.fig6_montecarlo import Fig6Trial  # noqa: E402
-from repro.spice.montecarlo import run_monte_carlo  # noqa: E402
+from repro.spice.montecarlo import (  # noqa: E402
+    resolve_worker_count,
+    run_monte_carlo,
+)
 
 N_ROWS = 26
 N_STAGES = 128
@@ -85,23 +98,32 @@ def bench_search_batch(repeats: int = 5) -> dict:
     }
 
 
-def bench_monte_carlo(n_runs: int, n_workers: int, repeats: int = 3) -> dict:
-    """Serial vs shard-parallel Monte Carlo wall clock (same results)."""
+def bench_monte_carlo(n_runs: int, n_workers=None, repeats: int = 3) -> dict:
+    """Serial vs shard-parallel Monte Carlo wall clock (same results).
+
+    ``n_workers=None`` uses the auto heuristic; the report records both
+    the requested and the resolved count plus any fallback reason.
+    """
     trial = Fig6Trial(config=TDAMConfig(), sigma_mv=30.0)
+    resolved, fallback_reason = resolve_worker_count(
+        n_runs, n_workers, executor="process"
+    )
     serial = run_monte_carlo(trial, n_runs=n_runs, seed=7)
     parallel = run_monte_carlo(trial, n_runs=n_runs, seed=7,
-                               n_workers=n_workers)
+                               n_workers=resolved)
     t_serial = _best_of(
         lambda: run_monte_carlo(trial, n_runs=n_runs, seed=7), repeats
     )
     t_parallel = _best_of(
         lambda: run_monte_carlo(trial, n_runs=n_runs, seed=7,
-                                n_workers=n_workers),
+                                n_workers=resolved),
         repeats,
     )
     return {
         "workload": f"Fig. 6 trial, {n_runs} runs, sigma 30 mV",
-        "n_workers": n_workers,
+        "requested_workers": "auto" if n_workers is None else n_workers,
+        "n_workers": resolved,
+        "fallback_reason": fallback_reason,
         "serial_s": t_serial,
         "parallel_s": t_parallel,
         "speedup": t_serial / t_parallel,
@@ -109,6 +131,60 @@ def bench_monte_carlo(n_runs: int, n_workers: int, repeats: int = 3) -> dict:
             np.array_equal(serial.samples, parallel.samples)
         ),
     }
+
+
+def bench_telemetry_overhead(repeats: int = 20) -> dict:
+    """search_batch cost with telemetry off/on vs the bare kernel."""
+    config = TDAMConfig.fig8_system()
+    array = FastTDAMArray(config, n_rows=N_ROWS)
+    rng = np.random.default_rng(1)
+    array.write_all(rng.integers(0, 4, size=(N_ROWS, N_STAGES)))
+    queries = rng.integers(0, 4, size=(N_QUERIES, N_STAGES))
+
+    telemetry.reset()
+    array.search_batch(queries)  # warm up and build the level tables
+    array._search_batch_impl(queries)
+    t_bare = _best_of(lambda: array._search_batch_impl(queries), repeats)
+    t_disabled = _best_of(lambda: array.search_batch(queries), repeats)
+
+    telemetry.enable()
+    try:
+        array.search_batch(queries)
+        t_enabled = _best_of(lambda: array.search_batch(queries), repeats)
+    finally:
+        telemetry.reset()
+
+    return {
+        "workload": f"{N_ROWS} rows x {N_STAGES} stages x {N_QUERIES} queries",
+        "bare_kernel_s": t_bare,
+        "disabled_s": t_disabled,
+        "enabled_s": t_enabled,
+        "disabled_overhead_pct": (t_disabled / t_bare - 1.0) * 100.0,
+        "enabled_overhead_pct": (t_enabled / t_bare - 1.0) * 100.0,
+    }
+
+
+def export_telemetry_artifacts(metrics_out, trace_out) -> None:
+    """Run a traced reference workload and dump metrics/trace artifacts."""
+    config = TDAMConfig.fig8_system()
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        array = FastTDAMArray(config, n_rows=N_ROWS)
+        rng = np.random.default_rng(1)
+        array.write_all(rng.integers(0, 4, size=(N_ROWS, N_STAGES)))
+        queries = rng.integers(0, 4, size=(N_QUERIES, N_STAGES))
+        with telemetry.span("bench.reference_workload",
+                            queries=N_QUERIES, rows=N_ROWS):
+            array.search_batch(queries)
+            for q in queries[:8]:
+                array.search(q)
+        if metrics_out:
+            telemetry.get_registry().dump_json(metrics_out)
+        if trace_out:
+            telemetry.dump_chrome_trace(trace_out)
+    finally:
+        telemetry.reset()
 
 
 def run_microbench() -> dict:
@@ -150,12 +226,23 @@ def main(argv=None) -> int:
         help="skip the pytest-benchmark suite (direct timings only)",
     )
     parser.add_argument(
-        "--workers", type=int, default=max(2, os.cpu_count() or 2),
-        help="Monte Carlo worker count for the parallel timing",
+        "--workers", type=int, default=None,
+        help="Monte Carlo worker count for the parallel timing "
+             "(default: auto via resolve_worker_count)",
     )
     parser.add_argument(
         "--mc-runs", type=int, default=200,
         help="Monte Carlo trials per timing",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="also dump the metrics registry of a traced reference "
+             "workload to this JSON path (CI artifact)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="also dump a Chrome trace of the reference workload to "
+             "this JSON path (CI artifact)",
     )
     args = parser.parse_args(argv)
 
@@ -166,19 +253,32 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "search_batch": bench_search_batch(),
         "monte_carlo": bench_monte_carlo(args.mc_runs, args.workers),
+        "telemetry_overhead": bench_telemetry_overhead(),
     }
     if not args.skip_microbench:
         report["microbench"] = run_microbench()
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    if args.metrics_out or args.trace_out:
+        export_telemetry_artifacts(args.metrics_out, args.trace_out)
+
     search = report["search_batch"]
     mc = report["monte_carlo"]
+    tel = report["telemetry_overhead"]
     print(f"search_batch: {search['batch_queries_per_s']:,.0f} queries/s "
           f"({search['speedup']:.1f}x vs loop, "
           f"bit_exact={search['bit_exact']})")
+    mc_note = (f" [auto fell back to serial: {mc['fallback_reason']}]"
+               if mc["fallback_reason"] else "")
     print(f"monte_carlo:  {mc['speedup']:.2f}x with {mc['n_workers']} "
-          f"workers (bit_identical={mc['bit_identical']})")
+          f"workers (bit_identical={mc['bit_identical']}){mc_note}")
+    print(f"telemetry:    disabled {tel['disabled_overhead_pct']:+.2f}% / "
+          f"enabled {tel['enabled_overhead_pct']:+.2f}% vs bare kernel")
     print(f"wrote {args.output}")
+    if args.metrics_out:
+        print(f"wrote {args.metrics_out}")
+    if args.trace_out:
+        print(f"wrote {args.trace_out}")
     return 0
 
 
