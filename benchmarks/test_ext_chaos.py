@@ -1,0 +1,36 @@
+"""Extension bench: chaos suite over the fault-tolerant serving layer.
+
+Runs the quick chaos suite and prints the scenario scorecard.  The
+headline: under injected device faults, shard timeouts, checkpoint
+corruption, and mid-save crashes, the service never returns a wrong
+answer without the degraded flag, keeps the deadline hit-rate at the
+SLO, and always restores the newest valid snapshot.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ext_chaos import format_chaos, run_chaos_study
+from repro.service.chaos import DEADLINE_SLO
+
+
+def _study():
+    return run_chaos_study(quick=True, seed=7)
+
+
+def test_ext_chaos_slos(benchmark):
+    report = run_once(benchmark, _study)
+    print()
+    print(format_chaos(report))
+
+    assert report.passed
+    by_name = {s.name: s for s in report.scenarios}
+    # Honesty SLO: never a wrong answer without the degraded flag.
+    for scenario in report.scenarios:
+        assert scenario.wrong_unflagged == 0
+    # Deadline SLO under injected timeouts, with real retries behind it.
+    assert by_name["timeouts"].deadline_hit_rate >= DEADLINE_SLO
+    assert by_name["timeouts"].retries > 0
+    # The wrecked replica is quarantined, not silently served.
+    assert by_name["device_faults"].breaker_opens >= 1
+    # Durability: corruption and crash scenarios recovered and served.
+    assert by_name["checkpoint_corruption"].ok > 0
+    assert by_name["crash_mid_save"].ok > 0

@@ -227,6 +227,12 @@ def _area(fast: bool, workers: int = 1) -> str:
     )
 
 
+def _chaos(fast: bool, workers: int = 1) -> str:
+    from repro.experiments.ext_chaos import format_chaos, run_chaos_study
+
+    return format_chaos(run_chaos_study(quick=fast))
+
+
 #: Experiment registry: name -> (description, runner(fast, workers) -> text).
 #: ``workers`` threads/processes the Monte Carlo-style experiments (fig6,
 #: resilience); ``None`` means auto; the others ignore it.
@@ -250,13 +256,14 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool, Optional[int]], str]]] = {
     "dse": ("Extension: design-space Pareto exploration", _dse),
     "area": ("Extension: cell/array area model", _area),
     "resilience": ("Extension: BIST/repair yield & refresh schedule", _resilience),
+    "chaos": ("Extension: chaos suite over the serving layer", _chaos),
 }
 
 #: Paper-order listing for the full report.
 REPORT_ORDER = [
     "fig1", "fig2", "fig4", "fig5", "table1", "fig6", "fig7", "fig8",
     "ablations", "retention", "temperature", "online", "batch", "dse",
-    "area", "resilience",
+    "area", "resilience", "chaos",
 ]
 
 
@@ -365,6 +372,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="parallel trial-evaluation workers (bit-identical results; "
              "default: auto)",
     )
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos suite over the fault-tolerant serving layer "
+             "(exits non-zero on any SLO violation)",
+        parents=[telemetry_options],
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized scenarios (same coverage, fewer requests)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed for data, fault maps, and retry jitter",
+    )
+    chaos.add_argument(
+        "--scenarios", nargs="+", default=None, metavar="NAME",
+        help="subset of scenario names (default: all)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -372,7 +397,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             description, _ = EXPERIMENTS[name]
             emit(f"{name:<10} {description}")
         return 0
-    if args.command not in ("run", "resilience", "report"):
+    if args.command not in ("run", "resilience", "chaos", "report"):
         parser.print_help()
         return 2
     _telemetry_begin(args)
@@ -412,6 +437,14 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         )
         return 0
+    if args.command == "chaos":
+        from repro.experiments.ext_chaos import format_chaos, run_chaos_study
+
+        chaos_report = run_chaos_study(
+            quick=args.quick, seed=args.seed, scenarios=args.scenarios
+        )
+        emit(format_chaos(chaos_report))
+        return 0 if chaos_report.passed else 1
     sections: List[str] = []
     for name in REPORT_ORDER:
         description, runner = EXPERIMENTS[name]

@@ -37,7 +37,7 @@ from repro.core.cell import CellState, MultiBitIMCCell
 from repro.core.chain import ChainResult, DelayChain
 from repro.core.controller import ArrayController, Command, Event, Phase
 from repro.core.config import TDAMConfig
-from repro.core.encoding import LevelEncoding
+from repro.core.encoding import LevelEncoding, validate_levels
 from repro.core.faults import Fault, FaultInjector, FaultType, FaultyTDAMArray
 from repro.core.energy import TimingEnergyModel
 from repro.core.noise import (
@@ -59,6 +59,7 @@ from repro.core.stage import DelayStage
 __all__ = [
     "TDAMConfig",
     "LevelEncoding",
+    "validate_levels",
     "MultiBitIMCCell",
     "CellState",
     "DelayStage",

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.core.chain import ChainResult, DelayChain
 from repro.core.config import TDAMConfig
-from repro.core.encoding import LevelEncoding
+from repro.core.encoding import LevelEncoding, validate_levels
 from repro.core.energy import TimingEnergyModel
 from repro.core.sensing import CounterTDC
 from repro.devices.fefet import FeFET, FeFETParams
@@ -745,20 +745,9 @@ class FastTDAMArray:
 
     def _validate_matrix(self, matrix: np.ndarray) -> np.ndarray:
         """Matrix analog of ``LevelEncoding.validate_vector``."""
-        if matrix.ndim != 2:
-            raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
-        if not np.issubdtype(matrix.dtype, np.integer):
-            if not np.allclose(matrix, np.round(matrix)):
-                raise ValueError("vector elements must be integers")
-            matrix = np.round(matrix).astype(np.int64)
-        if matrix.size and (
-            matrix.min() < 0 or matrix.max() >= self.config.levels
-        ):
-            raise ValueError(
-                f"vector elements must be in [0, {self.config.levels - 1}], "
-                f"got range [{matrix.min()}, {matrix.max()}]"
-            )
-        return matrix.astype(np.int64)
+        return validate_levels(
+            matrix, self.config.levels, ndim=2, name="vector"
+        )
 
     # ------------------------------------------------------------------
     # Search path

@@ -23,6 +23,52 @@ import numpy as np
 from repro.core.config import TDAMConfig
 
 
+def validate_levels(
+    values: Sequence[int],
+    levels: int,
+    *,
+    ndim: int = 1,
+    name: str = "vector",
+) -> np.ndarray:
+    """Validate an array of stored/query levels; never clips silently.
+
+    The one shared admission check of every level-carrying input
+    (queries, stored vectors, whole matrices): wrong dimensionality,
+    non-integral elements, and out-of-range levels each raise a
+    ``ValueError`` naming the offending property instead of producing
+    clipped or garbage comparisons downstream.
+
+    Args:
+        values: The candidate levels (any array-like).
+        levels: Number of storable levels (``config.levels``).
+        ndim: Required dimensionality (1 for vectors, 2 for matrices).
+        name: What to call the input in error messages.
+
+    Returns:
+        The validated values as an ``int64`` array.
+    """
+    arr = np.asarray(values)
+    if arr.ndim != ndim:
+        raise ValueError(
+            f"expected a {ndim}-D {name}, got shape {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        if arr.dtype == bool:
+            arr = arr.astype(np.int64)
+        elif np.issubdtype(arr.dtype, np.floating) and np.allclose(
+            arr, np.round(arr)
+        ):
+            arr = np.round(arr).astype(np.int64)
+        else:
+            raise ValueError(f"{name} elements must be integers")
+    if arr.size and (arr.min() < 0 or arr.max() >= levels):
+        raise ValueError(
+            f"{name} elements must be in [0, {levels - 1}], "
+            f"got range [{arr.min()}, {arr.max()}]"
+        )
+    return arr.astype(np.int64)
+
+
 @dataclass(frozen=True)
 class CellDrive:
     """The search-line drive of one cell for one query.
@@ -106,19 +152,7 @@ class LevelEncoding:
     # ------------------------------------------------------------------
     def validate_vector(self, values: Sequence[int]) -> np.ndarray:
         """Validate and return a vector of levels as an int array."""
-        arr = np.asarray(values)
-        if arr.ndim != 1:
-            raise ValueError(f"expected a 1-D vector, got shape {arr.shape}")
-        if not np.issubdtype(arr.dtype, np.integer):
-            if not np.allclose(arr, np.round(arr)):
-                raise ValueError("vector elements must be integers")
-            arr = np.round(arr).astype(np.int64)
-        if arr.size and (arr.min() < 0 or arr.max() >= self.levels):
-            raise ValueError(
-                f"vector elements must be in [0, {self.levels - 1}], "
-                f"got range [{arr.min()}, {arr.max()}]"
-            )
-        return arr.astype(np.int64)
+        return validate_levels(values, self.levels, ndim=1)
 
     def mismatch_vector(self, stored: Sequence[int], query: Sequence[int]) -> np.ndarray:
         """Boolean per-element mismatch between two level vectors."""

@@ -1,0 +1,97 @@
+"""Extension experiment: chaos suite over the fault-tolerant service.
+
+Not a paper figure -- the paper characterizes the array; this asks the
+deployment question: **when shards time out, snapshots corrupt, and the
+process dies mid-checkpoint, does the serving layer still keep its
+promises?**  The promises are the SLOs of
+:mod:`repro.service.chaos`: no wrong answer ever leaves the service
+without the ``degraded`` flag, the deadline hit-rate survives injected
+timeouts, and restore always lands on the newest valid snapshot.
+
+The study is a thin, instrumented wrapper around
+:func:`repro.service.chaos.run_chaos_suite` so the scenarios run
+identically from the CLI (``repro chaos``), CI smoke jobs
+(``python -m repro.experiments.ext_chaos --quick``), and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.config import TDAMConfig
+from repro.experiments._instrument import instrumented
+from repro.service.chaos import ChaosReport, run_chaos_suite
+
+
+@instrumented("chaos")
+def run_chaos_study(
+    quick: bool = False,
+    seed: int = 7,
+    scenarios: Optional[Sequence[str]] = None,
+    config: Optional[TDAMConfig] = None,
+) -> ChaosReport:
+    """Run the chaos scenarios and return the scored report.
+
+    Args:
+        quick: CI-sized scenarios (same coverage, fewer requests).
+        seed: Master seed for data, fault maps, and retry jitter.
+        scenarios: Optional subset of scenario names.
+        config: Design-point override.
+    """
+    return run_chaos_suite(
+        quick=quick, seed=seed, scenarios=scenarios, config=config
+    )
+
+
+def format_chaos(report: ChaosReport) -> str:
+    """Text rendering of the chaos report."""
+    rows = [
+        {
+            "scenario": s.name,
+            "requests": s.n_requests,
+            "ok": s.ok,
+            "degraded": s.degraded,
+            "miss": s.deadline_misses,
+            "unavail": s.unavailable,
+            "wrong_unflagged": s.wrong_unflagged,
+            "retries": s.retries,
+            "opens": s.breaker_opens,
+            "hit_rate": s.deadline_hit_rate,
+            "verdict": "pass" if s.passed else "FAIL",
+        }
+        for s in report.scenarios
+    ]
+    mode = "quick" if report.quick else "full"
+    body = format_table(
+        rows,
+        title=(
+            f"Extension: chaos suite over the serving layer "
+            f"({mode} mode, seed {report.seed})"
+        ),
+    )
+    lines = [body]
+    for s in report.scenarios:
+        lines.append(f"  {s.name}: {s.notes}")
+    verdict = "ALL SLOs HELD" if report.passed else "SLO VIOLATION"
+    lines.append(f"{verdict} across {len(report.scenarios)} scenarios")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    from repro.cli import emit
+
+    parser = argparse.ArgumentParser(
+        description="Chaos suite over the fault-tolerant serving layer"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized scenarios"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    cli_args = parser.parse_args()
+    report = run_chaos_study(quick=cli_args.quick, seed=cli_args.seed)
+    emit(format_chaos(report))
+    sys.exit(0 if report.passed else 1)

@@ -20,8 +20,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 import numpy as np
 
@@ -42,10 +44,51 @@ __all__ = [
     "export_array_image",
     "load_array_image",
     "image_checksum",
+    "atomic_write",
 ]
 
 #: Format tag written into every artifact for forward compatibility.
 FORMAT_VERSION = 1
+
+#: The publish step of :func:`atomic_write`.  Kept as a module attribute
+#: so the chaos harness and crash tests can intercept it to simulate a
+#: process dying between the temp-file write and the rename.
+_REPLACE = os.replace
+
+
+def atomic_write(
+    path: PathLike, write_payload: Callable[[Any], None]
+) -> None:
+    """Crash-safe single-file publish: temp write, fsync, ``os.replace``.
+
+    ``write_payload(handle)`` streams the artifact into a temporary file
+    created *in the destination directory* (so the final rename never
+    crosses a filesystem), the file is fsynced, and only then atomically
+    renamed over ``path``.  A crash at any point -- mid-write, or between
+    the temp write and the replace -- leaves the previous artifact at
+    ``path`` intact; the orphaned temp file is removed on error when the
+    process survives to do so.
+
+    Args:
+        path: Final artifact location.
+        write_payload: Callback receiving a binary file handle.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write_payload(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _REPLACE(tmp, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 # ----------------------------------------------------------------------
@@ -75,8 +118,9 @@ def config_from_dict(payload: Dict[str, Any]) -> TDAMConfig:
 
 
 def save_config(config: TDAMConfig, path: PathLike) -> None:
-    """Write a design point as JSON."""
-    Path(path).write_text(json.dumps(config_to_dict(config), indent=2))
+    """Write a design point as JSON (atomically, see :func:`atomic_write`)."""
+    payload = json.dumps(config_to_dict(config), indent=2).encode()
+    atomic_write(path, lambda handle: handle.write(payload))
 
 
 def load_config(path: PathLike) -> TDAMConfig:
@@ -101,14 +145,17 @@ def save_quantized_model(
     """
     meta = dict(metadata or {})
     meta["_format"] = FORMAT_VERSION
-    np.savez_compressed(
-        Path(path),
-        levels=model.levels,
-        edges=model.edges,
-        centers=model.centers,
-        bits=np.array([model.bits]),
-        method=np.array([model.method]),
-        metadata=np.array([json.dumps(meta)]),
+    atomic_write(
+        path,
+        lambda handle: np.savez_compressed(
+            handle,
+            levels=model.levels,
+            edges=model.edges,
+            centers=model.centers,
+            bits=np.array([model.bits]),
+            method=np.array([model.method]),
+            metadata=np.array([json.dumps(meta)]),
+        ),
     )
 
 
@@ -178,10 +225,13 @@ def export_array_image(
         "bits": model.bits,
         "checksum": image_checksum(padded),
     }
-    np.savez_compressed(
-        Path(path),
-        image=padded,
-        manifest=np.array([json.dumps(manifest)]),
+    atomic_write(
+        path,
+        lambda handle: np.savez_compressed(
+            handle,
+            image=padded,
+            manifest=np.array([json.dumps(manifest)]),
+        ),
     )
     return manifest
 

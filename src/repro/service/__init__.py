@@ -1,0 +1,91 @@
+"""Fault-tolerant serving layer for replicated TD-AM shards.
+
+Wraps :class:`~repro.resilience.resilient.ResilientTDAMArray` replicas
+behind a single request surface with the standard reliability toolkit:
+
+- **admission** -- strict input validation and per-request deadlines
+  (:class:`TDAMSearchService`);
+- **retries** -- exponential backoff with decorrelated jitter, gated by
+  a Finagle-style retry budget (:mod:`repro.service.retry`);
+- **circuit breakers** -- per-shard quarantine driven by both request
+  outcomes and the resilience loop's BIST health reports
+  (:mod:`repro.service.breaker`);
+- **degraded mode** -- when no healthy replica remains, an explicit
+  best-effort answer carrying the ``degraded`` flag rather than a
+  silent wrong one;
+- **crash-safe checkpoints** -- atomic, checksummed snapshots of a
+  shard's full physical + repair state, optionally triggered by
+  repair/refresh probe events (:mod:`repro.service.checkpoint`);
+- **chaos harness** -- scripted failure scenarios with SLO assertions
+  (:mod:`repro.service.chaos`, ``repro chaos``).
+
+The error taxonomy in :mod:`repro.service.errors` is the contract:
+transient errors retry, invalid requests reject immediately, and every
+exhaustion path has a distinct type.
+"""
+
+from repro.service.breaker import BreakerState, CircuitBreaker
+from repro.service.chaos import (
+    ChaosReport,
+    ChaosScenarioResult,
+    DEADLINE_SLO,
+    FakeClock,
+    run_chaos_suite,
+)
+from repro.service.checkpoint import CheckpointInfo, ServiceCheckpointer
+from repro.service.errors import (
+    AllShardsUnavailableError,
+    CalibrationDriftError,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointNotFoundError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    InvalidRequestError,
+    RetryBudgetExhaustedError,
+    ServiceError,
+    ShardBusyError,
+    ShardTimeoutError,
+    TransientServiceError,
+    is_retryable,
+)
+from repro.service.retry import BackoffSchedule, RetryBudget, RetryPolicy
+from repro.service.server import (
+    Interceptor,
+    ServiceResponse,
+    Shard,
+    TDAMSearchService,
+)
+
+__all__ = [
+    "AllShardsUnavailableError",
+    "BackoffSchedule",
+    "BreakerState",
+    "CalibrationDriftError",
+    "ChaosReport",
+    "ChaosScenarioResult",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointInfo",
+    "CheckpointNotFoundError",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DEADLINE_SLO",
+    "DeadlineExceededError",
+    "FakeClock",
+    "Interceptor",
+    "InvalidRequestError",
+    "RetryBudget",
+    "RetryBudgetExhaustedError",
+    "RetryPolicy",
+    "ServiceCheckpointer",
+    "ServiceError",
+    "ServiceResponse",
+    "Shard",
+    "ShardBusyError",
+    "ShardTimeoutError",
+    "TDAMSearchService",
+    "TransientServiceError",
+    "is_retryable",
+    "run_chaos_suite",
+]

@@ -1,0 +1,217 @@
+"""Per-shard circuit breaker: quarantine a failing shard, probe it back.
+
+The classic three-state machine, driven by two signals:
+
+- **request outcomes** -- ``failure_threshold`` *consecutive* transient
+  failures trip CLOSED -> OPEN;
+- **health reports** -- :meth:`CircuitBreaker.note_health` inspects a
+  shard's :class:`~repro.resilience.resilient.HealthReport` (the BIST /
+  repair loop's own verdict) and force-opens when the shard has retired
+  rows with no spares left, i.e. repair can no longer restore full
+  service.
+
+While OPEN, :meth:`allow` rejects immediately (the router sends the
+query elsewhere) until ``reset_timeout_s`` has elapsed on the injected
+clock; the breaker then admits up to ``half_open_probes`` trial requests
+(HALF_OPEN).  A probe success closes the circuit, a probe failure
+re-opens it and restarts the cool-down.
+
+Time comes from a caller-supplied ``clock`` so the state machine is
+fully deterministic under the chaos harness's fake clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.resilience.resilient import HealthReport
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.log import get_logger
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.state import STATE as _TM
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+_log = get_logger(__name__)
+
+_REG = _metrics.get_registry()
+_TRANSITIONS = _REG.counter(
+    "service_breaker_transitions_total",
+    "Circuit-breaker state transitions, by shard and target state",
+    labels=("shard", "to"),
+)
+_STATE_GAUGE = _REG.gauge(
+    "service_breaker_state",
+    "Current breaker state per shard (0=closed, 1=half-open, 2=open)",
+    labels=("shard",),
+)
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+_STATE_CODE = {
+    BreakerState.CLOSED: 0.0,
+    BreakerState.HALF_OPEN: 1.0,
+    BreakerState.OPEN: 2.0,
+}
+
+
+class CircuitBreaker:
+    """One shard's quarantine state machine.
+
+    Args:
+        shard_id: Label for telemetry and error messages.
+        failure_threshold: Consecutive transient failures that trip the
+            circuit.
+        reset_timeout_s: Cool-down (on ``clock``) before OPEN admits
+            half-open probes.
+        half_open_probes: Trial requests admitted while HALF_OPEN; the
+            first success closes the circuit, any failure re-opens it.
+        clock: Monotonic time source (seconds); injected for
+            deterministic tests and chaos runs.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s}"
+            )
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        if clock is None:
+            import time
+
+            clock = time.monotonic
+        self.shard_id = shard_id
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float = 0.0
+        self._probes_in_flight = 0
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state (OPEN may lazily become HALF_OPEN on `allow`)."""
+        return self._state
+
+    def _transition(self, to: BreakerState, reason: str) -> None:
+        if to is self._state:
+            return
+        frm, self._state = self._state, to
+        if to is BreakerState.OPEN:
+            self._opened_at = self._clock()
+            self._probes_in_flight = 0
+        if to is BreakerState.CLOSED:
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+        if _TM.enabled:
+            _TRANSITIONS.inc(shard=self.shard_id, to=to.value)
+            _STATE_GAUGE.set(_STATE_CODE[to], shard=self.shard_id)
+            _emit_probe(
+                "service.breaker",
+                shard=self.shard_id,
+                from_state=frm.value,
+                to_state=to.value,
+                reason=reason,
+            )
+            _log.info(
+                "breaker transition",
+                extra={
+                    "shard": self.shard_id,
+                    "from": frm.value,
+                    "to": to.value,
+                    "reason": reason,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a request may be sent to this shard right now.
+
+        OPEN circuits flip to HALF_OPEN once the cool-down elapses; in
+        HALF_OPEN, only ``half_open_probes`` concurrent trials pass.
+        """
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            if self._clock() - self._opened_at < self.reset_timeout_s:
+                return False
+            self._transition(BreakerState.HALF_OPEN, "cooldown elapsed")
+        if self._probes_in_flight >= self.half_open_probes:
+            return False
+        self._probes_in_flight += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Outcome feedback
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """Feed back one successful request."""
+        self._consecutive_failures = 0
+        if self._state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.CLOSED, "probe succeeded")
+
+    def record_failure(self, reason: str = "transient failure") -> None:
+        """Feed back one failed request (transient class only)."""
+        self._consecutive_failures += 1
+        if self._state is BreakerState.HALF_OPEN:
+            self._transition(BreakerState.OPEN, "probe failed")
+        elif (
+            self._state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(BreakerState.OPEN, reason)
+
+    # ------------------------------------------------------------------
+    # Health-driven tripping
+    # ------------------------------------------------------------------
+    def note_health(self, report: HealthReport) -> None:
+        """Trip the breaker when the BIST/repair loop's verdict is bad.
+
+        A shard serving with retired rows answers every query with the
+        degraded flag -- it is quarantined so the router prefers
+        replicas that can still answer exactly (it remains reachable
+        for explicit degraded-mode fallback).  A recovered shard closes
+        a health-opened circuit through the usual half-open probe.
+        """
+        if report.degraded:
+            self._transition(
+                BreakerState.OPEN,
+                f"health: {len(report.retired_rows)} retired rows, "
+                f"{report.spares_free} spares free",
+            )
+
+    def force_open(self, reason: str = "forced") -> None:
+        """Administratively quarantine the shard."""
+        self._transition(BreakerState.OPEN, reason)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.shard_id!r}, {self._state.value}, "
+            f"{self._consecutive_failures} consecutive failures)"
+        )

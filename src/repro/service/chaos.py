@@ -1,0 +1,676 @@
+"""Chaos harness: break the serving layer on purpose, assert the SLOs.
+
+Each scenario builds a fresh replicated service on a **fake clock**
+(time advances only when the harness says so) with **seeded** fault and
+jitter streams, injects one failure class -- device fault maps, attempt
+timeouts, checkpoint corruption, a crash between a checkpoint's
+temp-write and its publish -- then replays a deterministic request
+stream and scores it against the service-level objectives:
+
+- **honesty**: zero responses whose ``best_row`` disagrees with the
+  ideal-Hamming oracle *without* the ``degraded`` flag set;
+- **deadline**: in the timeout scenario, the deadline hit-rate stays at
+  or above :data:`DEADLINE_SLO` (p99);
+- **durability**: after checkpoint corruption or a mid-save crash, the
+  service restores the newest *valid* snapshot and serves the
+  snapshotted content correctly.
+
+Scenario results are plain dataclasses; :func:`run_chaos_suite` is the
+entry point the ``repro chaos`` CLI subcommand and
+``experiments/ext_chaos.py`` wrap.  Runs are bit-deterministic given the
+seed: everything random is a seeded ``numpy`` generator and everything
+temporal is the fake clock.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.io as _io
+from repro.core.config import TDAMConfig
+from repro.core.faults import FaultInjector
+from repro.resilience.resilient import ResilientTDAMArray
+from repro.service.checkpoint import ServiceCheckpointer
+from repro.service.errors import (
+    AllShardsUnavailableError,
+    CheckpointCorruptError,
+    DeadlineExceededError,
+    ShardTimeoutError,
+)
+from repro.service.retry import RetryBudget, RetryPolicy
+from repro.service.server import TDAMSearchService
+from repro.telemetry.profile import ProbeRecorder, register_probe
+from repro.telemetry.state import STATE as _TM, enabled_scope
+from repro.telemetry.profile import emit_probe as _emit_probe
+
+__all__ = [
+    "FakeClock",
+    "ChaosScenarioResult",
+    "ChaosReport",
+    "DEADLINE_SLO",
+    "run_chaos_suite",
+]
+
+#: The deadline SLO asserted in the timeout scenario (p99 hit-rate).
+DEADLINE_SLO = 0.99
+
+
+class FakeClock:
+    """A monotonic clock that only moves when told to.
+
+    Doubles as the service's ``sleep``: sleeping advances the clock, so
+    backoffs consume *simulated* deadline budget and chaos runs are
+    wall-clock-free and deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    def sleep(self, dt_s: float) -> None:
+        """Advance time by ``dt_s`` (the injected sleep)."""
+        self.advance(dt_s)
+
+    def advance(self, dt_s: float) -> None:
+        """Advance time by ``dt_s`` seconds."""
+        if dt_s < 0:
+            raise ValueError(f"dt_s must be >= 0, got {dt_s}")
+        self._now += dt_s
+
+
+@dataclass(frozen=True)
+class ChaosScenarioResult:
+    """Scorecard of one scenario.
+
+    Attributes:
+        name: Scenario identifier.
+        n_requests: Requests replayed.
+        ok: Responses served cleanly (no degraded flag).
+        degraded: Responses served with the degraded flag.
+        deadline_misses: Requests that raised ``DeadlineExceededError``.
+        unavailable: Requests that raised ``AllShardsUnavailableError``.
+        wrong_unflagged: Responses whose answer disagreed with the
+            oracle *without* the degraded flag -- the honesty SLO;
+            must be zero.
+        retries: Retries scheduled (from the ``service.retry`` probe).
+        breaker_opens: Breaker open transitions (``service.breaker``).
+        deadline_hit_rate: Fraction of requests answered in deadline.
+        passed: Whether every SLO of the scenario held.
+        notes: Human-readable detail (which check failed, or stats).
+    """
+
+    name: str
+    n_requests: int
+    ok: int
+    degraded: int
+    deadline_misses: int
+    unavailable: int
+    wrong_unflagged: int
+    retries: int
+    breaker_opens: int
+    deadline_hit_rate: float
+    passed: bool
+    notes: str
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """The whole suite's outcome."""
+
+    scenarios: List[ChaosScenarioResult]
+    seed: int
+    quick: bool
+
+    @property
+    def passed(self) -> bool:
+        """Whether every scenario passed its SLOs."""
+        return all(s.passed for s in self.scenarios)
+
+
+# ----------------------------------------------------------------------
+# Infrastructure
+# ----------------------------------------------------------------------
+def _build_shards(
+    config: TDAMConfig,
+    n_rows: int,
+    n_shards: int,
+    n_spares: int,
+    fault_counts: Optional[Sequence[Tuple[int, int, int]]] = None,
+    seed: int = 0,
+) -> List[ResilientTDAMArray]:
+    """Replica arrays, optionally seeded with per-shard fault maps.
+
+    ``fault_counts[i]`` is ``(n_stuck_mismatch, n_stuck_match,
+    n_dead_rows)`` for shard ``i``; masking repairs are disabled so the
+    ideal-Hamming oracle stays exact for non-degraded answers.
+    """
+    shards = []
+    for i in range(n_shards):
+        faults = ()
+        if fault_counts is not None:
+            injector = FaultInjector(
+                config, n_rows + n_spares, seed=seed + 1000 * i
+            )
+            sm, sma, dead = fault_counts[i]
+            faults = injector.draw(
+                n_stuck_mismatch=sm, n_stuck_match=sma, n_dead_rows=dead
+            )
+        shards.append(
+            ResilientTDAMArray(
+                config,
+                n_rows=n_rows,
+                n_spares=n_spares,
+                faults=list(faults),
+                max_masked_stages=0,
+            )
+        )
+    return shards
+
+
+def _ideal_best(stored: np.ndarray, query: np.ndarray) -> int:
+    """The oracle winner: smallest ideal Hamming distance, lowest row.
+
+    Matches the array's resolution rule exactly for variation-free
+    replicas (nominal delays are monotone in distance, so the delay
+    tie-break never reorders equal-distance rows above ``argmin``'s
+    first-minimum rule).
+    """
+    return int((stored != query[None, :]).sum(axis=1).argmin())
+
+
+class _Outcomes:
+    """Tallies one scenario's request stream against the oracle."""
+
+    def __init__(self, stored: np.ndarray) -> None:
+        self.stored = stored
+        self.ok = 0
+        self.degraded = 0
+        self.deadline_misses = 0
+        self.unavailable = 0
+        self.wrong_unflagged = 0
+        self.n = 0
+
+    def serve(
+        self,
+        service: TDAMSearchService,
+        query: np.ndarray,
+        deadline_s: Optional[float] = None,
+    ) -> None:
+        self.n += 1
+        try:
+            response = service.search(query, deadline_s=deadline_s)
+        except DeadlineExceededError:
+            self.deadline_misses += 1
+            return
+        except AllShardsUnavailableError:
+            self.unavailable += 1
+            return
+        if response.degraded:
+            self.degraded += 1
+        else:
+            self.ok += 1
+            if response.best_row != _ideal_best(self.stored, query):
+                self.wrong_unflagged += 1
+
+    @property
+    def hit_rate(self) -> float:
+        answered = self.n - self.deadline_misses - self.unavailable
+        return answered / self.n if self.n else 1.0
+
+
+def _result(
+    name: str,
+    outcomes: _Outcomes,
+    recorder: ProbeRecorder,
+    passed: bool,
+    notes: str,
+) -> ChaosScenarioResult:
+    retries = len(recorder.payloads("service.retry"))
+    opens = sum(
+        1
+        for p in recorder.payloads("service.breaker")
+        if p.get("to_state") == "open"
+    )
+    result = ChaosScenarioResult(
+        name=name,
+        n_requests=outcomes.n,
+        ok=outcomes.ok,
+        degraded=outcomes.degraded,
+        deadline_misses=outcomes.deadline_misses,
+        unavailable=outcomes.unavailable,
+        wrong_unflagged=outcomes.wrong_unflagged,
+        retries=retries,
+        breaker_opens=opens,
+        deadline_hit_rate=outcomes.hit_rate,
+        passed=passed,
+        notes=notes,
+    )
+    if _TM.enabled:
+        _emit_probe(
+            "chaos.scenario",
+            name=name,
+            requests=outcomes.n,
+            deadline_hit_rate=outcomes.hit_rate,
+            wrong_unflagged=outcomes.wrong_unflagged,
+            passed=passed,
+        )
+    return result
+
+
+def _recording_service(
+    shards: Sequence[ResilientTDAMArray],
+    clock: FakeClock,
+    **kwargs,
+) -> Tuple[TDAMSearchService, ProbeRecorder]:
+    """A service on the fake clock plus a probe recorder on its events."""
+    recorder = ProbeRecorder()
+    for event in ("service.retry", "service.breaker", "service.request",
+                  "service.deadline_miss", "service.checkpoint"):
+        register_probe(event, recorder)
+    service = TDAMSearchService(
+        shards, clock=clock.now, sleep=clock.sleep, **kwargs
+    )
+    return service, recorder
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def _scenario_baseline(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """No injection: every answer exact, every deadline met."""
+    rng = np.random.default_rng(seed)
+    clock = FakeClock()
+    shards = _build_shards(config, n_rows, n_shards=2, n_spares=2)
+    service, recorder = _recording_service(shards, clock)
+    stored = rng.integers(0, config.levels, (n_rows, config.n_stages))
+    service.write_all(stored)
+    outcomes = _Outcomes(stored)
+    for _ in range(n_requests):
+        clock.advance(1e-4)
+        outcomes.serve(
+            service, rng.integers(0, config.levels, config.n_stages)
+        )
+    passed = (
+        outcomes.wrong_unflagged == 0
+        and outcomes.degraded == 0
+        and outcomes.hit_rate == 1.0
+    )
+    return _result(
+        "baseline", outcomes, recorder, passed,
+        "clean replicas must serve exactly and in deadline",
+    )
+
+
+def _scenario_device_faults(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """Hard fault maps: answers are exact or explicitly degraded.
+
+    Shard 0 is wrecked (dead rows beyond its spare pool -- the repair
+    loop must retire rows and the health check must trip its breaker);
+    shard 1 carries a repairable sprinkling of cell faults.  The router
+    must converge on shard 1 and the honesty SLO must hold throughout.
+    """
+    rng = np.random.default_rng(seed)
+    clock = FakeClock()
+    shards = _build_shards(
+        config,
+        n_rows,
+        n_shards=2,
+        n_spares=2,
+        fault_counts=[(2, 2, 4), (1, 1, 0)],
+        seed=seed,
+    )
+    service, recorder = _recording_service(shards, clock)
+    stored = rng.integers(0, config.levels, (n_rows, config.n_stages))
+    service.write_all(stored)
+    for shard in service.shards:
+        shard.array.self_test_and_repair()
+    states = service.run_health_checks()
+    outcomes = _Outcomes(stored)
+    for _ in range(n_requests):
+        clock.advance(1e-4)
+        outcomes.serve(
+            service, rng.integers(0, config.levels, config.n_stages)
+        )
+    passed = outcomes.wrong_unflagged == 0 and outcomes.hit_rate == 1.0
+    return _result(
+        "device_faults", outcomes, recorder, passed,
+        f"post-repair breaker states: "
+        f"{ {k: v.value for k, v in states.items()} }",
+    )
+
+
+def _scenario_timeouts(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """Injected attempt timeouts: retries keep the deadline SLO.
+
+    Every attempt costs simulated service time; a seeded fraction of
+    attempts on each shard instead burns the per-attempt timeout and
+    raises :class:`ShardTimeoutError`.  With two replicas, retry +
+    failover must keep the deadline hit-rate at or above
+    :data:`DEADLINE_SLO`.
+    """
+    rng = np.random.default_rng(seed)
+    fault_rng = np.random.default_rng(seed + 1)
+    clock = FakeClock()
+    shards = _build_shards(config, n_rows, n_shards=2, n_spares=2)
+    service, recorder = _recording_service(
+        shards,
+        clock,
+        retry_policy=RetryPolicy(
+            max_attempts=4,
+            backoff_base_s=0.0005,
+            backoff_cap_s=0.004,
+            jitter_seed=seed,
+        ),
+        retry_budget=RetryBudget(deposit_per_request=0.5, max_balance=50.0),
+        default_deadline_s=0.050,
+        failure_threshold=5,
+        reset_timeout_s=0.020,
+    )
+    attempt_cost_s = 0.001
+    attempt_timeout_s = 0.008
+    timeout_rate = 0.15
+
+    def flaky(shard_id: str, queries: np.ndarray) -> None:
+        if fault_rng.uniform() < timeout_rate:
+            clock.advance(attempt_timeout_s)
+            raise ShardTimeoutError(
+                f"{shard_id}: attempt timed out after "
+                f"{attempt_timeout_s * 1e3:.0f} ms"
+            )
+        clock.advance(attempt_cost_s)
+
+    service.add_interceptor(flaky)
+    stored = rng.integers(0, config.levels, (n_rows, config.n_stages))
+    service.write_all(stored)
+    outcomes = _Outcomes(stored)
+    for _ in range(n_requests):
+        clock.advance(1e-4)
+        outcomes.serve(
+            service, rng.integers(0, config.levels, config.n_stages)
+        )
+    passed = (
+        outcomes.wrong_unflagged == 0
+        and outcomes.hit_rate >= DEADLINE_SLO
+    )
+    return _result(
+        "timeouts", outcomes, recorder, passed,
+        f"hit rate {outcomes.hit_rate:.4f} vs SLO {DEADLINE_SLO:.2f} "
+        f"({outcomes.deadline_misses} misses, "
+        f"{len(recorder.payloads('service.retry'))} retries)",
+    )
+
+
+def _scenario_checkpoint_corruption(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """Corrupted snapshot: restore falls back to the previous one."""
+    rng = np.random.default_rng(seed)
+    clock = FakeClock()
+    shards = _build_shards(config, n_rows, n_shards=1, n_spares=2)
+    service, recorder = _recording_service(shards, clock)
+    stored = rng.integers(0, config.levels, (n_rows, config.n_stages))
+    service.write_all(stored)
+    notes: List[str] = []
+    with tempfile.TemporaryDirectory() as tmpdir:
+        ckpt = ServiceCheckpointer(Path(tmpdir) / "shard0.npz")
+        ckpt.save(shards[0], trigger="chaos-initial")
+        ckpt.save(shards[0], trigger="chaos-second")  # rotates .prev
+        # Corrupt the primary artifact in place (bit rot / torn write).
+        blob = bytearray(ckpt.path.read_bytes())
+        for i in range(64, min(1600, len(blob)), 13):
+            blob[i] ^= 0xFF
+        ckpt.path.write_bytes(bytes(blob))
+        rejected = False
+        try:
+            ckpt.restore(shards[0])
+        except CheckpointCorruptError:
+            rejected = True
+        notes.append(f"corrupt primary rejected: {rejected}")
+        # The fallback must land on the intact .prev snapshot.
+        restored_ok = True
+        try:
+            info, _ = ckpt.restore_latest(shards[0])
+            notes.append(f"fell back to {info.path.name}")
+        except Exception as exc:  # pragma: no cover - scenario failure
+            restored_ok = False
+            notes.append(f"fallback failed: {exc!r}")
+    outcomes = _Outcomes(stored)
+    for _ in range(n_requests):
+        clock.advance(1e-4)
+        outcomes.serve(
+            service, rng.integers(0, config.levels, config.n_stages)
+        )
+    passed = (
+        rejected
+        and restored_ok
+        and outcomes.wrong_unflagged == 0
+        and outcomes.hit_rate == 1.0
+    )
+    return _result(
+        "checkpoint_corruption", outcomes, recorder, passed,
+        "; ".join(notes),
+    )
+
+
+class _SimulatedCrash(BaseException):
+    """Raised by the crash hook; BaseException so nothing swallows it."""
+
+
+def _scenario_crash_mid_save(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """Process dies between a checkpoint's temp-write and its publish.
+
+    The ``repro.io`` publish seam is replaced by a raiser, a snapshot is
+    attempted, and the scenario asserts the pre-crash artifact survives
+    bit-for-bit and still restores the shard to its snapshotted state.
+    """
+    rng = np.random.default_rng(seed)
+    clock = FakeClock()
+    shards = _build_shards(config, n_rows, n_shards=1, n_spares=2)
+    service, recorder = _recording_service(shards, clock)
+    stored = rng.integers(0, config.levels, (n_rows, config.n_stages))
+    service.write_all(stored)
+    notes: List[str] = []
+    with tempfile.TemporaryDirectory() as tmpdir:
+        ckpt = ServiceCheckpointer(
+            Path(tmpdir) / "shard0.npz", keep_previous=False
+        )
+        ckpt.save(shards[0], trigger="pre-crash")
+        good_bytes = ckpt.path.read_bytes()
+        # Overwrite the stored content, then crash mid-snapshot.
+        stored2 = rng.integers(0, config.levels, (n_rows, config.n_stages))
+        service.write_all(stored2)
+
+        def crash(tmp: str, dst: str) -> None:
+            raise _SimulatedCrash(
+                "process killed between temp write and os.replace"
+            )
+
+        original = _io._REPLACE
+        _io._REPLACE = crash
+        crashed = False
+        try:
+            ckpt.save(shards[0], trigger="crashing")
+        except _SimulatedCrash:
+            crashed = True
+        finally:
+            _io._REPLACE = original
+        notes.append(f"crash injected: {crashed}")
+        intact = ckpt.path.read_bytes() == good_bytes
+        notes.append(f"pre-crash artifact intact: {intact}")
+        leftovers = [
+            name
+            for name in os.listdir(tmpdir)
+            if name.endswith(".tmp")
+        ]
+        notes.append(f"temp leftovers: {len(leftovers)}")
+        ckpt.restore_latest(shards[0])
+        restored_matches = bool(
+            (shards[0]._shadow == stored).all()
+        )
+        notes.append(f"restored pre-crash content: {restored_matches}")
+    outcomes = _Outcomes(stored)
+    for _ in range(n_requests):
+        clock.advance(1e-4)
+        outcomes.serve(
+            service, rng.integers(0, config.levels, config.n_stages)
+        )
+    passed = (
+        crashed
+        and intact
+        and restored_matches
+        and outcomes.wrong_unflagged == 0
+        and outcomes.hit_rate == 1.0
+    )
+    return _result(
+        "crash_mid_save", outcomes, recorder, passed, "; ".join(notes)
+    )
+
+
+def _scenario_combined(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """Device faults *and* injected timeouts at once: honesty holds."""
+    rng = np.random.default_rng(seed)
+    fault_rng = np.random.default_rng(seed + 2)
+    clock = FakeClock()
+    shards = _build_shards(
+        config,
+        n_rows,
+        n_shards=3,
+        n_spares=2,
+        fault_counts=[(2, 2, 4), (1, 1, 0), (0, 0, 0)],
+        seed=seed,
+    )
+    service, recorder = _recording_service(
+        shards,
+        clock,
+        retry_policy=RetryPolicy(
+            max_attempts=4,
+            backoff_base_s=0.0005,
+            backoff_cap_s=0.004,
+            jitter_seed=seed,
+        ),
+        retry_budget=RetryBudget(deposit_per_request=0.5, max_balance=50.0),
+        default_deadline_s=0.050,
+        failure_threshold=5,
+        reset_timeout_s=0.020,
+    )
+
+    def flaky(shard_id: str, queries: np.ndarray) -> None:
+        if fault_rng.uniform() < 0.10:
+            clock.advance(0.008)
+            raise ShardTimeoutError(f"{shard_id}: injected timeout")
+        clock.advance(0.001)
+
+    service.add_interceptor(flaky)
+    stored = rng.integers(0, config.levels, (n_rows, config.n_stages))
+    service.write_all(stored)
+    for shard in service.shards:
+        shard.array.self_test_and_repair()
+    service.run_health_checks()
+    outcomes = _Outcomes(stored)
+    for _ in range(n_requests):
+        clock.advance(1e-4)
+        outcomes.serve(
+            service, rng.integers(0, config.levels, config.n_stages)
+        )
+    passed = (
+        outcomes.wrong_unflagged == 0
+        and outcomes.hit_rate >= DEADLINE_SLO
+    )
+    return _result(
+        "combined", outcomes, recorder, passed,
+        f"hit rate {outcomes.hit_rate:.4f}, "
+        f"{outcomes.degraded} degraded responses",
+    )
+
+
+_SCENARIOS: Dict[str, Callable[[TDAMConfig, int, int, int],
+                               ChaosScenarioResult]] = {
+    "baseline": _scenario_baseline,
+    "device_faults": _scenario_device_faults,
+    "timeouts": _scenario_timeouts,
+    "checkpoint_corruption": _scenario_checkpoint_corruption,
+    "crash_mid_save": _scenario_crash_mid_save,
+    "combined": _scenario_combined,
+}
+
+
+def run_chaos_suite(
+    quick: bool = False,
+    seed: int = 7,
+    scenarios: Optional[Sequence[str]] = None,
+    config: Optional[TDAMConfig] = None,
+) -> ChaosReport:
+    """Run the chaos scenarios and score them against the SLOs.
+
+    Args:
+        quick: Reduced sizes for CI smoke runs (same scenarios).
+        seed: Master seed of every fault / data / jitter stream.
+        scenarios: Subset of scenario names (default: all, in order).
+        config: Design point override (default: 16-stage quick /
+            32-stage full).
+
+    Returns:
+        A :class:`ChaosReport`; ``report.passed`` is the gate.
+
+    The suite runs inside ``telemetry.enabled_scope()`` -- the service's
+    counters and probes are live and each scenario's tallies come from
+    the same probe stream an operator would subscribe to.  Existing
+    hooks/metrics are left untouched apart from the counters the run
+    increments.
+    """
+    names = list(scenarios) if scenarios is not None else list(_SCENARIOS)
+    unknown = [n for n in names if n not in _SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown chaos scenarios {unknown}; "
+            f"known: {sorted(_SCENARIOS)}"
+        )
+    if config is None:
+        config = TDAMConfig(n_stages=16 if quick else 32)
+    n_rows = 8 if quick else 16
+    n_requests = 40 if quick else 250
+    results: List[ChaosScenarioResult] = []
+    with enabled_scope():
+        for name in names:
+            before = _snapshot_hooks()
+            try:
+                results.append(
+                    _SCENARIOS[name](config, n_rows, n_requests, seed)
+                )
+            finally:
+                _restore_hooks(before)
+    return ChaosReport(scenarios=results, seed=seed, quick=quick)
+
+
+def _snapshot_hooks():
+    from repro.telemetry import profile
+
+    with profile._lock:
+        return dict(profile._hooks)
+
+
+def _restore_hooks(snapshot) -> None:
+    from repro.telemetry import profile
+
+    with profile._lock:
+        profile._hooks.clear()
+        profile._hooks.update(snapshot)

@@ -1,0 +1,121 @@
+"""The serving layer's exception taxonomy.
+
+Every failure the fault-tolerant service can surface is classified here,
+and the classification *is* the retry policy's contract: transient
+faults (a refresh holding the array, calibration drift mid-recovery, an
+injected device/timeout fault) subclass :class:`TransientServiceError`
+and are safe to retry on the same or another shard; everything else is
+terminal for the request and retrying would only burn the deadline.
+
+The taxonomy is deliberately small and closed -- a service that cannot
+name a failure cannot route around it::
+
+    ServiceError
+    ├── InvalidRequestError            (also a ValueError; never retried)
+    ├── TransientServiceError          (retryable)
+    │   ├── ShardBusyError             (refresh / BIST in progress)
+    │   ├── CalibrationDriftError      (replica decode outside margin)
+    │   └── ShardTimeoutError          (per-attempt timeout fired)
+    ├── CircuitOpenError               (shard quarantined; route around)
+    ├── DeadlineExceededError          (request out of time)
+    ├── RetryBudgetExhaustedError      (global retry budget empty)
+    ├── AllShardsUnavailableError      (no shard could serve, even degraded)
+    └── CheckpointError
+        ├── CheckpointNotFoundError
+        └── CheckpointCorruptError     (checksum / manifest mismatch)
+
+Use :func:`is_retryable` instead of ``isinstance`` checks so the
+classification lives in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "InvalidRequestError",
+    "TransientServiceError",
+    "ShardBusyError",
+    "CalibrationDriftError",
+    "ShardTimeoutError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "RetryBudgetExhaustedError",
+    "AllShardsUnavailableError",
+    "CheckpointError",
+    "CheckpointNotFoundError",
+    "CheckpointCorruptError",
+    "is_retryable",
+]
+
+
+class ServiceError(Exception):
+    """Base class of every serving-layer failure."""
+
+
+class InvalidRequestError(ServiceError, ValueError):
+    """The request failed admission (shape, dtype, or level range).
+
+    Subclasses ``ValueError`` too, so callers using the library
+    conventions (``pytest.raises(ValueError)``) keep working.  Never
+    retried: the same bytes will fail the same way.
+    """
+
+
+class TransientServiceError(ServiceError):
+    """A failure expected to clear on its own -- the retryable class."""
+
+
+class ShardBusyError(TransientServiceError):
+    """The shard is mid-refresh / mid-BIST and cannot serve right now."""
+
+
+class CalibrationDriftError(TransientServiceError):
+    """The shard's replica TDC drifted outside the sensing margin."""
+
+
+class ShardTimeoutError(TransientServiceError):
+    """The per-attempt timeout fired before the shard answered."""
+
+
+class CircuitOpenError(ServiceError):
+    """The shard's circuit breaker is open; route to another shard.
+
+    Not a :class:`TransientServiceError`: retrying the *same* shard is
+    pointless until the breaker's cool-down elapses, but the router may
+    immediately try a different shard.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline elapsed before an answer was produced."""
+
+
+class RetryBudgetExhaustedError(ServiceError):
+    """The service-wide retry budget is empty (retry storm protection)."""
+
+
+class AllShardsUnavailableError(ServiceError):
+    """No shard could serve the request, even in degraded mode."""
+
+
+class CheckpointError(ServiceError):
+    """Base class of checkpoint save/restore failures."""
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """No checkpoint artifact exists at the configured location."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint failed its checksum or manifest validation."""
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether the retry policy may re-attempt after this failure.
+
+    Transient shard faults are retryable.  Admission failures,
+    deadline/budget exhaustion, and checkpoint corruption are not --
+    and an open circuit is handled by routing, not by retrying the same
+    shard.
+    """
+    return isinstance(exc, TransientServiceError)

@@ -1,0 +1,137 @@
+"""Retry policy: exponential backoff, decorrelated jitter, retry budget.
+
+Transient shard faults (see :mod:`repro.service.errors`) are worth one
+or more re-attempts -- but naive immediate retries synchronize clients
+into retry storms exactly when the system is sickest.  Two standard
+defenses are composed here:
+
+- **decorrelated jitter** (the AWS architecture-blog variant): each
+  backoff is drawn uniformly from ``[base, prev * 3]`` and clamped to
+  ``cap``, which decorrelates colliding clients faster than
+  equal-jitter while keeping the expected wait exponential.  The draw
+  comes from a *seeded* ``numpy`` generator so tests and the chaos
+  harness replay byte-identical schedules.
+- **a retry budget** (the Finagle model): every first attempt deposits
+  ``deposit_per_request`` tokens, every retry withdraws one, and the
+  balance is capped.  When traffic is healthy the bucket is full and
+  retries are free; when a shard melts down the bucket drains and the
+  service sheds retries instead of amplifying the outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "RetryBudget", "BackoffSchedule"]
+
+
+@dataclass
+class RetryBudget:
+    """Token-bucket retry budget shared across a service's requests.
+
+    Args:
+        deposit_per_request: Tokens added by each first attempt.
+        max_balance: Bucket capacity (also the initial balance, so a
+            cold service can absorb a startup burst of retries).
+    """
+
+    deposit_per_request: float = 0.1
+    max_balance: float = 10.0
+    _balance: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.deposit_per_request < 0:
+            raise ValueError(
+                f"deposit_per_request must be >= 0, "
+                f"got {self.deposit_per_request}"
+            )
+        if self.max_balance <= 0:
+            raise ValueError(
+                f"max_balance must be > 0, got {self.max_balance}"
+            )
+        self._balance = self.max_balance
+
+    @property
+    def balance(self) -> float:
+        """Tokens currently available for retries."""
+        return self._balance
+
+    def deposit(self) -> None:
+        """Credit one first attempt."""
+        self._balance = min(
+            self.max_balance, self._balance + self.deposit_per_request
+        )
+
+    def try_withdraw(self) -> bool:
+        """Spend one token for a retry; False when the bucket is empty."""
+        if self._balance < 1.0:
+            return False
+        self._balance -= 1.0
+        return True
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, and how long apart, transient failures retry.
+
+    Args:
+        max_attempts: Total attempts per request (first try included).
+        backoff_base_s: Minimum backoff (also the first draw's floor).
+        backoff_cap_s: Upper clamp on any single backoff.
+        jitter_seed: Seed of the decorrelated-jitter stream; schedules
+            are deterministic given the seed and the draw order.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.001
+    backoff_cap_s: float = 0.100
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s <= 0:
+            raise ValueError(
+                f"backoff_base_s must be > 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_cap_s {self.backoff_cap_s} < "
+                f"backoff_base_s {self.backoff_base_s}"
+            )
+
+    def schedule(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> "BackoffSchedule":
+        """A per-request backoff stream.
+
+        Pass the service's shared jitter generator so consecutive
+        requests keep decorrelating; with ``rng=None`` a fresh stream is
+        seeded from ``jitter_seed`` (every request then replays the same
+        schedule -- useful in unit tests).
+        """
+        if rng is None:
+            rng = np.random.default_rng(self.jitter_seed)
+        return BackoffSchedule(self, rng)
+
+
+class BackoffSchedule:
+    """The per-request state of a :class:`RetryPolicy`'s jitter stream."""
+
+    def __init__(self, policy: RetryPolicy, rng: np.random.Generator) -> None:
+        self.policy = policy
+        self._rng = rng
+        self._prev = policy.backoff_base_s
+
+    def next_backoff_s(self) -> float:
+        """Draw the next decorrelated-jitter backoff (seconds)."""
+        lo = self.policy.backoff_base_s
+        hi = max(lo, self._prev * 3.0)
+        drawn = float(self._rng.uniform(lo, hi))
+        self._prev = min(drawn, self.policy.backoff_cap_s)
+        return self._prev

@@ -67,6 +67,27 @@ PROBE_EVENTS: Dict[str, str] = {
         "sharding fell back to serial: requested workers, reason"
     ),
     "experiment.run": "one experiment runner finished: name, elapsed_s",
+    "service.request": (
+        "one serving-layer request finished: outcome in "
+        "{ok, degraded, deadline, rejected, unavailable}, shard, "
+        "attempts, elapsed_s"
+    ),
+    "service.retry": (
+        "one retry scheduled: shard, attempt, backoff_s, reason"
+    ),
+    "service.breaker": (
+        "circuit breaker transition: shard, from_state, to_state, reason"
+    ),
+    "service.deadline_miss": (
+        "a request ran out of deadline: elapsed_s, deadline_s, attempts"
+    ),
+    "service.checkpoint": (
+        "checkpoint activity: op in {save, restore, reject}, trigger, path"
+    ),
+    "chaos.scenario": (
+        "one chaos scenario finished: name, requests, deadline_hit_rate, "
+        "wrong_unflagged, passed"
+    ),
 }
 
 _lock = threading.Lock()

@@ -1,0 +1,52 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.config import TDAMConfig
+from repro.resilience.resilient import ResilientTDAMArray
+from repro.service import FakeClock, TDAMSearchService
+
+
+@pytest.fixture(autouse=True)
+def pristine_telemetry():
+    """Reset the process-global telemetry state around every test."""
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+@pytest.fixture
+def config():
+    return TDAMConfig(n_stages=16)
+
+
+@pytest.fixture
+def stored(config):
+    return np.random.default_rng(3).integers(
+        0, config.levels, size=(6, config.n_stages)
+    )
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_service(config, stored, clock, n_shards=2, **kwargs):
+    """A written replicated service on the fake clock."""
+    shards = [
+        ResilientTDAMArray(config, n_rows=stored.shape[0], n_spares=2)
+        for _ in range(n_shards)
+    ]
+    service = TDAMSearchService(
+        shards, clock=clock.now, sleep=clock.sleep, **kwargs
+    )
+    service.write_all(stored)
+    return service
+
+
+@pytest.fixture
+def service(config, stored, clock):
+    return make_service(config, stored, clock)

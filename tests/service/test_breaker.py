@@ -1,0 +1,147 @@
+"""Tests of the per-shard circuit breaker state machine."""
+
+import pytest
+
+from repro.resilience.resilient import HealthReport
+from repro.service import BreakerState, CircuitBreaker, FakeClock
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry.state import enabled_scope
+
+
+def make_breaker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_timeout_s", 1.0)
+    return CircuitBreaker("shard0", clock=clock.now, **kwargs)
+
+
+def health(degraded, retired=(), spares_free=2):
+    return HealthReport(
+        n_rows=8,
+        n_spares=2,
+        spares_free=spares_free,
+        masked_stages=(),
+        retired_rows=tuple(retired),
+        degraded=degraded,
+        age_s=0.0,
+        refresh_due=False,
+        refresh_interval_s=1.0,
+        cycles_used=0.0,
+        cycle_budget=1e5,
+        searches_since_bist=0,
+        last_bist=None,
+    )
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(3):
+            assert breaker.state is BreakerState.CLOSED
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_rejects_until_cooldown(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, reset_timeout_s=0.5)
+        breaker.force_open()
+        assert not breaker.allow()
+        clock.advance(0.4)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_limits_probes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, reset_timeout_s=0.5, half_open_probes=1)
+        breaker.force_open()
+        clock.advance(0.6)
+        assert breaker.allow()
+        assert not breaker.allow()  # probe slot taken
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, reset_timeout_s=0.5)
+        breaker.force_open()
+        clock.advance(0.6)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, reset_timeout_s=0.5)
+        breaker.force_open()
+        clock.advance(0.6)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.4)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"reset_timeout_s": 0.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker("s", **kwargs)
+
+
+class TestHealthDrivenTripping:
+    def test_degraded_report_opens(self):
+        breaker = make_breaker(FakeClock())
+        breaker.note_health(health(degraded=True, retired=(1, 2),
+                                   spares_free=0))
+        assert breaker.state is BreakerState.OPEN
+
+    def test_healthy_report_leaves_closed(self):
+        breaker = make_breaker(FakeClock())
+        breaker.note_health(health(degraded=False))
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestTelemetry:
+    def test_transitions_counted_when_enabled(self):
+        with enabled_scope():
+            breaker = make_breaker(FakeClock())
+            for _ in range(3):
+                breaker.record_failure()
+            counter = telemetry_metrics.get_registry().counter(
+                "service_breaker_transitions_total",
+                "Circuit-breaker state transitions, by shard and target state",
+                labels=("shard", "to"),
+            )
+            assert counter.value(shard="shard0", to="open") == 1
+
+    def test_disabled_costs_no_series(self):
+        breaker = make_breaker(FakeClock())
+        breaker.force_open()
+        counter = telemetry_metrics.get_registry().counter(
+            "service_breaker_transitions_total",
+            "Circuit-breaker state transitions, by shard and target state",
+            labels=("shard", "to"),
+        )
+        assert counter.value(shard="shard0", to="open") == 0

@@ -1,0 +1,66 @@
+"""Tests of the chaos harness itself."""
+
+import dataclasses
+
+import pytest
+
+from repro.service import FakeClock, run_chaos_suite
+from repro.service.chaos import _SCENARIOS
+
+
+class TestFakeClock:
+    def test_advances_only_on_demand(self):
+        clock = FakeClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.sleep(0.5)
+        assert clock.now() == 2.0
+
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+
+class TestSuite:
+    def test_quick_suite_holds_every_slo(self):
+        report = run_chaos_suite(quick=True, seed=7)
+        assert report.quick
+        assert len(report.scenarios) == len(_SCENARIOS)
+        for scenario in report.scenarios:
+            assert scenario.passed, f"{scenario.name}: {scenario.notes}"
+            assert scenario.wrong_unflagged == 0
+        assert report.passed
+
+    def test_runs_are_deterministic(self):
+        names = ["baseline", "timeouts"]
+        first = run_chaos_suite(quick=True, seed=3, scenarios=names)
+        second = run_chaos_suite(quick=True, seed=3, scenarios=names)
+        assert [dataclasses.astuple(s) for s in first.scenarios] == [
+            dataclasses.astuple(s) for s in second.scenarios
+        ]
+
+    def test_scenario_subset(self):
+        report = run_chaos_suite(
+            quick=True, seed=7, scenarios=["crash_mid_save"]
+        )
+        assert [s.name for s in report.scenarios] == ["crash_mid_save"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos"):
+            run_chaos_suite(quick=True, scenarios=["nope"])
+
+    def test_timeout_scenario_actually_injects(self):
+        report = run_chaos_suite(
+            quick=True, seed=7, scenarios=["timeouts"]
+        )
+        scenario = report.scenarios[0]
+        assert scenario.retries > 0  # faults were injected and retried
+        assert scenario.deadline_hit_rate >= 0.99
+
+    def test_device_fault_scenario_quarantines(self):
+        report = run_chaos_suite(
+            quick=True, seed=7, scenarios=["device_faults"]
+        )
+        scenario = report.scenarios[0]
+        assert scenario.breaker_opens >= 1
+        assert scenario.wrong_unflagged == 0

@@ -1,0 +1,209 @@
+"""Tests of crash-safe checkpoint/restore for resilient shards."""
+
+import numpy as np
+import pytest
+
+import repro.io as rio
+from repro.core.config import TDAMConfig
+from repro.devices.variation import VariationModel
+from repro.hdc.quantize import quantize_equal_area
+from repro.resilience.resilient import ResilientTDAMArray
+from repro.service import (
+    CheckpointCorruptError,
+    CheckpointNotFoundError,
+    ServiceCheckpointer,
+)
+from repro.telemetry.state import enabled_scope
+
+
+@pytest.fixture
+def config():
+    return TDAMConfig(n_stages=16)
+
+
+@pytest.fixture
+def stored(config):
+    return np.random.default_rng(5).integers(
+        0, config.levels, size=(6, config.n_stages)
+    )
+
+
+def make_array(config, stored, seed=9):
+    array = ResilientTDAMArray(
+        config,
+        n_rows=stored.shape[0],
+        n_spares=2,
+        variation=VariationModel(seed=seed),
+    )
+    array.write_all(stored)
+    return array
+
+
+def corrupt(path):
+    blob = bytearray(path.read_bytes())
+    for i in range(64, min(2048, len(blob)), 17):
+        blob[i] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+class TestRoundTrip:
+    def test_restore_is_bit_identical(self, tmp_path, config, stored):
+        array = make_array(config, stored)
+        queries = np.random.default_rng(6).integers(
+            0, config.levels, size=(5, config.n_stages)
+        )
+        reference = array.search_batch(queries)
+        ckpt = ServiceCheckpointer(tmp_path / "shard.npz")
+        ckpt.save(array)
+        # A fresh array with a *different* variation stream: only a
+        # bit-exact state transplant can reproduce the reference delays.
+        target = make_array(config, stored[::-1].copy(), seed=1234)
+        ckpt.restore(target)
+        replay = target.search_batch(queries)
+        assert np.array_equal(replay.best_rows, reference.best_rows)
+        assert np.array_equal(replay.delays_s, reference.delays_s)
+        assert np.array_equal(target._shadow, stored)
+
+    def test_repair_state_survives(self, tmp_path, config, stored):
+        from repro.core.faults import Fault, FaultType
+
+        array = ResilientTDAMArray(
+            config,
+            n_rows=stored.shape[0],
+            n_spares=2,
+            faults=[Fault(FaultType.DEAD_ROW, row=1, stage=None)],
+        )
+        array.write_all(stored)
+        array.self_test_and_repair()
+        assert array._map[1] != 1  # remapped onto a spare
+        ckpt = ServiceCheckpointer(tmp_path / "shard.npz")
+        ckpt.save(array)
+        target = ResilientTDAMArray(
+            config, n_rows=stored.shape[0], n_spares=2
+        )
+        ckpt.restore(target)
+        assert target._map == array._map
+        assert target._free_spares == array._free_spares
+        assert target._retired == array._retired
+
+    def test_model_round_trip(self, tmp_path, config, stored, rng):
+        model = quantize_equal_area(rng.normal(size=(4, 64)), bits=2)
+        array = make_array(config, stored)
+        ckpt = ServiceCheckpointer(tmp_path / "shard.npz")
+        ckpt.save(array, model=model, metadata={"note": "with model"})
+        info, loaded = ckpt.restore(make_array(config, stored))
+        assert info.metadata["note"] == "with model"
+        assert loaded is not None
+        assert np.array_equal(loaded.levels, model.levels)
+        assert np.allclose(loaded.edges, model.edges)
+
+    def test_geometry_mismatch_rejected(self, tmp_path, config, stored):
+        array = make_array(config, stored)
+        ckpt = ServiceCheckpointer(tmp_path / "shard.npz")
+        ckpt.save(array)
+        other = ResilientTDAMArray(config, n_rows=4, n_spares=2)
+        with pytest.raises(CheckpointCorruptError, match="geometry"):
+            ckpt.restore(other)
+
+    def test_missing_artifact(self, tmp_path, config, stored):
+        ckpt = ServiceCheckpointer(tmp_path / "nope.npz")
+        with pytest.raises(CheckpointNotFoundError):
+            ckpt.restore(make_array(config, stored))
+
+
+class TestCorruption:
+    def test_checksum_mismatch_rejected(self, tmp_path, config, stored):
+        array = make_array(config, stored)
+        ckpt = ServiceCheckpointer(tmp_path / "shard.npz")
+        ckpt.save(array)
+        corrupt(ckpt.path)
+        with pytest.raises(CheckpointCorruptError):
+            ckpt.restore(array)
+
+    def test_restore_latest_falls_back_to_prev(
+        self, tmp_path, config, stored
+    ):
+        array = make_array(config, stored)
+        ckpt = ServiceCheckpointer(tmp_path / "shard.npz")
+        ckpt.save(array, trigger="first")
+        ckpt.save(array, trigger="second")
+        corrupt(ckpt.path)
+        info, _ = ckpt.restore_latest(array)
+        assert info.path == ckpt.previous_path
+        assert info.manifest["trigger"] == "first"
+
+    def test_both_corrupt_raises(self, tmp_path, config, stored):
+        array = make_array(config, stored)
+        ckpt = ServiceCheckpointer(tmp_path / "shard.npz")
+        ckpt.save(array)
+        ckpt.save(array)
+        corrupt(ckpt.path)
+        corrupt(ckpt.previous_path)
+        with pytest.raises(CheckpointCorruptError):
+            ckpt.restore_latest(array)
+
+
+class _Crash(BaseException):
+    pass
+
+
+class TestCrashMidSave:
+    def test_crash_leaves_previous_snapshot_intact(
+        self, tmp_path, config, stored
+    ):
+        array = make_array(config, stored)
+        ckpt = ServiceCheckpointer(tmp_path / "shard.npz",
+                                   keep_previous=False)
+        ckpt.save(array)
+        good = ckpt.path.read_bytes()
+        array.write_all(stored[::-1].copy())
+
+        def crash(tmp, dst):
+            raise _Crash()
+
+        original = rio._REPLACE
+        rio._REPLACE = crash
+        try:
+            with pytest.raises(_Crash):
+                ckpt.save(array)
+        finally:
+            rio._REPLACE = original
+        assert ckpt.path.read_bytes() == good
+        assert not list(tmp_path.glob("*.tmp"))
+        info, _ = ckpt.restore_latest(array)
+        assert np.array_equal(array._shadow, stored)
+        assert info.path == ckpt.path
+
+
+class TestProbeDrivenSnapshots:
+    def test_repair_event_triggers_save(self, tmp_path, config, stored):
+        from repro.core.faults import Fault, FaultType
+
+        array = ResilientTDAMArray(
+            config,
+            n_rows=stored.shape[0],
+            n_spares=2,
+            faults=[Fault(FaultType.DEAD_ROW, row=0, stage=None)],
+        )
+        array.write_all(stored)
+        ckpt = ServiceCheckpointer(tmp_path / "shard.npz")
+        with enabled_scope():
+            ckpt.attach_probes(array)
+            assert not ckpt.path.exists()
+            array.self_test_and_repair()
+            assert ckpt.path.exists()
+            info, _ = ckpt.restore(
+                ResilientTDAMArray(config, n_rows=stored.shape[0],
+                                   n_spares=2)
+            )
+            assert info.manifest["trigger"] == "resilience.repair"
+            ckpt.detach_probes()
+            ckpt.path.unlink()
+            array.self_test_and_repair()
+            assert not ckpt.path.exists()
+
+    def test_detach_is_idempotent(self, tmp_path, config, stored):
+        ckpt = ServiceCheckpointer(tmp_path / "shard.npz")
+        ckpt.attach_probes(make_array(config, stored))
+        ckpt.detach_probes()
+        ckpt.detach_probes()

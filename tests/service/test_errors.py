@@ -1,0 +1,79 @@
+"""Tests of the service error taxonomy."""
+
+import pytest
+
+from repro.service import (
+    AllShardsUnavailableError,
+    CalibrationDriftError,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointNotFoundError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    InvalidRequestError,
+    RetryBudgetExhaustedError,
+    ServiceError,
+    ShardBusyError,
+    ShardTimeoutError,
+    TransientServiceError,
+    is_retryable,
+)
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            InvalidRequestError,
+            TransientServiceError,
+            ShardBusyError,
+            CalibrationDriftError,
+            ShardTimeoutError,
+            CircuitOpenError,
+            DeadlineExceededError,
+            RetryBudgetExhaustedError,
+            AllShardsUnavailableError,
+            CheckpointError,
+            CheckpointNotFoundError,
+            CheckpointCorruptError,
+        ],
+    )
+    def test_everything_is_a_service_error(self, exc_type):
+        assert issubclass(exc_type, ServiceError)
+
+    def test_invalid_request_is_a_value_error(self):
+        # Callers that only know ValueError still catch bad input.
+        assert issubclass(InvalidRequestError, ValueError)
+
+    def test_checkpoint_subtypes(self):
+        assert issubclass(CheckpointNotFoundError, CheckpointError)
+        assert issubclass(CheckpointCorruptError, CheckpointError)
+
+
+class TestRetryability:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ShardBusyError("busy"),
+            CalibrationDriftError("drift"),
+            ShardTimeoutError("slow"),
+            TransientServiceError("generic"),
+        ],
+    )
+    def test_transient_errors_retry(self, exc):
+        assert is_retryable(exc)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidRequestError("bad"),
+            CircuitOpenError("open"),
+            DeadlineExceededError("late"),
+            RetryBudgetExhaustedError("broke"),
+            AllShardsUnavailableError("down"),
+            CheckpointCorruptError("bits"),
+            ValueError("plain"),
+        ],
+    )
+    def test_terminal_errors_do_not_retry(self, exc):
+        assert not is_retryable(exc)

@@ -1,0 +1,99 @@
+"""Tests of backoff jitter and the retry budget."""
+
+import numpy as np
+import pytest
+
+from repro.service import RetryBudget, RetryPolicy
+
+
+class TestRetryBudget:
+    def test_starts_full(self):
+        budget = RetryBudget(max_balance=5.0)
+        assert budget.balance == 5.0
+
+    def test_withdraw_drains(self):
+        budget = RetryBudget(deposit_per_request=0.0, max_balance=2.0)
+        assert budget.try_withdraw()
+        assert budget.try_withdraw()
+        assert not budget.try_withdraw()
+
+    def test_needs_a_whole_token(self):
+        budget = RetryBudget(deposit_per_request=0.0, max_balance=2.0)
+        budget.try_withdraw()
+        budget.try_withdraw()
+        budget.deposit()  # balance 0 -> deposit_per_request == 0
+        assert budget.balance < 1.0
+        assert not budget.try_withdraw()
+
+    def test_deposit_caps_at_max(self):
+        budget = RetryBudget(deposit_per_request=3.0, max_balance=4.0)
+        budget.deposit()
+        assert budget.balance == 4.0
+
+    def test_ten_percent_regime(self):
+        # The Finagle shape: at 0.1 tokens per request, sustaining one
+        # retry per request is impossible once the bucket drains.
+        budget = RetryBudget(deposit_per_request=0.1, max_balance=2.0)
+        granted = 0
+        for _ in range(100):
+            budget.deposit()
+            if budget.try_withdraw():
+                granted += 1
+        assert granted < 20
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"deposit_per_request": -1.0}, {"max_balance": 0.0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryBudget(**kwargs)
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base_s": 0.0},
+            {"backoff_base_s": 0.010, "backoff_cap_s": 0.001},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_schedule_is_deterministic_given_the_seed(self):
+        policy = RetryPolicy(jitter_seed=42)
+        first = [policy.schedule().next_backoff_s() for _ in range(5)]
+        second = [policy.schedule().next_backoff_s() for _ in range(5)]
+        assert first == second
+
+    def test_shared_rng_decorrelates_consecutive_requests(self):
+        policy = RetryPolicy(jitter_seed=42)
+        rng = np.random.default_rng(policy.jitter_seed)
+        a = policy.schedule(rng).next_backoff_s()
+        b = policy.schedule(rng).next_backoff_s()
+        assert a != b
+
+    def test_backoffs_stay_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            backoff_base_s=0.001,
+            backoff_cap_s=0.016,
+            jitter_seed=0,
+        )
+        schedule = policy.schedule()
+        draws = [schedule.next_backoff_s() for _ in range(50)]
+        assert all(0.001 <= d <= 0.016 for d in draws)
+
+    def test_decorrelated_growth_bound(self):
+        # Each draw is at most 3x the previous (post-clamp) backoff.
+        policy = RetryPolicy(
+            backoff_base_s=0.001, backoff_cap_s=10.0, jitter_seed=1
+        )
+        schedule = policy.schedule()
+        prev = policy.backoff_base_s
+        for _ in range(100):
+            drawn = schedule.next_backoff_s()
+            assert drawn <= max(policy.backoff_base_s, prev * 3.0) + 1e-12
+            prev = drawn

@@ -7,7 +7,9 @@ import pytest
 
 from repro.core.config import TDAMConfig
 from repro.hdc.quantize import quantize_equal_area
+import repro.io
 from repro.io import (
+    atomic_write,
     config_from_dict,
     config_to_dict,
     export_array_image,
@@ -117,6 +119,97 @@ class TestArrayImage:
         config_pad = np.zeros((5, 384), dtype=np.int64)
         config_pad[:, :300] = model.levels
         assert image_checksum(config_pad) == image_checksum(config_pad.copy())
+
+
+class _SimulatedCrash(BaseException):
+    pass
+
+
+class TestAtomicPublish:
+    """Every artifact write is publish-or-nothing."""
+
+    def test_atomic_write_round_trip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write(path, lambda handle: handle.write(b"payload"))
+        assert path.read_bytes() == b"payload"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_failed_payload_leaves_no_file(self, tmp_path):
+        path = tmp_path / "blob.bin"
+
+        def explode(handle):
+            handle.write(b"partial")
+            raise RuntimeError("payload writer died")
+
+        with pytest.raises(RuntimeError):
+            atomic_write(path, explode)
+        assert not path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_crash_before_replace_keeps_old_config(self, tmp_path,
+                                                   monkeypatch):
+        path = tmp_path / "config.json"
+        save_config(TDAMConfig(), path)
+        before = path.read_bytes()
+
+        def crash(tmp, dst):
+            raise _SimulatedCrash()
+
+        monkeypatch.setattr(repro.io, "_REPLACE", crash)
+        with pytest.raises(_SimulatedCrash):
+            save_config(TDAMConfig(bits=3), path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert load_config(path) == TDAMConfig()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_crash_before_replace_keeps_old_model(self, tmp_path, model,
+                                                  monkeypatch, rng):
+        path = tmp_path / "model.npz"
+        save_quantized_model(model, path, metadata={"generation": 1})
+
+        def crash(tmp, dst):
+            raise _SimulatedCrash()
+
+        monkeypatch.setattr(repro.io, "_REPLACE", crash)
+        other = quantize_equal_area(rng.normal(size=(5, 300)), bits=2)
+        with pytest.raises(_SimulatedCrash):
+            save_quantized_model(other, path, metadata={"generation": 2})
+        monkeypatch.undo()
+        loaded, metadata = load_quantized_model(path)
+        assert metadata["generation"] == 1
+        assert np.array_equal(loaded.levels, model.levels)
+
+    def test_saved_npz_bits_are_reload_stable(self, tmp_path, model):
+        # Same model saved twice loads to identical arrays (bit
+        # identity of the payload round trip).
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_quantized_model(model, a)
+        save_quantized_model(model, b)
+        la, _ = load_quantized_model(a)
+        lb, _ = load_quantized_model(b)
+        assert np.array_equal(la.levels, lb.levels)
+        assert np.array_equal(la.edges, lb.edges)
+        assert np.array_equal(la.centers, lb.centers)
+
+    def test_temp_files_land_in_destination_dir(self, tmp_path):
+        # Atomicity of os.replace requires same-filesystem temp files.
+        observed = {}
+
+        def spy(tmp, dst):
+            observed["tmp_dir"] = str(repro.io.Path(tmp).parent)
+            raise _SimulatedCrash()
+
+        original = repro.io._REPLACE
+        repro.io._REPLACE = spy
+        try:
+            with pytest.raises(_SimulatedCrash):
+                atomic_write(
+                    tmp_path / "x.bin", lambda handle: handle.write(b"x")
+                )
+        finally:
+            repro.io._REPLACE = original
+        assert observed["tmp_dir"] == str(tmp_path)
 
 
 class TestPresets:
