@@ -32,6 +32,15 @@ from repro.core.array import (
     batched_mismatch_counts,
     calibrate_turn_on_overdrive,
     resolve_best_batch,
+    resolve_query_chunk,
+)
+from repro.core.bitplane import (
+    HAVE_BITWISE_COUNT,
+    pack_level_planes,
+    pack_query_masks,
+    packed_mismatch_counts,
+    packed_pair_counts,
+    popcount,
 )
 from repro.core.cell import CellState, MultiBitIMCCell
 from repro.core.chain import ChainResult, DelayChain
@@ -40,6 +49,13 @@ from repro.core.config import TDAMConfig
 from repro.core.encoding import LevelEncoding, validate_levels
 from repro.core.faults import Fault, FaultInjector, FaultType, FaultyTDAMArray
 from repro.core.energy import TimingEnergyModel
+from repro.core.kernels import (
+    KERNEL_ENV_VAR,
+    available_kernels,
+    clear_autotune_cache,
+    force_kernel,
+    kernel_override,
+)
 from repro.core.noise import (
     JitteryTDC,
     droop_delay_factor,
@@ -55,6 +71,7 @@ from repro.core.replica import (
 from repro.core.scheduler import OperationScheduler, PhaseSchedule, TileSchedule
 from repro.core.sensing import CounterTDC, SensingAnalysis
 from repro.core.stage import DelayStage
+from repro.core.topk import grouped_top_k, prune_survivors, top_k_indices
 
 __all__ = [
     "TDAMConfig",
@@ -72,6 +89,21 @@ __all__ = [
     "batched_mismatch_counts",
     "calibrate_turn_on_overdrive",
     "resolve_best_batch",
+    "resolve_query_chunk",
+    "HAVE_BITWISE_COUNT",
+    "pack_level_planes",
+    "pack_query_masks",
+    "packed_mismatch_counts",
+    "packed_pair_counts",
+    "popcount",
+    "KERNEL_ENV_VAR",
+    "available_kernels",
+    "clear_autotune_cache",
+    "force_kernel",
+    "kernel_override",
+    "top_k_indices",
+    "grouped_top_k",
+    "prune_survivors",
     "CounterTDC",
     "SensingAnalysis",
     "TimingEnergyModel",

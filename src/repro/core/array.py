@@ -31,11 +31,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels as _kernels
+from repro.core.bitplane import (
+    pack_bit_planes,
+    pack_level_planes,
+    pack_query_masks,
+    packed_mismatch_counts,
+    packed_pair_counts,
+    packed_xor_counts,
+)
 from repro.core.chain import ChainResult, DelayChain
 from repro.core.config import TDAMConfig
 from repro.core.encoding import LevelEncoding, validate_levels
 from repro.core.energy import TimingEnergyModel
 from repro.core.sensing import CounterTDC
+from repro.core.topk import grouped_top_k, prune_survivors, top_k_indices
 from repro.devices.fefet import FeFET, FeFETParams
 from repro.devices.variation import VariationModel
 from repro.telemetry import metrics as _metrics
@@ -69,15 +79,59 @@ _CACHE_EVENTS = _REG.counter(
     labels=("op",),
 )
 
-#: Default query-chunk size of the batched kernels: bounds the transient
-#: (chunk, rows, stages) tensor while keeping the numpy calls large.
-DEFAULT_QUERY_CHUNK = 64
+#: Transient-tensor memory budget of the batched kernels (bytes): the
+#: auto-sized query chunk bounds the materialized (chunk, rows, stages)
+#: float tensor to roughly this footprint.
+QUERY_CHUNK_BUDGET_BYTES = 32 * 1024 * 1024
+#: Floor of the auto-sized chunk -- tiny chunks drown in loop overhead.
+MIN_QUERY_CHUNK = 8
+#: Ceiling of the auto-sized chunk -- beyond this the numpy calls are
+#: already large and bigger transients only pressure the caches.
+MAX_QUERY_CHUNK = 1024
+
+
+def resolve_query_chunk(
+    n_rows: int,
+    n_stages: int,
+    budget_bytes: int = QUERY_CHUNK_BUDGET_BYTES,
+) -> int:
+    """Auto-size the query chunk of the batched kernels.
+
+    Chooses the number of queries per materialized ``(chunk, M, N)``
+    float tensor so the transient stays near ``budget_bytes``: huge
+    arrays get small chunks instead of blowing up memory, tiny arrays
+    get large chunks instead of under-filling the vector units.  The
+    result is clamped to [:data:`MIN_QUERY_CHUNK`,
+    :data:`MAX_QUERY_CHUNK`].  Chunking never changes results -- every
+    kernel is bit-exact for any chunk -- so this is purely a
+    memory/throughput trade.
+    """
+    if n_rows < 1 or n_stages < 1:
+        raise ValueError(
+            f"n_rows and n_stages must be >= 1, got {n_rows}, {n_stages}"
+        )
+    per_query = n_rows * n_stages * 8
+    chunk = budget_bytes // per_query
+    return int(min(MAX_QUERY_CHUNK, max(MIN_QUERY_CHUNK, chunk)))
+
+
+def _resolve_chunk_arg(chunk: Optional[int], n_rows: int, n_stages: int) -> int:
+    """Validate an explicit chunk or auto-size a ``None`` one."""
+    if chunk is None:
+        return resolve_query_chunk(n_rows, n_stages)
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    return chunk
 
 #: Memoized turn-on overdrives, keyed by the config fields the bisection
 #: actually depends on.  Monte Carlo builds thousands of arrays from the
 #: same design point; without the memo each construction re-runs a
 #: 60-iteration bisection of the channel model.
 _TURN_ON_MEMO: Dict[Tuple[FeFETParams, float], float] = {}
+
+# Sentinel marking the XOR fast-path cache as not-yet-computed (None is
+# a valid cached value: "tables are not pure level inequality").
+_XOR_UNSET = object()
 
 
 def calibrate_turn_on_overdrive(config: TDAMConfig) -> float:
@@ -118,7 +172,7 @@ def batched_mismatch_counts(
     vsl: np.ndarray,
     levels: int,
     von: float,
-    chunk: int = DEFAULT_QUERY_CHUNK,
+    chunk: Optional[int] = None,
 ) -> np.ndarray:
     """Per-row mismatch counts of a query batch, shape (Q, M).
 
@@ -134,11 +188,11 @@ def batched_mismatch_counts(
         vsl: Search-line ladder indexed by level, shape (levels,).
         levels: Number of storable levels.
         von: Calibrated switch-on overdrive (V).
-        chunk: Queries per materialized tensor chunk (memory bound).
+        chunk: Queries per materialized tensor chunk (memory bound);
+            ``None`` auto-sizes via :func:`resolve_query_chunk`.
     """
     queries = np.asarray(queries)
-    if chunk < 1:
-        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    chunk = _resolve_chunk_arg(chunk, vth_a.shape[0], vth_a.shape[1])
     n_q = queries.shape[0]
     out = np.empty((n_q, vth_a.shape[0]), dtype=np.int64)
     for start in range(0, n_q, chunk):
@@ -187,15 +241,9 @@ class SearchResult:
         tie-breakers (the same resolution rule as ``best_row``) -- the
         k-NN primitive for HDC and retrieval workloads.
         """
-        if not 1 <= k <= len(self.hamming_distances):
-            raise ValueError(
-                f"k must be in [1, {len(self.hamming_distances)}], got {k}"
-            )
-        order = np.lexsort(
-            (np.arange(len(self.hamming_distances)), self.delays_s,
-             self.hamming_distances)
+        return top_k_indices(
+            self.hamming_distances, k, delays_s=self.delays_s
         )
-        return order[:k]
 
 
 @dataclass(frozen=True)
@@ -245,17 +293,9 @@ class BatchSearchResult:
         Same ordering rule as :meth:`SearchResult.top_k` (distance, then
         delay, then row index).
         """
-        n_rows = self.hamming_distances.shape[1]
-        if not 1 <= k <= n_rows:
-            raise ValueError(f"k must be in [1, {n_rows}], got {k}")
-        rows = np.arange(n_rows)
-        out = np.empty((len(self), k), dtype=np.int64)
-        for i in range(len(self)):
-            order = np.lexsort(
-                (rows, self.delays_s[i], self.hamming_distances[i])
-            )
-            out[i] = order[:k]
-        return out
+        return top_k_indices(
+            self.hamming_distances, k, delays_s=self.delays_s
+        )
 
     def result(self, i: int) -> SearchResult:
         """The single-query :class:`SearchResult` view of query ``i``."""
@@ -489,6 +529,7 @@ class FastTDAMArray:
         self._delay_sens = config.delay_variation_sensitivity / config.vdd
         self._written = np.zeros(n_rows, dtype=bool)
         self._all_written = False
+        self._xor_planes_cache = _XOR_UNSET
 
     def _calibrate_turn_on_overdrive(self) -> float:
         """Memoized module-level calibration (kept for compatibility)."""
@@ -511,6 +552,7 @@ class FastTDAMArray:
         self._off_a_data = np.asarray(value, dtype=float)
         self._thresholds_valid = False
         self._tables_valid = False
+        self._nominal_cache = None
 
     @property
     def _off_b(self) -> np.ndarray:
@@ -521,6 +563,7 @@ class FastTDAMArray:
         self._off_b_data = np.asarray(value, dtype=float)
         self._thresholds_valid = False
         self._tables_valid = False
+        self._nominal_cache = None
 
     @property
     def _vsl(self) -> np.ndarray:
@@ -533,6 +576,7 @@ class FastTDAMArray:
         # it in and must rebuild after a re-bias.
         self._vsl_data = np.asarray(value, dtype=float)
         self._tables_valid = False
+        self._nominal_cache = None
 
     def invalidate_threshold_cache(self) -> None:
         """Mark the per-cell threshold tensors (and level tables) stale.
@@ -544,9 +588,29 @@ class FastTDAMArray:
         """
         self._thresholds_valid = False
         self._tables_valid = False
+        self._nominal_cache = None
         if _TM.enabled:
             _CACHE_EVENTS.inc(op="invalidate")
             _emit_probe("cache.threshold", op="invalidate")
+
+    def _timing_is_nominal(self) -> bool:
+        """Whether every delay modulation input sits at its design value.
+
+        True iff all V_TH offsets are exactly zero and the live
+        search-line ladder equals the nominal one.  In that regime the
+        per-cell effective mismatch delay is *exactly* the nominal
+        ``d_C`` (the overdrive deviation computes to 0.0), so every
+        search path -- scalar, GEMM, packed -- can take the
+        counts-times-``d_C`` delay form and stay mutually bit-exact.
+        The flag is cached and invalidated with the threshold cache.
+        """
+        if self._nominal_cache is None:
+            self._nominal_cache = bool(
+                not self._off_a_data.any()
+                and not self._off_b_data.any()
+                and np.array_equal(self._vsl_data, self._vsl_nom)
+            )
+        return self._nominal_cache
 
     def _thresholds(
         self,
@@ -577,6 +641,10 @@ class FastTDAMArray:
                 self._mism_table[row] = mism.reshape(-1)
                 self._contrib_table[row] = contrib.reshape(-1)
                 self._mism_gemm[:, :, row] = mism.astype(float)
+                self._mism_packed[:, row, :] = pack_level_planes(
+                    mism[:, None, :]
+                )[:, 0, :]
+                self._xor_planes_cache = _XOR_UNSET
         else:
             self._tables_valid = False
 
@@ -664,7 +732,42 @@ class FastTDAMArray:
         self._mism_gemm = np.ascontiguousarray(
             mism.transpose(0, 2, 1).astype(float)
         )
+        # (L, M, B) uint8 bit-planes for the packed-popcount kernel and
+        # the pruned top-k cascade (see repro.core.bitplane).
+        self._mism_packed = pack_level_planes(mism)
+        self._xor_planes_cache = _XOR_UNSET
         self._tables_valid = True
+
+    def _xor_bit_planes(self) -> Optional[np.ndarray]:
+        """(bits, M, B) stored-level bit-planes, or ``None``.
+
+        The packed kernel's XOR fast path is sound only when the
+        mismatch tables are *pure level inequality* -- which the cache
+        proves, not assumes: the inequality planes are packed and
+        compared byte-for-byte against ``_mism_packed``.  Any variation
+        offset or bias deviation that flips even one table entry fails
+        the comparison and the kernel falls back to the general one-hot
+        plane reduction.  Invalidated whenever the tables rebuild.
+        """
+        self._level_tables()
+        if self._xor_planes_cache is _XOR_UNSET:
+            stored = self._stored
+            levels = self.config.levels
+            eligible = (
+                levels >= 2
+                and levels & (levels - 1) == 0
+                and stored.min() >= 0
+            )
+            if eligible:
+                ineq = np.arange(levels)[:, None, None] != stored[None, :, :]
+                eligible = np.array_equal(
+                    self._mism_packed, pack_level_planes(ineq)
+                )
+            self._xor_planes_cache = (
+                pack_bit_planes(stored, levels.bit_length() - 1)
+                if eligible else None
+            )
+        return self._xor_planes_cache
 
     # ------------------------------------------------------------------
     # Write path
@@ -685,6 +788,7 @@ class FastTDAMArray:
             fb_states = levels - 1 - values
             self._off_a_data[row] = self.variation.draw(fa_states).vth_shifts
             self._off_b_data[row] = self.variation.draw(fb_states).vth_shifts
+            self._nominal_cache = None
         self._update_row_thresholds(row, values)
         if not self._all_written:
             self._written[row] = True
@@ -738,6 +842,7 @@ class FastTDAMArray:
             shifts = shifts.reshape(self.n_rows, 2, self.config.n_stages)
             self._off_a_data[:] = shifts[:, 0, :]
             self._off_b_data[:] = shifts[:, 1, :]
+            self._nominal_cache = None
         self._thresholds_valid = False
         self._tables_valid = False
         self._written[:] = True
@@ -776,7 +881,7 @@ class FastTDAMArray:
         return fa_on | fb_on
 
     def mismatch_tensor(
-        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+        self, queries: np.ndarray, chunk: Optional[int] = None
     ) -> np.ndarray:
         """Mismatch decisions for a query batch, shape (Q, n_rows, n_stages).
 
@@ -785,6 +890,7 @@ class FastTDAMArray:
         ``[i]`` slice equals ``mismatch_matrix(queries[i])``.
         """
         q = self._validate_queries(queries)
+        chunk = _resolve_chunk_arg(chunk, self.n_rows, self.config.n_stages)
         mism_table, _ = self._level_tables()
         n = self.config.n_stages
         stage_idx = np.arange(n)
@@ -808,7 +914,7 @@ class FastTDAMArray:
         return q
 
     def mismatch_count_batch(
-        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+        self, queries: np.ndarray, chunk: Optional[int] = None
     ) -> np.ndarray:
         """Per-row mismatch counts of a query batch, shape (Q, n_rows).
 
@@ -817,6 +923,7 @@ class FastTDAMArray:
         the :func:`batched_mismatch_counts` recompute kernel.
         """
         q = self._validate_queries(queries)
+        chunk = _resolve_chunk_arg(chunk, self.n_rows, self.config.n_stages)
         mism_table, _ = self._level_tables()
         n = self.config.n_stages
         stage_idx = np.arange(n)
@@ -902,7 +1009,11 @@ class FastTDAMArray:
                 totals (s), shape (Q, M), replacing the nominal
                 ``counts * d_C`` term (the variation-modulated path).
         """
-        mismatch_counts = np.asarray(mismatch_counts)
+        # C-layout normalization matters for bit-exactness: advanced
+        # indexing preserves the index array's memory order, so a
+        # transposed counts view would make the energy gather F-ordered
+        # and its axis-1 sum reduce in a different pairwise blocking.
+        mismatch_counts = np.ascontiguousarray(mismatch_counts)
         if mismatch_counts.ndim != 2 or mismatch_counts.shape[1] != self.n_rows:
             raise ValueError(
                 f"mismatch_counts shape {mismatch_counts.shape} is not "
@@ -932,40 +1043,145 @@ class FastTDAMArray:
             n_stages=self.config.n_stages,
         )
 
-    def _batch_kernel(
-        self, queries: np.ndarray, chunk: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Counts and variation-modulated delay adders of a query batch.
+    def _counts_gemm(self, queries: np.ndarray, chunk: int) -> np.ndarray:
+        """Mismatch counts via the one-hot matmul kernel, shape (Q, M).
 
-        Returns ``(mismatch_counts, delay_adders_s)`` of shape (Q, M).
-        Per chunk this is a fancy gather from the write-time per-level
-        tables plus a contiguous last-axis reduction: the gathered
-        elementwise values replay the scalar :meth:`search` arithmetic
-        (the tables are built with it), and the (chunk, M, N) sums run
-        over the same contiguous operand order as the scalar per-row
-        sums, so per-query results are bit-identical to the one-query
-        path.
+        Every product and partial sum is a small integer, exactly
+        representable in float64, so any BLAS accumulation order
+        reproduces the boolean-gather counts bit-for-bit.
         """
-        if chunk < 1:
-            raise ValueError(f"chunk must be >= 1, got {chunk}")
-        _, contrib_table = self._level_tables()
+        self._level_tables()
         mism_gemm = self._mism_gemm
         levels = self.config.levels
-        n = self.config.n_stages
-        stage_idx = np.arange(n)
         n_q = queries.shape[0]
         counts = np.empty((n_q, self.n_rows), dtype=np.int64)
-        adders = np.empty((n_q, self.n_rows))
         for start in range(0, n_q, chunk):
             block = queries[start:start + chunk]
             acc = np.zeros((block.shape[0], self.n_rows))
             for level in range(levels):
                 acc += (block == level).astype(float) @ mism_gemm[level]
             counts[start:start + chunk] = acc.astype(np.int64)
+        return counts
+
+    def _counts_packed(self, queries: np.ndarray, chunk: int) -> np.ndarray:
+        """Mismatch counts via the bit-plane popcount kernel, (Q, M).
+
+        Queries become per-level one-hot bit masks; ANDing a mask with
+        the write-time bit-planes selects exactly the mismatching
+        stages, and a popcount reduces them -- about one bit of memory
+        traffic per cell instead of eight float bytes.  When the tables
+        are provably pure level inequality (:meth:`_xor_bit_planes`),
+        the one-hot reduction collapses further to ``log2(L)`` XORs
+        over the stored-level bit-planes.  Counts are exact integers,
+        identical to every other kernel.
+        """
+        self._level_tables()
+        n_q = queries.shape[0]
+        stored_bits = self._xor_bit_planes()
+        if stored_bits is not None:
+            bits = stored_bits.shape[0]
+            if n_q <= chunk:
+                return packed_xor_counts(
+                    stored_bits, pack_bit_planes(queries, bits)
+                )
+            counts = np.empty((n_q, self.n_rows), dtype=np.int64)
+            for start in range(0, n_q, chunk):
+                block = queries[start:start + chunk]
+                counts[start:start + chunk] = packed_xor_counts(
+                    stored_bits, pack_bit_planes(block, bits)
+                )
+            return counts
+        planes = self._mism_packed
+        levels = self.config.levels
+        if n_q <= chunk:
+            return packed_mismatch_counts(
+                planes, pack_query_masks(queries, levels)
+            )
+        counts = np.empty((n_q, self.n_rows), dtype=np.int64)
+        for start in range(0, n_q, chunk):
+            block = queries[start:start + chunk]
+            masks = pack_query_masks(block, levels)
+            counts[start:start + chunk] = packed_mismatch_counts(
+                planes, masks
+            )
+        return counts
+
+    def _counts_loop(self, queries: np.ndarray) -> np.ndarray:
+        """Per-query reference kernel: the bit-exactness yardstick.
+
+        One gather-and-reduce per query, no batching tricks.  Only
+        reachable through an explicit kernel override; the benchmark
+        harness and the property tests pin it to prove the fast kernels
+        bit-exact.
+        """
+        mism_table, _ = self._level_tables()
+        n = self.config.n_stages
+        stage_idx = np.arange(n)
+        counts = np.empty((queries.shape[0], self.n_rows), dtype=np.int64)
+        for i, query in enumerate(queries):
+            idx = query * n + stage_idx
+            counts[i] = mism_table[:, idx].sum(axis=1)
+        return counts
+
+    def _delay_adders(self, queries: np.ndarray, chunk: int) -> np.ndarray:
+        """Variation-modulated per-query delay totals (s), shape (Q, M).
+
+        A fancy gather from the write-time contribution table plus a
+        contiguous last-axis reduction: the gathered elementwise values
+        replay the scalar :meth:`search` arithmetic (the tables are
+        built with it) and the sums run over the same contiguous
+        operand order as the scalar per-row sums, so per-query delays
+        are bit-identical to the one-query path.
+        """
+        _, contrib_table = self._level_tables()
+        n = self.config.n_stages
+        stage_idx = np.arange(n)
+        n_q = queries.shape[0]
+        adders = np.empty((n_q, self.n_rows))
+        for start in range(0, n_q, chunk):
+            block = queries[start:start + chunk]
             idx = block * n + stage_idx
             adders[start:start + chunk] = (
                 contrib_table.take(idx, axis=1).sum(axis=2).T
             )
+        return adders
+
+    def _batch_kernel(
+        self, queries: np.ndarray, chunk: int
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Counts and delay adders of a query batch, kernel-dispatched.
+
+        Returns ``(mismatch_counts, delay_adders_s)`` of shape (Q, M);
+        the adders are ``None`` under nominal timing, where the delay
+        law reduces exactly to ``counts * d_C`` for every path.  The
+        count kernel (packed popcount vs. one-hot GEMM vs. reference
+        loop) is chosen by :mod:`repro.core.kernels`: explicit override
+        first, else a per-geometry autotune over a small query sample.
+        Counts are exact integers in every kernel, so the choice never
+        changes results.
+        """
+        nominal = self._timing_is_nominal()
+        key = (
+            self.n_rows,
+            self.config.n_stages,
+            self.config.levels,
+            nominal,
+        )
+        sample = queries[: min(queries.shape[0], 32)]
+        name = _kernels.select_kernel(
+            key,
+            {
+                "packed": lambda: self._counts_packed(sample, chunk),
+                "gemm": lambda: self._counts_gemm(sample, chunk),
+            },
+        )
+        if name == "packed":
+            counts = self._counts_packed(queries, chunk)
+        elif name == "gemm":
+            counts = self._counts_gemm(queries, chunk)
+        else:
+            counts = self._counts_loop(queries)
+        adders = None if nominal else self._delay_adders(queries, chunk)
         return counts, adders
 
     def search(self, query: Sequence[int]) -> SearchResult:
@@ -993,6 +1209,12 @@ class FastTDAMArray:
         fa_on = (vsl_a - vth_a) >= self._von
         fb_on = (vsl_b - vth_b) >= self._von
         mism = fa_on | fb_on
+        if self._timing_is_nominal():
+            # Every overdrive deviation below computes to exactly 0.0
+            # here, so d_c_eff == d_C per cell; take the counts * d_C
+            # delay form that the count-only batch kernels also use, so
+            # scalar and batched paths stay mutually bit-exact.
+            return self.result_from_mismatch_matrix(mism)
         # Delay modulation by the conducting device's gate-overdrive
         # *deviation from its own nominal overdrive*: weaker conduction
         # discharges MN slower, lengthening the switch turn-on (the
@@ -1012,19 +1234,23 @@ class FastTDAMArray:
         return self.result_from_mismatch_matrix(mism, d_c_eff=d_c_eff)
 
     def search_batch(
-        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+        self, queries: np.ndarray, chunk: Optional[int] = None
     ) -> BatchSearchResult:
         """Batched parallel search: Q queries in one vectorized kernel.
 
         Equivalent to ``[search(q) for q in queries]`` bit-for-bit (an
-        equivalence suite asserts it), but the mismatch tensor is
-        broadcast over (chunk, rows, stages), the TDC decode is
-        array-valued, and the energy total is an affine table lookup --
-        the per-query Python overhead of the scalar path disappears.
+        equivalence suite asserts it), but mismatch counting runs
+        through a dispatched kernel (packed popcount / one-hot GEMM /
+        reference loop -- see :mod:`repro.core.kernels`), the TDC
+        decode is array-valued, and the energy total is an affine table
+        lookup -- the per-query Python overhead of the scalar path
+        disappears.
 
         Args:
             queries: Query levels, shape (Q, n_stages).
-            chunk: Queries per materialized tensor chunk (memory bound).
+            chunk: Queries per materialized tensor chunk (memory
+                bound); ``None`` auto-sizes via
+                :func:`resolve_query_chunk`.
         """
         if not _TM.enabled:
             return self._search_batch_impl(queries, chunk)
@@ -1041,13 +1267,179 @@ class FastTDAMArray:
         return result
 
     def _search_batch_impl(
-        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+        self, queries: np.ndarray, chunk: Optional[int] = None
     ) -> BatchSearchResult:
         q = self._validate_queries(queries)
+        chunk = _resolve_chunk_arg(chunk, self.n_rows, self.config.n_stages)
         counts, adders = self._batch_kernel(q, chunk)
         return self.batch_result_from_mismatch_counts(
             counts, delay_adders_s=adders
         )
+
+    # ------------------------------------------------------------------
+    # Pruned top-k path
+    # ------------------------------------------------------------------
+    def _delay_strictly_monotone(self) -> bool:
+        """Whether delay strictly increases with the mismatch count.
+
+        The pruned cascade drops rows whose count lower bound exceeds
+        the k-th upper bound; that is safe under full distance ties
+        only if a strictly larger count also implies a strictly larger
+        delay (the tie-breaker).  True for any physical design point
+        (``d_C > 0`` well above the ulp of the base delay); checked
+        explicitly so a degenerate config falls back to the exhaustive
+        path instead of silently mispruning.
+        """
+        ladder = self._base_delay + (
+            np.arange(self.config.n_stages + 1) * self._d_c
+        )
+        return bool(np.all(np.diff(ladder) > 0))
+
+    def top_k_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        rows: Optional[np.ndarray] = None,
+        chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """Per-query top-k row indices without a full search, (Q, k).
+
+        Bit-identical to ``search_batch(queries).top_k(k)`` (restricted
+        to ``rows`` when given) -- an exactness suite asserts it -- but
+        served through the **pruned top-k cascade** when timing is
+        nominal: mismatch counts over a stage prefix lower-bound each
+        row's final count, rows that cannot enter the top-k are pruned,
+        and only the survivors are refined and ranked.  The cascade
+        skips the full TDC decode, energy accounting, and winner
+        resolution of the exhaustive path.  Under variation (or a
+        degenerate delay ladder) it falls back to the exhaustive
+        search transparently.
+
+        Args:
+            queries: Query levels, shape (Q, n_stages).
+            k: Rows to return per query, ``1 <= k <= len(rows)``.
+            rows: Optional strictly increasing row subset to rank
+                (default: all rows); returned indices are array row
+                ids, not subset positions.
+            chunk: Queries per materialized block; ``None`` auto-sizes.
+        """
+        q = self._validate_queries(queries)
+        if not _TM.enabled:
+            return self._top_k_batch_impl(q, k, rows, chunk)
+        with _trace.span(
+            "array.top_k_batch",
+            rows=self.n_rows,
+            stages=self.config.n_stages,
+            queries=int(q.shape[0]),
+        ):
+            return self._top_k_batch_impl(q, k, rows, chunk)
+
+    def _top_k_batch_impl(
+        self,
+        q: np.ndarray,
+        k: int,
+        rows: Optional[np.ndarray],
+        chunk: Optional[int],
+    ) -> np.ndarray:
+        chunk = _resolve_chunk_arg(chunk, self.n_rows, self.config.n_stages)
+        rows_arr: Optional[np.ndarray] = None
+        m = self.n_rows
+        if rows is not None:
+            rows_arr = np.asarray(rows, dtype=np.int64)
+            if rows_arr.ndim != 1 or rows_arr.shape[0] < 1:
+                raise ValueError(
+                    f"rows must be a non-empty 1-D index array, got "
+                    f"shape {rows_arr.shape}"
+                )
+            if rows_arr[0] < 0 or rows_arr[-1] >= self.n_rows:
+                raise ValueError(
+                    f"rows must lie in [0, {self.n_rows - 1}]"
+                )
+            if rows_arr.shape[0] > 1 and not np.all(np.diff(rows_arr) > 0):
+                raise ValueError("rows must be strictly increasing")
+            m = rows_arr.shape[0]
+        if not 1 <= k <= m:
+            raise ValueError(f"k must be in [1, {m}], got {k}")
+        if self._timing_is_nominal() and self._delay_strictly_monotone():
+            return self._top_k_pruned(q, k, rows_arr, chunk)
+        batch = self._search_batch_impl(q, chunk)
+        if rows_arr is None:
+            return batch.top_k(k)
+        return top_k_indices(
+            batch.hamming_distances[:, rows_arr],
+            k,
+            delays_s=batch.delays_s[:, rows_arr],
+            row_ids=rows_arr,
+        )
+
+    def _top_k_pruned(
+        self,
+        q: np.ndarray,
+        k: int,
+        rows_arr: Optional[np.ndarray],
+        chunk: int,
+    ) -> np.ndarray:
+        """The prefix-count / prune / refine cascade (nominal timing).
+
+        Exactness argument: over the prefix, ``prefix <= final <=
+        prefix + rem`` bounds every row's final count, so rows pruned
+        by :func:`~repro.core.topk.prune_survivors` final-count
+        strictly above at least ``k`` others -- and with a strictly
+        monotone delay ladder they also lose every delay tie-break.
+        Survivor refinement then uses the *exact* keys of the
+        exhaustive path: the same delay floats (``base + count *
+        d_C``), the same TDC decode, the same (distance, delay, row)
+        ordering.
+        """
+        self._level_tables()
+        planes = self._mism_packed
+        if rows_arr is not None:
+            planes = np.ascontiguousarray(planes[:, rows_arr, :])
+        n = self.config.n_stages
+        b_pad = planes.shape[2]
+        # Prefix = the first half of the padded words (>= 1 word); a
+        # one-word plane is covered entirely and refinement is a no-op.
+        pb = 8 * max(1, (b_pad // 8) // 2)
+        rem = max(0, n - pb * 8)
+        levels = self.config.levels
+        n_q = q.shape[0]
+        out = np.empty((n_q, k), dtype=np.int64)
+        survivors = 0
+        for start in range(0, n_q, chunk):
+            block = q[start:start + chunk]
+            masks = pack_query_masks(block, levels)
+            prefix = packed_mismatch_counts(
+                planes[:, :, :pb], masks[:, :, :pb]
+            )
+            q_idx, r_idx = prune_survivors(prefix, k, rem)
+            survivors += q_idx.shape[0]
+            totals = prefix[q_idx, r_idx]
+            if rem:
+                totals = totals + packed_pair_counts(
+                    planes[:, :, pb:], masks[:, :, pb:], q_idx, r_idx
+                )
+            delays = self._base_delay + totals * self._d_c
+            distances = self.tdc.decode_array(delays)
+            out[start:start + chunk] = grouped_top_k(
+                q_idx,
+                r_idx,
+                distances,
+                k,
+                block.shape[0],
+                secondary=delays,
+            )
+        if rows_arr is not None:
+            out = rows_arr[out]
+        if _TM.enabled:
+            _emit_probe(
+                "topk.pruned",
+                rows=int(planes.shape[1]),
+                queries=int(n_q),
+                k=int(k),
+                survivors=int(survivors),
+                prefix_stages=int(min(n, pb * 8)),
+            )
+        return out
 
     def ideal_hamming(self, query: Sequence[int]) -> np.ndarray:
         """Variation-free per-row Hamming distances."""

@@ -25,10 +25,10 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.array import (
-    DEFAULT_QUERY_CHUNK,
     BatchSearchResult,
     FastTDAMArray,
     SearchResult,
+    _resolve_chunk_arg,
 )
 from repro.core.config import TDAMConfig
 
@@ -114,7 +114,7 @@ class FaultyTDAMArray:
         return mism
 
     def faulted_mismatch_tensor(
-        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+        self, queries: np.ndarray, chunk: Optional[int] = None
     ) -> np.ndarray:
         """Batched :meth:`faulted_mismatch_matrix`, shape (Q, M, N).
 
@@ -138,20 +138,22 @@ class FaultyTDAMArray:
     def mismatch_count_batch(
         self,
         queries: np.ndarray,
-        chunk: int = DEFAULT_QUERY_CHUNK,
+        chunk: Optional[int] = None,
         masked_stages: Sequence[int] = (),
     ) -> np.ndarray:
         """Faulted per-row mismatch counts of a query batch, shape (Q, M).
 
         Args:
             queries: Query levels, shape (Q, n_stages).
-            chunk: Queries per materialized tensor chunk.
+            chunk: Queries per materialized tensor chunk; ``None``
+                auto-sizes.
             masked_stages: Stage columns forced to *match* after the
                 fault overrides (the resilient array's column masking;
                 applied last, so it silences stuck-mismatch cells and
                 trims dead-row timeouts exactly like the scalar path).
         """
         q = self.array._validate_queries(queries)
+        chunk = _resolve_chunk_arg(chunk, self.n_rows, self.config.n_stages)
         masked = list(masked_stages)
         counts = np.empty((q.shape[0], self.n_rows), dtype=np.int64)
         for start in range(0, q.shape[0], chunk):
@@ -175,7 +177,7 @@ class FaultyTDAMArray:
         )
 
     def search_batch(
-        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+        self, queries: np.ndarray, chunk: Optional[int] = None
     ) -> BatchSearchResult:
         """Batched faulty search, bit-exact vs looping :meth:`search`.
 
@@ -188,7 +190,7 @@ class FaultyTDAMArray:
         )
 
     def fault_free_search_batch(
-        self, queries: np.ndarray, chunk: int = DEFAULT_QUERY_CHUNK
+        self, queries: np.ndarray, chunk: Optional[int] = None
     ) -> BatchSearchResult:
         """Batched :meth:`fault_free_search` (nominal-``d_C`` reference)."""
         return self.array.batch_result_from_mismatch_counts(

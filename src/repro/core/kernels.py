@@ -1,0 +1,155 @@
+"""Batched-search kernel selection: override, autotune, dispatch.
+
+:meth:`FastTDAMArray.search_batch` has three interchangeable kernels --
+``packed`` (bit-plane popcount), ``gemm`` (one-hot matmul), and ``loop``
+(the per-query reference) -- all bit-exact against each other, so
+choosing between them is purely a performance decision.  This module
+makes that choice:
+
+1. an explicit override wins: :func:`force_kernel` (tests, benchmarks)
+   beats the :data:`KERNEL_ENV_VAR` environment variable (``auto`` /
+   ``packed`` / ``gemm`` / ``loop``), which beats autotuning;
+2. otherwise the dispatcher **autotunes**: the candidate kernels are
+   timed once on a small query sample and the winner is cached per
+   array geometry (rows, stages, levels, timing mode) for the life of
+   the process.
+
+The ``loop`` kernel is reachable only by explicit override -- it exists
+as the bit-exactness reference and is never worth autotuning.
+Autotune decisions are observable through the ``kernel.autotune``
+telemetry probe and :func:`autotune_decisions`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.state import STATE as _TM
+
+__all__ = [
+    "KERNEL_ENV_VAR",
+    "autotune_decisions",
+    "available_kernels",
+    "clear_autotune_cache",
+    "force_kernel",
+    "kernel_override",
+    "select_kernel",
+]
+
+#: Environment variable naming the batched-search kernel to use.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+_KERNELS = ("packed", "gemm", "loop")
+# Best-of-N timing per candidate; the thunks are microsecond-scale, so
+# a few extra repeats cost nothing and keep scheduler noise (single-CPU
+# boxes especially) from flipping the cached decision.
+_AUTOTUNE_REPEATS = 7
+
+_forced: Optional[str] = None
+_autotune_cache: Dict[Tuple, str] = {}
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Names of the selectable batched-search kernels."""
+    return _KERNELS
+
+
+def _validate(name: str, allow_auto: bool) -> str:
+    value = name.strip().lower()
+    valid = _KERNELS + (("auto",) if allow_auto else ())
+    if value not in valid:
+        raise ValueError(
+            f"unknown kernel {name!r}; expected one of {sorted(valid)}"
+        )
+    return value
+
+
+def kernel_override() -> Optional[str]:
+    """The kernel forced by :func:`force_kernel` or the environment.
+
+    Returns ``None`` when no override is active (``auto`` included), so
+    the dispatcher falls through to autotuning.  An unknown name in
+    :data:`KERNEL_ENV_VAR` raises instead of silently autotuning.
+    """
+    if _forced is not None:
+        return _forced
+    value = os.environ.get(KERNEL_ENV_VAR, "")
+    if not value.strip():
+        return None
+    value = _validate(value, allow_auto=True)
+    return None if value == "auto" else value
+
+
+@contextmanager
+def force_kernel(name: str) -> Iterator[None]:
+    """Force one batched-search kernel inside a ``with`` block.
+
+    Takes precedence over :data:`KERNEL_ENV_VAR`; the previous override
+    (usually none) is restored on exit.  The benchmark harness and the
+    bit-exactness tests use this to pin each kernel in turn.
+    """
+    global _forced
+    previous = _forced
+    _forced = _validate(name, allow_auto=False)
+    try:
+        yield
+    finally:
+        _forced = previous
+
+
+def clear_autotune_cache() -> None:
+    """Forget every cached autotune decision (tests, re-benchmarking)."""
+    _autotune_cache.clear()
+
+
+def autotune_decisions() -> Dict[Tuple, str]:
+    """A copy of the cached (geometry key -> winning kernel) decisions."""
+    return dict(_autotune_cache)
+
+
+def select_kernel(
+    key: Tuple, candidates: Dict[str, Callable[[], None]]
+) -> str:
+    """Pick the batched-search kernel for one array geometry.
+
+    Args:
+        key: Hashable geometry/timing key the decision is cached under
+            (rows, stages, levels, nominal-timing flag).
+        candidates: Kernel name -> zero-argument thunk running that
+            kernel on a small representative sample; only consulted
+            when no override is active and the key is not cached.
+
+    Returns:
+        The kernel name to run.  An override may name a kernel outside
+        ``candidates`` (the ``loop`` reference); autotune only ever
+        returns a candidate.
+    """
+    override = kernel_override()
+    if override is not None:
+        return override
+    cached = _autotune_cache.get(key)
+    if cached is not None and cached in candidates:
+        return cached
+    timings: Dict[str, float] = {}
+    for name, thunk in candidates.items():
+        thunk()  # warm: first call may build caches
+        best = float("inf")
+        for _ in range(_AUTOTUNE_REPEATS):
+            start = time.perf_counter()
+            thunk()
+            best = min(best, time.perf_counter() - start)
+        timings[name] = best
+    winner = min(timings, key=timings.get)
+    _autotune_cache[key] = winner
+    if _TM.enabled:
+        _emit_probe(
+            "kernel.autotune",
+            key=repr(key),
+            winner=winner,
+            **{f"{name}_s": t for name, t in timings.items()},
+        )
+    return winner

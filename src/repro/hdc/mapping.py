@@ -28,8 +28,15 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.bitplane import (
+    pack_level_planes,
+    pack_query_masks,
+    packed_mismatch_counts,
+    packed_pair_counts,
+)
 from repro.core.config import TDAMConfig
 from repro.core.energy import TimingEnergyModel
+from repro.core.topk import grouped_top_k, prune_survivors, top_k_indices
 from repro.devices.variation import VariationModel
 from repro.hdc.quantize import QuantizedModel
 
@@ -114,6 +121,7 @@ class TDAMInference:
         else:
             self._off_a = None
             self._off_b = None
+        self._planes: Optional[np.ndarray] = None
         self._von = self._turn_on_overdrive()
 
     def _turn_on_overdrive(self) -> float:
@@ -130,15 +138,7 @@ class TDAMInference:
         """Serial tile searches per query."""
         return math.ceil(self.model.dimension / self.config.n_stages)
 
-    def mismatch_counts(
-        self, query_levels: np.ndarray, chunk: int = 64
-    ) -> np.ndarray:
-        """Per-class mismatch counts for each query, shape (n_q, n_cls).
-
-        Without a variation model this is the exact Hamming distance;
-        with one, per-device offsets can flip individual comparisons just
-        as in :class:`repro.core.array.FastTDAMArray`.
-        """
+    def _validate_queries(self, query_levels: np.ndarray) -> np.ndarray:
         q = np.atleast_2d(np.asarray(query_levels, dtype=np.int64))
         if q.shape[1] != self.model.dimension:
             raise ValueError(
@@ -149,8 +149,58 @@ class TDAMInference:
             raise ValueError(
                 f"query levels must be in [0, {self.config.levels - 1}]"
             )
+        return q
+
+    def _packed_planes(self) -> np.ndarray:
+        """Bit-planes of the stored class matrix, (L, n_classes, B).
+
+        The ideal (no-variation) mismatch decision depends only on the
+        query level, so the class hypervectors pack once into per-level
+        bit-planes and every query reduces to AND + popcount -- the
+        same write-time index :class:`~repro.core.array.FastTDAMArray`
+        builds, here over the full D-dimensional rows.
+        """
+        if self._planes is None:
+            levels = np.arange(self.config.levels)
+            mism = levels[:, None, None] != self._stored[None, :, :]
+            self._planes = pack_level_planes(mism)
+        return self._planes
+
+    def _resolve_chunk(self, chunk: Optional[int]) -> int:
+        from repro.core.array import _resolve_chunk_arg
+
+        return _resolve_chunk_arg(
+            chunk, self.model.n_classes, self.model.dimension
+        )
+
+    def mismatch_counts(
+        self, query_levels: np.ndarray, chunk: Optional[int] = None
+    ) -> np.ndarray:
+        """Per-class mismatch counts for each query, shape (n_q, n_cls).
+
+        Without a variation model this is the exact Hamming distance,
+        served from the packed bit-plane index; with one, per-device
+        offsets can flip individual comparisons just as in
+        :class:`repro.core.array.FastTDAMArray`.
+
+        Args:
+            query_levels: Query levels, shape (n_q, D).
+            chunk: Queries per materialized block; ``None`` auto-sizes.
+        """
+        q = self._validate_queries(query_levels)
+        chunk = self._resolve_chunk(chunk)
         if self._off_a is None:
-            return (q[:, None, :] != self._stored[None, :, :]).sum(axis=2)
+            planes = self._packed_planes()
+            levels = self.config.levels
+            counts = np.empty(
+                (q.shape[0], self.model.n_classes), dtype=np.int64
+            )
+            for start in range(0, q.shape[0], chunk):
+                masks = pack_query_masks(q[start:start + chunk], levels)
+                counts[start:start + chunk] = packed_mismatch_counts(
+                    planes, masks
+                )
+            return counts
         from repro.core.array import batched_mismatch_counts
 
         vth_a = self._vth[self._stored] + self._off_a  # (n_cls, D)
@@ -161,6 +211,52 @@ class TDAMInference:
             q, vth_a, vth_b, self._vsl, self.config.levels, self._von,
             chunk=chunk,
         )
+
+    def top_k(
+        self,
+        query_levels: np.ndarray,
+        k: int,
+        chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """Per-query k best classes by mismatch count, shape (n_q, k).
+
+        Ordered by mismatch count with the class index breaking ties --
+        identical to ranking :meth:`mismatch_counts` directly (an
+        exactness suite asserts it).  Without variation the pruned
+        cascade serves it: counts over the first half of the packed
+        dimensions lower-bound each class's final count, classes that
+        cannot enter the top-k are pruned, and only survivors are
+        refined over the remaining dimensions.
+        """
+        q = self._validate_queries(query_levels)
+        n_classes = self.model.n_classes
+        if not 1 <= k <= n_classes:
+            raise ValueError(f"k must be in [1, {n_classes}], got {k}")
+        if self._off_a is not None:
+            return top_k_indices(self.mismatch_counts(q, chunk=chunk), k)
+        chunk = self._resolve_chunk(chunk)
+        planes = self._packed_planes()
+        b_pad = planes.shape[2]
+        pb = 8 * max(1, (b_pad // 8) // 2)
+        rem = max(0, self.model.dimension - pb * 8)
+        levels = self.config.levels
+        out = np.empty((q.shape[0], k), dtype=np.int64)
+        for start in range(0, q.shape[0], chunk):
+            block = q[start:start + chunk]
+            masks = pack_query_masks(block, levels)
+            prefix = packed_mismatch_counts(
+                planes[:, :, :pb], masks[:, :, :pb]
+            )
+            q_idx, r_idx = prune_survivors(prefix, k, rem)
+            totals = prefix[q_idx, r_idx]
+            if rem:
+                totals = totals + packed_pair_counts(
+                    planes[:, :, pb:], masks[:, :, pb:], q_idx, r_idx
+                )
+            out[start:start + chunk] = grouped_top_k(
+                q_idx, r_idx, totals, k, block.shape[0]
+            )
+        return out
 
     def predict(self, query_levels: np.ndarray) -> np.ndarray:
         """Predicted class per query: the row with the fewest mismatches."""

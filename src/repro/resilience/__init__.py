@@ -39,6 +39,7 @@ from repro.resilience.resilient import (
     ResilientBatchSearchResult,
     ResilientSearchResult,
     ResilientTDAMArray,
+    TopKResult,
 )
 
 __all__ = [
@@ -58,5 +59,6 @@ __all__ = [
     "ResilientTDAMArray",
     "ResilientSearchResult",
     "ResilientBatchSearchResult",
+    "TopKResult",
     "HealthReport",
 ]

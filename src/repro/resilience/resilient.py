@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.array import FastTDAMArray, resolve_best_batch
 from repro.core.config import TDAMConfig
 from repro.core.faults import Fault, FaultyTDAMArray
+from repro.core.topk import top_k_indices
 from repro.core.replica import ReplicaCalibratedTDC, measure_replica
 from repro.devices.nonideal import EnduranceModel, RetentionModel
 from repro.devices.variation import VariationModel
@@ -173,6 +174,17 @@ class ResilientBatchSearchResult:
         """Match counts rescaled to the surviving stage count, (Q, n_rows)."""
         return self.n_effective_stages - self.hamming_distances
 
+    def top_k(self, k: int) -> np.ndarray:
+        """Per-query top-k *logical* row indices, shape (Q, k).
+
+        The shared (distance, delay, row) ordering rule; retired rows
+        carry the maximum distance and the timeout delay, so they rank
+        strictly after every live row.
+        """
+        return top_k_indices(
+            self.hamming_distances, k, delays_s=self.delays_s
+        )
+
     def result(self, i: int) -> ResilientSearchResult:
         """The single-query :class:`ResilientSearchResult` of query ``i``."""
         if not -len(self) <= i < len(self):
@@ -192,6 +204,25 @@ class ResilientBatchSearchResult:
             retired_rows=self.retired_rows,
             masked_stages=self.masked_stages,
         )
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Per-query top-k logical rows with the health flags that matter.
+
+    Attributes:
+        rows: Per-query top-k logical row indices, shape (Q, k).
+        degraded: Whether retired rows existed while serving (the
+            ranking may omit stored vectors).
+        pruned: Whether the pruned cascade served the request (pristine
+            arrays only); ``False`` means the exhaustive fallback ran.
+        retired_rows: Logical rows without a physical home.
+    """
+
+    rows: np.ndarray
+    degraded: bool
+    pruned: bool
+    retired_rows: Tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -405,7 +436,7 @@ class ResilientTDAMArray:
         return self._logical_view(raw)
 
     def search_batch(
-        self, queries: np.ndarray, chunk: int = 64
+        self, queries: np.ndarray, chunk: Optional[int] = None
     ) -> ResilientBatchSearchResult:
         """Batched logical search, bit-exact vs looping :meth:`search`.
 
@@ -426,7 +457,7 @@ class ResilientTDAMArray:
             return self._search_batch_impl(queries, chunk)
 
     def _search_batch_impl(
-        self, queries: np.ndarray, chunk: int = 64
+        self, queries: np.ndarray, chunk: Optional[int] = None
     ) -> ResilientBatchSearchResult:
         if (
             self.bist_interval is not None
@@ -439,6 +470,83 @@ class ResilientTDAMArray:
         self._searches_since_bist += counts.shape[0]
         raw = self._physical.batch_result_from_mismatch_counts(counts)
         return self._logical_view_batch(raw)
+
+    def _pruned_topk_eligible(self) -> bool:
+        """Whether the physical pruned cascade answers for logical rows.
+
+        True only for a *pristine* array: no retired rows, no masked
+        stages, no injected faults, the identity logical-to-physical
+        map, and nominal physical timing.  Then logical distances and
+        delays equal the physical ones over rows ``0..n_rows-1``
+        verbatim, so :meth:`FastTDAMArray.top_k_batch` on that row
+        subset is bit-identical to ranking the logical view.
+        """
+        return (
+            not self._retired
+            and not self._masked
+            and not self._backing.faults
+            and self._map == list(range(self.n_rows))
+            and self._physical._timing_is_nominal()
+        )
+
+    def top_k_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        chunk: Optional[int] = None,
+    ) -> TopKResult:
+        """Per-query top-k logical rows, served as cheaply as health allows.
+
+        A pristine array (no faults, repairs, masking, or drift) is
+        served by the physical array's pruned top-k cascade; any
+        degradation falls back to the full batched logical search and
+        ranks its result.  Both produce the rows that
+        ``search_batch(queries).top_k(k)`` would -- an exactness suite
+        asserts it -- and the automatic BIST due-check still runs.
+        """
+        if not 1 <= k <= self.n_rows:
+            raise ValueError(
+                f"k must be in [1, {self.n_rows}], got {k}"
+            )
+        if not _TM.enabled:
+            return self._top_k_batch_impl(queries, k, chunk)
+        with _trace.span(
+            "resilience.top_k_batch",
+            rows=self.n_rows,
+            retired=len(self._retired),
+            masked=len(self._masked),
+        ):
+            return self._top_k_batch_impl(queries, k, chunk)
+
+    def _top_k_batch_impl(
+        self, queries: np.ndarray, k: int, chunk: Optional[int]
+    ) -> TopKResult:
+        if (
+            self.bist_interval is not None
+            and self._searches_since_bist >= self.bist_interval
+        ):
+            self.self_test_and_repair()
+        if self._pruned_topk_eligible():
+            rows = self._physical.top_k_batch(
+                queries,
+                k,
+                rows=np.arange(self.n_rows),
+                chunk=chunk,
+            )
+            self._searches_since_bist += rows.shape[0]
+            return TopKResult(
+                rows=rows,
+                degraded=False,
+                pruned=True,
+                retired_rows=(),
+            )
+        batch = self._search_batch_impl(queries, chunk)
+        return TopKResult(
+            rows=batch.top_k(k),
+            degraded=batch.degraded,
+            pruned=False,
+            retired_rows=batch.retired_rows,
+        )
 
     def _logical_view_batch(self, raw) -> ResilientBatchSearchResult:
         n_eff = self.config.n_stages - len(self._masked)

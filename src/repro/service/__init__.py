@@ -55,6 +55,7 @@ from repro.service.server import (
     ServiceResponse,
     Shard,
     TDAMSearchService,
+    TopKServiceResponse,
 )
 
 __all__ = [
@@ -85,6 +86,7 @@ __all__ = [
     "ShardBusyError",
     "ShardTimeoutError",
     "TDAMSearchService",
+    "TopKServiceResponse",
     "TransientServiceError",
     "is_retryable",
     "run_chaos_suite",

@@ -37,10 +37,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.encoding import validate_levels
+from repro.core.topk import top_k_indices
 from repro.resilience.resilient import (
     ResilientBatchSearchResult,
     ResilientSearchResult,
     ResilientTDAMArray,
+    TopKResult,
 )
 from repro.service.breaker import BreakerState, CircuitBreaker
 from repro.service.errors import (
@@ -55,7 +57,12 @@ from repro.telemetry.log import get_logger
 from repro.telemetry.profile import emit_probe as _emit_probe
 from repro.telemetry.state import STATE as _TM
 
-__all__ = ["TDAMSearchService", "ServiceResponse", "Shard"]
+__all__ = [
+    "TDAMSearchService",
+    "ServiceResponse",
+    "TopKServiceResponse",
+    "Shard",
+]
 
 _log = get_logger(__name__)
 
@@ -127,19 +134,38 @@ class ServiceResponse:
 
     def top_k(self, k: int) -> np.ndarray:
         """Best-effort top-k rows (distance, then delay, then index)."""
-        distances = self.result.hamming_distances
-        if not 1 <= k <= len(distances):
-            raise ValueError(
-                f"k must be in [1, {len(distances)}], got {k}"
-            )
-        order = np.lexsort(
-            (
-                np.arange(len(distances)),
-                self.result.delays_s,
-                distances,
-            )
+        return top_k_indices(
+            self.result.hamming_distances,
+            k,
+            delays_s=self.result.delays_s,
         )
-        return order[:k]
+
+
+@dataclass(frozen=True)
+class TopKServiceResponse:
+    """The service's answer to one top-k request.
+
+    Attributes:
+        rows: Per-query top-k logical row indices, shape (Q, k).
+        degraded: ``True`` whenever the answer may be incomplete (the
+            serving shard had retired rows, or the degraded fallback
+            path served the request).
+        pruned: Whether the shard's pruned top-k cascade served it.
+        shard_id: The replica that produced the answer.
+        attempts: Shard attempts made (1 = first try succeeded).
+        retries: Retries among those attempts.
+        elapsed_s: Request latency on the service clock.
+        outcome: ``"ok"`` or ``"degraded"``.
+    """
+
+    rows: np.ndarray
+    degraded: bool
+    pruned: bool
+    shard_id: str
+    attempts: int
+    retries: int
+    elapsed_s: float
+    outcome: str
 
 
 class TDAMSearchService:
@@ -364,13 +390,45 @@ class TDAMSearchService:
             for i in range(len(batch))
         ]
 
-    # The serving core, shared by single and batched entry points.
+    def top_k(
+        self,
+        queries: Sequence[Sequence[int]],
+        k: int,
+        deadline_s: Optional[float] = None,
+    ) -> TopKServiceResponse:
+        """Serve a batched top-k request under one shared deadline.
+
+        The cheap path: a pristine shard answers through its pruned
+        top-k cascade (no full distance matrix, decode, or energy
+        accounting); a degraded shard falls back to ranking its full
+        batched search.  Same admission, deadline, retry, breaker, and
+        degraded-fallback semantics as :meth:`search_batch`.
+        """
+        qs = self._admit_matrix(queries, name="query batch")
+        if not 1 <= k <= self.n_rows:
+            self._count_request("rejected")
+            raise InvalidRequestError(
+                f"k must be in [1, {self.n_rows}], got {k}"
+            )
+        return self._serve(
+            qs,
+            deadline_s,
+            lambda shard: shard.array.top_k_batch(qs, k),
+            respond=self._respond_top_k,
+        )
+
+    # The serving core, shared by single, batched, and top-k entry
+    # points; ``respond`` shapes the winning shard result into the
+    # endpoint's response type.
     def _serve(
         self,
         queries: np.ndarray,
         deadline_s: Optional[float],
         run,
-    ) -> ServiceResponse:
+        respond=None,
+    ):
+        if respond is None:
+            respond = self._respond
         deadline_s = (
             deadline_s if deadline_s is not None else self.default_deadline_s
         )
@@ -426,12 +484,13 @@ class TDAMSearchService:
             shard.breaker.record_success()
             if self._clock() > deadline:
                 self._miss(start, deadline_s, attempts)
-            return self._respond(
+            return respond(
                 shard, result, start, attempts, retries, fallback=False
             )
         # No healthy shard answered: explicit degraded best-effort.
         return self._degraded_fallback(
-            queries, run, deadline, start, attempts, retries, last_error
+            queries, run, deadline, start, attempts, retries, last_error,
+            respond=respond,
         )
 
     def _attempt(self, shard: Shard, queries: np.ndarray, run):
@@ -458,7 +517,8 @@ class TDAMSearchService:
         attempts: int,
         retries: int,
         last_error: Optional[BaseException],
-    ) -> ServiceResponse:
+        respond=None,
+    ):
         """Best-effort answer with the degraded flag set.
 
         Tried when routing or retries are exhausted: every shard gets
@@ -467,6 +527,8 @@ class TDAMSearchService:
         and is marked degraded; only if every shard fails does the typed
         error surface.
         """
+        if respond is None:
+            respond = self._respond
         for shard in self.shards:
             if self._clock() >= deadline:
                 self._miss(start, deadline - start, attempts)
@@ -478,7 +540,7 @@ class TDAMSearchService:
                 continue
             if self._clock() > deadline:
                 self._miss(start, deadline - start, attempts)
-            return self._respond(
+            return respond(
                 shard, result, start, attempts, retries, fallback=True
             )
         self._count_request("unavailable")
@@ -517,6 +579,30 @@ class TDAMSearchService:
             elapsed_s=elapsed,
             outcome=outcome,
             batch_result=result if batched else None,
+        )
+
+    def _respond_top_k(
+        self,
+        shard: Shard,
+        result: TopKResult,
+        start: float,
+        attempts: int,
+        retries: int,
+        fallback: bool,
+    ) -> TopKServiceResponse:
+        elapsed = self._clock() - start
+        degraded = bool(result.degraded) or fallback
+        outcome = "degraded" if degraded else "ok"
+        self._count_request(outcome, elapsed, shard.shard_id, attempts)
+        return TopKServiceResponse(
+            rows=result.rows,
+            degraded=degraded,
+            pruned=result.pruned,
+            shard_id=shard.shard_id,
+            attempts=attempts,
+            retries=retries,
+            elapsed_s=elapsed,
+            outcome=outcome,
         )
 
     def _miss(self, start: float, deadline_s: float, attempts: int) -> None:

@@ -31,6 +31,7 @@ from repro.spice.montecarlo import (
     MonteCarloResult,
     resolve_worker_count,
     run_monte_carlo,
+    shutdown_executor_pools,
 )
 from repro.spice.netlist import Circuit
 from repro.spice.transient import TransientResult, simulate
@@ -53,6 +54,7 @@ __all__ = [
     "MonteCarloResult",
     "run_monte_carlo",
     "resolve_worker_count",
+    "shutdown_executor_pools",
     "solve_dc",
     "sweep_dc",
 ]

@@ -10,8 +10,10 @@ analytic backend.
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -31,6 +33,60 @@ MIN_PROCESS_TRIALS_PER_WORKER = 64
 #: Minimum trials per *thread* worker; threads are cheap to start but
 #: still pay submission/result overhead per shard.
 MIN_THREAD_TRIALS_PER_WORKER = 16
+
+# Persistent executors, keyed by (kind, worker count).  Spinning a
+# process pool up per run_monte_carlo call costs more than small runs
+# save from parallelism (the regression BENCH_search.json recorded);
+# keeping the pool across calls amortizes it.  Bit-reproducibility is
+# untouched: each trial's stream comes from its own SeedSequence child,
+# independent of which worker (or pool generation) evaluates it.
+_POOLS: Dict[
+    Tuple[str, int], concurrent.futures.Executor
+] = {}
+_POOL_LOCK = threading.Lock()
+
+
+def _get_pool(executor: str, n_workers: int) -> concurrent.futures.Executor:
+    """The shared executor for ``(executor, n_workers)``, creating it once."""
+    key = (executor, n_workers)
+    with _POOL_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None:
+            pool_cls = (
+                concurrent.futures.ProcessPoolExecutor
+                if executor == "process"
+                else concurrent.futures.ThreadPoolExecutor
+            )
+            pool = pool_cls(max_workers=n_workers)
+            _POOLS[key] = pool
+        return pool
+
+
+def _drop_pool(executor: str, n_workers: int) -> None:
+    """Discard (and shut down) one broken pool so the next call rebuilds it."""
+    with _POOL_LOCK:
+        pool = _POOLS.pop((executor, n_workers), None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_executor_pools() -> int:
+    """Shut down every persistent Monte Carlo executor pool.
+
+    Returns the number of pools shut down.  Safe to call at any time --
+    the next :func:`run_monte_carlo` simply recreates what it needs.
+    Registered via :mod:`atexit` so worker processes never outlive the
+    interpreter.
+    """
+    with _POOL_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+    return len(pools)
+
+
+atexit.register(shutdown_executor_pools)
 
 
 @dataclass
@@ -175,6 +231,39 @@ def resolve_worker_count(
     return workers, None
 
 
+def _run_sharded(
+    trial: Callable[[np.random.Generator], float],
+    shards: Sequence[Sequence[np.random.SeedSequence]],
+    allow_failures: bool,
+    executor: str,
+    n_workers: int,
+) -> List[Tuple[List[Optional[float]], float]]:
+    """Run the shards on the persistent pool, surviving one pool death.
+
+    A :class:`~concurrent.futures.BrokenExecutor` (e.g. a worker killed
+    mid-run) discards the shared pool and resubmits the whole shard set
+    on a fresh one exactly once -- resubmission replays the same seed
+    children, so the retry is bit-identical to an undisturbed run.
+    """
+    for retry in (False, True):
+        pool = _get_pool(executor, n_workers)
+        try:
+            futures = [
+                pool.submit(_run_shard, trial, shard, allow_failures)
+                for shard in shards
+            ]
+            return [future.result() for future in futures]
+        except concurrent.futures.BrokenExecutor:
+            _drop_pool(executor, n_workers)
+            if retry:
+                raise
+            _log.warning(
+                "Monte Carlo executor pool broke; retrying on a fresh pool",
+                extra={"executor": executor, "n_workers": n_workers},
+            )
+    raise AssertionError("unreachable")
+
+
 def run_monte_carlo(
     trial: Callable[[np.random.Generator], float],
     n_runs: int,
@@ -245,17 +334,9 @@ def run_monte_carlo(
             shards = [
                 children[bounds[i]:bounds[i + 1]] for i in range(n_workers)
             ]
-            pool_cls = (
-                concurrent.futures.ProcessPoolExecutor
-                if executor == "process"
-                else concurrent.futures.ThreadPoolExecutor
+            shard_outcomes = _run_sharded(
+                trial, shards, allow_failures, executor, n_workers
             )
-            with pool_cls(max_workers=n_workers) as pool:
-                futures = [
-                    pool.submit(_run_shard, trial, shard, allow_failures)
-                    for shard in shards
-                ]
-                shard_outcomes = [future.result() for future in futures]
     raw = [x for outcomes, _ in shard_outcomes for x in outcomes]
     if _TM.enabled:
         for i, (outcomes, elapsed) in enumerate(shard_outcomes):

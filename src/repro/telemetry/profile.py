@@ -38,6 +38,14 @@ PROBE_EVENTS: Dict[str, str] = {
         "min/max mismatches, latency_s (slowest), energy_j (total)"
     ),
     "array.write_all": "full-array program: rows, stages",
+    "kernel.autotune": (
+        "batched-search kernel autotuned: key (rows, stages, levels, "
+        "nominal), winner, per-candidate best seconds"
+    ),
+    "topk.pruned": (
+        "pruned top-k cascade served: rows, queries, k, survivors, "
+        "prefix_stages"
+    ),
     "cache.threshold": (
         "threshold/level-table cache event: op in "
         "{hit, rebuild, invalidate}"

@@ -110,3 +110,58 @@ class TestConstruction:
 
     def test_turn_on_overdrive_positive(self, inference):
         assert 0 < inference._von < 0.2
+
+
+class TestTopK:
+    def naive_top_k(self, counts, k):
+        out = np.empty((counts.shape[0], k), dtype=np.int64)
+        for i in range(counts.shape[0]):
+            out[i] = np.lexsort(
+                (np.arange(counts.shape[1]), counts[i])
+            )[:k]
+        return out
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_pruned_matches_ranked_counts(self, inference, k):
+        queries = np.random.default_rng(9).integers(0, 4, size=(7, 300))
+        got = inference.top_k(queries, k)
+        expected = self.naive_top_k(inference.mismatch_counts(queries), k)
+        assert np.array_equal(got, expected)
+
+    def test_top_1_agrees_with_predict(self, inference):
+        queries = np.random.default_rng(10).integers(0, 4, size=(9, 300))
+        assert np.array_equal(
+            inference.top_k(queries, 1)[:, 0], inference.predict(queries)
+        )
+
+    def test_variation_fallback_matches_ranked_counts(self):
+        var_inf = TDAMInference(
+            make_model(), n_features=100,
+            variation=VariationModel(sigma_mv=30.0, seed=4),
+        )
+        queries = np.random.default_rng(11).integers(0, 4, size=(6, 300))
+        got = var_inf.top_k(queries, 2)
+        expected = self.naive_top_k(var_inf.mismatch_counts(queries), 2)
+        assert np.array_equal(got, expected)
+
+    def test_chunked_agrees(self, inference):
+        queries = np.random.default_rng(12).integers(0, 4, size=(10, 300))
+        assert np.array_equal(
+            inference.top_k(queries, 3, chunk=3),
+            inference.top_k(queries, 3, chunk=100),
+        )
+
+    def test_k_validation(self, inference):
+        queries = np.zeros((1, 300), dtype=np.int64)
+        with pytest.raises(ValueError, match=r"k must be in \[1, 4\]"):
+            inference.top_k(queries, 5)
+
+    def test_packed_counts_match_direct_comparison(self, inference):
+        # The packed bit-plane path of mismatch_counts against the
+        # obvious dense comparison, across chunk boundaries.
+        queries = np.random.default_rng(13).integers(0, 4, size=(5, 300))
+        counts = inference.mismatch_counts(queries, chunk=2)
+        expected = (
+            queries[:, None, :] != inference.model.levels[None, :, :]
+        ).sum(axis=2)
+        assert np.array_equal(counts, expected)

@@ -217,3 +217,85 @@ class TestHealthReport:
         array.run_bist()
         for row in range(6):
             assert array.search(stored[row]).best_row == row
+
+
+class TestTopKBatch:
+    def test_pristine_served_by_pruned_cascade(self, config, stored):
+        array = ResilientTDAMArray(config, n_rows=6, n_spares=2)
+        array.write_all(stored)
+        queries = np.random.default_rng(7).integers(
+            0, 4, size=(8, config.n_stages)
+        )
+        result = array.top_k_batch(queries, 3)
+        assert result.pruned
+        assert not result.degraded
+        assert result.retired_rows == ()
+        expected = array.search_batch(queries).top_k(3)
+        assert np.array_equal(result.rows, expected)
+
+    def test_self_queries_win_their_row(self, config, stored):
+        array = ResilientTDAMArray(config, n_rows=6, n_spares=2)
+        array.write_all(stored)
+        result = array.top_k_batch(stored, 1)
+        assert np.array_equal(result.rows[:, 0], np.arange(6))
+
+    def test_repaired_array_falls_back_exactly(self, config, stored):
+        array = ResilientTDAMArray(
+            config,
+            n_rows=6,
+            n_spares=2,
+            faults=[Fault(FaultType.DEAD_ROW, row=2)],
+        )
+        array.write_all(stored)
+        array.self_test_and_repair()
+        queries = np.random.default_rng(8).integers(
+            0, 4, size=(5, config.n_stages)
+        )
+        result = array.top_k_batch(queries, 2)
+        assert not result.pruned
+        assert np.array_equal(
+            result.rows, array.search_batch(queries).top_k(2)
+        )
+
+    def test_retired_rows_flag_degraded(self, config, stored):
+        array = ResilientTDAMArray(
+            config,
+            n_rows=6,
+            n_spares=0,
+            faults=[Fault(FaultType.DEAD_ROW, row=1)],
+        )
+        array.write_all(stored)
+        array.self_test_and_repair()
+        queries = stored[:4]
+        result = array.top_k_batch(queries, 3)
+        assert result.degraded
+        assert not result.pruned
+        assert 1 in result.retired_rows
+        assert 1 not in set(result.rows.ravel())
+        assert np.array_equal(
+            result.rows, array.search_batch(queries).top_k(3)
+        )
+
+    def test_batch_result_top_k_matches_shared_rule(self, config, stored):
+        array = ResilientTDAMArray(config, n_rows=6, n_spares=2)
+        array.write_all(stored)
+        queries = np.random.default_rng(9).integers(
+            0, 4, size=(4, config.n_stages)
+        )
+        batch = array.search_batch(queries)
+        top = batch.top_k(2)
+        for i in range(len(batch)):
+            order = np.lexsort(
+                (
+                    np.arange(6),
+                    batch.delays_s[i],
+                    batch.hamming_distances[i],
+                )
+            )
+            assert np.array_equal(top[i], order[:2])
+
+    def test_k_validation(self, config, stored):
+        array = ResilientTDAMArray(config, n_rows=6, n_spares=2)
+        array.write_all(stored)
+        with pytest.raises(ValueError, match=r"k must be in \[1, 6\]"):
+            array.top_k_batch(stored[:1], 7)

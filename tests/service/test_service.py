@@ -308,3 +308,56 @@ class TestTelemetry:
             )
             assert requests.value(outcome="ok") == 1
             assert requests.value(outcome="rejected") == 1
+
+
+class TestTopKEndpoint:
+    def test_serves_pruned_rows(self, service, stored):
+        queries = np.random.default_rng(6).integers(0, 4, size=(5, 16))
+        response = service.top_k(queries, 2)
+        assert response.outcome == "ok"
+        assert not response.degraded
+        assert response.pruned
+        assert response.rows.shape == (5, 2)
+        shard = service.shards[0].array
+        assert np.array_equal(
+            response.rows, shard.search_batch(queries).top_k(2)
+        )
+
+    def test_self_queries_win(self, service, stored):
+        response = service.top_k(stored, 1)
+        assert np.array_equal(
+            response.rows[:, 0], np.arange(stored.shape[0])
+        )
+
+    def test_k_validation_is_a_rejection(self, service, stored):
+        with pytest.raises(InvalidRequestError, match=r"k must be in"):
+            service.top_k(stored[:1], 0)
+        with pytest.raises(InvalidRequestError, match=r"k must be in"):
+            service.top_k(stored[:1], 7)
+
+    def test_admission_still_applies(self, service):
+        with pytest.raises(InvalidRequestError, match="elements"):
+            service.top_k([[9] * 16], 1)
+
+    def test_degraded_shards_flag_the_response(self, config, stored, clock):
+        shards = [
+            ResilientTDAMArray(
+                config,
+                n_rows=6,
+                n_spares=0,
+                faults=[Fault(FaultType.DEAD_ROW, row=1)],
+            )
+            for _ in range(2)
+        ]
+        service = TDAMSearchService(
+            shards, clock=clock.now, sleep=clock.sleep
+        )
+        service.write_all(stored)
+        for shard in shards:
+            shard.self_test_and_repair()
+        queries = stored[:3]
+        response = service.top_k(queries, 2)
+        assert response.degraded
+        assert not response.pruned
+        assert response.outcome == "degraded"
+        assert 1 not in set(response.rows.ravel())

@@ -1,8 +1,11 @@
 """Tests of the Monte Carlo harness."""
 
+import concurrent.futures
+
 import numpy as np
 import pytest
 
+from repro.spice import montecarlo
 from repro.spice.montecarlo import MonteCarloResult, run_monte_carlo
 
 
@@ -158,4 +161,94 @@ class TestParallelMonteCarlo:
         with pytest.raises(ValueError, match="executor"):
             run_monte_carlo(
                 _gaussian_trial, n_runs=4, n_workers=2, executor="fork"
+            )
+
+
+class TestPersistentPools:
+    """The executor pools persist across calls and survive one break."""
+
+    @pytest.fixture(autouse=True)
+    def clean_pools(self):
+        montecarlo.shutdown_executor_pools()
+        yield
+        montecarlo.shutdown_executor_pools()
+
+    def test_pool_is_reused_across_calls(self):
+        run_monte_carlo(
+            _gaussian_trial, n_runs=8, seed=1, n_workers=2, executor="thread"
+        )
+        pool = montecarlo._POOLS[("thread", 2)]
+        run_monte_carlo(
+            _gaussian_trial, n_runs=8, seed=2, n_workers=2, executor="thread"
+        )
+        assert montecarlo._POOLS[("thread", 2)] is pool
+
+    def test_serial_path_creates_no_pool(self):
+        run_monte_carlo(_gaussian_trial, n_runs=8, seed=1, n_workers=1)
+        assert montecarlo._POOLS == {}
+
+    def test_shutdown_counts_and_clears(self):
+        run_monte_carlo(
+            _gaussian_trial, n_runs=8, seed=1, n_workers=2, executor="thread"
+        )
+        run_monte_carlo(
+            _gaussian_trial, n_runs=9, seed=1, n_workers=3, executor="thread"
+        )
+        assert montecarlo.shutdown_executor_pools() == 2
+        assert montecarlo._POOLS == {}
+        assert montecarlo.shutdown_executor_pools() == 0
+        # The next run simply recreates what it needs.
+        result = run_monte_carlo(
+            _gaussian_trial, n_runs=8, seed=1, n_workers=2, executor="thread"
+        )
+        assert len(result.samples) == 8
+
+    def test_bit_identical_across_pool_generations(self):
+        before = run_monte_carlo(
+            _gaussian_trial, n_runs=16, seed=7, n_workers=2, executor="thread"
+        )
+        montecarlo.shutdown_executor_pools()
+        after = run_monte_carlo(
+            _gaussian_trial, n_runs=16, seed=7, n_workers=2, executor="thread"
+        )
+        serial = run_monte_carlo(_gaussian_trial, n_runs=16, seed=7)
+        assert np.array_equal(before.samples, after.samples)
+        assert np.array_equal(before.samples, serial.samples)
+
+    def test_broken_pool_is_replaced_and_retried(self, monkeypatch):
+        class BrokenPool:
+            def submit(self, *args, **kwargs):
+                raise concurrent.futures.BrokenExecutor("worker died")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        montecarlo._POOLS[("thread", 2)] = BrokenPool()
+        result = run_monte_carlo(
+            _gaussian_trial, n_runs=8, seed=3, n_workers=2, executor="thread"
+        )
+        serial = run_monte_carlo(_gaussian_trial, n_runs=8, seed=3)
+        assert np.array_equal(result.samples, serial.samples)
+        assert not isinstance(
+            montecarlo._POOLS[("thread", 2)], BrokenPool
+        )
+
+    def test_double_break_propagates(self, monkeypatch):
+        class BrokenPool:
+            def submit(self, *args, **kwargs):
+                raise concurrent.futures.BrokenExecutor("worker died")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(
+            montecarlo, "_get_pool", lambda ex, n: BrokenPool()
+        )
+        with pytest.raises(concurrent.futures.BrokenExecutor):
+            run_monte_carlo(
+                _gaussian_trial,
+                n_runs=8,
+                seed=3,
+                n_workers=2,
+                executor="thread",
             )

@@ -20,11 +20,28 @@ plus two direct wall-clock studies, and writes ``BENCH_search.json``:
    probes), against the bare un-instrumented kernel.  Optionally writes
    the metrics registry and a Chrome trace as CI artifacts.
 
+4. **Kernel shootout**: the three batched-count kernels (packed-popcount,
+   one-hot GEMM, reference loop) forced via the dispatch layer on the
+   same workload, with cross-kernel bit-exactness asserted; the tracked
+   headline is ``packed_speedup_vs_gemm``.
+5. **Pruned top-k**: ``FastTDAMArray.top_k_batch`` (prefix-count pruning
+   cascade) against exhaustive ``search_batch().top_k``, with index-exact
+   equality asserted.
+
+Regression gate.  With ``--baseline BENCH_search.json`` the report is
+compared against the committed numbers metric-by-metric
+(:data:`TRACKED_GATES`); ``--gate`` turns any failed comparison into a
+non-zero exit (the CI bench job fails), and ``--compare-report`` writes
+the full comparison table as a JSON artifact.  Metrics absent from the
+baseline are *skipped*, so new benches can land before their baseline.
+
 Usage::
 
     PYTHONPATH=src python tools/bench_report.py [--output BENCH_search.json]
         [--skip-microbench] [--workers N] [--mc-runs N]
         [--metrics-out metrics.json] [--trace-out trace.json]
+        [--baseline BENCH_search.json] [--gate]
+        [--compare-report compare.json]
 """
 
 from __future__ import annotations
@@ -45,8 +62,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import telemetry  # noqa: E402
-from repro.core.array import FastTDAMArray  # noqa: E402
+from repro.core.array import FastTDAMArray, resolve_query_chunk  # noqa: E402
 from repro.core.config import TDAMConfig  # noqa: E402
+from repro.core.kernels import force_kernel  # noqa: E402
 from repro.experiments.fig6_montecarlo import Fig6Trial  # noqa: E402
 from repro.spice.montecarlo import (  # noqa: E402
     resolve_worker_count,
@@ -95,6 +113,88 @@ def bench_search_batch(repeats: int = 5) -> dict:
         "batch_queries_per_s": N_QUERIES / t_batch,
         "speedup": t_loop / t_batch,
         "bit_exact": exact,
+    }
+
+
+def bench_kernels(repeats: int = 30) -> dict:
+    """Forced-kernel shootout of the batched-count kernels.
+
+    Times ``_counts_packed`` / ``_counts_gemm`` / ``_counts_loop`` on
+    the committed reference workload and asserts all three agree
+    bit-for-bit (counts are exact integers, so *any* difference is a
+    kernel bug, not float noise).  The tracked gate is
+    ``packed_speedup_vs_gemm``.
+    """
+    config = TDAMConfig.fig8_system()
+    array = FastTDAMArray(config, n_rows=N_ROWS)
+    rng = np.random.default_rng(1)
+    array.write_all(rng.integers(0, 4, size=(N_ROWS, N_STAGES)))
+    queries = rng.integers(0, 4, size=(N_QUERIES, N_STAGES))
+    chunk = resolve_query_chunk(N_ROWS, N_STAGES)
+    array.search_batch(queries)  # build the write-time tables
+
+    t_packed = _best_of(lambda: array._counts_packed(queries, chunk), repeats)
+    t_gemm = _best_of(lambda: array._counts_gemm(queries, chunk), repeats)
+    t_loop = _best_of(
+        lambda: array._counts_loop(queries), max(3, repeats // 6)
+    )
+    reference = array._counts_loop(queries)
+    exact = bool(
+        np.array_equal(array._counts_packed(queries, chunk), reference)
+        and np.array_equal(array._counts_gemm(queries, chunk), reference)
+    )
+    # End-to-end forced-kernel search_batch must agree on every field.
+    with force_kernel("loop"):
+        ref_batch = array.search_batch(queries)
+    for name in ("packed", "gemm"):
+        with force_kernel(name):
+            batch = array.search_batch(queries)
+        exact = exact and bool(
+            np.array_equal(batch.delays_s, ref_batch.delays_s)
+            and np.array_equal(
+                batch.hamming_distances, ref_batch.hamming_distances
+            )
+            and np.array_equal(batch.best_rows, ref_batch.best_rows)
+        )
+    return {
+        "workload": f"{N_ROWS} rows x {N_STAGES} stages x {N_QUERIES} queries",
+        "packed_s": t_packed,
+        "gemm_s": t_gemm,
+        "loop_s": t_loop,
+        "packed_speedup_vs_gemm": t_gemm / t_packed,
+        "packed_speedup_vs_loop": t_loop / t_packed,
+        "bit_exact": exact,
+    }
+
+
+def bench_topk(k: int = 5, repeats: int = 10) -> dict:
+    """Pruned top-k cascade vs exhaustive search + rank."""
+    config = TDAMConfig.fig8_system()
+    array = FastTDAMArray(config, n_rows=N_ROWS)
+    rng = np.random.default_rng(1)
+    array.write_all(rng.integers(0, 4, size=(N_ROWS, N_STAGES)))
+    queries = rng.integers(0, 4, size=(N_QUERIES, N_STAGES))
+    array.top_k_batch(queries, k)  # warm up and build the tables
+
+    t_exhaustive = _best_of(
+        lambda: array.search_batch(queries).top_k(k), repeats
+    )
+    t_pruned = _best_of(lambda: array.top_k_batch(queries, k), repeats)
+    exact = bool(
+        np.array_equal(
+            array.top_k_batch(queries, k),
+            array.search_batch(queries).top_k(k),
+        )
+    )
+    return {
+        "workload": (
+            f"{N_ROWS} rows x {N_STAGES} stages x {N_QUERIES} queries, "
+            f"k={k}"
+        ),
+        "exhaustive_s": t_exhaustive,
+        "pruned_s": t_pruned,
+        "speedup": t_exhaustive / t_pruned,
+        "exact": exact,
     }
 
 
@@ -215,6 +315,90 @@ def run_microbench() -> dict:
     }
 
 
+#: The perf-regression contract: (metric path, kind, threshold).
+#:
+#: - ``abs_min``: the current value must be >= the absolute threshold.
+#: - ``rel_min``: the current value must be >= threshold * baseline
+#:   (a fractional floor, e.g. 0.75 tolerates a 25% regression).
+#: - ``true``: the current value must be exactly ``True`` (bit-exactness
+#:   flags -- never negotiable).
+#:
+#: Metrics missing from the *baseline* are skipped (new benches can land
+#: before their baseline is recorded); metrics missing from the current
+#: *report* fail (a tracked kernel silently disappearing is itself a
+#: regression).
+TRACKED_GATES = (
+    ("search_batch.speedup", "abs_min", 10.0),
+    ("search_batch.bit_exact", "true", None),
+    ("kernels.packed_speedup_vs_gemm", "abs_min", 3.0),
+    ("kernels.bit_exact", "true", None),
+    ("topk.exact", "true", None),
+    ("monte_carlo.speedup", "rel_min", 0.75),
+    ("monte_carlo.bit_identical", "true", None),
+)
+
+
+def _lookup(report: dict, path: str):
+    """Fetch a dotted metric path from a nested report dict."""
+    node = report
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def compare_to_baseline(report: dict, baseline: dict) -> list:
+    """Evaluate every tracked gate; return one comparison row each."""
+    rows = []
+    for path, kind, threshold in TRACKED_GATES:
+        current = _lookup(report, path)
+        base = _lookup(baseline, path)
+        row = {
+            "metric": path,
+            "kind": kind,
+            "current": current,
+            "baseline": base,
+        }
+        if current is None:
+            row["status"] = "fail"
+            row["reason"] = "metric missing from current report"
+        elif kind == "true":
+            row["status"] = "pass" if current is True else "fail"
+        elif kind == "abs_min":
+            row["threshold"] = threshold
+            row["status"] = "pass" if current >= threshold else "fail"
+        elif kind == "rel_min":
+            if base is None:
+                row["status"] = "skipped"
+                row["reason"] = "metric missing from baseline"
+            else:
+                row["threshold"] = threshold * base
+                row["status"] = (
+                    "pass" if current >= threshold * base else "fail"
+                )
+        rows.append(row)
+    return rows
+
+
+def _print_comparison(rows: list) -> bool:
+    """Render the gate table; return True when every gate passed."""
+    ok = True
+    print("perf gate vs baseline:")
+    for row in rows:
+        status = row["status"]
+        ok = ok and status != "fail"
+        detail = f"current={row['current']}"
+        if row.get("threshold") is not None:
+            detail += f" threshold>={row['threshold']:.3g}"
+        if row.get("baseline") is not None:
+            detail += f" baseline={row['baseline']}"
+        if row.get("reason"):
+            detail += f" ({row['reason']})"
+        print(f"  [{status.upper():>7}] {row['metric']}: {detail}")
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -244,7 +428,24 @@ def main(argv=None) -> int:
         help="also dump a Chrome trace of the reference workload to "
              "this JSON path (CI artifact)",
     )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed BENCH_search.json to compare the fresh report "
+             "against (prints the gate table)",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero when any tracked metric fails its threshold "
+             "(requires --baseline)",
+    )
+    parser.add_argument(
+        "--compare-report", default=None,
+        help="write the gate comparison table to this JSON path "
+             "(CI artifact)",
+    )
     args = parser.parse_args(argv)
+    if args.gate and not args.baseline:
+        parser.error("--gate requires --baseline")
 
     report = {
         "python": platform.python_version(),
@@ -252,6 +453,8 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "search_batch": bench_search_batch(),
+        "kernels": bench_kernels(),
+        "topk": bench_topk(),
         "monte_carlo": bench_monte_carlo(args.mc_runs, args.workers),
         "telemetry_overhead": bench_telemetry_overhead(),
     }
@@ -263,11 +466,18 @@ def main(argv=None) -> int:
         export_telemetry_artifacts(args.metrics_out, args.trace_out)
 
     search = report["search_batch"]
+    kern = report["kernels"]
+    topk = report["topk"]
     mc = report["monte_carlo"]
     tel = report["telemetry_overhead"]
     print(f"search_batch: {search['batch_queries_per_s']:,.0f} queries/s "
           f"({search['speedup']:.1f}x vs loop, "
           f"bit_exact={search['bit_exact']})")
+    print(f"kernels:      packed {kern['packed_speedup_vs_gemm']:.2f}x vs "
+          f"gemm, {kern['packed_speedup_vs_loop']:.1f}x vs loop "
+          f"(bit_exact={kern['bit_exact']})")
+    print(f"topk:         pruned {topk['speedup']:.2f}x vs exhaustive "
+          f"(exact={topk['exact']})")
     mc_note = (f" [auto fell back to serial: {mc['fallback_reason']}]"
                if mc["fallback_reason"] else "")
     print(f"monte_carlo:  {mc['speedup']:.2f}x with {mc['n_workers']} "
@@ -279,6 +489,22 @@ def main(argv=None) -> int:
         print(f"wrote {args.metrics_out}")
     if args.trace_out:
         print(f"wrote {args.trace_out}")
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        rows = compare_to_baseline(report, baseline)
+        ok = _print_comparison(rows)
+        if args.compare_report:
+            Path(args.compare_report).write_text(
+                json.dumps(
+                    {"baseline": args.baseline, "gates": rows, "ok": ok},
+                    indent=2,
+                ) + "\n"
+            )
+            print(f"wrote {args.compare_report}")
+        if args.gate and not ok:
+            print("perf gate FAILED")
+            return 1
     return 0
 
 
