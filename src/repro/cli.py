@@ -390,6 +390,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--scenarios", nargs="+", default=None, metavar="NAME",
         help="subset of scenario names (default: all)",
     )
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="deterministic open-loop load test of the coalescing "
+             "front-end (fake clock; exits non-zero if any answer "
+             "was wrong without the degraded flag)",
+        parents=[telemetry_options],
+    )
+    loadtest.add_argument(
+        "--rate", type=float, default=2000.0, metavar="QPS",
+        help="offered Poisson arrival rate, requests/second",
+    )
+    loadtest.add_argument(
+        "--duration", type=float, default=0.25, metavar="S",
+        help="simulated arrival span in seconds",
+    )
+    loadtest.add_argument(
+        "--deadline", type=float, default=0.050, metavar="S",
+        help="per-request deadline from nominal arrival",
+    )
+    loadtest.add_argument(
+        "--tenants", type=int, default=4, help="number of tenants",
+    )
+    loadtest.add_argument(
+        "--tenant-quota", type=float, default=None, metavar="QPS",
+        help="per-tenant token-bucket rate (default: unlimited)",
+    )
+    loadtest.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded intake queue depth (beyond it, load is shed)",
+    )
+    loadtest.add_argument(
+        "--window", type=float, default=0.002, metavar="S",
+        help="coalescing window",
+    )
+    loadtest.add_argument(
+        "--max-batch", type=int, default=32,
+        help="coalesced batch-size cap",
+    )
+    loadtest.add_argument(
+        "--kind", choices=["search", "topk"], default="search",
+        help="request type to replay",
+    )
+    loadtest.add_argument(
+        "--k", type=int, default=3, help="top-k size (--kind topk)",
+    )
+    loadtest.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed of the arrival/tenant/query streams",
+    )
+    loadtest.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help="also write the report as JSON (CI artifact format)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -397,7 +450,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             description, _ = EXPERIMENTS[name]
             emit(f"{name:<10} {description}")
         return 0
-    if args.command not in ("run", "resilience", "chaos", "report"):
+    if args.command not in (
+        "run", "resilience", "chaos", "loadtest", "report"
+    ):
         parser.print_help()
         return 2
     _telemetry_begin(args)
@@ -445,6 +500,40 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         emit(format_chaos(chaos_report))
         return 0 if chaos_report.passed else 1
+    if args.command == "loadtest":
+        import math as _math
+
+        from repro.service.loadgen import (
+            LoadConfig,
+            format_load_report,
+            run_load,
+        )
+
+        load_report = run_load(
+            LoadConfig(
+                duration_s=args.duration,
+                rate_per_s=args.rate,
+                deadline_s=args.deadline,
+                n_tenants=args.tenants,
+                quota_rate_per_s=(
+                    args.tenant_quota
+                    if args.tenant_quota is not None
+                    else _math.inf
+                ),
+                max_queue_depth=args.queue_depth,
+                window_s=args.window,
+                max_batch=args.max_batch,
+                kind=args.kind,
+                k=args.k,
+                seed=args.seed,
+            )
+        )
+        emit(format_load_report(load_report))
+        if args.json_out:
+            with open(args.json_out, "w") as handle:
+                handle.write(load_report.to_json() + "\n")
+            emit(f"json report written to {args.json_out}")
+        return 0 if load_report.honest else 1
     sections: List[str] = []
     for name in REPORT_ORDER:
         description, runner = EXPERIMENTS[name]

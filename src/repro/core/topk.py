@@ -151,15 +151,22 @@ def grouped_top_k(
     k: int,
     n_queries: int,
     secondary: Optional[np.ndarray] = None,
+    pad: Optional[int] = None,
 ) -> np.ndarray:
     """Per-query top-k rows from flattened candidate pairs.
 
-    The refinement step of the pruned cascade: candidates arrive as
-    parallel ``(query_idx, row_idx)`` arrays with their exact ranking
-    keys, and each query must hold at least ``k`` candidates (which
-    :func:`prune_survivors` guarantees).  Ranking per query follows the
-    shared rule -- ``primary``, then ``secondary`` when given, then
-    ``row_idx``.
+    The refinement step of the pruned cascade -- and the scatter/gather
+    merge of the partitioned service: candidates arrive as parallel
+    ``(query_idx, row_idx)`` arrays with their exact ranking keys.
+    Ranking per query follows the shared rule -- ``primary``, then
+    ``secondary`` when given, then ``row_idx``.
+
+    By default each query must hold at least ``k`` candidates (which
+    :func:`prune_survivors` guarantees).  A partitioned corpus serving
+    with partitions skipped cannot guarantee that: passing ``pad``
+    allows short (even empty) groups and fills the tail of their output
+    rows with the pad value instead of raising -- the honest "fewer than
+    k rows were reachable" answer.
 
     Args:
         query_idx: Query of each candidate pair (ascending), shape (P,).
@@ -168,19 +175,32 @@ def grouped_top_k(
         k: Rows to keep per query.
         n_queries: Number of queries (rows of the output).
         secondary: Optional secondary key per pair (delay tie-break).
+        pad: Fill value for queries with fewer than ``k`` candidates;
+            ``None`` (default) keeps the strict >= k contract.
 
     Returns:
         int64 row indices, shape ``(n_queries, k)``.
     """
+    query_idx = np.asarray(query_idx)
+    row_idx = np.asarray(row_idx)
     if secondary is None:
         order = np.lexsort((row_idx, primary, query_idx))
     else:
         order = np.lexsort((row_idx, secondary, primary, query_idx))
     counts = np.bincount(query_idx, minlength=n_queries)
     if n_queries > 0 and counts.min() < k:
-        raise ValueError(
-            f"every query needs >= {k} candidates, got min {counts.min()}"
-        )
+        if pad is None:
+            raise ValueError(
+                f"every query needs >= {k} candidates, "
+                f"got min {counts.min()}"
+            )
+        out = np.full((n_queries, k), int(pad), dtype=np.int64)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        ranked = row_idx[order]
+        for q in range(n_queries):
+            take = min(k, int(counts[q]))
+            out[q, :take] = ranked[starts[q]:starts[q] + take]
+        return out
     starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
     take = starts[:, None] + np.arange(k)[None, :]
     return row_idx[order[take]].astype(np.int64)

@@ -4,7 +4,16 @@ Wraps :class:`~repro.resilience.resilient.ResilientTDAMArray` replicas
 behind a single request surface with the standard reliability toolkit:
 
 - **admission** -- strict input validation and per-request deadlines
-  (:class:`TDAMSearchService`);
+  (:class:`TDAMSearchService`), plus overload admission control:
+  per-tenant token-bucket quotas and a bounded intake queue with typed
+  load shedding (:mod:`repro.service.admission`);
+- **coalescing** -- a thread-safe concurrent front-end that groups
+  compatible single-query requests into one batched shard call,
+  bit-exactly (:mod:`repro.service.coalesce`,
+  :mod:`repro.service.frontend`);
+- **partitioning** -- one logical corpus scattered across disjoint
+  row-range partitions, gathered under the global ranking rule with
+  honest partial-coverage reporting (:mod:`repro.service.partition`);
 - **retries** -- exponential backoff with decorrelated jitter, gated by
   a Finagle-style retry budget (:mod:`repro.service.retry`);
 - **circuit breakers** -- per-shard quarantine driven by both request
@@ -17,13 +26,22 @@ behind a single request surface with the standard reliability toolkit:
   shard's full physical + repair state, optionally triggered by
   repair/refresh probe events (:mod:`repro.service.checkpoint`);
 - **chaos harness** -- scripted failure scenarios with SLO assertions
-  (:mod:`repro.service.chaos`, ``repro chaos``).
+  (:mod:`repro.service.chaos`, ``repro chaos``);
+- **load generation** -- a deterministic open-loop generator scoring
+  goodput, shed-rate, latency percentiles, and honesty on a fake clock
+  (:mod:`repro.service.loadgen`, ``repro loadtest``).
 
 The error taxonomy in :mod:`repro.service.errors` is the contract:
-transient errors retry, invalid requests reject immediately, and every
-exhaustion path has a distinct type.
+transient errors retry, invalid requests reject immediately, overload
+sheds carry ``retry_after_s``, and every exhaustion path has a distinct
+type.
 """
 
+from repro.service.admission import (
+    AdmissionController,
+    TenantQuotas,
+    TokenBucket,
+)
 from repro.service.breaker import BreakerState, CircuitBreaker
 from repro.service.chaos import (
     ChaosReport,
@@ -33,7 +51,15 @@ from repro.service.chaos import (
     run_chaos_suite,
 )
 from repro.service.checkpoint import CheckpointInfo, ServiceCheckpointer
+from repro.service.coalesce import (
+    CoalescePolicy,
+    Coalescer,
+    FrontendFuture,
+    PendingRequest,
+    ReadyBatch,
+)
 from repro.service.errors import (
+    AdmissionRejectedError,
     AllShardsUnavailableError,
     CalibrationDriftError,
     CheckpointCorruptError,
@@ -42,12 +68,28 @@ from repro.service.errors import (
     CircuitOpenError,
     DeadlineExceededError,
     InvalidRequestError,
+    OverloadError,
+    QuotaExceededError,
+    ReplicaDivergenceError,
     RetryBudgetExhaustedError,
     ServiceError,
     ShardBusyError,
     ShardTimeoutError,
     TransientServiceError,
     is_retryable,
+)
+from repro.service.frontend import CoalescingFrontend, FrontendStats
+from repro.service.loadgen import (
+    LoadConfig,
+    LoadReport,
+    TenantReport,
+    format_load_report,
+    run_load,
+)
+from repro.service.partition import (
+    PartitionedSearchResponse,
+    PartitionedTDAMService,
+    PartitionedTopKResponse,
 )
 from repro.service.retry import BackoffSchedule, RetryBudget, RetryPolicy
 from repro.service.server import (
@@ -59,6 +101,8 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionRejectedError",
     "AllShardsUnavailableError",
     "BackoffSchedule",
     "BreakerState",
@@ -71,11 +115,26 @@ __all__ = [
     "CheckpointNotFoundError",
     "CircuitBreaker",
     "CircuitOpenError",
+    "CoalescePolicy",
+    "Coalescer",
+    "CoalescingFrontend",
     "DEADLINE_SLO",
     "DeadlineExceededError",
     "FakeClock",
+    "FrontendFuture",
+    "FrontendStats",
     "Interceptor",
     "InvalidRequestError",
+    "LoadConfig",
+    "LoadReport",
+    "OverloadError",
+    "PartitionedSearchResponse",
+    "PartitionedTDAMService",
+    "PartitionedTopKResponse",
+    "PendingRequest",
+    "QuotaExceededError",
+    "ReadyBatch",
+    "ReplicaDivergenceError",
     "RetryBudget",
     "RetryBudgetExhaustedError",
     "RetryPolicy",
@@ -86,8 +145,13 @@ __all__ = [
     "ShardBusyError",
     "ShardTimeoutError",
     "TDAMSearchService",
+    "TenantReport",
+    "TenantQuotas",
+    "TokenBucket",
     "TopKServiceResponse",
     "TransientServiceError",
+    "format_load_report",
     "is_retryable",
     "run_chaos_suite",
+    "run_load",
 ]

@@ -1,0 +1,277 @@
+"""Admission control: per-tenant quotas and a bounded intake queue.
+
+A service melting down under load fails *everyone*; one that says a
+typed, honest "no" to the excess keeps serving the rest.  This module
+is the front door's bouncer, composed of two standard disciplines:
+
+- **per-tenant token buckets** (:class:`TokenBucket` /
+  :class:`TenantQuotas`): each tenant owns a bucket refilled at its
+  contracted rate; a request from an empty bucket is rejected with
+  :class:`~repro.service.errors.QuotaExceededError` carrying the exact
+  ``retry_after_s`` until the next token, so one stampeding tenant
+  cannot starve the others;
+- **a bounded intake queue** (:class:`AdmissionController`): pending
+  work is capped at ``max_queue_depth``; beyond it requests are shed
+  immediately with :class:`~repro.service.errors.OverloadError` --
+  never silent queue growth, never unbounded latency.
+
+Both run on the caller-injected clock, so admission decisions are
+bit-deterministic under the chaos harness's fake clock, and both are
+thread-safe: admission is exactly the place where every concurrent
+client meets.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, Optional
+
+from repro.service.errors import OverloadError, QuotaExceededError
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.state import STATE as _TM
+
+__all__ = ["TokenBucket", "TenantQuotas", "AdmissionController"]
+
+_REG = _metrics.get_registry()
+_ADMISSIONS = _REG.counter(
+    "frontend_admission_total",
+    "Front-end admission decisions, by outcome "
+    "(admitted/shed_queue_full/shed_queue_deadline/shed_quota/"
+    "shed_draining)",
+    labels=("outcome",),
+)
+_QUEUE_DEPTH = _REG.gauge(
+    "frontend_queue_depth", "Requests currently queued in the front-end"
+)
+
+
+class TokenBucket:
+    """A refilling token bucket on an injectable clock.
+
+    Tokens accrue continuously at ``rate_per_s`` up to ``burst``; each
+    admitted request spends one.  ``rate_per_s=inf`` disables the limit
+    (the bucket always has a token).
+
+    Thread-safe; refill is computed lazily from elapsed clock time, so
+    an idle bucket costs nothing.
+
+    Args:
+        rate_per_s: Sustained tokens (requests) per second.
+        burst: Bucket capacity -- the largest instantaneous burst
+            admitted from a full bucket.
+        clock: Monotonic time source (seconds).
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float = 1.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if clock is None:
+            import time
+
+            clock = time.monotonic
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        if math.isinf(self.rate_per_s):
+            self._tokens = self.burst
+            self._refilled_at = now
+            return
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(
+            self.burst, self._tokens + elapsed * self.rate_per_s
+        )
+        self._refilled_at = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (after lazy refill)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+    def try_acquire(self) -> "tuple[bool, float]":
+        """Spend one token if available.
+
+        Returns:
+            ``(acquired, retry_after_s)`` -- on rejection,
+            ``retry_after_s`` is the exact time until the next token
+            accrues (0.0 on success).
+        """
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            deficit = 1.0 - self._tokens
+            return False, deficit / self.rate_per_s
+
+
+class TenantQuotas:
+    """Per-tenant token buckets with a default rate for unknown tenants.
+
+    Args:
+        default_rate_per_s: Bucket rate for tenants without an explicit
+            quota (``inf`` admits everyone -- quotas off by default).
+        default_burst: Bucket capacity for defaulted tenants.
+        clock: Monotonic time source shared by every bucket.
+    """
+
+    def __init__(
+        self,
+        default_rate_per_s: float = math.inf,
+        default_burst: float = 16.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if clock is None:
+            import time
+
+            clock = time.monotonic
+        self._clock = clock
+        self.default_rate_per_s = default_rate_per_s
+        self.default_burst = default_burst
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def set_quota(
+        self, tenant: str, rate_per_s: float, burst: float = 16.0
+    ) -> None:
+        """Install (or replace) one tenant's contracted bucket."""
+        with self._lock:
+            self._buckets[tenant] = TokenBucket(
+                rate_per_s, burst=burst, clock=self._clock
+            )
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The tenant's bucket, lazily created at the default quota."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.default_rate_per_s,
+                    burst=self.default_burst,
+                    clock=self._clock,
+                )
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def try_acquire(self, tenant: str) -> "tuple[bool, float]":
+        """Spend one of ``tenant``'s tokens; see
+        :meth:`TokenBucket.try_acquire`."""
+        return self.bucket(tenant).try_acquire()
+
+
+class AdmissionController:
+    """The front door: quota check, then bounded-queue check.
+
+    Every request passes :meth:`admit` before it may wait for a shard.
+    Rejections are *typed* and carry ``retry_after_s``:
+
+    - an empty tenant bucket raises
+      :class:`~repro.service.errors.QuotaExceededError` (time to next
+      token);
+    - a full intake queue raises
+      :class:`~repro.service.errors.OverloadError` (the configured
+      ``overload_retry_after_s`` hint, typically one batching window);
+    - a draining front-end raises
+      :class:`~repro.service.errors.OverloadError` with reason
+      ``draining``.
+
+    The quota is charged *before* the depth check; a shed either way
+    consumed one token, which is exactly the point -- a stampeding
+    tenant burns its own quota first and cannot convert its excess into
+    queue pressure for everyone else.
+
+    Args:
+        max_queue_depth: Cap on requests queued but not yet dispatched.
+        quotas: Per-tenant buckets (default: unlimited for everyone).
+        overload_retry_after_s: The ``retry_after_s`` hint attached to
+            queue-full rejections.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 256,
+        quotas: Optional[TenantQuotas] = None,
+        overload_retry_after_s: float = 0.005,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if overload_retry_after_s < 0:
+            raise ValueError(
+                f"overload_retry_after_s must be >= 0, "
+                f"got {overload_retry_after_s}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.quotas = quotas if quotas is not None else TenantQuotas()
+        self.overload_retry_after_s = overload_retry_after_s
+
+    def admit(self, tenant: str, queue_depth: int) -> None:
+        """Admit or shed one request; raises a typed rejection.
+
+        Args:
+            tenant: The requesting tenant.
+            queue_depth: Requests currently pending in the front-end.
+
+        Raises:
+            QuotaExceededError: The tenant's bucket is empty.
+            OverloadError: The intake queue is full.
+        """
+        acquired, retry_after_s = self.quotas.try_acquire(tenant)
+        if not acquired:
+            self.count("shed_quota", tenant, queue_depth, retry_after_s)
+            raise QuotaExceededError(
+                f"tenant {tenant!r} exceeded its quota; "
+                f"retry after {retry_after_s:.6f}s",
+                retry_after_s=retry_after_s,
+                tenant=tenant,
+            )
+        if queue_depth >= self.max_queue_depth:
+            self.count(
+                "shed_queue_full", tenant, queue_depth,
+                self.overload_retry_after_s,
+            )
+            raise OverloadError(
+                f"intake queue full ({queue_depth} >= "
+                f"{self.max_queue_depth}); retry after "
+                f"{self.overload_retry_after_s:.6f}s",
+                retry_after_s=self.overload_retry_after_s,
+                reason="queue_full",
+                tenant=tenant,
+            )
+        self.count("admitted", tenant, queue_depth, 0.0)
+
+    def count(
+        self,
+        outcome: str,
+        tenant: str,
+        queue_depth: int,
+        retry_after_s: float,
+    ) -> None:
+        """Record one admission decision (metrics + probe)."""
+        if not _TM.enabled:
+            return
+        _ADMISSIONS.inc(outcome=outcome)
+        _QUEUE_DEPTH.set(float(queue_depth))
+        _emit_probe(
+            "service.admission",
+            outcome=outcome,
+            tenant=tenant,
+            queue_depth=queue_depth,
+            retry_after_s=retry_after_s,
+        )

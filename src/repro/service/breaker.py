@@ -23,6 +23,7 @@ fully deterministic under the chaos harness's fake clock.
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Callable, Optional
 
 from repro.resilience.resilient import HealthReport
@@ -111,11 +112,17 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at: float = 0.0
         self._probes_in_flight = 0
+        # Breakers are fed by every concurrent request of the shard;
+        # the reentrant lock makes allow/record/transition atomic so
+        # e.g. two racing `allow()` calls cannot both claim the single
+        # half-open probe slot.
+        self._lock = threading.RLock()
 
     @property
     def state(self) -> BreakerState:
         """Current state (OPEN may lazily become HALF_OPEN on `allow`)."""
-        return self._state
+        with self._lock:
+            return self._state
 
     def _transition(self, to: BreakerState, reason: str) -> None:
         if to is self._state:
@@ -156,36 +163,39 @@ class CircuitBreaker:
         OPEN circuits flip to HALF_OPEN once the cool-down elapses; in
         HALF_OPEN, only ``half_open_probes`` concurrent trials pass.
         """
-        if self._state is BreakerState.CLOSED:
-            return True
-        if self._state is BreakerState.OPEN:
-            if self._clock() - self._opened_at < self.reset_timeout_s:
+        with self._lock:
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.OPEN:
+                if self._clock() - self._opened_at < self.reset_timeout_s:
+                    return False
+                self._transition(BreakerState.HALF_OPEN, "cooldown elapsed")
+            if self._probes_in_flight >= self.half_open_probes:
                 return False
-            self._transition(BreakerState.HALF_OPEN, "cooldown elapsed")
-        if self._probes_in_flight >= self.half_open_probes:
-            return False
-        self._probes_in_flight += 1
-        return True
+            self._probes_in_flight += 1
+            return True
 
     # ------------------------------------------------------------------
     # Outcome feedback
     # ------------------------------------------------------------------
     def record_success(self) -> None:
         """Feed back one successful request."""
-        self._consecutive_failures = 0
-        if self._state is BreakerState.HALF_OPEN:
-            self._transition(BreakerState.CLOSED, "probe succeeded")
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state is BreakerState.HALF_OPEN:
+                self._transition(BreakerState.CLOSED, "probe succeeded")
 
     def record_failure(self, reason: str = "transient failure") -> None:
         """Feed back one failed request (transient class only)."""
-        self._consecutive_failures += 1
-        if self._state is BreakerState.HALF_OPEN:
-            self._transition(BreakerState.OPEN, "probe failed")
-        elif (
-            self._state is BreakerState.CLOSED
-            and self._consecutive_failures >= self.failure_threshold
-        ):
-            self._transition(BreakerState.OPEN, reason)
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state is BreakerState.HALF_OPEN:
+                self._transition(BreakerState.OPEN, "probe failed")
+            elif (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(BreakerState.OPEN, reason)
 
     # ------------------------------------------------------------------
     # Health-driven tripping
@@ -200,18 +210,31 @@ class CircuitBreaker:
         a health-opened circuit through the usual half-open probe.
         """
         if report.degraded:
-            self._transition(
-                BreakerState.OPEN,
-                f"health: {len(report.retired_rows)} retired rows, "
-                f"{report.spares_free} spares free",
-            )
+            with self._lock:
+                self._transition(
+                    BreakerState.OPEN,
+                    f"health: {len(report.retired_rows)} retired rows, "
+                    f"{report.spares_free} spares free",
+                )
 
     def force_open(self, reason: str = "forced") -> None:
         """Administratively quarantine the shard."""
-        self._transition(BreakerState.OPEN, reason)
+        with self._lock:
+            self._transition(BreakerState.OPEN, reason)
+
+    def force_close(self, reason: str = "forced") -> None:
+        """Administratively restore the shard without a half-open probe.
+
+        Used when an out-of-band action *proves* the shard healthy --
+        e.g. a full rewrite after a divergent write fan-out -- so the
+        router should trust it again immediately.
+        """
+        with self._lock:
+            self._transition(BreakerState.CLOSED, reason)
 
     def __repr__(self) -> str:
-        return (
-            f"CircuitBreaker({self.shard_id!r}, {self._state.value}, "
-            f"{self._consecutive_failures} consecutive failures)"
-        )
+        with self._lock:
+            return (
+                f"CircuitBreaker({self.shard_id!r}, {self._state.value}, "
+                f"{self._consecutive_failures} consecutive failures)"
+            )

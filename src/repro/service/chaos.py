@@ -54,6 +54,7 @@ __all__ = [
     "ChaosScenarioResult",
     "ChaosReport",
     "DEADLINE_SLO",
+    "BURST_P99_FACTOR",
     "run_chaos_suite",
 ]
 
@@ -602,6 +603,231 @@ def _scenario_combined(
     )
 
 
+# ----------------------------------------------------------------------
+# Overload scenarios (driven through the coalescing front-end)
+# ----------------------------------------------------------------------
+#: Burst latency SLO: p99 of *admitted* requests under a saturating
+#: burst must stay within this factor of the uncontended p99 -- the
+#: whole point of bounded admission (shed the excess, protect the rest).
+BURST_P99_FACTOR = 2.0
+
+
+def _load_result(
+    name: str,
+    report,
+    recorder: ProbeRecorder,
+    passed: bool,
+    notes: str,
+) -> ChaosScenarioResult:
+    """A scenario scorecard built from a load-generator report."""
+    retries = len(recorder.payloads("service.retry"))
+    opens = sum(
+        1
+        for p in recorder.payloads("service.breaker")
+        if p.get("to_state") == "open"
+    )
+    answered = report.goodput
+    result = ChaosScenarioResult(
+        name=name,
+        n_requests=report.offered,
+        ok=report.ok,
+        degraded=report.degraded,
+        deadline_misses=report.deadline_misses,
+        unavailable=report.unavailable,
+        wrong_unflagged=report.wrong_unflagged,
+        retries=retries,
+        breaker_opens=opens,
+        deadline_hit_rate=(
+            answered / report.admitted if report.admitted else 1.0
+        ),
+        passed=passed,
+        notes=notes,
+    )
+    if _TM.enabled:
+        _emit_probe(
+            "chaos.scenario",
+            name=name,
+            requests=report.offered,
+            deadline_hit_rate=result.deadline_hit_rate,
+            wrong_unflagged=report.wrong_unflagged,
+            passed=passed,
+        )
+    return result
+
+
+def _load_recorder() -> ProbeRecorder:
+    recorder = ProbeRecorder()
+    for event in ("service.retry", "service.breaker", "service.admission",
+                  "coalesce.flush", "frontend.request"):
+        register_probe(event, recorder)
+    return recorder
+
+
+def _scenario_overload_burst(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """A saturating burst: shed the excess, protect the admitted.
+
+    Two open-loop runs on the same seeded geometry: an uncontended one
+    establishing the baseline p99, then a burst far beyond capacity
+    against a bounded queue.  The SLOs: honest answers throughout, a
+    nonzero shed rate with every rejection typed, and the admitted
+    requests' p99 within :data:`BURST_P99_FACTOR` of uncontended --
+    overload must cost the excess, not everyone.
+    """
+    # Deferred import: loadgen builds on this module's FakeClock.
+    from repro.service.loadgen import LoadConfig, run_load
+
+    duration_s = max(0.05, n_requests * 6e-4)
+    common = dict(
+        duration_s=duration_s,
+        deadline_s=0.050,
+        n_rows=n_rows,
+        n_stages=config.n_stages,
+        max_queue_depth=48,
+        seed=seed,
+    )
+    recorder = _load_recorder()
+    calm = run_load(LoadConfig(rate_per_s=1500.0, **common))
+    burst = run_load(LoadConfig(rate_per_s=30000.0, **common))
+    sheds_typed = burst.sheds == burst.offered - burst.admitted
+    p99_ok = burst.p99_s <= BURST_P99_FACTOR * calm.p99_s
+    passed = (
+        calm.honest
+        and burst.honest
+        and calm.sheds == 0
+        and burst.sheds > 0
+        and sheds_typed
+        and burst.goodput > 0
+        and p99_ok
+    )
+    return _load_result(
+        "overload_burst", burst, recorder, passed,
+        f"calm p99 {calm.p99_s * 1e3:.2f} ms, burst p99 "
+        f"{burst.p99_s * 1e3:.2f} ms (SLO <= {BURST_P99_FACTOR:g}x), "
+        f"shed {burst.sheds}/{burst.offered} "
+        f"({burst.shed_rate:.1%}, all typed: {sheds_typed})",
+    )
+
+
+def _scenario_slow_shard_under_load(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """One replica times out under load: breaker shifts the traffic.
+
+    A two-replica service where shard0 burns its attempt timeout and
+    fails every attempt.  Under sustained load the breaker must open on
+    shard0, failover must keep goodput flowing from shard1, and every
+    served answer must stay honest.
+    """
+    from repro.service.loadgen import LoadConfig, run_load
+
+    clock = FakeClock()
+    shards = _build_shards(config, n_rows, n_shards=2, n_spares=2)
+    recorder = _load_recorder()
+    service = TDAMSearchService(
+        shards,
+        clock=clock.now,
+        sleep=clock.sleep,
+        retry_policy=RetryPolicy(
+            max_attempts=3,
+            backoff_base_s=0.0002,
+            backoff_cap_s=0.002,
+            jitter_seed=seed,
+        ),
+        retry_budget=RetryBudget(deposit_per_request=0.5, max_balance=50.0),
+        default_deadline_s=0.050,
+        failure_threshold=3,
+        reset_timeout_s=0.100,
+    )
+    load = LoadConfig(
+        duration_s=max(0.05, n_requests * 6e-4),
+        rate_per_s=1500.0,
+        deadline_s=0.050,
+        n_rows=n_rows,
+        n_stages=config.n_stages,
+        seed=seed,
+    )
+
+    def slow(shard_id: str, queries: np.ndarray) -> None:
+        clock.advance(0.006)
+        raise ShardTimeoutError(f"{shard_id}: drowning under load")
+
+    def cost(shard_id: str, queries: np.ndarray) -> None:
+        clock.advance(
+            load.attempt_base_s + load.attempt_per_query_s * queries.shape[0]
+        )
+
+    service.add_interceptor(slow, shard_id="shard0")
+    service.add_interceptor(cost, shard_id="shard1")
+    report = run_load(load, service=service, clock=clock)
+    opens = sum(
+        1
+        for p in recorder.payloads("service.breaker")
+        if p.get("to_state") == "open" and p.get("shard") == "shard0"
+    )
+    answered_rate = (
+        report.goodput / report.admitted if report.admitted else 0.0
+    )
+    passed = (
+        report.honest
+        and opens > 0
+        and report.goodput > 0
+        and answered_rate >= DEADLINE_SLO
+    )
+    return _load_result(
+        "slow_shard_under_load", report, recorder, passed,
+        f"shard0 breaker opened {opens}x, answered "
+        f"{answered_rate:.4f} of admitted vs SLO {DEADLINE_SLO:.2f}",
+    )
+
+
+def _scenario_tenant_stampede(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """One tenant stampedes: its quota burns, the others stay whole.
+
+    Tenant ``t0`` sends ~85% of a heavy offered load against a small
+    token-bucket quota; ``t1``..``t3`` stay modest and unlimited.  The
+    SLOs: t0's excess is shed on *quota* (typed, with retry hints,
+    before it can become queue pressure), every well-behaved tenant is
+    fully answered, and honesty holds throughout.
+    """
+    from repro.service.loadgen import LoadConfig, run_load
+
+    recorder = _load_recorder()
+    report = run_load(
+        LoadConfig(
+            duration_s=max(0.05, n_requests * 6e-4),
+            rate_per_s=4000.0,
+            deadline_s=0.050,
+            n_tenants=4,
+            tenant_weights=(0.85, 0.05, 0.05, 0.05),
+            quota_overrides={"t0": (400.0, 16.0)},
+            n_rows=n_rows,
+            n_stages=config.n_stages,
+            seed=seed,
+        )
+    )
+    t0 = report.tenants["t0"]
+    others = [report.tenants[f"t{i}"] for i in (1, 2, 3)]
+    others_whole = all(
+        t.answered == t.offered for t in others if t.offered
+    )
+    passed = (
+        report.honest
+        and t0.shed_quota > 0
+        and report.shed_queue_full == 0
+        and others_whole
+        and t0.answered > 0
+    )
+    return _load_result(
+        "tenant_stampede", report, recorder, passed,
+        f"t0 offered {t0.offered}, quota-shed {t0.shed_quota}, "
+        f"answered {t0.answered}; bystanders whole: {others_whole}",
+    )
+
+
 _SCENARIOS: Dict[str, Callable[[TDAMConfig, int, int, int],
                                ChaosScenarioResult]] = {
     "baseline": _scenario_baseline,
@@ -610,6 +836,9 @@ _SCENARIOS: Dict[str, Callable[[TDAMConfig, int, int, int],
     "checkpoint_corruption": _scenario_checkpoint_corruption,
     "crash_mid_save": _scenario_crash_mid_save,
     "combined": _scenario_combined,
+    "overload_burst": _scenario_overload_burst,
+    "slow_shard_under_load": _scenario_slow_shard_under_load,
+    "tenant_stampede": _scenario_tenant_stampede,
 }
 
 

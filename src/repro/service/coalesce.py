@@ -1,0 +1,247 @@
+"""Request coalescing: many concurrent single queries, one batched call.
+
+``BENCH_search.json`` records a ~31x advantage for
+``search_batch`` over a loop of single ``search`` calls -- a win a
+concurrent front-end can only harvest by *coalescing*: compatible
+single-query requests arriving within a small batching window are
+grouped and served through one ``search_batch`` / ``top_k_batch``
+call, then split back into per-request responses.  Batching is
+bit-exact by construction (PR 2's batched engine guarantees
+``search_batch(qs)[i] == search(qs[i])``), so coalescing changes
+latency economics, never answers.
+
+This module is the *passive* half: :class:`Coalescer` owns the pending
+batches and the flush rules, :class:`FrontendFuture` carries one
+request's eventual result across threads.  The active half -- actually
+dispatching a flushed batch into the service -- lives in
+:mod:`repro.service.frontend`, which also decides *when* to flush
+(a dispatcher thread on the real clock, or explicit ``pump()`` calls
+on a fake one).
+
+Flush triggers, in priority order:
+
+- **full**: a batch reaching ``max_batch`` is ready immediately;
+- **window**: a batch whose oldest member has waited ``window_s`` is
+  ready (bounded added latency);
+- **drain**: shutdown flushes everything regardless.
+
+Requests are grouped by compatibility key -- endpoint kind and ``k`` --
+and *never* by deadline: a batch may hold mixed deadlines and is
+dispatched under the tightest one still alive, while members already
+past their deadline are shed before the shard is touched (a shed, not
+a miss: no work was attempted for them).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CoalescePolicy", "FrontendFuture", "PendingRequest",
+           "ReadyBatch", "Coalescer"]
+
+
+@dataclass(frozen=True)
+class CoalescePolicy:
+    """How long to wait, and how many to gather, before dispatching.
+
+    Args:
+        window_s: Max time a request may wait for batch-mates; the
+            latency the front-end is willing to add to harvest the
+            batch speedup.
+        max_batch: Flush immediately at this many compatible requests.
+    """
+
+    window_s: float = 0.002
+    max_batch: int = 32
+
+    def __post_init__(self) -> None:
+        if self.window_s < 0:
+            raise ValueError(f"window_s must be >= 0, got {self.window_s}")
+        if self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+
+
+class FrontendFuture:
+    """One request's eventual response, shared across threads.
+
+    A stripped-down future: the dispatcher fulfills it exactly once
+    (result or exception); callers block on :meth:`result`.  The
+    fulfillment clock time is stamped so the load generator can measure
+    per-request latency without wrapping every call.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result = None
+        self._exception: Optional[BaseException] = None
+        #: Clock time at fulfillment (set by the front-end).
+        self.completed_at: Optional[float] = None
+
+    def done(self) -> bool:
+        """Whether the request has been fulfilled."""
+        return self._event.is_set()
+
+    def set_result(self, result, completed_at: Optional[float] = None) -> None:
+        """Fulfill with a response (dispatcher side)."""
+        self._result = result
+        self.completed_at = completed_at
+        self._event.set()
+
+    def set_exception(
+        self, exc: BaseException, completed_at: Optional[float] = None
+    ) -> None:
+        """Fulfill with a typed failure (dispatcher side)."""
+        self._exception = exc
+        self.completed_at = completed_at
+        self._event.set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until fulfilled; returns the response or raises.
+
+        Raises:
+            TimeoutError: Not fulfilled within ``timeout`` seconds.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request not fulfilled within {timeout}s"
+            )
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        """The stored exception, if fulfilled with one (non-blocking)."""
+        return self._exception
+
+
+@dataclass
+class PendingRequest:
+    """One admitted, not-yet-dispatched request."""
+
+    kind: str                     # "search" | "topk"
+    query: np.ndarray             # 1-D admitted query
+    tenant: str
+    deadline_at: float            # absolute, on the front-end clock
+    enqueued_at: float
+    future: FrontendFuture = field(default_factory=FrontendFuture)
+    k: int = 0                    # top-k size (kind == "topk")
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Compatibility key: requests sharing it may share a batch."""
+        return (self.kind, self.k)
+
+
+@dataclass
+class ReadyBatch:
+    """A flushed batch on its way to the service."""
+
+    kind: str
+    k: int
+    requests: List[PendingRequest]
+    reason: str                   # "full" | "window" | "drain"
+    oldest_enqueued_at: float
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+class Coalescer:
+    """Pending-batch store with full/window/drain flush rules.
+
+    Thread-safe; pure data structure (no clock, no service) so the
+    same coalescer runs under a dispatcher thread on wall time or an
+    explicit pump loop on a fake clock, and unit tests can drive every
+    interleaving deterministically.
+    """
+
+    def __init__(self, policy: Optional[CoalescePolicy] = None) -> None:
+        self.policy = policy if policy is not None else CoalescePolicy()
+        self._pending: Dict[Tuple[str, int], List[PendingRequest]] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def depth(self) -> int:
+        """Requests currently pending (all batches)."""
+        with self._lock:
+            return sum(len(v) for v in self._pending.values())
+
+    def add(self, request: PendingRequest) -> Optional[ReadyBatch]:
+        """Enqueue one request; returns a batch if it just became full."""
+        with self._lock:
+            group = self._pending.setdefault(request.key, [])
+            group.append(request)
+            if len(group) >= self.policy.max_batch:
+                del self._pending[request.key]
+                return ReadyBatch(
+                    kind=request.kind,
+                    k=request.k,
+                    requests=group,
+                    reason="full",
+                    oldest_enqueued_at=group[0].enqueued_at,
+                )
+            return None
+
+    def next_due(self) -> Optional[float]:
+        """Earliest time any pending batch must flush (None when empty).
+
+        A full batch is due immediately (its oldest enqueue time); a
+        partial one is due when its oldest member's window expires.
+        """
+        with self._lock:
+            due = None
+            for group in self._pending.values():
+                oldest = group[0].enqueued_at
+                t = (
+                    oldest
+                    if len(group) >= self.policy.max_batch
+                    else oldest + self.policy.window_s
+                )
+                due = t if due is None else min(due, t)
+            return due
+
+    def pop_due(self, now: float) -> List[ReadyBatch]:
+        """Flush every batch that is full or whose window has expired."""
+        ready: List[ReadyBatch] = []
+        with self._lock:
+            for key in list(self._pending):
+                group = self._pending[key]
+                full = len(group) >= self.policy.max_batch
+                expired = (
+                    group[0].enqueued_at + self.policy.window_s <= now
+                )
+                if full or expired:
+                    del self._pending[key]
+                    ready.append(
+                        ReadyBatch(
+                            kind=key[0],
+                            k=key[1],
+                            requests=group,
+                            reason="full" if full else "window",
+                            oldest_enqueued_at=group[0].enqueued_at,
+                        )
+                    )
+        return ready
+
+    def pop_all(self, reason: str = "drain") -> List[ReadyBatch]:
+        """Flush everything (shutdown path)."""
+        ready: List[ReadyBatch] = []
+        with self._lock:
+            for key, group in self._pending.items():
+                ready.append(
+                    ReadyBatch(
+                        kind=key[0],
+                        k=key[1],
+                        requests=group,
+                        reason=reason,
+                        oldest_enqueued_at=group[0].enqueued_at,
+                    )
+                )
+            self._pending.clear()
+        return ready

@@ -16,6 +16,10 @@ name a failure cannot route around it::
     │   ├── ShardBusyError             (refresh / BIST in progress)
     │   ├── CalibrationDriftError      (replica decode outside margin)
     │   └── ShardTimeoutError          (per-attempt timeout fired)
+    ├── AdmissionRejectedError         (load shedding; carries retry_after_s)
+    │   ├── OverloadError              (intake queue full / queue-deadline)
+    │   └── QuotaExceededError         (per-tenant token bucket empty)
+    ├── ReplicaDivergenceError         (write fan-out failed mid-way)
     ├── CircuitOpenError               (shard quarantined; route around)
     ├── DeadlineExceededError          (request out of time)
     ├── RetryBudgetExhaustedError      (global retry budget empty)
@@ -30,6 +34,8 @@ classification lives in one place.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence, Tuple
+
 __all__ = [
     "ServiceError",
     "InvalidRequestError",
@@ -37,6 +43,10 @@ __all__ = [
     "ShardBusyError",
     "CalibrationDriftError",
     "ShardTimeoutError",
+    "AdmissionRejectedError",
+    "OverloadError",
+    "QuotaExceededError",
+    "ReplicaDivergenceError",
     "CircuitOpenError",
     "DeadlineExceededError",
     "RetryBudgetExhaustedError",
@@ -75,6 +85,85 @@ class CalibrationDriftError(TransientServiceError):
 
 class ShardTimeoutError(TransientServiceError):
     """The per-attempt timeout fired before the shard answered."""
+
+
+class AdmissionRejectedError(ServiceError):
+    """The front-end shed the request before any shard was touched.
+
+    An explicit, *typed* "no": the request was never partially served,
+    and ``retry_after_s`` tells a well-behaved client when capacity is
+    expected back.  Shedding is the overload contract -- a rejection
+    promises nothing was computed, unlike a
+    :class:`DeadlineExceededError` which means work was attempted and
+    ran out of time.
+
+    Attributes:
+        retry_after_s: Suggested client back-off before re-submitting.
+        reason: Machine-readable shed reason (``queue_full``,
+            ``queue_deadline``, ``draining``, ``quota``).
+        tenant: The tenant whose request was shed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 0.0,
+        reason: str = "overload",
+        tenant: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.reason = reason
+        self.tenant = tenant
+
+
+class OverloadError(AdmissionRejectedError):
+    """The intake queue is full (or the request was already past its
+    deadline on arrival) -- the service says *no* instead of queueing
+    unboundedly."""
+
+
+class QuotaExceededError(AdmissionRejectedError):
+    """The tenant's token-bucket quota is empty; other tenants are
+    unaffected."""
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_s: float = 0.0,
+        tenant: str = "",
+    ) -> None:
+        super().__init__(
+            message, retry_after_s=retry_after_s, reason="quota",
+            tenant=tenant,
+        )
+
+
+class ReplicaDivergenceError(ServiceError):
+    """A replicated write failed mid-fanout: replicas now disagree.
+
+    Carries exactly which shards hold the new matrix and which were
+    left behind, so an operator (or the service itself) can quarantine
+    the stale replicas until a full rewrite lands.
+
+    Attributes:
+        shards_written: Shard ids holding the *new* matrix.
+        shards_unwritten: Shard ids still holding the *old* matrix
+            (the failing shard included -- its state is unknown).
+        failed_shard: The shard whose write raised.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shards_written: Sequence[str] = (),
+        shards_unwritten: Sequence[str] = (),
+        failed_shard: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shards_written: Tuple[str, ...] = tuple(shards_written)
+        self.shards_unwritten: Tuple[str, ...] = tuple(shards_unwritten)
+        self.failed_shard = failed_shard
 
 
 class CircuitOpenError(ServiceError):

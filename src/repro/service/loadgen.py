@@ -1,0 +1,535 @@
+"""Open-loop load generation against the coalescing front-end.
+
+A closed-loop tester (send, wait, send) slows down exactly when the
+service does, flattering it at the worst moment -- the *coordinated
+omission* trap.  This generator is **open-loop**: arrivals are a seeded
+Poisson process whose nominal times are fixed up front and do not care
+how the service is doing; a request that arrives while the service is
+drowning is offered anyway, and its latency is measured from its
+*nominal* arrival, so queueing delay is charged to the service, never
+hidden.
+
+Everything runs on a :class:`~repro.service.chaos.FakeClock`: shard
+attempts cost simulated time through an interceptor, the batching
+window and quota refill run on the same clock, and a run is
+bit-deterministic given its seed -- CI can assert exact shedding and
+honesty behavior with zero wall-clock flakiness.
+
+Honesty is scored the way the chaos harness scores it: every goodput
+response claiming ``degraded=False`` is checked bit-exactly against a
+direct (uncoalesced) call recorded before the run; any disagreement
+counts as ``wrong_unflagged`` and fails the run's honesty SLO.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import TDAMConfig
+from repro.service.admission import AdmissionController, TenantQuotas
+from repro.service.chaos import FakeClock, _build_shards
+from repro.service.coalesce import CoalescePolicy
+from repro.service.errors import (
+    AdmissionRejectedError,
+    AllShardsUnavailableError,
+    DeadlineExceededError,
+    OverloadError,
+    QuotaExceededError,
+)
+from repro.service.frontend import CoalescingFrontend
+from repro.service.server import TDAMSearchService
+
+__all__ = [
+    "LoadConfig",
+    "LoadReport",
+    "TenantReport",
+    "run_load",
+    "format_load_report",
+]
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load-test run: traffic shape, control knobs, cost model.
+
+    Args:
+        duration_s: Simulated arrival span (requests arriving in
+            ``[0, duration_s)``; the run itself continues until every
+            admitted request resolves).
+        rate_per_s: Offered Poisson arrival rate, all tenants combined.
+        deadline_s: Per-request deadline, dated from *nominal* arrival
+            (an arrival delayed by upstream queueing has already spent
+            part of its budget -- open-loop honesty).
+        n_tenants: Tenants (``t0`` .. ``t{n-1}``).
+        tenant_weights: Per-tenant traffic share (default uniform).
+        quota_rate_per_s: Default per-tenant quota (``inf`` = off).
+        quota_burst: Default per-tenant bucket capacity.
+        quota_overrides: ``tenant -> (rate_per_s, burst)`` explicit
+            quotas layered over the default.
+        max_queue_depth: Front-end intake bound.
+        window_s: Coalescing window.
+        max_batch: Coalescing batch-size cap.
+        attempt_base_s: Simulated shard cost per attempt (fixed part).
+        attempt_per_query_s: Simulated shard cost per query in the
+            batch -- this gap is exactly what coalescing harvests.
+        kind: ``"search"`` or ``"topk"``.
+        k: Top-k size (``kind="topk"``).
+        pool_size: Distinct queries drawn from (answers precomputed
+            for the honesty check).
+        n_rows: Stored rows (self-built service only).
+        n_shards: Replicas (self-built service only).
+        n_stages: Design-point stage count (self-built service only).
+        seed: Master seed of the arrival/tenant/query streams.
+    """
+
+    duration_s: float = 0.25
+    rate_per_s: float = 2000.0
+    deadline_s: float = 0.050
+    n_tenants: int = 4
+    tenant_weights: Optional[Tuple[float, ...]] = None
+    quota_rate_per_s: float = math.inf
+    quota_burst: float = 16.0
+    quota_overrides: Optional[Dict[str, Tuple[float, float]]] = None
+    max_queue_depth: int = 64
+    window_s: float = 0.002
+    max_batch: int = 32
+    attempt_base_s: float = 0.0005
+    attempt_per_query_s: float = 0.0001
+    kind: str = "search"
+    k: int = 3
+    pool_size: int = 32
+    n_rows: int = 16
+    n_shards: int = 2
+    n_stages: int = 16
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {self.rate_per_s}")
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be > 0, got {self.deadline_s}")
+        if self.kind not in ("search", "topk"):
+            raise ValueError(
+                f"kind must be 'search' or 'topk', got {self.kind!r}"
+            )
+        if self.n_tenants < 1:
+            raise ValueError(f"n_tenants must be >= 1, got {self.n_tenants}")
+        if self.tenant_weights is not None and (
+            len(self.tenant_weights) != self.n_tenants
+            or any(w < 0 for w in self.tenant_weights)
+            or sum(self.tenant_weights) <= 0
+        ):
+            raise ValueError(
+                "tenant_weights must be n_tenants non-negative weights "
+                "with a positive sum"
+            )
+
+
+@dataclass
+class TenantReport:
+    """One tenant's slice of the run."""
+
+    offered: int = 0
+    admitted: int = 0
+    answered: int = 0
+    shed_quota: int = 0
+    shed_overload: int = 0
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What the run measured.
+
+    ``offered`` splits into ``admitted`` plus the typed sheds; admitted
+    requests resolve into the outcome counts.  *Goodput* is
+    ``ok + degraded`` (the client got an answer, honestly flagged);
+    ``wrong_unflagged`` is the honesty SLO and must be zero.  Latency
+    percentiles cover goodput responses, measured from nominal arrival
+    (coordinated-omission-free).
+    """
+
+    config: LoadConfig
+    offered: int
+    admitted: int
+    shed_quota: int
+    shed_queue_full: int
+    shed_queue_deadline: int
+    ok: int
+    degraded: int
+    deadline_misses: int
+    unavailable: int
+    errors: int
+    wrong_unflagged: int
+    p50_s: float
+    p99_s: float
+    mean_batch_size: float
+    batches: int
+    simulated_s: float
+    tenants: Dict[str, TenantReport] = field(default_factory=dict)
+
+    @property
+    def goodput(self) -> int:
+        """Requests answered (ok + degraded)."""
+        return self.ok + self.degraded
+
+    @property
+    def sheds(self) -> int:
+        """Requests shed at admission or in queue (all reasons)."""
+        return (
+            self.shed_quota + self.shed_queue_full + self.shed_queue_deadline
+        )
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered load shed."""
+        return self.sheds / self.offered if self.offered else 0.0
+
+    @property
+    def goodput_qps(self) -> float:
+        """Answered requests per simulated second."""
+        return self.goodput / self.simulated_s if self.simulated_s else 0.0
+
+    @property
+    def honest(self) -> bool:
+        """The honesty SLO: no wrong answer escaped unflagged."""
+        return self.wrong_unflagged == 0
+
+    def to_dict(self) -> dict:
+        """A JSON-ready summary (CI artifact format)."""
+        cfg = self.config
+        return {
+            "config": {
+                "duration_s": cfg.duration_s,
+                "rate_per_s": cfg.rate_per_s,
+                "deadline_s": cfg.deadline_s,
+                "n_tenants": cfg.n_tenants,
+                "max_queue_depth": cfg.max_queue_depth,
+                "window_s": cfg.window_s,
+                "max_batch": cfg.max_batch,
+                "kind": cfg.kind,
+                "seed": cfg.seed,
+            },
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "goodput": self.goodput,
+            "goodput_qps": self.goodput_qps,
+            "sheds": {
+                "quota": self.shed_quota,
+                "queue_full": self.shed_queue_full,
+                "queue_deadline": self.shed_queue_deadline,
+                "rate": self.shed_rate,
+            },
+            "outcomes": {
+                "ok": self.ok,
+                "degraded": self.degraded,
+                "deadline": self.deadline_misses,
+                "unavailable": self.unavailable,
+                "error": self.errors,
+            },
+            "honesty": {
+                "wrong_unflagged": self.wrong_unflagged,
+                "honest": self.honest,
+            },
+            "latency": {"p50_s": self.p50_s, "p99_s": self.p99_s},
+            "coalescing": {
+                "batches": self.batches,
+                "mean_batch_size": self.mean_batch_size,
+            },
+            "tenants": {
+                name: {
+                    "offered": t.offered,
+                    "admitted": t.admitted,
+                    "answered": t.answered,
+                    "shed_quota": t.shed_quota,
+                    "shed_overload": t.shed_overload,
+                }
+                for name, t in sorted(self.tenants.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """The :meth:`to_dict` summary as indented JSON."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def _build_service(
+    config: LoadConfig, clock: FakeClock
+) -> TDAMSearchService:
+    """A replicated fake-clock service with the simulated cost model."""
+    shards = _build_shards(
+        TDAMConfig(n_stages=config.n_stages),
+        config.n_rows,
+        n_shards=config.n_shards,
+        n_spares=2,
+        seed=config.seed,
+    )
+    service = TDAMSearchService(
+        shards,
+        clock=clock.now,
+        sleep=clock.sleep,
+        default_deadline_s=config.deadline_s,
+    )
+
+    def cost(shard_id: str, queries: np.ndarray) -> None:
+        clock.advance(
+            config.attempt_base_s
+            + config.attempt_per_query_s * queries.shape[0]
+        )
+
+    service.add_interceptor(cost)
+    return service
+
+
+def run_load(
+    config: Optional[LoadConfig] = None,
+    service=None,
+    clock: Optional[FakeClock] = None,
+) -> LoadReport:
+    """Replay one open-loop run; returns the scored report.
+
+    Args:
+        config: Traffic and control knobs (default :class:`LoadConfig`).
+        service: A prepared fake-clock service to load (the chaos
+            scenarios inject faulty ones); built fresh when omitted.
+            Must already hold ``config.n_rows`` stored rows if given
+            unwritten -- this function writes a seeded matrix either
+            way.
+        clock: The service's fake clock (required with ``service``).
+
+    The driver advances the fake clock to whichever comes first --
+    the next nominal arrival or the front-end's next flush deadline --
+    so every interleaving of arrivals and window expiries is replayed
+    exactly.  Late arrivals (the clock has already passed their nominal
+    time because the service was busy) are submitted immediately with
+    their deadline still dated from the nominal time.
+    """
+    config = config if config is not None else LoadConfig()
+    if service is None:
+        clock = FakeClock()
+        service = _build_service(config, clock)
+    elif clock is None:
+        raise ValueError("a service injection requires its fake clock")
+
+    rng = np.random.default_rng(config.seed)
+    stored = rng.integers(
+        0, service.config.levels, (service.n_rows, service.config.n_stages)
+    )
+    service.write_all(stored)
+
+    # Query pool + direct (uncoalesced) reference answers for the
+    # honesty check; PR 2's batched-engine guarantee makes coalesced
+    # answers bit-exact against these.
+    pool = rng.integers(
+        0,
+        service.config.levels,
+        (config.pool_size, service.config.n_stages),
+    )
+    if config.kind == "search":
+        reference = [
+            service.search(pool[i], deadline_s=10.0)
+            for i in range(config.pool_size)
+        ]
+    else:
+        reference = [
+            service.top_k(pool[i][None, :], config.k, deadline_s=10.0)
+            for i in range(config.pool_size)
+        ]
+
+    quotas = TenantQuotas(
+        default_rate_per_s=config.quota_rate_per_s,
+        default_burst=config.quota_burst,
+        clock=clock.now,
+    )
+    for tenant, (rate, burst) in (config.quota_overrides or {}).items():
+        quotas.set_quota(tenant, rate, burst=burst)
+    frontend = CoalescingFrontend(
+        service,
+        policy=CoalescePolicy(
+            window_s=config.window_s, max_batch=config.max_batch
+        ),
+        admission=AdmissionController(
+            max_queue_depth=config.max_queue_depth,
+            quotas=quotas,
+            overload_retry_after_s=config.window_s,
+        ),
+        clock=clock.now,
+        auto_dispatch=False,
+    )
+
+    # The whole arrival schedule, fixed up front (open loop).
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / config.rate_per_s)
+        if t >= config.duration_s:
+            break
+        arrivals.append(t)
+    weights = (
+        np.asarray(config.tenant_weights, dtype=float)
+        if config.tenant_weights is not None
+        else np.ones(config.n_tenants)
+    )
+    weights = weights / weights.sum()
+    tenant_ids = rng.choice(config.n_tenants, size=len(arrivals), p=weights)
+    query_ids = rng.integers(0, config.pool_size, size=len(arrivals))
+
+    tenants: Dict[str, TenantReport] = {
+        f"t{i}": TenantReport() for i in range(config.n_tenants)
+    }
+    # (pool id, nominal arrival, tenant, future)
+    inflight: List[Tuple[int, float, str, object]] = []
+    shed_quota = shed_queue_full = shed_queue_deadline = 0
+
+    def pump_until(limit: Optional[float]) -> None:
+        """Run every flush due before ``limit`` (None: all of them)."""
+        while True:
+            due = frontend.next_flush_due()
+            if due is None or (limit is not None and due > limit):
+                return
+            if due > clock.now():
+                clock.advance(due - clock.now())
+            frontend.pump()
+
+    for idx, t_nominal in enumerate(arrivals):
+        pump_until(t_nominal)
+        if t_nominal > clock.now():
+            clock.advance(t_nominal - clock.now())
+        tenant = f"t{int(tenant_ids[idx])}"
+        report = tenants[tenant]
+        report.offered += 1
+        qi = int(query_ids[idx])
+        try:
+            if config.kind == "search":
+                future = frontend.submit(
+                    pool[qi],
+                    tenant=tenant,
+                    deadline_at=t_nominal + config.deadline_s,
+                )
+            else:
+                future = frontend.submit_top_k(
+                    pool[qi],
+                    config.k,
+                    tenant=tenant,
+                    deadline_at=t_nominal + config.deadline_s,
+                )
+        except QuotaExceededError:
+            shed_quota += 1
+            report.shed_quota += 1
+            continue
+        except OverloadError as exc:
+            if exc.reason == "queue_deadline":
+                shed_queue_deadline += 1
+            else:
+                shed_queue_full += 1
+            report.shed_overload += 1
+            continue
+        report.admitted += 1
+        inflight.append((qi, t_nominal, tenant, future))
+    pump_until(None)
+    frontend.drain()
+
+    ok = degraded = deadline_misses = unavailable = errors = 0
+    wrong_unflagged = 0
+    latencies: List[float] = []
+    for qi, t_nominal, tenant, future in inflight:
+        exc = future.exception()
+        if exc is not None:
+            if isinstance(exc, DeadlineExceededError):
+                deadline_misses += 1
+            elif isinstance(exc, AllShardsUnavailableError):
+                unavailable += 1
+            elif (
+                isinstance(exc, AdmissionRejectedError)
+                and exc.reason == "queue_deadline"
+            ):
+                # Admitted, then shed in queue: its deadline expired
+                # before dispatch and no shard time was spent on it.
+                shed_queue_deadline += 1
+                tenants[tenant].shed_overload += 1
+            else:
+                errors += 1
+            continue
+        response = future.result(timeout=0)
+        tenants[tenant].answered += 1
+        latencies.append(future.completed_at - t_nominal)
+        if response.degraded:
+            degraded += 1
+        else:
+            ok += 1
+            if not _matches_reference(config, response, reference[qi]):
+                wrong_unflagged += 1
+
+    lat = np.asarray(latencies) if latencies else np.asarray([0.0])
+    return LoadReport(
+        config=config,
+        offered=len(arrivals),
+        admitted=len(inflight),
+        shed_quota=shed_quota,
+        shed_queue_full=shed_queue_full,
+        shed_queue_deadline=shed_queue_deadline,
+        ok=ok,
+        degraded=degraded,
+        deadline_misses=deadline_misses,
+        unavailable=unavailable,
+        errors=errors,
+        wrong_unflagged=wrong_unflagged,
+        p50_s=float(np.percentile(lat, 50)),
+        p99_s=float(np.percentile(lat, 99)),
+        mean_batch_size=frontend.stats().mean_batch_size,
+        batches=frontend.stats().batches,
+        simulated_s=clock.now(),
+        tenants=tenants,
+    )
+
+
+def _matches_reference(config: LoadConfig, response, reference) -> bool:
+    if config.kind == "search":
+        return (
+            response.best_row == reference.best_row
+            and np.array_equal(
+                response.result.hamming_distances,
+                reference.result.hamming_distances,
+            )
+        )
+    return np.array_equal(response.rows, reference.rows[0])
+
+
+def format_load_report(report: LoadReport) -> str:
+    """A terminal summary of one run (the ``repro loadtest`` output)."""
+    lines = [
+        "open-loop load test "
+        f"(rate {report.config.rate_per_s:g}/s for "
+        f"{report.config.duration_s:g}s simulated, "
+        f"seed {report.config.seed})",
+        f"  offered   {report.offered:6d}   "
+        f"admitted {report.admitted:6d}   "
+        f"shed {report.sheds:6d} ({report.shed_rate:6.1%})",
+        f"  sheds     quota {report.shed_quota}, "
+        f"queue_full {report.shed_queue_full}, "
+        f"queue_deadline {report.shed_queue_deadline}",
+        f"  outcomes  ok {report.ok}, degraded {report.degraded}, "
+        f"deadline {report.deadline_misses}, "
+        f"unavailable {report.unavailable}, error {report.errors}",
+        f"  goodput   {report.goodput} responses "
+        f"({report.goodput_qps:,.0f}/s simulated)",
+        f"  latency   p50 {report.p50_s * 1e3:.3f} ms   "
+        f"p99 {report.p99_s * 1e3:.3f} ms  (from nominal arrival)",
+        f"  batching  {report.batches} batches, "
+        f"mean size {report.mean_batch_size:.2f}",
+        f"  honesty   wrong_unflagged={report.wrong_unflagged} "
+        f"({'PASS' if report.honest else 'FAIL'})",
+    ]
+    for name, t in sorted(report.tenants.items()):
+        lines.append(
+            f"  tenant {name}:  offered {t.offered}, "
+            f"admitted {t.admitted}, answered {t.answered}, "
+            f"shed quota {t.shed_quota} / overload {t.shed_overload}"
+        )
+    return "\n".join(lines)

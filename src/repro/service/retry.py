@@ -20,6 +20,7 @@ defenses are composed here:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -32,6 +33,12 @@ __all__ = ["RetryPolicy", "RetryBudget", "BackoffSchedule"]
 class RetryBudget:
     """Token-bucket retry budget shared across a service's requests.
 
+    Thread-safe: the budget is shared by every concurrent request of a
+    service, so the read-modify-write token math is guarded by a lock
+    (an unlocked ``balance -= 1`` under concurrency loses updates and
+    silently mints retry tokens during the exact outage the budget
+    exists to contain).
+
     Args:
         deposit_per_request: Tokens added by each first attempt.
         max_balance: Bucket capacity (also the initial balance, so a
@@ -41,6 +48,10 @@ class RetryBudget:
     deposit_per_request: float = 0.1
     max_balance: float = 10.0
     _balance: float = field(init=False, default=0.0)
+    _lock: threading.Lock = field(
+        init=False, repr=False, compare=False,
+        default_factory=threading.Lock,
+    )
 
     def __post_init__(self) -> None:
         if self.deposit_per_request < 0:
@@ -57,20 +68,23 @@ class RetryBudget:
     @property
     def balance(self) -> float:
         """Tokens currently available for retries."""
-        return self._balance
+        with self._lock:
+            return self._balance
 
     def deposit(self) -> None:
         """Credit one first attempt."""
-        self._balance = min(
-            self.max_balance, self._balance + self.deposit_per_request
-        )
+        with self._lock:
+            self._balance = min(
+                self.max_balance, self._balance + self.deposit_per_request
+            )
 
     def try_withdraw(self) -> bool:
         """Spend one token for a retry; False when the bucket is empty."""
-        if self._balance < 1.0:
-            return False
-        self._balance -= 1.0
-        return True
+        with self._lock:
+            if self._balance < 1.0:
+                return False
+            self._balance -= 1.0
+            return True
 
 
 @dataclass(frozen=True)

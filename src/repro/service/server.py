@@ -30,6 +30,7 @@ disabled-cost of one boolean check.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -49,6 +50,7 @@ from repro.service.errors import (
     AllShardsUnavailableError,
     DeadlineExceededError,
     InvalidRequestError,
+    ReplicaDivergenceError,
     TransientServiceError,
 )
 from repro.service.retry import RetryBudget, RetryPolicy
@@ -250,20 +252,73 @@ class TDAMSearchService:
         ]
         self._rr_next = 0
         self._requests_served = 0
+        # Guards the cross-request mutable state (round-robin cursor,
+        # request counter, jitter stream, divergence set); the retry
+        # budget and each breaker carry their own locks.
+        self._lock = threading.Lock()
+        self._diverged: set = set()
 
     # ------------------------------------------------------------------
     # Content management
     # ------------------------------------------------------------------
     def write_all(self, matrix: Sequence[Sequence[int]]) -> None:
-        """Program every replica with the same stored matrix."""
+        """Program every replica with the same stored matrix.
+
+        The fan-out is all-or-divergent: when a replica's write raises
+        mid-fanout, the replicas no longer hold the same matrix, and
+        silence here would turn every later read into a lottery.
+        Instead a typed :class:`ReplicaDivergenceError` names exactly
+        which shards hold the new matrix, and every shard *not* holding
+        it is quarantined (breaker force-opened) until a subsequent
+        full rewrite succeeds and lifts the quarantine.
+
+        Raises:
+            InvalidRequestError: The matrix failed admission.
+            ReplicaDivergenceError: A replica write failed after others
+                had already been written.
+        """
         values = self._admit_matrix(matrix, name="stored matrix")
         if values.shape[0] != self.n_rows:
             raise InvalidRequestError(
                 f"stored matrix has {values.shape[0]} rows, "
                 f"service replicas hold {self.n_rows}"
             )
+        written: List[str] = []
         for shard in self.shards:
-            shard.array.write_all(values)
+            try:
+                shard.array.write_all(values)
+            except Exception as exc:
+                unwritten = [
+                    s.shard_id
+                    for s in self.shards
+                    if s.shard_id not in written
+                ]
+                with self._lock:
+                    self._diverged.update(unwritten)
+                for s in self.shards:
+                    if s.shard_id in unwritten:
+                        s.breaker.force_open(
+                            f"replica divergence: write failed on "
+                            f"{shard.shard_id} ({type(exc).__name__})"
+                        )
+                raise ReplicaDivergenceError(
+                    f"write fan-out failed on {shard.shard_id} after "
+                    f"{len(written)}/{len(self.shards)} replicas were "
+                    f"written; unwritten shards {unwritten} are "
+                    f"quarantined until rewritten",
+                    shards_written=written,
+                    shards_unwritten=unwritten,
+                    failed_shard=shard.shard_id,
+                ) from exc
+            written.append(shard.shard_id)
+        # Full fan-out success: replicas agree again, lift any
+        # divergence quarantine (health-driven opens are untouched --
+        # force_close only the breakers *this* path opened).
+        with self._lock:
+            diverged, self._diverged = self._diverged, set()
+        for shard in self.shards:
+            if shard.shard_id in diverged:
+                shard.breaker.force_close("replica rewritten in full")
 
     def add_interceptor(
         self, interceptor: Interceptor, shard_id: Optional[str] = None
@@ -313,6 +368,19 @@ class TDAMSearchService:
                 f"expected a 1-D query, got shape {arr.shape}"
             )
         return self._admit_matrix(arr, name="query")[0]
+
+    def validate_query(self, query) -> np.ndarray:
+        """Validate one query without serving it.
+
+        The front-end's per-request admission hook: coalescing stacks
+        queries into one shard call, so a malformed query must be
+        rejected at *submit* time -- inside a batch it would fail the
+        whole batch and punish its innocent batch-mates.
+
+        Raises:
+            InvalidRequestError: Shape, dtype, or level range is wrong.
+        """
+        return self._admit_query(query)
 
     # ------------------------------------------------------------------
     # Health
@@ -440,11 +508,13 @@ class TDAMSearchService:
         start = self._clock()
         deadline = start + deadline_s
         self.budget.deposit()
-        self._requests_served += 1
-        if (
-            self.health_check_interval is not None
-            and self._requests_served % self.health_check_interval == 0
-        ):
+        with self._lock:
+            self._requests_served += 1
+            health_check_due = (
+                self.health_check_interval is not None
+                and self._requests_served % self.health_check_interval == 0
+            )
+        if health_check_due:
             self.run_health_checks()
         attempts = 0
         retries = 0
@@ -466,7 +536,10 @@ class TDAMSearchService:
                     break
                 if not self.budget.try_withdraw():
                     break
-                backoff = schedule.next_backoff_s()
+                # The jitter stream is shared across requests (that is
+                # what decorrelates them); draws must be serialized.
+                with self._lock:
+                    backoff = schedule.next_backoff_s()
                 if self._clock() + backoff >= deadline:
                     break
                 retries += 1
@@ -499,13 +572,20 @@ class TDAMSearchService:
         return run(shard)
 
     def _route(self) -> Optional[Shard]:
-        """Round-robin over shards whose breaker admits a request."""
+        """Round-robin over shards whose breaker admits a request.
+
+        The cursor read-advance is atomic under the service lock so two
+        concurrent requests cannot claim the same round-robin slot (a
+        lost update would silently pile traffic onto one replica).
+        """
         n = len(self.shards)
         for offset in range(n):
-            shard = self.shards[(self._rr_next + offset) % n]
-            if shard.breaker.allow():
-                self._rr_next = (self._rr_next + offset + 1) % n
-                return shard
+            with self._lock:
+                index = (self._rr_next + offset) % n
+                shard = self.shards[index]
+                if shard.breaker.allow():
+                    self._rr_next = (index + 1) % n
+                    return shard
         return None
 
     def _degraded_fallback(

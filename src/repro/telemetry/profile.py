@@ -96,6 +96,26 @@ PROBE_EVENTS: Dict[str, str] = {
         "one chaos scenario finished: name, requests, deadline_hit_rate, "
         "wrong_unflagged, passed"
     ),
+    "service.admission": (
+        "front-end admission decision: outcome in {admitted, "
+        "shed_queue_full, shed_queue_deadline, shed_quota, "
+        "shed_draining}, tenant, queue_depth, retry_after_s"
+    ),
+    "coalesce.flush": (
+        "one coalesced batch dispatched: kind in {search, topk}, size, "
+        "reason in {full, window, drain}, waited_s, shed_stale"
+    ),
+    "frontend.request": (
+        "one front-end request finished: outcome in {ok, degraded, "
+        "deadline, unavailable, error}, tenant, elapsed_s, batch_size"
+    ),
+    "frontend.drain": (
+        "front-end drained: pending requests flushed at shutdown"
+    ),
+    "partition.gather": (
+        "partitioned scatter/gather merged: queries, partitions_searched, "
+        "partitions_skipped, coverage, elapsed_s"
+    ),
 }
 
 _lock = threading.Lock()

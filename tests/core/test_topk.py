@@ -136,6 +136,30 @@ class TestGroupedTopK:
                 np.array([0, 1]), np.array([0, 0]), np.zeros(2), 2, 2
             )
 
+    def test_pad_fills_underfull_groups(self):
+        # Query 0 has two candidates, query 1 only one: the partitioned
+        # gather's "some rows were unreachable" shape.
+        q_idx = np.array([0, 0, 1])
+        r_idx = np.array([4, 2, 7])
+        primary = np.array([1.0, 3.0, 5.0])
+        got = grouped_top_k(q_idx, r_idx, primary, 3, 2, pad=-1)
+        assert np.array_equal(got, [[4, 2, -1], [7, -1, -1]])
+
+    def test_pad_allows_empty_group(self):
+        q_idx = np.array([1, 1])
+        r_idx = np.array([3, 9])
+        primary = np.array([2.0, 1.0])
+        got = grouped_top_k(q_idx, r_idx, primary, 2, 2, pad=-1)
+        assert np.array_equal(got, [[-1, -1], [9, 3]])
+
+    def test_pad_unused_when_groups_full(self):
+        q_idx = np.array([0, 0, 1, 1])
+        r_idx = np.array([0, 1, 2, 3])
+        primary = np.array([1.0, 0.0, 0.0, 1.0])
+        padded = grouped_top_k(q_idx, r_idx, primary, 2, 2, pad=-1)
+        strict = grouped_top_k(q_idx, r_idx, primary, 2, 2)
+        assert np.array_equal(padded, strict)
+
 
 @pytest.fixture
 def written_array():

@@ -1,0 +1,141 @@
+"""Admission control: token buckets, tenant quotas, bounded queue."""
+
+import math
+import threading
+
+import pytest
+
+from repro.service import (
+    AdmissionController,
+    FakeClock,
+    OverloadError,
+    QuotaExceededError,
+    TenantQuotas,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self, clock):
+        bucket = TokenBucket(10.0, burst=3.0, clock=clock.now)
+        assert [bucket.try_acquire()[0] for _ in range(3)] == [True] * 3
+        ok, retry = bucket.try_acquire()
+        assert not ok
+        assert retry == pytest.approx(0.1)
+
+    def test_refills_at_rate(self, clock):
+        bucket = TokenBucket(10.0, burst=1.0, clock=clock.now)
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+        clock.advance(0.1)
+        assert bucket.try_acquire()[0]
+
+    def test_refill_caps_at_burst(self, clock):
+        bucket = TokenBucket(100.0, burst=2.0, clock=clock.now)
+        clock.advance(10.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_retry_after_is_exact(self, clock):
+        bucket = TokenBucket(4.0, burst=1.0, clock=clock.now)
+        bucket.try_acquire()
+        clock.advance(0.125)  # half a token accrued
+        ok, retry = bucket.try_acquire()
+        assert not ok
+        assert retry == pytest.approx(0.5 / 4.0)
+
+    def test_infinite_rate_never_rejects(self, clock):
+        bucket = TokenBucket(math.inf, burst=1.0, clock=clock.now)
+        assert all(bucket.try_acquire()[0] for _ in range(100))
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError, match="rate_per_s"):
+            TokenBucket(0.0, clock=clock.now)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(1.0, burst=0.5, clock=clock.now)
+
+    def test_thread_safe_exact_spend(self, clock):
+        # 8 threads race for 40 tokens: exactly 40 must win, never more
+        # (a lost update would mint tokens out of thin air).
+        bucket = TokenBucket(1.0, burst=40.0, clock=clock.now)
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            wins.append(sum(bucket.try_acquire()[0] for _ in range(10)))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(wins) == 40
+
+
+class TestTenantQuotas:
+    def test_default_is_unlimited(self, clock):
+        quotas = TenantQuotas(clock=clock.now)
+        assert all(quotas.try_acquire("anyone")[0] for _ in range(50))
+
+    def test_override_binds_one_tenant(self, clock):
+        quotas = TenantQuotas(clock=clock.now)
+        quotas.set_quota("greedy", 10.0, burst=2.0)
+        assert quotas.try_acquire("greedy")[0]
+        assert quotas.try_acquire("greedy")[0]
+        assert not quotas.try_acquire("greedy")[0]
+        assert quotas.try_acquire("modest")[0]
+
+    def test_default_rate_applies_to_unknown_tenants(self, clock):
+        quotas = TenantQuotas(
+            default_rate_per_s=5.0, default_burst=1.0, clock=clock.now
+        )
+        assert quotas.try_acquire("a")[0]
+        assert not quotas.try_acquire("a")[0]
+        # Each tenant gets its own bucket.
+        assert quotas.try_acquire("b")[0]
+
+
+class TestAdmissionController:
+    def test_admits_under_both_limits(self, clock):
+        ctrl = AdmissionController(max_queue_depth=4)
+        ctrl.admit("t", queue_depth=3)  # no raise
+
+    def test_queue_full_sheds_typed(self, clock):
+        ctrl = AdmissionController(
+            max_queue_depth=2, overload_retry_after_s=0.25
+        )
+        with pytest.raises(OverloadError) as info:
+            ctrl.admit("t", queue_depth=2)
+        assert info.value.reason == "queue_full"
+        assert info.value.retry_after_s == pytest.approx(0.25)
+        assert info.value.tenant == "t"
+
+    def test_quota_shed_carries_retry_hint(self, clock):
+        quotas = TenantQuotas(clock=clock.now)
+        quotas.set_quota("t", 2.0, burst=1.0)
+        ctrl = AdmissionController(max_queue_depth=10, quotas=quotas)
+        ctrl.admit("t", queue_depth=0)
+        with pytest.raises(QuotaExceededError) as info:
+            ctrl.admit("t", queue_depth=0)
+        assert info.value.reason == "quota"
+        assert info.value.retry_after_s == pytest.approx(0.5)
+
+    def test_quota_charged_before_depth_check(self, clock):
+        # A stampeder's rejected requests still burn its tokens: the
+        # quota check runs first, so excess cannot ride a full queue
+        # for free.
+        quotas = TenantQuotas(clock=clock.now)
+        quotas.set_quota("t", 1.0, burst=2.0)
+        ctrl = AdmissionController(max_queue_depth=1, quotas=quotas)
+        with pytest.raises(OverloadError):
+            ctrl.admit("t", queue_depth=1)  # token spent anyway
+        with pytest.raises(OverloadError):
+            ctrl.admit("t", queue_depth=1)
+        with pytest.raises(QuotaExceededError):
+            ctrl.admit("t", queue_depth=0)  # bucket now empty
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ValueError, match="overload_retry_after_s"):
+            AdmissionController(overload_retry_after_s=-1.0)

@@ -1,0 +1,100 @@
+"""Coalescer data structure: flush rules, futures, batching keys."""
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    CoalescePolicy,
+    Coalescer,
+    FrontendFuture,
+    PendingRequest,
+)
+
+
+def _request(kind="search", k=0, enqueued_at=0.0, deadline_at=10.0):
+    return PendingRequest(
+        kind=kind,
+        query=np.zeros(4, dtype=np.int64),
+        tenant="t",
+        deadline_at=deadline_at,
+        enqueued_at=enqueued_at,
+        k=k,
+    )
+
+
+class TestCoalescePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_s"):
+            CoalescePolicy(window_s=-1.0)
+        with pytest.raises(ValueError, match="max_batch"):
+            CoalescePolicy(max_batch=0)
+
+
+class TestFrontendFuture:
+    def test_result_roundtrip(self):
+        future = FrontendFuture()
+        assert not future.done()
+        future.set_result("answer", completed_at=1.5)
+        assert future.done()
+        assert future.result(timeout=0) == "answer"
+        assert future.completed_at == 1.5
+        assert future.exception() is None
+
+    def test_exception_raises_on_result(self):
+        future = FrontendFuture()
+        future.set_exception(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            future.result(timeout=0)
+        assert isinstance(future.exception(), RuntimeError)
+
+    def test_unfulfilled_times_out(self):
+        with pytest.raises(TimeoutError):
+            FrontendFuture().result(timeout=0.001)
+
+
+class TestCoalescer:
+    def test_full_batch_flushes_immediately(self):
+        coalescer = Coalescer(CoalescePolicy(window_s=1.0, max_batch=2))
+        assert coalescer.add(_request(enqueued_at=0.0)) is None
+        batch = coalescer.add(_request(enqueued_at=0.1))
+        assert batch is not None
+        assert batch.reason == "full"
+        assert len(batch) == 2
+        assert batch.oldest_enqueued_at == 0.0
+        assert coalescer.depth == 0
+
+    def test_incompatible_kinds_never_share_a_batch(self):
+        coalescer = Coalescer(CoalescePolicy(max_batch=2))
+        assert coalescer.add(_request(kind="search")) is None
+        assert coalescer.add(_request(kind="topk", k=3)) is None
+        # Different k values are different batches too.
+        assert coalescer.add(_request(kind="topk", k=5)) is None
+        assert coalescer.depth == 3
+        batch = coalescer.add(_request(kind="topk", k=3))
+        assert batch is not None
+        assert batch.kind == "topk" and batch.k == 3
+
+    def test_next_due_is_oldest_plus_window(self):
+        coalescer = Coalescer(CoalescePolicy(window_s=0.5, max_batch=8))
+        assert coalescer.next_due() is None
+        coalescer.add(_request(enqueued_at=2.0))
+        coalescer.add(_request(enqueued_at=2.3))
+        assert coalescer.next_due() == pytest.approx(2.5)
+
+    def test_pop_due_flushes_only_expired_windows(self):
+        coalescer = Coalescer(CoalescePolicy(window_s=0.5, max_batch=8))
+        coalescer.add(_request(kind="search", enqueued_at=0.0))
+        coalescer.add(_request(kind="topk", k=2, enqueued_at=0.4))
+        ready = coalescer.pop_due(now=0.5)
+        assert [b.kind for b in ready] == ["search"]
+        assert ready[0].reason == "window"
+        assert coalescer.depth == 1
+
+    def test_pop_all_drains_everything(self):
+        coalescer = Coalescer(CoalescePolicy(window_s=9.0, max_batch=8))
+        coalescer.add(_request(kind="search"))
+        coalescer.add(_request(kind="topk", k=2))
+        ready = coalescer.pop_all()
+        assert sorted(b.kind for b in ready) == ["search", "topk"]
+        assert all(b.reason == "drain" for b in ready)
+        assert coalescer.depth == 0

@@ -1,0 +1,187 @@
+"""Hammer tests: the service's shared state under real thread races.
+
+These tests exist to catch *lost updates*, not logic bugs: every
+assertion is an exact count that only holds if the lock actually
+serializes the critical section.  A barrier lines the threads up so
+they hit the shared state together rather than trickling through.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    BreakerState,
+    CircuitBreaker,
+    RetryBudget,
+)
+
+from tests.service.conftest import make_service
+
+N_THREADS = 8
+
+
+def _hammer(n_threads, worker):
+    barrier = threading.Barrier(n_threads)
+
+    def run(i):
+        barrier.wait()
+        worker(i)
+
+    threads = [
+        threading.Thread(target=run, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestBreakerUnderRace:
+    def test_single_half_open_probe_slot(self, clock):
+        # After the cool-down, N racing allow() calls must admit
+        # exactly `half_open_probes` trials -- a double-admitted probe
+        # would let two requests hit a possibly-broken shard.
+        breaker = CircuitBreaker(
+            "s0", reset_timeout_s=0.5, half_open_probes=1, clock=clock.now
+        )
+        breaker.force_open("test")
+        clock.advance(1.0)
+        admitted = []
+
+        _hammer(N_THREADS, lambda i: admitted.append(breaker.allow()))
+
+        assert sum(admitted) == 1
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_slots_scale_with_config(self, clock):
+        breaker = CircuitBreaker(
+            "s0", reset_timeout_s=0.5, half_open_probes=3, clock=clock.now
+        )
+        breaker.force_open("test")
+        clock.advance(1.0)
+        admitted = []
+
+        def worker(i):
+            for _ in range(4):
+                admitted.append(breaker.allow())
+
+        _hammer(N_THREADS, worker)
+        assert sum(admitted) == 3
+
+    def test_concurrent_failures_trip_exactly(self, clock):
+        # failure_threshold equals the total failure count: any lost
+        # increment leaves the breaker CLOSED.
+        per_thread = 5
+        breaker = CircuitBreaker(
+            "s0",
+            failure_threshold=N_THREADS * per_thread,
+            clock=clock.now,
+        )
+
+        def worker(i):
+            for _ in range(per_thread):
+                breaker.record_failure()
+
+        _hammer(N_THREADS, worker)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_success_failure_interleave_stays_consistent(self, clock):
+        # Mixed feedback must never corrupt the state machine: the
+        # breaker ends CLOSED or OPEN, never wedged half-open with no
+        # probe outstanding.
+        breaker = CircuitBreaker(
+            "s0", failure_threshold=3, clock=clock.now
+        )
+
+        def worker(i):
+            for j in range(50):
+                if (i + j) % 2:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+
+        _hammer(N_THREADS, worker)
+        assert breaker.state in (BreakerState.CLOSED, BreakerState.OPEN)
+
+
+class TestRetryBudgetUnderRace:
+    def test_exact_withdrawals(self):
+        # Initial balance == max_balance == 10.0: exactly 10 of the 80
+        # racing withdrawals may win.
+        budget = RetryBudget()
+        wins = []
+
+        def worker(i):
+            wins.append(sum(budget.try_withdraw() for _ in range(10)))
+
+        _hammer(N_THREADS, worker)
+        assert sum(wins) == 10
+        assert budget.balance == pytest.approx(0.0)
+
+    def test_deposits_never_exceed_cap(self):
+        budget = RetryBudget(deposit_per_request=0.1, max_balance=2.0)
+
+        def worker(i):
+            for _ in range(100):
+                budget.deposit()
+
+        _hammer(N_THREADS, worker)
+        assert budget.balance == pytest.approx(2.0)
+
+    def test_mixed_traffic_conserves_tokens(self):
+        # Drain the initial balance first so the cap never binds; from
+        # there every deposit and withdrawal must be conserved exactly:
+        # final = deposits - wins, with no token lost or minted.
+        budget = RetryBudget(deposit_per_request=0.25, max_balance=100.0)
+        while budget.try_withdraw():
+            pass
+        assert budget.balance == pytest.approx(0.0)
+        wins = []
+
+        def worker(i):
+            won = 0
+            for _ in range(20):
+                budget.deposit()
+                won += budget.try_withdraw()
+            wins.append(won)
+
+        _hammer(N_THREADS, worker)
+        deposited = N_THREADS * 20 * 0.25  # 40.0, well under the cap
+        assert budget.balance == pytest.approx(deposited - sum(wins))
+
+
+class TestServiceUnderRace:
+    def test_no_lost_request_counts(self, config, stored, clock):
+        # _requests_served feeds the health-check cadence; a lost
+        # update silently stretches the BIST interval.
+        service = make_service(config, stored, clock, n_shards=2)
+        queries = np.asarray(stored)
+        per_thread = 25
+        errors = []
+
+        def worker(i):
+            try:
+                for j in range(per_thread):
+                    response = service.search(
+                        queries[j % len(queries)], deadline_s=30.0
+                    )
+                    assert response.best_row == j % len(queries)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        _hammer(N_THREADS, worker)
+        assert errors == []
+        assert service._requests_served == N_THREADS * per_thread
+
+    def test_round_robin_cursor_stays_in_range(self, config, stored, clock):
+        service = make_service(config, stored, clock, n_shards=3)
+        queries = np.asarray(stored)
+
+        def worker(i):
+            for j in range(30):
+                service.search(queries[j % len(queries)], deadline_s=30.0)
+
+        _hammer(N_THREADS, worker)
+        assert 0 <= service._rr_next < len(service.shards)

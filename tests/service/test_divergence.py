@@ -1,0 +1,111 @@
+"""write_all partial failure: divergence is typed, loud, and quarantined."""
+
+import numpy as np
+import pytest
+
+from repro.service import BreakerState, ReplicaDivergenceError
+
+from tests.service.conftest import make_service
+
+
+class _FailNextWrite:
+    """Wraps one shard array's write_all to fail a set number of times."""
+
+    def __init__(self, array, failures=1):
+        self.failures = failures
+        self.calls = 0
+        self._inner = array.write_all
+        array.write_all = self
+
+    def __call__(self, values):
+        self.calls += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise IOError("program pulse failed")
+        return self._inner(values)
+
+
+@pytest.fixture
+def service(config, stored, clock):
+    return make_service(config, stored, clock, n_shards=3)
+
+
+@pytest.fixture
+def matrix(config):
+    return np.random.default_rng(9).integers(
+        0, config.levels, size=(6, config.n_stages)
+    )
+
+
+class TestDivergenceError:
+    def test_names_written_and_unwritten_shards(self, service, matrix):
+        _FailNextWrite(service.shards[1].array)
+        with pytest.raises(ReplicaDivergenceError) as info:
+            service.write_all(matrix)
+        err = info.value
+        assert tuple(err.shards_written) == ("shard0",)
+        assert err.failed_shard == "shard1"
+        # The failed shard AND the never-attempted one are both stale.
+        assert set(err.shards_unwritten) == {"shard1", "shard2"}
+
+    def test_unwritten_shards_are_quarantined(self, service, matrix):
+        _FailNextWrite(service.shards[1].array)
+        with pytest.raises(ReplicaDivergenceError):
+            service.write_all(matrix)
+        assert service.shards[0].breaker.state is BreakerState.CLOSED
+        assert service.shards[1].breaker.state is BreakerState.OPEN
+        assert service.shards[2].breaker.state is BreakerState.OPEN
+
+    def test_reads_prefer_the_written_replica(self, service, matrix):
+        # Post-divergence queries must be answered by shard0 (the only
+        # replica holding the new matrix) -- open breakers route the
+        # stale replicas out.
+        _FailNextWrite(service.shards[1].array)
+        with pytest.raises(ReplicaDivergenceError):
+            service.write_all(matrix)
+        response = service.search(matrix[2])
+        assert response.best_row == 2
+        assert response.shard_id == "shard0"
+        assert not response.degraded
+
+    def test_full_rewrite_lifts_quarantine(self, service, matrix):
+        failer = _FailNextWrite(service.shards[1].array, failures=1)
+        with pytest.raises(ReplicaDivergenceError):
+            service.write_all(matrix)
+        # Second attempt succeeds everywhere: replicas agree again and
+        # the divergence quarantine must lift without a half-open probe.
+        service.write_all(matrix)
+        assert failer.calls == 2
+        for shard in service.shards:
+            assert shard.breaker.state is BreakerState.CLOSED
+        response = service.search(matrix[0])
+        assert response.best_row == 0
+        assert not response.degraded
+
+    def test_rewrite_leaves_health_opens_alone(self, service, matrix):
+        # A breaker opened for an unrelated reason (here: forced) must
+        # NOT be closed by a successful rewrite -- only divergence
+        # quarantines are lifted by it.
+        service.write_all(matrix)
+        service.shards[2].breaker.force_open("operator quarantine")
+        service.write_all(matrix)
+        assert service.shards[2].breaker.state is BreakerState.OPEN
+
+    def test_repeated_divergence_accumulates(self, service, matrix, config):
+        # Diverge on shard1, then diverge again on shard2: the second
+        # error's unwritten set reflects the *current* fan-out, and
+        # a final clean rewrite clears everything.
+        _FailNextWrite(service.shards[1].array, failures=1)
+        with pytest.raises(ReplicaDivergenceError):
+            service.write_all(matrix)
+        other = np.random.default_rng(10).integers(
+            0, config.levels, size=(6, config.n_stages)
+        )
+        _FailNextWrite(service.shards[2].array, failures=1)
+        with pytest.raises(ReplicaDivergenceError) as info:
+            service.write_all(other)
+        assert tuple(info.value.shards_written) == ("shard0", "shard1")
+        assert tuple(info.value.shards_unwritten) == ("shard2",)
+        service.write_all(other)
+        for shard in service.shards:
+            assert shard.breaker.state is BreakerState.CLOSED

@@ -264,6 +264,84 @@ def bench_telemetry_overhead(repeats: int = 20) -> dict:
     }
 
 
+def bench_coalesce(
+    client_counts=(4, 16, 64), per_client: int = 25
+) -> dict:
+    """Concurrent-client throughput: direct calls vs the coalescing front end.
+
+    Each level spawns N threads that issue ``per_client`` sequential
+    searches; the direct path hits ``TDAMSearchService.search`` one
+    query at a time while the coalesced path goes through a
+    ``CoalescingFrontend`` that merges the concurrent callers into
+    batched shard calls.  Tracked (non-gating) -- the win is the batch
+    kernel's, the front end just has to harvest it without breaking
+    bit-exactness.
+    """
+    import threading
+
+    from repro.resilience.resilient import ResilientTDAMArray
+    from repro.service import (
+        CoalescePolicy,
+        CoalescingFrontend,
+        TDAMSearchService,
+    )
+
+    config = TDAMConfig.fig8_system()
+    rng = np.random.default_rng(1)
+    stored = rng.integers(0, 4, size=(N_ROWS, N_STAGES))
+    shard = ResilientTDAMArray(config, n_rows=N_ROWS, n_spares=2)
+    service = TDAMSearchService([shard], default_deadline_s=30.0)
+    service.write_all(stored)
+    queries = rng.integers(0, 4, size=(64, N_STAGES))
+
+    def clients(n, call):
+        errors = []
+
+        def worker(i):
+            try:
+                for j in range(per_client):
+                    call(queries[(i * per_client + j) % len(queries)])
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        return n * per_client / elapsed
+
+    levels = {}
+    for n in client_counts:
+        direct_qps = clients(n, lambda q: service.search(q))
+        frontend = CoalescingFrontend(
+            service,
+            policy=CoalescePolicy(window_s=0.002, max_batch=max(n, 2)),
+        )
+        with frontend:
+            coalesced_qps = clients(n, lambda q: frontend.search(q))
+            stats = frontend.stats()
+        levels[str(n)] = {
+            "direct_qps": direct_qps,
+            "coalesced_qps": coalesced_qps,
+            "speedup": coalesced_qps / direct_qps,
+            "mean_batch_size": stats.mean_batch_size,
+        }
+    return {
+        "workload": (
+            f"{N_ROWS} rows x {N_STAGES} stages, "
+            f"{per_client} searches/client"
+        ),
+        "clients": levels,
+    }
+
+
 def export_telemetry_artifacts(metrics_out, trace_out) -> None:
     """Run a traced reference workload and dump metrics/trace artifacts."""
     config = TDAMConfig.fig8_system()
@@ -457,6 +535,7 @@ def main(argv=None) -> int:
         "topk": bench_topk(),
         "monte_carlo": bench_monte_carlo(args.mc_runs, args.workers),
         "telemetry_overhead": bench_telemetry_overhead(),
+        "coalesce": bench_coalesce(),
     }
     if not args.skip_microbench:
         report["microbench"] = run_microbench()
@@ -484,6 +563,11 @@ def main(argv=None) -> int:
           f"workers (bit_identical={mc['bit_identical']}){mc_note}")
     print(f"telemetry:    disabled {tel['disabled_overhead_pct']:+.2f}% / "
           f"enabled {tel['enabled_overhead_pct']:+.2f}% vs bare kernel")
+    for n, row in report["coalesce"]["clients"].items():
+        print(f"coalesce:     {n:>3} clients "
+              f"{row['coalesced_qps']:,.0f} q/s coalesced vs "
+              f"{row['direct_qps']:,.0f} direct ({row['speedup']:.2f}x, "
+              f"mean batch {row['mean_batch_size']:.1f})")
     print(f"wrote {args.output}")
     if args.metrics_out:
         print(f"wrote {args.metrics_out}")
