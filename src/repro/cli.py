@@ -443,7 +443,106 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json-out", metavar="FILE", default=None,
         help="also write the report as JSON (CI artifact format)",
     )
+    index = sub.add_parser(
+        "index",
+        help="build / probe the memmapped million-row ANN index",
+    )
+    index_sub = index.add_subparsers(dest="index_command")
+    index_build = index_sub.add_parser(
+        "build",
+        help="pack a seeded synthetic clustered corpus into a "
+             "published bit-plane store",
+        parents=[telemetry_options],
+    )
+    index_build.add_argument(
+        "--out", required=True, metavar="DIR", help="store directory",
+    )
+    index_build.add_argument(
+        "--rows", type=int, default=100_000, help="corpus rows",
+    )
+    index_build.add_argument(
+        "--stages", type=int, default=64,
+        help="stages per row (vector dimensionality)",
+    )
+    index_build.add_argument(
+        "--bits", type=int, default=2,
+        help="element precision in bits",
+    )
+    index_build.add_argument(
+        "--clusters", type=int, default=64,
+        help="coarse-quantizer clusters (= max shards)",
+    )
+    index_build.add_argument(
+        "--noise", type=float, default=0.08,
+        help="within-cluster per-stage re-draw probability",
+    )
+    index_build.add_argument(
+        "--sample", type=int, default=16384,
+        help="rows sampled for the quantizer fit",
+    )
+    index_build.add_argument(
+        "--seed", type=int, default=7, help="corpus + clustering seed",
+    )
+    index_search = index_sub.add_parser(
+        "search",
+        help="reopen a published store and probe it (exits non-zero "
+             "when --min-recall or --max-rss-mb is violated)",
+        parents=[telemetry_options],
+    )
+    index_search.add_argument(
+        "--store", required=True, metavar="DIR", help="store directory",
+    )
+    index_search.add_argument(
+        "--queries", type=int, default=64, help="query batch size",
+    )
+    index_search.add_argument(
+        "--k", type=int, default=10, help="rows returned per query",
+    )
+    index_search.add_argument(
+        "--nprobe", type=int, default=8,
+        help="clusters probed per query",
+    )
+    index_search.add_argument(
+        "--query-noise", type=float, default=0.08,
+        help="per-stage re-draw probability deriving queries from "
+             "stored rows",
+    )
+    index_search.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats (best-of)",
+    )
+    index_search.add_argument(
+        "--seed", type=int, default=11, help="query sampling seed",
+    )
+    index_search.add_argument(
+        "--min-recall", type=float, default=None, metavar="R",
+        help="fail (exit 1) when recall@k vs the exhaustive answer "
+             "falls below R",
+    )
+    index_search.add_argument(
+        "--max-rss-mb", type=float, default=None, metavar="MB",
+        help="fail (exit 1) when this process's peak RSS exceeds MB "
+             "(the memmap-bounded-memory assertion)",
+    )
+    index_search.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help="also write the probe report as JSON (CI artifact format)",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "index":
+        if args.index_command not in ("build", "search"):
+            index.print_help()
+            return 2
+        _telemetry_begin(args)
+        try:
+            from repro.index.cli import run_index_build, run_index_search
+
+            if args.index_command == "build":
+                return run_index_build(args)
+            return run_index_search(args)
+        finally:
+            _telemetry_end(args)
 
     if args.command == "list":
         for name in REPORT_ORDER:

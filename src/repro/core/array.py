@@ -94,6 +94,7 @@ def resolve_query_chunk(
     n_rows: int,
     n_stages: int,
     budget_bytes: int = QUERY_CHUNK_BUDGET_BYTES,
+    working_set_bytes: int = 0,
 ) -> int:
     """Auto-size the query chunk of the batched kernels.
 
@@ -105,13 +106,32 @@ def resolve_query_chunk(
     :data:`MAX_QUERY_CHUNK`].  Chunking never changes results -- every
     kernel is bit-exact for any chunk -- so this is purely a
     memory/throughput trade.
+
+    Args:
+        n_rows: Rows the kernel will scan.
+        n_stages: Stages per row.
+        budget_bytes: Transient-tensor memory budget.
+        working_set_bytes: Resident bytes the caller touches *besides*
+            the per-chunk transient -- e.g. the memmapped bit-plane
+            shard a store-backed probe pages in.  Subtracted from the
+            budget before sizing so a million-row probe on a small-RAM
+            machine does not thrash the page cache; when the working
+            set alone exceeds the budget the chunk floors at
+            :data:`MIN_QUERY_CHUNK`.
     """
     if n_rows < 1 or n_stages < 1:
         raise ValueError(
             f"n_rows and n_stages must be >= 1, got {n_rows}, {n_stages}"
         )
+    if working_set_bytes < 0:
+        raise ValueError(
+            f"working_set_bytes must be >= 0, got {working_set_bytes}"
+        )
+    effective = budget_bytes - working_set_bytes
+    if effective <= 0:
+        return MIN_QUERY_CHUNK
     per_query = n_rows * n_stages * 8
-    chunk = budget_bytes // per_query
+    chunk = effective // per_query
     return int(min(MAX_QUERY_CHUNK, max(MIN_QUERY_CHUNK, chunk)))
 
 

@@ -18,21 +18,37 @@ The ``loop`` kernel is reachable only by explicit override -- it exists
 as the bit-exactness reference and is never worth autotuning.
 Autotune decisions are observable through the ``kernel.autotune``
 telemetry probe and :func:`autotune_decisions`.
+
+Decisions persist across processes through a per-machine **profile
+file** (:func:`autotune_profile_path`, default
+``~/.cache/repro/autotune.json``, overridable via
+:data:`AUTOTUNE_PROFILE_ENV`; an empty value disables persistence).
+The profile is loaded lazily on the first cache miss and written with
+:func:`repro.io.atomic_write`, so cold processes -- Monte Carlo worker
+pools, shard processes, index builders -- start on the right kernel
+instead of re-measuring.  Decisions timed while telemetry tracing is
+enabled are quarantined in a separate cache: the enabled-path overhead
+(~30% on instrumented thunks) can flip the winner, and such a decision
+must outlive neither the tracing session nor the process.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.telemetry.profile import emit_probe as _emit_probe
 from repro.telemetry.state import STATE as _TM
 
 __all__ = [
+    "AUTOTUNE_PROFILE_ENV",
     "KERNEL_ENV_VAR",
     "autotune_decisions",
+    "autotune_profile_path",
     "available_kernels",
     "clear_autotune_cache",
     "force_kernel",
@@ -43,6 +59,13 @@ __all__ = [
 #: Environment variable naming the batched-search kernel to use.
 KERNEL_ENV_VAR = "REPRO_KERNEL"
 
+#: Environment variable overriding the autotune profile location; an
+#: empty (or whitespace) value disables persistence entirely.
+AUTOTUNE_PROFILE_ENV = "REPRO_AUTOTUNE_PROFILE"
+
+#: Format tag of the persisted profile, bumped on layout changes.
+_PROFILE_FORMAT = 1
+
 _KERNELS = ("packed", "gemm", "loop")
 # Best-of-N timing per candidate; the thunks are microsecond-scale, so
 # a few extra repeats cost nothing and keep scheduler noise (single-CPU
@@ -51,6 +74,12 @@ _AUTOTUNE_REPEATS = 7
 
 _forced: Optional[str] = None
 _autotune_cache: Dict[Tuple, str] = {}
+# Decisions timed under enabled telemetry tracing; kept apart from
+# _autotune_cache so they are never persisted and never consulted once
+# tracing is off again (the instrumented timings are not trustworthy).
+_traced_cache: Dict[Tuple, str] = {}
+# Whether the persisted profile has been merged into _autotune_cache.
+_profile_loaded = False
 
 
 def available_kernels() -> Tuple[str, ...]:
@@ -102,13 +131,110 @@ def force_kernel(name: str) -> Iterator[None]:
 
 
 def clear_autotune_cache() -> None:
-    """Forget every cached autotune decision (tests, re-benchmarking)."""
+    """Forget every cached autotune decision (tests, re-benchmarking).
+
+    Also forgets that the persisted profile was loaded, so the next
+    :func:`select_kernel` miss re-reads it -- i.e. this restores a
+    cold-process state, not an empty-machine state.  Point
+    :data:`AUTOTUNE_PROFILE_ENV` at an empty value first to force
+    genuine re-measurement.
+    """
+    global _profile_loaded
     _autotune_cache.clear()
+    _traced_cache.clear()
+    _profile_loaded = False
 
 
 def autotune_decisions() -> Dict[Tuple, str]:
-    """A copy of the cached (geometry key -> winning kernel) decisions."""
+    """A copy of the cached (geometry key -> winning kernel) decisions.
+
+    Only trustworthy (untraced) decisions appear here; winners timed
+    under enabled telemetry tracing are quarantined internally.
+    """
     return dict(_autotune_cache)
+
+
+def autotune_profile_path() -> Optional[Path]:
+    """Location of the persisted autotune profile, or ``None``.
+
+    :data:`AUTOTUNE_PROFILE_ENV` overrides the default
+    ``~/.cache/repro/autotune.json``; setting it to an empty value
+    disables persistence (the in-process cache still works).
+    """
+    value = os.environ.get(AUTOTUNE_PROFILE_ENV)
+    if value is not None:
+        value = value.strip()
+        return Path(value) if value else None
+    return Path.home() / ".cache" / "repro" / "autotune.json"
+
+
+def _load_profile() -> None:
+    """Merge the persisted profile into the in-process cache, once.
+
+    A missing, unreadable, or corrupt profile is ignored -- the
+    dispatcher simply re-measures, exactly as if the file were absent.
+    In-process decisions win over persisted ones.
+    """
+    global _profile_loaded
+    if _profile_loaded:
+        return
+    _profile_loaded = True
+    path = autotune_profile_path()
+    if path is None:
+        return
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return
+    if not isinstance(payload, dict) or payload.get("format") != _PROFILE_FORMAT:
+        return
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        return
+    for key_str, winner in entries.items():
+        if winner not in _KERNELS:
+            continue
+        try:
+            key = tuple(json.loads(key_str))
+        except ValueError:
+            continue
+        _autotune_cache.setdefault(key, winner)
+
+
+def _save_profile() -> None:
+    """Persist the untraced cache (merge-over-existing, atomic publish).
+
+    The profile is an optimization, never a correctness artifact: any
+    I/O failure is swallowed and the in-process cache carries on.
+    """
+    path = autotune_profile_path()
+    if path is None:
+        return
+    from repro.io import atomic_write  # local: avoids an import cycle
+
+    entries: Dict[str, str] = {}
+    try:
+        payload = json.loads(path.read_text())
+        if isinstance(payload, dict) and payload.get("format") == _PROFILE_FORMAT:
+            existing = payload.get("entries")
+            if isinstance(existing, dict):
+                entries.update(existing)
+    except (OSError, ValueError):
+        pass
+    entries.update(
+        {json.dumps(list(key)): winner
+         for key, winner in _autotune_cache.items()}
+    )
+    doc = json.dumps(
+        {"format": _PROFILE_FORMAT, "entries": entries},
+        indent=2,
+        sort_keys=True,
+    )
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write(path, lambda handle: handle.write(doc.encode("utf-8")))
+    except OSError:
+        pass
 
 
 def select_kernel(
@@ -132,8 +258,15 @@ def select_kernel(
     if override is not None:
         return override
     cached = _autotune_cache.get(key)
+    if cached is None and not _profile_loaded:
+        _load_profile()
+        cached = _autotune_cache.get(key)
     if cached is not None and cached in candidates:
         return cached
+    if _TM.enabled:
+        traced = _traced_cache.get(key)
+        if traced is not None and traced in candidates:
+            return traced
     timings: Dict[str, float] = {}
     for name, thunk in candidates.items():
         thunk()  # warm: first call may build caches
@@ -144,12 +277,19 @@ def select_kernel(
             best = min(best, time.perf_counter() - start)
         timings[name] = best
     winner = min(timings, key=timings.get)
-    _autotune_cache[key] = winner
     if _TM.enabled:
+        # Tracing inflates every instrumented thunk, which can flip the
+        # winner; quarantine the decision so it never reaches the
+        # untraced cache or the persisted profile.
+        _traced_cache[key] = winner
         _emit_probe(
             "kernel.autotune",
             key=repr(key),
             winner=winner,
+            traced=True,
             **{f"{name}_s": t for name, t in timings.items()},
         )
+    else:
+        _autotune_cache[key] = winner
+        _save_profile()
     return winner

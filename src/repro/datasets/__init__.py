@@ -16,9 +16,11 @@ section 2 for the substitution rationale):
 from repro.datasets.loaders import load_csv_dataset, load_isolet, load_ucihar
 from repro.datasets.synthetic import (
     Dataset,
+    make_clustered_levels,
     make_face_like,
     make_isolet_like,
     make_ucihar_like,
+    perturb_levels,
     standard_suite,
 )
 
@@ -27,6 +29,8 @@ __all__ = [
     "make_isolet_like",
     "make_ucihar_like",
     "make_face_like",
+    "make_clustered_levels",
+    "perturb_levels",
     "standard_suite",
     "load_csv_dataset",
     "load_isolet",

@@ -196,3 +196,91 @@ def standard_suite(
         make_ucihar_like(s(1470), s(735), seed=2 + seed_offset),
         make_face_like(s(1600), s(800), seed=3 + seed_offset),
     ]
+
+
+# ----------------------------------------------------------------------
+# Clustered level corpora (ANN index benchmarks)
+# ----------------------------------------------------------------------
+def make_clustered_levels(
+    n_rows: int,
+    n_stages: int,
+    levels: int,
+    n_clusters: int,
+    noise: float = 0.08,
+    seed: int = 0,
+    chunk: int = 131072,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A clustered multi-level corpus for ANN index benchmarks.
+
+    Draws ``n_clusters`` uniform-random level centers, assigns each row
+    to a uniform-random center, then re-draws each stage independently
+    with probability ``noise`` (to a uniform-random level, so a "flip"
+    can land back on the center value).  The result has genuine coarse
+    structure -- a cluster-routed search with a small ``nprobe`` keeps
+    high recall -- unlike i.i.d. uniform rows, on which *no* coarse
+    quantizer can beat exhaustive scanning.
+
+    Args:
+        n_rows: Corpus rows.
+        n_stages: Stages (vector dimensionality).
+        levels: Storable levels per stage (``config.levels``).
+        n_clusters: Ground-truth cluster count.
+        noise: Per-stage re-draw probability within a cluster.
+        seed: Generator seed.
+        chunk: Rows drawn per block (bounds transient memory at
+            million-row sizes).
+
+    Returns:
+        ``(rows, centers, assignments)``: uint8 level matrices of shape
+        ``(n_rows, n_stages)`` / ``(n_clusters, n_stages)`` and the
+        int64 ground-truth assignment per row.
+    """
+    if n_rows < 1 or n_stages < 1:
+        raise ValueError(
+            f"n_rows and n_stages must be >= 1, got {n_rows}, {n_stages}"
+        )
+    if not 2 <= levels <= 256:
+        raise ValueError(f"levels must be in [2, 256], got {levels}")
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError(f"noise must be in [0, 1], got {noise}")
+    rng = np.random.default_rng(seed)
+    centers = rng.integers(
+        0, levels, size=(n_clusters, n_stages), dtype=np.uint8
+    )
+    assignments = rng.integers(0, n_clusters, size=n_rows, dtype=np.int64)
+    rows = np.empty((n_rows, n_stages), dtype=np.uint8)
+    for start in range(0, n_rows, chunk):
+        block = assignments[start:start + chunk]
+        out = centers[block]
+        redraw = rng.random((block.shape[0], n_stages)) < noise
+        out[redraw] = rng.integers(
+            0, levels, size=int(redraw.sum()), dtype=np.uint8
+        )
+        rows[start:start + chunk] = out
+    return rows, centers, assignments
+
+
+def perturb_levels(
+    rows: np.ndarray, levels: int, noise: float = 0.08, seed: int = 0
+) -> np.ndarray:
+    """Queries derived from corpus rows by per-stage re-draws.
+
+    The standard ANN query model: each query is a stored row with every
+    stage independently re-drawn (uniform over levels) with probability
+    ``noise``, so its exact nearest neighbor is -- with overwhelming
+    probability at realistic geometries -- the row it came from.
+    """
+    rows = np.asarray(rows)
+    if rows.ndim != 2:
+        raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError(f"noise must be in [0, 1], got {noise}")
+    rng = np.random.default_rng(seed)
+    out = rows.astype(np.uint8, copy=True)
+    redraw = rng.random(out.shape) < noise
+    out[redraw] = rng.integers(
+        0, levels, size=int(redraw.sum()), dtype=np.uint8
+    )
+    return out

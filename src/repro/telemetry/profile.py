@@ -116,6 +116,14 @@ PROBE_EVENTS: Dict[str, str] = {
         "partitioned scatter/gather merged: queries, partitions_searched, "
         "partitions_skipped, coverage, elapsed_s"
     ),
+    "index.route": (
+        "coarse-quantizer routing decided: queries, nprobe, clusters "
+        "(distinct clusters touched by the batch)"
+    ),
+    "index.probe": (
+        "clustered-index probe served: queries, k, nprobe, rows_probed, "
+        "rows_total, candidates (pairs surviving the prune)"
+    ),
 }
 
 _lock = threading.Lock()

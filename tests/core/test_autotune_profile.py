@@ -1,0 +1,131 @@
+"""Persisted autotune profile + traced-decision quarantine."""
+
+import json
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.core.kernels import (
+    autotune_decisions,
+    autotune_profile_path,
+    clear_autotune_cache,
+    select_kernel,
+)
+
+KEY = (26, 128, 4, True)
+
+
+class Thunks:
+    """Candidate thunks with call counting and a deterministic winner."""
+
+    def __init__(self):
+        self.calls = {"packed": 0, "gemm": 0}
+
+    def candidates(self):
+        def packed():
+            self.calls["packed"] += 1
+
+        def gemm():
+            self.calls["gemm"] += 1
+            time.sleep(0.002)  # always loses to the no-op
+
+        return {"packed": packed, "gemm": gemm}
+
+    @property
+    def total(self):
+        return sum(self.calls.values())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_autotune_cache()
+    yield
+    clear_autotune_cache()
+
+
+@pytest.fixture
+def profile(tmp_path, monkeypatch):
+    path = tmp_path / "autotune.json"
+    monkeypatch.setenv("REPRO_AUTOTUNE_PROFILE", str(path))
+    return path
+
+
+class TestPersistence:
+    def test_decision_is_written_to_the_profile(self, profile):
+        winner = select_kernel(KEY, Thunks().candidates())
+        assert winner == "packed"
+        payload = json.loads(profile.read_text())
+        assert payload["format"] == 1
+        assert payload["entries"][json.dumps(list(KEY))] == "packed"
+
+    def test_cold_process_serves_from_the_profile_without_timing(
+        self, profile
+    ):
+        select_kernel(KEY, Thunks().candidates())
+        clear_autotune_cache()  # simulate a fresh process
+        cold = Thunks()
+        assert select_kernel(KEY, cold.candidates()) == "packed"
+        assert cold.total == 0  # no re-measurement at all
+        assert autotune_decisions() == {KEY: "packed"}
+
+    def test_corrupt_profile_is_ignored_then_replaced(self, profile):
+        profile.write_text("{definitely not json")
+        fresh = Thunks()
+        assert select_kernel(KEY, fresh.candidates()) == "packed"
+        assert fresh.total > 0  # had to measure
+        payload = json.loads(profile.read_text())
+        assert payload["entries"][json.dumps(list(KEY))] == "packed"
+
+    def test_unknown_winner_in_profile_is_skipped(self, profile):
+        profile.write_text(json.dumps({
+            "format": 1,
+            "entries": {json.dumps(list(KEY)): "not_a_kernel"},
+        }))
+        fresh = Thunks()
+        assert select_kernel(KEY, fresh.candidates()) == "packed"
+        assert fresh.total > 0
+
+    def test_empty_env_value_disables_persistence(self, monkeypatch):
+        # The suite-wide default: conftest pins the env var to "".
+        assert autotune_profile_path() is None
+        select_kernel(KEY, Thunks().candidates())
+        # Decision cached in-process, nothing on disk anywhere to check:
+        assert autotune_decisions() == {KEY: "packed"}
+
+    def test_profile_merges_over_existing_entries(self, profile):
+        other_key = json.dumps([1, 2, 3, False])
+        profile.write_text(json.dumps({
+            "format": 1, "entries": {other_key: "gemm"},
+        }))
+        select_kernel(KEY, Thunks().candidates())
+        payload = json.loads(profile.read_text())
+        assert payload["entries"][other_key] == "gemm"
+        assert payload["entries"][json.dumps(list(KEY))] == "packed"
+
+
+class TestTracedQuarantine:
+    def test_traced_decisions_never_reach_profile_or_decisions(
+        self, profile
+    ):
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            first = Thunks()
+            select_kernel(KEY, first.candidates())
+            assert first.total > 0
+            # Quarantined: not in the public decisions, not on disk.
+            assert autotune_decisions() == {}
+            assert not profile.exists()
+            # But cached for the rest of the traced session.
+            second = Thunks()
+            select_kernel(KEY, second.candidates())
+            assert second.total == 0
+        finally:
+            telemetry.reset()
+        # Untraced again: the quarantined winner is not trusted.
+        third = Thunks()
+        select_kernel(KEY, third.candidates())
+        assert third.total > 0
+        assert autotune_decisions() == {KEY: "packed"}
+        assert profile.exists()

@@ -385,3 +385,31 @@ class TestPropertyExactness:
             assert np.array_equal(counts["gemm"], counts["loop"])
 
         inner()
+
+
+class TestResolveQueryChunkWorkingSet:
+    """The working-set budget leg of the chunk auto-sizer."""
+
+    def test_zero_working_set_is_the_old_behavior(self):
+        assert resolve_query_chunk(100, 32) == resolve_query_chunk(
+            100, 32, working_set_bytes=0
+        )
+
+    def test_working_set_shrinks_the_chunk(self):
+        free = resolve_query_chunk(1000, 64)
+        squeezed = resolve_query_chunk(
+            1000, 64, working_set_bytes=28 * 1024 * 1024
+        )
+        assert squeezed < free
+
+    def test_working_set_beyond_budget_floors_at_minimum(self):
+        from repro.core.array import MIN_QUERY_CHUNK
+
+        chunk = resolve_query_chunk(
+            10, 8, working_set_bytes=1 << 40
+        )
+        assert chunk == MIN_QUERY_CHUNK
+
+    def test_negative_working_set_is_rejected(self):
+        with pytest.raises(ValueError, match="working_set_bytes"):
+            resolve_query_chunk(10, 8, working_set_bytes=-1)

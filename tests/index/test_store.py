@@ -1,0 +1,267 @@
+"""Bit-plane store: round trips, crash safety, corruption detection."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.io
+from repro.core.bitplane import pack_query_masks, packed_mismatch_counts
+from repro.core.config import TDAMConfig
+from repro.index import (
+    BitPlaneStore,
+    StoreCorruptionError,
+    StoreManifestError,
+    build_store,
+    level_inequality_planes,
+)
+from repro.index.store import MANIFEST_NAME
+
+
+@pytest.fixture
+def config():
+    return TDAMConfig(n_stages=32)
+
+
+@pytest.fixture
+def corpus(rng, config):
+    return rng.integers(
+        0, config.levels, size=(64, config.n_stages)
+    ).astype(np.int64)
+
+
+class _SimulatedCrash(BaseException):
+    """Out of the Exception tree so nothing accidentally swallows it."""
+
+
+class TestRoundTrip:
+    def test_single_shard_round_trip(self, tmp_path, corpus, config):
+        store = build_store(tmp_path / "s", corpus, config)
+        assert store.n_rows == 64
+        assert store.n_shards == 1
+        shard = store.shard(0)
+        assert np.array_equal(shard.levels, corpus.astype(np.uint8))
+        assert np.array_equal(shard.row_ids, np.arange(64))
+        expected = level_inequality_planes(
+            corpus.astype(np.uint8), config.levels
+        )
+        assert np.array_equal(shard.planes, expected)
+
+    def test_reopen_without_repacking(self, tmp_path, corpus, config):
+        built = build_store(tmp_path / "s", corpus, config)
+        reopened = BitPlaneStore(tmp_path / "s")
+        assert reopened.generation == built.generation
+        assert np.array_equal(
+            reopened.shard(0).planes, built.shard(0).planes
+        )
+
+    def test_clustered_shards_partition_the_corpus(
+        self, tmp_path, corpus, config, rng
+    ):
+        assignments = rng.integers(0, 4, size=64)
+        cents = rng.integers(
+            0, config.levels, size=(4, config.n_stages)
+        ).astype(np.uint8)
+        store = build_store(
+            tmp_path / "s", corpus, config,
+            assignments=assignments, centroid_levels=cents,
+        )
+        seen = []
+        for i in range(store.n_shards):
+            shard = store.shard(i)
+            ids = np.asarray(shard.row_ids)
+            # Ascending global ids within a shard, levels match source.
+            assert np.all(np.diff(ids) > 0)
+            assert np.array_equal(
+                shard.levels, corpus[ids].astype(np.uint8)
+            )
+            assert np.all(assignments[ids] == shard.cluster)
+            seen.append(ids)
+        assert np.array_equal(np.sort(np.concatenate(seen)), np.arange(64))
+        assert np.array_equal(store.centroid_levels, cents)
+
+    def test_memmapped_planes_feed_the_packed_kernels(
+        self, tmp_path, corpus, config, rng
+    ):
+        store = build_store(tmp_path / "s", corpus, config)
+        queries = rng.integers(
+            0, config.levels, size=(5, config.n_stages)
+        )
+        masks = pack_query_masks(queries, config.levels)
+        counts = packed_mismatch_counts(store.shard(0).planes, masks)
+        expected = (queries[:, None, :] != corpus[None, :, :]).sum(axis=2)
+        assert np.array_equal(counts, expected)
+
+    def test_shards_map_lazily(self, tmp_path, corpus, config, rng):
+        assignments = rng.integers(0, 4, size=64)
+        cents = rng.integers(
+            0, config.levels, size=(4, config.n_stages)
+        ).astype(np.uint8)
+        build_store(
+            tmp_path / "s", corpus, config,
+            assignments=assignments, centroid_levels=cents,
+        )
+        store = BitPlaneStore(tmp_path / "s")
+        assert store.n_mapped_shards == 0
+        store.shard(0).planes
+        assert store.n_mapped_shards == 1
+
+    def test_rebuild_bumps_generation_and_collects_stale(
+        self, tmp_path, corpus, config
+    ):
+        first = build_store(tmp_path / "s", corpus, config)
+        second = build_store(tmp_path / "s", corpus[:32], config)
+        assert second.generation == first.generation + 1
+        assert not list((tmp_path / "s").glob("g000000.*"))
+        assert second.n_rows == 32
+
+
+class TestValidation:
+    def test_stage_mismatch_rejected(self, tmp_path, corpus, config):
+        with pytest.raises(ValueError, match="stages"):
+            build_store(
+                tmp_path / "s", corpus[:, :16], config
+            )
+
+    def test_bad_assignment_shape_rejected(self, tmp_path, corpus, config):
+        with pytest.raises(ValueError, match="assignments"):
+            build_store(
+                tmp_path / "s", corpus, config,
+                assignments=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_assignment_beyond_centroids_rejected(
+        self, tmp_path, corpus, config
+    ):
+        cents = np.zeros((2, config.n_stages), dtype=np.uint8)
+        with pytest.raises(ValueError, match="centroids"):
+            build_store(
+                tmp_path / "s", corpus, config,
+                assignments=np.full(64, 5, dtype=np.int64),
+                centroid_levels=cents,
+            )
+
+
+class TestCrashSafety:
+    def _crash_on_manifest(self, monkeypatch):
+        original = repro.io._REPLACE
+
+        def crash(tmp, dst):
+            if str(dst).endswith(MANIFEST_NAME):
+                raise _SimulatedCrash()
+            return original(tmp, dst)
+
+        monkeypatch.setattr(repro.io, "_REPLACE", crash)
+
+    def test_crash_before_manifest_keeps_previous_generation(
+        self, tmp_path, corpus, config, monkeypatch
+    ):
+        root = tmp_path / "s"
+        build_store(root, corpus, config)
+        before = BitPlaneStore(root)
+        planes_before = np.array(before.shard(0).planes)
+        self._crash_on_manifest(monkeypatch)
+        with pytest.raises(_SimulatedCrash):
+            build_store(root, corpus[:16], config)
+        monkeypatch.undo()
+        after = BitPlaneStore(root)
+        assert after.generation == before.generation
+        assert after.n_rows == 64
+        assert np.array_equal(after.shard(0).planes, planes_before)
+
+    def test_crash_mid_components_keeps_previous_generation(
+        self, tmp_path, corpus, config, monkeypatch
+    ):
+        root = tmp_path / "s"
+        build_store(root, corpus, config)
+        before = json.loads((root / MANIFEST_NAME).read_text())
+
+        def crash(tmp, dst):
+            raise _SimulatedCrash()
+
+        monkeypatch.setattr(repro.io, "_REPLACE", crash)
+        with pytest.raises(_SimulatedCrash):
+            build_store(root, corpus[:16], config)
+        monkeypatch.undo()
+        assert json.loads((root / MANIFEST_NAME).read_text()) == before
+        store = BitPlaneStore(root)
+        assert store.n_rows == 64
+        # The interrupted generation's components must still verify for
+        # the *published* generation -- the probe path works unchanged.
+        assert store.shard(0).planes.shape[0] == config.levels
+
+    def test_crash_on_first_build_leaves_no_store(
+        self, tmp_path, corpus, config, monkeypatch
+    ):
+        root = tmp_path / "s"
+        self._crash_on_manifest(monkeypatch)
+        with pytest.raises(_SimulatedCrash):
+            build_store(root, corpus, config)
+        monkeypatch.undo()
+        with pytest.raises(StoreManifestError, match="manifest"):
+            BitPlaneStore(root)
+
+
+class TestCorruptionDetection:
+    def test_flipped_plane_byte_raises_typed_error(
+        self, tmp_path, corpus, config
+    ):
+        build_store(tmp_path / "s", corpus, config)
+        victim = next((tmp_path / "s").glob("*.planes"))
+        blob = bytearray(victim.read_bytes())
+        blob[0] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        store = BitPlaneStore(tmp_path / "s")
+        with pytest.raises(StoreCorruptionError, match="checksum"):
+            store.shard(0).planes
+
+    def test_truncated_component_raises_typed_error(
+        self, tmp_path, corpus, config
+    ):
+        build_store(tmp_path / "s", corpus, config)
+        victim = next((tmp_path / "s").glob("*.rows"))
+        victim.write_bytes(victim.read_bytes()[:-8])
+        store = BitPlaneStore(tmp_path / "s")
+        with pytest.raises(StoreCorruptionError, match="bytes"):
+            store.shard(0).row_ids
+
+    def test_missing_component_raises_typed_error(
+        self, tmp_path, corpus, config
+    ):
+        build_store(tmp_path / "s", corpus, config)
+        next((tmp_path / "s").glob("*.levels")).unlink()
+        store = BitPlaneStore(tmp_path / "s")
+        with pytest.raises(StoreCorruptionError, match="missing"):
+            store.shard(0).levels
+
+    def test_garbage_manifest_raises_manifest_error(
+        self, tmp_path, corpus, config
+    ):
+        build_store(tmp_path / "s", corpus, config)
+        (tmp_path / "s" / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(StoreManifestError, match="JSON"):
+            BitPlaneStore(tmp_path / "s")
+
+    def test_unsupported_format_raises_manifest_error(
+        self, tmp_path, corpus, config
+    ):
+        build_store(tmp_path / "s", corpus, config)
+        payload = json.loads(
+            (tmp_path / "s" / MANIFEST_NAME).read_text()
+        )
+        payload["format"] = 99
+        (tmp_path / "s" / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(StoreManifestError, match="format"):
+            BitPlaneStore(tmp_path / "s")
+
+    def test_row_sum_mismatch_raises_manifest_error(
+        self, tmp_path, corpus, config
+    ):
+        build_store(tmp_path / "s", corpus, config)
+        payload = json.loads(
+            (tmp_path / "s" / MANIFEST_NAME).read_text()
+        )
+        payload["geometry"]["n_rows"] = 63
+        (tmp_path / "s" / MANIFEST_NAME).write_text(json.dumps(payload))
+        with pytest.raises(StoreManifestError, match="sum"):
+            BitPlaneStore(tmp_path / "s")

@@ -25,6 +25,12 @@ def make_report(**overrides):
         },
         "topk": {"exact": True},
         "monte_carlo": {"speedup": 1.0, "bit_identical": True},
+        "ann": {
+            "speedup": 40.0,
+            "recall_at_10": 1.0,
+            "exact_full_probe": True,
+            "reopen_identical": True,
+        },
     }
     for path, value in overrides.items():
         section, key = path.split(".")

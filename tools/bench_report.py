@@ -27,6 +27,10 @@ plus two direct wall-clock studies, and writes ``BENCH_search.json``:
 5. **Pruned top-k**: ``FastTDAMArray.top_k_batch`` (prefix-count pruning
    cascade) against exhaustive ``search_batch().top_k``, with index-exact
    equality asserted.
+6. **Clustered ANN**: the memmapped ``ClusteredTDAMIndex`` routed probe
+   against exhaustive in-RAM ``top_k_batch`` on a million-row clustered
+   corpus (``--ann-rows`` scales it down for CI): queries/s, recall@10,
+   and the nprobe=n_clusters bit-identity check.
 
 Regression gate.  With ``--baseline BENCH_search.json`` the report is
 compared against the committed numbers metric-by-metric
@@ -342,6 +346,111 @@ def bench_coalesce(
     }
 
 
+def bench_ann(
+    n_rows: int = 1_000_000,
+    n_clusters: int = 256,
+    nprobe: int = 8,
+    n_queries: int = 64,
+    k: int = 10,
+    repeats: int = 3,
+) -> dict:
+    """Recall@k vs queries/s: clustered memmapped ANN vs exhaustive.
+
+    Builds a clustered synthetic corpus, packs it into a
+    ``BitPlaneStore`` + ``ClusteredTDAMIndex`` in a temp directory, and
+    measures the routed probe against the exhaustive in-RAM
+    ``top_k_batch`` on the same queries.  Tracked gates: ``speedup``
+    (>= 10x at the operating point), ``recall_at_10`` (>= 0.95),
+    ``exact_full_probe`` (bit-identical to exhaustive at
+    ``nprobe = n_clusters``), and ``reopen_identical`` (a freshly
+    reopened store serves the identical answer).  A small nprobe sweep
+    records the recall/throughput tradeoff curve.
+    """
+    from repro.datasets.synthetic import make_clustered_levels, perturb_levels
+    from repro.index import BitPlaneStore, ClusteredTDAMIndex
+
+    config = TDAMConfig(n_stages=64)
+    rng = np.random.default_rng(7)
+    rows, _, _ = make_clustered_levels(
+        n_rows, config.n_stages, config.levels, n_clusters,
+        noise=0.08, seed=7,
+    )
+    picks = rng.integers(0, n_rows, size=n_queries)
+    queries = perturb_levels(
+        rows[picks], config.levels, noise=0.08, seed=9
+    ).astype(np.int64)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        index = ClusteredTDAMIndex.build(
+            tmp, rows, config, n_clusters=n_clusters, seed=7,
+        )
+        build_s = time.perf_counter() - start
+        ann = index.top_k(queries, k, nprobe=nprobe)  # warm (maps shards)
+        t_ann = _best_of(
+            lambda: index.top_k(queries, k, nprobe=nprobe), repeats
+        )
+        full = index.top_k(queries, k, nprobe=n_clusters)
+        reopened = ClusteredTDAMIndex(BitPlaneStore(tmp))
+        reopen_identical = bool(
+            np.array_equal(
+                reopened.top_k(queries, k, nprobe=nprobe).rows, ann.rows
+            )
+        )
+        sweep = {}
+        for probe_width in sorted({1, max(1, nprobe // 2), nprobe}):
+            probe_res = index.top_k(queries, k, nprobe=probe_width)
+            t_probe = _best_of(
+                lambda: index.top_k(queries, k, nprobe=probe_width),
+                max(1, repeats - 1),
+            )
+            sweep[str(probe_width)] = {
+                "queries_per_s": n_queries / t_probe,
+                "probe_fraction": probe_res.probe_fraction,
+            }
+
+        array = FastTDAMArray(config, n_rows=n_rows)
+        array.write_all(rows.astype(np.int64))
+        truth = array.top_k_batch(queries, k)  # warm (builds tables)
+        t_exhaustive = _best_of(
+            lambda: array.top_k_batch(queries, k), max(2, repeats - 1)
+        )
+        exact_full_probe = bool(np.array_equal(full.rows, truth))
+        hits = sum(
+            len(set(ann.rows[i]) & set(truth[i]))
+            for i in range(n_queries)
+        )
+        recall = hits / float(n_queries * k)
+        for probe_width, entry in sweep.items():
+            probe_res = index.top_k(queries, k, nprobe=int(probe_width))
+            probe_hits = sum(
+                len(set(probe_res.rows[i]) & set(truth[i]))
+                for i in range(n_queries)
+            )
+            entry["recall_at_k"] = probe_hits / float(n_queries * k)
+
+    return {
+        "workload": (
+            f"{n_rows} rows x {config.n_stages} stages, "
+            f"{n_clusters} clusters, {n_queries} queries, k={k}"
+        ),
+        "rows": n_rows,
+        "clusters": n_clusters,
+        "nprobe": nprobe,
+        "build_s": build_s,
+        "exhaustive_s": t_exhaustive,
+        "ann_s": t_ann,
+        "exhaustive_queries_per_s": n_queries / t_exhaustive,
+        "ann_queries_per_s": n_queries / t_ann,
+        "speedup": t_exhaustive / t_ann,
+        "recall_at_10": recall,
+        "probe_fraction": ann.probe_fraction,
+        "exact_full_probe": exact_full_probe,
+        "reopen_identical": reopen_identical,
+        "nprobe_sweep": sweep,
+    }
+
+
 def export_telemetry_artifacts(metrics_out, trace_out) -> None:
     """Run a traced reference workload and dump metrics/trace artifacts."""
     config = TDAMConfig.fig8_system()
@@ -413,6 +522,10 @@ TRACKED_GATES = (
     ("topk.exact", "true", None),
     ("monte_carlo.speedup", "rel_min", 0.75),
     ("monte_carlo.bit_identical", "true", None),
+    ("ann.speedup", "abs_min", 10.0),
+    ("ann.recall_at_10", "abs_min", 0.95),
+    ("ann.exact_full_probe", "true", None),
+    ("ann.reopen_identical", "true", None),
 )
 
 
@@ -497,6 +610,11 @@ def main(argv=None) -> int:
         help="Monte Carlo trials per timing",
     )
     parser.add_argument(
+        "--ann-rows", type=int, default=1_000_000,
+        help="corpus size for the clustered-ANN bench (the 10^6-row "
+             "headline; CI smoke runs use a smaller corpus)",
+    )
+    parser.add_argument(
         "--metrics-out", default=None,
         help="also dump the metrics registry of a traced reference "
              "workload to this JSON path (CI artifact)",
@@ -536,6 +654,7 @@ def main(argv=None) -> int:
         "monte_carlo": bench_monte_carlo(args.mc_runs, args.workers),
         "telemetry_overhead": bench_telemetry_overhead(),
         "coalesce": bench_coalesce(),
+        "ann": bench_ann(n_rows=args.ann_rows),
     }
     if not args.skip_microbench:
         report["microbench"] = run_microbench()
@@ -568,6 +687,12 @@ def main(argv=None) -> int:
               f"{row['coalesced_qps']:,.0f} q/s coalesced vs "
               f"{row['direct_qps']:,.0f} direct ({row['speedup']:.2f}x, "
               f"mean batch {row['mean_batch_size']:.1f})")
+    ann = report["ann"]
+    print(f"ann:          {ann['ann_queries_per_s']:,.0f} queries/s on "
+          f"{ann['rows']:,} rows ({ann['speedup']:.1f}x vs exhaustive, "
+          f"recall@10 {ann['recall_at_10']:.4f}, "
+          f"exact_full_probe={ann['exact_full_probe']}, "
+          f"reopen_identical={ann['reopen_identical']})")
     print(f"wrote {args.output}")
     if args.metrics_out:
         print(f"wrote {args.metrics_out}")
