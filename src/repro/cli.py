@@ -298,7 +298,11 @@ def _telemetry_begin(args: argparse.Namespace) -> None:
     from repro import telemetry
 
     configure_logging(level=args.log_level, json_lines=args.log_json)
-    if args.trace_out or args.metrics_out:
+    if (
+        args.trace_out
+        or args.metrics_out
+        or getattr(args, "flights_out", None)
+    ):
         telemetry.enable()
 
 
@@ -390,6 +394,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--scenarios", nargs="+", default=None, metavar="NAME",
         help="subset of scenario names (default: all)",
     )
+    chaos.add_argument(
+        "--flights-out", metavar="FILE", default=None,
+        help="write the overload scenario's tail-sampled span trees "
+             "to FILE (JSON)",
+    )
     loadtest = sub.add_parser(
         "loadtest",
         help="deterministic open-loop load test of the coalescing "
@@ -442,6 +451,70 @@ def main(argv: Optional[List[str]] = None) -> int:
     loadtest.add_argument(
         "--json-out", metavar="FILE", default=None,
         help="also write the report as JSON (CI artifact format)",
+    )
+    loadtest.add_argument(
+        "--flights-out", metavar="FILE", default=None,
+        help="enable telemetry and tail-sample full span trees of "
+             "slow/failed requests to FILE (JSON)",
+    )
+    slo = sub.add_parser(
+        "slo",
+        help="SLO engine over the serving stack (verdict tables, "
+             "error budgets, burn rates)",
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command")
+    slo_report = slo_sub.add_parser(
+        "report",
+        help="run a traced deterministic loadtest, judge it against "
+             "the serving SLOs, and print the verdict table (exits "
+             "non-zero on any violated objective)",
+        parents=[telemetry_options],
+    )
+    slo_report.add_argument(
+        "--rate", type=float, default=2000.0, metavar="QPS",
+        help="offered Poisson arrival rate, requests/second",
+    )
+    slo_report.add_argument(
+        "--duration", type=float, default=0.25, metavar="S",
+        help="simulated arrival span in seconds",
+    )
+    slo_report.add_argument(
+        "--deadline", type=float, default=0.050, metavar="S",
+        help="per-request deadline from nominal arrival",
+    )
+    slo_report.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded intake queue depth",
+    )
+    slo_report.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed of the arrival/tenant/query streams",
+    )
+    slo_report.add_argument(
+        "--p50-target", type=float, default=0.005, metavar="S",
+        help="latency SLO: p50 objective in seconds",
+    )
+    slo_report.add_argument(
+        "--p99-target", type=float, default=0.050, metavar="S",
+        help="latency SLO: p99 objective in seconds",
+    )
+    slo_report.add_argument(
+        "--max-shed-rate", type=float, default=0.25,
+        help="shed-rate SLO: max fraction of offered load shed",
+    )
+    slo_report.add_argument(
+        "--max-error-rate", type=float, default=0.05,
+        help="error-rate SLO: max fraction of completions failed",
+    )
+    slo_report.add_argument(
+        "--json-out", metavar="FILE", default=None,
+        help="write the verdicts + latency cross-check as JSON "
+             "(CI artifact format)",
+    )
+    slo_report.add_argument(
+        "--flights-out", metavar="FILE", default=None,
+        help="tail-sample full span trees of slow/failed requests "
+             "to FILE (JSON)",
     )
     index = sub.add_parser(
         "index",
@@ -549,6 +622,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             description, _ = EXPERIMENTS[name]
             emit(f"{name:<10} {description}")
         return 0
+    if args.command == "slo":
+        if args.slo_command != "report":
+            slo.print_help()
+            return 2
+        _telemetry_begin(args)
+        try:
+            return _dispatch(args)
+        finally:
+            _telemetry_end(args)
     if args.command not in (
         "run", "resilience", "chaos", "loadtest", "report"
     ):
@@ -592,12 +674,16 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         return 0
     if args.command == "chaos":
+        import repro.service.chaos as _chaos_mod
         from repro.experiments.ext_chaos import format_chaos, run_chaos_study
 
         chaos_report = run_chaos_study(
             quick=args.quick, seed=args.seed, scenarios=args.scenarios
         )
         emit(format_chaos(chaos_report))
+        if args.flights_out and _chaos_mod.last_flight_recorder is not None:
+            _chaos_mod.last_flight_recorder.dump_json(args.flights_out)
+            emit(f"tail-sampled flights written to {args.flights_out}")
         return 0 if chaos_report.passed else 1
     if args.command == "loadtest":
         import math as _math
@@ -607,7 +693,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             format_load_report,
             run_load,
         )
+        from repro.telemetry.flight import FlightRecorder
 
+        recorder = (
+            FlightRecorder(capacity=4096, slow_threshold_s=args.deadline)
+            if args.flights_out
+            else None
+        )
         load_report = run_load(
             LoadConfig(
                 duration_s=args.duration,
@@ -625,14 +717,20 @@ def _dispatch(args: argparse.Namespace) -> int:
                 kind=args.kind,
                 k=args.k,
                 seed=args.seed,
-            )
+            ),
+            flight_recorder=recorder,
         )
         emit(format_load_report(load_report))
         if args.json_out:
             with open(args.json_out, "w") as handle:
                 handle.write(load_report.to_json() + "\n")
             emit(f"json report written to {args.json_out}")
+        if recorder is not None:
+            recorder.dump_json(args.flights_out)
+            emit(f"tail-sampled flights written to {args.flights_out}")
         return 0 if load_report.honest else 1
+    if args.command == "slo":
+        return _slo_report(args)
     sections: List[str] = []
     for name in REPORT_ORDER:
         description, runner = EXPERIMENTS[name]
@@ -648,6 +746,83 @@ def _dispatch(args: argparse.Namespace) -> int:
             handle.write("\n".join(sections))
         emit(f"report written to {args.output}")
     return 0
+
+
+def _slo_report(args: argparse.Namespace) -> int:
+    """``repro slo report``: traced loadtest -> verdict table."""
+    import json as _json
+
+    from repro import telemetry
+    from repro.service.loadgen import (
+        LoadConfig,
+        format_load_report,
+        run_load,
+    )
+    from repro.telemetry.flight import FlightRecorder
+    from repro.telemetry.slo import (
+        SLOEngine,
+        default_serving_slos,
+        format_slo_report,
+    )
+
+    # The SLO engine reads the live registry and the flight recorder
+    # needs span trees: telemetry is always on for this command.
+    telemetry.enable()
+    recorder = FlightRecorder(
+        capacity=4096, slow_threshold_s=args.deadline
+    )
+    engine = SLOEngine(
+        default_serving_slos(
+            latency_p50_s=args.p50_target,
+            latency_p99_s=args.p99_target,
+            max_shed_fraction=args.max_shed_rate,
+            max_error_fraction=args.max_error_rate,
+        ),
+        windows_s=(args.duration / 4.0, args.duration),
+    )
+    load_report = run_load(
+        LoadConfig(
+            duration_s=args.duration,
+            rate_per_s=args.rate,
+            deadline_s=args.deadline,
+            max_queue_depth=args.queue_depth,
+            seed=args.seed,
+        ),
+        flight_recorder=recorder,
+        slo_engine=engine,
+    )
+    slo_report = engine.evaluate()
+    emit(format_load_report(load_report))
+    emit()
+    emit(format_slo_report(slo_report))
+    if args.json_out:
+        artifact = {
+            "slo": slo_report.to_dict(),
+            "load": load_report.to_dict(),
+            # The sketch-vs-exact cross-check: the sketch p99 must sit
+            # within its stated relative error of the exact sample p99
+            # (rank convention -- the order statistic, not the
+            # interpolated percentile).
+            "latency_crosscheck": {
+                "exact_p99_s": load_report.p99_s,
+                "exact_p99_rank_s": load_report.p99_rank_s,
+                "sketch_p99_s": load_report.sketch_p99_s,
+                "relative_accuracy": load_report.sketch_relative_accuracy,
+            },
+            "flights": {
+                "offered": recorder.offered,
+                "kept": recorder.kept,
+                "request_ids": recorder.request_ids(),
+            },
+        }
+        with open(args.json_out, "w") as handle:
+            _json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        emit(f"json report written to {args.json_out}")
+    if args.flights_out:
+        recorder.dump_json(args.flights_out)
+        emit(f"tail-sampled flights written to {args.flights_out}")
+    return 0 if slo_report.ok else 1
 
 
 if __name__ == "__main__":

@@ -1195,12 +1195,25 @@ class FastTDAMArray:
                 "gemm": lambda: self._counts_gemm(sample, chunk),
             },
         )
-        if name == "packed":
-            counts = self._counts_packed(queries, chunk)
-        elif name == "gemm":
-            counts = self._counts_gemm(queries, chunk)
+        def _run() -> np.ndarray:
+            if name == "packed":
+                return self._counts_packed(queries, chunk)
+            if name == "gemm":
+                return self._counts_gemm(queries, chunk)
+            return self._counts_loop(queries)
+
+        if _TM.enabled:
+            # The dispatch span inherits the active request/batch
+            # context -- the last hop of a request's trace.
+            with _trace.span(
+                "kernel.dispatch",
+                kernel=name,
+                rows=self.n_rows,
+                queries=int(queries.shape[0]),
+            ):
+                counts = _run()
         else:
-            counts = self._counts_loop(queries)
+            counts = _run()
         adders = None if nominal else self._delay_adders(queries, chunk)
         return counts, adders
 

@@ -30,6 +30,7 @@ from repro.index.cluster_index import ClusteredTDAMIndex
 from repro.service.errors import DeadlineExceededError, InvalidRequestError
 from repro.telemetry.profile import emit_probe as _emit_probe
 from repro.telemetry.state import STATE as _TM
+from repro.telemetry.trace import span as _span
 
 __all__ = [
     "IndexSearchResponse",
@@ -220,7 +221,13 @@ class IndexSearchService:
         deadline = self._resolve_deadline(deadline_s)
         start = self._clock()
         nprobe_eff = nprobe if nprobe is not None else self.nprobe
-        result = self.index.top_k(qs, k, nprobe=nprobe_eff)
+        # Inherits the active request/batch context: the routed probe
+        # is attributable to the request ids it serves.
+        with _span(
+            "index.topk", queries=int(qs.shape[0]), k=k,
+            nprobe=nprobe_eff,
+        ):
+            result = self.index.top_k(qs, k, nprobe=nprobe_eff)
         elapsed = self._finish(start, deadline)
         return IndexTopKResponse(
             rows=result.rows,
@@ -255,7 +262,11 @@ class IndexSearchService:
         deadline = self._resolve_deadline(deadline_s)
         start = self._clock()
         nprobe_eff = nprobe if nprobe is not None else self.nprobe
-        result = self.index.top_k(qs, 1, nprobe=nprobe_eff)
+        with _span(
+            "index.search_batch", queries=int(qs.shape[0]),
+            nprobe=nprobe_eff,
+        ):
+            result = self.index.top_k(qs, 1, nprobe=nprobe_eff)
         elapsed = self._finish(start, deadline)
         approximate = result.nprobe < self.index.n_clusters
         return [

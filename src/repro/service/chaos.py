@@ -45,6 +45,7 @@ from repro.service.errors import (
 )
 from repro.service.retry import RetryBudget, RetryPolicy
 from repro.service.server import TDAMSearchService
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.profile import ProbeRecorder, register_probe
 from repro.telemetry.state import STATE as _TM, enabled_scope
 from repro.telemetry.profile import emit_probe as _emit_probe
@@ -56,7 +57,13 @@ __all__ = [
     "DEADLINE_SLO",
     "BURST_P99_FACTOR",
     "run_chaos_suite",
+    "last_flight_recorder",
 ]
+
+#: The overload scenario's tail-sampling recorder from the most recent
+#: :func:`run_chaos_suite` call (``None`` before the first run) -- the
+#: ``repro chaos --flights-out`` artifact reads it after the suite.
+last_flight_recorder: Optional[FlightRecorder] = None
 
 #: The deadline SLO asserted in the timeout scenario (p99 hit-rate).
 DEADLINE_SLO = 0.99
@@ -678,6 +685,7 @@ def _scenario_overload_burst(
     # Deferred import: loadgen builds on this module's FakeClock.
     from repro.service.loadgen import LoadConfig, run_load
 
+    global last_flight_recorder
     duration_s = max(0.05, n_requests * 6e-4)
     common = dict(
         duration_s=duration_s,
@@ -688,10 +696,21 @@ def _scenario_overload_burst(
         seed=seed,
     )
     recorder = _load_recorder()
+    # Tail-based sampling under overload: every non-goodput request
+    # (deadline miss, shed, ...) must survive in the ring buffer, so
+    # size it above the whole offered load.
+    flights = FlightRecorder(capacity=8192)
+    last_flight_recorder = flights
     calm = run_load(LoadConfig(rate_per_s=1500.0, **common))
-    burst = run_load(LoadConfig(rate_per_s=30000.0, **common))
+    burst = run_load(
+        LoadConfig(rate_per_s=30000.0, **common), flight_recorder=flights
+    )
     sheds_typed = burst.sheds == burst.offered - burst.admitted
     p99_ok = burst.p99_s <= BURST_P99_FACTOR * calm.p99_s
+    retained = set(flights.request_ids())
+    tail_retained = all(
+        rid in retained for rid in burst.tail_request_ids
+    )
     passed = (
         calm.honest
         and burst.honest
@@ -700,13 +719,16 @@ def _scenario_overload_burst(
         and sheds_typed
         and burst.goodput > 0
         and p99_ok
+        and tail_retained
     )
     return _load_result(
         "overload_burst", burst, recorder, passed,
         f"calm p99 {calm.p99_s * 1e3:.2f} ms, burst p99 "
         f"{burst.p99_s * 1e3:.2f} ms (SLO <= {BURST_P99_FACTOR:g}x), "
         f"shed {burst.sheds}/{burst.offered} "
-        f"({burst.shed_rate:.1%}, all typed: {sheds_typed})",
+        f"({burst.shed_rate:.1%}, all typed: {sheds_typed}); "
+        f"tail flights retained {len(retained)} "
+        f"(all {len(burst.tail_request_ids)} misses: {tail_retained})",
     )
 
 

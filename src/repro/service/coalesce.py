@@ -40,6 +40,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry.request import RequestContext
+from repro.telemetry.trace import Span
+
 __all__ = ["CoalescePolicy", "FrontendFuture", "PendingRequest",
            "ReadyBatch", "Coalescer"]
 
@@ -82,6 +85,8 @@ class FrontendFuture:
         self._exception: Optional[BaseException] = None
         #: Clock time at fulfillment (set by the front-end).
         self.completed_at: Optional[float] = None
+        #: Telemetry request id (set at admission when tracing is on).
+        self.request_id: Optional[str] = None
 
     def done(self) -> bool:
         """Whether the request has been fulfilled."""
@@ -122,7 +127,14 @@ class FrontendFuture:
 
 @dataclass
 class PendingRequest:
-    """One admitted, not-yet-dispatched request."""
+    """One admitted, not-yet-dispatched request.
+
+    ``ctx`` and ``submit_span`` are set by the front end when telemetry
+    is on: the request context crosses the submit->dispatch thread hop
+    with the request itself (contextvars do not), and the submit-side
+    span is kept so a tail-sampled flight can attach both halves of
+    the story.
+    """
 
     kind: str                     # "search" | "topk"
     query: np.ndarray             # 1-D admitted query
@@ -131,6 +143,8 @@ class PendingRequest:
     enqueued_at: float
     future: FrontendFuture = field(default_factory=FrontendFuture)
     k: int = 0                    # top-k size (kind == "topk")
+    ctx: Optional[RequestContext] = None
+    submit_span: Optional[Span] = None
 
     @property
     def key(self) -> Tuple[str, int]:

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -65,9 +66,16 @@ from repro.service.errors import (
     ServiceError,
 )
 from repro.telemetry import metrics as _metrics
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.log import get_logger
 from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.request import (
+    RequestContext,
+    current_request,
+    request_scope,
+)
 from repro.telemetry.state import STATE as _TM
+from repro.telemetry.trace import span as _span
 
 __all__ = ["CoalescingFrontend", "FrontendStats"]
 
@@ -93,6 +101,11 @@ _BATCH_SIZE = _REG.histogram(
 _WAIT_SECONDS = _REG.histogram(
     "frontend_wait_seconds",
     "Queue wait between submit and dispatch",
+    buckets=_metrics.LATENCY_BUCKETS_S,
+)
+_LATENCY = _REG.quantile(
+    "frontend_latency_seconds",
+    "Submit-to-fulfill request latency (streaming quantile sketch)",
 )
 
 
@@ -158,6 +171,10 @@ class CoalescingFrontend:
         clock: Monotonic time source (injected for determinism).
         auto_dispatch: Run the dispatcher thread (see module docs).
         name: Label for logs.
+        flight_recorder: Optional tail-sampling
+            :class:`~repro.telemetry.flight.FlightRecorder`; every
+            completed or shed request is offered to it (with its
+            submit/dispatch span trees when tracing is on).
     """
 
     def __init__(
@@ -168,6 +185,7 @@ class CoalescingFrontend:
         clock: Optional[Callable[[], float]] = None,
         auto_dispatch: bool = True,
         name: str = "frontend",
+        flight_recorder: Optional[FlightRecorder] = None,
     ) -> None:
         if clock is None:
             import time
@@ -183,6 +201,7 @@ class CoalescingFrontend:
             )
         )
         self.name = name
+        self.flight_recorder = flight_recorder
         self._clock = clock
         self._coalescer = Coalescer(self.policy)
         self._ready: List[ReadyBatch] = []
@@ -312,11 +331,43 @@ class CoalescingFrontend:
                     f"deadline_s must be > 0, got {rel}"
                 )
             deadline_at = now + rel
+        if not _TM.enabled:
+            return self._admit(kind, q, tenant, deadline_at, now, k,
+                               None, None)
+        # A caller-provided scope (a load generator pinning ids) wins;
+        # otherwise the front end mints the request's identity here.
+        ctx = current_request()
+        if ctx is None:
+            ctx = RequestContext.new(tenant=tenant, deadline_at=deadline_at)
+        with request_scope(ctx):
+            with _span(
+                "frontend.submit", kind=kind, deadline_at=deadline_at
+            ) as sp:
+                if sp is not None:
+                    # Flow edge: picked up by the dispatch span, which
+                    # may run on another thread.
+                    sp.add_flow_out(ctx.request_id)
+                return self._admit(kind, q, tenant, deadline_at, now, k,
+                                   ctx, sp)
+
+    def _admit(
+        self,
+        kind: str,
+        q,
+        tenant: str,
+        deadline_at: float,
+        now: float,
+        k: int,
+        ctx,
+        submit_span,
+    ) -> FrontendFuture:
         if self._draining:
             self._count_shed("draining", tenant, 0.0)
             self.admission.count(
                 "shed_draining", tenant, self.queue_depth, 0.0
             )
+            self._offer_flight(ctx, tenant, "shed", None, now,
+                               (submit_span,), reason="draining")
             raise OverloadError(
                 "front-end is draining; no new requests admitted",
                 retry_after_s=0.0,
@@ -327,9 +378,13 @@ class CoalescingFrontend:
             self.admission.admit(tenant, self.queue_depth)
         except OverloadError:
             self._count_shed("queue_full", tenant, 0.0)
+            self._offer_flight(ctx, tenant, "shed", None, now,
+                               (submit_span,), reason="queue_full")
             raise
         except ServiceError:
             self._count_shed("quota", tenant, 0.0)
+            self._offer_flight(ctx, tenant, "shed", None, now,
+                               (submit_span,), reason="quota")
             raise
         if deadline_at <= now:
             # Dead on arrival: shed before it can waste queue space or
@@ -338,6 +393,8 @@ class CoalescingFrontend:
             self.admission.count(
                 "shed_queue_deadline", tenant, self.queue_depth, 0.0
             )
+            self._offer_flight(ctx, tenant, "shed", None, now,
+                               (submit_span,), reason="queue_deadline")
             raise OverloadError(
                 "deadline already past at submission",
                 retry_after_s=0.0,
@@ -353,7 +410,11 @@ class CoalescingFrontend:
             deadline_at=deadline_at,
             enqueued_at=now,
             k=k,
+            ctx=ctx,
+            submit_span=submit_span,
         )
+        if ctx is not None:
+            request.future.request_id = ctx.request_id
         full_batch = self._coalescer.add(request)
         if full_batch is not None:
             if self._auto:
@@ -447,7 +508,8 @@ class CoalescingFrontend:
         if _TM.enabled:
             _emit_probe("frontend.drain", pending_flushed=n)
         _log.info(
-            "front-end drained", extra={"name": self.name, "flushed": n}
+            # "name" is reserved on LogRecord; "frontend" carries it.
+            "front-end drained", extra={"frontend": self.name, "flushed": n}
         )
         return n
 
@@ -509,6 +571,11 @@ class CoalescingFrontend:
                     ),
                     completed_at=now,
                 )
+                self._offer_flight(
+                    request.ctx, request.tenant, "shed",
+                    now - request.enqueued_at, now,
+                    (request.submit_span,), reason="queue_deadline",
+                )
             if _TM.enabled:
                 _BATCH_SIZE.observe(float(len(live)))
                 _WAIT_SECONDS.observe(now - batch.oldest_enqueued_at)
@@ -533,33 +600,81 @@ class CoalescingFrontend:
             # alive -- a late answer would miss for *someone*, and one
             # shard call can only carry one deadline.
             deadline_s = min(r.deadline_at for r in live) - now
-            try:
-                if batch.kind == "search":
-                    responses = self.service.search_batch(
-                        queries, deadline_s=deadline_s
+            # One batch context covers the whole dispatch: a lone
+            # member keeps its own identity end-to-end; a multi-member
+            # batch gets a batch id carrying every member id as
+            # baggage, so partition/index/kernel spans and logs under
+            # this scope name all of them.
+            member_ids = [
+                r.ctx.request_id for r in live if r.ctx is not None
+            ]
+            if len(live) == 1 and live[0].ctx is not None:
+                batch_ctx = live[0].ctx
+            elif member_ids:
+                batch_ctx = RequestContext.new(
+                    prefix="batch", request_ids=member_ids
+                )
+            else:
+                batch_ctx = None
+            with request_scope(batch_ctx) if batch_ctx is not None \
+                    else nullcontext():
+                with _span(
+                    "frontend.dispatch",
+                    kind=batch.kind,
+                    size=len(live),
+                    request_ids=member_ids,
+                ) as batch_span:
+                    if batch_span is not None:
+                        for rid in member_ids:
+                            # Close the flow arrows opened at submit,
+                            # across the thread hop.
+                            batch_span.add_flow_in(rid)
+                    # Inside the batch scope: the context filter stamps
+                    # the batch's request_id onto the record, so a
+                    # request's log lines grep by the same id as its
+                    # spans.
+                    _log.debug(
+                        "batch dispatched",
+                        extra={"kind": batch.kind, "size": len(live)},
                     )
-                else:
-                    grouped = self.service.top_k(
-                        queries, batch.k, deadline_s=deadline_s
-                    )
-                    responses = [
-                        dataclasses.replace(grouped, rows=grouped.rows[i])
-                        for i in range(len(live))
-                    ]
-            except ServiceError as exc:
-                done = self._clock()
-                for request in live:
-                    self._complete_error(request, exc, done, len(live))
-                return
-            done = self._clock()
-            for request, response in zip(live, responses):
-                self._complete_ok(request, response, done, len(live))
+                    try:
+                        if batch.kind == "search":
+                            responses = self.service.search_batch(
+                                queries, deadline_s=deadline_s
+                            )
+                        else:
+                            grouped = self.service.top_k(
+                                queries, batch.k, deadline_s=deadline_s
+                            )
+                            responses = [
+                                dataclasses.replace(
+                                    grouped, rows=grouped.rows[i]
+                                )
+                                for i in range(len(live))
+                            ]
+                    except ServiceError as exc:
+                        done = self._clock()
+                        for request in live:
+                            self._complete_error(
+                                request, exc, done, len(live), batch_span
+                            )
+                        return
+                    done = self._clock()
+                    for request, response in zip(live, responses):
+                        self._complete_ok(
+                            request, response, done, len(live), batch_span
+                        )
 
     # ------------------------------------------------------------------
     # Completion accounting
     # ------------------------------------------------------------------
     def _complete_ok(
-        self, request: PendingRequest, response, done: float, batch: int
+        self,
+        request: PendingRequest,
+        response,
+        done: float,
+        batch: int,
+        batch_span=None,
     ) -> None:
         outcome = getattr(response, "outcome", "ok")
         with self._lock:
@@ -569,6 +684,11 @@ class CoalescingFrontend:
                 self._stats.ok += 1
         self._count_request(outcome, request, done, batch)
         request.future.set_result(response, completed_at=done)
+        self._offer_flight(
+            request.ctx, request.tenant, outcome,
+            done - request.enqueued_at, done,
+            (request.submit_span, batch_span),
+        )
 
     def _complete_error(
         self,
@@ -576,6 +696,7 @@ class CoalescingFrontend:
         exc: ServiceError,
         done: float,
         batch: int,
+        batch_span=None,
     ) -> None:
         if isinstance(exc, DeadlineExceededError):
             outcome = "deadline"
@@ -592,6 +713,12 @@ class CoalescingFrontend:
                 self._stats.errors += 1
         self._count_request(outcome, request, done, batch)
         request.future.set_exception(exc, completed_at=done)
+        self._offer_flight(
+            request.ctx, request.tenant, outcome,
+            done - request.enqueued_at, done,
+            (request.submit_span, batch_span),
+            error=repr(exc),
+        )
 
     def _count_request(
         self, outcome: str, request: PendingRequest, done: float, batch: int
@@ -599,12 +726,25 @@ class CoalescingFrontend:
         if not _TM.enabled:
             return
         _FRONTEND_REQUESTS.inc(outcome=outcome)
+        _LATENCY.observe(done - request.enqueued_at)
         _emit_probe(
             "frontend.request",
             outcome=outcome,
             tenant=request.tenant,
             elapsed_s=done - request.enqueued_at,
             batch_size=batch,
+        )
+
+    def _offer_flight(
+        self, ctx, tenant, outcome, latency_s, at, spans, **annotations
+    ) -> None:
+        """Hand one finished/shed request to the flight recorder."""
+        recorder = self.flight_recorder
+        if recorder is None or ctx is None:
+            return
+        recorder.offer(
+            ctx.request_id, tenant, outcome, latency_s, at,
+            spans=spans, **annotations,
         )
 
     def _count_shed(self, reason: str, tenant: str, now: float) -> None:

@@ -43,6 +43,11 @@ from repro.service.errors import (
 )
 from repro.service.frontend import CoalescingFrontend
 from repro.service.server import TDAMSearchService
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.sketch import QuantileSketch
+from repro.telemetry.slo import SLOEngine
+from repro.telemetry.state import STATE as _TM
 
 __all__ = [
     "LoadConfig",
@@ -51,6 +56,17 @@ __all__ = [
     "run_load",
     "format_load_report",
 ]
+
+_REG = _metrics.get_registry()
+#: Honesty accounting, by verdict -- ``exact`` (bit-identical to the
+#: direct reference), ``degraded_flagged`` (worse but honestly marked),
+#: ``wrong_unflagged`` (the SLO breach: a wrong answer sold as exact).
+_ANSWERS = _REG.counter(
+    "loadtest_answers_total",
+    "Load-test answers scored, by honesty verdict "
+    "(exact/degraded_flagged/wrong_unflagged)",
+    labels=("verdict",),
+)
 
 
 @dataclass(frozen=True)
@@ -173,6 +189,23 @@ class LoadReport:
     batches: int
     simulated_s: float
     tenants: Dict[str, TenantReport] = field(default_factory=dict)
+    p95_s: float = 0.0
+    #: Exact p99 as an order statistic (``sorted[floor(0.99*(n-1))]``,
+    #: the sketch's own rank convention) -- the value the sketch's
+    #: relative-error bound is stated against, unlike the interpolated
+    #: ``p99_s``.
+    p99_rank_s: float = 0.0
+    #: Streaming-sketch estimates of the same latency population --
+    #: reported side by side with the exact percentiles so the sketch's
+    #: relative-error bound is checkable from the artifact alone.
+    sketch_p50_s: Optional[float] = None
+    sketch_p95_s: Optional[float] = None
+    sketch_p99_s: Optional[float] = None
+    sketch_relative_accuracy: Optional[float] = None
+    #: Request ids of admitted requests that did *not* produce goodput
+    #: (deadline / unavailable / error / queue sheds) -- the tail the
+    #: flight recorder should have retained.
+    tail_request_ids: Tuple[str, ...] = ()
 
     @property
     def goodput(self) -> int:
@@ -237,7 +270,19 @@ class LoadReport:
                 "wrong_unflagged": self.wrong_unflagged,
                 "honest": self.honest,
             },
-            "latency": {"p50_s": self.p50_s, "p99_s": self.p99_s},
+            "latency": {
+                "p50_s": self.p50_s,
+                "p95_s": self.p95_s,
+                "p99_s": self.p99_s,
+                "p99_rank_s": self.p99_rank_s,
+                "sketch": {
+                    "p50_s": self.sketch_p50_s,
+                    "p95_s": self.sketch_p95_s,
+                    "p99_s": self.sketch_p99_s,
+                    "relative_accuracy": self.sketch_relative_accuracy,
+                },
+            },
+            "tail_request_ids": list(self.tail_request_ids),
             "coalescing": {
                 "batches": self.batches,
                 "mean_batch_size": self.mean_batch_size,
@@ -291,6 +336,8 @@ def run_load(
     config: Optional[LoadConfig] = None,
     service=None,
     clock: Optional[FakeClock] = None,
+    flight_recorder: Optional[FlightRecorder] = None,
+    slo_engine: Optional[SLOEngine] = None,
 ) -> LoadReport:
     """Replay one open-loop run; returns the scored report.
 
@@ -302,6 +349,10 @@ def run_load(
             unwritten -- this function writes a seeded matrix either
             way.
         clock: The service's fake clock (required with ``service``).
+        flight_recorder: Tail-samples full span trees of interesting
+            requests (wired into the front end; needs telemetry on).
+        slo_engine: Sampled on the fake clock as the run progresses so
+            rolling SLO windows see the run's real time series.
 
     The driver advances the fake clock to whichever comes first --
     the next nominal arrival or the front-end's next flush deadline --
@@ -361,6 +412,7 @@ def run_load(
         ),
         clock=clock.now,
         auto_dispatch=False,
+        flight_recorder=flight_recorder,
     )
 
     # The whole arrival schedule, fixed up front (open loop).
@@ -387,6 +439,19 @@ def run_load(
     inflight: List[Tuple[int, float, str, object]] = []
     shed_quota = shed_queue_full = shed_queue_deadline = 0
 
+    # SLO snapshots on the *simulated* clock: enough ticks that every
+    # rolling window spans several samples, few enough to stay cheap.
+    slo_tick_s = config.duration_s / 64.0
+    next_slo_tick = 0.0
+
+    def slo_tick() -> None:
+        nonlocal next_slo_tick
+        if slo_engine is None:
+            return
+        while clock.now() >= next_slo_tick:
+            slo_engine.sample(next_slo_tick)
+            next_slo_tick += slo_tick_s
+
     def pump_until(limit: Optional[float]) -> None:
         """Run every flush due before ``limit`` (None: all of them)."""
         while True:
@@ -396,6 +461,7 @@ def run_load(
             if due > clock.now():
                 clock.advance(due - clock.now())
             frontend.pump()
+            slo_tick()
 
     for idx, t_nominal in enumerate(arrivals):
         pump_until(t_nominal)
@@ -438,9 +504,18 @@ def run_load(
     ok = degraded = deadline_misses = unavailable = errors = 0
     wrong_unflagged = 0
     latencies: List[float] = []
+    sketch = QuantileSketch(relative_accuracy=0.01)
+    tail_ids: List[str] = []
+
+    def count_answer(verdict: str) -> None:
+        if _TM.enabled:
+            _ANSWERS.inc(verdict=verdict)
+
     for qi, t_nominal, tenant, future in inflight:
         exc = future.exception()
         if exc is not None:
+            if future.request_id is not None:
+                tail_ids.append(future.request_id)
             if isinstance(exc, DeadlineExceededError):
                 deadline_misses += 1
             elif isinstance(exc, AllShardsUnavailableError):
@@ -458,13 +533,24 @@ def run_load(
             continue
         response = future.result(timeout=0)
         tenants[tenant].answered += 1
-        latencies.append(future.completed_at - t_nominal)
+        latency = future.completed_at - t_nominal
+        latencies.append(latency)
+        sketch.add(max(latency, 0.0))
         if response.degraded:
             degraded += 1
+            count_answer("degraded_flagged")
         else:
             ok += 1
             if not _matches_reference(config, response, reference[qi]):
                 wrong_unflagged += 1
+                count_answer("wrong_unflagged")
+            else:
+                count_answer("exact")
+
+    # Final SLO snapshot *after* scoring so the honesty verdicts
+    # (counted above) land in the cumulative window.
+    if slo_engine is not None:
+        slo_engine.sample(clock.now())
 
     lat = np.asarray(latencies) if latencies else np.asarray([0.0])
     return LoadReport(
@@ -486,6 +572,15 @@ def run_load(
         batches=frontend.stats().batches,
         simulated_s=clock.now(),
         tenants=tenants,
+        p95_s=float(np.percentile(lat, 95)),
+        p99_rank_s=float(
+            np.sort(lat)[int(math.floor(0.99 * (lat.size - 1)))]
+        ),
+        sketch_p50_s=sketch.quantile(0.50),
+        sketch_p95_s=sketch.quantile(0.95),
+        sketch_p99_s=sketch.quantile(0.99),
+        sketch_relative_accuracy=sketch.relative_accuracy,
+        tail_request_ids=tuple(tail_ids),
     )
 
 
@@ -520,12 +615,21 @@ def format_load_report(report: LoadReport) -> str:
         f"  goodput   {report.goodput} responses "
         f"({report.goodput_qps:,.0f}/s simulated)",
         f"  latency   p50 {report.p50_s * 1e3:.3f} ms   "
+        f"p95 {report.p95_s * 1e3:.3f} ms   "
         f"p99 {report.p99_s * 1e3:.3f} ms  (from nominal arrival)",
         f"  batching  {report.batches} batches, "
         f"mean size {report.mean_batch_size:.2f}",
         f"  honesty   wrong_unflagged={report.wrong_unflagged} "
         f"({'PASS' if report.honest else 'FAIL'})",
     ]
+    if report.sketch_p99_s is not None:
+        lines.insert(
+            6,
+            f"  sketch    p50 {report.sketch_p50_s * 1e3:.3f} ms   "
+            f"p95 {report.sketch_p95_s * 1e3:.3f} ms   "
+            f"p99 {report.sketch_p99_s * 1e3:.3f} ms  "
+            f"(±{report.sketch_relative_accuracy:.0%} relative)",
+        )
     for name, t in sorted(report.tenants.items()):
         lines.append(
             f"  tenant {name}:  offered {t.offered}, "

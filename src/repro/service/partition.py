@@ -43,6 +43,7 @@ from repro.telemetry import metrics as _metrics
 from repro.telemetry.log import get_logger
 from repro.telemetry.profile import emit_probe as _emit_probe
 from repro.telemetry.state import STATE as _TM
+from repro.telemetry.trace import span as _span
 
 __all__ = [
     "PartitionedTDAMService",
@@ -320,6 +321,22 @@ class PartitionedTDAMService:
     def _scatter(
         self, queries, deadline_s: Optional[float]
     ) -> "_Scatter":
+        # The scatter span inherits the active request/batch context,
+        # tying every per-partition search to the request ids it
+        # serves.
+        if not (_TM.enabled and _TM.tracing):
+            return self._scatter_inner(queries, deadline_s)
+        with _span(
+            "partition.scatter", partitions=len(self.partitions)
+        ) as sp:
+            scatter = self._scatter_inner(queries, deadline_s)
+            sp.set_attr("coverage", scatter.coverage)
+            sp.set_attr("skipped", list(scatter.skipped))
+            return scatter
+
+    def _scatter_inner(
+        self, queries, deadline_s: Optional[float]
+    ) -> "_Scatter":
         deadline_s = (
             deadline_s if deadline_s is not None else self.default_deadline_s
         )
@@ -346,9 +363,14 @@ class PartitionedTDAMService:
                 skipped.append(part.partition_id)
                 continue
             try:
-                responses = part.service.search_batch(
-                    queries, deadline_s=remaining
-                )
+                with _span(
+                    "partition.search",
+                    partition=part.partition_id,
+                    remaining_s=remaining,
+                ):
+                    responses = part.service.search_batch(
+                        queries, deadline_s=remaining
+                    )
             except ServiceError as exc:
                 last_error = exc
                 skipped.append(part.partition_id)

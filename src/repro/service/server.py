@@ -58,6 +58,7 @@ from repro.telemetry import metrics as _metrics
 from repro.telemetry.log import get_logger
 from repro.telemetry.profile import emit_probe as _emit_probe
 from repro.telemetry.state import STATE as _TM
+from repro.telemetry.trace import span as _span
 
 __all__ = [
     "TDAMSearchService",
@@ -82,7 +83,9 @@ _DEADLINE_MISSES = _REG.counter(
     "service_deadline_miss_total", "Requests that ran out of deadline"
 )
 _REQUEST_SECONDS = _REG.histogram(
-    "service_request_seconds", "End-to-end request latency (service clock)"
+    "service_request_seconds",
+    "End-to-end request latency (service clock)",
+    buckets=_metrics.LATENCY_BUCKETS_S,
 )
 
 #: Interceptor signature: called before a shard attempt with
@@ -487,8 +490,23 @@ class TDAMSearchService:
 
     # The serving core, shared by single, batched, and top-k entry
     # points; ``respond`` shapes the winning shard result into the
-    # endpoint's response type.
+    # endpoint's response type.  The span inherits the active request
+    # (or batch) context, so routing/retry work is attributable to the
+    # request ids it serves.
     def _serve(
+        self,
+        queries: np.ndarray,
+        deadline_s: Optional[float],
+        run,
+        respond=None,
+    ):
+        if not (_TM.enabled and _TM.tracing):
+            return self._serve_inner(queries, deadline_s, run, respond)
+        n_queries = int(queries.shape[0]) if queries.ndim == 2 else 1
+        with _span("service.serve", queries=n_queries):
+            return self._serve_inner(queries, deadline_s, run, respond)
+
+    def _serve_inner(
         self,
         queries: np.ndarray,
         deadline_s: Optional[float],

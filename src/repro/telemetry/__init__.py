@@ -33,9 +33,14 @@ See ``docs/OBSERVABILITY.md`` for the probe-point catalog and how to
 read a trace.
 """
 
+from repro.telemetry.flight import (
+    FlightRecord,
+    FlightRecorder,
+)
 from repro.telemetry.log import (
     ConsoleFormatter,
     JsonLinesFormatter,
+    RequestContextFilter,
     configure_logging,
     get_logger,
     parse_level,
@@ -43,9 +48,12 @@ from repro.telemetry.log import (
 )
 from repro.telemetry.metrics import (
     Counter,
+    DEFAULT_BUCKETS,
     Gauge,
     Histogram,
+    LATENCY_BUCKETS_S,
     MetricsRegistry,
+    Quantile,
     get_registry,
 )
 from repro.telemetry.profile import (
@@ -57,12 +65,32 @@ from repro.telemetry.profile import (
     register_probe,
     unregister_probe,
 )
+from repro.telemetry.request import (
+    RequestContext,
+    current_request,
+    new_request_id,
+    request_scope,
+    reset_request_ids,
+)
+from repro.telemetry.sketch import QuantileSketch
+from repro.telemetry.slo import (
+    MetricTerm,
+    SLOEngine,
+    SLOReport,
+    SLOSpec,
+    SLOVerdict,
+    WindowVerdict,
+    default_serving_slos,
+    format_slo_report,
+)
 from repro.telemetry.state import (
     STATE,
     disable,
     enable,
     enabled_scope,
     is_enabled,
+    set_tracing,
+    tracing_scope,
 )
 from repro.telemetry.trace import (
     Span,
@@ -79,6 +107,8 @@ __all__ = [
     "disable",
     "is_enabled",
     "enabled_scope",
+    "set_tracing",
+    "tracing_scope",
     "reset",
     # logging
     "get_logger",
@@ -87,12 +117,23 @@ __all__ = [
     "parse_level",
     "JsonLinesFormatter",
     "ConsoleFormatter",
+    "RequestContextFilter",
     # metrics
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
+    "Quantile",
+    "QuantileSketch",
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS_S",
     "get_registry",
+    # request contexts
+    "RequestContext",
+    "current_request",
+    "request_scope",
+    "new_request_id",
+    "reset_request_ids",
     # tracing
     "Tracer",
     "Span",
@@ -100,6 +141,18 @@ __all__ = [
     "traced",
     "get_tracer",
     "dump_chrome_trace",
+    # SLOs
+    "SLOSpec",
+    "MetricTerm",
+    "SLOEngine",
+    "SLOReport",
+    "SLOVerdict",
+    "WindowVerdict",
+    "default_serving_slos",
+    "format_slo_report",
+    # flight recorder
+    "FlightRecorder",
+    "FlightRecord",
     # profiling hooks
     "PROBE_EVENTS",
     "register_probe",
@@ -114,12 +167,14 @@ __all__ = [
 def reset() -> None:
     """Return telemetry to its pristine state (tests, notebooks).
 
-    Disables the switch, zeroes every metric series, drops recorded
-    spans, detaches every probe hook, and removes the managed log
+    Disables the switch (restoring the tracing sub-gate), zeroes every
+    metric series, drops recorded spans, detaches every probe hook,
+    restarts the request-id counter, and removes the managed log
     handler.  Module-level metric handles stay valid.
     """
     disable()
     get_registry().reset()
     get_tracer().reset()
     clear_probes()
+    reset_request_ids()
     reset_logging()

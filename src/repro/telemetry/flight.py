@@ -1,0 +1,207 @@
+"""Flight recorder: tail-based sampling of full request traces.
+
+Head-based sampling (keep every Nth trace) is cheap but blind -- the
+requests worth debugging are precisely the slow and broken ones it
+usually drops.  A :class:`FlightRecorder` inverts that: every request's
+span tree is offered at completion, and only the interesting ones are
+*retained* in a bounded ring buffer::
+
+    recorder = FlightRecorder(capacity=256, slow_threshold_s=0.050)
+    frontend.flight_recorder = recorder      # wired by the front end
+    ...
+    recorder.request_ids()                   # every retained request
+    recorder.dump_json("tail_traces.json")   # spans attached
+
+Retention rules (any one suffices):
+
+- the outcome is in ``keep_outcomes`` (default: every non-goodput
+  outcome -- ``deadline``, ``unavailable``, ``error``, ``shed``);
+- latency reached ``slow_threshold_s`` (``None`` disables the rule).
+
+The buffer is a ``deque(maxlen=capacity)``: old retained flights fall
+off as new ones land, so memory stays bounded no matter how bad an
+incident gets -- exactly like a cockpit flight recorder's loop tape.
+Offers are O(1) and lock-guarded; the recorder never blocks dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.trace import Span
+
+__all__ = ["FlightRecord", "FlightRecorder"]
+
+#: Outcomes retained by default: everything that is not goodput.
+DEFAULT_KEEP_OUTCOMES: Tuple[str, ...] = (
+    "deadline", "unavailable", "error", "shed",
+)
+
+
+def _span_to_dict(span: Span) -> Dict[str, Any]:
+    """One span (and its subtree) as a JSON-ready nested dict."""
+    return {
+        "name": span.name,
+        "attrs": {str(k): repr(v) if not isinstance(
+            v, (str, int, float, bool, type(None))
+        ) else v for k, v in span.attrs.items()},
+        "start_wall_s": span.start_wall_s,
+        "duration_s": span.duration_s,
+        "thread": span.thread_name,
+        "error": span.error,
+        "children": [_span_to_dict(c) for c in span.children],
+    }
+
+
+@dataclass
+class FlightRecord:
+    """One retained flight: a finished request plus its span trees.
+
+    ``spans`` usually holds two roots -- the submit-side span from the
+    caller's thread and the batch dispatch span (with the partition /
+    index / kernel subtree) from the dispatcher thread.
+    """
+
+    request_id: str
+    tenant: str
+    outcome: str
+    latency_s: Optional[float]
+    reason: str                     # "outcome" | "slow"
+    completed_at: float
+    spans: Tuple[Span, ...] = ()
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form with span trees serialized inline."""
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "outcome": self.outcome,
+            "latency_s": self.latency_s,
+            "reason": self.reason,
+            "completed_at": self.completed_at,
+            "annotations": dict(self.annotations),
+            "spans": [_span_to_dict(s) for s in self.spans],
+        }
+
+
+class FlightRecorder:
+    """Bounded ring buffer of tail-sampled request traces.
+
+    Args:
+        capacity: Retained-flight cap (oldest evicted first).
+        slow_threshold_s: Retain goodput requests at or above this
+            latency (``None``: never retain on latency alone).
+        keep_outcomes: Outcomes always retained.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        slow_threshold_s: Optional[float] = None,
+        keep_outcomes: Sequence[str] = DEFAULT_KEEP_OUTCOMES,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.slow_threshold_s = slow_threshold_s
+        self.keep_outcomes = frozenset(keep_outcomes)
+        self._lock = threading.Lock()
+        self._records: "deque[FlightRecord]" = deque(maxlen=self.capacity)
+        self.offered = 0
+        self.kept = 0
+
+    def should_keep(
+        self, outcome: str, latency_s: Optional[float]
+    ) -> Optional[str]:
+        """The retention reason for this flight, or ``None`` to drop."""
+        if outcome in self.keep_outcomes:
+            return "outcome"
+        if (
+            self.slow_threshold_s is not None
+            and latency_s is not None
+            and latency_s >= self.slow_threshold_s
+        ):
+            return "slow"
+        return None
+
+    def offer(
+        self,
+        request_id: str,
+        tenant: str,
+        outcome: str,
+        latency_s: Optional[float],
+        completed_at: float,
+        spans: Sequence[Optional[Span]] = (),
+        **annotations: Any,
+    ) -> bool:
+        """Offer one finished request; returns whether it was retained."""
+        with self._lock:
+            self.offered += 1
+            reason = self.should_keep(outcome, latency_s)
+            if reason is None:
+                return False
+            self._records.append(
+                FlightRecord(
+                    request_id=request_id,
+                    tenant=tenant,
+                    outcome=outcome,
+                    latency_s=latency_s,
+                    reason=reason,
+                    completed_at=completed_at,
+                    spans=tuple(s for s in spans if s is not None),
+                    annotations=dict(annotations),
+                )
+            )
+            self.kept += 1
+            return True
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[FlightRecord]:
+        """Snapshot of the retained flights, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def request_ids(self) -> List[str]:
+        """Retained request ids, oldest first."""
+        with self._lock:
+            return [r.request_id for r in self._records]
+
+    def clear(self) -> None:
+        """Drop every retained flight (counters keep running)."""
+        with self._lock:
+            self._records.clear()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary plus every retained flight."""
+        with self._lock:
+            records = list(self._records)
+            offered, kept = self.offered, self.kept
+        return {
+            "capacity": self.capacity,
+            "slow_threshold_s": self.slow_threshold_s,
+            "keep_outcomes": sorted(self.keep_outcomes),
+            "offered": offered,
+            "kept": kept,
+            "retained": len(records),
+            "flights": [r.to_dict() for r in records],
+        }
+
+    def dump_json(self, path: str) -> None:
+        """Write :meth:`to_dict` to ``path`` (the CI tail-trace
+        artifact)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=1, default=repr)
+            handle.write("\n")
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder({len(self._records)}/{self.capacity} "
+            f"retained, {self.offered} offered)"
+        )

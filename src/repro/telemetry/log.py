@@ -25,6 +25,8 @@ import os
 import sys
 from typing import Any, Optional, TextIO, Union
 
+from repro.telemetry.request import current_request
+
 #: Root of the package's logger hierarchy; ``configure_logging`` attaches
 #: exactly one handler here and disables propagation so embedding
 #: applications never see duplicate lines.
@@ -128,6 +130,26 @@ class ConsoleFormatter(logging.Formatter):
         return line
 
 
+class RequestContextFilter(logging.Filter):
+    """Stamps the active request context onto every record.
+
+    When a :func:`repro.telemetry.request.request_scope` is active,
+    records gain ``request_id`` (and ``tenant`` when attributed) as
+    structured fields -- both formatters render them like any
+    ``extra=`` field, so a request's log lines grep by its id.
+    Explicit ``extra={"request_id": ...}`` wins over the context.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        ctx = current_request()
+        if ctx is not None:
+            if not hasattr(record, "request_id"):
+                record.request_id = ctx.request_id
+            if ctx.tenant and not hasattr(record, "tenant"):
+                record.tenant = ctx.tenant
+        return True
+
+
 def get_logger(name: Optional[str] = None) -> logging.Logger:
     """A logger inside the ``repro`` hierarchy.
 
@@ -162,6 +184,7 @@ def configure_logging(
     _handler.setFormatter(
         JsonLinesFormatter() if json_lines else ConsoleFormatter()
     )
+    _handler.addFilter(RequestContextFilter())
     root.addHandler(_handler)
     root.setLevel(parse_level(level))
     root.propagate = False

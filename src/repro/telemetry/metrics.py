@@ -25,7 +25,9 @@ import json
 import math
 import re
 import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.telemetry.sketch import QuantileSketch
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -36,6 +38,20 @@ _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5,
     1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
+#: Serving-latency buckets: a 1-2-5 ladder from 10 us to 10 s.  The
+#: decade-per-bucket :data:`DEFAULT_BUCKETS` crush every sub-millisecond
+#: search into one or two bins; request-latency histograms
+#: (``service_request_seconds``, ``frontend_wait_seconds``) need the
+#: sub-ms rungs to resolve a p99 worth gating on.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2, 2e-2, 5e-2,
+    0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0,
 )
 
 
@@ -196,6 +212,12 @@ class Histogram(Metric):
                 if value <= bound:
                     state.bucket_counts[i] += 1
                     break
+            else:
+                # NaN compares false against every bound (including
+                # +Inf); without this branch count would advance while
+                # no bucket did, breaking the exposition invariant
+                # +Inf-cumulative == _count.
+                state.bucket_counts[-1] += 1
             state.total += value
             state.count += 1
 
@@ -216,6 +238,76 @@ class Histogram(Metric):
             running += bucket
             cumulative[bound] = running
         return {"count": count, "sum": total, "buckets": cumulative}
+
+
+#: Quantile export points every :class:`Quantile` series renders.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.95, 0.99)
+
+
+class Quantile(Metric):
+    """A streaming-quantile distribution (DDSketch-style summary).
+
+    Each labeled series owns a
+    :class:`~repro.telemetry.sketch.QuantileSketch`: observations cost
+    O(1), memory is bounded, and any quantile estimate carries the
+    sketch's relative-error guarantee -- unlike a fixed-bucket
+    :class:`Histogram`, whose percentile error is set by bucket edges.
+    Exports as a Prometheus ``summary`` (``{quantile="0.99"}`` series
+    plus ``_sum``/``_count``).
+    """
+
+    kind = "summary"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        relative_accuracy: float = 0.01,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
+        super().__init__(name, help, labels, lock)
+        self.relative_accuracy = float(relative_accuracy)
+        self.quantiles: Tuple[float, ...] = tuple(quantiles)
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the labeled series' sketch."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = QuantileSketch(
+                    relative_accuracy=self.relative_accuracy
+                )
+                self._series[key] = state
+            state.add(float(value))
+
+    def snapshot(self, **labels: object) -> Dict[str, object]:
+        """The labeled sketch's summary dict (zeros when untouched)."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                return QuantileSketch(
+                    relative_accuracy=self.relative_accuracy
+                ).snapshot()
+            return state.snapshot()
+
+    def quantile(self, q: float, **labels: object) -> Optional[float]:
+        """The labeled series' estimated ``q``-quantile (or ``None``)."""
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            return state.quantile(q) if state is not None else None
+
+    def merged(self) -> QuantileSketch:
+        """All series folded into one sketch (exact merge)."""
+        merged = QuantileSketch(relative_accuracy=self.relative_accuracy)
+        with self._lock:
+            for state in self._series.values():
+                merged.merge(state)  # type: ignore[arg-type]
+        return merged
 
 
 class MetricsRegistry:
@@ -270,6 +362,20 @@ class MetricsRegistry:
             Histogram, name, help, labels, buckets=buckets
         )
 
+    def quantile(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        relative_accuracy: float = 0.01,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> Quantile:
+        """Register (or fetch) a streaming-quantile summary."""
+        return self._get_or_create(
+            Quantile, name, help, labels,
+            relative_accuracy=relative_accuracy, quantiles=quantiles,
+        )
+
     def get(self, name: str) -> Optional[Metric]:
         """The registered metric, or ``None``."""
         with self._lock:
@@ -307,6 +413,17 @@ class MetricsRegistry:
                     entry.update(
                         count=state.count, sum=state.total, buckets=buckets
                     )
+                elif isinstance(metric, Quantile):
+                    assert isinstance(state, QuantileSketch)
+                    entry.update(
+                        count=state.count,
+                        sum=state.sum,
+                        relative_accuracy=state.relative_accuracy,
+                        quantiles={
+                            _format_number(q): state.quantile(q)
+                            for q in metric.quantiles
+                        },
+                    )
                 else:
                     entry["value"] = state
                 series_out.append(entry)
@@ -323,7 +440,10 @@ class MetricsRegistry:
         lines: List[str] = []
         for metric in self.metrics():
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                help_text = (
+                    metric.help.replace("\\", r"\\").replace("\n", r"\n")
+                )
+                lines.append(f"# HELP {metric.name} {help_text}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for key, state in metric.series():
                 label_dict = metric._label_dict(key)
@@ -342,6 +462,25 @@ class MetricsRegistry:
                     lines.append(
                         f"{metric.name}_sum{_render_labels(label_dict)} "
                         f"{_format_number(state.total)}"
+                    )
+                    lines.append(
+                        f"{metric.name}_count{_render_labels(label_dict)} "
+                        f"{state.count}"
+                    )
+                elif isinstance(metric, Quantile):
+                    assert isinstance(state, QuantileSketch)
+                    for q in metric.quantiles:
+                        estimate = state.quantile(q)
+                        qlabels = dict(
+                            label_dict, quantile=_format_number(q)
+                        )
+                        lines.append(
+                            f"{metric.name}{_render_labels(qlabels)} "
+                            f"{_format_number(estimate or 0.0)}"
+                        )
+                    lines.append(
+                        f"{metric.name}_sum{_render_labels(label_dict)} "
+                        f"{_format_number(state.sum)}"
                     )
                     lines.append(
                         f"{metric.name}_count{_render_labels(label_dict)} "

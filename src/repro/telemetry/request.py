@@ -1,0 +1,132 @@
+"""Request contexts: per-request ids propagated across the stack.
+
+A :class:`RequestContext` names one logical request -- a unique
+``request_id``, the calling ``tenant``, its ``deadline_at``, and
+free-form ``baggage`` -- and rides a :mod:`contextvars` variable so
+every layer a request flows through (frontend admission, coalesced
+batch dispatch, partition scatter/gather, index routing, kernel
+dispatch) can read it without parameter plumbing::
+
+    ctx = RequestContext.new(tenant="acme", deadline_at=clock() + 0.05)
+    with request_scope(ctx):
+        frontend.submit(...)          # spans + logs tagged req-000042
+
+Spans opened inside the scope are auto-tagged ``request_id`` /
+``tenant`` (see :mod:`repro.telemetry.trace`), and the managed log
+handler stamps the same fields onto every record
+(:mod:`repro.telemetry.log`).  Because :mod:`contextvars` values do not
+cross thread boundaries by themselves, code that hops threads (the
+coalescing frontend's dispatcher) re-activates the context explicitly:
+the pending request carries its ``ctx`` and the dispatch loop enters a
+batch scope listing every member id.
+
+Ids are process-unique, ordered, and cheap: a counter behind a lock,
+rendered ``req-000001``.  They are deliberately *not* random UUIDs --
+deterministic ids keep fake-clock loadtests reproducible byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = [
+    "RequestContext",
+    "current_request",
+    "new_request_id",
+    "request_scope",
+    "reset_request_ids",
+]
+
+_id_lock = threading.Lock()
+_id_counter = itertools.count(1)
+
+_current: "contextvars.ContextVar[Optional[RequestContext]]" = (
+    contextvars.ContextVar("repro_request_context", default=None)
+)
+
+
+def new_request_id(prefix: str = "req") -> str:
+    """A process-unique, monotonically ordered id like ``req-000042``."""
+    with _id_lock:
+        n = next(_id_counter)
+    return f"{prefix}-{n:06d}"
+
+
+def reset_request_ids() -> None:
+    """Restart the id counter at 1 (tests; keeps runs reproducible)."""
+    global _id_counter
+    with _id_lock:
+        _id_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Identity and intent of one in-flight request.
+
+    Attributes:
+        request_id: Process-unique id (``req-000042``); tags every span
+            and log record emitted under the context.
+        tenant: Calling tenant, `""` when unattributed.
+        deadline_at: Absolute service-clock deadline, ``None`` when the
+            caller imposed none.
+        baggage: Free-form key/value pairs carried with the request
+            (batch ids, scenario names); copied into span attributes
+            prefixed ``bg.``.
+    """
+
+    request_id: str
+    tenant: str = ""
+    deadline_at: Optional[float] = None
+    baggage: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def new(
+        cls,
+        tenant: str = "",
+        deadline_at: Optional[float] = None,
+        prefix: str = "req",
+        **baggage: Any,
+    ) -> "RequestContext":
+        """A fresh context with the next process-unique id."""
+        return cls(
+            request_id=new_request_id(prefix),
+            tenant=tenant,
+            deadline_at=deadline_at,
+            baggage=dict(baggage),
+        )
+
+    def child(self, **baggage: Any) -> "RequestContext":
+        """The same identity with extra baggage merged in."""
+        merged = dict(self.baggage)
+        merged.update(baggage)
+        return RequestContext(
+            request_id=self.request_id,
+            tenant=self.tenant,
+            deadline_at=self.deadline_at,
+            baggage=merged,
+        )
+
+
+def current_request() -> Optional[RequestContext]:
+    """The context active on this thread of execution, if any."""
+    return _current.get()
+
+
+@contextmanager
+def request_scope(ctx: Optional[RequestContext]) -> Iterator[None]:
+    """Activate ``ctx`` for the duration of the ``with`` body.
+
+    Nesting replaces (and on exit restores) the outer context, so a
+    batch scope can temporarily supersede a member request's scope.
+    Passing ``None`` clears the active context inside the body.
+    """
+    token = _current.set(ctx)
+    try:
+        yield
+    finally:
+        _current.reset(token)

@@ -1,0 +1,254 @@
+"""Streaming quantiles: a mergeable, relative-error-bounded sketch.
+
+:class:`QuantileSketch` is a zero-dependency DDSketch-style estimator
+(Masson et al., VLDB 2019): observations land in log-spaced bins with
+ratio ``gamma = (1 + alpha) / (1 - alpha)``, so any quantile estimate is
+within relative error ``alpha`` of a true sample value::
+
+    s = QuantileSketch(relative_accuracy=0.01)
+    for latency in latencies:
+        s.add(latency)
+    p99 = s.quantile(0.99)      # within 1% of the exact sample p99
+
+Properties the serving stack leans on:
+
+- **Bounded memory.**  Bin count is capped (``max_bins``); overflow
+  collapses the lowest bins, preserving tail (high-quantile) accuracy,
+  which is what SLOs read.
+- **Mergeable.**  ``a.merge(b)`` is exact -- merging per-thread or
+  per-partition sketches loses nothing, unlike merging percentiles.
+- **Deterministic.**  No randomization; identical inputs give identical
+  estimates, keeping fake-clock loadtests byte-reproducible.
+
+Values below ``min_value`` (default 1 ns -- far under any real latency)
+share one "zero" bin; negative observations are rejected.  The sketch
+itself is not locked: single writers use it bare, and the ``Quantile``
+metric kind (:mod:`repro.telemetry.metrics`) wraps it in the metric
+family's lock for cross-thread use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["QuantileSketch"]
+
+
+class QuantileSketch:
+    """DDSketch-style streaming quantile estimator.
+
+    Args:
+        relative_accuracy: Bound ``alpha`` on the relative error of any
+            quantile estimate (``0 < alpha < 1``); default 1%.
+        max_bins: Cap on retained bins; overflow collapses the lowest
+            bins together (tails stay accurate).
+        min_value: Values in ``[0, min_value)`` share the zero bin.
+    """
+
+    __slots__ = (
+        "_alpha", "_gamma", "_log_gamma", "_max_bins", "_min_value",
+        "_min_index", "_bins", "_zero_count", "count", "sum",
+        "_min", "_max",
+    )
+
+    def __init__(
+        self,
+        relative_accuracy: float = 0.01,
+        max_bins: int = 2048,
+        min_value: float = 1e-9,
+    ) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1), "
+                f"got {relative_accuracy}"
+            )
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2, got {max_bins}")
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be > 0, got {min_value}")
+        self._alpha = float(relative_accuracy)
+        self._gamma = (1.0 + self._alpha) / (1.0 - self._alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._max_bins = int(max_bins)
+        self._min_value = float(min_value)
+        self._min_index = self._index_of(self._min_value)
+        self._bins: Dict[int, int] = {}
+        self._zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- properties -----------------------------------------------------
+    @property
+    def relative_accuracy(self) -> float:
+        """The guaranteed relative-error bound ``alpha``."""
+        return self._alpha
+
+    @property
+    def n_bins(self) -> int:
+        """Number of live bins (zero bin excluded)."""
+        return len(self._bins)
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest observed value, ``None`` when empty."""
+        return self._min if self.count else None
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest observed value, ``None`` when empty."""
+        return self._max if self.count else None
+
+    # -- ingest ---------------------------------------------------------
+    def _index_of(self, value: float) -> int:
+        return int(math.ceil(math.log(value) / self._log_gamma))
+
+    def _value_of(self, index: int) -> float:
+        # Midpoint (in relative terms) of bin (gamma^(i-1), gamma^i]:
+        # within alpha of every value the bin can hold.
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value`` (must be >= 0)."""
+        value = float(value)
+        if not value >= 0.0:  # catches negatives and NaN
+            raise ValueError(
+                f"sketch accepts finite values >= 0, got {value}"
+            )
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if value < self._min_value:
+            self._zero_count += count
+        else:
+            index = max(self._index_of(value), self._min_index)
+            self._bins[index] = self._bins.get(index, 0) + count
+            if len(self._bins) > self._max_bins:
+                self._collapse()
+        self.count += count
+        self.sum += value * count
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def _collapse(self) -> None:
+        # Fold the lowest bins together until back under the cap; low
+        # bins hold the cheapest requests, whose exact quantiles matter
+        # least to an SLO on the tail.
+        keys = sorted(self._bins)
+        excess = len(keys) - self._max_bins + 1
+        spill = 0
+        for key in keys[:excess]:
+            spill += self._bins.pop(key)
+        anchor = keys[excess]
+        self._bins[anchor] = self._bins.get(anchor, 0) + spill
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` into this sketch (exact; same accuracy only)."""
+        if not isinstance(other, QuantileSketch):
+            raise TypeError(f"cannot merge {type(other).__name__}")
+        if other._alpha != self._alpha:
+            raise ValueError(
+                f"cannot merge sketches with different accuracy "
+                f"({self._alpha} vs {other._alpha})"
+            )
+        for index, count in other._bins.items():
+            self._bins[index] = self._bins.get(index, 0) + count
+        if len(self._bins) > self._max_bins:
+            self._collapse()
+        self._zero_count += other._zero_count
+        self.count += other.count
+        self.sum += other.sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # -- query ----------------------------------------------------------
+    def quantile(self, q: float) -> Optional[float]:
+        """The estimated ``q``-quantile (``0 <= q <= 1``).
+
+        Guaranteed within ``relative_accuracy`` of an exact sample
+        quantile; ``None`` when the sketch is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * (self.count - 1)
+        if rank < self._zero_count:
+            return 0.0
+        seen = self._zero_count
+        estimate = 0.0
+        for index in sorted(self._bins):
+            seen += self._bins[index]
+            if seen > rank:
+                estimate = self._value_of(index)
+                break
+        # Clamp into the observed range: pure tightening, never loosens
+        # the relative-error bound.
+        return min(max(estimate, self._min), self._max)
+
+    def quantiles(self, qs: Iterable[float]) -> List[Optional[float]]:
+        """Batch :meth:`quantile` (one pass interface, simple loop)."""
+        return [self.quantile(q) for q in qs]
+
+    def mean(self) -> Optional[float]:
+        """Exact mean of all observations, ``None`` when empty."""
+        return self.sum / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Summary dict: count/sum/min/max/p50/p90/p95/p99/accuracy."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "relative_accuracy": self._alpha,
+        }
+
+    # -- (de)serialization ---------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready state; :meth:`from_dict` round-trips exactly."""
+        return {
+            "relative_accuracy": self._alpha,
+            "max_bins": self._max_bins,
+            "min_value": self._min_value,
+            "bins": sorted(self._bins.items()),
+            "zero_count": self._zero_count,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self._min if self.count else None,
+            "max": self._max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "QuantileSketch":
+        """Rebuild a sketch serialized by :meth:`to_dict`."""
+        sketch = cls(
+            relative_accuracy=state["relative_accuracy"],
+            max_bins=state["max_bins"],
+            min_value=state["min_value"],
+        )
+        sketch._bins = {int(i): int(c) for i, c in state["bins"]}
+        sketch._zero_count = int(state["zero_count"])
+        sketch.count = int(state["count"])
+        sketch.sum = float(state["sum"])
+        if sketch.count:
+            sketch._min = float(state["min"])
+            sketch._max = float(state["max"])
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(alpha={self._alpha}, count={self.count}, "
+            f"bins={len(self._bins)})"
+        )
+
+    def _bin_items(self) -> Tuple[Tuple[int, int], ...]:
+        """(index, count) pairs, for the Quantile metric's exporter."""
+        return tuple(sorted(self._bins.items()))

@@ -1,0 +1,562 @@
+"""SLO engine: declarative objectives, rolling windows, burn rates.
+
+An :class:`SLOSpec` states an objective the serving stack must hold --
+a latency quantile bound ("p99 under 5 ms"), or a bad-event ratio
+budget ("shed rate under 5%", "zero unflagged wrong answers") -- bound
+to live metrics in the process registry.  An :class:`SLOEngine` samples
+those metrics over time and evaluates every spec over rolling windows::
+
+    engine = SLOEngine(default_serving_slos())
+    ...
+    engine.sample(clock())       # call periodically while serving
+    report = engine.evaluate()
+    print(format_slo_report(report))
+    assert report.ok
+
+Evaluation follows SRE practice:
+
+- **Error budget.**  A ratio objective of 0.05 budgets 5% bad events;
+  the *burn rate* is (bad fraction) / budget, so burn 1.0 exactly
+  spends the budget and burn 10 exhausts it 10x too fast.
+- **Multi-window evaluation.**  Each spec is judged on every configured
+  rolling window (default 1 s and 10 s) plus the cumulative run; the
+  ``alerting`` flag fires only when *every* window burns above the
+  threshold at once -- the classic fast+slow-window guard against
+  paging on a noise blip.
+- **Sketch-delta quantiles.**  Latency specs read ``Quantile`` metrics
+  (DDSketch bins): the engine subtracts bin snapshots, so a window's
+  p99 is computed from exactly the observations inside the window --
+  something cumulative percentiles cannot do.
+
+Everything is clock-agnostic: pass the same (possibly fake) clock the
+services use.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.telemetry.metrics import (
+    Counter,
+    MetricsRegistry,
+    Quantile,
+    get_registry,
+)
+from repro.telemetry.sketch import QuantileSketch
+
+__all__ = [
+    "MetricTerm",
+    "SLOSpec",
+    "WindowVerdict",
+    "SLOVerdict",
+    "SLOReport",
+    "SLOEngine",
+    "default_serving_slos",
+    "format_slo_report",
+]
+
+
+@dataclass(frozen=True)
+class MetricTerm:
+    """One additive term of a ratio: a counter, optionally filtered.
+
+    ``labels`` maps a label name to the values that count; series not
+    matching every filter are excluded.  An empty filter sums every
+    series of the metric.  (A mapping passed at construction is
+    normalized to a sorted tuple so terms stay hashable.)
+    """
+
+    metric: str
+    labels: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.labels, Mapping):
+            object.__setattr__(
+                self,
+                "labels",
+                tuple(
+                    (name, tuple(values))
+                    for name, values in sorted(self.labels.items())
+                ),
+            )
+
+    def matches(self, label_dict: Mapping[str, str]) -> bool:
+        """Whether one series' labels pass this term's filter."""
+        return all(
+            label_dict.get(name) in allowed
+            for name, allowed in self.labels
+        )
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative service-level objective.
+
+    Two kinds:
+
+    - ``"latency_quantile"``: the ``quantile`` of the ``metric`` (a
+      registry ``Quantile``) must stay at or under ``objective``
+      seconds.
+    - ``"ratio"``: the fraction ``sum(bad) / sum(total)`` must stay at
+      or under ``objective`` (the error budget).  ``objective=0``
+      budgets *zero* bad events (honesty-style objectives).
+
+    Attributes:
+        name: Short verdict-table identifier (``latency_p99``).
+        kind: ``"latency_quantile"`` or ``"ratio"``.
+        objective: Bound: seconds for latency, bad fraction for ratio.
+        metric: Quantile metric name (latency kind only).
+        quantile: Which quantile to bound (latency kind only).
+        bad: Numerator terms (ratio kind only).
+        total: Denominator terms (ratio kind only).
+        description: One line for humans.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    metric: str = ""
+    quantile: float = 0.99
+    bad: Tuple[MetricTerm, ...] = ()
+    total: Tuple[MetricTerm, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency_quantile", "ratio"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "latency_quantile":
+            if not self.metric:
+                raise ValueError(f"{self.name}: latency SLO needs a metric")
+            if not 0.0 < self.quantile < 1.0:
+                raise ValueError(
+                    f"{self.name}: quantile must be in (0, 1), "
+                    f"got {self.quantile}"
+                )
+        if self.kind == "ratio" and not self.total:
+            raise ValueError(f"{self.name}: ratio SLO needs total terms")
+
+
+@dataclass
+class WindowVerdict:
+    """One spec judged over one rolling window.
+
+    ``value`` is the measured quantile (s) or bad fraction; ``burn``
+    is value/objective (latency) or bad-fraction/budget (ratio);
+    ``events`` counts observations inside the window (``ok`` is
+    trivially true on an empty window).
+    """
+
+    window_s: Optional[float]      # None: cumulative since start
+    value: Optional[float]
+    burn: Optional[float]
+    events: int
+    ok: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "window_s": self.window_s,
+            "value": self.value,
+            "burn": self.burn,
+            "events": self.events,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class SLOVerdict:
+    """One spec's full judgment: every window plus the overall verdict.
+
+    ``ok`` reflects the cumulative window (did the run as a whole meet
+    the objective); ``alerting`` is the multi-window burn-rate signal
+    (every rolling window burning above the engine threshold at once).
+    """
+
+    spec: SLOSpec
+    windows: List[WindowVerdict]
+    ok: bool
+    alerting: bool
+
+    @property
+    def cumulative(self) -> WindowVerdict:
+        """The since-start window (always evaluated last)."""
+        return self.windows[-1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (spec flattened to its scalar fields)."""
+        return {
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "objective": self.spec.objective,
+            "quantile": (
+                self.spec.quantile
+                if self.spec.kind == "latency_quantile" else None
+            ),
+            "description": self.spec.description,
+            "ok": self.ok,
+            "alerting": self.alerting,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+
+@dataclass
+class SLOReport:
+    """Every spec's verdict at one evaluation instant."""
+
+    at_s: float
+    verdicts: List[SLOVerdict]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every objective held cumulatively."""
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def alerting(self) -> List[str]:
+        """Names of specs currently in multi-window burn alert."""
+        return [v.spec.name for v in self.verdicts if v.alerting]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the CLI's ``--json-out`` payload core)."""
+        return {
+            "at_s": self.at_s,
+            "ok": self.ok,
+            "alerting": self.alerting,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    def dump_json(self, path: str) -> None:
+        """Write :meth:`to_dict` to ``path`` (pretty-printed)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class _Snapshot:
+    """Point-in-time values of every metric the specs reference."""
+
+    __slots__ = ("at_s", "counters", "sketches")
+
+    def __init__(
+        self,
+        at_s: float,
+        counters: Dict[MetricTerm, float],
+        sketches: Dict[str, Dict[str, Any]],
+    ) -> None:
+        self.at_s = at_s
+        self.counters = counters
+        self.sketches = sketches
+
+
+def _sketch_delta(
+    cur: Dict[str, Any], old: Optional[Dict[str, Any]]
+) -> QuantileSketch:
+    """The sketch of observations between two cumulative snapshots.
+
+    DDSketch bins are plain counts, so the window's distribution is the
+    bin-wise difference -- exact, not an approximation on top of one.
+    """
+    if old is None:
+        return QuantileSketch.from_dict(cur)
+    sketch = QuantileSketch(
+        relative_accuracy=cur["relative_accuracy"],
+        max_bins=cur["max_bins"],
+        min_value=cur["min_value"],
+    )
+    old_bins = dict(old["bins"])
+    bins = {}
+    for index, count in cur["bins"]:
+        diff = count - old_bins.get(index, 0)
+        if diff > 0:
+            bins[int(index)] = int(diff)
+    sketch._bins = bins
+    sketch._zero_count = max(cur["zero_count"] - old["zero_count"], 0)
+    sketch.count = max(cur["count"] - old["count"], 0)
+    sketch.sum = max(cur["sum"] - old["sum"], 0.0)
+    if sketch.count:
+        # Window extremes are unknowable from cumulative snapshots;
+        # fall back to cumulative bounds (clamping only ever tightens).
+        sketch._min = cur["min"] if cur["min"] is not None else 0.0
+        sketch._max = cur["max"] if cur["max"] is not None else 0.0
+    return sketch
+
+
+class SLOEngine:
+    """Samples the live registry; judges specs over rolling windows.
+
+    Args:
+        specs: The objectives to track.
+        registry: Metrics source (default: the process registry).
+        windows_s: Rolling window lengths, judged alongside the
+            cumulative run.
+        burn_threshold: Multi-window alert fires when *every* rolling
+            window's burn rate exceeds this.
+        max_samples: Ring-buffer cap on retained snapshots.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SLOSpec],
+        registry: Optional[MetricsRegistry] = None,
+        windows_s: Sequence[float] = (1.0, 10.0),
+        burn_threshold: float = 1.0,
+        max_samples: int = 4096,
+    ) -> None:
+        self.specs: Tuple[SLOSpec, ...] = tuple(specs)
+        self._registry = registry if registry is not None else get_registry()
+        self.windows_s: Tuple[float, ...] = tuple(sorted(windows_s))
+        self.burn_threshold = float(burn_threshold)
+        self._max_samples = int(max_samples)
+        self._samples: List[_Snapshot] = []
+        self._terms: Tuple[MetricTerm, ...] = tuple(
+            {
+                term
+                for spec in self.specs
+                for term in (spec.bad + spec.total)
+            }
+        )
+        self._sketch_metrics: Tuple[str, ...] = tuple(
+            {
+                spec.metric
+                for spec in self.specs
+                if spec.kind == "latency_quantile"
+            }
+        )
+
+    # -- sampling -------------------------------------------------------
+    def _term_value(self, term: MetricTerm) -> float:
+        metric = self._registry.get(term.metric)
+        if not isinstance(metric, Counter):
+            return 0.0
+        total = 0.0
+        for key, state in metric.series():
+            if term.matches(metric._label_dict(key)):
+                total += float(state)  # type: ignore[arg-type]
+        return total
+
+    def _sketch_value(self, name: str) -> Optional[Dict[str, Any]]:
+        metric = self._registry.get(name)
+        if not isinstance(metric, Quantile):
+            return None
+        return metric.merged().to_dict()
+
+    def sample(self, now_s: float) -> None:
+        """Record one timestamped snapshot of every referenced metric."""
+        counters = {term: self._term_value(term) for term in self._terms}
+        sketches = {}
+        for name in self._sketch_metrics:
+            state = self._sketch_value(name)
+            if state is not None:
+                sketches[name] = state
+        self._samples.append(_Snapshot(now_s, counters, sketches))
+        if len(self._samples) > self._max_samples:
+            # Keep the first sample (cumulative anchor) and the newest.
+            self._samples = (
+                self._samples[:1]
+                + self._samples[-(self._max_samples - 1):]
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Snapshots currently retained."""
+        return len(self._samples)
+
+    # -- evaluation -----------------------------------------------------
+    def _window_anchor(
+        self, now_s: float, window_s: Optional[float]
+    ) -> Optional[_Snapshot]:
+        """The snapshot to diff against: the newest one at or before
+        the window start (``None``: diff against zero)."""
+        if window_s is None:
+            return None
+        start = now_s - window_s
+        anchor = None
+        for snap in self._samples:
+            if snap.at_s <= start:
+                anchor = snap
+            else:
+                break
+        return anchor
+
+    def _eval_window(
+        self,
+        spec: SLOSpec,
+        latest: _Snapshot,
+        anchor: Optional[_Snapshot],
+        window_s: Optional[float],
+    ) -> WindowVerdict:
+        if spec.kind == "latency_quantile":
+            cur = latest.sketches.get(spec.metric)
+            if cur is None:
+                return WindowVerdict(window_s, None, None, 0, True)
+            old = anchor.sketches.get(spec.metric) if anchor else None
+            sketch = _sketch_delta(cur, old)
+            if sketch.count == 0:
+                return WindowVerdict(window_s, None, None, 0, True)
+            value = sketch.quantile(spec.quantile)
+            burn = (
+                value / spec.objective if spec.objective > 0
+                else float("inf")
+            )
+            return WindowVerdict(
+                window_s, value, burn, sketch.count,
+                ok=value is not None and value <= spec.objective,
+            )
+        # ratio
+        def _delta(term: MetricTerm) -> float:
+            cur = latest.counters.get(term, 0.0)
+            old = anchor.counters.get(term, 0.0) if anchor else 0.0
+            return max(cur - old, 0.0)
+
+        bad = sum(_delta(t) for t in spec.bad)
+        total = sum(_delta(t) for t in spec.total)
+        if total <= 0:
+            return WindowVerdict(window_s, None, None, 0, True)
+        fraction = bad / total
+        if spec.objective > 0:
+            burn = fraction / spec.objective
+        else:
+            burn = float("inf") if bad > 0 else 0.0
+        return WindowVerdict(
+            window_s, fraction, burn, int(total),
+            ok=fraction <= spec.objective,
+        )
+
+    def evaluate(self, now_s: Optional[float] = None) -> SLOReport:
+        """Judge every spec at ``now_s`` (default: newest sample time).
+
+        Sample at least once first; evaluation reads snapshots, never
+        the registry directly.
+        """
+        if not self._samples:
+            raise RuntimeError("SLOEngine.evaluate() before any sample()")
+        latest = self._samples[-1]
+        at_s = latest.at_s if now_s is None else float(now_s)
+        verdicts = []
+        for spec in self.specs:
+            windows: List[WindowVerdict] = []
+            for window_s in self.windows_s:
+                anchor = self._window_anchor(at_s, window_s)
+                windows.append(
+                    self._eval_window(spec, latest, anchor, window_s)
+                )
+            cumulative = self._eval_window(spec, latest, None, None)
+            rolling = list(windows)
+            windows.append(cumulative)
+            alerting = bool(rolling) and all(
+                w.burn is not None and w.burn > self.burn_threshold
+                for w in rolling
+            )
+            verdicts.append(
+                SLOVerdict(
+                    spec=spec,
+                    windows=windows,
+                    ok=cumulative.ok,
+                    alerting=alerting,
+                )
+            )
+        return SLOReport(at_s=at_s, verdicts=verdicts)
+
+
+def default_serving_slos(
+    latency_p50_s: float = 0.005,
+    latency_p99_s: float = 0.05,
+    max_shed_fraction: float = 0.25,
+    max_error_fraction: float = 0.05,
+) -> List[SLOSpec]:
+    """The stock objectives for the coalescing front end.
+
+    Bounds the frontend latency sketch at p50/p99, the shed fraction
+    (all reasons, over everything admitted or shed), the failed-answer
+    fraction (deadline/unavailable/error outcomes), and -- when the
+    load generator's answer-audit counters are live -- zero unflagged
+    wrong answers (the honesty budget is literally zero).
+    """
+    answered = (MetricTerm("frontend_requests_total"),)
+    shed = (MetricTerm("frontend_sheds_total"),)
+    return [
+        SLOSpec(
+            name="latency_p50",
+            kind="latency_quantile",
+            metric="frontend_latency_seconds",
+            quantile=0.50,
+            objective=latency_p50_s,
+            description="median request latency (submit to fulfill)",
+        ),
+        SLOSpec(
+            name="latency_p99",
+            kind="latency_quantile",
+            metric="frontend_latency_seconds",
+            quantile=0.99,
+            objective=latency_p99_s,
+            description="tail request latency (submit to fulfill)",
+        ),
+        SLOSpec(
+            name="shed_rate",
+            kind="ratio",
+            objective=max_shed_fraction,
+            bad=shed,
+            total=answered + shed,
+            description="fraction of intake shed (quota/queue/deadline)",
+        ),
+        SLOSpec(
+            name="error_rate",
+            kind="ratio",
+            objective=max_error_fraction,
+            bad=(
+                MetricTerm(
+                    "frontend_requests_total",
+                    labels={
+                        "outcome": ("deadline", "unavailable", "error")
+                    },
+                ),
+            ),
+            total=answered,
+            description="fraction of answered requests that failed",
+        ),
+        SLOSpec(
+            name="honesty",
+            kind="ratio",
+            objective=0.0,
+            bad=(
+                MetricTerm(
+                    "loadtest_answers_total",
+                    labels={"verdict": ("wrong_unflagged",)},
+                ),
+            ),
+            total=(MetricTerm("loadtest_answers_total"),),
+            description="unflagged wrong answers (budget: zero)",
+        ),
+    ]
+
+
+def format_slo_report(report: SLOReport) -> str:
+    """Render a report as the CLI's fixed-width verdict table."""
+    lines = [
+        f"SLO report @ t={report.at_s:.3f}s  "
+        f"({'OK' if report.ok else 'VIOLATED'})",
+        "",
+        f"{'spec':<14} {'kind':<16} {'objective':>10} "
+        f"{'value':>10} {'burn':>8} {'events':>8} {'verdict':>9}",
+        "-" * 80,
+    ]
+    for verdict in report.verdicts:
+        spec = verdict.spec
+        cum = verdict.cumulative
+        value = "-" if cum.value is None else f"{cum.value:.6g}"
+        burn = "-" if cum.burn is None else f"{cum.burn:.3g}"
+        status = "ok" if verdict.ok else "VIOLATED"
+        if verdict.alerting:
+            status += "!"
+        lines.append(
+            f"{spec.name:<14} {spec.kind:<16} {spec.objective:>10.6g} "
+            f"{value:>10} {burn:>8} {cum.events:>8} {status:>9}"
+        )
+    if report.alerting:
+        lines.append("")
+        lines.append(
+            "multi-window burn alerts: " + ", ".join(report.alerting)
+        )
+    return "\n".join(lines)

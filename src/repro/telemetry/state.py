@@ -25,12 +25,21 @@ _TRUTHY = ("1", "true", "yes", "on")
 
 
 class TelemetryState:
-    """Mutable on/off holder; one instance (:data:`STATE`) per process."""
+    """Mutable on/off holder; one instance (:data:`STATE`) per process.
 
-    __slots__ = ("enabled",)
+    ``enabled`` is the master switch.  ``tracing`` sub-gates the span
+    pillar only: with ``enabled=True, tracing=False`` the stack runs in
+    *metrics-only* mode (counters/histograms/probes record, spans are
+    no-ops).  The disabled fast path is unchanged -- hot paths still
+    check ``enabled`` first, so the sub-flag costs nothing when the
+    master switch is off.
+    """
 
-    def __init__(self, enabled: bool = False) -> None:
+    __slots__ = ("enabled", "tracing")
+
+    def __init__(self, enabled: bool = False, tracing: bool = True) -> None:
         self.enabled = enabled
+        self.tracing = tracing
 
 
 #: The process-wide switch.  ``REPRO_TELEMETRY=1`` enables it at import
@@ -48,6 +57,26 @@ def enable() -> None:
 def disable() -> None:
     """Turn telemetry off (the default): hot paths skip instrumentation."""
     STATE.enabled = False
+    STATE.tracing = True
+
+
+def set_tracing(on: bool) -> None:
+    """Sub-gate the span pillar: ``False`` puts telemetry in
+    metrics-only mode (metrics and probes keep recording, ``span()``
+    becomes a no-op).  Has no effect while telemetry is disabled."""
+    STATE.tracing = bool(on)
+
+
+@contextmanager
+def tracing_scope(on: bool = True) -> Iterator[None]:
+    """Temporarily force the span sub-gate on (or off); restores on
+    exit.  Combine with :func:`enabled_scope` for metrics-only runs."""
+    previous = STATE.tracing
+    STATE.tracing = on
+    try:
+        yield
+    finally:
+        STATE.tracing = previous
 
 
 def is_enabled() -> bool:

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from contextlib import contextmanager
 
+from repro.telemetry.request import current_request
 from repro.telemetry.state import STATE
 
 
@@ -50,11 +51,16 @@ class Span:
         thread_name: Name of the opening thread.
         children: Child spans, in entry order.
         error: Exception repr when the scope exited by raising.
+        flows_out: Flow keys (request ids) departing this span; the
+            Chrome export draws an arrow from here to every span that
+            lists the same key in ``flows_in``.
+        flows_in: Flow keys (request ids) arriving at this span.
     """
 
     __slots__ = (
         "name", "attrs", "start_wall_s", "start_perf_s", "duration_s",
         "thread_id", "thread_name", "children", "error",
+        "flows_out", "flows_in",
     )
 
     def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
@@ -67,10 +73,22 @@ class Span:
         self.thread_name = threading.current_thread().name
         self.children: List[Span] = []
         self.error: Optional[str] = None
+        self.flows_out: List[str] = []
+        self.flows_in: List[str] = []
 
     def set_attr(self, key: str, value: Any) -> None:
         """Attach (or overwrite) one structured attribute."""
         self.attrs[key] = value
+
+    def add_flow_out(self, key: str) -> None:
+        """Declare a flow edge leaving this span (e.g. a request id
+        handed to another thread)."""
+        self.flows_out.append(key)
+
+    def add_flow_in(self, key: str) -> None:
+        """Declare a flow edge arriving at this span (the matching
+        ``add_flow_out`` key on the producing thread)."""
+        self.flows_in.append(key)
 
     def walk(self) -> Iterator["Span"]:
         """This span, then every descendant (depth-first)."""
@@ -121,9 +139,22 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
-        """Open a nested span; closes (and times) on scope exit."""
+        """Open a nested span; closes (and times) on scope exit.
+
+        When a request context is active
+        (:func:`repro.telemetry.request.request_scope`), the span is
+        auto-tagged with its ``request_id``/``tenant`` and any baggage
+        (prefixed ``bg.``); explicit ``attrs`` win over the context.
+        """
         stack = self._stack()
         node = Span(name, attrs)
+        ctx = current_request()
+        if ctx is not None:
+            attrs.setdefault("request_id", ctx.request_id)
+            if ctx.tenant:
+                attrs.setdefault("tenant", ctx.tenant)
+            for key, value in ctx.baggage.items():
+                attrs.setdefault(f"bg.{key}", value)
         if stack:
             stack[-1].children.append(node)
         else:
@@ -161,7 +192,12 @@ class Tracer:
         Every span becomes one complete event (``ph: "X"``) with
         microsecond ``ts``/``dur`` relative to the tracer epoch; nesting
         is implied by timestamp containment per ``tid``, which is how
-        the Chrome/Perfetto viewers reconstruct the tree.
+        the Chrome/Perfetto viewers reconstruct the tree.  Each ``tid``
+        gets a ``thread_name`` metadata event, and spans that declared
+        flow edges (:meth:`Span.add_flow_out` /
+        :meth:`Span.add_flow_in`) emit paired flow events (``ph: "s"``
+        / ``ph: "f"``) so a request handed between threads renders as
+        an arrow across tracks.
         """
         pid = os.getpid()
         events: List[Dict[str, Any]] = [
@@ -173,23 +209,70 @@ class Tracer:
                 "args": {"name": "repro"},
             }
         ]
+        thread_names: Dict[int, str] = {}
+        flow_ids: Dict[str, int] = {}
+
+        def _flow_id(key: str) -> int:
+            return flow_ids.setdefault(key, len(flow_ids) + 1)
+
+        span_events: List[Dict[str, Any]] = []
+        flow_events: List[Dict[str, Any]] = []
         for root in self.roots():
             for node in root.walk():
+                thread_names.setdefault(node.thread_id, node.thread_name)
                 args = {k: _jsonable(v) for k, v in node.attrs.items()}
                 if node.error is not None:
                     args["error"] = node.error
-                events.append(
+                ts = (node.start_perf_s - self._epoch_perf_s) * 1e6
+                span_events.append(
                     {
                         "name": node.name,
                         "cat": "repro",
                         "ph": "X",
-                        "ts": (node.start_perf_s - self._epoch_perf_s) * 1e6,
+                        "ts": ts,
                         "dur": (node.duration_s or 0.0) * 1e6,
                         "pid": pid,
                         "tid": node.thread_id,
                         "args": args,
                     }
                 )
+                for key in node.flows_out:
+                    flow_events.append(
+                        {
+                            "name": key,
+                            "cat": "repro.flow",
+                            "ph": "s",
+                            "id": _flow_id(key),
+                            "ts": ts,
+                            "pid": pid,
+                            "tid": node.thread_id,
+                        }
+                    )
+                for key in node.flows_in:
+                    flow_events.append(
+                        {
+                            "name": key,
+                            "cat": "repro.flow",
+                            "ph": "f",
+                            "bp": "e",
+                            "id": _flow_id(key),
+                            "ts": ts + 0.001,
+                            "pid": pid,
+                            "tid": node.thread_id,
+                        }
+                    )
+        for tid, tname in sorted(thread_names.items()):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": tname},
+                }
+            )
+        events.extend(span_events)
+        events.extend(flow_events)
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
@@ -220,6 +303,12 @@ class _NoopSpan:
     def set_attr(self, key: str, value: Any) -> None:
         pass
 
+    def add_flow_out(self, key: str) -> None:
+        pass
+
+    def add_flow_in(self, key: str) -> None:
+        pass
+
 
 _NOOP = _NoopSpan()
 
@@ -236,9 +325,10 @@ def span(name: str, **attrs: Any):
     """A nested timing scope on the default tracer.
 
     When telemetry is disabled (the default) this returns a shared
-    no-op context manager without touching the tracer.
+    no-op context manager without touching the tracer; likewise in
+    metrics-only mode (``STATE.tracing`` off).
     """
-    if not STATE.enabled:
+    if not (STATE.enabled and STATE.tracing):
         return _NOOP
     return TRACER.span(name, **attrs)
 
@@ -253,7 +343,7 @@ def traced(name: str) -> Callable:
     def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
-            if not STATE.enabled:
+            if not (STATE.enabled and STATE.tracing):
                 return fn(*args, **kwargs)
             with TRACER.span(name):
                 return fn(*args, **kwargs)

@@ -1,0 +1,163 @@
+"""Load generator x telemetry: sketches, SLO verdicts, tail retention."""
+
+from repro import telemetry
+from repro.service import LoadConfig, run_load
+from repro.service import chaos as chaos_mod
+from repro.service.chaos import run_chaos_suite
+from repro.telemetry import FlightRecorder, SLOEngine, default_serving_slos
+
+
+def calm_config(**overrides):
+    base = dict(
+        duration_s=0.05,
+        rate_per_s=1200.0,
+        deadline_s=0.040,
+        n_tenants=2,
+        n_rows=8,
+        pool_size=8,
+        seed=5,
+    )
+    base.update(overrides)
+    return LoadConfig(**base)
+
+
+def missing_config():
+    """Overload shaped to produce real post-admission deadline misses:
+    a queue deep enough to admit far more than the deadline can absorb,
+    so admitted requests expire while queued or mid-dispatch."""
+    return LoadConfig(
+        duration_s=0.08,
+        rate_per_s=4000.0,
+        deadline_s=0.008,
+        max_queue_depth=256,
+        n_tenants=2,
+        n_rows=8,
+        pool_size=8,
+        seed=5,
+    )
+
+
+class TestSketchReporting:
+    def test_sketch_p99_within_stated_bound_of_rank_exact(self):
+        report = run_load(calm_config())
+        assert report.goodput > 50
+        assert report.sketch_relative_accuracy == 0.01
+        err = (
+            abs(report.sketch_p99_s - report.p99_rank_s)
+            / report.p99_rank_s
+        )
+        assert err <= report.sketch_relative_accuracy
+
+    def test_sketch_estimates_are_ordered(self):
+        report = run_load(calm_config())
+        assert (
+            report.sketch_p50_s
+            <= report.sketch_p95_s
+            <= report.sketch_p99_s
+        )
+
+    def test_rank_exact_p99_at_most_interpolated(self):
+        # The order statistic floor(q*(n-1)) never exceeds numpy's
+        # linearly interpolated percentile of the same sample.
+        report = run_load(calm_config())
+        assert report.p99_rank_s <= report.p99_s
+
+    def test_sketch_lands_in_the_json_artifact(self):
+        payload = run_load(calm_config()).to_dict()
+        sketch = payload["latency"]["sketch"]
+        assert sketch["relative_accuracy"] == 0.01
+        assert sketch["p99_s"] > 0
+        assert payload["latency"]["p99_rank_s"] > 0
+
+
+class TestDeadlineMissRetention:
+    def test_every_deadline_miss_is_retained_with_spans(self):
+        telemetry.enable()
+        config = missing_config()
+        recorder = FlightRecorder(
+            capacity=4096, slow_threshold_s=config.deadline_s
+        )
+        report = run_load(config, flight_recorder=recorder)
+        # The scenario must actually produce post-admission misses --
+        # a run where everything sheds at the door proves nothing.
+        assert report.deadline_misses > 0
+        assert len(report.tail_request_ids) > 0
+        retained = set(recorder.request_ids())
+        missing = [
+            rid for rid in report.tail_request_ids
+            if rid not in retained
+        ]
+        assert not missing, f"tail sampler lost {missing}"
+        # Retained tail flights carry their span trees (tracing on).
+        by_id = {r.request_id: r for r in recorder.records()}
+        for rid in report.tail_request_ids:
+            assert by_id[rid].spans, f"{rid}: no spans retained"
+
+    def test_tail_ids_need_telemetry(self):
+        # Ids are minted at admission only when telemetry is on; an
+        # untraced run reports no tail ids (and misses still count).
+        report = run_load(missing_config())
+        assert report.deadline_misses > 0
+        assert report.tail_request_ids == ()
+
+
+class TestSLOIntegration:
+    def test_calm_run_meets_the_default_objectives(self):
+        telemetry.enable()
+        engine = SLOEngine(
+            default_serving_slos(
+                latency_p50_s=0.050, latency_p99_s=0.100
+            ),
+            windows_s=(0.0125, 0.05),
+        )
+        run_load(calm_config(), slo_engine=engine)
+        assert engine.n_samples > 2
+        report = engine.evaluate()
+        assert report.ok
+        by_name = {v.spec.name: v for v in report.verdicts}
+        assert set(by_name) == {
+            "latency_p50", "latency_p99", "shed_rate",
+            "error_rate", "honesty",
+        }
+        # The honesty objective judged real audited answers.
+        assert by_name["honesty"].cumulative.events > 0
+        assert by_name["latency_p99"].cumulative.events > 0
+        assert by_name["shed_rate"].cumulative.value == 0.0
+
+    def test_impossible_latency_target_is_violated(self):
+        telemetry.enable()
+        engine = SLOEngine(
+            default_serving_slos(latency_p99_s=1e-7),
+            windows_s=(0.05,),
+        )
+        run_load(calm_config(), slo_engine=engine)
+        report = engine.evaluate()
+        assert not report.ok
+        by_name = {v.spec.name: v for v in report.verdicts}
+        assert not by_name["latency_p99"].ok
+        assert by_name["latency_p99"].cumulative.burn > 1.0
+
+    def test_engine_without_telemetry_sees_no_events(self):
+        # Metrics are gated on the switch: an untraced run leaves the
+        # registry silent and every window trivially ok.
+        engine = SLOEngine(default_serving_slos(), windows_s=(0.05,))
+        run_load(calm_config(), slo_engine=engine)
+        report = engine.evaluate()
+        assert report.ok
+        assert all(
+            v.cumulative.events == 0 for v in report.verdicts
+        )
+
+
+class TestChaosOverloadRetention:
+    def test_overload_burst_retains_every_deadline_miss(self):
+        suite = run_chaos_suite(
+            quick=True, seed=7, scenarios=["overload_burst"]
+        )
+        (scenario,) = suite.scenarios
+        assert scenario.passed
+        assert "misses: True" in scenario.notes
+        recorder = chaos_mod.last_flight_recorder
+        assert recorder is not None
+        assert recorder.kept > 0
+        assert len(recorder) == len(recorder.request_ids())

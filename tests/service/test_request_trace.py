@@ -1,0 +1,187 @@
+"""End-to-end request tracing through the serving stack.
+
+The acceptance bar for the tracing layer: one submitted request must be
+followable by its id from the frontend submit span, across the
+coalesced batch dispatch, through the service and resilience layers,
+down to the array sense spans -- and the Chrome-trace export must link
+the submit-to-dispatch hop with flow arrows.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.service import CoalescePolicy, CoalescingFrontend
+from repro.telemetry import FlightRecorder
+
+from tests.service.conftest import make_service
+
+
+@pytest.fixture
+def queries(config):
+    return np.random.default_rng(11).integers(
+        0, config.levels, size=(8, config.n_stages)
+    )
+
+
+def make_frontend(service, clock, **kwargs):
+    return CoalescingFrontend(
+        service,
+        policy=CoalescePolicy(window_s=0.01, max_batch=8),
+        clock=clock.now,
+        auto_dispatch=False,
+        **kwargs,
+    )
+
+
+def roots_named(name):
+    return [
+        r for r in telemetry.get_tracer().roots() if r.name == name
+    ]
+
+
+class TestRequestIdPropagation:
+    def test_submit_spans_carry_sequential_ids(
+        self, service, clock, queries
+    ):
+        telemetry.enable()
+        frontend = make_frontend(service, clock)
+        for i in range(3):
+            frontend.submit(queries[i], deadline_s=1.0, tenant="acme")
+        submits = roots_named("frontend.submit")
+        assert [s.attrs["request_id"] for s in submits] == [
+            "req-000001", "req-000002", "req-000003",
+        ]
+        assert all(s.attrs["tenant"] == "acme" for s in submits)
+        # Each submit opened a flow edge for its own id.
+        assert [s.flows_out for s in submits] == [
+            ["req-000001"], ["req-000002"], ["req-000003"],
+        ]
+
+    def test_batch_dispatch_names_every_member(
+        self, service, clock, queries
+    ):
+        telemetry.enable()
+        frontend = make_frontend(service, clock)
+        futures = [
+            frontend.submit(queries[i], deadline_s=1.0) for i in range(3)
+        ]
+        clock.advance(0.02)
+        frontend.pump()
+        assert all(f.done() for f in futures)
+        (dispatch,) = roots_named("frontend.dispatch")
+        member_ids = ["req-000001", "req-000002", "req-000003"]
+        # The batch minted its own identity, carrying the members.
+        assert dispatch.attrs["request_id"].startswith("batch-")
+        assert dispatch.attrs["request_ids"] == member_ids
+        assert dispatch.attrs["bg.request_ids"] == member_ids
+        assert dispatch.flows_in == member_ids
+
+    def test_lone_request_keeps_its_identity_through_dispatch(
+        self, service, clock, queries
+    ):
+        telemetry.enable()
+        frontend = make_frontend(service, clock)
+        frontend.submit(queries[0], deadline_s=1.0)
+        clock.advance(0.02)
+        frontend.pump()
+        (dispatch,) = roots_named("frontend.dispatch")
+        # Single-member batch: no batch id minted, the request's own
+        # id tags the entire downstream subtree.
+        assert dispatch.attrs["request_id"] == "req-000001"
+
+    def test_id_reaches_the_array_sense_spans(
+        self, service, clock, queries
+    ):
+        telemetry.enable()
+        frontend = make_frontend(service, clock)
+        frontend.submit(queries[0], deadline_s=1.0)
+        clock.advance(0.02)
+        frontend.pump()
+        (dispatch,) = roots_named("frontend.dispatch")
+        names = [node.name for node in dispatch.walk()]
+        # The whole serving path nests under the dispatch span...
+        assert "service.serve" in names
+        assert "resilience.search_batch" in names
+        assert "array.sense" in names
+        # ...and every span of the subtree carries the request id.
+        for node in dispatch.walk():
+            assert node.attrs["request_id"] == "req-000001", node.name
+
+    def test_future_exposes_its_request_id(self, service, clock, queries):
+        telemetry.enable()
+        frontend = make_frontend(service, clock)
+        future = frontend.submit(queries[0], deadline_s=1.0)
+        assert future.request_id == "req-000001"
+
+    def test_ids_not_minted_when_telemetry_off(
+        self, service, clock, queries
+    ):
+        frontend = make_frontend(service, clock)
+        future = frontend.submit(queries[0], deadline_s=1.0)
+        assert future.request_id is None
+        assert telemetry.get_tracer().roots() == ()
+
+
+class TestChromeTraceFlows:
+    def test_flow_events_link_submit_to_dispatch(
+        self, service, clock, queries
+    ):
+        telemetry.enable()
+        frontend = make_frontend(service, clock)
+        for i in range(3):
+            frontend.submit(queries[i], deadline_s=1.0)
+        clock.advance(0.02)
+        frontend.pump()
+        trace = telemetry.get_tracer().to_chrome_trace()
+        events = trace["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert {e["name"] for e in starts} == {
+            "req-000001", "req-000002", "req-000003",
+        }
+        # Every flow start has a matching finish under the same id.
+        assert sorted(e["id"] for e in starts) == sorted(
+            e["id"] for e in finishes
+        )
+        # Complete events cover the whole serving path.
+        span_names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"frontend.submit", "frontend.dispatch",
+                "service.serve", "array.sense"} <= span_names
+        # Thread metadata names every tid that emitted spans.
+        named_tids = {
+            e["tid"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert {
+            e["tid"] for e in events if e["ph"] == "X"
+        } <= named_tids
+
+
+class TestFlightRecorderWiring:
+    def test_queue_deadline_shed_is_retained_with_its_spans(
+        self, service, clock, queries
+    ):
+        telemetry.enable()
+        recorder = FlightRecorder(capacity=16)
+        frontend = make_frontend(service, clock, flight_recorder=recorder)
+        future = frontend.submit(queries[0], deadline_s=0.005)
+        # The deadline expires while the request sits in the window.
+        clock.advance(0.02)
+        frontend.pump()
+        assert future.done()
+        assert recorder.request_ids() == ["req-000001"]
+        (record,) = recorder.records()
+        assert record.outcome == "shed"
+        assert record.annotations["reason"] == "queue_deadline"
+        assert [s.name for s in record.spans] == ["frontend.submit"]
+
+    def test_goodput_is_not_retained(self, service, clock, queries):
+        telemetry.enable()
+        recorder = FlightRecorder(capacity=16)
+        frontend = make_frontend(service, clock, flight_recorder=recorder)
+        frontend.submit(queries[0], deadline_s=1.0)
+        clock.advance(0.02)
+        frontend.pump()
+        assert recorder.offered == 1
+        assert len(recorder) == 0

@@ -1,0 +1,149 @@
+"""Flight recorder: retention rules, ring bound, serialization."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import FlightRecorder
+
+
+class TestRetentionRules:
+    def test_bad_outcomes_always_kept(self):
+        recorder = FlightRecorder()
+        for outcome in ("deadline", "unavailable", "error", "shed"):
+            assert recorder.should_keep(outcome, latency_s=0.0) == "outcome"
+
+    def test_fast_goodput_dropped(self):
+        recorder = FlightRecorder(slow_threshold_s=0.050)
+        assert recorder.should_keep("ok", latency_s=0.001) is None
+
+    def test_slow_goodput_kept(self):
+        recorder = FlightRecorder(slow_threshold_s=0.050)
+        assert recorder.should_keep("ok", latency_s=0.050) == "slow"
+
+    def test_no_threshold_never_keeps_on_latency(self):
+        recorder = FlightRecorder(slow_threshold_s=None)
+        assert recorder.should_keep("ok", latency_s=100.0) is None
+
+    def test_keep_outcomes_configurable(self):
+        recorder = FlightRecorder(keep_outcomes=("degraded",))
+        assert recorder.should_keep("degraded", None) == "outcome"
+        assert recorder.should_keep("deadline", None) is None
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+
+class TestOffer:
+    def offer(self, recorder, i, outcome="deadline", latency=None):
+        return recorder.offer(
+            request_id=f"req-{i:06d}",
+            tenant="t0",
+            outcome=outcome,
+            latency_s=latency,
+            completed_at=float(i),
+        )
+
+    def test_offer_returns_retention(self):
+        recorder = FlightRecorder(slow_threshold_s=0.05)
+        assert self.offer(recorder, 1, outcome="deadline")
+        assert not self.offer(recorder, 2, outcome="ok", latency=0.001)
+        assert self.offer(recorder, 3, outcome="ok", latency=0.2)
+        assert recorder.offered == 3
+        assert recorder.kept == 2
+        assert recorder.request_ids() == ["req-000001", "req-000003"]
+
+    def test_ring_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(1, 11):
+            self.offer(recorder, i)
+        assert len(recorder) == 4
+        assert recorder.request_ids() == [
+            "req-000007", "req-000008", "req-000009", "req-000010",
+        ]
+        # Counters record history, not just the survivors.
+        assert recorder.offered == 10
+        assert recorder.kept == 10
+
+    def test_none_spans_filtered(self):
+        recorder = FlightRecorder()
+        recorder.offer(
+            request_id="req-000001", tenant="", outcome="error",
+            latency_s=None, completed_at=0.0, spans=(None, None),
+        )
+        (record,) = recorder.records()
+        assert record.spans == ()
+
+    def test_clear_keeps_counters(self):
+        recorder = FlightRecorder()
+        self.offer(recorder, 1)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.offered == 1
+        assert recorder.kept == 1
+
+    def test_annotations_ride_along(self):
+        recorder = FlightRecorder()
+        recorder.offer(
+            request_id="req-000001", tenant="t0", outcome="shed",
+            latency_s=None, completed_at=0.0, reason_detail="queue_full",
+        )
+        (record,) = recorder.records()
+        assert record.annotations == {"reason_detail": "queue_full"}
+
+
+class TestSerialization:
+    def test_span_trees_serialize_inline(self):
+        telemetry.enable()
+        tracer = telemetry.get_tracer()
+        with tracer.span("frontend.submit", kind="search") as root:
+            with tracer.span("frontend.enqueue"):
+                pass
+        recorder = FlightRecorder()
+        recorder.offer(
+            request_id="req-000001", tenant="t0", outcome="deadline",
+            latency_s=0.06, completed_at=1.0, spans=(root,),
+        )
+        payload = recorder.to_dict()
+        assert payload["retained"] == 1
+        (flight,) = payload["flights"]
+        (tree,) = flight["spans"]
+        assert tree["name"] == "frontend.submit"
+        assert tree["attrs"]["kind"] == "search"
+        assert [c["name"] for c in tree["children"]] == [
+            "frontend.enqueue"
+        ]
+        assert tree["duration_s"] is not None
+
+    def test_non_scalar_attrs_become_reprs(self):
+        telemetry.enable()
+        tracer = telemetry.get_tracer()
+        with tracer.span("unit.work", shape=(4, 16)) as root:
+            pass
+        recorder = FlightRecorder()
+        recorder.offer(
+            request_id="req-000001", tenant="", outcome="error",
+            latency_s=None, completed_at=0.0, spans=(root,),
+        )
+        payload = recorder.to_dict()
+        attrs = payload["flights"][0]["spans"][0]["attrs"]
+        # Tuples aren't JSON scalars; they serialize as their repr.
+        assert attrs["shape"] == repr((4, 16))
+        json.dumps(payload)  # and the whole payload is JSON-clean
+
+    def test_dump_json_round_trips(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, slow_threshold_s=0.05)
+        recorder.offer(
+            request_id="req-000001", tenant="t0", outcome="deadline",
+            latency_s=0.08, completed_at=1.0,
+        )
+        path = tmp_path / "flights.json"
+        recorder.dump_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["capacity"] == 8
+        assert payload["offered"] == 1
+        assert payload["kept"] == 1
+        assert payload["flights"][0]["request_id"] == "req-000001"
+        assert payload["flights"][0]["reason"] == "outcome"

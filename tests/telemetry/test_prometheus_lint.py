@@ -1,0 +1,229 @@
+"""Prometheus exposition lint: format 0.0.4 invariants, enforced.
+
+A scrape endpoint that almost follows the text format fails silently:
+Prometheus drops the series it cannot parse and dashboards just go
+blank.  This lint parses :meth:`MetricsRegistry.to_prometheus` output
+with an independent mini-parser (escape-aware, not a regex over the
+happy path) and enforces the invariants scrapers rely on:
+
+- every histogram series exposes a ``le="+Inf"`` bucket whose
+  cumulative count equals ``_count`` (even with NaN observations);
+- bucket counts are non-decreasing in ``le``;
+- ``_sum``/``_count`` agree with the recorded observations;
+- label values round-trip through escaping (``\\``, ``"``, newline);
+- exactly one ``# TYPE`` per metric, emitted before its samples;
+- summaries expose their ``quantile`` series plus ``_sum``/``_count``.
+"""
+
+import math
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MetricsRegistry
+
+
+def unescape(value):
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            else:
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_sample(line):
+    """One exposition line -> (metric, labels dict, value)."""
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        body, tail = rest.rsplit("}", 1)
+        labels = {}
+        i = 0
+        while i < len(body):
+            eq = body.index("=", i)
+            key = body[i:eq]
+            assert body[eq + 1] == '"', line
+            j = eq + 2
+            raw = []
+            while body[j] != '"':
+                if body[j] == "\\":
+                    raw.append(body[j:j + 2])
+                    j += 2
+                else:
+                    raw.append(body[j])
+                    j += 1
+            labels[key] = unescape("".join(raw))
+            i = j + 1
+            if i < len(body) and body[i] == ",":
+                i += 1
+        value = tail.strip()
+    else:
+        name, value = line.split(None, 1)
+        labels = {}
+    return name, labels, float(value.replace("+Inf", "inf"))
+
+
+def parse_exposition(text):
+    """Exposition text -> (samples, types) with format-level checks."""
+    samples = []
+    types = {}
+    seen_samples = set()
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert name not in types, f"duplicate TYPE for {name}"
+            assert name not in {
+                s for s, _, _ in seen_samples
+            }, f"TYPE after samples for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        name, labels, value = parse_sample(line)
+        samples.append((name, labels, value))
+        seen_samples.add((name, tuple(sorted(labels.items())), value))
+    return samples, types
+
+
+def series_of(samples, name):
+    return [(labels, v) for n, labels, v in samples if n == name]
+
+
+def lint_histograms(samples, types):
+    """Enforce the bucket invariants for every exposed histogram."""
+    for metric, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = {}
+        for labels, value in series_of(samples, metric + "_bucket"):
+            key = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            buckets.setdefault(key, []).append((labels["le"], value))
+        counts = {
+            tuple(sorted(labels.items())): value
+            for labels, value in series_of(samples, metric + "_count")
+        }
+        if not buckets:
+            # Registered but never observed: a TYPE line with zero
+            # series is legal; it must just not expose counts either.
+            assert not counts, f"{metric}: _count without buckets"
+            continue
+        for key, series in buckets.items():
+            les = [le for le, _ in series]
+            assert les[-1] == "+Inf", f"{metric}{key}: no +Inf bucket"
+            values = [v for _, v in series]
+            assert values == sorted(values), (
+                f"{metric}{key}: buckets not cumulative"
+            )
+            assert values[-1] == counts[key], (
+                f"{metric}{key}: +Inf bucket != _count"
+            )
+
+
+class TestSyntheticRegistry:
+    @pytest.fixture
+    def registry(self):
+        return MetricsRegistry()
+
+    def test_plus_inf_bucket_equals_count_with_nan(self, registry):
+        hist = registry.histogram(
+            "lat_seconds", "latency", buckets=(0.001, 0.01)
+        )
+        for v in (0.0005, 0.005, 5.0, float("nan")):
+            hist.observe(v)
+        samples, types = parse_exposition(registry.to_prometheus())
+        lint_histograms(samples, types)
+        (_, count) = series_of(samples, "lat_seconds_count")[0]
+        assert count == 4  # the NaN observation still counts
+
+    def test_sum_and_count_agree_with_observations(self, registry):
+        hist = registry.histogram("h_seconds", buckets=(1.0,))
+        for v in (0.25, 0.5, 2.0):
+            hist.observe(v)
+        samples, _ = parse_exposition(registry.to_prometheus())
+        assert series_of(samples, "h_seconds_sum")[0][1] == 2.75
+        assert series_of(samples, "h_seconds_count")[0][1] == 3
+
+    def test_label_escaping_round_trips(self, registry):
+        counter = registry.counter("events_total", labels=("path",))
+        nasty = 'a\\b"c\nd'
+        counter.inc(path=nasty)
+        samples, _ = parse_exposition(registry.to_prometheus())
+        (labels, value) = series_of(samples, "events_total")[0]
+        assert labels["path"] == nasty
+        assert value == 1
+
+    def test_help_newlines_and_backslashes_escaped(self, registry):
+        registry.counter("c_total", help='line one\nwith \\ slash')
+        text = registry.to_prometheus()
+        (help_line,) = [
+            ln for ln in text.splitlines() if ln.startswith("# HELP")
+        ]
+        # The help text stays on one physical line, escapes intact.
+        assert help_line == r"# HELP c_total line one\nwith \\ slash"
+
+    def test_summary_exposes_quantiles_sum_count(self, registry):
+        q = registry.quantile("rt_seconds", labels=("op",))
+        for _ in range(50):
+            q.observe(0.002, op="search")
+        samples, types = parse_exposition(registry.to_prometheus())
+        assert types["rt_seconds"] == "summary"
+        quantiles = {
+            labels["quantile"]
+            for labels, _ in series_of(samples, "rt_seconds")
+        }
+        assert quantiles == {"0.5", "0.9", "0.95", "0.99"}
+        for labels, _ in series_of(samples, "rt_seconds"):
+            assert labels["op"] == "search"
+        assert series_of(samples, "rt_seconds_count")[0][1] == 50
+        assert series_of(samples, "rt_seconds_sum")[0][1] == (
+            pytest.approx(0.1)
+        )
+
+    def test_every_metric_kind_parses(self, registry):
+        registry.counter("a_total").inc()
+        registry.gauge("b_depth").set(-3.5)
+        registry.histogram("c_seconds").observe(0.1)
+        registry.quantile("d_seconds").observe(0.1)
+        samples, types = parse_exposition(registry.to_prometheus())
+        assert types == {
+            "a_total": "counter",
+            "b_depth": "gauge",
+            "c_seconds": "histogram",
+            "d_seconds": "summary",
+        }
+        assert series_of(samples, "b_depth")[0][1] == -3.5
+
+
+class TestLiveRegistry:
+    def test_serving_metrics_pass_the_lint(self):
+        """The real stack's exposition obeys every invariant too."""
+        from repro.service import LoadConfig, run_load
+
+        telemetry.enable()
+        run_load(LoadConfig(
+            duration_s=0.05, rate_per_s=1200.0, n_tenants=2,
+            n_rows=8, pool_size=8, seed=5,
+        ))
+        text = telemetry.get_registry().to_prometheus()
+        samples, types = parse_exposition(text)
+        lint_histograms(samples, types)
+        names = {n for n, _, _ in samples}
+        # The serving stack's headline families are all present.
+        assert "frontend_requests_total" in names
+        assert "frontend_latency_seconds_count" in names
+        assert "loadtest_answers_total" in names
+        for _, _, value in samples:
+            assert not math.isnan(value)

@@ -1,0 +1,171 @@
+"""Request contexts: ids, scoping, span/log tagging, thread isolation."""
+
+import logging
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    RequestContext,
+    RequestContextFilter,
+    current_request,
+    new_request_id,
+    request_scope,
+    reset_request_ids,
+)
+
+
+class TestRequestIds:
+    def test_ids_are_sequential_and_deterministic(self):
+        reset_request_ids()
+        assert new_request_id() == "req-000001"
+        assert new_request_id() == "req-000002"
+        reset_request_ids()
+        assert new_request_id() == "req-000001"
+
+    def test_prefix_is_configurable(self):
+        reset_request_ids()
+        assert new_request_id("batch") == "batch-000001"
+
+    def test_new_context_draws_the_next_id(self):
+        reset_request_ids()
+        first = RequestContext.new(tenant="acme")
+        second = RequestContext.new()
+        assert first.request_id == "req-000001"
+        assert second.request_id == "req-000002"
+        assert first.tenant == "acme"
+
+    def test_ids_unique_under_concurrency(self):
+        reset_request_ids()
+        ids = []
+        lock = threading.Lock()
+
+        def mint():
+            mine = [new_request_id() for _ in range(200)]
+            with lock:
+                ids.extend(mine)
+
+        threads = [threading.Thread(target=mint) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ids) == len(set(ids)) == 1600
+
+
+class TestRequestScope:
+    def test_scope_sets_and_restores(self):
+        ctx = RequestContext.new()
+        assert current_request() is None
+        with request_scope(ctx):
+            assert current_request() is ctx
+        assert current_request() is None
+
+    def test_nested_scope_supersedes_then_restores(self):
+        outer = RequestContext.new()
+        inner = RequestContext.new(prefix="batch")
+        with request_scope(outer):
+            with request_scope(inner):
+                assert current_request() is inner
+            assert current_request() is outer
+
+    def test_none_clears_inside_the_body(self):
+        outer = RequestContext.new()
+        with request_scope(outer):
+            with request_scope(None):
+                assert current_request() is None
+            assert current_request() is outer
+
+    def test_scope_restores_after_an_exception(self):
+        ctx = RequestContext.new()
+        with pytest.raises(RuntimeError):
+            with request_scope(ctx):
+                raise RuntimeError("boom")
+        assert current_request() is None
+
+    def test_context_does_not_leak_across_threads(self):
+        seen = []
+        ctx = RequestContext.new()
+        with request_scope(ctx):
+            t = threading.Thread(
+                target=lambda: seen.append(current_request())
+            )
+            t.start()
+            t.join()
+        assert seen == [None]
+
+
+class TestChild:
+    def test_child_keeps_identity_and_merges_baggage(self):
+        ctx = RequestContext.new(tenant="t0", deadline_at=1.5, hop="a")
+        child = ctx.child(hop="b", batch="batch-000009")
+        assert child.request_id == ctx.request_id
+        assert child.tenant == "t0"
+        assert child.deadline_at == 1.5
+        assert child.baggage == {"hop": "b", "batch": "batch-000009"}
+        # The parent is untouched (contexts are frozen values).
+        assert ctx.baggage == {"hop": "a"}
+
+
+class TestSpanTagging:
+    def test_spans_inherit_request_id_tenant_and_baggage(self):
+        telemetry.enable()
+        ctx = RequestContext.new(tenant="acme", scenario="test")
+        with request_scope(ctx):
+            with telemetry.span("unit.work"):
+                pass
+        (root,) = telemetry.get_tracer().roots()
+        assert root.attrs["request_id"] == ctx.request_id
+        assert root.attrs["tenant"] == "acme"
+        assert root.attrs["bg.scenario"] == "test"
+
+    def test_explicit_attrs_win_over_the_context(self):
+        telemetry.enable()
+        with request_scope(RequestContext.new(tenant="acme")):
+            with telemetry.span("unit.work", request_id="custom"):
+                pass
+        (root,) = telemetry.get_tracer().roots()
+        assert root.attrs["request_id"] == "custom"
+
+    def test_untagged_outside_any_scope(self):
+        telemetry.enable()
+        with telemetry.span("unit.work"):
+            pass
+        (root,) = telemetry.get_tracer().roots()
+        assert "request_id" not in root.attrs
+
+
+class TestLogTagging:
+    def test_filter_stamps_request_fields(self):
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "msg", (), None
+        )
+        with request_scope(RequestContext.new(tenant="acme")):
+            assert RequestContextFilter().filter(record)
+        assert record.request_id == "req-000001"
+        assert record.tenant == "acme"
+
+    def test_explicit_extra_wins(self):
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "msg", (), None
+        )
+        record.request_id = "explicit"
+        with request_scope(RequestContext.new()):
+            RequestContextFilter().filter(record)
+        assert record.request_id == "explicit"
+
+    def test_no_scope_leaves_the_record_alone(self):
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "msg", (), None
+        )
+        RequestContextFilter().filter(record)
+        assert not hasattr(record, "request_id")
+
+
+class TestReset:
+    def test_telemetry_reset_restarts_the_counter(self):
+        new_request_id()
+        new_request_id()
+        telemetry.reset()
+        assert new_request_id() == "req-000001"

@@ -1,0 +1,182 @@
+"""QuantileSketch: error bound, exact merge, serialization, bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import QuantileSketch
+
+
+def rank_exact(values, q):
+    """The exact sample quantile under the sketch's rank convention:
+    the order statistic at index ``floor(q * (n - 1))``."""
+    data = np.sort(np.asarray(values, dtype=float))
+    return float(data[int(math.floor(q * (data.size - 1)))])
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.5, 2.0])
+    def test_relative_accuracy_bounds(self, alpha):
+        with pytest.raises(ValueError, match="relative_accuracy"):
+            QuantileSketch(relative_accuracy=alpha)
+
+    def test_max_bins_floor(self):
+        with pytest.raises(ValueError, match="max_bins"):
+            QuantileSketch(max_bins=1)
+
+    def test_min_value_positive(self):
+        with pytest.raises(ValueError, match="min_value"):
+            QuantileSketch(min_value=0.0)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan")])
+    def test_rejects_negative_and_nan(self, bad):
+        with pytest.raises(ValueError, match="finite values"):
+            QuantileSketch().add(bad)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError, match="count"):
+            QuantileSketch().add(1.0, count=0)
+
+    @pytest.mark.parametrize("q", [-0.1, 1.1])
+    def test_quantile_domain(self, q):
+        with pytest.raises(ValueError, match="quantile"):
+            QuantileSketch().quantile(q)
+
+
+class TestEmpty:
+    def test_empty_queries_are_none(self):
+        sketch = QuantileSketch()
+        assert sketch.quantile(0.99) is None
+        assert sketch.mean() is None
+        assert sketch.min is None
+        assert sketch.max is None
+        assert sketch.count == 0
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("alpha", [0.01, 0.05])
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.95, 0.99])
+    def test_within_relative_error_of_rank_exact(self, alpha, q):
+        rng = np.random.default_rng(7)
+        # Latency-shaped data: lognormal body plus a heavy tail.
+        values = np.concatenate([
+            rng.lognormal(mean=-6.0, sigma=1.0, size=4000),
+            rng.lognormal(mean=-3.0, sigma=0.5, size=200),
+        ])
+        sketch = QuantileSketch(relative_accuracy=alpha)
+        for v in values:
+            sketch.add(v)
+        exact = rank_exact(values, q)
+        estimate = sketch.quantile(q)
+        assert abs(estimate - exact) / exact <= alpha
+
+    def test_extreme_quantiles_clamp_to_observed_range(self):
+        sketch = QuantileSketch()
+        for v in (0.001, 0.002, 0.040):
+            sketch.add(v)
+        assert sketch.quantile(0.0) >= sketch.min
+        assert sketch.quantile(1.0) <= sketch.max
+
+    def test_subthreshold_values_report_zero(self):
+        sketch = QuantileSketch(min_value=1e-9)
+        sketch.add(0.0)
+        sketch.add(1e-12)
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.count == 2
+
+    def test_weighted_add_matches_repetition(self):
+        once = QuantileSketch()
+        for _ in range(5):
+            once.add(0.003)
+        bulk = QuantileSketch()
+        bulk.add(0.003, count=5)
+        assert bulk.to_dict() == once.to_dict()
+
+
+class TestDeterminism:
+    def test_identical_inputs_identical_estimates(self):
+        rng = np.random.default_rng(11)
+        values = rng.lognormal(size=1000)
+        a, b = QuantileSketch(), QuantileSketch()
+        for v in values:
+            a.add(v)
+            b.add(v)
+        assert a.to_dict() == b.to_dict()
+        assert a.quantile(0.99) == b.quantile(0.99)
+
+
+class TestMerge:
+    def test_merge_is_exact(self):
+        rng = np.random.default_rng(3)
+        left = rng.lognormal(size=800)
+        right = rng.lognormal(mean=2.0, size=300)
+        a, b, combined = (
+            QuantileSketch(), QuantileSketch(), QuantileSketch()
+        )
+        for v in left:
+            a.add(v)
+            combined.add(v)
+        for v in right:
+            b.add(v)
+            combined.add(v)
+        a.merge(b)
+        # Bin-identical, not just close: merging loses nothing.  (The
+        # running ``sum`` is the one field allowed to differ in the
+        # last ulp -- addition order changes.)
+        merged_state, combined_state = a.to_dict(), combined.to_dict()
+        assert merged_state.pop("sum") == pytest.approx(
+            combined_state.pop("sum")
+        )
+        assert merged_state == combined_state
+
+    def test_merge_rejects_mismatched_accuracy(self):
+        with pytest.raises(ValueError, match="accuracy"):
+            QuantileSketch(relative_accuracy=0.01).merge(
+                QuantileSketch(relative_accuracy=0.02)
+            )
+
+    def test_merge_rejects_non_sketch(self):
+        with pytest.raises(TypeError):
+            QuantileSketch().merge([1.0, 2.0])
+
+
+class TestCollapse:
+    def test_bin_count_stays_bounded(self):
+        sketch = QuantileSketch(max_bins=32)
+        rng = np.random.default_rng(5)
+        # Spread over many decades to force far more than 32 raw bins.
+        for v in rng.uniform(-9, 1, size=5000):
+            sketch.add(10.0 ** v)
+        assert sketch.n_bins <= 32
+        assert sketch.count == 5000
+
+    def test_tail_accuracy_survives_collapse(self):
+        rng = np.random.default_rng(5)
+        values = 10.0 ** rng.uniform(-9, 1, size=5000)
+        sketch = QuantileSketch(relative_accuracy=0.01, max_bins=256)
+        for v in values:
+            sketch.add(v)
+        # Collapse folds *low* bins, so the p99 bound still holds.
+        exact = rank_exact(values, 0.99)
+        assert abs(sketch.quantile(0.99) - exact) / exact <= 0.01
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self):
+        rng = np.random.default_rng(9)
+        sketch = QuantileSketch()
+        for v in rng.lognormal(size=500):
+            sketch.add(v)
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.to_dict() == sketch.to_dict()
+        assert clone.quantile(0.99) == sketch.quantile(0.99)
+        assert clone.mean() == sketch.mean()
+
+    def test_snapshot_shape(self):
+        sketch = QuantileSketch()
+        sketch.add(0.002)
+        snap = sketch.snapshot()
+        assert snap["count"] == 1
+        assert snap["relative_accuracy"] == 0.01
+        assert set(snap) >= {"p50", "p90", "p95", "p99", "min", "max"}

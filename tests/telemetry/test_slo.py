@@ -1,0 +1,276 @@
+"""SLO engine: spec validation, windows, burn rates, alerting."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    MetricTerm,
+    SLOEngine,
+    SLOSpec,
+    default_serving_slos,
+    format_slo_report,
+)
+
+
+def ratio_spec(objective=0.1, name="errors"):
+    return SLOSpec(
+        name=name,
+        kind="ratio",
+        objective=objective,
+        bad=(MetricTerm("bad_total"),),
+        total=(MetricTerm("all_total"),),
+    )
+
+
+def latency_spec(objective, quantile=0.5, name="latency"):
+    return SLOSpec(
+        name=name,
+        kind="latency_quantile",
+        metric="latency_seconds",
+        quantile=quantile,
+        objective=objective,
+    )
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLOSpec(name="x", kind="throughput", objective=1.0)
+
+    def test_latency_needs_a_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            SLOSpec(name="x", kind="latency_quantile", objective=0.01)
+
+    def test_latency_quantile_domain(self):
+        with pytest.raises(ValueError, match="quantile"):
+            SLOSpec(
+                name="x", kind="latency_quantile", objective=0.01,
+                metric="m", quantile=1.0,
+            )
+
+    def test_ratio_needs_total_terms(self):
+        with pytest.raises(ValueError, match="total"):
+            SLOSpec(name="x", kind="ratio", objective=0.1)
+
+    def test_metric_term_mapping_normalizes(self):
+        a = MetricTerm("m", labels={"outcome": ("a", "b")})
+        b = MetricTerm("m", labels={"outcome": ("a", "b")})
+        assert a == b
+        assert a.matches({"outcome": "a"})
+        assert not a.matches({"outcome": "c"})
+
+
+class TestEvaluation:
+    def test_evaluate_before_sample_raises(self, registry):
+        engine = SLOEngine([ratio_spec()], registry=registry)
+        with pytest.raises(RuntimeError, match="sample"):
+            engine.evaluate()
+
+    def test_ratio_ok_then_violated(self, registry):
+        bad = registry.counter("bad_total")
+        total = registry.counter("all_total")
+        engine = SLOEngine(
+            [ratio_spec(objective=0.1)], registry=registry,
+            windows_s=(1.0,),
+        )
+        total.inc(100)
+        bad.inc(5)
+        engine.sample(1.0)
+        report = engine.evaluate()
+        assert report.ok
+        verdict = report.verdicts[0]
+        assert verdict.cumulative.value == pytest.approx(0.05)
+        assert verdict.cumulative.burn == pytest.approx(0.5)
+        # Burn past budget: 30 bad of 200 total = 15% > 10%.
+        total.inc(100)
+        bad.inc(25)
+        engine.sample(2.0)
+        report = engine.evaluate()
+        assert not report.ok
+        assert report.verdicts[0].cumulative.burn == pytest.approx(1.5)
+
+    def test_rolling_window_forgets_old_badness(self, registry):
+        bad = registry.counter("bad_total")
+        total = registry.counter("all_total")
+        engine = SLOEngine(
+            [ratio_spec(objective=0.1)], registry=registry,
+            windows_s=(1.0,),
+        )
+        # t<=1: terrible.  t in (1, 5]: clean.
+        total.inc(10)
+        bad.inc(10)
+        engine.sample(1.0)
+        total.inc(90)
+        engine.sample(5.0)
+        report = engine.evaluate()
+        verdict = report.verdicts[0]
+        rolling = verdict.windows[0]
+        assert rolling.window_s == 1.0
+        # The last 1 s saw only the clean 90: zero bad fraction.
+        assert rolling.value == pytest.approx(0.0)
+        assert rolling.ok
+        # Cumulatively 10/100 = exactly on budget.
+        assert verdict.cumulative.value == pytest.approx(0.10)
+        assert verdict.ok
+
+    def test_empty_window_is_trivially_ok(self, registry):
+        engine = SLOEngine([ratio_spec()], registry=registry)
+        engine.sample(1.0)
+        report = engine.evaluate()
+        verdict = report.verdicts[0]
+        assert verdict.ok
+        assert verdict.cumulative.events == 0
+        assert verdict.cumulative.value is None
+
+    def test_zero_budget_honesty_semantics(self, registry):
+        bad = registry.counter("bad_total")
+        total = registry.counter("all_total")
+        engine = SLOEngine(
+            [ratio_spec(objective=0.0)], registry=registry,
+        )
+        total.inc(50)
+        engine.sample(1.0)
+        assert engine.evaluate().ok
+        assert engine.evaluate().verdicts[0].cumulative.burn == 0.0
+        bad.inc(1)
+        engine.sample(2.0)
+        report = engine.evaluate()
+        assert not report.ok
+        assert report.verdicts[0].cumulative.burn == float("inf")
+
+
+class TestLatencyQuantiles:
+    def test_quantile_judged_against_objective(self, registry):
+        latency = registry.quantile("latency_seconds")
+        for _ in range(100):
+            latency.observe(0.002)
+        engine = SLOEngine(
+            [latency_spec(objective=0.005)], registry=registry,
+        )
+        engine.sample(1.0)
+        report = engine.evaluate()
+        verdict = report.verdicts[0]
+        assert verdict.ok
+        assert verdict.cumulative.value == pytest.approx(0.002, rel=0.02)
+        assert verdict.cumulative.events == 100
+
+    def test_sketch_delta_isolates_the_window(self, registry):
+        latency = registry.quantile("latency_seconds")
+        engine = SLOEngine(
+            [latency_spec(objective=0.005, quantile=0.5)],
+            registry=registry, windows_s=(1.0,),
+        )
+        # 300 fast observations land before t=1...
+        for _ in range(300):
+            latency.observe(0.001)
+        engine.sample(1.0)
+        # ...then 100 slow ones inside the final window.
+        for _ in range(100):
+            latency.observe(0.100)
+        engine.sample(2.0)
+        report = engine.evaluate()
+        verdict = report.verdicts[0]
+        rolling, cumulative = verdict.windows[0], verdict.cumulative
+        # The window's p50 is the slow cohort only -- the bin-wise
+        # sketch delta sees exactly the 100 observations inside it.
+        assert rolling.events == 100
+        assert rolling.value == pytest.approx(0.100, rel=0.02)
+        assert not rolling.ok
+        # Cumulatively the fast 300 dominate the median.
+        assert cumulative.events == 400
+        assert cumulative.value == pytest.approx(0.001, rel=0.02)
+        assert verdict.ok
+
+    def test_unregistered_metric_is_trivially_ok(self, registry):
+        engine = SLOEngine(
+            [latency_spec(objective=0.005)], registry=registry,
+        )
+        engine.sample(1.0)
+        assert engine.evaluate().verdicts[0].ok
+
+
+class TestAlerting:
+    def test_alert_requires_every_window_burning(self, registry):
+        bad = registry.counter("bad_total")
+        total = registry.counter("all_total")
+        engine = SLOEngine(
+            [ratio_spec(objective=0.1)], registry=registry,
+            windows_s=(1.0, 10.0),
+        )
+        # Clean for a long stretch, then a short burst: the 1 s window
+        # burns, the 10 s window absorbs it -- no page.
+        total.inc(1000)
+        engine.sample(10.0)
+        total.inc(10)
+        bad.inc(5)
+        engine.sample(11.0)
+        report = engine.evaluate()
+        verdict = report.verdicts[0]
+        assert not verdict.alerting
+        # Sustained badness: both windows burn at once -- page.
+        bad.inc(500)
+        total.inc(500)
+        engine.sample(12.0)
+        report = engine.evaluate()
+        assert report.verdicts[0].alerting
+        assert report.alerting == ["errors"]
+
+
+class TestSampleRing:
+    def test_ring_keeps_anchor_and_newest(self, registry):
+        registry.counter("bad_total")
+        registry.counter("all_total")
+        engine = SLOEngine(
+            [ratio_spec()], registry=registry, max_samples=8,
+        )
+        for t in range(20):
+            engine.sample(float(t))
+        assert engine.n_samples == 8
+        # The first snapshot survives as the cumulative anchor.
+        assert engine._samples[0].at_s == 0.0
+        assert engine._samples[-1].at_s == 19.0
+
+
+class TestDefaultsAndReport:
+    def test_default_specs_cover_the_serving_contract(self):
+        specs = default_serving_slos()
+        assert [s.name for s in specs] == [
+            "latency_p50", "latency_p99", "shed_rate",
+            "error_rate", "honesty",
+        ]
+        honesty = specs[-1]
+        assert honesty.objective == 0.0
+
+    def test_report_roundtrips_to_json(self, registry, tmp_path):
+        total = registry.counter("all_total")
+        registry.counter("bad_total")
+        total.inc(10)
+        engine = SLOEngine([ratio_spec()], registry=registry)
+        engine.sample(1.0)
+        report = engine.evaluate()
+        path = tmp_path / "slo.json"
+        report.dump_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is True
+        assert payload["verdicts"][0]["name"] == "errors"
+        assert payload == report.to_dict()
+
+    def test_format_renders_the_verdict_table(self, registry):
+        total = registry.counter("all_total")
+        bad = registry.counter("bad_total")
+        total.inc(10)
+        bad.inc(9)
+        engine = SLOEngine(
+            [ratio_spec(objective=0.1)], registry=registry,
+        )
+        engine.sample(1.0)
+        text = format_slo_report(engine.evaluate())
+        assert "VIOLATED" in text
+        assert "errors" in text

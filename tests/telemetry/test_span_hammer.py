@@ -1,0 +1,135 @@
+"""Concurrency hammer: span scopes on worker threads must not
+interleave.
+
+The tracer keeps one stack per thread (``threading.local``), so scopes
+opened concurrently on different threads must each build their own
+tree -- a child recorded under another thread's parent, a dangling open
+span, or a lost root would all be races.  The hammer opens thousands of
+nested scopes from a barrier-synchronized thread pool and then audits
+every tree for single-thread purity.
+"""
+
+import threading
+
+from repro import telemetry
+from repro.telemetry import RequestContext, request_scope
+
+N_THREADS = 8
+N_ITER = 50
+
+
+def hammer(worker):
+    """Run ``worker(tid)`` on N_THREADS barrier-started threads."""
+    barrier = threading.Barrier(N_THREADS)
+    errors = []
+
+    def run(tid):
+        try:
+            barrier.wait()
+            worker(tid)
+        except BaseException as exc:  # pragma: no cover - diagnostics
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(tid,), name=f"hammer-{tid}")
+        for tid in range(N_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+
+class TestSpanHammer:
+    def test_concurrent_scopes_build_disjoint_trees(self):
+        telemetry.enable()
+        tracer = telemetry.get_tracer()
+
+        def worker(tid):
+            for i in range(N_ITER):
+                with tracer.span("outer", tid=tid, i=i):
+                    with tracer.span("mid", tid=tid):
+                        with tracer.span("inner", tid=tid):
+                            pass
+                    with tracer.span("mid2", tid=tid):
+                        pass
+
+        hammer(worker)
+        roots = tracer.roots()
+        assert len(roots) == N_THREADS * N_ITER
+        per_thread = {}
+        for root in roots:
+            # Every tree is single-threaded and exactly the shape its
+            # worker built: outer -> [mid -> [inner], mid2].
+            assert root.name == "outer"
+            tid = root.attrs["tid"]
+            assert [c.name for c in root.children] == ["mid", "mid2"]
+            assert [c.name for c in root.children[0].children] == [
+                "inner"
+            ]
+            for node in root.walk():
+                assert node.thread_id == root.thread_id
+                assert node.attrs["tid"] == tid
+                assert node.duration_s is not None
+            per_thread.setdefault(tid, []).append(root.attrs["i"])
+        # No thread lost or duplicated an iteration.
+        assert set(per_thread) == set(range(N_THREADS))
+        for iterations in per_thread.values():
+            assert sorted(iterations) == list(range(N_ITER))
+
+    def test_no_open_spans_survive_the_hammer(self):
+        telemetry.enable()
+        tracer = telemetry.get_tracer()
+
+        def worker(tid):
+            for _ in range(N_ITER):
+                with tracer.span("outer", tid=tid):
+                    pass
+            assert tracer.current() is None
+
+        hammer(worker)
+        assert tracer.current() is None
+
+    def test_request_scopes_stay_thread_local_under_load(self):
+        telemetry.enable()
+        tracer = telemetry.get_tracer()
+        contexts = [
+            RequestContext(request_id=f"req-{tid:06d}", tenant=f"t{tid}")
+            for tid in range(N_THREADS)
+        ]
+
+        def worker(tid):
+            with request_scope(contexts[tid]):
+                for i in range(N_ITER):
+                    with tracer.span("tagged", i=i):
+                        pass
+
+        hammer(worker)
+        roots = tracer.roots()
+        assert len(roots) == N_THREADS * N_ITER
+        for root in roots:
+            # The span's request tag matches its own thread's scope --
+            # a contextvars leak across workers would mix them up.
+            tid = int(root.attrs["request_id"].split("-")[1])
+            assert root.attrs["tenant"] == f"t{tid}"
+
+    def test_exception_unwind_under_concurrency(self):
+        telemetry.enable()
+        tracer = telemetry.get_tracer()
+
+        def worker(tid):
+            for i in range(N_ITER):
+                try:
+                    with tracer.span("outer", tid=tid):
+                        with tracer.span("failing", tid=tid):
+                            raise RuntimeError("boom")
+                except RuntimeError:
+                    pass
+            assert tracer.current() is None
+
+        hammer(worker)
+        for root in tracer.roots():
+            (child,) = root.children
+            assert child.error is not None
+            assert child.duration_s is not None
