@@ -29,9 +29,11 @@ def emit(text: str = "") -> None:
     Experiment results are the deliverable, not diagnostics: they go to
     stdout unconditionally, independent of the logging configuration
     (which owns stderr).  This helper is the single place in the package
-    allowed to ``print``.
+    allowed to ``print``.  Output is flushed eagerly so subprocess
+    drivers (the socket smoke test reads ``repro serve``'s endpoint
+    line from a pipe) see it immediately.
     """
-    print(text)
+    print(text, flush=True)
 
 
 def _table1() -> str:
@@ -457,6 +459,118 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="enable telemetry and tail-sample full span trees of "
              "slow/failed requests to FILE (JSON)",
     )
+    remote_group = loadtest.add_argument_group(
+        "remote transport (socket mode)"
+    )
+    remote_group.add_argument(
+        "--remote", action="store_true",
+        help="offer the load over TCP to a running `repro serve` "
+             "instead of an in-process stack; answers are scored "
+             "bit-exactly against a seeded in-process oracle, so "
+             "--seed/--rows/--shards/--stages must match the server's",
+    )
+    remote_group.add_argument(
+        "--host", default="127.0.0.1", help="server host (--remote)",
+    )
+    remote_group.add_argument(
+        "--port", type=int, default=0, help="server port (--remote)",
+    )
+    remote_group.add_argument(
+        "--workers", type=int, default=16, metavar="N",
+        help="client worker threads = in-flight ceiling (--remote)",
+    )
+    corpus_group = loadtest.add_argument_group(
+        "corpus / cost model (both modes; must match the server "
+        "when --remote)"
+    )
+    corpus_group.add_argument(
+        "--rows", type=int, default=16, help="stored rows",
+    )
+    corpus_group.add_argument(
+        "--shards", type=int, default=2, help="replica shards",
+    )
+    corpus_group.add_argument(
+        "--stages", type=int, default=16,
+        help="stages per row (vector dimensionality)",
+    )
+    corpus_group.add_argument(
+        "--attempt-base", type=float, default=0.0005, metavar="S",
+        help="shard cost per attempt, fixed part",
+    )
+    corpus_group.add_argument(
+        "--attempt-per-query", type=float, default=0.0001, metavar="S",
+        help="shard cost per query in the batch",
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="serve the coalescing front end over a TCP socket; "
+             "drains gracefully on SIGTERM/SIGINT",
+        parents=[telemetry_options],
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (0 = ephemeral; the bound endpoint is "
+             "printed once listening)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=7,
+        help="corpus seed; a load generator pointing here must use "
+             "the same seed/rows/shards/stages to score honestly",
+    )
+    serve.add_argument(
+        "--rows", type=int, default=16, help="stored rows",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2, help="replica shards",
+    )
+    serve.add_argument(
+        "--stages", type=int, default=16,
+        help="stages per row (vector dimensionality)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=0.050, metavar="S",
+        help="default per-request deadline",
+    )
+    serve.add_argument(
+        "--window", type=float, default=0.002, metavar="S",
+        help="coalescing window",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="coalesced batch-size cap",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded intake queue depth",
+    )
+    serve.add_argument(
+        "--tenant-quota", type=float, default=None, metavar="QPS",
+        help="per-tenant token-bucket rate (default: unlimited)",
+    )
+    serve.add_argument(
+        "--attempt-base", type=float, default=0.0005, metavar="S",
+        help="shard cost per attempt, fixed part (the smoke test's "
+             "capacity-ceiling knob)",
+    )
+    serve.add_argument(
+        "--attempt-per-query", type=float, default=0.0001, metavar="S",
+        help="shard cost per query in the batch",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=8, metavar="N",
+        help="per-connection in-flight request window",
+    )
+    serve.add_argument(
+        "--frame-timeout", type=float, default=30.0, metavar="S",
+        help="idle-read timeout before a stalled peer is evicted",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=5.0, metavar="S",
+        help="graceful-drain budget for in-flight requests",
+    )
     slo = sub.add_parser(
         "slo",
         help="SLO engine over the serving stack (verdict tables, "
@@ -632,7 +746,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         finally:
             _telemetry_end(args)
     if args.command not in (
-        "run", "resilience", "chaos", "loadtest", "report"
+        "run", "resilience", "chaos", "loadtest", "serve", "report"
     ):
         parser.print_help()
         return 2
@@ -693,42 +807,71 @@ def _dispatch(args: argparse.Namespace) -> int:
             format_load_report,
             run_load,
         )
-        from repro.telemetry.flight import FlightRecorder
 
-        recorder = (
-            FlightRecorder(capacity=4096, slow_threshold_s=args.deadline)
-            if args.flights_out
-            else None
-        )
-        load_report = run_load(
-            LoadConfig(
-                duration_s=args.duration,
-                rate_per_s=args.rate,
-                deadline_s=args.deadline,
-                n_tenants=args.tenants,
-                quota_rate_per_s=(
-                    args.tenant_quota
-                    if args.tenant_quota is not None
-                    else _math.inf
-                ),
-                max_queue_depth=args.queue_depth,
-                window_s=args.window,
-                max_batch=args.max_batch,
-                kind=args.kind,
-                k=args.k,
-                seed=args.seed,
+        load_config = LoadConfig(
+            duration_s=args.duration,
+            rate_per_s=args.rate,
+            deadline_s=args.deadline,
+            n_tenants=args.tenants,
+            quota_rate_per_s=(
+                args.tenant_quota
+                if args.tenant_quota is not None
+                else _math.inf
             ),
-            flight_recorder=recorder,
+            max_queue_depth=args.queue_depth,
+            window_s=args.window,
+            max_batch=args.max_batch,
+            attempt_base_s=args.attempt_base,
+            attempt_per_query_s=args.attempt_per_query,
+            kind=args.kind,
+            k=args.k,
+            n_rows=args.rows,
+            n_shards=args.shards,
+            n_stages=args.stages,
+            seed=args.seed,
         )
+        if args.remote:
+            if args.port <= 0:
+                emit("loadtest --remote requires --port "
+                     "(the endpoint `repro serve` printed)")
+                return 2
+            if args.flights_out:
+                emit("--flights-out is in-process only; span trees "
+                     "live on the server side in --remote mode")
+            from repro.net.loadgen import run_remote_load
+
+            load_report = run_remote_load(
+                load_config,
+                host=args.host,
+                port=args.port,
+                n_workers=args.workers,
+            )
+        else:
+            from repro.telemetry.flight import FlightRecorder
+
+            recorder = (
+                FlightRecorder(
+                    capacity=4096, slow_threshold_s=args.deadline
+                )
+                if args.flights_out
+                else None
+            )
+            load_report = run_load(
+                load_config, flight_recorder=recorder
+            )
+            if recorder is not None:
+                recorder.dump_json(args.flights_out)
+                emit(
+                    f"tail-sampled flights written to {args.flights_out}"
+                )
         emit(format_load_report(load_report))
         if args.json_out:
             with open(args.json_out, "w") as handle:
                 handle.write(load_report.to_json() + "\n")
             emit(f"json report written to {args.json_out}")
-        if recorder is not None:
-            recorder.dump_json(args.flights_out)
-            emit(f"tail-sampled flights written to {args.flights_out}")
         return 0 if load_report.honest else 1
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "slo":
         return _slo_report(args)
     sections: List[str] = []
@@ -745,6 +888,63 @@ def _dispatch(args: argparse.Namespace) -> int:
         with open(args.output, "w") as handle:
             handle.write("\n".join(sections))
         emit(f"report written to {args.output}")
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """``repro serve``: socket server until SIGTERM/SIGINT, then drain."""
+    import math as _math
+
+    from repro.net.loadgen import build_server_stack
+    from repro.net.server import serve_until_signal
+    from repro.service.loadgen import LoadConfig
+
+    config = LoadConfig(
+        deadline_s=args.deadline,
+        quota_rate_per_s=(
+            args.tenant_quota
+            if args.tenant_quota is not None
+            else _math.inf
+        ),
+        max_queue_depth=args.queue_depth,
+        window_s=args.window,
+        max_batch=args.max_batch,
+        attempt_base_s=args.attempt_base,
+        attempt_per_query_s=args.attempt_per_query,
+        n_rows=args.rows,
+        n_shards=args.shards,
+        n_stages=args.stages,
+        seed=args.seed,
+    )
+    _, frontend = build_server_stack(config)
+    _log.info(
+        "server stack built",
+        extra={
+            "rows": config.n_rows,
+            "shards": config.n_shards,
+            "stages": config.n_stages,
+            "seed": config.seed,
+        },
+    )
+
+    def on_listening(host: str, port: int) -> None:
+        # The machine-readable endpoint line the smoke test parses.
+        emit(
+            f"listening on {host}:{port} "
+            f"(seed={config.seed} rows={config.n_rows} "
+            f"shards={config.n_shards} stages={config.n_stages})"
+        )
+
+    serve_until_signal(
+        frontend,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        frame_timeout_s=args.frame_timeout,
+        drain_grace_s=args.drain_grace,
+        on_listening=on_listening,
+    )
+    emit("drained; exiting")
     return 0
 
 

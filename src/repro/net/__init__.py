@@ -1,0 +1,78 @@
+"""Network transport: the serving stack over asyncio TCP sockets.
+
+The pieces, bottom-up:
+
+- :mod:`repro.net.wire` -- length-prefixed, CRC-checked JSON frames, a
+  version/feature handshake, and a lossless typed-error envelope: the
+  whole :mod:`repro.service.errors` taxonomy crosses the wire intact
+  (``retry_after_s``, ``reason``, shard lists and all), and responses
+  keep their full honesty metadata (``degraded``, ``coverage``,
+  ``partitions_skipped``).
+- :mod:`repro.net.server` -- an asyncio server adopting a
+  :class:`~repro.service.frontend.CoalescingFrontend`: per-connection
+  bounded in-flight windows (TCP backpressure, not unbounded buffers),
+  remaining-budget deadline propagation, request-id propagation for
+  cross-wire traces, graceful drain on SIGTERM.
+- :mod:`repro.net.client` -- a pooled blocking client with budgeted
+  decorrelated-jitter reconnects, retrying only transport failures of
+  idempotent reads, never a typed server "no".
+- :mod:`repro.net.faults` -- a seeded stream-level fault injector
+  (disconnects, truncation, corrupt length prefixes, bit-flips,
+  stalls) so every transport failure mode is reproducible from a seed.
+- :mod:`repro.net.loadgen` -- the wall-clock open-loop load generator
+  behind ``repro loadtest --remote``, scoring remote answers bit-exact
+  against a seeded in-process oracle.
+- :mod:`repro.net.chaos` -- the network chaos scenarios (flaky link,
+  slow loris, server kill) registered in the
+  :mod:`repro.service.chaos` suite.
+
+Everything is stdlib + numpy; the wire protocol carries the honesty
+guarantee the serving layer established: a network fault can delay or
+typed-fail a request, never silently change its answer.
+"""
+
+from repro.net.client import RemoteFrontend, ServerInfo
+from repro.net.faults import FaultyStream, InjectedDisconnect, WireFaultPlan
+from repro.net.loadgen import run_remote_load
+from repro.net.server import TDAMSocketServer, serve_until_signal
+from repro.net.wire import (
+    ConnectionLostError,
+    FrameCorruptError,
+    FrameDecoder,
+    FrameTimeoutError,
+    FrameTooLargeError,
+    HandshakeError,
+    RemoteSearchResponse,
+    RemoteTopKResponse,
+    WireProtocolError,
+    decode_error,
+    decode_response,
+    encode_error,
+    encode_frame,
+    encode_response,
+)
+
+__all__ = [
+    "RemoteFrontend",
+    "ServerInfo",
+    "TDAMSocketServer",
+    "serve_until_signal",
+    "run_remote_load",
+    "WireFaultPlan",
+    "FaultyStream",
+    "InjectedDisconnect",
+    "WireProtocolError",
+    "FrameCorruptError",
+    "FrameTooLargeError",
+    "FrameTimeoutError",
+    "ConnectionLostError",
+    "HandshakeError",
+    "FrameDecoder",
+    "encode_frame",
+    "encode_error",
+    "decode_error",
+    "encode_response",
+    "decode_response",
+    "RemoteSearchResponse",
+    "RemoteTopKResponse",
+]

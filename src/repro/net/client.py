@@ -1,0 +1,496 @@
+"""The blocking remote client: pooled sockets, budgeted safe retries.
+
+:class:`RemoteFrontend` is the wire-side mirror of the in-process
+:class:`~repro.service.frontend.CoalescingFrontend` surface --
+``search(query)`` / ``top_k(query, k)`` with the same typed failure
+taxonomy -- over any number of pooled TCP connections.  The client
+carries the robustness obligations a hostile network adds:
+
+- **typed transport failures** -- refused/reset/truncated/corrupted
+  connections surface as :class:`~repro.net.wire.WireProtocolError`
+  subclasses, which are also ``ServiceError``\\ s, so one ``except``
+  clause covers the whole stack;
+- **safe retries only** -- a retry is attempted only for transport
+  failures on requests that never produced a response: search/top-k
+  are idempotent reads, so re-sending can change *when* an answer
+  arrives, never *what* it is.  Typed server errors are NEVER retried
+  here: an :class:`~repro.service.errors.OverloadError` means the
+  server explicitly shed load, and a client that retries sheds into a
+  retry storm (the caller owns that decision, guided by
+  ``retry_after_s``);
+- **budgeted, decorrelated backoff** -- reconnect/retry waits reuse
+  :mod:`repro.service.retry`'s decorrelated-jitter schedule under a
+  Finagle-style :class:`~repro.service.retry.RetryBudget`, so a dead
+  server is probed politely instead of hammered in lockstep;
+- **deadline awareness** -- every attempt sends the *remaining*
+  budget, time spent on failed attempts and backoffs included; when
+  the budget is gone the client raises
+  :class:`~repro.service.errors.DeadlineExceededError` itself rather
+  than sending a request that could only waste server time.
+
+A failed connection is torn down, never returned to the pool: after a
+wire error the framing state is unknowable, and reusing the socket
+could pair a stale response with the wrong request.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.faults import WireFaultPlan, FaultyStream
+from repro.net.wire import (
+    ConnectionLostError,
+    FrameDecoder,
+    FrameTimeoutError,
+    HandshakeError,
+    PROTOCOL_VERSION,
+    WireProtocolError,
+    bye_message,
+    decode_error,
+    decode_response,
+    encode_frame,
+    hello_message,
+    note_frame,
+    note_wire_error,
+    request_message,
+)
+from repro.service.errors import (
+    DeadlineExceededError,
+    InvalidRequestError,
+    RetryBudgetExhaustedError,
+    ServiceError,
+)
+from repro.service.retry import RetryBudget, RetryPolicy
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.log import get_logger
+from repro.telemetry.request import current_request
+from repro.telemetry.state import STATE as _TM
+
+__all__ = ["RemoteFrontend", "ServerInfo"]
+
+_log = get_logger(__name__)
+
+_REG = _metrics.get_registry()
+_CLIENT_REQUESTS = _REG.counter(
+    "net_client_requests_total",
+    "Remote client requests, by outcome (ok/error/retried)",
+    labels=("outcome",),
+)
+_RECONNECTS = _REG.counter(
+    "net_client_reconnects_total",
+    "Connections (re)established by the remote client",
+)
+
+_READ_CHUNK = 1 << 16
+
+
+class ServerInfo:
+    """What the server said about itself at handshake."""
+
+    def __init__(self, payload: Dict[str, object]) -> None:
+        self.server = str(payload.get("server", ""))
+        self.n_rows = int(payload.get("n_rows", 0))
+        self.n_stages = int(payload.get("n_stages", 0))
+        self.levels = int(payload.get("levels", 0))
+        self.default_deadline_s = float(
+            payload.get("default_deadline_s", 0.05)
+        )
+        self.features = tuple(
+            str(f) for f in payload.get("features", [])
+        )
+
+
+class _PooledConnection:
+    """One handshaken socket plus its decoder."""
+
+    def __init__(self, stream, info: ServerInfo) -> None:
+        self.stream = stream
+        self.decoder = FrameDecoder()
+        self.info = info
+        self.next_req_id = 1
+
+    def close(self) -> None:
+        try:
+            self.stream.sendall(
+                encode_frame(bye_message())
+            )
+        except Exception:
+            pass
+        try:
+            self.stream.close()
+        except Exception:
+            pass
+
+
+class RemoteFrontend:
+    """Pooled, retrying, deadline-aware client for one socket server.
+
+    Args:
+        host / port: The server endpoint.
+        pool_size: Max idle connections kept for reuse.
+        connect_timeout_s: Per-``connect()`` timeout.
+        retry_policy: Backoff shape for transport-level retries
+            (``max_attempts`` caps attempts per request).
+        retry_budget: Shared token bucket damping retry volume; when it
+            runs dry a transport failure surfaces as
+            :class:`~repro.service.errors.RetryBudgetExhaustedError`
+            instead of another attempt.
+        default_deadline_s: Budget when the caller gives none (the
+            server's advertised default once a handshake succeeded).
+        fault_plan_factory: Optional ``() -> WireFaultPlan``; each new
+            connection's socket is wrapped in a
+            :class:`~repro.net.faults.FaultyStream` with a fresh plan
+            (the chaos suite's hook -- production passes nothing).
+        clock / sleep: Injected time sources (tests pin them).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 4,
+        connect_timeout_s: float = 5.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        default_deadline_s: Optional[float] = None,
+        fault_plan_factory: Optional[
+            Callable[[], WireFaultPlan]
+        ] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.connect_timeout_s = connect_timeout_s
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(
+                max_attempts=3,
+                backoff_base_s=0.005,
+                backoff_cap_s=0.200,
+            )
+        )
+        self.retry_budget = (
+            retry_budget if retry_budget is not None else RetryBudget()
+        )
+        self._default_deadline_s = default_deadline_s
+        self._fault_plan_factory = fault_plan_factory
+        self._clock = clock
+        self._sleep = sleep
+        self._jitter_rng = np.random.default_rng(
+            self.retry_policy.jitter_seed
+        )
+        self._pool: List[_PooledConnection] = []
+        self._pool_lock = threading.Lock()
+        self._server_info: Optional[ServerInfo] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    @property
+    def server_info(self) -> Optional[ServerInfo]:
+        """Handshake facts from the most recent connection (if any)."""
+        return self._server_info
+
+    @property
+    def default_deadline_s(self) -> float:
+        if self._default_deadline_s is not None:
+            return self._default_deadline_s
+        if self._server_info is not None:
+            return self._server_info.default_deadline_s
+        return 0.05
+
+    def connect(self) -> ServerInfo:
+        """Eagerly establish (and pool) one connection; returns the
+        server's handshake info.  Optional -- the first request
+        connects lazily."""
+        conn = self._checkout()
+        self._checkin(conn)
+        return conn.info
+
+    def search(
+        self,
+        query: Sequence[int],
+        tenant: str = "default",
+        deadline_s: Optional[float] = None,
+    ):
+        """One remote search; blocks for the answer or a typed error."""
+        return self._call("search", query, tenant, deadline_s, k=0)
+
+    def top_k(
+        self,
+        query: Sequence[int],
+        k: int,
+        tenant: str = "default",
+        deadline_s: Optional[float] = None,
+    ):
+        """One remote top-k; blocks for the answer or a typed error."""
+        if k < 1:
+            raise InvalidRequestError(f"k must be >= 1, got {k}")
+        return self._call("topk", query, tenant, deadline_s, k=k)
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        self._closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+    def __enter__(self) -> "RemoteFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _call(
+        self,
+        kind: str,
+        query,
+        tenant: str,
+        deadline_s: Optional[float],
+        k: int,
+    ):
+        if self._closed:
+            raise ConnectionLostError("client is closed")
+        budget_s = (
+            deadline_s if deadline_s is not None else self.default_deadline_s
+        )
+        if budget_s <= 0:
+            raise InvalidRequestError(
+                f"deadline_s must be > 0, got {budget_s}"
+            )
+        deadline_at = self._clock() + budget_s
+        self.retry_budget.deposit()
+        schedule = self.retry_policy.schedule(self._jitter_rng)
+        attempts = 0
+        last_exc: Optional[BaseException] = None
+        while True:
+            remaining = deadline_at - self._clock()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"client budget exhausted after {attempts} "
+                    f"attempt(s)"
+                ) from last_exc
+            attempts += 1
+            try:
+                result = self._attempt(
+                    kind, query, tenant, remaining, k
+                )
+                if _TM.enabled:
+                    _CLIENT_REQUESTS.inc(outcome="ok")
+                return result
+            except (WireProtocolError, OSError) as exc:
+                # Only failures *before a response* reach here -- safe
+                # to retry an idempotent read.  Typed server errors
+                # propagate from _attempt without touching this path.
+                last_exc = exc
+                note_wire_error(exc)
+                if attempts >= self.retry_policy.max_attempts:
+                    if _TM.enabled:
+                        _CLIENT_REQUESTS.inc(outcome="error")
+                    raise self._as_wire_error(exc, attempts)
+                if not self.retry_budget.try_withdraw():
+                    if _TM.enabled:
+                        _CLIENT_REQUESTS.inc(outcome="error")
+                    raise RetryBudgetExhaustedError(
+                        "client retry budget empty"
+                    ) from exc
+                if _TM.enabled:
+                    _CLIENT_REQUESTS.inc(outcome="retried")
+                backoff = min(
+                    schedule.next_backoff_s(),
+                    max(0.0, deadline_at - self._clock()),
+                )
+                if backoff > 0:
+                    self._sleep(backoff)
+
+    @staticmethod
+    def _as_wire_error(
+        exc: BaseException, attempts: int
+    ) -> WireProtocolError:
+        if isinstance(exc, WireProtocolError):
+            return exc
+        return ConnectionLostError(
+            f"transport failed after {attempts} attempt(s): {exc!r}"
+        )
+
+    def _attempt(
+        self, kind: str, query, tenant: str, budget_s: float, k: int
+    ):
+        """One request over one connection; raises on any failure."""
+        conn = self._checkout()
+        try:
+            req_id = conn.next_req_id
+            conn.next_req_id += 1
+            ctx = current_request()
+            frame = encode_frame(request_message(
+                req_id,
+                kind,
+                query,
+                budget_s=budget_s,
+                tenant=tenant,
+                k=k,
+                request_id=(
+                    ctx.request_id if ctx is not None else None
+                ),
+            ))
+            conn.stream.sendall(frame)
+            note_frame("out", "request", len(frame))
+            message = self._read_message(conn, budget_s + 5.0)
+            result = self._interpret(conn, message, req_id, kind)
+        except BaseException:
+            # Whatever went wrong, the connection's framing state is
+            # suspect; never pool it again.
+            conn.close()
+            raise
+        self._checkin(conn)
+        return result
+
+    def _interpret(self, conn, message, req_id: int, kind: str):
+        mtype = message.get("type")
+        if mtype == "goaway":
+            # The server is draining; treat like a connection loss so
+            # the retry path reconnects (a restarted or sibling server
+            # will answer).
+            raise ConnectionLostError(
+                f"server sent goaway ({message.get('reason')!r})"
+            )
+        if mtype == "error":
+            exc = decode_error(message)
+            if message.get("id") is None or not isinstance(
+                exc, ServiceError
+            ) or isinstance(exc, WireProtocolError):
+                # Connection-level or transport-typed: retryable path.
+                raise self._as_wire_error(exc, 1)
+            # A typed server answer for *this* request: never retried.
+            raise exc
+        if mtype != "response" or message.get("id") != req_id:
+            raise ConnectionLostError(
+                f"unexpected frame (type={mtype!r}, "
+                f"id={message.get('id')!r}) for request {req_id}"
+            )
+        if message.get("kind") != kind:
+            raise ConnectionLostError(
+                f"response kind {message.get('kind')!r} does not match "
+                f"request kind {kind!r}"
+            )
+        return decode_response(kind, message.get("payload", {}))
+
+    def _read_message(self, conn, timeout_s: float):
+        """Block for the next complete frame on one connection."""
+        deadline = self._clock() + timeout_s
+        while True:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                raise FrameTimeoutError(
+                    f"no complete frame within {timeout_s}s"
+                )
+            conn.stream.settimeout(remaining)
+            try:
+                chunk = conn.stream.recv(_READ_CHUNK)
+            except socket.timeout:
+                raise FrameTimeoutError(
+                    f"no complete frame within {timeout_s}s"
+                ) from None
+            except OSError as exc:
+                raise ConnectionLostError(
+                    f"recv failed: {exc!r}"
+                ) from exc
+            if not chunk:
+                conn.decoder.eof()
+                raise ConnectionLostError(
+                    "server closed the connection"
+                )
+            messages = conn.decoder.feed(chunk)
+            if messages:
+                for extra in messages[1:]:
+                    # A response pipeline deeper than one is a protocol
+                    # violation for this client (one request in flight
+                    # per connection); drop the connection.
+                    if extra.get("type") != "goaway":
+                        raise ConnectionLostError(
+                            "unexpected pipelined frame"
+                        )
+                note_frame(
+                    "in", str(messages[0].get("type")), len(chunk)
+                )
+                return messages[0]
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    def _checkout(self) -> _PooledConnection:
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        return self._connect()
+
+    def _checkin(self, conn: _PooledConnection) -> None:
+        if conn.decoder.pending_bytes:
+            # Leftover bytes would desynchronize the next request.
+            conn.close()
+            return
+        with self._pool_lock:
+            if not self._closed and len(self._pool) < self.pool_size:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def _connect(self) -> _PooledConnection:
+        try:
+            raw = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"connect to {self.host}:{self.port} failed: {exc!r}"
+            ) from exc
+        raw.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        stream = raw
+        if self._fault_plan_factory is not None:
+            stream = FaultyStream(raw, self._fault_plan_factory())
+        conn = _PooledConnection(stream, ServerInfo({}))
+        if _TM.enabled:
+            _RECONNECTS.inc()
+        try:
+            hello = encode_frame(hello_message())
+            stream.sendall(hello)
+            note_frame("out", "hello", len(hello))
+            reply = self._read_message(
+                conn, self.connect_timeout_s
+            )
+            if reply.get("type") == "error":
+                raise decode_error(reply)
+            if reply.get("type") != "hello_ok":
+                raise HandshakeError(
+                    f"expected hello_ok, got {reply.get('type')!r}"
+                )
+            if reply.get("version") != PROTOCOL_VERSION:
+                raise HandshakeError(
+                    f"server speaks version "
+                    f"{reply.get('version')!r}, client speaks "
+                    f"{PROTOCOL_VERSION}"
+                )
+        except BaseException:
+            try:
+                stream.close()
+            except Exception:
+                pass
+            raise
+        conn.info = ServerInfo(reply)
+        self._server_info = conn.info
+        return conn

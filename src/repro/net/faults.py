@@ -1,0 +1,269 @@
+"""Seeded, deterministic wire-level fault injection.
+
+The chaos suite needs to break the transport the way real networks
+break it -- and needs every break to be reproducible from a seed, the
+same discipline the array-level fault injector established in PR 2.
+A :class:`WireFaultPlan` is the seeded policy (which faults, how
+often); a :class:`FaultyStream` wraps one connected socket and applies
+the plan to the byte stream itself, below the frame codec, so the
+codec's typed-error guarantees are exercised against genuinely hostile
+bytes:
+
+- ``disconnect`` -- close the socket mid-send, possibly mid-frame;
+- ``truncate``   -- send a prefix of the data, then close (the peer
+  sees a partial frame and EOF);
+- ``corrupt_length`` -- overwrite the frame header's length field with
+  garbage (exercises the hard frame cap);
+- ``bit_flip``   -- flip one bit somewhere in the payload (exercises
+  the CRC -- without it, a flipped bit inside a JSON number would be a
+  silently wrong answer);
+- ``stall``      -- sleep before sending (exercises timeouts /
+  slow-loris defenses).
+
+Faults fire per send-call with independent seeded draws, so a sweep
+over seeds explores different interleavings while any single seed
+replays exactly.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.net.wire import HEADER_BYTES
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.state import STATE as _TM
+
+__all__ = [
+    "FAULT_KINDS",
+    "WireFaultPlan",
+    "FaultyStream",
+    "InjectedDisconnect",
+]
+
+#: The closed catalog of injectable wire faults.
+FAULT_KINDS: Tuple[str, ...] = (
+    "disconnect",
+    "truncate",
+    "corrupt_length",
+    "bit_flip",
+    "stall",
+)
+
+
+class InjectedDisconnect(ConnectionError):
+    """The injector closed the connection on purpose.
+
+    Subclasses :class:`ConnectionError` so the injected failure is
+    indistinguishable from a real peer reset to the code under test --
+    the client must treat both identically.
+    """
+
+
+@dataclass
+class WireFaultPlan:
+    """The seeded fault policy for one connection.
+
+    Each probability is the per-send chance of that fault firing; the
+    draws come from one ``numpy`` generator seeded at construction, so
+    equal seeds replay equal fault sequences against equal traffic.
+
+    Attributes:
+        seed: Generator seed (the whole experiment key).
+        p_disconnect: Chance a send closes the socket instead.
+        p_truncate: Chance a send delivers only a prefix, then closes.
+        p_corrupt_length: Chance a frame header's length is garbled.
+        p_bit_flip: Chance one bit of the data is flipped.
+        p_stall: Chance a send sleeps ``stall_s`` first.
+        stall_s: Stall duration when a stall fires.
+        max_faults: Hard cap on faults fired (0 = unlimited); lets a
+            scenario injure a connection once and then heal.
+    """
+
+    seed: int = 0
+    p_disconnect: float = 0.0
+    p_truncate: float = 0.0
+    p_corrupt_length: float = 0.0
+    p_bit_flip: float = 0.0
+    p_stall: float = 0.0
+    stall_s: float = 0.05
+    max_faults: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _fired: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "p_disconnect", "p_truncate", "p_corrupt_length",
+            "p_bit_flip", "p_stall",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def faults_fired(self) -> int:
+        """How many faults this plan has fired so far."""
+        return self._fired
+
+    def draw(self) -> Optional[str]:
+        """The fault (if any) to apply to the next send.
+
+        One uniform draw per send, partitioned across the kinds --
+        at most one fault per send, and the draw happens even when no
+        fault fires so traffic volume does not change which seeds
+        misbehave later.
+        """
+        u = float(self._rng.random())
+        if self.max_faults and self._fired >= self.max_faults:
+            return None
+        edge = 0.0
+        for kind, p in (
+            ("disconnect", self.p_disconnect),
+            ("truncate", self.p_truncate),
+            ("corrupt_length", self.p_corrupt_length),
+            ("bit_flip", self.p_bit_flip),
+            ("stall", self.p_stall),
+        ):
+            edge += p
+            if u < edge:
+                self._fired += 1
+                return kind
+        return None
+
+    def split_point(self, n_bytes: int) -> int:
+        """A seeded cut position inside ``n_bytes`` (at least 1 byte
+        delivered, at least 1 withheld, when possible)."""
+        if n_bytes <= 1:
+            return 0
+        return int(self._rng.integers(1, n_bytes))
+
+    def bit_position(self, n_bytes: int) -> Tuple[int, int]:
+        """A seeded (byte, bit) target inside ``n_bytes``."""
+        byte = int(self._rng.integers(0, max(1, n_bytes)))
+        bit = int(self._rng.integers(0, 8))
+        return byte, bit
+
+
+class FaultyStream:
+    """One connected socket with a :class:`WireFaultPlan` applied.
+
+    Duck-types the small socket surface the blocking client uses
+    (``sendall`` / ``recv`` / ``settimeout`` / ``close``), injecting on
+    the *send* side: every byte that leaves through this wrapper may be
+    dropped, truncated, corrupted, or delayed.  The receive side passes
+    through -- the peer's corrupted sends arrive corrupted already.
+    Injecting at the client is sufficient to exercise both directions:
+    client-side faults hit the server's decoder, and the chaos suite
+    covers the reverse path by killing the server mid-stream.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        plan: WireFaultPlan,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._sock = sock
+        self._plan = plan
+        self._sleep = sleep
+        self._closed = False
+
+    @property
+    def plan(self) -> WireFaultPlan:
+        return self._plan
+
+    def _note(self, kind: str, offset: int = 0) -> None:
+        if _TM.enabled:
+            _emit_probe(
+                "net.fault", kind=kind, direction="out", offset=offset
+            )
+
+    def sendall(self, data: bytes) -> None:
+        if self._closed:
+            raise InjectedDisconnect("injected disconnect (socket closed)")
+        kind = self._plan.draw()
+        if kind is None:
+            self._sock.sendall(data)
+            return
+        if kind == "stall":
+            self._note(kind)
+            self._sleep(self._plan.stall_s)
+            self._sock.sendall(data)
+            return
+        if kind == "bit_flip":
+            byte, bit = self._plan.bit_position(len(data))
+            self._note(kind, offset=byte)
+            corrupted = bytearray(data)
+            if corrupted:
+                corrupted[byte] ^= 1 << bit
+            self._sock.sendall(bytes(corrupted))
+            return
+        if kind == "corrupt_length":
+            # Garble the length field (bytes 4..8 of the header) so the
+            # peer sees an absurd declared size and must enforce its cap.
+            corrupted = bytearray(data)
+            if len(corrupted) >= HEADER_BYTES:
+                corrupted[4:8] = b"\xff\xff\xff\xff"
+                self._note(kind, offset=4)
+                self._sock.sendall(bytes(corrupted))
+            else:
+                self._sock.sendall(data)
+            return
+        if kind == "truncate":
+            cut = self._plan.split_point(len(data))
+            self._note(kind, offset=cut)
+            if cut > 0:
+                self._sock.sendall(data[:cut])
+            self.close()
+            raise InjectedDisconnect(
+                f"injected truncation after {cut}/{len(data)} B"
+            )
+        # disconnect: nothing delivered, socket closed.
+        self._note(kind)
+        self.close()
+        raise InjectedDisconnect("injected disconnect before send")
+
+    def recv(self, n: int) -> bytes:
+        if self._closed:
+            return b""
+        return self._sock.recv(n)
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self._sock.settimeout(timeout)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+
+def plan_catalog(seed: int) -> Dict[str, WireFaultPlan]:
+    """Named single-fault plans for the seeded sweep tests.
+
+    One plan per fault kind at a rate high enough to fire within a
+    short request burst, all derived from ``seed`` so the sweep is a
+    pure function of it.
+    """
+    return {
+        "disconnect": WireFaultPlan(seed=seed, p_disconnect=0.15),
+        "truncate": WireFaultPlan(seed=seed + 1, p_truncate=0.15),
+        "corrupt_length": WireFaultPlan(
+            seed=seed + 2, p_corrupt_length=0.15
+        ),
+        "bit_flip": WireFaultPlan(seed=seed + 3, p_bit_flip=0.15),
+        "stall": WireFaultPlan(
+            seed=seed + 4, p_stall=0.2, stall_s=0.02
+        ),
+    }

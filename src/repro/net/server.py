@@ -1,0 +1,500 @@
+"""The asyncio TCP server fronting a :class:`CoalescingFrontend`.
+
+One :class:`TDAMSocketServer` adopts an already-built front end (and
+whatever service stack sits behind it) and serves the wire protocol of
+:mod:`repro.net.wire` to any number of concurrent connections.  The
+design keeps every robustness property the in-process stack earned:
+
+- **typed failures cross the wire** -- every exception the front end
+  raises is encoded losslessly (:func:`~repro.net.wire.encode_error`)
+  and re-raised as the same type client-side; a malformed byte stream
+  gets a connection-level typed error and the connection is dropped
+  (framing is unrecoverable after corruption);
+- **bounded in-flight window** -- each connection may have at most
+  ``max_in_flight`` requests being served; the reader coroutine blocks
+  on the window *before* reading more frames, so an overdriving client
+  is throttled by TCP backpressure instead of ballooning server
+  memory.  Admission control (queue bounds, quotas) still happens in
+  the front end -- the window is per-connection flow control, not a
+  second admission layer;
+- **remaining-budget deadlines** -- requests carry ``budget_s``, the
+  budget left at client send time; the server dates the deadline from
+  frame arrival, so time spent on the wire is spent out of the same
+  budget and no wall-clock agreement between hosts is needed;
+- **request-id propagation** -- a client-minted ``request_id`` becomes
+  the server-side :class:`~repro.telemetry.request.RequestContext`, so
+  traces and flight-recorder stories span the wire;
+- **graceful drain** -- on SIGTERM (or :meth:`drain`): stop accepting,
+  send ``goaway`` on every live connection, let in-flight requests
+  finish under ``drain_grace_s``, then close sockets and drain the
+  front end.  In-flight work is answered; only *new* work is refused.
+
+The front end itself is thread-blocking (futures, dispatcher thread),
+so the server bridges via ``run_in_executor``: the event loop never
+blocks on a search, and the GIL-released numpy kernels behind the
+front end keep the executor threads cheap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import socket
+from typing import Dict, Optional, Set
+
+from repro.net.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameCorruptError,
+    FrameDecoder,
+    FrameTimeoutError,
+    HandshakeError,
+    PROTOCOL_VERSION,
+    WireProtocolError,
+    encode_frame,
+    error_message,
+    goaway_message,
+    hello_ok_message,
+    note_frame,
+    note_wire_error,
+    response_message,
+)
+from repro.service.errors import (
+    DeadlineExceededError,
+    InvalidRequestError,
+    ServiceError,
+)
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.log import get_logger
+from repro.telemetry.profile import emit_probe as _emit_probe
+from repro.telemetry.request import RequestContext, request_scope
+from repro.telemetry.state import STATE as _TM
+
+__all__ = ["TDAMSocketServer", "serve_until_signal"]
+
+_log = get_logger(__name__)
+
+_REG = _metrics.get_registry()
+_CONNECTIONS = _REG.counter(
+    "net_connections_total",
+    "Connections accepted by the socket server",
+)
+_ACTIVE = _REG.gauge(
+    "net_connections_active",
+    "Connections currently open on the socket server",
+)
+_REQUESTS = _REG.counter(
+    "net_requests_total",
+    "Remote requests served, by outcome (ok/error)",
+    labels=("outcome",),
+)
+_DRAINS = _REG.counter(
+    "net_drains_total",
+    "Graceful drains executed by the socket server",
+)
+
+_READ_CHUNK = 1 << 16
+
+
+class _Connection:
+    """Per-connection state: writer, window, and in-flight tasks."""
+
+    def __init__(
+        self, writer: asyncio.StreamWriter, max_in_flight: int
+    ) -> None:
+        self.writer = writer
+        self.window = asyncio.Semaphore(max_in_flight)
+        self.write_lock = asyncio.Lock()
+        self.tasks: Set[asyncio.Task] = set()
+        self.greeted = False
+        self.closing = False
+
+
+class TDAMSocketServer:
+    """Serve one coalescing front end over asyncio TCP.
+
+    Args:
+        frontend: A started :class:`~repro.service.frontend
+            .CoalescingFrontend` (``auto_dispatch=True``); the server
+            adopts it and drains it at shutdown.
+        host: Bind address (default loopback).
+        port: Bind port (0 = ephemeral; read :attr:`port` after
+            :meth:`start`).
+        max_in_flight: Per-connection in-flight request window.
+        max_frame_bytes: Hard frame cap handed to the decoder.
+        frame_timeout_s: Max quiet time between reads on a connection
+            before it is dropped (slow-loris defense; also the idle
+            timeout -- an idle client should reconnect, not squat).
+        drain_grace_s: How long :meth:`drain` waits for in-flight
+            requests before force-closing connections.
+        name: Label for logs.
+    """
+
+    def __init__(
+        self,
+        frontend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = 8,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        frame_timeout_s: float = 30.0,
+        drain_grace_s: float = 5.0,
+        name: str = "tdam-server",
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self.frontend = frontend
+        self.host = host
+        self.name = name
+        self.max_in_flight = max_in_flight
+        self.max_frame_bytes = max_frame_bytes
+        self.frame_timeout_s = frame_timeout_s
+        self.drain_grace_s = drain_grace_s
+        self._requested_port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Dict[int, _Connection] = {}
+        self._conn_seq = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        sockets = self._server.sockets or []
+        for s in sockets:
+            return int(s.getsockname()[1])
+        return self._requested_port
+
+    async def start(self) -> "TDAMSocketServer":
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        _log.info(
+            "socket server listening",
+            extra={"host": self.host, "port": self.port},
+        )
+        return self
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve until ``stop`` is set, then drain gracefully."""
+        if self._server is None:
+            await self.start()
+        await stop.wait()
+        await self.drain()
+
+    async def drain(self, reason: str = "draining") -> int:
+        """Graceful shutdown; returns in-flight requests awaited.
+
+        Stop accepting, tell every live connection ``goaway``, give
+        in-flight requests ``drain_grace_s`` to finish, then close
+        everything and drain the front end.  Idempotent: later calls
+        await the first and return 0.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return 0
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        conns = list(self._connections.values())
+        in_flight = [t for c in conns for t in list(c.tasks)]
+        for conn in conns:
+            conn.closing = True
+            with contextlib.suppress(Exception):
+                await self._send(conn, goaway_message(reason))
+        if in_flight:
+            done, pending = await asyncio.wait(
+                in_flight, timeout=self.drain_grace_s
+            )
+            for task in pending:
+                task.cancel()
+        for conn in conns:
+            self._close_writer(conn.writer)
+        # The front end flushes its own pending batches; run off-loop
+        # because drain() dispatches blocking service calls.
+        await loop.run_in_executor(None, self.frontend.drain)
+        elapsed = loop.time() - started
+        if _TM.enabled:
+            _DRAINS.inc()
+            _emit_probe(
+                "net.drain",
+                connections=len(conns),
+                in_flight=len(in_flight),
+                elapsed_s=elapsed,
+            )
+        _log.info(
+            "socket server drained",
+            extra={
+                "connections": len(conns),
+                "in_flight": len(in_flight),
+                "elapsed_s": elapsed,
+            },
+        )
+        self._drained.set()
+        return len(in_flight)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining:
+            self._close_writer(writer)
+            return
+        self._conn_seq += 1
+        conn_id = self._conn_seq
+        conn = _Connection(writer, self.max_in_flight)
+        self._connections[conn_id] = conn
+        if _TM.enabled:
+            _CONNECTIONS.inc()
+            _ACTIVE.set(float(len(self._connections)))
+        decoder = FrameDecoder(self.max_frame_bytes)
+        try:
+            await self._read_loop(conn, reader, decoder)
+        except WireProtocolError as exc:
+            note_wire_error(exc)
+            # Best-effort typed goodbye; framing is gone, so close.
+            with contextlib.suppress(Exception):
+                await self._send(conn, error_message(None, exc))
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            conn.closing = True
+            if conn.tasks:
+                await asyncio.wait(
+                    list(conn.tasks), timeout=self.drain_grace_s
+                )
+            self._close_writer(writer)
+            self._connections.pop(conn_id, None)
+            if _TM.enabled:
+                _ACTIVE.set(float(len(self._connections)))
+
+    async def _read_loop(
+        self,
+        conn: _Connection,
+        reader: asyncio.StreamReader,
+        decoder: FrameDecoder,
+    ) -> None:
+        while not conn.closing:
+            try:
+                chunk = await asyncio.wait_for(
+                    reader.read(_READ_CHUNK), timeout=self.frame_timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise FrameTimeoutError(
+                    f"no bytes from peer within {self.frame_timeout_s}s"
+                ) from None
+            if not chunk:
+                # EOF: clean only on a frame boundary.
+                decoder.eof()
+                return
+            for message in decoder.feed(chunk):
+                if not await self._handle_message(conn, message):
+                    return
+
+    async def _handle_message(
+        self, conn: _Connection, message: Dict[str, object]
+    ) -> bool:
+        """Process one decoded message; False ends the connection."""
+        mtype = message.get("type")
+        note_frame("in", str(mtype), 0)
+        if not conn.greeted:
+            if mtype != "hello":
+                raise HandshakeError(
+                    f"expected hello, got {mtype!r}"
+                )
+            if message.get("version") != PROTOCOL_VERSION:
+                exc = HandshakeError(
+                    f"protocol version mismatch: server speaks "
+                    f"{PROTOCOL_VERSION}, client offered "
+                    f"{message.get('version')!r}"
+                )
+                with contextlib.suppress(Exception):
+                    await self._send(conn, error_message(None, exc))
+                return False
+            conn.greeted = True
+            service = self.frontend.service
+            config = getattr(service, "config", None)
+            await self._send(conn, hello_ok_message(
+                n_rows=int(service.n_rows),
+                n_stages=int(getattr(config, "n_stages", 0)),
+                levels=int(getattr(config, "levels", 0)),
+                default_deadline_s=float(service.default_deadline_s),
+                server=self.name,
+            ))
+            return True
+        if mtype == "bye":
+            return False
+        if mtype == "request":
+            if not isinstance(message.get("id"), int):
+                raise FrameCorruptError(
+                    "request frame missing an integer id"
+                )
+            if self._draining:
+                await self._send(conn, goaway_message())
+                return False
+            # Backpressure point: no further frames are read until a
+            # window slot frees up.
+            await conn.window.acquire()
+            task = asyncio.ensure_future(self._serve(conn, message))
+            conn.tasks.add(task)
+            task.add_done_callback(conn.tasks.discard)
+            return True
+        raise FrameCorruptError(f"unknown message type {mtype!r}")
+
+    # ------------------------------------------------------------------
+    # Request serving
+    # ------------------------------------------------------------------
+    async def _serve(
+        self, conn: _Connection, message: Dict[str, object]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        req_id = message.get("id")
+        try:
+            try:
+                kind, response = await loop.run_in_executor(
+                    None, self._serve_blocking, message
+                )
+            except ServiceError as exc:
+                if _TM.enabled:
+                    _REQUESTS.inc(outcome="error")
+                await self._send(conn, error_message(req_id, exc))
+                return
+            except Exception as exc:  # pragma: no cover - backstop
+                _log.warning(
+                    "remote request failed untyped", exc_info=True
+                )
+                if _TM.enabled:
+                    _REQUESTS.inc(outcome="error")
+                await self._send(conn, error_message(req_id, exc))
+                return
+            if _TM.enabled:
+                _REQUESTS.inc(outcome="ok")
+            await self._send(
+                conn, response_message(int(req_id), kind, response)
+            )
+        except (ConnectionError, OSError):
+            # The client vanished mid-answer; nothing left to tell it.
+            conn.closing = True
+        finally:
+            conn.window.release()
+
+    def _serve_blocking(self, message: Dict[str, object]):
+        """Run one request through the front end (executor thread)."""
+        kind = message.get("kind")
+        if kind not in ("search", "topk"):
+            raise InvalidRequestError(f"unknown request kind {kind!r}")
+        try:
+            budget_s = float(message["budget_s"])
+            query = message["query"]
+            tenant = str(message.get("tenant", "default"))
+            k = int(message.get("k", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidRequestError(
+                f"malformed request frame: {exc!r}"
+            ) from exc
+        if budget_s <= 0.0:
+            # The budget died on the wire: work was never attempted
+            # here, but the *request* ran out of time -- a deadline,
+            # not a shed (nothing was admitted to shed).
+            raise DeadlineExceededError(
+                "request budget exhausted before server admission"
+            )
+        request_id = message.get("request_id")
+        ctx = None
+        if _TM.enabled and request_id:
+            ctx = RequestContext(
+                request_id=str(request_id), tenant=tenant
+            )
+        with request_scope(ctx) if ctx is not None \
+                else contextlib.nullcontext():
+            if kind == "search":
+                future = self.frontend.submit(
+                    query, tenant=tenant, deadline_s=budget_s
+                )
+            else:
+                future = self.frontend.submit_top_k(
+                    query, k, tenant=tenant, deadline_s=budget_s
+                )
+        try:
+            # The front end sheds/answers by the deadline on its own;
+            # the pad only covers dispatch scheduling jitter.
+            response = future.result(timeout=budget_s + 5.0)
+        except TimeoutError:
+            raise DeadlineExceededError(
+                "request future unfulfilled past its budget"
+            ) from None
+        return kind, response
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    async def _send(
+        self, conn: _Connection, message: Dict[str, object]
+    ) -> None:
+        frame = encode_frame(message, self.max_frame_bytes)
+        async with conn.write_lock:
+            conn.writer.write(frame)
+            await conn.writer.drain()
+        note_frame("out", str(message.get("type")), len(frame))
+
+    @staticmethod
+    def _close_writer(writer: asyncio.StreamWriter) -> None:
+        with contextlib.suppress(Exception):
+            writer.close()
+
+
+def serve_until_signal(
+    frontend,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_in_flight: int = 8,
+    frame_timeout_s: float = 30.0,
+    drain_grace_s: float = 5.0,
+    on_listening=None,
+) -> None:
+    """Run a socket server on this thread until SIGTERM/SIGINT.
+
+    The blocking entry point behind ``repro serve``: builds the event
+    loop, installs signal handlers that trigger the graceful drain,
+    and returns once the drain completes.  ``on_listening(host, port)``
+    fires after bind (the CLI prints the endpoint; tests grab the
+    ephemeral port).
+    """
+
+    async def _main() -> None:
+        server = TDAMSocketServer(
+            frontend,
+            host=host,
+            port=port,
+            max_in_flight=max_in_flight,
+            frame_timeout_s=frame_timeout_s,
+            drain_grace_s=drain_grace_s,
+        )
+        await server.start()
+        if on_listening is not None:
+            on_listening(server.host, server.port)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                # Non-main thread / platforms without signal support:
+                # the server still drains when stop is set by hand.
+                pass
+        await server.serve_until(stop)
+
+    asyncio.run(_main())

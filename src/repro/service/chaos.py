@@ -850,6 +850,37 @@ def _scenario_tenant_stampede(
     )
 
 
+# ----------------------------------------------------------------------
+# Network scenarios (real sockets; implemented in repro.net.chaos and
+# imported lazily so the service layer never depends on the transport)
+# ----------------------------------------------------------------------
+def _scenario_net_flaky_link(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """Seeded wire faults between client and server: exact or typed."""
+    from repro.net.chaos import scenario_net_flaky_link
+
+    return scenario_net_flaky_link(config, n_rows, n_requests, seed)
+
+
+def _scenario_net_slow_loris(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """A stalling peer is evicted; healthy clients are unharmed."""
+    from repro.net.chaos import scenario_net_slow_loris
+
+    return scenario_net_slow_loris(config, n_rows, n_requests, seed)
+
+
+def _scenario_net_server_kill(
+    config: TDAMConfig, n_rows: int, n_requests: int, seed: int
+) -> ChaosScenarioResult:
+    """Server sockets severed mid-stream: typed errors, then recovery."""
+    from repro.net.chaos import scenario_net_server_kill
+
+    return scenario_net_server_kill(config, n_rows, n_requests, seed)
+
+
 _SCENARIOS: Dict[str, Callable[[TDAMConfig, int, int, int],
                                ChaosScenarioResult]] = {
     "baseline": _scenario_baseline,
@@ -861,6 +892,9 @@ _SCENARIOS: Dict[str, Callable[[TDAMConfig, int, int, int],
     "overload_burst": _scenario_overload_burst,
     "slow_shard_under_load": _scenario_slow_shard_under_load,
     "tenant_stampede": _scenario_tenant_stampede,
+    "net_flaky_link": _scenario_net_flaky_link,
+    "net_slow_loris": _scenario_net_slow_loris,
+    "net_server_kill": _scenario_net_server_kill,
 }
 
 

@@ -43,8 +43,20 @@ import numpy as np
 from repro.telemetry.request import RequestContext
 from repro.telemetry.trace import Span
 
-__all__ = ["CoalescePolicy", "FrontendFuture", "PendingRequest",
-           "ReadyBatch", "Coalescer"]
+__all__ = ["CoalescePolicy", "CoalescerClosed", "FrontendFuture",
+           "PendingRequest", "ReadyBatch", "Coalescer"]
+
+
+class CoalescerClosed(RuntimeError):
+    """An :meth:`Coalescer.add` raced past a close.
+
+    Deliberately *not* a ``ServiceError``: this is an internal signal
+    between coalescer and front end, which converts it into the typed
+    ``draining`` shed the caller is owed.  Without it, a request that
+    slipped past the front-end's draining check could land in an
+    already-flushed coalescer and its future would never be fulfilled
+    -- a caller hung forever at shutdown.
+    """
 
 
 @dataclass(frozen=True)
@@ -179,6 +191,7 @@ class Coalescer:
         self.policy = policy if policy is not None else CoalescePolicy()
         self._pending: Dict[Tuple[str, int], List[PendingRequest]] = {}
         self._lock = threading.Lock()
+        self._closed = False
 
     @property
     def depth(self) -> int:
@@ -186,9 +199,38 @@ class Coalescer:
         with self._lock:
             return sum(len(v) for v in self._pending.values())
 
-    def add(self, request: PendingRequest) -> Optional[ReadyBatch]:
-        """Enqueue one request; returns a batch if it just became full."""
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (no further adds accepted)."""
         with self._lock:
+            return self._closed
+
+    def close(self, reason: str = "drain") -> List[ReadyBatch]:
+        """Refuse further adds and flush everything still pending.
+
+        Idempotent: the first call flushes and closes, later calls
+        return an empty list.  After close, :meth:`add` raises
+        :class:`CoalescerClosed` so a racing submit is *rejected*
+        instead of stranded in a store nobody will ever flush again.
+        """
+        with self._lock:
+            if self._closed:
+                return []
+            self._closed = True
+        return self.pop_all(reason)
+
+    def add(self, request: PendingRequest) -> Optional[ReadyBatch]:
+        """Enqueue one request; returns a batch if it just became full.
+
+        Raises:
+            CoalescerClosed: :meth:`close` already ran -- the caller
+                must shed the request, not enqueue it.
+        """
+        with self._lock:
+            if self._closed:
+                raise CoalescerClosed(
+                    "coalescer is closed; request must be shed"
+                )
             group = self._pending.setdefault(request.key, [])
             group.append(request)
             if len(group) >= self.policy.max_batch:

@@ -54,6 +54,7 @@ from repro.service.admission import AdmissionController
 from repro.service.coalesce import (
     CoalescePolicy,
     Coalescer,
+    CoalescerClosed,
     FrontendFuture,
     PendingRequest,
     ReadyBatch,
@@ -209,6 +210,8 @@ class CoalescingFrontend:
         self._dispatch_lock = threading.Lock()  # one batch in flight
         self._stats = FrontendStats()
         self._draining = False
+        self._drained = False
+        self._drain_lock = threading.Lock()
         self._auto = auto_dispatch
         self._stop = False
         self._cond = threading.Condition()
@@ -415,7 +418,26 @@ class CoalescingFrontend:
         )
         if ctx is not None:
             request.future.request_id = ctx.request_id
-        full_batch = self._coalescer.add(request)
+        try:
+            full_batch = self._coalescer.add(request)
+        except CoalescerClosed:
+            # The submit raced a concurrent drain: it passed the
+            # _draining check before drain() set the flag, but the
+            # coalescer has already been flushed.  Enqueueing would
+            # strand the future forever; shed it with the same typed
+            # error an un-raced draining submit gets.
+            self._count_shed("draining", tenant, now)
+            self.admission.count(
+                "shed_draining", tenant, self.queue_depth, 0.0
+            )
+            self._offer_flight(ctx, tenant, "shed", None, now,
+                               (submit_span,), reason="draining")
+            raise OverloadError(
+                "front-end is draining; no new requests admitted",
+                retry_after_s=0.0,
+                reason="draining",
+                tenant=tenant,
+            ) from None
         if full_batch is not None:
             if self._auto:
                 self._dispatch(full_batch)
@@ -492,26 +514,37 @@ class CoalescingFrontend:
 
         Graceful shutdown: already-admitted requests are served (or
         shed if their deadline has passed), new submissions are
-        rejected with a typed ``draining`` error.  Idempotent.
+        rejected with a typed ``draining`` error.  Idempotent: the
+        first call drains; concurrent callers block until it finishes
+        and every later call is a no-op returning 0 (no duplicate
+        probe, log line, or dispatcher join).  A submit racing the
+        drain is shed with the same typed ``draining`` error, never
+        stranded (see :class:`~repro.service.coalesce.CoalescerClosed`).
         Returns the number of requests flushed by this call.
         """
         self._draining = True
-        if self._auto:
-            self._stop_dispatcher()
-        with self._lock:
-            batches, self._ready = self._ready, []
-        batches.extend(self._coalescer.pop_all("drain"))
-        n = 0
-        for batch in batches:
-            n += len(batch)
-            self._dispatch(batch)
-        if _TM.enabled:
-            _emit_probe("frontend.drain", pending_flushed=n)
-        _log.info(
-            # "name" is reserved on LogRecord; "frontend" carries it.
-            "front-end drained", extra={"frontend": self.name, "flushed": n}
-        )
-        return n
+        with self._drain_lock:
+            if self._drained:
+                return 0
+            self._drained = True
+            if self._auto:
+                self._stop_dispatcher()
+            with self._lock:
+                batches, self._ready = self._ready, []
+            batches.extend(self._coalescer.close("drain"))
+            n = 0
+            for batch in batches:
+                n += len(batch)
+                self._dispatch(batch)
+            if _TM.enabled:
+                _emit_probe("frontend.drain", pending_flushed=n)
+            _log.info(
+                # "name" is reserved on LogRecord; "frontend" carries
+                # it.
+                "front-end drained",
+                extra={"frontend": self.name, "flushed": n},
+            )
+            return n
 
     close = drain
 
@@ -525,8 +558,12 @@ class CoalescingFrontend:
         with self._cond:
             self._stop = True
             self._cond.notify_all()
-        if self._dispatcher is not None:
-            self._dispatcher.join(timeout=5.0)
+        dispatcher = self._dispatcher
+        if dispatcher is not None:
+            # A drain initiated from a dispatcher-thread callback must
+            # not join itself; the loop exits on its own via _stop.
+            if dispatcher is not threading.current_thread():
+                dispatcher.join(timeout=5.0)
             self._dispatcher = None
 
     def _dispatch_loop(self) -> None:

@@ -124,6 +124,18 @@ PROBE_EVENTS: Dict[str, str] = {
         "clustered-index probe served: queries, k, nprobe, rows_probed, "
         "rows_total, candidates (pairs surviving the prune)"
     ),
+    "net.frame": (
+        "one wire frame processed: direction in {in, out}, type "
+        "(message type), bytes (payload size)"
+    ),
+    "net.drain": (
+        "socket server drained: connections notified (GOAWAY), "
+        "in-flight requests finished, elapsed_s"
+    ),
+    "net.fault": (
+        "one injected wire fault fired: kind in {disconnect, truncate, "
+        "corrupt_length, bit_flip, stall}, direction, offset"
+    ),
 }
 
 _lock = threading.Lock()

@@ -1,0 +1,50 @@
+"""Shared fixtures for the network-transport tests.
+
+Every socket test runs against a real loopback server on an ephemeral
+port via :class:`~repro.net.chaos.ServerHarness`; nothing is mocked
+below the frame codec, so the suite exercises the same code paths
+``repro serve`` does.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.config import TDAMConfig
+from repro.net.chaos import ServerHarness, _build_stack
+
+
+@pytest.fixture(autouse=True)
+def pristine_telemetry():
+    """Reset the process-global telemetry state around every test."""
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+@pytest.fixture
+def config():
+    return TDAMConfig(n_stages=16)
+
+
+@pytest.fixture
+def stack(config):
+    """(stored matrix, started wall-clock frontend) from one seed."""
+    stored, frontend = _build_stack(config, n_rows=8, seed=42)
+    return stored, frontend
+
+
+@pytest.fixture
+def harness(stack):
+    """A running loopback server adopting the ``stack`` frontend."""
+    _, frontend = stack
+    h = ServerHarness(frontend).start()
+    yield h
+    h.stop()
+
+
+@pytest.fixture
+def queries(config):
+    return np.random.default_rng(17).integers(
+        0, config.levels, size=(24, config.n_stages)
+    )

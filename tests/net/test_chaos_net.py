@@ -1,0 +1,46 @@
+"""The three network chaos scenarios, run small, must pass their SLOs."""
+
+import pytest
+
+from repro.core.config import TDAMConfig
+from repro.net.chaos import (
+    scenario_net_flaky_link,
+    scenario_net_server_kill,
+    scenario_net_slow_loris,
+)
+from repro.service.chaos import _SCENARIOS, run_chaos_suite
+
+
+def test_net_scenarios_registered_in_suite():
+    for name in ("net_flaky_link", "net_slow_loris", "net_server_kill"):
+        assert name in _SCENARIOS
+
+
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize(
+    "scenario",
+    [
+        scenario_net_flaky_link,
+        scenario_net_slow_loris,
+        scenario_net_server_kill,
+    ],
+    ids=lambda s: s.__name__,
+)
+def test_scenario_passes_honesty_slo(scenario):
+    config = TDAMConfig(n_stages=16)
+    result = scenario(config, n_rows=8, n_requests=12, seed=3)
+    assert result.passed, result.notes
+    assert result.wrong_unflagged == 0
+
+
+@pytest.mark.timeout(240)
+def test_suite_runs_net_scenarios_by_name():
+    report = run_chaos_suite(
+        quick=True,
+        seed=7,
+        scenarios=["net_flaky_link", "net_server_kill"],
+    )
+    assert report.passed
+    assert {s.name for s in report.scenarios} == {
+        "net_flaky_link", "net_server_kill"
+    }

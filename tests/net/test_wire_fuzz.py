@@ -1,0 +1,124 @@
+"""Property-based fuzzing of the frame decoder (satellite).
+
+The decoder's contract under arbitrary hostile input: it returns
+complete JSON-object messages, or raises a *typed*
+:class:`~repro.net.wire.WireProtocolError` subclass -- it never raises
+anything else, never hangs, and never yields a partially-decoded
+message.  Chunking must be irrelevant: any split of a valid stream
+decodes to the same message sequence.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.wire import (
+    ConnectionLostError,
+    FrameDecoder,
+    FrameTooLargeError,
+    WireProtocolError,
+    encode_frame,
+)
+
+_HEADER = struct.Struct("!4sII")
+
+#: JSON-object messages the protocol could plausibly carry.
+_MESSAGES = st.dictionaries(
+    keys=st.text(max_size=8),
+    values=st.one_of(
+        st.integers(-10**6, 10**6),
+        st.text(max_size=16),
+        st.booleans(),
+        st.none(),
+        st.lists(st.integers(0, 255), max_size=8),
+    ),
+    max_size=5,
+)
+
+
+@pytest.mark.timeout(60)
+class TestDecoderFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.binary(max_size=512))
+    def test_garbage_is_typed_or_decoded_never_crashes(self, data):
+        decoder = FrameDecoder(max_frame_bytes=4096)
+        try:
+            messages = decoder.feed(data)
+            for message in messages:
+                assert isinstance(message, dict)
+            decoder.eof()
+        except WireProtocolError:
+            # Typed is the contract; anything else propagates and
+            # fails the test.
+            pass
+
+    @settings(max_examples=300, deadline=None)
+    @given(data=st.binary(max_size=500))
+    def test_garbage_behind_valid_magic_is_typed(self, data):
+        decoder = FrameDecoder(max_frame_bytes=4096)
+        try:
+            decoder.feed(b"TDAM" + data)
+            decoder.eof()
+        except WireProtocolError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(messages=st.lists(_MESSAGES, min_size=1, max_size=5),
+           data=st.data())
+    def test_chunking_is_irrelevant(self, messages, data):
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        out = []
+        i = 0
+        while i < len(stream):
+            j = data.draw(
+                st.integers(i + 1, len(stream)), label="split"
+            )
+            out.extend(decoder.feed(stream[i:j]))
+            i = j
+        decoder.eof()
+        assert out == messages
+        assert decoder.pending_bytes == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(message=_MESSAGES, data=st.data())
+    def test_truncation_always_surfaces_at_eof(self, message, data):
+        stream = encode_frame(message)
+        cut = data.draw(
+            st.integers(1, len(stream) - 1), label="cut"
+        )
+        decoder = FrameDecoder()
+        assert decoder.feed(stream[:cut]) == []
+        with pytest.raises(ConnectionLostError):
+            decoder.eof()
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        declared=st.integers(1025, 2**32 - 1),
+        crc=st.integers(0, 2**32 - 1),
+    )
+    def test_oversized_declared_length_is_always_typed(
+        self, declared, crc
+    ):
+        header = _HEADER.pack(b"TDAM", declared, crc)
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(FrameTooLargeError):
+            decoder.feed(header)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.binary(min_size=1, max_size=64))
+    def test_no_silent_partial_decode(self, data):
+        """Bytes that do not finish a frame produce no message at all."""
+        message_stream = encode_frame({"k": 1})
+        decoder = FrameDecoder()
+        # A partial valid prefix plus any non-completing suffix either
+        # raises typed or keeps buffering -- it never emits a dict that
+        # was not a complete, checksummed frame.
+        try:
+            out = decoder.feed(message_stream[:8] + data)
+            for message in out:
+                assert isinstance(message, dict)
+        except WireProtocolError:
+            pass

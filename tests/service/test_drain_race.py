@@ -1,0 +1,125 @@
+"""Drain idempotency and the submit-vs-drain race (regression).
+
+The socket server drains the front end from its own shutdown path
+while clients may still be submitting; these tests pin the contract:
+``drain()`` is idempotent (and concurrency-safe), and a submit that
+races the drain is shed with a typed ``draining`` error -- its future
+is never silently stranded.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import CoalescePolicy, CoalescingFrontend, OverloadError
+from repro.service.coalesce import Coalescer, CoalescerClosed
+
+from tests.service.conftest import make_service
+
+
+def make_frontend(service, clock, **kwargs):
+    return CoalescingFrontend(
+        service,
+        policy=CoalescePolicy(window_s=0.01, max_batch=4),
+        clock=clock.now,
+        auto_dispatch=False,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def queries(config):
+    return np.random.default_rng(13).integers(
+        0, config.levels, size=(8, config.n_stages)
+    )
+
+
+class TestCoalescerClose:
+    def test_close_flushes_once_then_noops(self):
+        coalescer = Coalescer(CoalescePolicy(window_s=0.01, max_batch=4))
+        assert not coalescer.closed
+        batches = coalescer.close("drain")
+        assert coalescer.closed
+        assert coalescer.close("drain") == []
+        assert coalescer.close("again") == []
+        assert isinstance(batches, list)
+
+    def test_add_after_close_raises_typed_sentinel(
+        self, config, clock, service
+    ):
+        frontend = make_frontend(service, clock)
+        frontend._coalescer.close("drain")
+        with pytest.raises(CoalescerClosed):
+            frontend._coalescer.add(object())
+
+
+class TestDrainIdempotency:
+    def test_second_drain_is_a_noop(self, service, clock, queries):
+        frontend = make_frontend(service, clock)
+        future = frontend.submit(queries[0], deadline_s=1.0)
+        assert frontend.drain() == 1
+        assert future.result(timeout=0).best_row >= 0
+        assert frontend.drain() == 0
+        assert frontend.drain() == 0
+
+    def test_concurrent_drains_flush_exactly_once(
+        self, service, clock, queries
+    ):
+        frontend = make_frontend(service, clock)
+        for i in range(3):
+            frontend.submit(queries[i], deadline_s=1.0)
+        flushed = []
+        barrier = threading.Barrier(4)
+
+        def drain():
+            barrier.wait()
+            flushed.append(frontend.drain())
+
+        threads = [
+            threading.Thread(target=drain) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert sorted(flushed) == [0, 0, 0, 3]
+
+    def test_submit_racing_drain_is_shed_typed_not_stranded(
+        self, service, clock, queries
+    ):
+        """The exact race the socket server exposed: a submit passes
+        the ``_draining`` check, then lands in an already-closed
+        coalescer.  It must shed typed, not strand the future."""
+        frontend = make_frontend(service, clock)
+        # Simulate the interleaving deterministically: the coalescer
+        # closes between this submit's admission check and its enqueue.
+        frontend._coalescer.close("drain")
+        with pytest.raises(OverloadError) as info:
+            frontend.submit(queries[0], deadline_s=1.0)
+        assert info.value.reason == "draining"
+        assert frontend.stats().shed_draining == 1
+
+    def test_submit_after_full_drain_is_shed_typed(
+        self, service, clock, queries
+    ):
+        frontend = make_frontend(service, clock)
+        frontend.drain()
+        with pytest.raises(OverloadError) as info:
+            frontend.submit_top_k(queries[0], 2, deadline_s=1.0)
+        assert info.value.reason == "draining"
+
+    def test_auto_dispatch_drain_joins_own_thread_safely(
+        self, config, stored
+    ):
+        from repro.service import FakeClock
+
+        service = make_service(config, stored, FakeClock())
+        frontend = CoalescingFrontend(
+            service,
+            policy=CoalescePolicy(window_s=0.002, max_batch=8),
+        )
+        future = frontend.submit(stored[0], deadline_s=5.0)
+        assert future.result(timeout=5.0).best_row == 0
+        assert frontend.drain() >= 0
+        assert frontend.drain() == 0
