@@ -159,6 +159,31 @@ def test_perf_encoder(benchmark):
     assert encoded.shape == (64, 2048)
 
 
+def test_perf_record_encoder(benchmark):
+    """Record-based encode of a 32-sample batch (one-hot MVM path)."""
+    from repro.hdc.encoder import RecordEncoder
+
+    encoder = RecordEncoder(64, 1024, n_levels=16, seed=0)
+    batch = np.random.default_rng(4).uniform(-1, 1, size=(32, 64))
+    encoded = benchmark(encoder.encode, batch)
+    assert encoded.shape == (32, 1024)
+
+
+def test_perf_mvm_dispatch(benchmark):
+    """A dispatched 8b x 8b bit-serial MVM (256 x 617 weights, 32 acts)."""
+    from repro.core.mvm import MVMPlan
+
+    rng = np.random.default_rng(5)
+    plan = MVMPlan(
+        rng.integers(-128, 128, size=(256, 617), dtype=np.int64),
+        bits=8, signed=True,
+    )
+    acts = rng.integers(0, 256, size=(32, 617), dtype=np.int64)
+    plan.matmul(acts)  # warm: settle the autotuned kernel choice
+    out = benchmark(plan.matmul, acts)
+    assert out.shape == (32, 256)
+
+
 def test_perf_transient_chain_step(benchmark):
     """A short vectorized transient (4-stage chain, 100 steps)."""
     config = TDAMConfig(n_stages=4)

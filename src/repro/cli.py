@@ -235,6 +235,15 @@ def _chaos(fast: bool, workers: int = 1) -> str:
     return format_chaos(run_chaos_study(quick=fast))
 
 
+def _encode(fast: bool, workers: int = 1) -> str:
+    from repro.experiments.ext_encode import (
+        format_encode_study,
+        run_encode_study,
+    )
+
+    return format_encode_study(run_encode_study(quick=fast))
+
+
 #: Experiment registry: name -> (description, runner(fast, workers) -> text).
 #: ``workers`` threads/processes the Monte Carlo-style experiments (fig6,
 #: resilience); ``None`` means auto; the others ignore it.
@@ -259,13 +268,16 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool, Optional[int]], str]]] = {
     "area": ("Extension: cell/array area model", _area),
     "resilience": ("Extension: BIST/repair yield & refresh schedule", _resilience),
     "chaos": ("Extension: chaos suite over the serving layer", _chaos),
+    "encode": (
+        "Extension: in-fabric encode-then-search pipeline", _encode
+    ),
 }
 
 #: Paper-order listing for the full report.
 REPORT_ORDER = [
     "fig1", "fig2", "fig4", "fig5", "table1", "fig6", "fig7", "fig8",
     "ablations", "retention", "temperature", "online", "batch", "dse",
-    "area", "resilience", "chaos",
+    "area", "resilience", "chaos", "encode",
 ]
 
 

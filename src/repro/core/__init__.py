@@ -52,10 +52,12 @@ from repro.core.energy import TimingEnergyModel
 from repro.core.kernels import (
     KERNEL_ENV_VAR,
     available_kernels,
+    chunk_decisions,
     clear_autotune_cache,
     force_kernel,
     kernel_override,
 )
+from repro.core.mvm import MVMCost, MVMPlan, infer_operand_bits, mvm
 from repro.core.noise import (
     JitteryTDC,
     droop_delay_factor,
@@ -98,9 +100,14 @@ __all__ = [
     "popcount",
     "KERNEL_ENV_VAR",
     "available_kernels",
+    "chunk_decisions",
     "clear_autotune_cache",
     "force_kernel",
     "kernel_override",
+    "MVMCost",
+    "MVMPlan",
+    "infer_operand_bits",
+    "mvm",
     "top_k_indices",
     "grouped_top_k",
     "prune_survivors",

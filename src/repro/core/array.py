@@ -1166,6 +1166,51 @@ class FastTDAMArray:
             )
         return adders
 
+    def _resolve_batch_chunk(
+        self, chunk: Optional[int], queries: np.ndarray
+    ) -> int:
+        """Resolve the query chunk of one batched call.
+
+        An explicit ``chunk`` is validated and wins outright.  ``None``
+        auto-sizes via :func:`resolve_query_chunk`; when the batch is
+        large enough that chunking actually engages (more than two
+        heuristic chunks of queries), candidate sizes around the
+        heuristic are measured once per geometry through
+        :func:`repro.core.kernels.select_query_chunk` and the winner is
+        cached and persisted alongside the kernel autotune decisions.
+        Chunking never changes results, so the decision is purely a
+        memory/throughput trade.
+        """
+        if chunk is not None:
+            return _resolve_chunk_arg(chunk, self.n_rows, self.config.n_stages)
+        default = resolve_query_chunk(self.n_rows, self.config.n_stages)
+        n_q = queries.shape[0]
+        if n_q <= 2 * default:
+            return default
+        sizes = sorted({
+            max(MIN_QUERY_CHUNK, default // 2),
+            default,
+            min(MAX_QUERY_CHUNK, default * 2),
+        })
+        sizes = [size for size in sizes if size <= n_q]
+        if len(sizes) < 2:
+            return default
+        key = (
+            "chunk",
+            self.n_rows,
+            self.config.n_stages,
+            self.config.levels,
+            self._timing_is_nominal(),
+        )
+        sample = queries[: min(n_q, 2 * sizes[-1])]
+        return _kernels.select_query_chunk(
+            key,
+            {
+                size: (lambda size=size: self._batch_kernel(sample, size))
+                for size in sizes
+            },
+        )
+
     def _batch_kernel(
         self, queries: np.ndarray, chunk: int
     ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
@@ -1303,7 +1348,7 @@ class FastTDAMArray:
         self, queries: np.ndarray, chunk: Optional[int] = None
     ) -> BatchSearchResult:
         q = self._validate_queries(queries)
-        chunk = _resolve_chunk_arg(chunk, self.n_rows, self.config.n_stages)
+        chunk = self._resolve_batch_chunk(chunk, q)
         counts, adders = self._batch_kernel(q, chunk)
         return self.batch_result_from_mismatch_counts(
             counts, delay_adders_s=adders
@@ -1374,7 +1419,7 @@ class FastTDAMArray:
         rows: Optional[np.ndarray],
         chunk: Optional[int],
     ) -> np.ndarray:
-        chunk = _resolve_chunk_arg(chunk, self.n_rows, self.config.n_stages)
+        chunk = self._resolve_batch_chunk(chunk, q)
         rows_arr: Optional[np.ndarray] = None
         m = self.n_rows
         if rows is not None:

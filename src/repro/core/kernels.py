@@ -30,6 +30,16 @@ instead of re-measuring.  Decisions timed while telemetry tracing is
 enabled are quarantined in a separate cache: the enabled-path overhead
 (~30% on instrumented thunks) can flip the winner, and such a decision
 must outlive neither the tracing session nor the process.
+
+Query-chunk decisions ride in the same profile.  The batched kernels
+auto-size their query chunk with a memory-budget heuristic
+(:func:`repro.core.array.resolve_query_chunk`); for large batches
+:func:`select_query_chunk` measures a few candidate sizes around that
+heuristic and caches the winner per geometry, under exactly the same
+precedence (explicit chunk argument wins upstream), persistence
+(``chunks`` map next to ``entries``) and traced-timing quarantine as
+the kernel decisions.  Chunking never changes results, so this too is
+purely a performance decision.
 """
 
 from __future__ import annotations
@@ -50,10 +60,12 @@ __all__ = [
     "autotune_decisions",
     "autotune_profile_path",
     "available_kernels",
+    "chunk_decisions",
     "clear_autotune_cache",
     "force_kernel",
     "kernel_override",
     "select_kernel",
+    "select_query_chunk",
 ]
 
 #: Environment variable naming the batched-search kernel to use.
@@ -71,13 +83,18 @@ _KERNELS = ("packed", "gemm", "loop")
 # a few extra repeats cost nothing and keep scheduler noise (single-CPU
 # boxes especially) from flipping the cached decision.
 _AUTOTUNE_REPEATS = 7
+# Chunk candidates run full chunked count passes (milliseconds, not
+# microseconds), so fewer repeats keep the one-off measurement cheap.
+_CHUNK_REPEATS = 3
 
 _forced: Optional[str] = None
 _autotune_cache: Dict[Tuple, str] = {}
+_chunk_cache: Dict[Tuple, int] = {}
 # Decisions timed under enabled telemetry tracing; kept apart from
 # _autotune_cache so they are never persisted and never consulted once
 # tracing is off again (the instrumented timings are not trustworthy).
 _traced_cache: Dict[Tuple, str] = {}
+_traced_chunk_cache: Dict[Tuple, int] = {}
 # Whether the persisted profile has been merged into _autotune_cache.
 _profile_loaded = False
 
@@ -141,7 +158,9 @@ def clear_autotune_cache() -> None:
     """
     global _profile_loaded
     _autotune_cache.clear()
+    _chunk_cache.clear()
     _traced_cache.clear()
+    _traced_chunk_cache.clear()
     _profile_loaded = False
 
 
@@ -152,6 +171,15 @@ def autotune_decisions() -> Dict[Tuple, str]:
     under enabled telemetry tracing are quarantined internally.
     """
     return dict(_autotune_cache)
+
+
+def chunk_decisions() -> Dict[Tuple, int]:
+    """A copy of the cached (geometry key -> query chunk) decisions.
+
+    Same contract as :func:`autotune_decisions`: traced winners are
+    quarantined and never appear here.
+    """
+    return dict(_chunk_cache)
 
 
 def autotune_profile_path() -> Optional[Path]:
@@ -199,6 +227,17 @@ def _load_profile() -> None:
         except ValueError:
             continue
         _autotune_cache.setdefault(key, winner)
+    chunks = payload.get("chunks")
+    if not isinstance(chunks, dict):
+        return
+    for key_str, winner in chunks.items():
+        if not isinstance(winner, int) or isinstance(winner, bool) or winner < 1:
+            continue
+        try:
+            key = tuple(json.loads(key_str))
+        except ValueError:
+            continue
+        _chunk_cache.setdefault(key, winner)
 
 
 def _save_profile() -> None:
@@ -213,20 +252,28 @@ def _save_profile() -> None:
     from repro.io import atomic_write  # local: avoids an import cycle
 
     entries: Dict[str, str] = {}
+    chunks: Dict[str, int] = {}
     try:
         payload = json.loads(path.read_text())
         if isinstance(payload, dict) and payload.get("format") == _PROFILE_FORMAT:
             existing = payload.get("entries")
             if isinstance(existing, dict):
                 entries.update(existing)
+            existing_chunks = payload.get("chunks")
+            if isinstance(existing_chunks, dict):
+                chunks.update(existing_chunks)
     except (OSError, ValueError):
         pass
     entries.update(
         {json.dumps(list(key)): winner
          for key, winner in _autotune_cache.items()}
     )
+    chunks.update(
+        {json.dumps(list(key)): winner
+         for key, winner in _chunk_cache.items()}
+    )
     doc = json.dumps(
-        {"format": _PROFILE_FORMAT, "entries": entries},
+        {"format": _PROFILE_FORMAT, "entries": entries, "chunks": chunks},
         indent=2,
         sort_keys=True,
     )
@@ -291,5 +338,66 @@ def select_kernel(
         )
     else:
         _autotune_cache[key] = winner
+        _save_profile()
+    return winner
+
+
+def select_query_chunk(
+    key: Tuple, candidates: Dict[int, Callable[[], None]]
+) -> int:
+    """Pick the batched-kernel query chunk for one array geometry.
+
+    The chunked-counts analog of :func:`select_kernel`: candidate chunk
+    sizes (built by the caller around the
+    :func:`~repro.core.array.resolve_query_chunk` heuristic) are timed
+    best-of-:data:`_CHUNK_REPEATS` on a representative sample, and the
+    winner is cached per geometry and persisted in the ``chunks`` map
+    of the autotune profile.  Decisions timed under enabled telemetry
+    tracing are quarantined exactly like kernel decisions.  There is no
+    environment override -- an explicit ``chunk`` argument upstream
+    already bypasses this path entirely.
+
+    Args:
+        key: Hashable geometry key the decision is cached under.
+        candidates: Chunk size -> zero-argument thunk running the
+            chunked kernel at that size on a representative sample.
+
+    Returns:
+        The chunk size to use (always one of ``candidates``).
+    """
+    if not candidates:
+        raise ValueError("select_query_chunk needs at least one candidate")
+    cached = _chunk_cache.get(key)
+    if cached is None and not _profile_loaded:
+        _load_profile()
+        cached = _chunk_cache.get(key)
+    if cached is not None and cached in candidates:
+        return cached
+    if _TM.enabled:
+        traced = _traced_chunk_cache.get(key)
+        if traced is not None and traced in candidates:
+            return traced
+    timings: Dict[int, float] = {}
+    for size, thunk in candidates.items():
+        thunk()  # warm: first call may build caches
+        best = float("inf")
+        for _ in range(_CHUNK_REPEATS):
+            start = time.perf_counter()
+            thunk()
+            best = min(best, time.perf_counter() - start)
+        timings[size] = best
+    winner = min(timings, key=timings.get)
+    if _TM.enabled:
+        _traced_chunk_cache[key] = winner
+        _emit_probe(
+            "kernel.autotune",
+            key=repr(key),
+            winner=str(winner),
+            kind="chunk",
+            traced=True,
+            **{f"chunk_{size}_s": t for size, t in timings.items()},
+        )
+    else:
+        _chunk_cache[key] = winner
         _save_profile()
     return winner

@@ -1,0 +1,188 @@
+"""Extension: the in-fabric encode-then-search pipeline, end to end.
+
+Trains one HDC classifier, builds the float and the in-fabric
+(quantized bit-serial MVM) encode pipelines over the same quantized
+class-hypervector model, and serves the test set through
+:class:`repro.service.encode.EncodeSearchService` -- the full
+feature-in / ranked-rows-out path, with the encode stage costed by the
+fabric's MVM model.
+
+Reported:
+
+- classification accuracy of the float-encoded and fabric-encoded
+  service paths (the delta is the accuracy price of encoding on the
+  array), against the float cosine reference;
+- the modeled fabric cost of the encode stage per query and for the
+  whole test batch (latency and energy, from
+  :meth:`repro.core.mvm.MVMPlan.cost`);
+- service health: every request's outcome (all should be ``ok`` on
+  pristine shards).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.reporting import format_table
+from repro.core.config import TDAMConfig
+from repro.core.mvm import MVMCost
+from repro.datasets.synthetic import standard_suite
+from repro.experiments._instrument import instrumented
+from repro.hdc.encoder import RandomProjectionEncoder
+from repro.hdc.model import HDCClassifier
+from repro.hdc.pipeline import build_pipeline
+from repro.resilience.resilient import ResilientTDAMArray
+from repro.service.encode import EncodeSearchService
+from repro.service.server import TDAMSearchService
+
+__all__ = [
+    "EncodeStudyResult",
+    "format_encode_study",
+    "run_encode_study",
+]
+
+
+@dataclass
+class EncodeStudyResult:
+    """Headline numbers of the encode-then-search study."""
+
+    dataset: str
+    dimension: int
+    bits: int
+    weight_bits: int
+    act_bits: int
+    n_queries: int
+    accuracy_float_cosine: float
+    accuracy_float_path: float
+    accuracy_fabric_path: float
+    encode_cost_per_query: MVMCost
+    encode_cost_batch: MVMCost
+    outcomes: Dict[str, int]
+
+    @property
+    def fabric_delta(self) -> float:
+        """Accuracy cost of encoding in-fabric (float path - fabric)."""
+        return self.accuracy_float_path - self.accuracy_fabric_path
+
+
+@instrumented("ext_encode")
+def run_encode_study(
+    quick: bool = False,
+    dimension: int = 512,
+    bits: int = 2,
+    weight_bits: int = 8,
+    act_bits: int = 8,
+    epochs: int = 6,
+    seed: int = 7,
+) -> EncodeStudyResult:
+    """Run the encode-then-search study on one suite dataset.
+
+    Args:
+        quick: Shrink the dataset and dimension for smoke runs.
+        dimension: Hypervector dimension (= stages per stored row).
+        bits: TD-AM element precision of the stored model.
+        weight_bits: Stored projection width of the fabric encoder.
+        act_bits: Streamed activation width of the fabric encoder.
+        epochs: Classifier refinement epochs.
+        seed: Encoder seed.
+    """
+    scale = 0.25 if quick else 1.0
+    if quick:
+        dimension = min(dimension, 128)
+        epochs = min(epochs, 2)
+    suite = standard_suite(scale=scale)
+    # The face task trains well at modest D, so the study isolates the
+    # encoder effect rather than capacity starvation.
+    ds = next((d for d in suite if d.name == "face"), suite[0])
+    encoder = RandomProjectionEncoder(ds.n_features, dimension, seed=seed)
+    clf = HDCClassifier(encoder, ds.n_classes).fit(
+        ds.x_train, ds.y_train, epochs=epochs
+    )
+    config = TDAMConfig(bits=bits, n_stages=dimension, vdd=0.6)
+    float_pipe = build_pipeline(clf, bits=bits)
+    fabric_pipe = build_pipeline(
+        clf, bits=bits, fabric=True,
+        weight_bits=weight_bits, act_bits=act_bits, config=config,
+    )
+    array = ResilientTDAMArray(config, ds.n_classes)
+    service = TDAMSearchService([array])
+    service.write_all(float_pipe.model.levels)
+
+    outcomes: Counter = Counter()
+
+    def serve(pipe) -> float:
+        endpoint = EncodeSearchService(service, pipe)
+        hits = 0
+        responses: List = endpoint.search_batch(ds.x_test)
+        for response, label in zip(responses, ds.y_test):
+            outcomes[response.outcome] += 1
+            hits += int(response.best_row == label)
+        return hits / len(ds.y_test)
+
+    acc_float = serve(float_pipe)
+    acc_fabric = serve(fabric_pipe)
+    return EncodeStudyResult(
+        dataset=ds.name,
+        dimension=dimension,
+        bits=bits,
+        weight_bits=weight_bits,
+        act_bits=act_bits,
+        n_queries=len(ds.y_test),
+        accuracy_float_cosine=clf.accuracy(ds.x_test, ds.y_test),
+        accuracy_float_path=acc_float,
+        accuracy_fabric_path=acc_fabric,
+        encode_cost_per_query=fabric_pipe.encode_cost(1),
+        encode_cost_batch=fabric_pipe.encode_cost(len(ds.y_test)),
+        outcomes=dict(outcomes),
+    )
+
+
+def format_encode_study(result: EncodeStudyResult) -> str:
+    """Text rendering of the study."""
+    rows = [
+        {
+            "path": "float cosine (reference)",
+            "accuracy": result.accuracy_float_cosine,
+        },
+        {
+            "path": "float encode -> TD-AM search",
+            "accuracy": result.accuracy_float_path,
+        },
+        {
+            "path": "fabric encode -> TD-AM search",
+            "accuracy": result.accuracy_fabric_path,
+        },
+    ]
+    per_q = result.encode_cost_per_query
+    batch = result.encode_cost_batch
+    lines = [
+        format_table(
+            rows, floatfmt=".3f",
+            title=(
+                f"Encode-then-search [{result.dataset}] "
+                f"D={result.dimension}, {result.bits}b model, "
+                f"w{result.weight_bits}/a{result.act_bits} encoder"
+            ),
+        ),
+        (
+            "fabric-encoder accuracy delta: "
+            f"{result.fabric_delta * 100:+.2f} points"
+        ),
+        (
+            "modeled encode cost: "
+            f"{per_q.latency_s * 1e6:.2f} us, {per_q.energy_j * 1e9:.2f} nJ "
+            f"per query ({per_q.plane_passes} plane passes, "
+            f"{per_q.tiles} tiles); batch of {result.n_queries}: "
+            f"{batch.latency_s * 1e3:.3f} ms, {batch.energy_j * 1e6:.3f} uJ"
+        ),
+        f"service outcomes: {result.outcomes}",
+    ]
+    return "\n\n".join(lines)
+
+
+if __name__ == "__main__":
+    from repro.cli import emit
+
+    emit(format_encode_study(run_encode_study()))

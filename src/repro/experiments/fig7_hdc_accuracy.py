@@ -12,6 +12,14 @@ discussion in EXPERIMENTS.md):
   the model-precision semantics of the paper's Fig. 7 study;
 - ``accuracy_hamming``: the TD-AM's native exact-match Hamming inference
   (query quantized to the same levels).
+
+The sweep additionally measures ``accuracy_fabric``: the same Hamming
+inference, but with the query *encoded in-fabric* by the quantized
+bit-serial MVM projection
+(:class:`repro.hdc.encoder.QuantizedProjectionEncoder`) instead of the
+float encoder.  The gap to ``accuracy_hamming`` is the full-pipeline
+cost of quantizing the encode stage; :meth:`Fig7Result.max_fabric_delta`
+reports the worst case over the sweep and the text rendering prints it.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ class Fig7Record:
     bits: int
     accuracy: float
     accuracy_hamming: Optional[float] = None
+    accuracy_fabric: Optional[float] = None
 
 
 @dataclass
@@ -73,6 +82,34 @@ class Fig7Result:
                 return d
         return None
 
+    def _fabric_deltas(self) -> List[float]:
+        return [
+            r.accuracy_hamming - r.accuracy_fabric
+            for r in self.records
+            if r.accuracy_hamming is not None
+            and r.accuracy_fabric is not None
+        ]
+
+    def mean_fabric_delta(self) -> Optional[float]:
+        """Mean accuracy cost of the in-fabric quantized encoder:
+        ``accuracy_hamming - accuracy_fabric`` averaged over all records
+        carrying both (None when the sweep measured neither).  The mean
+        is the meaningful encoder-bias statistic -- individual cells
+        fluctuate by a few samples because exact-match Hamming inference
+        is sensitive to queries that sit on quantization-bin edges."""
+        deltas = self._fabric_deltas()
+        if not deltas:
+            return None
+        return sum(deltas) / len(deltas)
+
+    def max_fabric_delta(self) -> Optional[float]:
+        """Worst-cell accuracy cost of the in-fabric quantized encoder
+        (largest ``accuracy_hamming - accuracy_fabric``)."""
+        deltas = self._fabric_deltas()
+        if not deltas:
+            return None
+        return max(deltas)
+
 
 @instrumented("fig7")
 def run_fig7(
@@ -82,6 +119,7 @@ def run_fig7(
     dataset_scale: float = 1.0,
     epochs: int = 8,
     include_hamming: bool = True,
+    include_fabric: bool = True,
     seed: int = 7,
 ) -> Fig7Result:
     """Run the full accuracy sweep.
@@ -93,6 +131,9 @@ def run_fig7(
         dataset_scale: Sample-count scale of the default suite.
         epochs: Refinement epochs per model.
         include_hamming: Also record the TD-AM Hamming-inference accuracy.
+        include_fabric: Also record the Hamming accuracy with the query
+            encoded by the quantized in-fabric projection (requires
+            ``include_hamming``).
         seed: Encoder seed.
     """
     if datasets is None:
@@ -105,6 +146,11 @@ def run_fig7(
                 ds.x_train, ds.y_train, epochs=epochs
             )
             queries = clf.encode(ds.x_test)
+            queries_fabric = None
+            if include_hamming and include_fabric:
+                queries_fabric = clf.encode_with(
+                    encoder.quantize(), ds.x_test
+                )
             for bits in precisions:
                 if bits == 32:
                     records.append(
@@ -119,11 +165,16 @@ def run_fig7(
                 qm = quantize_equal_area(clf.prototypes, int(bits))
                 acc = qm.accuracy_cosine(queries, ds.y_test)
                 acc_ham = None
+                acc_fab = None
                 if include_hamming:
                     inference = TDAMInference(qm, n_features=ds.n_features)
                     acc_ham = inference.accuracy(
                         qm.quantize_queries(queries), ds.y_test
                     )
+                    if queries_fabric is not None:
+                        acc_fab = inference.accuracy(
+                            qm.quantize_queries(queries_fabric), ds.y_test
+                        )
                 records.append(
                     Fig7Record(
                         dataset=ds.name,
@@ -131,6 +182,7 @@ def run_fig7(
                         bits=int(bits),
                         accuracy=acc,
                         accuracy_hamming=acc_ham,
+                        accuracy_fabric=acc_fab,
                     )
                 )
     return Fig7Result(
@@ -154,6 +206,13 @@ def format_fig7(result: Fig7Result) -> str:
             rows.append(row)
         blocks.append(
             format_table(rows, floatfmt=".3f", title=f"Fig. 7 [{ds}]: accuracy")
+        )
+    mean_delta = result.mean_fabric_delta()
+    if mean_delta is not None:
+        blocks.append(
+            "in-fabric encoder cost (Hamming accuracy, float encoder - "
+            f"fabric encoder): mean {mean_delta * 100:+.2f} points, "
+            f"worst cell {result.max_fabric_delta() * 100:+.2f} points"
         )
     return "\n\n".join(blocks)
 

@@ -19,7 +19,11 @@ prototypes (the GPU path); the quantized models predict with the TD-AM's
 match-count similarity.
 """
 
-from repro.hdc.encoder import RandomProjectionEncoder, RecordEncoder
+from repro.hdc.encoder import (
+    QuantizedProjectionEncoder,
+    RandomProjectionEncoder,
+    RecordEncoder,
+)
 from repro.hdc.hypervector import (
     bind,
     bundle,
@@ -37,12 +41,16 @@ from repro.hdc.accelerator import (
 )
 from repro.hdc.cluster import ClusterResult, HDCluster, clustering_accuracy
 from repro.hdc.online import OnlineLearner
+from repro.hdc.pipeline import EncodePipeline, build_pipeline
 from repro.hdc.quantize import QuantizedModel, quantize_equal_area, quantize_uniform
 from repro.hdc.sequence import ScanHit, SequenceEncoder, SequenceMatcher
 
 __all__ = [
     "RandomProjectionEncoder",
+    "QuantizedProjectionEncoder",
     "RecordEncoder",
+    "EncodePipeline",
+    "build_pipeline",
     "random_bipolar",
     "random_gaussian",
     "bind",

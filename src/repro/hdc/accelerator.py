@@ -97,8 +97,24 @@ class AcceleratorModel:
         per_query = self.spec.tile_rounds * schedule.pipelined_interval_s
         return 1.0 / per_query
 
-    def query_cost(self, mismatch_fraction: float = 0.5) -> InferenceCost:
-        """Latency/energy of one query (same fields as TDAMInference)."""
+    def query_cost(
+        self,
+        mismatch_fraction: float = 0.5,
+        encoder: Optional[object] = None,
+    ) -> InferenceCost:
+        """Latency/energy of one query (same fields as TDAMInference).
+
+        Args:
+            mismatch_fraction: Expected mismatching-stage fraction.
+            encoder: Optional in-fabric encoder (anything with an
+                ``encode_cost(n_samples)`` returning a
+                :class:`repro.core.mvm.MVMCost`, e.g.
+                :class:`repro.hdc.encoder.QuantizedProjectionEncoder`).
+                When given, the encode stage is costed from its
+                bit-serial MVM model -- latency adds to the query path
+                (encode precedes search) -- instead of the constant
+                per-dimension-feature energy of [39].
+        """
         if not 0.0 <= mismatch_fraction <= 1.0:
             raise ValueError(
                 f"mismatch_fraction must be in [0, 1], got {mismatch_fraction}"
@@ -108,11 +124,19 @@ class AcceleratorModel:
         n_mis = int(round(mismatch_fraction * config.n_stages))
         per_chain = timing.search_cost(n_mis).energy_j
         search = self.spec.n_tiles * self.spec.n_classes * per_chain
-        encode = (
-            self.spec.dimension * self.spec.n_features * E_ENCODE_PER_DIMFEAT
-        )
+        latency = self.query_latency_s()
+        if encoder is not None:
+            encode_cost = encoder.encode_cost(1)
+            encode = encode_cost.energy_j
+            latency += encode_cost.latency_s
+        else:
+            encode = (
+                self.spec.dimension
+                * self.spec.n_features
+                * E_ENCODE_PER_DIMFEAT
+            )
         return InferenceCost(
-            latency_s=self.query_latency_s(),
+            latency_s=latency,
             energy_j=search + encode,
             tiles=self.spec.n_tiles,
             search_energy_j=search,

@@ -36,19 +36,19 @@ from repro.core.bitplane import (
 )
 from repro.core.config import TDAMConfig
 from repro.core.energy import TimingEnergyModel
+from repro.core.mvm import E_READOUT, T_READOUT_PER_CLASS, T_TDC_CONVERSION
 from repro.core.topk import grouped_top_k, prune_survivors, top_k_indices
 from repro.devices.variation import VariationModel
 from repro.hdc.quantize import QuantizedModel
 
-#: TDC conversion/settling time appended to each tile search (s).
-T_TDC_CONVERSION = 3.5e-9
-#: Per-class counter readout/accumulate time (s).
-T_READOUT_PER_CLASS = 1.5e-9
+# T_TDC_CONVERSION / T_READOUT_PER_CLASS / E_READOUT are the canonical
+# fabric constants of :mod:`repro.core.mvm`, re-exported here because the
+# Fig. 8 cost model below predates that module and callers import them
+# from this namespace.
+
 #: Energy of the in-memory HDC encoder per dimension-feature pair (J),
 #: representative of the FeFET encoding engine of [39].
 E_ENCODE_PER_DIMFEAT = 26e-15
-#: Readout energy per class per tile (J).
-E_READOUT = 2e-15
 
 
 @dataclass(frozen=True)

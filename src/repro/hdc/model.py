@@ -127,8 +127,16 @@ class HDCClassifier:
         """Encode features as the classifier sees them: the encoder's
         output, centered and L2-normalized (used by all inference paths,
         including the quantized/TD-AM one)."""
+        return self.encode_with(self.encoder, features)
+
+    def encode_with(self, encoder, features: np.ndarray) -> np.ndarray:
+        """:meth:`encode` through an alternate encoder -- e.g. the
+        quantized in-fabric projection
+        (:class:`repro.hdc.encoder.QuantizedProjectionEncoder`) -- with
+        this classifier's centering and normalization statistics, so
+        the result is directly comparable to the training-time view."""
         self._check_trained()
-        raw = self.encoder.encode(features)
+        raw = encoder.encode(features)
         return self._normalize(raw - self.encoding_center)
 
     def _check_labels(self, labels: np.ndarray) -> np.ndarray:

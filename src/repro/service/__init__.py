@@ -7,6 +7,9 @@ behind a single request surface with the standard reliability toolkit:
   (:class:`TDAMSearchService`), plus overload admission control:
   per-tenant token-bucket quotas and a bounded intake queue with typed
   load shedding (:mod:`repro.service.admission`);
+- **encode-then-search** -- raw feature vectors digitized into TD-AM
+  query levels through the HDC encode pipeline, optionally on the
+  fabric's own bit-serial MVM kernels (:mod:`repro.service.encode`);
 - **coalescing** -- a thread-safe concurrent front-end that groups
   compatible single-query requests into one batched shard call,
   bit-exactly (:mod:`repro.service.coalesce`,
@@ -78,6 +81,7 @@ from repro.service.errors import (
     TransientServiceError,
     is_retryable,
 )
+from repro.service.encode import EncodeSearchService
 from repro.service.frontend import CoalescingFrontend, FrontendStats
 from repro.service.loadgen import (
     LoadConfig,
@@ -120,6 +124,7 @@ __all__ = [
     "CoalescingFrontend",
     "DEADLINE_SLO",
     "DeadlineExceededError",
+    "EncodeSearchService",
     "FakeClock",
     "FrontendFuture",
     "FrontendStats",

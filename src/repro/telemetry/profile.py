@@ -39,8 +39,18 @@ PROBE_EVENTS: Dict[str, str] = {
     ),
     "array.write_all": "full-array program: rows, stages",
     "kernel.autotune": (
-        "batched-search kernel autotuned: key (rows, stages, levels, "
-        "nominal), winner, per-candidate best seconds"
+        "kernel or query-chunk decision autotuned: key (geometry), "
+        "winner, per-candidate best seconds; kind=chunk for chunk-size "
+        "decisions, traced=True when quarantined"
+    ),
+    "mvm.matmul": (
+        "one bit-serial MVM product served: kernel, n_out, n_in, "
+        "n_batch, weight_bits, activation_bits, modeled latency_s and "
+        "energy_j"
+    ),
+    "mvm.encode": (
+        "one in-fabric HDC encode served: n_samples, dimension, "
+        "weight_bits, activation_bits, modeled latency_s and energy_j"
     ),
     "topk.pruned": (
         "pruned top-k cascade served: rows, queries, k, survivors, "

@@ -9,11 +9,14 @@ from repro import telemetry
 from repro.core.kernels import (
     autotune_decisions,
     autotune_profile_path,
+    chunk_decisions,
     clear_autotune_cache,
     select_kernel,
+    select_query_chunk,
 )
 
 KEY = (26, 128, 4, True)
+CHUNK_KEY = ("chunk", 26, 128, 4, True)
 
 
 class Thunks:
@@ -102,6 +105,94 @@ class TestPersistence:
         payload = json.loads(profile.read_text())
         assert payload["entries"][other_key] == "gemm"
         assert payload["entries"][json.dumps(list(KEY))] == "packed"
+
+
+class ChunkThunks:
+    """Chunk-size candidates with call counts; 64 always wins."""
+
+    def __init__(self):
+        self.calls = {32: 0, 64: 0, 128: 0}
+
+    def candidates(self):
+        def make(size):
+            def thunk():
+                self.calls[size] += 1
+                if size != 64:
+                    time.sleep(0.002)
+
+            return thunk
+
+        return {size: make(size) for size in self.calls}
+
+    @property
+    def total(self):
+        return sum(self.calls.values())
+
+
+class TestChunkPersistence:
+    def test_decision_is_written_alongside_kernel_entries(self, profile):
+        select_kernel(KEY, Thunks().candidates())
+        winner = select_query_chunk(CHUNK_KEY, ChunkThunks().candidates())
+        assert winner == 64
+        payload = json.loads(profile.read_text())
+        assert payload["format"] == 1
+        assert payload["entries"][json.dumps(list(KEY))] == "packed"
+        assert payload["chunks"][json.dumps(list(CHUNK_KEY))] == 64
+        assert chunk_decisions() == {CHUNK_KEY: 64}
+
+    def test_cold_process_serves_chunk_from_profile(self, profile):
+        select_query_chunk(CHUNK_KEY, ChunkThunks().candidates())
+        clear_autotune_cache()
+        cold = ChunkThunks()
+        assert select_query_chunk(CHUNK_KEY, cold.candidates()) == 64
+        assert cold.total == 0
+        assert chunk_decisions() == {CHUNK_KEY: 64}
+
+    def test_invalid_chunk_winner_in_profile_is_skipped(self, profile):
+        for bad in ("64", -3, 0, True):
+            profile.write_text(json.dumps({
+                "format": 1,
+                "entries": {},
+                "chunks": {json.dumps(list(CHUNK_KEY)): bad},
+            }))
+            clear_autotune_cache()
+            fresh = ChunkThunks()
+            assert select_query_chunk(CHUNK_KEY, fresh.candidates()) == 64
+            assert fresh.total > 0  # had to measure
+
+    def test_profile_winner_absent_from_candidates_is_remeasured(
+        self, profile
+    ):
+        profile.write_text(json.dumps({
+            "format": 1,
+            "entries": {},
+            "chunks": {json.dumps(list(CHUNK_KEY)): 4096},
+        }))
+        fresh = ChunkThunks()
+        assert select_query_chunk(CHUNK_KEY, fresh.candidates()) == 64
+        assert fresh.total > 0
+
+    def test_traced_chunk_decisions_are_quarantined(self, profile):
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            first = ChunkThunks()
+            assert select_query_chunk(CHUNK_KEY, first.candidates()) == 64
+            assert first.total > 0
+            assert chunk_decisions() == {}
+            assert not profile.exists()
+            # Cached for the rest of the traced session.
+            second = ChunkThunks()
+            select_query_chunk(CHUNK_KEY, second.candidates())
+            assert second.total == 0
+        finally:
+            telemetry.reset()
+        # Untraced again: the quarantined winner is not trusted.
+        third = ChunkThunks()
+        assert select_query_chunk(CHUNK_KEY, third.candidates()) == 64
+        assert third.total > 0
+        assert chunk_decisions() == {CHUNK_KEY: 64}
+        assert profile.exists()
 
 
 class TestTracedQuarantine:

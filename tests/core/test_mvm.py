@@ -1,0 +1,280 @@
+"""Bit-exactness, dispatch, and cost-model tests of the bit-serial MVM.
+
+The contract: :meth:`repro.core.mvm.MVMPlan.matmul` returns *exactly*
+``acts.astype(int64) @ weights.T`` for every integer operand pair within
+the fabric's 8-bit windows, on every kernel (packed bit-plane, exact
+GEMM, reference loop).  These tests pin that contract across signedness,
+every bit width 1..8, awkward shapes (input widths not a multiple of 64,
+single-row weights, single-sample batches), the LUT popcount fallback,
+and the kernel selection machinery shared with the search kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bitplane
+from repro.core.config import TDAMConfig
+from repro.core.kernels import (
+    KERNEL_ENV_VAR,
+    autotune_decisions,
+    clear_autotune_cache,
+    force_kernel,
+)
+from repro.core.mvm import (
+    MVMCost,
+    MVMPlan,
+    infer_operand_bits,
+    mvm,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_autotune():
+    clear_autotune_cache()
+    yield
+    clear_autotune_cache()
+
+
+@pytest.fixture
+def lut_popcount(monkeypatch):
+    """Force the numpy<2 LUT popcount path for the duration of a test."""
+    monkeypatch.setattr(bitplane, "_use_native", False)
+
+
+def operand(rng, shape, bits, signed):
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    return rng.integers(lo, hi + 1, size=shape, dtype=np.int64)
+
+
+def reference(acts, weights):
+    return acts.astype(np.int64) @ weights.T.astype(np.int64)
+
+
+class TestInferOperandBits:
+    def test_empty(self):
+        assert infer_operand_bits(np.zeros((0, 3), dtype=np.int64)) == (
+            1,
+            False,
+        )
+
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            ([0, 1], (1, False)),
+            ([0, 3], (2, False)),
+            ([0, 255], (8, False)),
+            ([-1, 0], (2, True)),
+            ([-1, 1], (2, True)),
+            ([-128, 127], (8, True)),
+            ([-5, 2], (4, True)),
+        ],
+    )
+    def test_ranges(self, values, expected):
+        assert infer_operand_bits(np.array(values)) == expected
+
+
+class TestExactness:
+    @pytest.mark.parametrize("kernel", ["packed", "gemm", "loop"])
+    @pytest.mark.parametrize("signed", [False, True])
+    @pytest.mark.parametrize("n_in", [5, 64, 70, 100])
+    def test_kernels_bit_identical(self, kernel, signed, n_in):
+        rng = np.random.default_rng(hash((kernel, signed, n_in)) % 2**32)
+        weights = operand(rng, (7, n_in), 4 if signed else 3, signed)
+        acts = operand(rng, (9, n_in), 5, signed)
+        plan = MVMPlan(weights)
+        with force_kernel(kernel):
+            out = plan.matmul(acts)
+        np.testing.assert_array_equal(out, reference(acts, weights))
+        assert out.dtype == np.int64
+
+    def test_single_row_weights_and_single_sample(self):
+        rng = np.random.default_rng(3)
+        weights = operand(rng, (1, 63), 8, True)
+        acts = operand(rng, (1, 63), 8, True)
+        for kernel in ("packed", "gemm", "loop"):
+            with force_kernel(kernel):
+                out = MVMPlan(weights).matmul(acts)
+            np.testing.assert_array_equal(out, reference(acts, weights))
+
+    def test_one_dim_activation_round_trips(self):
+        rng = np.random.default_rng(4)
+        weights = operand(rng, (6, 20), 5, True)
+        a = operand(rng, (20,), 6, True)
+        out = MVMPlan(weights).matmul(a)
+        assert out.shape == (6,)
+        np.testing.assert_array_equal(out, reference(a[None, :], weights)[0])
+
+    def test_lut_popcount_path(self, lut_popcount):
+        rng = np.random.default_rng(5)
+        weights = operand(rng, (4, 37), 6, True)
+        acts = operand(rng, (5, 37), 6, True)
+        with force_kernel("packed"):
+            out = MVMPlan(weights).matmul(acts)
+        np.testing.assert_array_equal(out, reference(acts, weights))
+
+    def test_empty_batch(self):
+        weights = np.ones((3, 8), dtype=np.int64)
+        out = MVMPlan(weights).matmul(np.zeros((0, 8), dtype=np.int64))
+        assert out.shape == (0, 3)
+
+    def test_mvm_function_matches_numpy(self):
+        rng = np.random.default_rng(6)
+        a = operand(rng, (5, 12), 7, True)
+        b = operand(rng, (12, 4), 7, True)
+        np.testing.assert_array_equal(
+            mvm(a, b), a.astype(np.int64) @ b.astype(np.int64)
+        )
+
+    def test_gemm_wide_accumulator_path(self):
+        # 8b x 8b over a long inner axis exceeds the fp32-exact window;
+        # the GEMM kernel must switch precision rather than round.
+        rng = np.random.default_rng(7)
+        n_in = 4096
+        weights = np.full((2, n_in), 127, dtype=np.int64)
+        weights[1] = -128
+        acts = np.full((2, n_in), 127, dtype=np.int64)
+        acts[1] = -128
+        with force_kernel("gemm"):
+            out = MVMPlan(weights).matmul(acts)
+        np.testing.assert_array_equal(out, reference(acts, weights))
+
+
+class TestPropertyExactness:
+    """Randomized bit-identity over the full operand space."""
+
+    hypothesis = pytest.importorskip("hypothesis")
+
+    def test_property_sweep(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            w_bits=st.integers(1, 8),
+            a_bits=st.integers(1, 8),
+            w_signed=st.booleans(),
+            a_signed=st.booleans(),
+            n_out=st.integers(1, 9),
+            n_in=st.integers(1, 130),
+            n_batch=st.integers(1, 6),
+            kernel=st.sampled_from(["packed", "gemm", "loop"]),
+            seed=st.integers(0, 2**31),
+        )
+        def check(
+            w_bits, a_bits, w_signed, a_signed, n_out, n_in, n_batch,
+            kernel, seed,
+        ):
+            if w_signed and w_bits < 2:
+                w_bits = 2
+            if a_signed and a_bits < 2:
+                a_bits = 2
+            rng = np.random.default_rng(seed)
+            weights = operand(rng, (n_out, n_in), w_bits, w_signed)
+            acts = operand(rng, (n_batch, n_in), a_bits, a_signed)
+            plan = MVMPlan(weights, bits=w_bits, signed=w_signed)
+            with force_kernel(kernel):
+                out = plan.matmul(acts, bits=a_bits, signed=a_signed)
+            np.testing.assert_array_equal(out, reference(acts, weights))
+
+        check()
+
+
+class TestValidation:
+    def test_rejects_float_weights(self):
+        with pytest.raises(TypeError, match="integer"):
+            MVMPlan(np.ones((2, 4), dtype=np.float32))
+
+    def test_rejects_wide_weights(self):
+        with pytest.raises(ValueError, match="8"):
+            MVMPlan(np.full((2, 4), 300, dtype=np.int64))
+
+    def test_rejects_out_of_range_activations(self):
+        plan = MVMPlan(np.ones((2, 4), dtype=np.int64))
+        bad = np.full((1, 4), 9, dtype=np.int64)
+        with pytest.raises(ValueError, match="range"):
+            plan.matmul(bad, bits=3, signed=False)
+
+    def test_rejects_wrong_inner_dim(self):
+        plan = MVMPlan(np.ones((2, 4), dtype=np.int64))
+        with pytest.raises(ValueError):
+            plan.matmul(np.ones((1, 5), dtype=np.int64))
+
+    def test_packed_refuses_wide_activations(self):
+        plan = MVMPlan(np.ones((2, 4), dtype=np.int64))
+        wide = np.full((1, 4), 1 << 10, dtype=np.int64)
+        with force_kernel("packed"):
+            with pytest.raises(ValueError, match="packed"):
+                plan.matmul(wide)
+
+    def test_loop_serves_wide_activations(self):
+        plan = MVMPlan(np.ones((2, 4), dtype=np.int64))
+        wide = np.full((1, 4), 1 << 20, dtype=np.int64)
+        with force_kernel("loop"):
+            out = plan.matmul(wide)
+        np.testing.assert_array_equal(out, [[4 << 20, 4 << 20]])
+
+
+class TestDispatch:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "loop")
+        rng = np.random.default_rng(8)
+        weights = operand(rng, (3, 16), 4, True)
+        plan = MVMPlan(weights)
+        out = plan.matmul(operand(rng, (2, 16), 4, True))
+        assert out.shape == (2, 3)
+        # Overrides never autotune, so no decision is cached.
+        assert autotune_decisions() == {}
+
+    def test_force_kernel_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "packed")
+        rng = np.random.default_rng(9)
+        weights = operand(rng, (3, 16), 4, True)
+        wide = np.full((1, 16), 1 << 12, dtype=np.int64)
+        # packed cannot serve 13-bit activations; force_kernel("loop")
+        # must win over the env var for the call to succeed.
+        with force_kernel("loop"):
+            MVMPlan(weights).matmul(wide)
+
+    def test_autotune_caches_mvm_geometry(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        rng = np.random.default_rng(10)
+        weights = operand(rng, (4, 32), 3, True)
+        acts = operand(rng, (6, 32), 3, True)
+        plan = MVMPlan(weights)
+        plan.matmul(acts)
+        decisions = autotune_decisions()
+        assert len(decisions) == 1
+        ((key, winner),) = decisions.items()
+        assert key[0] == "mvm"
+        assert winner in ("packed", "gemm")
+        plan.matmul(acts)
+        assert autotune_decisions() == decisions
+
+
+class TestCostModel:
+    def test_cost_shape(self):
+        plan = MVMPlan(
+            np.ones((16, 100), dtype=np.int64),
+            config=TDAMConfig(bits=1, n_stages=128, vdd=0.6),
+        )
+        cost = plan.cost(activation_bits=8, n_batch=8)
+        assert isinstance(cost, MVMCost)
+        assert cost.plane_passes == plan.weight_bits * 8
+        assert cost.tiles == 1
+        assert cost.latency_s > 0
+        assert cost.energy_j > 0
+        assert set(cost.energy_breakdown_j) == {"array", "tdc", "readout"}
+        assert cost.energy_j == pytest.approx(
+            sum(cost.energy_breakdown_j.values())
+        )
+
+    def test_cost_scales_with_batch(self):
+        plan = MVMPlan(np.ones((4, 300), dtype=np.int64))
+        one = plan.cost(n_batch=1)
+        ten = plan.cost(n_batch=10)
+        assert ten.latency_s == pytest.approx(10 * one.latency_s)
+        assert ten.energy_j == pytest.approx(10 * one.energy_j)
+        assert one.tiles == 3  # ceil(300 / 128)

@@ -25,6 +25,10 @@ from repro.experiments.fig5_energy_delay import (
     run_fig5_cd,
 )
 from repro.experiments.fig6_montecarlo import format_fig6, run_fig6
+from repro.experiments.ext_encode import (
+    format_encode_study,
+    run_encode_study,
+)
 from repro.experiments.fig7_hdc_accuracy import format_fig7, run_fig7
 from repro.experiments.fig8_gpu_comparison import format_fig8, run_fig8
 from repro.experiments.table1_comparison import format_table1, run_table1
@@ -152,6 +156,31 @@ class TestFig7:
     def test_formatting(self, result):
         text = format_fig7(result)
         assert "isolet" in text and "32b" in text
+
+    def test_fabric_encoder_accuracy_recorded(self):
+        from repro.datasets.synthetic import standard_suite
+
+        ds = [d for d in standard_suite(scale=0.25) if d.name == "face"]
+        result = run_fig7(
+            dimensions=(1024,), precisions=(2,), datasets=ds, epochs=4
+        )
+        (record,) = result.records
+        assert record.accuracy_hamming is not None
+        assert record.accuracy_fabric is not None
+        # The 8b in-fabric encoder costs at most a couple of points.
+        assert abs(result.mean_fabric_delta()) < 0.03
+        text = format_fig7(result)
+        assert "in-fabric encoder cost" in text
+
+
+class TestEncodeStudy:
+    def test_quick_study_runs_and_formats(self):
+        result = run_encode_study(quick=True)
+        assert result.outcomes.get("ok") == 2 * result.n_queries
+        assert 0 <= result.accuracy_fabric_path <= 1
+        assert result.encode_cost_per_query.latency_s > 0
+        text = format_encode_study(result)
+        assert "fabric encode" in text and "modeled encode cost" in text
 
 
 class TestFig8:

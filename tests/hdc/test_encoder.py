@@ -3,7 +3,21 @@
 import numpy as np
 import pytest
 
-from repro.hdc.encoder import RandomProjectionEncoder, RecordEncoder
+from repro.hdc.encoder import (
+    QuantizedProjectionEncoder,
+    RandomProjectionEncoder,
+    RecordEncoder,
+)
+
+
+def record_reference_encode(enc, features):
+    """The original per-feature reference loop of RecordEncoder."""
+    x = np.atleast_2d(np.asarray(features, dtype=np.float32))
+    level_idx = enc._level_index(x)
+    out = np.zeros((x.shape[0], enc.dimension), dtype=np.float32)
+    for f in range(enc.n_features):
+        out += enc._ids[f] * enc._levels[level_idx[:, f]]
+    return out
 
 
 class TestRandomProjectionEncoder:
@@ -91,3 +105,93 @@ class TestRecordEncoder:
             RecordEncoder(4, 64, n_levels=1)
         with pytest.raises(ValueError, match="feature_range"):
             RecordEncoder(4, 64, feature_range=(1.0, -1.0))
+
+    @pytest.mark.parametrize(
+        "n_features,dimension,n_levels",
+        [(4, 64, 2), (8, 256, 16), (13, 100, 7)],
+    )
+    def test_mvm_path_bit_identical_to_reference_loop(
+        self, n_features, dimension, n_levels
+    ):
+        enc = RecordEncoder(
+            n_features, dimension, n_levels=n_levels, seed=3
+        )
+        rng = np.random.default_rng(9)
+        x = rng.uniform(-1.5, 1.5, size=(11, n_features))
+        out = enc.encode(x)
+        ref = record_reference_encode(enc, x)
+        assert out.dtype == np.float32
+        assert np.array_equal(out, ref)
+
+
+class TestNonlinearIdentity:
+    def test_fast_path_matches_direct_formula(self):
+        enc = RandomProjectionEncoder(17, 512, seed=2)
+        x = (
+            np.random.default_rng(5)
+            .normal(size=(9, 17))
+            .astype(np.float32)
+        )
+        out = enc.encode(x)
+        p = x @ enc._projection.T
+        direct = np.cos(p + enc._phase[None, :]) * np.sin(p)
+        assert out.dtype == np.float32
+        assert np.abs(out - direct).max() < 1e-5
+
+    def test_varying_batch_sizes_agree(self):
+        # The sin(b) tile is cached per batch width; alternating widths
+        # must not leak state between calls.  (Exact equality only holds
+        # per width -- BLAS may block differently per batch shape.)
+        enc = RandomProjectionEncoder(10, 128, seed=0)
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(8, 10)).astype(np.float32)
+        full = enc.encode(x)
+        for n in (1, 3, 8, 2, 8):
+            out = enc.encode(x[:n])
+            np.testing.assert_allclose(out, full[:n], atol=1e-6)
+        assert np.array_equal(enc.encode(x), full)
+
+
+class TestQuantizedProjectionEncoder:
+    def test_close_to_float_encoder(self):
+        base = RandomProjectionEncoder(20, 512, seed=1)
+        quant = base.quantize()
+        x = np.random.default_rng(7).normal(size=(12, 20))
+        err = np.abs(quant.encode(x) - base.encode(x)).max()
+        assert err < 0.1  # 8b weights/acts: small but nonzero error
+
+    def test_linear_mode(self):
+        base = RandomProjectionEncoder(20, 64, nonlinear=False, seed=1)
+        quant = base.quantize()
+        x = np.random.default_rng(8).normal(size=(5, 20))
+        assert not quant.nonlinear
+        err = np.abs(quant.encode(x) - base.encode(x)).max()
+        assert err < 0.05
+
+    def test_more_bits_less_error(self):
+        base = RandomProjectionEncoder(30, 256, seed=2)
+        x = np.random.default_rng(9).normal(size=(10, 30))
+        ref = base.encode(x)
+        err3 = np.abs(base.quantize(3, 3).encode(x) - ref).max()
+        err8 = np.abs(base.quantize(8, 8).encode(x) - ref).max()
+        assert err8 < err3
+
+    def test_bit_width_validation(self):
+        base = RandomProjectionEncoder(10, 64, seed=0)
+        with pytest.raises(ValueError, match="weight_bits"):
+            QuantizedProjectionEncoder(base, weight_bits=1)
+        with pytest.raises(ValueError, match="act_bits"):
+            QuantizedProjectionEncoder(base, act_bits=9)
+
+    def test_encode_cost_scales(self):
+        quant = RandomProjectionEncoder(10, 64, seed=0).quantize()
+        one = quant.encode_cost(1)
+        five = quant.encode_cost(5)
+        assert five.latency_s == pytest.approx(5 * one.latency_s)
+        assert one.energy_j > 0
+
+    def test_zero_feature_row_is_served(self):
+        quant = RandomProjectionEncoder(6, 32, seed=0).quantize()
+        out = quant.encode(np.zeros((2, 6)))
+        assert out.shape == (2, 32)
+        assert np.isfinite(out).all()

@@ -9,6 +9,8 @@ benchmarks themselves.
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "tools"))
 
@@ -31,6 +33,8 @@ def make_report(**overrides):
             "exact_full_probe": True,
             "reopen_identical": True,
         },
+        "encode": {"speedup_vs_committed": 5.2, "encode_s": 1.5e-3},
+        "mvm": {"bit_exact": True},
     }
     for path, value in overrides.items():
         section, key = path.split(".")
@@ -78,6 +82,31 @@ class TestCompareToBaseline:
         )["monte_carlo.speedup"]
         assert ok["status"] == "pass"
         assert bad["status"] == "fail"
+
+    def test_rel_max_caps_growth_over_the_baseline(self):
+        # encode.encode_s is a timing: 1.5x the baseline is the ceiling.
+        baseline = make_report(**{"encode.encode_s": 1.0e-3})
+        passing = make_report(**{"encode.encode_s": 1.4e-3})
+        failing = make_report(**{"encode.encode_s": 1.6e-3})
+        ok = rows_by_metric(
+            bench_report.compare_to_baseline(passing, baseline)
+        )["encode.encode_s"]
+        bad = rows_by_metric(
+            bench_report.compare_to_baseline(failing, baseline)
+        )["encode.encode_s"]
+        assert ok["status"] == "pass"
+        assert bad["status"] == "fail"
+        assert bad["threshold"] == pytest.approx(1.5e-3)
+
+    def test_rel_max_missing_from_baseline_is_skipped(self):
+        baseline = make_report()
+        del baseline["encode"]["encode_s"]
+        rows = rows_by_metric(
+            bench_report.compare_to_baseline(make_report(), baseline)
+        )
+        row = rows["encode.encode_s"]
+        assert row["status"] == "skipped"
+        assert "baseline" in row["reason"]
 
     def test_true_gate_fails_on_flipped_flag(self):
         report = make_report(**{"kernels.bit_exact": False})
